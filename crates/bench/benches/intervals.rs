@@ -1,0 +1,51 @@
+//! Interval-algebra microbenchmarks: the `⊗` sweep (paper Eq. 12) against
+//! its clip-set oracle, and indicator merging (Eq. 4).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use vaq_types::{ClipInterval, SequenceSet};
+
+fn make_set(num: u64, len: u64, gap: u64, offset: u64) -> SequenceSet {
+    SequenceSet::from_intervals(
+        (0..num)
+            .map(|i| {
+                let start = offset + i * (len + gap);
+                ClipInterval::new(start, start + len - 1)
+            })
+            .collect(),
+    )
+}
+
+fn bench_intersect(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sequence_intersect");
+    for &n in &[10u64, 100, 1000] {
+        let a = make_set(n, 8, 4, 0);
+        let b = make_set(n, 6, 6, 3);
+        group.bench_with_input(BenchmarkId::new("sweep", n), &n, |bench, _| {
+            bench.iter(|| black_box(a.intersect(&b)))
+        });
+        group.bench_with_input(BenchmarkId::new("naive_oracle", n), &n, |bench, _| {
+            bench.iter(|| black_box(a.intersect_naive(&b)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_from_indicator(c: &mut Criterion) {
+    let indicator: Vec<bool> = (0..10_000).map(|i| (i / 7) % 3 == 0).collect();
+    c.bench_function("from_indicator_10k_clips", |b| {
+        b.iter(|| black_box(SequenceSet::from_indicator(black_box(&indicator))))
+    });
+}
+
+fn bench_multi_intersect(c: &mut Criterion) {
+    // Three-predicate query shape: action ⊗ o1 ⊗ o2.
+    let action = make_set(200, 10, 5, 0);
+    let o1 = make_set(180, 12, 4, 2);
+    let o2 = make_set(220, 9, 6, 1);
+    c.bench_function("intersect_all_three_predicates", |b| {
+        b.iter(|| black_box(SequenceSet::intersect_all([&action, &o1, &o2]).unwrap()))
+    });
+}
+
+criterion_group!(benches, bench_intersect, bench_from_indicator, bench_multi_intersect);
+criterion_main!(benches);

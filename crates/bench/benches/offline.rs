@@ -1,0 +1,73 @@
+//! Offline top-K algorithm comparison (the Criterion counterpart of
+//! Tables 6–8): one ingestion, repeated queries through all four
+//! algorithms at two K values.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use vaq_bench::models;
+use vaq_bench::offline::{run_algo, Algo, OfflineWorkload};
+use vaq_core::OnlineConfig;
+use vaq_datasets::movies::{self, MovieSpec};
+use vaq_storage::CostModel;
+
+fn workload() -> OfflineWorkload {
+    let spec = MovieSpec {
+        scale: 0.1,
+        ..MovieSpec::default()
+    };
+    let set = movies::movie(movies::row("Coffee and Cigarettes").unwrap(), &spec, 42);
+    OfflineWorkload::prepare(
+        &set,
+        &models::mask_rcnn_i3d(42),
+        &OnlineConfig::svaqd(),
+        CostModel::FREE,
+    )
+}
+
+fn bench_algorithms(c: &mut Criterion) {
+    let w = workload();
+    let mut group = c.benchmark_group("offline_topk");
+    group.sample_size(20);
+    for algo in Algo::all() {
+        for &k in &[1usize, 5] {
+            let k = k.min(w.pq.len().max(1));
+            group.bench_with_input(
+                BenchmarkId::new(algo.name(), format!("K{k}")),
+                &(algo, k),
+                |b, &(algo, k)| b.iter(|| black_box(run_algo(&w, algo, k).result.sequences.len())),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_ingest(c: &mut Criterion) {
+    let spec = MovieSpec {
+        scale: 0.02,
+        background_objects: 6,
+        background_actions: 3,
+        ..MovieSpec::default()
+    };
+    let set = movies::movie(movies::row("Coffee and Cigarettes").unwrap(), &spec, 42);
+    let stack = models::mask_rcnn_i3d(42);
+    let mut group = c.benchmark_group("ingest");
+    group.sample_size(10);
+    group.bench_function("two_minute_movie_full_universe", |b| {
+        b.iter(|| {
+            let mut tracker = stack.tracker();
+            let out = vaq_core::ingest(
+                &set.videos[0].script,
+                "bench",
+                &stack.detector,
+                &stack.recognizer,
+                &mut tracker,
+                &OnlineConfig::svaqd(),
+            )
+            .unwrap();
+            black_box(out.object_rows.len())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_algorithms, bench_ingest);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Online-engine throughput: clips per second through SVAQ vs SVAQD
+//! (the dynamic machinery's overhead) and the short-circuiting ablation
+//! surface (queries whose object predicate mostly fails vs mostly passes).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use vaq_bench::models;
+use vaq_core::{OnlineConfig, OnlineEngine};
+use vaq_types::{ObjectType, Query, VideoGeometry};
+use vaq_video::{SceneScript, SceneScriptBuilder, VideoStream};
+
+fn script(object_duty_high: bool) -> SceneScript {
+    let mut b = SceneScriptBuilder::new(30_000, VideoGeometry::PAPER_DEFAULT);
+    let end = if object_duty_high { 30_000 } else { 3_000 };
+    b.object_span(ObjectType::new(2), 0, end).unwrap();
+    b.action_span(vaq_types::ActionType::new(0), 5_000, 20_000).unwrap();
+    b.build()
+}
+
+fn run(script: &SceneScript, config: OnlineConfig) -> usize {
+    let stack = models::mask_rcnn_i3d(7);
+    let (det, rec) = stack.for_video(0);
+    let query = Query::new(vaq_types::ActionType::new(0), vec![ObjectType::new(2)]);
+    let engine = OnlineEngine::new(query, config, script.geometry(), &det, &rec).unwrap();
+    let result = engine.run(VideoStream::new(script));
+    result.sequences.len()
+}
+
+fn bench_engines(c: &mut Criterion) {
+    let dense = script(true);
+    let sparse = script(false);
+    let mut group = c.benchmark_group("online_engine_600_clips");
+    group.sample_size(10);
+    group.bench_function("svaq_dense_objects", |b| {
+        b.iter(|| black_box(run(&dense, OnlineConfig::svaq())))
+    });
+    group.bench_function("svaqd_dense_objects", |b| {
+        b.iter(|| black_box(run(&dense, OnlineConfig::svaqd())))
+    });
+    group.bench_function("svaqd_sparse_objects_short_circuit", |b| {
+        b.iter(|| black_box(run(&sparse, OnlineConfig::svaqd())))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_engines);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! VAQ-SQL frontend microbenchmarks: tokenize, parse and plan the paper's
+//! two query forms.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use vaq_types::vocab;
+
+const ONLINE_SQL: &str = "SELECT MERGE(clipID) AS Sequence \
+    FROM (PROCESS inputVideo PRODUCE clipID, obj USING ObjectDetector, \
+    act USING ActionRecognizer) \
+    WHERE act='jumping' AND obj.include('car', 'person')";
+
+const OFFLINE_SQL: &str = "SELECT MERGE(clipID) AS Sequence, RANK(act, obj) \
+    FROM (PROCESS movie PRODUCE clipID, obj USING ObjectTracker, \
+    act USING ActionRecognizer) \
+    WHERE (act='smoking' AND obj.include('wine glass','cup')) OR act='archery' \
+    ORDER BY RANK(act, obj) LIMIT 5";
+
+fn bench_parse(c: &mut Criterion) {
+    c.bench_function("parse_online_query", |b| {
+        b.iter(|| black_box(vaq_query::parse(black_box(ONLINE_SQL)).unwrap()))
+    });
+    c.bench_function("parse_offline_disjunction", |b| {
+        b.iter(|| black_box(vaq_query::parse(black_box(OFFLINE_SQL)).unwrap()))
+    });
+}
+
+fn bench_plan(c: &mut Criterion) {
+    let objects = vocab::coco_objects();
+    let actions = vocab::kinetics_actions();
+    let stmt = vaq_query::parse(OFFLINE_SQL).unwrap();
+    c.bench_function("plan_offline_disjunction", |b| {
+        b.iter(|| black_box(vaq_query::plan(&stmt, &objects, &actions).unwrap()))
+    });
+    c.bench_function("parse_and_plan_end_to_end", |b| {
+        b.iter(|| {
+            let stmt = vaq_query::parse(black_box(ONLINE_SQL)).unwrap();
+            black_box(vaq_query::plan(&stmt, &objects, &actions).unwrap())
+        })
+    });
+}
+
+criterion_group!(benches, bench_parse, bench_plan);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Microbenchmarks for the scan-statistics machinery, including the two
+//! ablations DESIGN.md calls out: Naus's closed-form approximation vs the
+//! exact bitmask dynamic program, and the O(1) kernel recurrence vs the
+//! O(N*) direct estimator.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use vaq_scanstats::{
+    critical_value, exact_scan_prob, scan_prob, BackgroundRateEstimator, CriticalValueCache,
+    DirectKernelEstimator,
+};
+use vaq_scanstats::ScanConfig;
+
+fn bench_scan_prob(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scan_prob");
+    for &(k, w, n, p) in &[(3u64, 10u64, 1000u64, 0.01f64), (5, 50, 10_000, 1e-3)] {
+        group.bench_with_input(
+            BenchmarkId::new("naus_approx", format!("k{k}_w{w}_n{n}")),
+            &(k, w, n, p),
+            |b, &(k, w, n, p)| b.iter(|| black_box(scan_prob(k, w, n, p))),
+        );
+    }
+    // The exact DP is exponential in w; bench at a window where it is
+    // feasible, to show the gap the approximation closes.
+    group.bench_function("exact_dp_k3_w10_n1000", |b| {
+        b.iter(|| black_box(exact_scan_prob(3, 10, 1000, 0.01)))
+    });
+    group.finish();
+}
+
+fn bench_critical_value(c: &mut Criterion) {
+    let cfg = ScanConfig::new(50, 10_000, 0.05).unwrap();
+    c.bench_function("critical_value_w50", |b| {
+        b.iter(|| black_box(critical_value(&cfg, black_box(1e-3))))
+    });
+    c.bench_function("critical_value_cached", |b| {
+        let mut cache = CriticalValueCache::new(cfg);
+        cache.get(1e-3);
+        b.iter(|| black_box(cache.get(black_box(1.0001e-3))))
+    });
+}
+
+fn bench_kernel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernel_estimator");
+    group.bench_function("recurrence_1k_updates", |b| {
+        b.iter(|| {
+            let mut e = BackgroundRateEstimator::new(100.0, 1e-3).unwrap();
+            for i in 0..1000u32 {
+                e.observe(i % 97 == 0);
+            }
+            black_box(e.estimate())
+        })
+    });
+    group.bench_function("direct_reference_1k_updates", |b| {
+        b.iter(|| {
+            let mut e = DirectKernelEstimator::new(100.0);
+            for i in 0..1000u32 {
+                e.observe(i % 97 == 0);
+            }
+            black_box(e.estimate())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_scan_prob, bench_critical_value, bench_kernel);
+criterion_main!(benches);

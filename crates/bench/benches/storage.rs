@@ -1,0 +1,81 @@
+//! Storage-layer microbenchmarks: the three accounted access paths on the
+//! in-memory and file-backed clip score tables.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use vaq_storage::{ClipScoreTable, CostModel, FileTable, FileTableWriter, MemTable, ScoreRow};
+use vaq_types::ClipId;
+
+fn rows(n: u64) -> Vec<ScoreRow> {
+    (0..n)
+        .map(|c| ScoreRow {
+            clip: ClipId::new(c),
+            score: ((c * 2_654_435_761) % 100_000) as f64 / 1000.0,
+        })
+        .collect()
+}
+
+fn bench_mem_table(c: &mut Criterion) {
+    let table = MemTable::new(rows(10_000), CostModel::FREE);
+    let mut group = c.benchmark_group("mem_table");
+    group.bench_function("sorted_access", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            let r = table.sorted_access(i % 10_000);
+            i += 1;
+            black_box(r)
+        })
+    });
+    group.bench_function("random_access", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            let r = table.random_access(ClipId::new((i * 7919) % 10_000));
+            i += 1;
+            black_box(r)
+        })
+    });
+    group.finish();
+}
+
+fn bench_file_table(c: &mut Criterion) {
+    let dir = std::env::temp_dir().join(format!("vaq-bench-storage-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let base = dir.join("bench");
+    FileTableWriter::write(&base, rows(10_000)).unwrap();
+    let table = FileTable::open(&base, CostModel::FREE).unwrap();
+
+    let mut group = c.benchmark_group("file_table");
+    group.bench_function("sorted_access", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            let r = table.sorted_access(i % 10_000);
+            i += 1;
+            black_box(r)
+        })
+    });
+    group.bench_function("random_access_binary_search", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            let r = table.random_access(ClipId::new((i * 7919) % 10_000));
+            i += 1;
+            black_box(r)
+        })
+    });
+    group.finish();
+}
+
+fn bench_writer(c: &mut Criterion) {
+    let dir = std::env::temp_dir().join(format!("vaq-bench-writer-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let data = rows(10_000);
+    let mut i = 0u32;
+    c.bench_function("file_table_write_10k_rows", |b| {
+        b.iter(|| {
+            let base = dir.join(format!("w{i}"));
+            i += 1;
+            FileTableWriter::write(&base, data.clone()).unwrap();
+        })
+    });
+}
+
+criterion_group!(benches, bench_mem_table, bench_file_table, bench_writer);
+criterion_main!(benches);

@@ -1,0 +1,4 @@
+//! iid vs Markov-dependent critical values (paper footnote 7).
+fn main() {
+    let _ = vaq_bench::experiments::ablation_markov_critical_values();
+}

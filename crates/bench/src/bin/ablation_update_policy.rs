@@ -1,0 +1,4 @@
+//! SVAQD update-policy ablation; see DESIGN.md.
+fn main() {
+    let _ = vaq_bench::experiments::ablation_update_policy();
+}

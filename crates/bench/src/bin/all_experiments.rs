@@ -1,0 +1,19 @@
+//! Runs the full experiment battery (every table and figure of the paper's
+//! §5). Honors `VAQ_SCALE` / `VAQ_MOVIE_SCALE` / `VAQ_SEED`.
+fn main() {
+    use vaq_bench::experiments as e;
+    let _ = e::fig2();
+    let _ = e::fig3();
+    let _ = e::tab3();
+    let _ = e::tab4();
+    let _ = e::tab5();
+    let _ = e::fig4();
+    let _ = e::fig5();
+    let _ = e::tab_runtime_decomposition();
+    let _ = e::tab6();
+    let _ = e::tab7();
+    let _ = e::tab8();
+    let _ = e::tab_rvaq_accuracy();
+    let _ = e::ablation_update_policy();
+    let _ = e::ablation_markov_critical_values();
+}

@@ -1,0 +1,4 @@
+//! Regenerates one experiment of the paper's evaluation; see DESIGN.md.
+fn main() {
+    let _ = vaq_bench::experiments::fig5();
+}

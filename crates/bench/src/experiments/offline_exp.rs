@@ -1,0 +1,173 @@
+//! Offline-case experiments: Tables 6–8 and the §5.3 accuracy paragraph.
+
+use crate::fmt::{banner, f2, Table};
+use crate::models;
+use crate::offline::{run_algo, run_all, Algo, OfflineWorkload};
+use crate::scale::{movie_scale, seed};
+use vaq_core::OnlineConfig;
+use vaq_datasets::movies::{self, MovieSpec};
+use vaq_datasets::youtube::{self, YoutubeSpec};
+use vaq_metrics::sequence_prf;
+use vaq_storage::CostModel;
+use vaq_types::SequenceSet;
+
+fn movie_spec() -> MovieSpec {
+    MovieSpec {
+        scale: movie_scale(),
+        ..MovieSpec::default()
+    }
+}
+
+fn prepare_movie(title: &str) -> OfflineWorkload {
+    let set = movies::movie(movies::row(title).expect("known movie"), &movie_spec(), seed());
+    OfflineWorkload::prepare(
+        &set,
+        &models::mask_rcnn_i3d(seed()),
+        &OnlineConfig::svaqd(),
+        CostModel::DEFAULT,
+    )
+}
+
+/// Table 6: runtime and random accesses of the four algorithms on *Coffee
+/// and Cigarettes* across K. Returns `(algo, k, runtime_ms, random)`.
+pub fn tab6() -> Vec<(String, usize, f64, u64)> {
+    banner("Table 6 — performance on movie Coffee and Cigarettes");
+    let w = prepare_movie("Coffee and Cigarettes");
+    println!(
+        "ingested: {} candidate sequences over {} clips (movie scale {})",
+        w.pq.len(),
+        w.pq.total_clips(),
+        movie_scale()
+    );
+    let ks: Vec<usize> = [1usize, 5, 9, 11, 13, 15]
+        .into_iter()
+        .filter(|&k| k <= w.pq.len().max(1))
+        .collect();
+
+    let mut header = vec!["method".to_string()];
+    header.extend(ks.iter().map(|k| format!("K={k}")));
+    let mut table = Table::new(&header.iter().map(String::as_str).collect::<Vec<_>>());
+    let mut rows = Vec::new();
+    for algo in Algo::all() {
+        let mut cells = vec![algo.name().to_string()];
+        for &k in &ks {
+            let run = run_algo(&w, algo, k);
+            cells.push(format!(
+                "{}ms; {}",
+                run.runtime_ms().round(),
+                run.random_accesses()
+            ));
+            rows.push((
+                algo.name().to_string(),
+                k,
+                run.runtime_ms(),
+                run.random_accesses(),
+            ));
+        }
+        table.row(cells);
+    }
+    table.print();
+    rows
+}
+
+/// Table 7: the four algorithms on the YouTube q1/q2 workloads at K = 5.
+/// Returns `(query, algo, runtime_ms, random)`.
+pub fn tab7() -> Vec<(String, String, f64, u64)> {
+    banner("Table 7 — performance on YouTube dataset (K=5)");
+    let yspec = YoutubeSpec {
+        scale: crate::scale::scale(),
+        ..YoutubeSpec::default()
+    };
+    let mut table = Table::new(&["query", "FA", "RVAQ-noSkip", "Pq-Traverse", "RVAQ"]);
+    let mut rows = Vec::new();
+    for id in ["q1", "q2"] {
+        let set = youtube::single_video_set(youtube::row(id).unwrap(), &yspec, seed());
+        let w = OfflineWorkload::prepare(
+            &set,
+            &models::mask_rcnn_i3d(seed()),
+            &OnlineConfig::svaqd(),
+            CostModel::DEFAULT,
+        );
+        let k = 5.min(w.pq.len().max(1));
+        let runs = run_all(&w, k);
+        let mut cells = vec![id.to_string()];
+        for run in &runs {
+            cells.push(format!(
+                "{}ms; {}",
+                run.runtime_ms().round(),
+                run.random_accesses()
+            ));
+            rows.push((
+                id.to_string(),
+                run.algo.name().to_string(),
+                run.runtime_ms(),
+                run.random_accesses(),
+            ));
+        }
+        // Reorder cells to the table's column order (FA, noSkip, Pq, RVAQ
+        // is already Algo::all()'s order).
+        table.row(cells);
+    }
+    table.print();
+    rows
+}
+
+/// Table 8: speedup of RVAQ over Pq-Traverse on the other three movies
+/// across K. Returns `(movie, k, speedup)`.
+pub fn tab8() -> Vec<(String, usize, f64)> {
+    banner("Table 8 — speedup of RVAQ against Pq-Traverse on 3 movies");
+    let mut rows = Vec::new();
+    let mut table = Table::new(&["movie", "K=1", "K=3", "K=5", "K=7", "K=9", "K=11", "max K"]);
+    for title in ["Iron Man", "Star Wars 3", "Titanic"] {
+        let w = prepare_movie(title);
+        let max_k = w.pq.len().max(1);
+        let traverse = run_algo(&w, Algo::PqTraverse, 1);
+        let base_ms = traverse.runtime_ms();
+        let mut cells = vec![title.to_string()];
+        for k in [1usize, 3, 5, 7, 9, 11, usize::MAX] {
+            let k = if k == usize::MAX { max_k } else { k.min(max_k) };
+            let run = run_algo(&w, Algo::Rvaq, k);
+            let speedup = base_ms / run.runtime_ms().max(1e-9);
+            cells.push(format!("{speedup:.2}x"));
+            rows.push((title.to_string(), k, speedup));
+        }
+        table.row(cells);
+    }
+    table.print();
+    rows
+}
+
+/// §5.3 accuracy: precision and F1 of RVAQ's ranked results against ground
+/// truth, plus top-10 precision. Returns `(movie, precision, f1,
+/// top10_precision)`.
+pub fn tab_rvaq_accuracy() -> Vec<(String, f64, f64, f64)> {
+    banner("§5.3 — RVAQ result accuracy on the movies");
+    let mut table = Table::new(&["movie", "precision", "F1", "top-10 precision"]);
+    let mut rows = Vec::new();
+    for row in &movies::TABLE_TWO {
+        let w = prepare_movie(row.title);
+        let max_k = w.pq.len().max(1);
+        let all = run_algo(&w, Algo::Rvaq, max_k);
+        let result_set: SequenceSet = all.result.sequences.iter().map(|&(iv, _)| iv).collect();
+        let prf = sequence_prf(&result_set, &w.ground_truth, crate::runner::ETA);
+
+        let top10 = run_algo(&w, Algo::Rvaq, 10.min(max_k));
+        let top10_set: SequenceSet = top10.result.sequences.iter().map(|&(iv, _)| iv).collect();
+        let top10_prf = sequence_prf(&top10_set, &w.ground_truth, crate::runner::ETA);
+
+        table.row(vec![
+            row.title.to_string(),
+            f2(prf.precision()),
+            f2(prf.f1()),
+            f2(top10_prf.precision()),
+        ]);
+        rows.push((
+            row.title.to_string(),
+            prf.precision(),
+            prf.f1(),
+            top10_prf.precision(),
+        ));
+    }
+    table.print();
+    rows
+}

@@ -1,0 +1,26 @@
+//! # vaq-bench
+//!
+//! The experiment harness: everything needed to regenerate the paper's
+//! tables and figures. Each table/figure has a binary under `src/bin/`
+//! (see `DESIGN.md`'s per-experiment index); the shared machinery lives
+//! here:
+//!
+//! * [`models`] — named model stacks ("MaskRCNN+I3D", "YOLOv3+I3D",
+//!   "Ideal") as the paper's §5.1 model list.
+//! * [`runner`] — evaluate SVAQ/SVAQD over a [`vaq_datasets::QuerySet`]
+//!   against ground truth, aggregating sequence-level and frame-level F1.
+//! * [`offline`] — ingest a query set and run the four offline algorithms
+//!   (FA, RVAQ-noSkip, Pq-Traverse, RVAQ) with access accounting.
+//! * [`fmt`] — fixed-width table rendering for terminal output.
+//! * [`scale`] — the `VAQ_SCALE` environment knob: experiments default to
+//!   a laptop-friendly fraction of the paper's footage and can be dialed
+//!   to 1.0 for full-scale runs.
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod fmt;
+pub mod models;
+pub mod offline;
+pub mod runner;
+pub mod scale;

@@ -1,0 +1,155 @@
+//! Named model stacks (the paper's §5.1 model list).
+
+use vaq_detect::profiles;
+use vaq_detect::{IouTracker, SimulatedActionRecognizer, SimulatedObjectDetector};
+use vaq_types::vocab;
+
+/// A detector + recognizer (+ tracker profile) bundle.
+pub struct ModelStack {
+    /// Stack name as it appears in the paper's tables.
+    pub name: &'static str,
+    /// The object detector (video-0 instantiation).
+    pub detector: SimulatedObjectDetector,
+    /// The action recognizer (video-0 instantiation).
+    pub recognizer: SimulatedActionRecognizer,
+    /// Tracker profile (instantiate per video — tracking is stateful).
+    pub tracker_profile: vaq_detect::TrackerProfile,
+    tracker_seed: u64,
+}
+
+/// Log-uniform scene-clutter factor in `[0.25, 4.0]`, derived
+/// deterministically from the video index — different videos of a set have
+/// different background noise levels, like real footage. The spread is what
+/// gives SVAQD's per-stream calibration something to adapt to: a single
+/// global `p₀` cannot be right for both tails.
+pub fn clutter_for(seed: u64, video_idx: u64) -> f64 {
+    let h = (seed ^ video_idx.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        .wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    let u = (h >> 11) as f64 / (1u64 << 53) as f64; // [0, 1)
+    4.0f64.powf(2.0 * u - 1.0)
+}
+
+impl ModelStack {
+    /// A fresh tracker for one video pass.
+    pub fn tracker(&self) -> IouTracker {
+        IouTracker::new(self.tracker_profile, self.tracker_seed)
+    }
+
+    /// Per-video model instantiation: fresh noise seed plus a video-specific
+    /// scene-clutter factor on the noise rates.
+    pub fn for_video(&self, video_idx: u64) -> (SimulatedObjectDetector, SimulatedActionRecognizer) {
+        let clutter = clutter_for(self.tracker_seed, video_idx);
+        let vid_seed = self
+            .tracker_seed
+            .wrapping_add(video_idx.wrapping_mul(0x1000_0000_01b3));
+        let det = SimulatedObjectDetector::new(
+            self.detector.profile().with_clutter(clutter),
+            self.detector_universe(),
+            vid_seed,
+        );
+        let rec = SimulatedActionRecognizer::new(
+            self.recognizer.profile().with_clutter(clutter),
+            self.recognizer_universe(),
+            vid_seed,
+        );
+        (det, rec)
+    }
+
+    fn detector_universe(&self) -> u32 {
+        use vaq_detect::ObjectDetector as _;
+        self.detector.universe()
+    }
+
+    fn recognizer_universe(&self) -> u32 {
+        use vaq_detect::ActionRecognizer as _;
+        self.recognizer.universe()
+    }
+}
+
+fn universes() -> (u32, u32) {
+    (
+        vocab::coco_objects().len() as u32,
+        vocab::kinetics_actions().len() as u32,
+    )
+}
+
+/// Mask R-CNN + I3D + CenterTrack — the paper's accurate stack.
+pub fn mask_rcnn_i3d(seed: u64) -> ModelStack {
+    let (ou, au) = universes();
+    ModelStack {
+        name: "MaskRCNN+I3D",
+        detector: SimulatedObjectDetector::new(profiles::mask_rcnn(), ou, seed),
+        recognizer: SimulatedActionRecognizer::new(profiles::i3d(), au, seed),
+        tracker_profile: profiles::centertrack(),
+        tracker_seed: seed,
+    }
+}
+
+/// YOLOv3 + I3D + CenterTrack — the faster, noisier stack.
+pub fn yolov3_i3d(seed: u64) -> ModelStack {
+    let (ou, au) = universes();
+    ModelStack {
+        name: "YOLOv3+I3D",
+        detector: SimulatedObjectDetector::new(profiles::yolov3(), ou, seed),
+        recognizer: SimulatedActionRecognizer::new(profiles::i3d(), au, seed),
+        tracker_profile: profiles::centertrack(),
+        tracker_seed: seed,
+    }
+}
+
+/// The paper's Ideal Models (detections = ground truth).
+pub fn ideal(seed: u64) -> ModelStack {
+    let (ou, au) = universes();
+    ModelStack {
+        name: "Ideal Models",
+        detector: SimulatedObjectDetector::new(profiles::ideal_object(), ou, seed),
+        recognizer: SimulatedActionRecognizer::new(profiles::ideal_action(), au, seed),
+        tracker_profile: profiles::ideal_tracker(),
+        tracker_seed: seed,
+    }
+}
+
+/// All three stacks, in Table 4 order.
+pub fn all(seed: u64) -> Vec<ModelStack> {
+    vec![mask_rcnn_i3d(seed), yolov3_i3d(seed), ideal(seed)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stacks_carry_correct_universes() {
+        use vaq_detect::{ActionRecognizer as _, ObjectDetector as _};
+        let s = mask_rcnn_i3d(1);
+        assert_eq!(s.detector.universe(), 86);
+        assert_eq!(s.recognizer.universe(), 36);
+        assert_eq!(s.name, "MaskRCNN+I3D");
+    }
+
+    #[test]
+    fn clutter_varies_by_video_and_is_deterministic() {
+        let a = clutter_for(42, 0);
+        let b = clutter_for(42, 1);
+        assert_ne!(a, b);
+        assert_eq!(a, clutter_for(42, 0));
+        for v in 0..50 {
+            let c = clutter_for(42, v);
+            assert!((0.25..=4.0).contains(&c), "clutter {c}");
+        }
+    }
+
+    #[test]
+    fn for_video_keeps_ideal_ideal() {
+        let s = ideal(1);
+        let (det, _) = s.for_video(7);
+        assert_eq!(det.profile().fpr, 0.0);
+        assert_eq!(det.profile().tpr, 1.0);
+    }
+
+    #[test]
+    fn all_returns_table_four_order() {
+        let names: Vec<_> = all(1).iter().map(|s| s.name).collect();
+        assert_eq!(names, vec!["MaskRCNN+I3D", "YOLOv3+I3D", "Ideal Models"]);
+    }
+}

@@ -1,0 +1,126 @@
+//! Online-evaluation helpers shared by the experiment binaries.
+
+use crate::models::ModelStack;
+use vaq_core::{OnlineConfig, OnlineEngine};
+use vaq_datasets::QuerySet;
+use vaq_detect::InferenceStats;
+use vaq_metrics::{frame_prf, sequence_prf, PrecisionRecall};
+use vaq_types::Query;
+use vaq_video::VideoStream;
+
+/// The paper's sequence-matching IOU threshold η.
+pub const ETA: f64 = 0.5;
+
+/// Clip-coverage fraction used when projecting ground-truth frame spans to
+/// clip-level sequences.
+pub const GT_COVERAGE: f64 = 0.5;
+
+/// Aggregated outcome of running one engine configuration over a query set.
+#[derive(Debug, Clone, Default)]
+pub struct OnlineEvaluation {
+    /// Sequence-level counts (IOU matching at η), summed over videos.
+    pub sequence: PrecisionRecall,
+    /// Frame-level counts, summed over videos.
+    pub frame: PrecisionRecall,
+    /// Result-sequence count over all videos.
+    pub num_sequences: u64,
+    /// Total frames reported, over all videos.
+    pub frames_reported: u64,
+    /// Merged cost accounting.
+    pub stats: InferenceStats,
+}
+
+impl OnlineEvaluation {
+    /// Sequence-level F1 (the paper's headline metric).
+    pub fn f1(&self) -> f64 {
+        self.sequence.f1()
+    }
+}
+
+/// Runs `config` over every video of `set` with `stack`'s models,
+/// evaluating against the scripts' ground truth. `query_override` replaces
+/// the set's own query (used by the Table 3 predicate variants).
+pub fn evaluate_online(
+    set: &QuerySet,
+    stack: &ModelStack,
+    config: &OnlineConfig,
+    query_override: Option<&Query>,
+) -> OnlineEvaluation {
+    let query = query_override.unwrap_or(&set.query);
+    let mut eval = OnlineEvaluation::default();
+    for (vid_idx, video) in set.videos.iter().enumerate() {
+        let script = &video.script;
+        // Per-video model instantiation: every video has its own noise
+        // realization and scene-clutter level (see `models::clutter_for`).
+        let (detector, recognizer) = stack.for_video(vid_idx as u64);
+        let engine = OnlineEngine::new(
+            query.clone(),
+            *config,
+            script.geometry(),
+            &detector,
+            &recognizer,
+        )
+        .expect("valid config");
+        let run = engine.run(VideoStream::new(script));
+
+        let truth = script.ground_truth(query, GT_COVERAGE);
+        let s = sequence_prf(&run.sequences, &truth, ETA);
+        eval.sequence.tp += s.tp;
+        eval.sequence.fp += s.fp;
+        eval.sequence.fn_ += s.fn_;
+
+        let truth_spans = script.ground_truth_spans(query);
+        let f = frame_prf(&run.sequences, script.geometry(), &truth_spans);
+        eval.frame.tp += f.tp;
+        eval.frame.fp += f.fp;
+        eval.frame.fn_ += f.fn_;
+
+        eval.num_sequences += run.sequences.len() as u64;
+        eval.frames_reported += run.sequences.total_clips() * script.geometry().frames_per_clip();
+        eval.stats.merge(&run.stats);
+    }
+    eval
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models;
+    use vaq_datasets::youtube::{self, YoutubeSpec};
+
+    fn tiny_set() -> QuerySet {
+        let spec = YoutubeSpec {
+            scale: 0.04,
+            ..YoutubeSpec::default()
+        };
+        youtube::query_set(youtube::row("q1").unwrap(), &spec, 7)
+    }
+
+    #[test]
+    fn ideal_models_score_high_f1() {
+        let set = tiny_set();
+        let stack = models::ideal(1);
+        let eval = evaluate_online(&set, &stack, &OnlineConfig::svaqd(), None);
+        assert!(eval.f1() > 0.9, "ideal F1 = {}", eval.f1());
+    }
+
+    #[test]
+    fn noisy_models_still_reasonable() {
+        let set = tiny_set();
+        let stack = models::mask_rcnn_i3d(1);
+        let eval = evaluate_online(&set, &stack, &OnlineConfig::svaqd(), None);
+        assert!(eval.f1() > 0.5, "noisy F1 = {}", eval.f1());
+        assert!(eval.stats.detector_frames > 0);
+    }
+
+    #[test]
+    fn query_override_changes_evaluation() {
+        let set = tiny_set();
+        let stack = models::ideal(1);
+        let action_only = Query::action_only(set.query.action);
+        let a = evaluate_online(&set, &stack, &OnlineConfig::svaqd(), Some(&action_only));
+        // Action-only ground truth covers at least as many frames.
+        let b = evaluate_online(&set, &stack, &OnlineConfig::svaqd(), None);
+        assert!(a.frame.tp + a.frame.fn_ >= b.frame.tp + b.frame.fn_);
+    }
+}

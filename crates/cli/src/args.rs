@@ -1,0 +1,93 @@
+//! Minimal `--flag value` argument parsing (no external dependency).
+
+use std::collections::BTreeMap;
+use vaq_types::{Result, VaqError};
+
+/// Parsed `--flag value` pairs.
+#[derive(Debug, Default)]
+pub struct Args {
+    flags: BTreeMap<String, String>,
+}
+
+impl Args {
+    /// Parses alternating `--flag value` tokens.
+    pub fn parse(tokens: &[String]) -> Result<Self> {
+        let mut flags = BTreeMap::new();
+        let mut it = tokens.iter();
+        while let Some(tok) = it.next() {
+            let Some(name) = tok.strip_prefix("--") else {
+                return Err(VaqError::InvalidConfig(format!(
+                    "expected --flag, found {tok:?}"
+                )));
+            };
+            let Some(value) = it.next() else {
+                return Err(VaqError::InvalidConfig(format!("--{name} needs a value")));
+            };
+            if flags.insert(name.to_string(), value.clone()).is_some() {
+                return Err(VaqError::InvalidConfig(format!("--{name} given twice")));
+            }
+        }
+        Ok(Self { flags })
+    }
+
+    /// Required string flag.
+    pub fn require(&self, name: &str) -> Result<&str> {
+        self.flags
+            .get(name)
+            .map(String::as_str)
+            .ok_or_else(|| VaqError::InvalidConfig(format!("missing required --{name}")))
+    }
+
+    /// Optional string flag.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.flags.get(name).map(String::as_str)
+    }
+
+    /// Optional parsed flag with a default.
+    pub fn get_or<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T> {
+        match self.flags.get(name) {
+            None => Ok(default),
+            Some(raw) => raw.parse().map_err(|_| {
+                VaqError::InvalidConfig(format!("--{name} value {raw:?} does not parse"))
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(s: &[&str]) -> Vec<String> {
+        s.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_flag_pairs() {
+        let a = Args::parse(&toks(&["--repo", "r", "--seed", "7"])).unwrap();
+        assert_eq!(a.require("repo").unwrap(), "r");
+        assert_eq!(a.get_or::<u64>("seed", 0).unwrap(), 7);
+        assert_eq!(a.get_or::<u64>("scale", 3).unwrap(), 3);
+        assert!(a.get("nope").is_none());
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(Args::parse(&toks(&["repo", "r"])).is_err());
+        assert!(Args::parse(&toks(&["--repo"])).is_err());
+        assert!(Args::parse(&toks(&["--a", "1", "--a", "2"])).is_err());
+    }
+
+    #[test]
+    fn missing_required_flag_is_reported() {
+        let a = Args::parse(&toks(&[])).unwrap();
+        let err = a.require("sql").unwrap_err();
+        assert!(err.to_string().contains("--sql"));
+    }
+
+    #[test]
+    fn bad_numeric_value_is_reported() {
+        let a = Args::parse(&toks(&["--seed", "many"])).unwrap();
+        assert!(a.get_or::<u64>("seed", 0).is_err());
+    }
+}

@@ -1,0 +1,323 @@
+//! Command implementations.
+
+use crate::args::Args;
+use std::path::{Path, PathBuf};
+use vaq_core::offline::repository::Repository;
+use vaq_core::{ingest as core_ingest, OnlineConfig, PaperScoring};
+use vaq_datasets::{drift, movies, youtube};
+use vaq_detect::{profiles, IouTracker, SimulatedActionRecognizer, SimulatedObjectDetector};
+use vaq_query::{execute_online, execute_repository, plan, QueryOutput};
+use vaq_storage::CostModel;
+use vaq_types::{vocab, Result, VaqError};
+use vaq_video::{load_script, save_script, SceneScript};
+
+fn models(
+    kind: &str,
+    seed: u64,
+) -> Result<(SimulatedObjectDetector, SimulatedActionRecognizer)> {
+    let nobj = vocab::coco_objects().len() as u32;
+    let nact = vocab::kinetics_actions().len() as u32;
+    let (op, ap) = match kind {
+        "maskrcnn" => (profiles::mask_rcnn(), profiles::i3d()),
+        "yolo" => (profiles::yolov3(), profiles::i3d()),
+        "ideal" => (profiles::ideal_object(), profiles::ideal_action()),
+        other => {
+            return Err(VaqError::InvalidConfig(format!(
+                "unknown model stack {other:?} (expected maskrcnn|yolo|ideal)"
+            )))
+        }
+    };
+    Ok((
+        SimulatedObjectDetector::new(op, nobj, seed),
+        SimulatedActionRecognizer::new(ap, nact, seed),
+    ))
+}
+
+fn slug(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c.to_ascii_lowercase() } else { '_' })
+        .collect()
+}
+
+/// `gen`: generate benchmark scene scripts to JSON.
+pub fn gen(args: &Args, out: &mut Vec<String>) -> Result<()> {
+    let kind = args.require("kind")?;
+    let dir = PathBuf::from(args.require("out")?);
+    std::fs::create_dir_all(&dir)?;
+    let seed = args.get_or("seed", 42u64)?;
+    let scale = args.get_or("scale", 0.1f64)?;
+
+    let set = match kind {
+        "youtube" => {
+            let id = args.get("id").unwrap_or("q1");
+            let row = youtube::row(id).ok_or_else(|| {
+                VaqError::InvalidConfig(format!("unknown YouTube query id {id:?} (q1..q12)"))
+            })?;
+            let spec = youtube::YoutubeSpec { scale, ..Default::default() };
+            youtube::query_set(row, &spec, seed)
+        }
+        "movie" => {
+            let id = args.get("id").unwrap_or("Coffee and Cigarettes");
+            let row = movies::row(id).ok_or_else(|| {
+                VaqError::InvalidConfig(format!("unknown movie {id:?} (see Table 2)"))
+            })?;
+            let spec = movies::MovieSpec { scale, ..Default::default() };
+            movies::movie(row, &spec, seed)
+        }
+        "drift" => drift::surveillance(&drift::DriftSpec::default(), seed),
+        other => {
+            return Err(VaqError::InvalidConfig(format!(
+                "unknown dataset kind {other:?} (expected youtube|movie|drift)"
+            )))
+        }
+    };
+
+    for video in &set.videos {
+        let path = dir.join(format!("{}.json", slug(&video.name)));
+        save_script(&video.script, &path)?;
+        out.push(format!(
+            "wrote {} ({} clips)",
+            path.display(),
+            video.script.num_clips()
+        ));
+    }
+    out.push(format!("query: {}", set.description));
+    Ok(())
+}
+
+fn load(path: &str) -> Result<SceneScript> {
+    load_script(Path::new(path))
+}
+
+/// `ingest`: run the ingestion phase for one scripted video into a
+/// repository directory.
+pub fn ingest(args: &Args, out: &mut Vec<String>) -> Result<()> {
+    let script_path = args.require("script")?;
+    let repo_dir = PathBuf::from(args.require("repo")?);
+    std::fs::create_dir_all(&repo_dir)?;
+    let seed = args.get_or("seed", 42u64)?;
+    let stack = args.get("models").unwrap_or("maskrcnn");
+    let name = args
+        .get("name")
+        .map(str::to_owned)
+        .unwrap_or_else(|| {
+            Path::new(script_path)
+                .file_stem()
+                .map(|s| s.to_string_lossy().into_owned())
+                .unwrap_or_else(|| "video".into())
+        });
+
+    let script = load(script_path)?;
+    let (detector, recognizer) = models(stack, seed)?;
+    let mut tracker = IouTracker::new(
+        if stack == "ideal" { profiles::ideal_tracker() } else { profiles::centertrack() },
+        seed,
+    );
+    let output = core_ingest(
+        &script,
+        name.clone(),
+        &detector,
+        &recognizer,
+        &mut tracker,
+        &OnlineConfig::svaqd(),
+    )?;
+    let mut repo = Repository::open(&repo_dir, CostModel::DEFAULT)?;
+    repo.add(&output)?;
+    out.push(format!(
+        "ingested {name:?}: {} clips, {} object tables, {} action tables, \
+         {:.1} simulated inference minutes",
+        output.geometry.num_clips(output.num_frames),
+        output.object_rows.len(),
+        output.action_rows.len(),
+        output.stats.inference_ms() / 60_000.0
+    ));
+    Ok(())
+}
+
+/// `info`: list a repository's videos.
+pub fn info(args: &Args, out: &mut Vec<String>) -> Result<()> {
+    let repo = Repository::open(args.require("repo")?, CostModel::DEFAULT)?;
+    out.push(format!("{} video(s)", repo.len()));
+    for name in repo.names() {
+        let cat = repo.catalog(name).expect("listed name");
+        let m = cat.manifest();
+        out.push(format!(
+            "  {name}: {} clips, {} object tables, {} action tables",
+            m.num_clips(),
+            m.object_tables.len(),
+            m.action_tables.len()
+        ));
+    }
+    Ok(())
+}
+
+/// `query`: run an offline (top-K) VAQ-SQL query across a repository.
+pub fn query(args: &Args, out: &mut Vec<String>) -> Result<()> {
+    let repo = Repository::open(args.require("repo")?, CostModel::DEFAULT)?;
+    let sql = args.require("sql")?;
+    let stmt = vaq_query::parse(sql)?;
+    let p = plan(&stmt, &vocab::coco_objects(), &vocab::kinetics_actions())?;
+    match execute_repository(&p, &repo, &PaperScoring)? {
+        QueryOutput::RankedRepo(rows) => {
+            if rows.is_empty() {
+                out.push("no results".into());
+            }
+            for (rank, r) in rows.iter().enumerate() {
+                out.push(format!(
+                    "#{:<2} {}  {}  score {:.1}",
+                    rank + 1,
+                    r.video,
+                    r.interval,
+                    r.score
+                ));
+            }
+        }
+        other => out.push(format!("unexpected output {other:?}")),
+    }
+    Ok(())
+}
+
+/// `stream`: run an online VAQ-SQL query over one scripted video.
+pub fn stream(args: &Args, out: &mut Vec<String>) -> Result<()> {
+    let script = load(args.require("script")?)?;
+    let sql = args.require("sql")?;
+    let seed = args.get_or("seed", 42u64)?;
+    let (detector, recognizer) = models(args.get("models").unwrap_or("maskrcnn"), seed)?;
+    let stmt = vaq_query::parse(sql)?;
+    let p = plan(&stmt, &vocab::coco_objects(), &vocab::kinetics_actions())?;
+    let (result, stats) =
+        execute_online(&p, &script, &detector, &recognizer, &OnlineConfig::svaqd())?;
+    match result {
+        QueryOutput::Sequences(seqs) => {
+            out.push(format!(
+                "{} sequence(s): {seqs}",
+                seqs.len()
+            ));
+            out.push(format!(
+                "cost: {} frames detected, {} shots recognized, {:.1} simulated minutes",
+                stats.detector_frames,
+                stats.recognizer_shots,
+                stats.inference_ms() / 60_000.0
+            ));
+        }
+        other => out.push(format!("unexpected output {other:?}")),
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(argv: &[&str]) -> Result<Vec<String>> {
+        let argv: Vec<String> = argv.iter().map(|s| s.to_string()).collect();
+        let mut out = Vec::new();
+        crate::run(&argv, &mut out)?;
+        Ok(out)
+    }
+
+    fn tmp(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("vaq-cli-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn help_and_unknown_command() {
+        let out = run(&["help"]).unwrap();
+        assert!(out[0].contains("USAGE"));
+        assert!(run(&["frobnicate"]).is_err());
+        let out = run(&[]).unwrap();
+        assert!(out[0].contains("USAGE"));
+    }
+
+    #[test]
+    fn full_workflow_gen_ingest_info_query_stream() {
+        let dir = tmp("workflow");
+        let videos = dir.join("videos");
+        let repo = dir.join("repo");
+
+        // gen a tiny movie
+        let out = run(&[
+            "gen", "--kind", "movie", "--id", "Coffee and Cigarettes", "--out",
+            videos.to_str().unwrap(), "--scale", "0.02", "--seed", "5",
+        ])
+        .unwrap();
+        assert!(out.iter().any(|l| l.starts_with("wrote ")));
+        let script = videos.join("coffee_and_cigarettes.json");
+        assert!(script.exists());
+
+        // ingest with ideal models (fast + exact)
+        let out = run(&[
+            "ingest", "--script", script.to_str().unwrap(), "--repo",
+            repo.to_str().unwrap(), "--models", "ideal", "--seed", "5",
+        ])
+        .unwrap();
+        assert!(out[0].contains("ingested"));
+
+        // info
+        let out = run(&["info", "--repo", repo.to_str().unwrap()]).unwrap();
+        assert_eq!(out[0], "1 video(s)");
+
+        // offline query across the repository
+        let out = run(&[
+            "query", "--repo", repo.to_str().unwrap(), "--sql",
+            "SELECT MERGE(clipID), RANK(act,obj) FROM (PROCESS any PRODUCE clipID) \
+             WHERE act='smoking' AND obj.include('wine glass','cup') \
+             ORDER BY RANK(act,obj) LIMIT 3",
+        ])
+        .unwrap();
+        assert!(out[0].starts_with("#1 "), "{out:?}");
+        assert!(out[0].contains("coffee_and_cigarettes"));
+
+        // online query over the script
+        let out = run(&[
+            "stream", "--script", script.to_str().unwrap(), "--models", "ideal", "--sql",
+            "SELECT MERGE(clipID) FROM (PROCESS v PRODUCE clipID) WHERE act='smoking'",
+        ])
+        .unwrap();
+        assert!(out[0].contains("sequence(s)"), "{out:?}");
+    }
+
+    #[test]
+    fn gen_validates_ids() {
+        let dir = tmp("badid");
+        assert!(run(&[
+            "gen", "--kind", "youtube", "--id", "q99", "--out",
+            dir.to_str().unwrap()
+        ])
+        .is_err());
+        assert!(run(&["gen", "--kind", "opera", "--out", dir.to_str().unwrap()]).is_err());
+    }
+
+    #[test]
+    fn query_requires_offline_sql() {
+        let dir = tmp("mode");
+        let repo = dir.join("repo");
+        std::fs::create_dir_all(&repo).unwrap();
+        let err = run(&[
+            "query", "--repo", repo.to_str().unwrap(), "--sql",
+            "SELECT MERGE(clipID) FROM (PROCESS v PRODUCE clipID) WHERE act='smoking'",
+        ])
+        .unwrap_err();
+        assert!(err.to_string().contains("online"), "{err}");
+    }
+
+    #[test]
+    fn unknown_model_stack_rejected() {
+        let dir = tmp("models");
+        let videos = dir.join("videos");
+        run(&[
+            "gen", "--kind", "drift", "--out", videos.to_str().unwrap(), "--seed", "3",
+        ])
+        .unwrap();
+        let script = std::fs::read_dir(&videos).unwrap().next().unwrap().unwrap().path();
+        let err = run(&[
+            "ingest", "--script", script.to_str().unwrap(), "--repo",
+            dir.join("r").to_str().unwrap(), "--models", "resnet",
+        ])
+        .unwrap_err();
+        assert!(err.to_string().contains("model stack"));
+    }
+}

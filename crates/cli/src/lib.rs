@@ -1,0 +1,68 @@
+//! # vaq-cli
+//!
+//! A small command-line surface over the `vaq` workspace — the workflow a
+//! downstream user runs without writing Rust:
+//!
+//! ```text
+//! vaq-cli gen    --kind movie --id "Coffee and Cigarettes" --out videos/ --scale 0.1
+//! vaq-cli ingest --script videos/coffee_and_cigarettes.json --repo repo/
+//! vaq-cli info   --repo repo/
+//! vaq-cli query  --repo repo/ --sql "SELECT MERGE(clipID), RANK(act,obj) FROM \
+//!                (PROCESS any PRODUCE clipID) WHERE act='smoking' \
+//!                AND obj.include('wine glass','cup') ORDER BY RANK(act,obj) LIMIT 5"
+//! vaq-cli stream --script videos/coffee_and_cigarettes.json --sql \
+//!                "SELECT MERGE(clipID) FROM (PROCESS v PRODUCE clipID) WHERE act='smoking'"
+//! ```
+//!
+//! Scripted videos (JSON scene scripts) stand in for video files; see
+//! `DESIGN.md` for the simulation substrate. The binary is a thin wrapper
+//! around [`run`], which is unit-tested directly.
+
+#![warn(missing_docs)]
+
+mod args;
+mod commands;
+
+pub use args::Args;
+
+use vaq_types::{Result, VaqError};
+
+/// Usage text printed on `help` or argument errors.
+pub const USAGE: &str = "\
+vaq-cli — querying for actions over (scripted) videos
+
+USAGE:
+  vaq-cli gen    --kind <youtube|movie|drift> [--id <q1|title>] --out <DIR>
+                 [--scale <F>] [--seed <N>]
+  vaq-cli ingest --script <FILE> --repo <DIR> [--name <NAME>]
+                 [--models <maskrcnn|yolo|ideal>] [--seed <N>]
+  vaq-cli info   --repo <DIR>
+  vaq-cli query  --repo <DIR> --sql <SQL>
+  vaq-cli stream --script <FILE> --sql <SQL>
+                 [--models <maskrcnn|yolo|ideal>] [--seed <N>]
+  vaq-cli help
+";
+
+/// Dispatches a full argument vector (without `argv[0]`); output lines are
+/// pushed to `out` so tests can assert on them.
+pub fn run(argv: &[String], out: &mut Vec<String>) -> Result<()> {
+    let Some((command, rest)) = argv.split_first() else {
+        out.push(USAGE.to_string());
+        return Ok(());
+    };
+    let args = Args::parse(rest)?;
+    match command.as_str() {
+        "gen" => commands::gen(&args, out),
+        "ingest" => commands::ingest(&args, out),
+        "info" => commands::info(&args, out),
+        "query" => commands::query(&args, out),
+        "stream" => commands::stream(&args, out),
+        "help" | "--help" | "-h" => {
+            out.push(USAGE.to_string());
+            Ok(())
+        }
+        other => Err(VaqError::InvalidConfig(format!(
+            "unknown command {other:?}; see `vaq-cli help`"
+        ))),
+    }
+}

@@ -1,0 +1,19 @@
+//! `vaq-cli` binary entry point; all logic lives in the library for
+//! testability.
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut out = Vec::new();
+    let code = match vaq_cli::run(&argv, &mut out) {
+        Ok(()) => 0,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("{}", vaq_cli::USAGE);
+            2
+        }
+    };
+    for line in out {
+        println!("{line}");
+    }
+    std::process::exit(code);
+}

@@ -1,0 +1,171 @@
+//! Engine configuration.
+
+use vaq_types::{Result, VaqError};
+
+/// How background probabilities behave over the stream — the single switch
+/// between the paper's SVAQ and SVAQD.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ParameterPolicy {
+    /// SVAQ: the initial background probabilities are used for the entire
+    /// stream; critical values are computed once.
+    Static,
+    /// SVAQD: background probabilities are re-estimated with the
+    /// exponential-kernel smoother (bandwidth in *clips*; converted to the
+    /// right occurrence unit per predicate) and critical values recomputed.
+    Dynamic {
+        /// Kernel bandwidth `u`, measured in clips of history.
+        bandwidth_clips: f64,
+        /// When to refresh estimates and critical values.
+        update: UpdatePolicy,
+    },
+}
+
+/// When SVAQD refreshes its estimates (paper §3.3: "every time a new event
+/// occurs, or after processing a fixed number of clips"; Algorithm 3 line 7
+/// shows the positive-clip variant).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UpdatePolicy {
+    /// Refresh after every clip (default; most adaptive).
+    EveryClip,
+    /// Refresh only after clips whose query indicator was positive — the
+    /// literal reading of Algorithm 3.
+    PositiveClips,
+    /// Refresh every `n` clips.
+    EveryNClips(u32),
+}
+
+/// Configuration of the online engines.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OnlineConfig {
+    /// Object-detector score threshold `T_obj` (paper §2).
+    pub t_obj: f64,
+    /// Action-recognizer score threshold `T_act`.
+    pub t_act: f64,
+    /// Significance level `α` of the scan-statistics test (Eq. 5).
+    pub alpha: f64,
+    /// Reference horizon for the scan statistic, in clips (`N` = horizon ×
+    /// OUs per clip for each predicate kind).
+    pub horizon_clips: u64,
+    /// Initial background probability for every object predicate
+    /// (`p_obj₀`).
+    pub p0_obj: f64,
+    /// Initial background probability for the action predicate (`p_act₀`).
+    pub p0_act: f64,
+    /// SVAQ vs SVAQD.
+    pub policy: ParameterPolicy,
+}
+
+impl OnlineConfig {
+    /// SVAQ with the paper's defaults: thresholds 0.5, α = 0.05, a
+    /// 200-clip horizon, and `p₀ = 10⁻⁴` (the value §5.2 fixes after the
+    /// Figure-2 sensitivity sweep).
+    pub fn svaq() -> Self {
+        Self {
+            t_obj: 0.5,
+            t_act: 0.5,
+            alpha: 0.05,
+            horizon_clips: 200,
+            p0_obj: 1e-4,
+            p0_act: 1e-4,
+            policy: ParameterPolicy::Static,
+        }
+    }
+
+    /// SVAQD with the paper's defaults and a 60-clip kernel bandwidth.
+    pub fn svaqd() -> Self {
+        Self {
+            policy: ParameterPolicy::Dynamic {
+                bandwidth_clips: 60.0,
+                update: UpdatePolicy::EveryClip,
+            },
+            ..Self::svaq()
+        }
+    }
+
+    /// Overrides both initial background probabilities.
+    pub fn with_p0(mut self, p0: f64) -> Self {
+        self.p0_obj = p0;
+        self.p0_act = p0;
+        self
+    }
+
+    /// Validates field domains.
+    pub fn validate(&self) -> Result<()> {
+        for (name, v) in [("t_obj", self.t_obj), ("t_act", self.t_act)] {
+            if !(0.0..=1.0).contains(&v) {
+                return Err(VaqError::InvalidConfig(format!("{name}={v} outside [0,1]")));
+            }
+        }
+        if !(self.alpha > 0.0 && self.alpha < 1.0) {
+            return Err(VaqError::InvalidConfig(format!(
+                "alpha={} outside (0,1)",
+                self.alpha
+            )));
+        }
+        if self.horizon_clips < 2 {
+            return Err(VaqError::InvalidConfig(
+                "horizon must span at least 2 clips".into(),
+            ));
+        }
+        for (name, v) in [("p0_obj", self.p0_obj), ("p0_act", self.p0_act)] {
+            if !(0.0..=1.0).contains(&v) {
+                return Err(VaqError::InvalidConfig(format!("{name}={v} outside [0,1]")));
+            }
+        }
+        if let ParameterPolicy::Dynamic {
+            bandwidth_clips, ..
+        } = self.policy
+        {
+            if !(bandwidth_clips.is_finite() && bandwidth_clips > 0.0) {
+                return Err(VaqError::InvalidConfig(format!(
+                    "kernel bandwidth {bandwidth_clips} must be positive"
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_validate() {
+        OnlineConfig::svaq().validate().unwrap();
+        OnlineConfig::svaqd().validate().unwrap();
+    }
+
+    #[test]
+    fn svaqd_differs_only_in_policy() {
+        let a = OnlineConfig::svaq();
+        let b = OnlineConfig::svaqd();
+        assert_eq!(a.policy, ParameterPolicy::Static);
+        assert!(matches!(b.policy, ParameterPolicy::Dynamic { .. }));
+        assert_eq!(a.alpha, b.alpha);
+        assert_eq!(a.p0_obj, b.p0_obj);
+    }
+
+    #[test]
+    fn with_p0_sets_both() {
+        let c = OnlineConfig::svaq().with_p0(0.01);
+        assert_eq!(c.p0_obj, 0.01);
+        assert_eq!(c.p0_act, 0.01);
+    }
+
+    #[test]
+    fn invalid_fields_rejected() {
+        assert!(OnlineConfig { t_obj: 1.5, ..OnlineConfig::svaq() }.validate().is_err());
+        assert!(OnlineConfig { alpha: 0.0, ..OnlineConfig::svaq() }.validate().is_err());
+        assert!(OnlineConfig { horizon_clips: 1, ..OnlineConfig::svaq() }.validate().is_err());
+        assert!(OnlineConfig { p0_act: -0.2, ..OnlineConfig::svaq() }.validate().is_err());
+        let bad = OnlineConfig {
+            policy: ParameterPolicy::Dynamic {
+                bandwidth_clips: 0.0,
+                update: UpdatePolicy::EveryClip,
+            },
+            ..OnlineConfig::svaq()
+        };
+        assert!(bad.validate().is_err());
+    }
+}

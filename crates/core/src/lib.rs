@@ -1,0 +1,33 @@
+//! # vaq-core
+//!
+//! The paper's primary contribution: query processing for actions and
+//! objects over videos.
+//!
+//! * [`online`] — the streaming case (§3). [`online::OnlineEngine`]
+//!   implements both **SVAQ** (Algorithm 1: static background probabilities
+//!   fixed a priori) and **SVAQD** (Algorithm 3: background probabilities
+//!   re-estimated by the exponential-kernel smoother, critical values
+//!   recomputed as the stream drifts), differing only in their
+//!   [`config::ParameterPolicy`]. Clip evaluation follows Algorithm 2,
+//!   including its short-circuit predicate order.
+//! * [`offline`] — the repository case (§4). [`offline::ingest`] is the
+//!   one-time ingestion phase (clip score tables + individual sequences per
+//!   type, §4.2); [`offline::rvaq`] is the RVAQ bound-refinement top-K
+//!   algorithm (Algorithm 4) over the [`offline::tbclip`] top/bottom
+//!   iterator (Algorithm 5); [`offline::baselines`] holds the three
+//!   comparison algorithms of §5.1 (FA, RVAQ-noSkip, Pq-Traverse);
+//!   [`offline::scoring`] is the monotone scoring-function framework of
+//!   §4.1 with the paper's sample instantiation.
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod offline;
+pub mod online;
+
+pub use config::{OnlineConfig, ParameterPolicy, UpdatePolicy};
+pub use offline::ingest::{ingest, IngestOutput};
+pub use offline::repository::{query_repository, RepoResult, Repository};
+pub use offline::rvaq::{rvaq, RvaqOptions, TopKResult};
+pub use offline::scoring::{PaperScoring, ScoringModel};
+pub use online::engine::{OnlineEngine, OnlineResult};

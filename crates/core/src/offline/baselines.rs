@@ -1,0 +1,369 @@
+//! The offline comparison algorithms of §5.1.
+//!
+//! * [`fa`] — Fagin's Algorithm adapted to sequences: sorted access in
+//!   parallel over the queried tables produces clips in rank order; every
+//!   newly seen clip is completed by random accesses (including clips that
+//!   turn out to lie outside `P_q` — the adaptation's fundamental waste);
+//!   the run ends when every clip of every candidate sequence has been
+//!   produced, because sequence scores need all their clips.
+//! * [`rvaq_noskip`] — RVAQ with the §4.3 skip mechanism disabled
+//!   (bounds still refine and the stopping condition still applies, but no
+//!   clip is ever added to `C_skip` beyond the initial `C(X) \ C(P_q)`).
+//! * [`pq_traverse`] — scores every clip of every sequence in `P_q`
+//!   directly (one lookup per queried table per clip) and sorts; its cost is
+//!   exactly proportional to `|C(P_q)|` and independent of `K`.
+
+use crate::offline::rvaq::{rvaq, RvaqOptions, TopKResult};
+use crate::offline::scoring::ScoringModel;
+use crate::offline::tbclip::QueryTables;
+use std::collections::HashMap;
+use std::time::Instant;
+use vaq_types::{ClipId, ClipInterval, SequenceSet};
+
+/// RVAQ without the skip mechanism (the paper's RVAQ-noSkip).
+pub fn rvaq_noskip(
+    tables: &QueryTables<'_>,
+    pq: &SequenceSet,
+    scoring: &dyn ScoringModel,
+    k: usize,
+) -> TopKResult {
+    rvaq(tables, pq, scoring, &RvaqOptions::no_skip(k))
+}
+
+/// The `P_q`-Traverse baseline: direct scoring of all candidate clips.
+pub fn pq_traverse(
+    tables: &QueryTables<'_>,
+    pq: &SequenceSet,
+    scoring: &dyn ScoringModel,
+    k: usize,
+) -> TopKResult {
+    let started = Instant::now();
+    tables.reset_stats();
+    let mut sequences: Vec<(ClipInterval, f64)> = pq
+        .intervals()
+        .iter()
+        .map(|&iv| {
+            let score = iv.clips().fold(scoring.f_identity(), |acc, c| {
+                scoring.f_combine(acc, tables.clip_score(c, scoring))
+            });
+            (iv, score)
+        })
+        .collect();
+    sequences.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+    sequences.truncate(k);
+    TopKResult {
+        sequences,
+        stats: tables.stats(),
+        wall_ms: started.elapsed().as_secs_f64() * 1e3,
+        iterations: pq.total_clips(),
+    }
+}
+
+/// Fagin's Algorithm adapted to sequence results (§5.1's FA baseline).
+pub fn fa(
+    tables: &QueryTables<'_>,
+    pq: &SequenceSet,
+    scoring: &dyn ScoringModel,
+    k: usize,
+) -> TopKResult {
+    let started = Instant::now();
+    tables.reset_stats();
+    let num_tables = tables.num_tables();
+    let max_len = tables.max_len();
+
+    let needed: u64 = pq.total_clips();
+    let mut produced = 0u64;
+    let mut scores: HashMap<ClipId, f64> = HashMap::new();
+    let mut seen_count: HashMap<ClipId, u32> = HashMap::new();
+    let mut seq_scores: Vec<f64> = vec![scoring.f_identity(); pq.len()];
+    let mut stamp = 0usize;
+    let mut iterations = 0u64;
+
+    while produced < needed && stamp < max_len {
+        iterations += 1;
+        for ti in 0..num_tables {
+            let table = if ti == 0 {
+                tables.action
+            } else {
+                tables.objects[ti - 1]
+            };
+            let Some(row) = table.sorted_access(stamp) else {
+                continue;
+            };
+            let count = seen_count.entry(row.clip).or_insert(0);
+            *count += 1;
+            if *count == 1 {
+                // First sighting: complete the clip's score by random
+                // accesses to every table (FA has no bound machinery to
+                // defer them, and clips outside P_q are completed too —
+                // the row's membership is only known afterwards).
+                let s = tables.clip_score(row.clip, scoring);
+                scores.insert(row.clip, s);
+                if let Some(j) = pq.find(row.clip) {
+                    seq_scores[j] = scoring.f_combine(seq_scores[j], s);
+                    produced += 1;
+                }
+            }
+        }
+        stamp += 1;
+    }
+
+    let mut sequences: Vec<(ClipInterval, f64)> = pq
+        .intervals()
+        .iter()
+        .zip(seq_scores)
+        .map(|(&iv, s)| (iv, s))
+        .collect();
+    sequences.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+    sequences.truncate(k);
+    TopKResult {
+        sequences,
+        stats: tables.stats(),
+        wall_ms: started.elapsed().as_secs_f64() * 1e3,
+        iterations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::offline::scoring::PaperScoring;
+    use vaq_storage::{CostModel, MemTable, ScoreRow};
+
+    /// 60 clips; P_q covers three 5-clip sequences; the rest is noise that
+    /// FA must wade through.
+    fn setup() -> (MemTable, MemTable, SequenceSet) {
+        let mut action = Vec::new();
+        let mut object = Vec::new();
+        for c in 0..60u64 {
+            let in_seq = matches!(c, 5..=9 | 25..=29 | 45..=49);
+            let boost = if in_seq { (c / 20 + 1) as f64 } else { 0.4 };
+            // Noise clips climb to ~1.1 in the action table, interleaving
+            // above the weakest candidate sequence — FA must wade through
+            // them (and random-access them) before it can finish.
+            let action_score = if in_seq {
+                boost + (c as f64 * 0.003)
+            } else {
+                0.2 + c as f64 * 0.015
+            };
+            action.push(ScoreRow {
+                clip: ClipId::new(c),
+                score: action_score,
+            });
+            object.push(ScoreRow {
+                clip: ClipId::new(c),
+                score: 1.0 + boost,
+            });
+        }
+        let pq = SequenceSet::from_intervals(vec![
+            ClipInterval::new(5, 9),
+            ClipInterval::new(25, 29),
+            ClipInterval::new(45, 49),
+        ]);
+        (
+            MemTable::new(action, CostModel::FREE),
+            MemTable::new(object, CostModel::FREE),
+            pq,
+        )
+    }
+
+    #[test]
+    fn all_algorithms_agree_on_topk() {
+        let (a, o, pq) = setup();
+        let tables = QueryTables {
+            action: &a,
+            objects: vec![&o],
+        };
+        for k in 1..=3 {
+            let r_rvaq = rvaq(&tables, &pq, &PaperScoring, &RvaqOptions::new(k));
+            let r_noskip = rvaq_noskip(&tables, &pq, &PaperScoring, k);
+            let r_trav = pq_traverse(&tables, &pq, &PaperScoring, k);
+            let r_fa = fa(&tables, &pq, &PaperScoring, k);
+            for other in [&r_noskip, &r_trav, &r_fa] {
+                assert_eq!(r_rvaq.sequences.len(), other.sequences.len(), "k={k}");
+                for (x, y) in r_rvaq.sequences.iter().zip(&other.sequences) {
+                    assert_eq!(x.0, y.0, "k={k}");
+                    assert!((x.1 - y.1).abs() < 1e-9, "k={k}: {} vs {}", x.1, y.1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cost_ordering_matches_paper() {
+        let (a, o, pq) = setup();
+        let tables = QueryTables {
+            action: &a,
+            objects: vec![&o],
+        };
+        let k = 1;
+        let r_rvaq = rvaq(&tables, &pq, &PaperScoring, &RvaqOptions::new(k));
+        let r_noskip = rvaq_noskip(&tables, &pq, &PaperScoring, k);
+        let r_fa = fa(&tables, &pq, &PaperScoring, k);
+        // FA wastes random accesses on clips outside P_q.
+        assert!(
+            r_fa.stats.random > r_noskip.stats.random,
+            "FA {} vs noSkip {}",
+            r_fa.stats.random,
+            r_noskip.stats.random
+        );
+        assert!(
+            r_noskip.stats.random >= r_rvaq.stats.random,
+            "noSkip {} vs RVAQ {}",
+            r_noskip.stats.random,
+            r_rvaq.stats.random
+        );
+    }
+
+    #[test]
+    fn pq_traverse_cost_independent_of_k() {
+        let (a, o, pq) = setup();
+        let tables = QueryTables {
+            action: &a,
+            objects: vec![&o],
+        };
+        let r1 = pq_traverse(&tables, &pq, &PaperScoring, 1);
+        let r3 = pq_traverse(&tables, &pq, &PaperScoring, 3);
+        assert_eq!(r1.stats.total(), r3.stats.total());
+        // 15 candidate clips × 2 tables.
+        assert_eq!(r1.stats.random, 30);
+    }
+
+    #[test]
+    fn fa_produces_every_candidate_clip() {
+        let (a, o, pq) = setup();
+        let tables = QueryTables {
+            action: &a,
+            objects: vec![&o],
+        };
+        let r = fa(&tables, &pq, &PaperScoring, 3);
+        // Scores of all three sequences are fully computed.
+        assert_eq!(r.sequences.len(), 3);
+        assert!(r.sequences.iter().all(|(_, s)| *s > 0.0));
+    }
+
+    mod agreement {
+        use super::super::*;
+        use crate::offline::scoring::{MaxScoring, PaperScoring};
+        use proptest::prelude::*;
+        use vaq_storage::{CostModel, MemTable, ScoreRow};
+
+        /// Random workload: disjoint candidate sequences with random
+        /// per-clip scores in two tables, plus non-candidate noise clips.
+        fn arb_workload() -> impl Strategy<Value = (Vec<f64>, Vec<f64>, SequenceSet)> {
+            (
+                proptest::collection::vec((1u64..6, 1u64..4), 1..7),
+                proptest::num::u64::ANY,
+            )
+                .prop_map(|(shape, seed)| {
+                    // Deterministic pseudo-random scores from the seed.
+                    let mut state = seed | 1;
+                    let mut next = move || {
+                        state = state
+                            .wrapping_mul(6364136223846793005)
+                            .wrapping_add(1442695040888963407);
+                        ((state >> 33) as f64) / (1u64 << 31) as f64
+                    };
+                    let mut intervals = Vec::new();
+                    let mut cursor = 0u64;
+                    for &(len, gap) in &shape {
+                        intervals.push(ClipInterval::new(cursor, cursor + len - 1));
+                        cursor += len + gap;
+                    }
+                    let total = cursor + 3;
+                    let action: Vec<f64> = (0..total).map(|_| next() * 10.0).collect();
+                    let object: Vec<f64> = (0..total).map(|_| next() * 5.0).collect();
+                    (action, object, SequenceSet::from_intervals(intervals))
+                })
+        }
+
+        fn tables(scores: &[f64]) -> MemTable {
+            MemTable::new(
+                scores
+                    .iter()
+                    .enumerate()
+                    .map(|(c, &s)| ScoreRow {
+                        clip: ClipId::new(c as u64),
+                        score: s,
+                    })
+                    .collect(),
+                CostModel::FREE,
+            )
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(48))]
+
+            /// RVAQ, RVAQ-noSkip, FA and Pq-Traverse must return the same
+            /// top-K intervals and scores on any workload — for both
+            /// conforming scoring models.
+            #[test]
+            fn prop_all_algorithms_agree(
+                (action, object, pq) in arb_workload(),
+                k in 1usize..5,
+            ) {
+                let a = tables(&action);
+                let o = tables(&object);
+                let qt = QueryTables { action: &a, objects: vec![&o] };
+                let k = k.min(pq.len());
+                for scoring in [&PaperScoring as &dyn crate::offline::scoring::ScoringModel,
+                                &MaxScoring] {
+                    let reference = pq_traverse(&qt, &pq, scoring, k);
+                    for result in [
+                        rvaq(&qt, &pq, scoring, &RvaqOptions::new(k)),
+                        rvaq_noskip(&qt, &pq, scoring, k),
+                        fa(&qt, &pq, scoring, k),
+                    ] {
+                        prop_assert_eq!(result.sequences.len(), reference.sequences.len());
+                        for (x, y) in result.sequences.iter().zip(&reference.sequences) {
+                            prop_assert!((x.1 - y.1).abs() < 1e-9,
+                                "score mismatch {} vs {}", x.1, y.1);
+                        }
+                        // Interval sets must match (order may differ on ties).
+                        let mut got: Vec<_> = result.sequences.iter().map(|s| s.0).collect();
+                        let mut want: Vec<_> = reference.sequences.iter().map(|s| s.0).collect();
+                        got.sort();
+                        want.sort();
+                        prop_assert_eq!(got, want);
+                    }
+                }
+            }
+
+            /// RVAQ's reported scores equal the direct fold of clip scores.
+            #[test]
+            fn prop_rvaq_scores_are_exact(
+                (action, object, pq) in arb_workload(),
+            ) {
+                let a = tables(&action);
+                let o = tables(&object);
+                let qt = QueryTables { action: &a, objects: vec![&o] };
+                let scoring = PaperScoring;
+                let result = rvaq(&qt, &pq, &scoring, &RvaqOptions::new(pq.len()));
+                for (iv, score) in &result.sequences {
+                    let direct: f64 = iv
+                        .clips()
+                        .map(|c| qt.clip_score(c, &scoring))
+                        .sum();
+                    prop_assert!((score - direct).abs() < 1e-9);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_pq_is_graceful_everywhere() {
+        let (a, o, _) = setup();
+        let tables = QueryTables {
+            action: &a,
+            objects: vec![&o],
+        };
+        let empty = SequenceSet::empty();
+        assert!(fa(&tables, &empty, &PaperScoring, 3).sequences.is_empty());
+        assert!(pq_traverse(&tables, &empty, &PaperScoring, 3)
+            .sequences
+            .is_empty());
+        assert!(rvaq_noskip(&tables, &empty, &PaperScoring, 3)
+            .sequences
+            .is_empty());
+    }
+}

@@ -1,0 +1,86 @@
+//! Candidate sequences `P_q` — paper Eq. 12.
+//!
+//! A clip can satisfy a query only if it lies in every queried type's
+//! individual sequences; the candidates are
+//! `P_q = P_a ⊗ P_{o_1} ⊗ … ⊗ P_{o_I}`, computed by the interval sweep in
+//! [`vaq_types::SequenceSet::intersect`].
+
+use crate::offline::ingest::IngestOutput;
+use vaq_storage::{TableKey, VideoCatalog};
+use vaq_types::{Query, Result, SequenceSet, VaqError};
+
+/// Computes `P_q` from explicitly provided individual sequences
+/// (action first, then objects in query order).
+pub fn candidates(action: &SequenceSet, objects: &[&SequenceSet]) -> SequenceSet {
+    let mut acc = action.clone();
+    for o in objects {
+        if acc.is_empty() {
+            break;
+        }
+        acc = acc.intersect(o);
+    }
+    acc
+}
+
+/// Computes `P_q` from an in-memory ingestion output.
+pub fn candidates_from_ingest(out: &IngestOutput, query: &Query) -> Result<SequenceSet> {
+    let action = out
+        .action_sequences
+        .get(&query.action)
+        .ok_or_else(|| VaqError::InvalidQuery(format!("action {} not ingested", query.action)))?;
+    let objects = query
+        .objects
+        .iter()
+        .map(|o| {
+            out.object_sequences
+                .get(o)
+                .ok_or_else(|| VaqError::InvalidQuery(format!("object {o} not ingested")))
+        })
+        .collect::<Result<Vec<_>>>()?;
+    Ok(candidates(action, &objects))
+}
+
+/// Computes `P_q` from an opened catalog.
+pub fn candidates_from_catalog(catalog: &VideoCatalog, query: &Query) -> Result<SequenceSet> {
+    let action = catalog.sequences(TableKey::Action(query.action))?;
+    let objects = query
+        .objects
+        .iter()
+        .map(|&o| catalog.sequences(TableKey::Object(o)))
+        .collect::<Result<Vec<_>>>()?;
+    Ok(candidates(action, &objects))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vaq_types::ClipInterval;
+
+    fn set(ivs: &[(u64, u64)]) -> SequenceSet {
+        SequenceSet::from_intervals(ivs.iter().map(|&(s, e)| ClipInterval::new(s, e)).collect())
+    }
+
+    #[test]
+    fn intersection_over_all_predicates() {
+        let action = set(&[(0, 100)]);
+        let o1 = set(&[(10, 40), (60, 90)]);
+        let o2 = set(&[(20, 70)]);
+        let pq = candidates(&action, &[&o1, &o2]);
+        assert_eq!(pq, set(&[(20, 40), (60, 70)]));
+    }
+
+    #[test]
+    fn empty_object_sequences_short_circuit() {
+        let action = set(&[(0, 100)]);
+        let empty = SequenceSet::empty();
+        let o2 = set(&[(20, 70)]);
+        let pq = candidates(&action, &[&empty, &o2]);
+        assert!(pq.is_empty());
+    }
+
+    #[test]
+    fn action_only_query_returns_action_sequences() {
+        let action = set(&[(5, 9)]);
+        assert_eq!(candidates(&action, &[]), action);
+    }
+}

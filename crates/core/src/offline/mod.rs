@@ -1,0 +1,25 @@
+//! The offline (repository) case — paper §4.
+//!
+//! * [`scoring`] — the monotone scoring framework (§4.1): `h` combines a
+//!   type's detection scores within a clip, `g` combines per-type clip
+//!   scores into `S_q(c)`, `f` (with its aggregation operator `⊙`) combines
+//!   clip scores into sequence scores.
+//! * [`ingest`] — the one-time ingestion phase (§4.2): runs the models over
+//!   every clip for *every* type in their universes, materializing clip
+//!   score tables and the per-type individual sequences into a
+//!   [`vaq_storage::VideoCatalog`].
+//! * [`candidates`] — computing `P_q = P_a ⊗ P_{o_1} ⊗ … ⊗ P_{o_I}`
+//!   (Eq. 12) by interval sweep.
+//! * [`tbclip`] — the TBClip top/bottom iterator (Algorithm 5).
+//! * [`rvaq`] — RVAQ (Algorithm 4): bound refinement with skipping.
+//! * [`baselines`] — FA, RVAQ-noSkip and Pq-Traverse (§5.1).
+//! * [`repository`] — multi-video repositories (directories of catalogs)
+//!   with cross-video top-K ranking.
+
+pub mod baselines;
+pub mod candidates;
+pub mod ingest;
+pub mod repository;
+pub mod rvaq;
+pub mod scoring;
+pub mod tbclip;

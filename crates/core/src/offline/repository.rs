@@ -1,0 +1,251 @@
+//! Multi-video repositories.
+//!
+//! The paper notes (§4.2) that multiple videos are handled "by associating
+//! a video identifier to each clip identifier" — operationally, a
+//! repository is a directory of per-video ingestion catalogs, queried by
+//! running RVAQ per video and merging the ranked results. Adding or
+//! removing a video is adding or removing its catalog directory; no global
+//! state is rebuilt.
+
+use crate::offline::candidates::candidates_from_catalog;
+use crate::offline::rvaq::{rvaq, RvaqOptions};
+use crate::offline::scoring::ScoringModel;
+use crate::offline::tbclip::QueryTables;
+use std::fs;
+use std::path::PathBuf;
+use vaq_storage::{AccessStats, ClipScoreTable, CostModel, TableKey, VideoCatalog};
+use vaq_types::{ClipInterval, Query, Result, VaqError};
+
+/// A directory of per-video ingestion catalogs.
+pub struct Repository {
+    root: PathBuf,
+    catalogs: Vec<VideoCatalog>,
+    cost: CostModel,
+}
+
+impl Repository {
+    /// Opens every catalog under `root` (direct subdirectories holding a
+    /// `manifest.json`). Subdirectories without a manifest are ignored —
+    /// a crashed ingestion leaves no manifest and therefore no half-read
+    /// video.
+    pub fn open(root: impl Into<PathBuf>, cost: CostModel) -> Result<Self> {
+        let root = root.into();
+        let mut catalogs = Vec::new();
+        for entry in fs::read_dir(&root)? {
+            let path = entry?.path();
+            if path.is_dir() && path.join("manifest.json").exists() {
+                catalogs.push(VideoCatalog::open(&path, cost)?);
+            }
+        }
+        catalogs.sort_by(|a, b| a.manifest().name.cmp(&b.manifest().name));
+        Ok(Self {
+            root,
+            catalogs,
+            cost,
+        })
+    }
+
+    /// Ingests `output` into the repository as `root/<video name>` and
+    /// registers it.
+    pub fn add(&mut self, output: &crate::offline::ingest::IngestOutput) -> Result<()> {
+        let dir = self.root.join(&output.name);
+        if dir.exists() {
+            return Err(VaqError::Storage(format!(
+                "repository already holds a video named {:?}",
+                output.name
+            )));
+        }
+        output.write_catalog(&dir)?;
+        self.catalogs.push(VideoCatalog::open(&dir, self.cost)?);
+        self.catalogs
+            .sort_by(|a, b| a.manifest().name.cmp(&b.manifest().name));
+        Ok(())
+    }
+
+    /// Number of videos.
+    pub fn len(&self) -> usize {
+        self.catalogs.len()
+    }
+
+    /// Whether the repository holds no videos.
+    pub fn is_empty(&self) -> bool {
+        self.catalogs.is_empty()
+    }
+
+    /// Video names, sorted.
+    pub fn names(&self) -> Vec<&str> {
+        self.catalogs
+            .iter()
+            .map(|c| c.manifest().name.as_str())
+            .collect()
+    }
+
+    /// The catalog of a named video.
+    pub fn catalog(&self, name: &str) -> Option<&VideoCatalog> {
+        self.catalogs.iter().find(|c| c.manifest().name == name)
+    }
+}
+
+/// One repository-level result: a sequence in a specific video.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RepoResult {
+    /// The video the sequence comes from.
+    pub video: String,
+    /// The sequence.
+    pub interval: ClipInterval,
+    /// Its ranking score.
+    pub score: f64,
+}
+
+/// Top-K sequences across every video of the repository. Videos that were
+/// ingested without one of the queried types simply contribute no
+/// candidates (the type never appeared in them).
+pub fn query_repository(
+    repo: &Repository,
+    query: &Query,
+    scoring: &dyn ScoringModel,
+    k: usize,
+) -> Result<(Vec<RepoResult>, AccessStats)> {
+    let mut merged: Vec<RepoResult> = Vec::new();
+    let mut stats = AccessStats::default();
+    for catalog in &repo.catalogs {
+        let queried_present = catalog.has_table(TableKey::Action(query.action))
+            && query
+                .objects
+                .iter()
+                .all(|&o| catalog.has_table(TableKey::Object(o)));
+        if !queried_present {
+            continue;
+        }
+        let pq = candidates_from_catalog(catalog, query)?;
+        if pq.is_empty() {
+            continue;
+        }
+        let action_table = catalog.table(TableKey::Action(query.action))?;
+        let object_tables: Vec<_> = query
+            .objects
+            .iter()
+            .map(|&o| catalog.table(TableKey::Object(o)))
+            .collect::<Result<_>>()?;
+        let tables = QueryTables {
+            action: &action_table,
+            objects: object_tables
+                .iter()
+                .map(|t| t as &dyn ClipScoreTable)
+                .collect(),
+        };
+        let result = rvaq(&tables, &pq, scoring, &RvaqOptions::new(k));
+        stats = stats.merge(&result.stats);
+        merged.extend(result.sequences.into_iter().map(|(interval, score)| {
+            RepoResult {
+                video: catalog.manifest().name.clone(),
+                interval,
+                score,
+            }
+        }));
+    }
+    merged.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal));
+    merged.truncate(k);
+    Ok((merged, stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::offline::ingest::ingest;
+    use crate::offline::scoring::PaperScoring;
+    use crate::OnlineConfig;
+    use vaq_detect::{profiles, IouTracker, SimulatedActionRecognizer, SimulatedObjectDetector};
+    use vaq_types::{ActionType, ObjectType, VideoGeometry};
+    use vaq_video::SceneScriptBuilder;
+
+    fn o(i: u32) -> ObjectType {
+        ObjectType::new(i)
+    }
+    fn a(i: u32) -> ActionType {
+        ActionType::new(i)
+    }
+
+    /// Two videos: the second's sequence scores higher (more instances).
+    fn make_repo(tag: &str) -> (Repository, Query) {
+        let root = std::env::temp_dir().join(format!("vaq-repo-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&root);
+        fs::create_dir_all(&root).unwrap();
+        let det = SimulatedObjectDetector::new(profiles::ideal_object(), 8, 1);
+        let rec = SimulatedActionRecognizer::new(profiles::ideal_action(), 4, 1);
+        let mut repo = Repository::open(&root, CostModel::FREE).unwrap();
+
+        for (name, instances) in [("alpha", 1u32), ("beta", 3u32)] {
+            let mut b = SceneScriptBuilder::new(1000, VideoGeometry::PAPER_DEFAULT);
+            for _ in 0..instances {
+                b.object_span(o(1), 100, 600).unwrap();
+            }
+            b.action_span(a(0), 200, 500).unwrap();
+            let script = b.build();
+            let mut tracker = IouTracker::new(profiles::ideal_tracker(), 1);
+            let out = ingest(&script, name, &det, &rec, &mut tracker, &OnlineConfig::svaqd())
+                .unwrap();
+            repo.add(&out).unwrap();
+        }
+        (repo, Query::new(a(0), vec![o(1)]))
+    }
+
+    #[test]
+    fn repository_opens_and_lists_videos() {
+        let (repo, _) = make_repo("list");
+        assert_eq!(repo.len(), 2);
+        assert_eq!(repo.names(), vec!["alpha", "beta"]);
+        assert!(repo.catalog("alpha").is_some());
+        assert!(repo.catalog("gamma").is_none());
+    }
+
+    #[test]
+    fn cross_video_ranking_prefers_the_stronger_video() {
+        let (repo, query) = make_repo("rank");
+        let (results, stats) = query_repository(&repo, &query, &PaperScoring, 2).unwrap();
+        assert_eq!(results.len(), 2);
+        assert_eq!(results[0].video, "beta", "3 instances outscore 1");
+        assert_eq!(results[1].video, "alpha");
+        assert!(results[0].score > results[1].score);
+        assert!(stats.total() > 0);
+    }
+
+    #[test]
+    fn k_truncates_across_videos() {
+        let (repo, query) = make_repo("k1");
+        let (results, _) = query_repository(&repo, &query, &PaperScoring, 1).unwrap();
+        assert_eq!(results.len(), 1);
+        assert_eq!(results[0].video, "beta");
+    }
+
+    #[test]
+    fn videos_without_the_queried_action_contribute_nothing() {
+        let (repo, _) = make_repo("absent");
+        let query = Query::new(a(3), vec![o(1)]); // action never occurs
+        let (results, _) = query_repository(&repo, &query, &PaperScoring, 3).unwrap();
+        assert!(results.is_empty());
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let (mut repo, _) = make_repo("dup");
+        let det = SimulatedObjectDetector::new(profiles::ideal_object(), 8, 1);
+        let rec = SimulatedActionRecognizer::new(profiles::ideal_action(), 4, 1);
+        let mut b = SceneScriptBuilder::new(100, VideoGeometry::PAPER_DEFAULT);
+        b.object_span(o(1), 0, 100).unwrap();
+        let script = b.build();
+        let mut tracker = IouTracker::new(profiles::ideal_tracker(), 1);
+        let out =
+            ingest(&script, "alpha", &det, &rec, &mut tracker, &OnlineConfig::svaqd()).unwrap();
+        assert!(repo.add(&out).is_err());
+    }
+
+    #[test]
+    fn non_catalog_directories_ignored() {
+        let root = std::env::temp_dir().join(format!("vaq-repo-ignore-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&root);
+        fs::create_dir_all(root.join("not-a-catalog")).unwrap();
+        let repo = Repository::open(&root, CostModel::FREE).unwrap();
+        assert!(repo.is_empty());
+    }
+}

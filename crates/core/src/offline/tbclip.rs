@@ -1,0 +1,476 @@
+//! The TBClip top/bottom iterator — paper Algorithm 5.
+//!
+//! Each invocation delivers the next *top* clip (highest `S_q(c)` among
+//! candidates not yet processed) and the next *bottom* clip (lowest score),
+//! by:
+//!
+//! 1. sorted access in parallel over all queried tables from a shared row
+//!    stamp until at least one *new* clip has been seen in **all** tables
+//!    (Fagin-style completeness guarantee for monotone `g`);
+//! 2. random accesses to complete the scores of newly seen clips (skipped
+//!    clips are never scored — "imposing no random access overhead");
+//! 3–4. the mirror-image steps from the bottom via reverse access.
+//!
+//! The caller supplies a skip predicate realizing the paper's `C_skip`: it
+//! starts as "everything outside `P_q`" and grows as RVAQ decides sequences
+//! conclusively in or out.
+
+use crate::offline::scoring::ScoringModel;
+use std::collections::{HashMap, HashSet};
+use vaq_storage::{AccessStats, ClipScoreTable, ScoreRow};
+use vaq_types::ClipId;
+
+/// The clip score tables a query touches: the action's plus one per object
+/// predicate (query order).
+pub struct QueryTables<'t> {
+    /// `table_a`.
+    pub action: &'t dyn ClipScoreTable,
+    /// `table_{o_1}` … `table_{o_I}`.
+    pub objects: Vec<&'t dyn ClipScoreTable>,
+}
+
+impl<'t> QueryTables<'t> {
+    /// Number of tables (`I + 1`).
+    pub fn num_tables(&self) -> usize {
+        1 + self.objects.len()
+    }
+
+    /// Longest table length (bounds the shared row stamp).
+    pub fn max_len(&self) -> usize {
+        self.objects
+            .iter()
+            .map(|t| t.len())
+            .chain(std::iter::once(self.action.len()))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Table by index: 0 is the action table, then objects in order.
+    fn table(&self, i: usize) -> &'t dyn ClipScoreTable {
+        if i == 0 {
+            self.action
+        } else {
+            self.objects[i - 1]
+        }
+    }
+
+    /// `S_q(c)` via one random access per table; absent rows contribute 0.
+    pub fn clip_score(&self, clip: ClipId, scoring: &dyn ScoringModel) -> f64 {
+        let a = self.action.random_access(clip).unwrap_or(0.0);
+        let os: Vec<f64> = self
+            .objects
+            .iter()
+            .map(|t| t.random_access(clip).unwrap_or(0.0))
+            .collect();
+        scoring.g(a, &os)
+    }
+
+    /// Merged access statistics over all tables.
+    pub fn stats(&self) -> AccessStats {
+        let mut s = self.action.stats();
+        for t in &self.objects {
+            s = s.merge(&t.stats());
+        }
+        s
+    }
+
+    /// Resets all tables' counters.
+    pub fn reset_stats(&self) {
+        self.action.reset_stats();
+        for t in &self.objects {
+            t.reset_stats();
+        }
+    }
+}
+
+/// One iterator step: the next top and bottom clips (either side may be
+/// exhausted independently).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TbStep {
+    /// Highest-scoring unprocessed candidate, with its exact `S_q(c)`.
+    pub top: Option<ScoreRow>,
+    /// Lowest-scoring unprocessed candidate.
+    pub btm: Option<ScoreRow>,
+}
+
+/// Iterator state (see module docs).
+pub struct TbClip<'t, 'q> {
+    tables: &'q QueryTables<'t>,
+    scoring: &'q dyn ScoringModel,
+    stamp_top: usize,
+    stamp_btm: usize,
+    /// Per-table scores already revealed by sorted/reverse access (the
+    /// top-k access model yields `(cid, score)` pairs, so completing a
+    /// clip's score only needs random accesses into the tables that have
+    /// *not* shown it yet).
+    partial: HashMap<ClipId, Vec<Option<f64>>>,
+    /// Distinct tables that have seen each clip via sorted access.
+    seen_top: HashMap<ClipId, u32>,
+    seen_btm: HashMap<ClipId, u32>,
+    /// Clips seen (in any table) but not yet scored.
+    unscored_top: Vec<ClipId>,
+    unscored_btm: Vec<ClipId>,
+    /// Scored candidates awaiting delivery.
+    pending_top: HashSet<ClipId>,
+    pending_btm: HashSet<ClipId>,
+    /// Exact scores of every clip scored so far (shared across sides).
+    score_cache: HashMap<ClipId, f64>,
+    processed_top: HashSet<ClipId>,
+    processed_btm: HashSet<ClipId>,
+    /// Set when a batch of sorted accesses has produced a fresh common clip.
+    fresh_common_top: usize,
+    fresh_common_btm: usize,
+}
+
+impl<'t, 'q> TbClip<'t, 'q> {
+    /// Creates the iterator over the query's tables.
+    pub fn new(tables: &'q QueryTables<'t>, scoring: &'q dyn ScoringModel) -> Self {
+        Self {
+            tables,
+            scoring,
+            stamp_top: 0,
+            stamp_btm: 0,
+            partial: HashMap::new(),
+            seen_top: HashMap::new(),
+            seen_btm: HashMap::new(),
+            unscored_top: Vec::new(),
+            unscored_btm: Vec::new(),
+            pending_top: HashSet::new(),
+            pending_btm: HashSet::new(),
+            score_cache: HashMap::new(),
+            processed_top: HashSet::new(),
+            processed_btm: HashSet::new(),
+            fresh_common_top: 0,
+            fresh_common_btm: 0,
+        }
+    }
+
+    /// The exact score of `clip`, from cache if available, otherwise by
+    /// completing the per-table scores: tables that already revealed the
+    /// clip through sorted/reverse access contribute their cached row
+    /// score; only the remaining tables cost a random access each (used by
+    /// both delivery scoring and RVAQ's exact-score finalization).
+    pub fn clip_score_cached(&mut self, clip: ClipId) -> f64 {
+        if let Some(&s) = self.score_cache.get(&clip) {
+            return s;
+        }
+        let num_tables = self.tables.num_tables();
+        let partial = self
+            .partial
+            .entry(clip)
+            .or_insert_with(|| vec![None; num_tables]);
+        let mut scores = Vec::with_capacity(num_tables);
+        for (ti, slot) in partial.iter_mut().enumerate() {
+            let v = match slot {
+                Some(v) => *v,
+                None => self
+                    .tables
+                    .table(ti)
+                    .random_access(clip)
+                    .unwrap_or(0.0),
+            };
+            scores.push(v);
+        }
+        let s = self.scoring.g(scores[0], &scores[1..]);
+        self.score_cache.insert(clip, s);
+        s
+    }
+
+    /// Advances both sides and returns the next top/bottom clips. `skip`
+    /// realizes `C_skip`; skipped clips are neither scored nor returned.
+    pub fn next(&mut self, skip: &dyn Fn(ClipId) -> bool) -> TbStep {
+        let top = self.advance_side(skip, true);
+        let btm = self.advance_side(skip, false);
+        TbStep { top, btm }
+    }
+
+    fn advance_side(&mut self, skip: &dyn Fn(ClipId) -> bool, is_top: bool) -> Option<ScoreRow> {
+        let num_tables = self.tables.num_tables() as u32;
+        let max_len = self.tables.max_len();
+
+        // Step 1: sorted (or reverse) access in parallel until a fresh
+        // common clip appears or the tables are exhausted.
+        loop {
+            let (stamp, fresh) = if is_top {
+                (&mut self.stamp_top, &mut self.fresh_common_top)
+            } else {
+                (&mut self.stamp_btm, &mut self.fresh_common_btm)
+            };
+            if *fresh > 0 || *stamp >= max_len {
+                break;
+            }
+            let row_idx = *stamp;
+            *stamp += 1;
+            for ti in 0..num_tables as usize {
+                let table = self.tables.table(ti);
+                let row = if is_top {
+                    table.sorted_access(row_idx)
+                } else {
+                    table.reverse_access(row_idx)
+                };
+                let Some(row) = row else { continue };
+                let num_tables_usize = self.tables.num_tables();
+                self.partial
+                    .entry(row.clip)
+                    .or_insert_with(|| vec![None; num_tables_usize])[ti] = Some(row.score);
+                let (seen, unscored, processed, fresh) = if is_top {
+                    (
+                        &mut self.seen_top,
+                        &mut self.unscored_top,
+                        &self.processed_top,
+                        &mut self.fresh_common_top,
+                    )
+                } else {
+                    (
+                        &mut self.seen_btm,
+                        &mut self.unscored_btm,
+                        &self.processed_btm,
+                        &mut self.fresh_common_btm,
+                    )
+                };
+                let count = seen.entry(row.clip).or_insert(0);
+                if *count == 0 {
+                    unscored.push(row.clip);
+                }
+                *count += 1;
+                if *count == num_tables && !processed.contains(&row.clip) && !skip(row.clip) {
+                    *fresh += 1;
+                }
+            }
+        }
+
+        // Step 2: random accesses for every seen-but-unscored clip.
+        let unscored = if is_top {
+            std::mem::take(&mut self.unscored_top)
+        } else {
+            std::mem::take(&mut self.unscored_btm)
+        };
+        for clip in unscored {
+            if skip(clip) {
+                continue; // never scored: no random-access overhead
+            }
+            self.clip_score_cached(clip);
+            if is_top {
+                if !self.processed_top.contains(&clip) {
+                    self.pending_top.insert(clip);
+                }
+            } else if !self.processed_btm.contains(&clip) {
+                self.pending_btm.insert(clip);
+            }
+        }
+
+        // Deliver the best pending candidate, purging skipped ones.
+        let (pending, processed, fresh) = if is_top {
+            (
+                &mut self.pending_top,
+                &mut self.processed_top,
+                &mut self.fresh_common_top,
+            )
+        } else {
+            (
+                &mut self.pending_btm,
+                &mut self.processed_btm,
+                &mut self.fresh_common_btm,
+            )
+        };
+        pending.retain(|&c| !skip(c));
+        let chosen = pending
+            .iter()
+            .map(|&c| (c, self.score_cache[&c]))
+            .reduce(|best, cand| {
+                let better = if is_top {
+                    cand.1 > best.1
+                } else {
+                    cand.1 < best.1
+                };
+                if better {
+                    cand
+                } else {
+                    best
+                }
+            });
+        let (clip, score) = chosen?;
+        pending.remove(&clip);
+        processed.insert(clip);
+        *fresh = fresh.saturating_sub(1);
+        Some(ScoreRow { clip, score })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::offline::scoring::PaperScoring;
+    use vaq_storage::{CostModel, MemTable};
+
+    fn table(rows: &[(u64, f64)]) -> MemTable {
+        MemTable::new(
+            rows.iter()
+                .map(|&(c, s)| ScoreRow {
+                    clip: ClipId::new(c),
+                    score: s,
+                })
+                .collect(),
+            CostModel::FREE,
+        )
+    }
+
+    /// Two tables over clips 0..5; g = action * sum(objects).
+    fn setup() -> (MemTable, MemTable) {
+        let action = table(&[(0, 1.0), (1, 5.0), (2, 3.0), (3, 2.0), (4, 4.0)]);
+        let object = table(&[(0, 2.0), (1, 1.0), (2, 2.0), (3, 3.0), (4, 1.0)]);
+        (action, object)
+    }
+
+    // g-scores: c0=2, c1=5, c2=6, c3=6, c4=4.
+
+    #[test]
+    fn tops_descend_bottoms_ascend() {
+        let (a, o) = setup();
+        let tables = QueryTables {
+            action: &a,
+            objects: vec![&o],
+        };
+        let scoring = PaperScoring;
+        let mut tb = TbClip::new(&tables, &scoring);
+        let no_skip = |_c: ClipId| false;
+        let mut tops = Vec::new();
+        let mut btms = Vec::new();
+        loop {
+            let step = tb.next(&no_skip);
+            if step.top.is_none() && step.btm.is_none() {
+                break;
+            }
+            if let Some(t) = step.top {
+                tops.push(t.score);
+            }
+            if let Some(b) = step.btm {
+                btms.push(b.score);
+            }
+        }
+        assert_eq!(tops.len(), 5);
+        assert_eq!(btms.len(), 5);
+        assert!(tops.windows(2).all(|w| w[0] >= w[1]), "tops {tops:?}");
+        assert!(btms.windows(2).all(|w| w[0] <= w[1]), "btms {btms:?}");
+        assert_eq!(tops[0], 6.0);
+        assert_eq!(btms[0], 2.0);
+    }
+
+    #[test]
+    fn each_side_processes_each_clip_once() {
+        let (a, o) = setup();
+        let tables = QueryTables {
+            action: &a,
+            objects: vec![&o],
+        };
+        let scoring = PaperScoring;
+        let mut tb = TbClip::new(&tables, &scoring);
+        let no_skip = |_c: ClipId| false;
+        let mut top_clips = Vec::new();
+        for _ in 0..10 {
+            let step = tb.next(&no_skip);
+            if let Some(t) = step.top {
+                top_clips.push(t.clip);
+            }
+        }
+        let mut dedup = top_clips.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), top_clips.len(), "duplicates in {top_clips:?}");
+        assert_eq!(top_clips.len(), 5);
+    }
+
+    #[test]
+    fn skipped_clips_are_never_scored_or_returned() {
+        let (a, o) = setup();
+        let tables = QueryTables {
+            action: &a,
+            objects: vec![&o],
+        };
+        let scoring = PaperScoring;
+        let mut tb = TbClip::new(&tables, &scoring);
+        // Skip clips 2 and 3 (the two best).
+        let skip = |c: ClipId| c.raw() == 2 || c.raw() == 3;
+        let step = tb.next(&skip);
+        assert_eq!(step.top.unwrap().score, 5.0, "c1 is best non-skipped");
+        let random_before = tables.stats().random;
+        // Scoring skipped clips would have cost 2 tables × 2 clips = 4 more.
+        assert_eq!(random_before % 2, 0);
+        let mut clips_seen = vec![step.top.unwrap().clip];
+        loop {
+            let step = tb.next(&skip);
+            match step.top {
+                Some(t) => clips_seen.push(t.clip),
+                None => break,
+            }
+        }
+        assert!(clips_seen.iter().all(|c| c.raw() != 2 && c.raw() != 3));
+    }
+
+    #[test]
+    fn missing_rows_contribute_zero() {
+        let action = table(&[(0, 1.0), (1, 2.0)]);
+        let object = table(&[(1, 3.0)]); // clip 0 missing
+        let tables = QueryTables {
+            action: &action,
+            objects: vec![&object],
+        };
+        let scoring = PaperScoring;
+        assert_eq!(tables.clip_score(ClipId::new(0), &scoring), 0.0);
+        assert_eq!(tables.clip_score(ClipId::new(1), &scoring), 6.0);
+    }
+
+    #[test]
+    fn random_access_counts_are_bounded_by_union() {
+        let (a, o) = setup();
+        let tables = QueryTables {
+            action: &a,
+            objects: vec![&o],
+        };
+        tables.reset_stats();
+        let scoring = PaperScoring;
+        let mut tb = TbClip::new(&tables, &scoring);
+        let no_skip = |_c: ClipId| false;
+        let _ = tb.next(&no_skip);
+        let stats = tables.stats();
+        // At most 5 clips × 2 tables random accesses in total, ever.
+        assert!(stats.random <= 10, "random={}", stats.random);
+        assert!(stats.sorted >= 2, "sorted accesses happened");
+    }
+
+    #[test]
+    fn score_cache_avoids_duplicate_random_accesses() {
+        let (a, o) = setup();
+        let tables = QueryTables {
+            action: &a,
+            objects: vec![&o],
+        };
+        tables.reset_stats();
+        let scoring = PaperScoring;
+        let mut tb = TbClip::new(&tables, &scoring);
+        let no_skip = |_c: ClipId| false;
+        while tb.next(&no_skip).top.is_some() {}
+        let after_drain = tables.stats().random;
+        // Finalization reads must hit the cache.
+        let _ = tb.clip_score_cached(ClipId::new(2));
+        assert_eq!(tables.stats().random, after_drain);
+    }
+
+    #[test]
+    fn exhausted_iterator_returns_none() {
+        let (a, o) = setup();
+        let tables = QueryTables {
+            action: &a,
+            objects: vec![&o],
+        };
+        let scoring = PaperScoring;
+        let mut tb = TbClip::new(&tables, &scoring);
+        let no_skip = |_c: ClipId| false;
+        for _ in 0..5 {
+            assert!(tb.next(&no_skip).top.is_some());
+        }
+        let step = tb.next(&no_skip);
+        assert_eq!(step.top, None);
+        assert_eq!(step.btm, None);
+    }
+}

@@ -1,0 +1,636 @@
+//! The streaming engines SVAQ and SVAQD (paper Algorithms 1 and 3).
+//!
+//! One [`OnlineEngine`] implements both: with
+//! [`ParameterPolicy::Static`](crate::config::ParameterPolicy::Static) the
+//! background probabilities (and thus critical values) are fixed at their
+//! initial values for the whole stream — Algorithm 1, SVAQ. With
+//! [`ParameterPolicy::Dynamic`](crate::config::ParameterPolicy::Dynamic)
+//! every predicate owns a [`BackgroundRateEstimator`] fed by the per-OU
+//! prediction events, and critical values are recomputed from the current
+//! estimates as the stream evolves — Algorithm 3, SVAQD.
+//!
+//! Positive clips are merged into maximal result sequences (Eq. 4) by
+//! [`OnlineEngine::sequences`].
+
+use crate::config::{OnlineConfig, ParameterPolicy, UpdatePolicy};
+use crate::online::indicator::{evaluate_clip, ClipEvaluation};
+use std::time::Instant;
+use vaq_detect::{ActionRecognizer, InferenceStats, ObjectDetector};
+use vaq_scanstats::{BackgroundRateEstimator, CriticalValueCache, ScanConfig};
+use vaq_types::{Query, Result, SequenceSet, VideoGeometry};
+use vaq_video::{ClipView, VideoStream};
+
+/// Per-predicate scan-statistics state.
+#[derive(Debug)]
+struct PredicateState {
+    cache: CriticalValueCache,
+    estimator: Option<BackgroundRateEstimator>,
+    p_current: f64,
+    k_crit: u64,
+    /// Below-threshold clip awaiting neighbor confirmation (censor
+    /// dilation; see [`PredicateState::offer`]).
+    pending: Option<Vec<bool>>,
+    /// Whether the pending clip's *predecessor* was below threshold.
+    pending_ok: bool,
+    /// Whether the last offered clip was below threshold.
+    prev_below: bool,
+}
+
+impl PredicateState {
+    fn new(scan: ScanConfig, p0: f64, policy: &ParameterPolicy, bandwidth_ou: f64) -> Result<Self> {
+        let mut cache = CriticalValueCache::new(scan);
+        let k_crit = cache.get(p0);
+        let estimator = match policy {
+            ParameterPolicy::Static => None,
+            // The prior carries ~20% of one kernel volume of pseudo-weight:
+            // enough to damp small-sample jitter over the first dozen
+            // clips, small enough that data dominates quickly — this is
+            // what makes SVAQD's accuracy insensitive to p0 (Figure 2)
+            // even on short videos.
+            ParameterPolicy::Dynamic { .. } => Some(BackgroundRateEstimator::with_prior_weight(
+                bandwidth_ou,
+                p0,
+                bandwidth_ou * 0.2,
+            )?),
+        };
+        Ok(Self {
+            cache,
+            estimator,
+            p_current: p0,
+            k_crit,
+            pending: None,
+            pending_ok: false,
+            prev_below: false,
+        })
+    }
+
+    fn feed(&mut self, events: &[bool]) {
+        if let Some(est) = &mut self.estimator {
+            est.observe_all(events.iter().copied());
+        }
+    }
+
+    /// Offers one evaluated clip's events to the background estimator with
+    /// censor *dilation*: a clip actually feeds the estimator only when it
+    /// AND both its evaluated neighbors are below the censor threshold.
+    /// Signal boundaries produce below-threshold clips that still carry
+    /// genuine events (an action covering 1–2 shots of a clip); without the
+    /// dilation those boundary clips inflate the background estimate by an
+    /// order of magnitude.
+    fn offer(&mut self, events: &[bool], count: u64) {
+        let below = count < self.censor_threshold();
+        if below {
+            if let Some(prev) = self.pending.take() {
+                if self.pending_ok {
+                    self.feed(&prev);
+                }
+            }
+            self.pending = Some(events.to_vec());
+            self.pending_ok = self.prev_below;
+        } else {
+            self.pending = None;
+        }
+        self.prev_below = below;
+    }
+
+    /// Background-censoring threshold for this predicate: clips whose event
+    /// count reaches it are signal, not background. `max(k_crit, 2)` keeps
+    /// the `k = 1` bootstrap regime feeding (see [`OnlineEngine::absorb`]),
+    /// and the half-window cap keeps OU-majority clips censored even when a
+    /// wildly pessimistic prior has pushed `k_crit` to the window length —
+    /// without it, a too-large `p₀` over a short window (e.g. 5 shots)
+    /// would let 4-of-5-count signal clips feed the estimator and lock the
+    /// estimate high forever.
+    fn censor_threshold(&self) -> u64 {
+        let half_window = self.cache.config().window.div_ceil(2);
+        self.k_crit.max(2).min(half_window).max(2)
+    }
+
+    fn refresh(&mut self) {
+        if let Some(est) = &self.estimator {
+            self.p_current = est.estimate();
+            self.k_crit = self.cache.get(self.p_current);
+        }
+    }
+}
+
+/// Per-clip decision record kept for diagnostics and the noise-elimination
+/// metrics (paper Table 5).
+#[derive(Debug, Clone)]
+pub struct ClipRecord {
+    /// Positive-frame counts per object predicate.
+    pub object_counts: Vec<u64>,
+    /// Per-object clip indicators.
+    pub object_indicators: Vec<bool>,
+    /// Positive-shot count, when the action was evaluated.
+    pub action_count: Option<u64>,
+    /// Action clip indicator, when evaluated.
+    pub action_indicator: Option<bool>,
+    /// The query indicator `𝟙_q(c)`.
+    pub indicator: bool,
+}
+
+/// Output of running an online engine over a (finite prefix of a) stream.
+#[derive(Debug, Clone)]
+pub struct OnlineResult {
+    /// The result sequences `P_q` (Eq. 4).
+    pub sequences: SequenceSet,
+    /// Per-clip decision records, in stream order.
+    pub records: Vec<ClipRecord>,
+    /// Accumulated inference/engine cost accounting.
+    pub stats: InferenceStats,
+}
+
+/// The streaming query engine (SVAQ / SVAQD by configuration).
+pub struct OnlineEngine<'m> {
+    query: Query,
+    config: OnlineConfig,
+    detector: &'m dyn ObjectDetector,
+    recognizer: &'m dyn ActionRecognizer,
+    obj_states: Vec<PredicateState>,
+    act_state: PredicateState,
+    indicators: Vec<bool>,
+    records: Vec<ClipRecord>,
+    stats: InferenceStats,
+    clips_since_refresh: u32,
+}
+
+impl<'m> OnlineEngine<'m> {
+    /// One in this many short-circuited clips still runs the action
+    /// recognizer for background estimation (see
+    /// [`Self::explore_action_background`]).
+    pub const EXPLORE_EVERY: u64 = 4;
+
+    /// Builds an engine for `query` over videos with the given geometry.
+    pub fn new(
+        query: Query,
+        config: OnlineConfig,
+        geometry: &VideoGeometry,
+        detector: &'m dyn ObjectDetector,
+        recognizer: &'m dyn ActionRecognizer,
+    ) -> Result<Self> {
+        config.validate()?;
+        query.validate()?;
+        let fpc = geometry.frames_per_clip();
+        let spc = geometry.shots_per_clip as u64;
+        let obj_scan = ScanConfig::new(fpc, config.horizon_clips * fpc, config.alpha)?;
+        let act_scan = ScanConfig::new(spc, config.horizon_clips * spc, config.alpha)?;
+        let (bw_frames, bw_shots) = match config.policy {
+            ParameterPolicy::Static => (1.0, 1.0), // unused
+            ParameterPolicy::Dynamic {
+                bandwidth_clips, ..
+            } => (bandwidth_clips * fpc as f64, bandwidth_clips * spc as f64),
+        };
+        let obj_states = query
+            .objects
+            .iter()
+            .map(|_| PredicateState::new(obj_scan, config.p0_obj, &config.policy, bw_frames))
+            .collect::<Result<Vec<_>>>()?;
+        let act_state = PredicateState::new(act_scan, config.p0_act, &config.policy, bw_shots)?;
+        Ok(Self {
+            query,
+            config,
+            detector,
+            recognizer,
+            obj_states,
+            act_state,
+            indicators: Vec::new(),
+            records: Vec::new(),
+            stats: InferenceStats::default(),
+            clips_since_refresh: 0,
+        })
+    }
+
+    /// The query being processed.
+    pub fn query(&self) -> &Query {
+        &self.query
+    }
+
+    /// Current critical values: one per object predicate, then the action's.
+    pub fn critical_values(&self) -> (Vec<u64>, u64) {
+        (
+            self.obj_states.iter().map(|s| s.k_crit).collect(),
+            self.act_state.k_crit,
+        )
+    }
+
+    /// Current background-probability estimates (initial values under SVAQ).
+    pub fn background_estimates(&self) -> (Vec<f64>, f64) {
+        (
+            self.obj_states.iter().map(|s| s.p_current).collect(),
+            self.act_state.p_current,
+        )
+    }
+
+    /// Processes one clip; returns its query indicator `𝟙_q(c)`.
+    pub fn push_clip(&mut self, clip: &ClipView) -> bool {
+        let started = Instant::now();
+        let k_obj: Vec<u64> = self.obj_states.iter().map(|s| s.k_crit).collect();
+        let evaluation = evaluate_clip(
+            &self.query,
+            clip,
+            self.detector,
+            self.recognizer,
+            self.config.t_obj,
+            self.config.t_act,
+            &k_obj,
+            self.act_state.k_crit,
+            &mut self.stats,
+        );
+        self.absorb(&evaluation);
+        self.explore_action_background(clip, &evaluation);
+        self.indicators.push(evaluation.indicator);
+        self.records.push(ClipRecord {
+            object_counts: evaluation.object_counts,
+            object_indicators: evaluation.object_indicators,
+            action_count: evaluation.action_count,
+            action_indicator: evaluation.action_indicator,
+            indicator: evaluation.indicator,
+        });
+        // Engine time excludes the *simulated* model milliseconds, which are
+        // accounted separately; what we measure here is the real bookkeeping
+        // cost standing in for the paper's non-inference time.
+        self.stats
+            .record_engine(started.elapsed().as_secs_f64() * 1e3);
+        evaluation.indicator
+    }
+
+    /// SVAQD bookkeeping after a clip: feed estimators, refresh critical
+    /// values per the update policy.
+    ///
+    /// **Censoring.** §3.2 defines the background probability as the rate of
+    /// positive predictions *"when the query predicates are not satisfied"*.
+    /// Feeding every clip into the estimator would converge it to the
+    /// overall (signal-inflated) rate, saturate the critical value at the
+    /// window length, and fragment true sequences — the estimator would
+    /// unlearn exactly the events it is meant to detect. Feeding only clips
+    /// whose indicator was negative has the opposite degeneracy: at
+    /// `k_crit = 1` the negative clips are event-free *by construction* and
+    /// the estimate collapses to zero. The robust rule, used here: a clip is
+    /// censored from background estimation only when its event count
+    /// reaches **`clamp(k_crit, 2, ⌈w/2⌉)`** — a clip flagged positive is signal and
+    /// leaves the background sample, except in the `k_crit = 1` bootstrap
+    /// regime where single-event clips (the false positives the estimator
+    /// exists to measure) must still feed it. This is self-stabilizing from
+    /// both directions: a too-small `p₀` (k = 1) still absorbs 1-event
+    /// clips and calibrates up to the detector's real false-positive rate;
+    /// a too-large `p₀` lets signal clips feed only until the critical
+    /// value settles below their counts, after which they leave the
+    /// background sample.
+    fn absorb(&mut self, evaluation: &ClipEvaluation) {
+        let ParameterPolicy::Dynamic { update, .. } = self.config.policy else {
+            return;
+        };
+        for ((state, events), &count) in self
+            .obj_states
+            .iter_mut()
+            .zip(&evaluation.object_events)
+            .zip(&evaluation.object_counts)
+        {
+            state.offer(events, count);
+        }
+        if let (Some(events), Some(count)) = (&evaluation.action_events, evaluation.action_count) {
+            self.act_state.offer(events, count);
+        }
+        self.clips_since_refresh += 1;
+        let refresh = match update {
+            UpdatePolicy::EveryClip => true,
+            UpdatePolicy::PositiveClips => evaluation.indicator,
+            UpdatePolicy::EveryNClips(n) => self.clips_since_refresh >= n,
+        };
+        if refresh {
+            self.clips_since_refresh = 0;
+            for state in &mut self.obj_states {
+                state.refresh();
+            }
+            self.act_state.refresh();
+        }
+    }
+
+    /// Background exploration for the action estimator. Short-circuiting
+    /// (Algorithm 2) means the recognizer normally runs only on clips whose
+    /// object predicates all passed — a sample *conditioned on signal
+    /// regions*, which would bias the action's background-rate estimate
+    /// upward (object and action presence are correlated; that correlation
+    /// is the whole point of the query). To keep the estimate honest, every
+    /// [`Self::EXPLORE_EVERY`]-th short-circuited clip still runs the
+    /// recognizer, purely to feed the estimator — the clip's query
+    /// indicator is already decided. The extra inference cost is accounted
+    /// like any other recognizer invocation.
+    fn explore_action_background(&mut self, clip: &ClipView, evaluation: &ClipEvaluation) {
+        const _: () = assert!(OnlineEngine::EXPLORE_EVERY > 0);
+        if !matches!(self.config.policy, ParameterPolicy::Dynamic { .. })
+            || evaluation.action_events.is_some()
+        {
+            return;
+        }
+        if clip.id.raw() % Self::EXPLORE_EVERY != 0 {
+            return;
+        }
+        let events: Vec<bool> = clip
+            .shots
+            .iter()
+            .map(|shot| {
+                self.recognizer
+                    .recognize(shot)
+                    .iter()
+                    .any(|p| p.action == self.query.action && p.score >= self.config.t_act)
+            })
+            .collect();
+        self.stats
+            .record_recognizer(clip.shots.len() as u64, self.recognizer.latency_ms());
+        let count = events.iter().filter(|&&e| e).count() as u64;
+        self.act_state.offer(&events, count);
+    }
+
+    /// Result sequences over the clips processed so far (Eq. 4).
+    pub fn sequences(&self) -> SequenceSet {
+        SequenceSet::from_indicator(&self.indicators)
+    }
+
+    /// Per-clip indicator log.
+    pub fn indicators(&self) -> &[bool] {
+        &self.indicators
+    }
+
+    /// Cost accounting so far.
+    pub fn stats(&self) -> &InferenceStats {
+        &self.stats
+    }
+
+    /// Drains a stream to its end and returns the full result.
+    pub fn run(mut self, stream: VideoStream<'_>) -> OnlineResult {
+        for clip in stream {
+            self.push_clip(&clip);
+        }
+        self.into_result()
+    }
+
+    /// Finalizes the engine into its result.
+    pub fn into_result(self) -> OnlineResult {
+        OnlineResult {
+            sequences: SequenceSet::from_indicator(&self.indicators),
+            records: self.records,
+            stats: self.stats,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vaq_detect::profiles;
+    use vaq_detect::{SimulatedActionRecognizer, SimulatedObjectDetector};
+    use vaq_types::{ActionType, ClipInterval, ObjectType};
+    use vaq_video::SceneScriptBuilder;
+
+    fn o(i: u32) -> ObjectType {
+        ObjectType::new(i)
+    }
+    fn a(i: u32) -> ActionType {
+        ActionType::new(i)
+    }
+
+    const G: VideoGeometry = VideoGeometry::PAPER_DEFAULT;
+
+    /// Object 1 on clips 4..14 (frames 200..700 minus tail), action on
+    /// clips 6..17 — ground truth for q(a0; o1) is clips 6..13.
+    fn script() -> vaq_video::SceneScript {
+        let mut b = SceneScriptBuilder::new(1500, G);
+        b.object_span(o(1), 200, 700).unwrap();
+        b.action_span(a(0), 300, 900).unwrap();
+        b.build()
+    }
+
+    fn ideal_models() -> (SimulatedObjectDetector, SimulatedActionRecognizer) {
+        (
+            SimulatedObjectDetector::new(profiles::ideal_object(), 86, 1),
+            SimulatedActionRecognizer::new(profiles::ideal_action(), 36, 1),
+        )
+    }
+
+    #[test]
+    fn svaq_recovers_ground_truth_with_ideal_models() {
+        let s = script();
+        let (det, rec) = ideal_models();
+        let engine =
+            OnlineEngine::new(Query::new(a(0), vec![o(1)]), OnlineConfig::svaq(), &G, &det, &rec)
+                .unwrap();
+        let result = engine.run(vaq_video::VideoStream::new(&s));
+        let gt = s.ground_truth(&Query::new(a(0), vec![o(1)]), 0.5);
+        assert_eq!(result.sequences, gt, "got {} want {}", result.sequences, gt);
+    }
+
+    #[test]
+    fn svaqd_recovers_ground_truth_with_ideal_models() {
+        let s = script();
+        let (det, rec) = ideal_models();
+        let engine = OnlineEngine::new(
+            Query::new(a(0), vec![o(1)]),
+            OnlineConfig::svaqd(),
+            &G,
+            &det,
+            &rec,
+        )
+        .unwrap();
+        let result = engine.run(vaq_video::VideoStream::new(&s));
+        let gt = s.ground_truth(&Query::new(a(0), vec![o(1)]), 0.5);
+        assert_eq!(result.sequences, gt);
+    }
+
+    #[test]
+    fn noisy_models_still_find_the_sequence() {
+        let s = script();
+        let det = SimulatedObjectDetector::new(profiles::mask_rcnn(), 86, 11);
+        let rec = SimulatedActionRecognizer::new(profiles::i3d(), 36, 11);
+        let engine = OnlineEngine::new(
+            Query::new(a(0), vec![o(1)]),
+            OnlineConfig::svaqd(),
+            &G,
+            &det,
+            &rec,
+        )
+        .unwrap();
+        let result = engine.run(vaq_video::VideoStream::new(&s));
+        let gt = ClipInterval::new(6, 13);
+        assert!(
+            result
+                .sequences
+                .intervals()
+                .iter()
+                .any(|iv| iv.iou(&gt) >= 0.5),
+            "no sequence matching GT {gt}: got {}",
+            result.sequences
+        );
+    }
+
+    #[test]
+    fn svaqd_updates_estimates_svaq_does_not() {
+        // With a noisy detector, SVAQD's censored background estimate moves
+        // from the prior toward the detector's effective false-positive
+        // rate; SVAQ's stays pinned at p0.
+        let s = script();
+        let det = SimulatedObjectDetector::new(profiles::mask_rcnn(), 86, 5);
+        let rec = SimulatedActionRecognizer::new(profiles::i3d(), 36, 5);
+        let q = Query::new(a(0), vec![o(1)]);
+
+        let mut svaq = OnlineEngine::new(q.clone(), OnlineConfig::svaq(), &G, &det, &rec).unwrap();
+        let mut svaqd =
+            OnlineEngine::new(q.clone(), OnlineConfig::svaqd(), &G, &det, &rec).unwrap();
+        let stream = vaq_video::VideoStream::new(&s);
+        for clip in stream {
+            svaq.push_clip(&clip);
+            svaqd.push_clip(&clip);
+        }
+        let (svaq_p, _) = svaq.background_estimates();
+        assert_eq!(svaq_p, vec![1e-4], "SVAQ keeps p0");
+        let (svaqd_p, _) = svaqd.background_estimates();
+        assert!(
+            svaqd_p[0] > 3e-4,
+            "SVAQD estimate {} should have moved toward the FP rate",
+            svaqd_p[0]
+        );
+        // Censoring keeps the estimate at background (FP) level, far below
+        // the object's 1/3 presence duty.
+        assert!(svaqd_p[0] < 0.05, "estimate {} absorbed signal", svaqd_p[0]);
+    }
+
+    #[test]
+    fn svaqd_critical_values_calibrate_to_detector_noise() {
+        // A wildly optimistic prior (p0 = 1e-6 ⇒ k_crit = 1) is corrected
+        // upward once the estimator sees the detector's real FP rate.
+        let s = script();
+        let det = SimulatedObjectDetector::new(profiles::mask_rcnn(), 86, 5);
+        let rec = SimulatedActionRecognizer::new(profiles::i3d(), 36, 5);
+        let q = Query::new(a(0), vec![o(1)]);
+        let cfg = OnlineConfig::svaqd().with_p0(1e-6);
+        let mut engine = OnlineEngine::new(q, cfg, &G, &det, &rec).unwrap();
+        let (k0, _) = engine.critical_values();
+        assert_eq!(k0, vec![1], "p0=1e-6 starts at k=1");
+        for clip in vaq_video::VideoStream::new(&s) {
+            engine.push_clip(&clip);
+        }
+        let (k1, _) = engine.critical_values();
+        assert!(k1[0] > k0[0], "k_crit should rise: {} -> {}", k0[0], k1[0]);
+    }
+
+    #[test]
+    fn short_circuit_accounting_flows_through() {
+        let s = script();
+        let (det, rec) = ideal_models();
+        let q = Query::new(a(0), vec![o(1)]);
+        let engine = OnlineEngine::new(q, OnlineConfig::svaq(), &G, &det, &rec).unwrap();
+        let result = engine.run(vaq_video::VideoStream::new(&s));
+        // Object predicate holds on clips 4..13 (10 clips of 30): 20 clips
+        // short-circuit and never reach the recognizer.
+        assert_eq!(result.stats.clips_short_circuited, 20);
+        assert_eq!(result.stats.recognizer_shots, 10 * 5);
+        assert_eq!(result.stats.detector_frames, 30 * 50);
+    }
+
+    #[test]
+    fn records_align_with_indicators() {
+        let s = script();
+        let (det, rec) = ideal_models();
+        let q = Query::new(a(0), vec![o(1)]);
+        let engine = OnlineEngine::new(q, OnlineConfig::svaq(), &G, &det, &rec).unwrap();
+        let result = engine.run(vaq_video::VideoStream::new(&s));
+        assert_eq!(result.records.len(), 30);
+        for r in &result.records {
+            assert_eq!(r.indicator, r.object_indicators[0] && r.action_indicator == Some(true));
+        }
+    }
+
+    #[test]
+    fn update_policy_every_n_clips() {
+        let s = script();
+        let (det, rec) = ideal_models();
+        let q = Query::new(a(0), vec![o(1)]);
+        let cfg = OnlineConfig {
+            policy: ParameterPolicy::Dynamic {
+                bandwidth_clips: 60.0,
+                update: UpdatePolicy::EveryNClips(10),
+            },
+            ..OnlineConfig::svaqd()
+        };
+        let mut engine = OnlineEngine::new(q, cfg, &G, &det, &rec).unwrap();
+        let stream = vaq_video::VideoStream::new(&s);
+        let mut clips = stream.collect::<Vec<_>>().into_iter();
+        for clip in clips.by_ref().take(9) {
+            engine.push_clip(&clip);
+        }
+        let (p_before, _) = engine.background_estimates();
+        assert_eq!(p_before, vec![1e-4], "no refresh before 10 clips");
+        engine.push_clip(&clips.next().unwrap());
+        let (p_after, _) = engine.background_estimates();
+        assert_ne!(p_after, vec![1e-4], "refresh on the 10th clip");
+    }
+
+    #[test]
+    fn update_policy_positive_clips_refreshes_only_on_hits() {
+        // Algorithm 3's literal update gate: estimates refresh only after
+        // clips whose query indicator fired.
+        let s = script();
+        let det = SimulatedObjectDetector::new(profiles::mask_rcnn(), 86, 5);
+        let rec = SimulatedActionRecognizer::new(profiles::i3d(), 36, 5);
+        let q = Query::new(a(0), vec![o(1)]);
+        let cfg = OnlineConfig {
+            policy: ParameterPolicy::Dynamic {
+                bandwidth_clips: 60.0,
+                update: UpdatePolicy::PositiveClips,
+            },
+            ..OnlineConfig::svaqd()
+        };
+        let mut engine = OnlineEngine::new(q, cfg, &G, &det, &rec).unwrap();
+        let mut last_p = engine.background_estimates().0[0];
+        for clip in vaq_video::VideoStream::new(&s) {
+            let positive = engine.push_clip(&clip);
+            let p_now = engine.background_estimates().0[0];
+            if !positive {
+                assert_eq!(p_now, last_p, "estimate refreshed on a negative clip");
+            }
+            last_p = p_now;
+        }
+        // The stream has positive clips, so at least one refresh happened.
+        assert_ne!(last_p, 1e-4);
+    }
+
+    #[test]
+    fn exploration_sampling_accounts_recognizer_cost() {
+        // Under SVAQD, a quarter of short-circuited clips still run the
+        // recognizer for background estimation — and are billed for it.
+        let s = script();
+        let (det, rec) = ideal_models();
+        let q = Query::new(a(0), vec![o(1)]);
+        let svaq = OnlineEngine::new(q.clone(), OnlineConfig::svaq(), &G, &det, &rec)
+            .unwrap()
+            .run(vaq_video::VideoStream::new(&s));
+        let svaqd = OnlineEngine::new(q, OnlineConfig::svaqd(), &G, &det, &rec)
+            .unwrap()
+            .run(vaq_video::VideoStream::new(&s));
+        assert!(
+            svaqd.stats.recognizer_shots > svaq.stats.recognizer_shots,
+            "SVAQD explores: {} vs {}",
+            svaqd.stats.recognizer_shots,
+            svaq.stats.recognizer_shots
+        );
+        // Exploration is bounded by 1/EXPLORE_EVERY of the skipped clips.
+        let explored = svaqd.stats.recognizer_shots - svaq.stats.recognizer_shots;
+        let bound = svaq.stats.clips_short_circuited
+            .div_ceil(OnlineEngine::EXPLORE_EVERY)
+            * u64::from(G.shots_per_clip);
+        assert!(explored <= bound, "explored {explored} > bound {bound}");
+    }
+
+    #[test]
+    fn invalid_config_rejected_at_construction() {
+        let (det, rec) = ideal_models();
+        let bad = OnlineConfig {
+            alpha: 2.0,
+            ..OnlineConfig::svaq()
+        };
+        assert!(
+            OnlineEngine::new(Query::new(a(0), vec![o(1)]), bad, &G, &det, &rec).is_err()
+        );
+    }
+}

@@ -1,0 +1,12 @@
+//! The online (streaming) case — paper §3.
+//!
+//! [`indicator`] implements Algorithm 2 (per-clip evaluation with
+//! short-circuiting); [`engine`] implements Algorithms 1 and 3 (SVAQ and
+//! SVAQD) as one engine parameterized by
+//! [`crate::config::ParameterPolicy`].
+
+pub mod engine;
+pub mod indicator;
+
+pub use engine::{OnlineEngine, OnlineResult};
+pub use indicator::{evaluate_clip, ClipEvaluation};

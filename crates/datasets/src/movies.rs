@@ -1,0 +1,269 @@
+//! The movie workloads — paper Table 2.
+//!
+//! Four long videos with the paper's runtimes, sparse query-relevant
+//! episodes, and dense background content (many object types on screen,
+//! other actions occurring) so the ingestion phase materializes realistic
+//! table sizes. The *Coffee and Cigarettes* instance is tuned so the query
+//! `{a=smoking; o=wine glass, cup}` has about 21 ground-truth result
+//! sequences — the count §5.3 mentions for Table 6.
+
+use crate::{BenchmarkVideo, QuerySet};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use vaq_types::{vocab, ObjectType, VideoGeometry};
+use vaq_video::gen;
+use vaq_video::SceneScriptBuilder;
+
+/// One row of the paper's Table 2.
+#[derive(Debug, Clone, Copy)]
+pub struct TableTwoRow {
+    /// Movie title.
+    pub title: &'static str,
+    /// Queried action label.
+    pub action: &'static str,
+    /// Queried object labels.
+    pub objects: &'static [&'static str],
+    /// Movie length in minutes.
+    pub minutes: u64,
+    /// Target number of query-relevant episodes.
+    pub episodes: usize,
+}
+
+/// The paper's Table 2, with episode counts chosen so *Coffee and
+/// Cigarettes* lands near its 21 reported result sequences.
+pub const TABLE_TWO: [TableTwoRow; 4] = [
+    TableTwoRow {
+        title: "Coffee and Cigarettes",
+        action: "smoking",
+        objects: &["wine glass", "cup"],
+        minutes: 96,
+        episodes: 24,
+    },
+    TableTwoRow {
+        title: "Iron Man",
+        action: "robot dancing",
+        objects: &["car", "airplane"],
+        minutes: 126,
+        episodes: 16,
+    },
+    TableTwoRow {
+        title: "Star Wars 3",
+        action: "archery",
+        objects: &["bird", "cat"],
+        minutes: 134,
+        episodes: 14,
+    },
+    TableTwoRow {
+        title: "Titanic",
+        action: "kissing",
+        objects: &["surfboard", "boat"],
+        minutes: 194,
+        episodes: 13,
+    },
+];
+
+/// Movie generator tunables.
+#[derive(Debug, Clone, Copy)]
+pub struct MovieSpec {
+    /// Probability a queried object accompanies a query episode.
+    pub correlation: f64,
+    /// Mean query-episode length, seconds.
+    pub episode_secs: u64,
+    /// Number of distinct background object types on screen.
+    pub background_objects: usize,
+    /// Background objects' duty cycle.
+    pub background_duty: f64,
+    /// Number of background action types occurring.
+    pub background_actions: usize,
+    /// Scale factor on movie length (1.0 = paper runtime).
+    pub scale: f64,
+    /// Shot/clip geometry of the generated movie.
+    pub geometry: VideoGeometry,
+}
+
+impl Default for MovieSpec {
+    fn default() -> Self {
+        Self {
+            correlation: 0.9,
+            episode_secs: 105,
+            background_objects: 12,
+            background_duty: 0.15,
+            background_actions: 5,
+            scale: 1.0,
+            geometry: VideoGeometry::PAPER_DEFAULT,
+        }
+    }
+}
+
+/// Generates one movie as a single-video query set.
+pub fn movie(row: &TableTwoRow, spec: &MovieSpec, seed: u64) -> QuerySet {
+    let geometry = spec.geometry;
+    let actions = vocab::kinetics_actions();
+    let objects = vocab::coco_objects();
+    let query = crate::resolve_query(&actions, &objects, row.action, row.objects)
+        .expect("Table 2 labels resolve");
+
+    let mut rng = SmallRng::seed_from_u64(seed ^ row.title.len() as u64 ^ (row.minutes << 8));
+    let frames = geometry.frames_for_minutes(((row.minutes as f64) * spec.scale).max(1.0) as u64);
+    let mut b = SceneScriptBuilder::new(frames, geometry);
+
+    // Query-relevant episodes. The episode COUNT is the workload's defining
+    // property (Table 6 sweeps K up to 15 against ~21 sequences), so it is
+    // never scaled down; at reduced movie scale the episode LENGTH shrinks
+    // instead so the episodes still fit in ~40% of the footage.
+    let movie_secs = frames / geometry.fps as u64;
+    let ep_secs = spec
+        .episode_secs
+        .min((movie_secs * 2 / 5) / row.episodes as u64)
+        .max(4);
+    let ep_len = ep_secs * geometry.fps as u64;
+    let eps = gen::episodes(&mut rng, frames, row.episodes, ep_len, ep_len / 3);
+    // Scene prominence varies wildly between episodes — a close-up smoking
+    // scene reads clearly (high recognizer confidence) AND shows several
+    // glasses and cups, a distant one barely one of each. Prominence thus
+    // correlates scores *across* the queried predicates' tables, which is
+    // what lets TBClip's parallel sorted access find common clips quickly
+    // and gives RVAQ's bound refinement something to prune (homogeneous,
+    // uncorrelated scores force full enumeration).
+    let prominences: Vec<f32> = eps
+        .iter()
+        .map(|_| rng.gen_range(0.55f32..1.0))
+        .collect();
+    for (ep, &prom) in eps.iter().zip(&prominences) {
+        b.action_occurrence(query.action, ep.start, ep.end, prom)
+            .expect("episode in range");
+    }
+    for &obj in &query.objects {
+        for (ep, &prom) in eps.iter().zip(&prominences) {
+            if rng.gen_bool(spec.correlation) {
+                let instances = 1 + ((prom - 0.55) / 0.45 * 3.0).round() as u32;
+                for _ in 0..instances {
+                    let pad = rng.gen_range(0..ep_len / 5 + 1);
+                    let start = ep.start.saturating_sub(pad);
+                    let end = (ep.end + pad).min(frames);
+                    b.object_span(obj, start, end).expect("span in range");
+                }
+            }
+        }
+        // Scattered appearances outside episodes too.
+        for span in gen::spans_with_duty(&mut rng, frames, 0.03, 400.0) {
+            b.object_span(obj, span.start, span.end).expect("span in range");
+        }
+    }
+
+    // Dense background: persons, vehicles, furniture … whatever the RNG
+    // picks, plus background actions.
+    let person = objects.object("person").unwrap();
+    for span in gen::spans_with_duty(&mut rng, frames, 0.6, 900.0) {
+        b.object_span(person, span.start, span.end).expect("span in range");
+    }
+    let obj_universe = objects.len() as u32;
+    for _ in 0..spec.background_objects {
+        let t = ObjectType::new(rng.gen_range(0..obj_universe));
+        if query.objects.contains(&t) || t == person {
+            continue;
+        }
+        for span in gen::spans_with_duty(&mut rng, frames, spec.background_duty, 500.0) {
+            b.object_span(t, span.start, span.end).expect("span in range");
+        }
+    }
+    let act_universe = actions.len() as u32;
+    for _ in 0..spec.background_actions {
+        let t = vaq_types::ActionType::new(rng.gen_range(0..act_universe));
+        if t == query.action {
+            continue;
+        }
+        for span in gen::spans_with_duty(&mut rng, frames, 0.06, 600.0) {
+            b.action_span(t, span.start, span.end).expect("span in range");
+        }
+    }
+
+    QuerySet {
+        id: row.title.to_string(),
+        description: format!("a={} objects={:?}", row.action, row.objects),
+        query,
+        videos: vec![BenchmarkVideo {
+            name: row.title.replace(' ', "_").to_lowercase(),
+            script: b.build(),
+        }],
+    }
+}
+
+/// All four movies.
+pub fn benchmark(spec: &MovieSpec, seed: u64) -> Vec<QuerySet> {
+    TABLE_TWO.iter().map(|row| movie(row, spec, seed)).collect()
+}
+
+/// Finds a Table 2 row by title.
+pub fn row(title: &str) -> Option<&'static TableTwoRow> {
+    TABLE_TWO.iter().find(|r| r.title == title)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> MovieSpec {
+        MovieSpec {
+            scale: 0.05,
+            background_objects: 4,
+            background_actions: 2,
+            ..MovieSpec::default()
+        }
+    }
+
+    #[test]
+    fn table_two_matches_paper() {
+        assert_eq!(TABLE_TWO.len(), 4);
+        assert_eq!(row("Titanic").unwrap().minutes, 194);
+        assert_eq!(row("Iron Man").unwrap().action, "robot dancing");
+        assert!(row("The Matrix").is_none());
+    }
+
+    #[test]
+    fn movie_has_query_ground_truth() {
+        let set = movie(row("Coffee and Cigarettes").unwrap(), &tiny(), 5);
+        let v = &set.videos[0];
+        let gt = v.script.ground_truth(&set.query, 0.5);
+        assert!(!gt.is_empty(), "no ground truth in the movie");
+    }
+
+    #[test]
+    fn coffee_and_cigarettes_sequence_count_at_full_scale() {
+        // Expensive-ish: generate at full scale but only inspect ground
+        // truth (no detection).
+        let set = movie(
+            row("Coffee and Cigarettes").unwrap(),
+            &MovieSpec::default(),
+            42,
+        );
+        let v = &set.videos[0];
+        assert_eq!(v.script.num_frames(), 96 * 60 * 30);
+        let gt = v.script.ground_truth(&set.query, 0.5);
+        let n = gt.len();
+        assert!(
+            (15..=24).contains(&n),
+            "expected ≈21 ground-truth sequences, got {n}"
+        );
+    }
+
+    #[test]
+    fn movie_has_background_content() {
+        let set = movie(row("Iron Man").unwrap(), &tiny(), 5);
+        let v = &set.videos[0];
+        let num_objects = v.script.object_types().count();
+        assert!(num_objects >= 4, "only {num_objects} object types");
+        let num_actions = v.script.action_types().count();
+        assert!(num_actions >= 2, "only {num_actions} action types");
+    }
+
+    #[test]
+    fn determinism() {
+        let a = movie(row("Titanic").unwrap(), &tiny(), 8);
+        let b = movie(row("Titanic").unwrap(), &tiny(), 8);
+        assert_eq!(
+            a.videos[0].script.ground_truth(&a.query, 0.5),
+            b.videos[0].script.ground_truth(&b.query, 0.5)
+        );
+    }
+}

@@ -1,0 +1,74 @@
+//! Model traits and output value types.
+//!
+//! The query algorithms depend only on these traits; swapping a simulated
+//! model for bindings to a real network would not touch `vaq-core`.
+
+use vaq_types::{ActionType, BBox, ObjectType, TrackId};
+use vaq_video::Frame;
+
+/// One object detection on a frame: a label, a confidence score and a box.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Detection {
+    /// Predicted object type.
+    pub object: ObjectType,
+    /// Confidence score in `(0, 1]` (the paper's `S*`).
+    pub score: f64,
+    /// Predicted bounding box.
+    pub bbox: BBox,
+    /// Ground-truth track behind a true positive, `None` for a false
+    /// positive. Exposed for evaluation only — the tracker and the query
+    /// algorithms never read it.
+    pub gt_track: Option<TrackId>,
+}
+
+/// One action prediction on a shot (the paper's `S_a(s)`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ActionScore {
+    /// Predicted action category.
+    pub action: ActionType,
+    /// Confidence score in `(0, 1]`.
+    pub score: f64,
+}
+
+/// A detection with the tracker's instance identifier attached (the paper's
+/// `S_{o_i}^t(v)` is the score of the instance with identifier `t`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrackedDetection {
+    /// The underlying detection.
+    pub detection: Detection,
+    /// Tracker-assigned instance identifier.
+    pub track: TrackId,
+}
+
+/// An object detection model: frame in, scored detections out.
+pub trait ObjectDetector {
+    /// Runs the detector on one frame. Detections are unordered; multiple
+    /// instances of the same type may appear.
+    fn detect(&self, frame: &Frame) -> Vec<Detection>;
+
+    /// Size of the detector's label universe `|O|` (bounds false-positive
+    /// simulation and ingestion-phase table allocation).
+    fn universe(&self) -> u32;
+
+    /// Simulated inference cost per frame, in milliseconds.
+    fn latency_ms(&self) -> f64;
+
+    /// Human-readable model name (e.g. `"MaskRCNN"`).
+    fn name(&self) -> &str;
+}
+
+/// An action recognition model: shot in, scored action predictions out.
+pub trait ActionRecognizer {
+    /// Runs the recognizer on one shot. Returns scores for every action the
+    /// model considers present (absent actions are simply not listed).
+    fn recognize(&self, shot: &vaq_video::Shot) -> Vec<ActionScore>;
+
+    /// Size of the recognizer's category universe `|A|`.
+    fn universe(&self) -> u32;
+
+    /// Simulated inference cost per shot, in milliseconds.
+    fn latency_ms(&self) -> f64;
+
+    /// Human-readable model name (e.g. `"I3D"`).
+    fn name(&self) -> &str;
+}

@@ -1,0 +1,155 @@
+//! Hash-based deterministic noise.
+//!
+//! Simulated model outcomes must be pure functions of
+//! `(model seed, frame/shot index, label, draw index)`: the online
+//! algorithms short-circuit predicate evaluation (paper Algorithm 2, lines
+//! 6–8), so different algorithms call the models on different frame
+//! subsets. A stateful RNG stream would make the simulated "video noise"
+//! depend on the querying algorithm — confounding every accuracy
+//! comparison. A counter-less hash (splitmix64 finalizer over the mixed
+//! key) gives every (frame, label) its own independent, reproducible draw.
+
+/// splitmix64 finalizer: a well-mixed 64-bit permutation.
+#[inline]
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A deterministic per-(seed, site) uniform sampler.
+#[derive(Debug, Clone, Copy)]
+pub struct DetRng {
+    seed: u64,
+}
+
+impl DetRng {
+    /// Creates a sampler with a model-level seed.
+    pub fn new(seed: u64) -> Self {
+        Self { seed }
+    }
+
+    /// A uniform `u64` for the keyed site.
+    #[inline]
+    pub fn raw(&self, a: u64, b: u64, c: u64) -> u64 {
+        mix(mix(mix(self.seed ^ a).wrapping_add(b)).wrapping_add(c))
+    }
+
+    /// A uniform draw in `[0, 1)` for the keyed site.
+    #[inline]
+    pub fn uniform(&self, a: u64, b: u64, c: u64) -> f64 {
+        // 53 high bits → uniform double in [0,1).
+        (self.raw(a, b, c) >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// A Bernoulli draw for the keyed site.
+    #[inline]
+    pub fn bernoulli(&self, p: f64, a: u64, b: u64, c: u64) -> bool {
+        self.uniform(a, b, c) < p
+    }
+
+    /// A uniform draw in `[lo, hi)` for the keyed site.
+    #[inline]
+    pub fn range(&self, lo: f64, hi: f64, a: u64, b: u64, c: u64) -> f64 {
+        lo + (hi - lo) * self.uniform(a, b, c)
+    }
+}
+
+/// A bounded score distribution: symmetric triangular-ish around `mean`
+/// with half-width `spread`, clamped into `(0, 1]`. Triangular (sum of two
+/// uniforms) rather than uniform so scores concentrate near the mean, as
+/// real detector confidences do.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScoreDist {
+    /// Center of the distribution.
+    pub mean: f64,
+    /// Half-width (support is `mean ± spread` before clamping).
+    pub spread: f64,
+}
+
+impl ScoreDist {
+    /// Creates a distribution; panics if parameters leave `(0,1]` support
+    /// entirely.
+    pub fn new(mean: f64, spread: f64) -> Self {
+        assert!((0.0..=1.0).contains(&mean), "mean {mean} outside [0,1]");
+        assert!(spread >= 0.0);
+        Self { mean, spread }
+    }
+
+    /// Samples the distribution at the keyed site.
+    #[inline]
+    pub fn sample(&self, rng: &DetRng, a: u64, b: u64, c: u64) -> f64 {
+        let u1 = rng.uniform(a, b, c ^ 0x5151);
+        let u2 = rng.uniform(a, b, c ^ 0xA3A3);
+        let centered = (u1 + u2) - 1.0; // triangular on [-1, 1]
+        (self.mean + centered * self.spread).clamp(1e-6, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn determinism() {
+        let r = DetRng::new(42);
+        assert_eq!(r.uniform(1, 2, 3), r.uniform(1, 2, 3));
+        assert_ne!(r.uniform(1, 2, 3), r.uniform(1, 2, 4));
+        assert_ne!(DetRng::new(42).raw(1, 2, 3), DetRng::new(43).raw(1, 2, 3));
+    }
+
+    #[test]
+    fn uniform_in_unit_interval() {
+        let r = DetRng::new(7);
+        for i in 0..10_000u64 {
+            let u = r.uniform(i, 0, 0);
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn uniform_mean_is_half() {
+        let r = DetRng::new(11);
+        let n = 50_000u64;
+        let mean: f64 = (0..n).map(|i| r.uniform(i, 1, 2)).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean={mean}");
+    }
+
+    #[test]
+    fn bernoulli_rate_is_respected() {
+        let r = DetRng::new(3);
+        let n = 100_000u64;
+        let hits = (0..n).filter(|&i| r.bernoulli(0.03, i, 9, 9)).count();
+        let rate = hits as f64 / n as f64;
+        assert!((rate - 0.03).abs() < 0.005, "rate={rate}");
+    }
+
+    #[test]
+    fn score_dist_concentrates_near_mean() {
+        let d = ScoreDist::new(0.8, 0.15);
+        let r = DetRng::new(5);
+        let n = 20_000u64;
+        let samples: Vec<f64> = (0..n).map(|i| d.sample(&r, i, 0, 0)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        assert!((mean - 0.8).abs() < 0.01, "mean={mean}");
+        assert!(samples.iter().all(|&s| (0.0..=1.0).contains(&s)));
+        assert!(samples.iter().all(|&s| (0.65 - 1e-9..=0.95 + 1e-9).contains(&s)));
+    }
+
+    #[test]
+    fn score_dist_clamps() {
+        let d = ScoreDist::new(0.95, 0.2);
+        let r = DetRng::new(6);
+        for i in 0..5_000u64 {
+            let s = d.sample(&r, i, 0, 0);
+            assert!(s <= 1.0 && s > 0.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn invalid_mean_panics() {
+        let _ = ScoreDist::new(1.5, 0.1);
+    }
+}

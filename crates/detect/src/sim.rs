@@ -1,0 +1,380 @@
+//! Simulated object detector and action recognizer.
+//!
+//! Both models condition on the scene script's ground truth (delivered via
+//! the materialized [`Frame`]/[`Shot`] views) and corrupt it according to
+//! their [`profiles`](crate::profiles): true instances are detected with
+//! probability `tpr` and scored from the positive score distribution; every
+//! absent label has an `fpr` chance per frame/shot of producing a
+//! hallucinated prediction scored from the (lower) false-positive
+//! distribution. All draws are keyed hashes of `(seed, site)` — see
+//! [`crate::noise`] — so outcomes do not depend on invocation order.
+
+use crate::api::{ActionRecognizer, ActionScore, Detection, ObjectDetector};
+use crate::noise::DetRng;
+use crate::profiles::{ActionProfile, ObjectProfile};
+use vaq_types::{ActionType, BBox, ObjectType};
+use vaq_video::{Frame, Shot};
+
+const SITE_TP: u64 = 0x01;
+const SITE_FP: u64 = 0x02;
+const SITE_JITTER_X: u64 = 0x03;
+const SITE_JITTER_Y: u64 = 0x04;
+const SITE_FP_BOX: u64 = 0x05;
+const SITE_BLOCK: u64 = 0x06;
+
+/// A profile-driven simulated object detector.
+#[derive(Debug, Clone)]
+pub struct SimulatedObjectDetector {
+    profile: ObjectProfile,
+    rng: DetRng,
+    universe: u32,
+}
+
+impl SimulatedObjectDetector {
+    /// Creates a detector over a label universe of `universe` object types.
+    pub fn new(profile: ObjectProfile, universe: u32, seed: u64) -> Self {
+        Self {
+            profile,
+            rng: DetRng::new(seed ^ 0x0B1E_C7DE_7EC7_0000),
+            universe,
+        }
+    }
+
+    /// The detector's profile.
+    pub fn profile(&self) -> &ObjectProfile {
+        &self.profile
+    }
+}
+
+impl ObjectDetector for SimulatedObjectDetector {
+    fn detect(&self, frame: &Frame) -> Vec<Detection> {
+        let p = &self.profile;
+        let f = frame.id.raw();
+        let mut out = Vec::with_capacity(frame.instances.len());
+
+        // True positives: each ground-truth instance is found with prob tpr,
+        // gated by correlated block misses (a whole 30-frame stretch of an
+        // instance can be undetectable — occlusion, small apparent size).
+        for inst in &frame.instances {
+            let key = inst.track.raw();
+            if p.block_miss_rate > 0.0 {
+                let block = f / crate::profiles::OBJ_BLOCK_FRAMES;
+                if self.rng.bernoulli(p.block_miss_rate, block, key, SITE_BLOCK) {
+                    continue;
+                }
+            }
+            if !self.rng.bernoulli(p.tpr, f, key, SITE_TP) {
+                continue;
+            }
+            let score = p.pos_score.sample(&self.rng, f, key, SITE_TP);
+            let bbox = if p.bbox_jitter > 0.0 {
+                let jx = (self.rng.uniform(f, key, SITE_JITTER_X) as f32 - 0.5)
+                    * 2.0
+                    * p.bbox_jitter;
+                let jy = (self.rng.uniform(f, key, SITE_JITTER_Y) as f32 - 0.5)
+                    * 2.0
+                    * p.bbox_jitter;
+                let (cx, cy) = inst.bbox.center();
+                BBox::from_center(
+                    (cx + jx).clamp(0.02, 0.98),
+                    (cy + jy).clamp(0.02, 0.98),
+                    inst.bbox.x1 - inst.bbox.x0,
+                    inst.bbox.y1 - inst.bbox.y0,
+                )
+            } else {
+                inst.bbox
+            };
+            out.push(Detection {
+                object: inst.object,
+                score,
+                bbox,
+                gt_track: Some(inst.track),
+            });
+        }
+
+        // False positives: every label in the universe can hallucinate.
+        if p.fpr > 0.0 {
+            for label in 0..self.universe {
+                let key = u64::from(label) | 0x8000_0000_0000_0000;
+                if !self.rng.bernoulli(p.fpr, f, key, SITE_FP) {
+                    continue;
+                }
+                let score = p.fp_score.sample(&self.rng, f, key, SITE_FP);
+                let cx = self.rng.range(0.1, 0.9, f, key, SITE_FP_BOX) as f32;
+                let cy = self.rng.range(0.1, 0.9, f, key, SITE_FP_BOX ^ 0xFF) as f32;
+                out.push(Detection {
+                    object: ObjectType::new(label),
+                    score,
+                    bbox: BBox::from_center(cx, cy, 0.15, 0.2),
+                    gt_track: None,
+                });
+            }
+        }
+        out
+    }
+
+    fn universe(&self) -> u32 {
+        self.universe
+    }
+
+    fn latency_ms(&self) -> f64 {
+        self.profile.latency_ms
+    }
+
+    fn name(&self) -> &str {
+        self.profile.name
+    }
+}
+
+/// A profile-driven simulated action recognizer.
+#[derive(Debug, Clone)]
+pub struct SimulatedActionRecognizer {
+    profile: ActionProfile,
+    rng: DetRng,
+    universe: u32,
+}
+
+impl SimulatedActionRecognizer {
+    /// Creates a recognizer over a category universe of `universe` actions.
+    pub fn new(profile: ActionProfile, universe: u32, seed: u64) -> Self {
+        Self {
+            profile,
+            rng: DetRng::new(seed ^ 0xAC71_0000_0000_0000),
+            universe,
+        }
+    }
+
+    /// The recognizer's profile.
+    pub fn profile(&self) -> &ActionProfile {
+        &self.profile
+    }
+}
+
+impl ActionRecognizer for SimulatedActionRecognizer {
+    fn recognize(&self, shot: &Shot) -> Vec<ActionScore> {
+        let p = &self.profile;
+        let s = shot.id.raw();
+        let mut out = Vec::new();
+        for &(action, prominence) in &shot.actions {
+            let key = u64::from(action.raw());
+            if p.block_miss_rate > 0.0 {
+                let block = s / crate::profiles::ACT_BLOCK_SHOTS;
+                if self.rng.bernoulli(p.block_miss_rate, block, key, SITE_BLOCK) {
+                    continue;
+                }
+            }
+            if self.rng.bernoulli(p.tpr, s, key, SITE_TP) {
+                // Scene prominence scales recognizer confidence: distant or
+                // partially visible actions score lower across the board.
+                // The coupling is soft (multiplier in [0.75, 1.0]) so that
+                // prominence skews *scores* without routinely pushing true
+                // detections below typical decision thresholds.
+                let raw = p.pos_score.sample(&self.rng, s, key, SITE_TP);
+                let multiplier = 0.75 + 0.25 * f64::from(prominence);
+                out.push(ActionScore {
+                    action,
+                    score: (raw * multiplier).clamp(1e-6, 1.0),
+                });
+            }
+        }
+        if p.fpr > 0.0 {
+            for label in 0..self.universe {
+                let action = ActionType::new(label);
+                if shot.actions.iter().any(|&(a, _)| a == action) {
+                    continue;
+                }
+                let key = u64::from(label) | 0x4000_0000_0000_0000;
+                if self.rng.bernoulli(p.fpr, s, key, SITE_FP) {
+                    out.push(ActionScore {
+                        action,
+                        score: p.fp_score.sample(&self.rng, s, key, SITE_FP),
+                    });
+                }
+            }
+        }
+        out
+    }
+
+    fn universe(&self) -> u32 {
+        self.universe
+    }
+
+    fn latency_ms(&self) -> f64 {
+        self.profile.latency_ms
+    }
+
+    fn name(&self) -> &str {
+        self.profile.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profiles;
+    use vaq_types::{FrameId, ShotId, VideoGeometry};
+    use vaq_video::{SceneScriptBuilder, VideoStream};
+
+    fn o(i: u32) -> ObjectType {
+        ObjectType::new(i)
+    }
+    fn a(i: u32) -> ActionType {
+        ActionType::new(i)
+    }
+
+    fn script() -> vaq_video::SceneScript {
+        let mut b = SceneScriptBuilder::new(10_000, VideoGeometry::PAPER_DEFAULT);
+        b.object_span(o(2), 0, 10_000).unwrap();
+        b.action_span(a(1), 0, 10_000).unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn ideal_detector_reproduces_ground_truth() {
+        let s = script();
+        let det = SimulatedObjectDetector::new(profiles::ideal_object(), 86, 1);
+        let stream = VideoStream::new(&s);
+        let clip = stream.materialize(vaq_types::ClipId::new(3));
+        for frame in &clip.frames {
+            let dets = det.detect(frame);
+            assert_eq!(dets.len(), 1);
+            assert_eq!(dets[0].object, o(2));
+            assert_eq!(dets[0].score, 1.0);
+            assert_eq!(dets[0].bbox, frame.instances[0].bbox);
+            assert!(dets[0].gt_track.is_some());
+        }
+    }
+
+    #[test]
+    fn detector_is_invocation_order_independent() {
+        let s = script();
+        let det = SimulatedObjectDetector::new(profiles::mask_rcnn(), 86, 7);
+        let stream = VideoStream::new(&s);
+        let f10 = &stream.materialize(vaq_types::ClipId::new(0)).frames[10];
+        let f20 = &stream.materialize(vaq_types::ClipId::new(0)).frames[20];
+        let a1 = det.detect(f10);
+        let _ = det.detect(f20);
+        let a2 = det.detect(f10);
+        assert_eq!(a1, a2, "same frame must always yield identical detections");
+    }
+
+    #[test]
+    fn tpr_and_fpr_are_calibrated() {
+        let s = script();
+        let det = SimulatedObjectDetector::new(profiles::mask_rcnn(), 86, 99);
+        let stream = VideoStream::new(&s);
+        let mut tp = 0u32;
+        let mut fp = 0u32;
+        let frames = 2_000u64;
+        for f in 0..frames {
+            let clip = stream.materialize(vaq_types::ClipId::new(f / 50));
+            let frame = &clip.frames[(f % 50) as usize];
+            assert_eq!(frame.id, FrameId::new(f));
+            for d in det.detect(frame) {
+                if d.gt_track.is_some() {
+                    tp += 1;
+                } else {
+                    fp += 1;
+                }
+            }
+        }
+        // Effective per-frame recall = tpr × (1 − block_miss_rate).
+        let profile = profiles::mask_rcnn();
+        let expect = profile.tpr * (1.0 - profile.block_miss_rate);
+        let tpr = tp as f64 / frames as f64;
+        assert!((tpr - expect).abs() < 0.03, "tpr={tpr}, want ≈{expect}");
+        // FP expectation: 85 absent labels × 0.006 ≈ 0.51 per frame.
+        let fp_rate = fp as f64 / frames as f64;
+        assert!((fp_rate - 85.0 * 0.006).abs() < 0.1, "fp/frame={fp_rate}");
+    }
+
+    #[test]
+    fn fp_scores_sit_below_tp_scores() {
+        let s = script();
+        let det = SimulatedObjectDetector::new(profiles::mask_rcnn(), 86, 5);
+        let stream = VideoStream::new(&s);
+        let (mut tp_sum, mut tp_n, mut fp_sum, mut fp_n) = (0.0, 0u32, 0.0, 0u32);
+        for c in 0..40u64 {
+            for frame in &stream.materialize(vaq_types::ClipId::new(c)).frames {
+                for d in det.detect(frame) {
+                    if d.gt_track.is_some() {
+                        tp_sum += d.score;
+                        tp_n += 1;
+                    } else {
+                        fp_sum += d.score;
+                        fp_n += 1;
+                    }
+                }
+            }
+        }
+        assert!(tp_n > 0 && fp_n > 0);
+        assert!(tp_sum / tp_n as f64 > fp_sum / fp_n as f64 + 0.1);
+    }
+
+    #[test]
+    fn recognizer_hits_true_actions() {
+        let s = script();
+        let rec = SimulatedActionRecognizer::new(profiles::i3d(), 36, 3);
+        let stream = VideoStream::new(&s);
+        let mut hits = 0u32;
+        let shots = 1_000u64;
+        for sh in 0..shots {
+            let clip = stream.materialize(vaq_types::ClipId::new(sh / 5));
+            let shot = &clip.shots[(sh % 5) as usize];
+            assert_eq!(shot.id, ShotId::new(sh));
+            if rec.recognize(shot).iter().any(|p| p.action == a(1)) {
+                hits += 1;
+            }
+        }
+        // Effective per-shot recall = tpr × (1 − block_miss_rate).
+        let profile = profiles::i3d();
+        let expect = profile.tpr * (1.0 - profile.block_miss_rate);
+        let tpr = hits as f64 / shots as f64;
+        assert!((tpr - expect).abs() < 0.04, "tpr={tpr}, want ≈{expect}");
+    }
+
+    #[test]
+    fn recognizer_false_positive_rate() {
+        let s = script();
+        let rec = SimulatedActionRecognizer::new(profiles::i3d(), 36, 3);
+        let stream = VideoStream::new(&s);
+        let mut fps = 0u32;
+        let shots = 1_000u64;
+        for sh in 0..shots {
+            let clip = stream.materialize(vaq_types::ClipId::new(sh / 5));
+            let shot = &clip.shots[(sh % 5) as usize];
+            fps += rec
+                .recognize(shot)
+                .iter()
+                .filter(|p| p.action != a(1))
+                .count() as u32;
+        }
+        // 35 absent categories × 0.004 ≈ 0.14 per shot.
+        let rate = fps as f64 / shots as f64;
+        assert!((rate - 35.0 * 0.004).abs() < 0.05, "fp/shot={rate}");
+    }
+
+    #[test]
+    fn ideal_recognizer_exact() {
+        let s = script();
+        let rec = SimulatedActionRecognizer::new(profiles::ideal_action(), 36, 3);
+        let stream = VideoStream::new(&s);
+        let clip = stream.materialize(vaq_types::ClipId::new(0));
+        for shot in &clip.shots {
+            let preds = rec.recognize(shot);
+            assert_eq!(preds.len(), 1);
+            assert_eq!(preds[0].action, a(1));
+            assert_eq!(preds[0].score, 1.0);
+        }
+    }
+
+    #[test]
+    fn different_seeds_give_different_noise() {
+        let s = script();
+        let stream = VideoStream::new(&s);
+        let frame = &stream.materialize(vaq_types::ClipId::new(0)).frames[0];
+        let d1 = SimulatedObjectDetector::new(profiles::mask_rcnn(), 86, 1).detect(frame);
+        let d2 = SimulatedObjectDetector::new(profiles::mask_rcnn(), 86, 2).detect(frame);
+        assert_ne!(d1, d2);
+    }
+}

@@ -1,0 +1,291 @@
+//! # vaq-metrics
+//!
+//! Evaluation metrics matching the paper's §5.1 "Metrics":
+//!
+//! * [`sequence_prf`] — sequence-level precision/recall/F1 with IOU
+//!   matching at threshold `η` (the paper uses `η = 0.5`): a reported
+//!   sequence is a true positive iff its clip-IOU with some ground-truth
+//!   sequence reaches `η`; a ground-truth sequence missed by every reported
+//!   sequence is a false negative.
+//! * [`frame_prf`] — frame-level precision/recall/F1 (used in Figure 5's
+//!   clip-size study): result sequences are expanded to frames and compared
+//!   against the annotated ground-truth *frame spans*, making results with
+//!   different clip sizes comparable.
+//! * [`rate_metrics`] — raw detector rates (TPR/FPR) over aligned
+//!   prediction/truth indicator sequences, and [`clip_fpr`] for the
+//!   "with SVAQD" rows of Table 5 (fraction of truly-negative clips the
+//!   aggregated indicator still flags).
+
+#![warn(missing_docs)]
+
+use vaq_types::{SequenceSet, VideoGeometry};
+use vaq_video::span::{intersect_spans, normalize_spans, total_frames, FrameSpan};
+
+/// Confusion counts with derived precision/recall/F1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PrecisionRecall {
+    /// True positives.
+    pub tp: u64,
+    /// False positives.
+    pub fp: u64,
+    /// False negatives.
+    pub fn_: u64,
+}
+
+impl PrecisionRecall {
+    /// `tp / (tp + fp)`; `1.0` when nothing was reported and nothing was
+    /// expected, `0.0` when reports exist but none are right.
+    pub fn precision(&self) -> f64 {
+        if self.tp + self.fp == 0 {
+            return if self.fn_ == 0 { 1.0 } else { 0.0 };
+        }
+        self.tp as f64 / (self.tp + self.fp) as f64
+    }
+
+    /// `tp / (tp + fn)`; `1.0` when there was nothing to find.
+    pub fn recall(&self) -> f64 {
+        if self.tp + self.fn_ == 0 {
+            return if self.fp == 0 { 1.0 } else { 0.0 };
+        }
+        self.tp as f64 / (self.tp + self.fn_) as f64
+    }
+
+    /// Harmonic mean of precision and recall.
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            return 0.0;
+        }
+        2.0 * p * r / (p + r)
+    }
+}
+
+/// Sequence-level matching at IOU threshold `eta` (paper default 0.5).
+pub fn sequence_prf(result: &SequenceSet, truth: &SequenceSet, eta: f64) -> PrecisionRecall {
+    assert!((0.0..=1.0).contains(&eta), "eta {eta} outside [0,1]");
+    let mut counts = PrecisionRecall::default();
+    for r in result.intervals() {
+        if truth.intervals().iter().any(|t| r.iou(t) >= eta) {
+            counts.tp += 1;
+        } else {
+            counts.fp += 1;
+        }
+    }
+    for t in truth.intervals() {
+        if !result.intervals().iter().any(|r| r.iou(t) >= eta) {
+            counts.fn_ += 1;
+        }
+    }
+    counts
+}
+
+/// Expands a clip-level sequence set to frame spans under `geometry`.
+pub fn sequences_to_frame_spans(set: &SequenceSet, geometry: &VideoGeometry) -> Vec<FrameSpan> {
+    let fpc = geometry.frames_per_clip();
+    normalize_spans(
+        set.intervals()
+            .iter()
+            .map(|iv| FrameSpan::new(iv.start.raw() * fpc, (iv.end.raw() + 1) * fpc))
+            .collect(),
+    )
+}
+
+/// Frame-level precision/recall/F1: the reported sequences (clip-level,
+/// under `geometry`) against annotated ground-truth frame spans.
+pub fn frame_prf(
+    result: &SequenceSet,
+    geometry: &VideoGeometry,
+    truth_spans: &[FrameSpan],
+) -> PrecisionRecall {
+    let result_spans = sequences_to_frame_spans(result, geometry);
+    let truth = normalize_spans(truth_spans.to_vec());
+    let tp = total_frames(&intersect_spans(&result_spans, &truth));
+    let reported = total_frames(&result_spans);
+    let expected = total_frames(&truth);
+    PrecisionRecall {
+        tp,
+        fp: reported - tp,
+        fn_: expected - tp,
+    }
+}
+
+/// Raw rates over aligned per-occurrence-unit indicator sequences.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RateMetrics {
+    /// Prediction positive, truth positive.
+    pub tp: u64,
+    /// Prediction positive, truth negative.
+    pub fp: u64,
+    /// Prediction negative, truth negative.
+    pub tn: u64,
+    /// Prediction negative, truth positive.
+    pub fn_: u64,
+}
+
+impl RateMetrics {
+    /// True-positive rate `tp / (tp + fn)`.
+    pub fn tpr(&self) -> f64 {
+        if self.tp + self.fn_ == 0 {
+            return 0.0;
+        }
+        self.tp as f64 / (self.tp + self.fn_) as f64
+    }
+
+    /// False-positive rate `fp / (fp + tn)`.
+    pub fn fpr(&self) -> f64 {
+        if self.fp + self.tn == 0 {
+            return 0.0;
+        }
+        self.fp as f64 / (self.fp + self.tn) as f64
+    }
+}
+
+/// Confusion rates of aligned indicator sequences.
+///
+/// # Panics
+/// Panics if the slices' lengths differ.
+pub fn rate_metrics(predictions: &[bool], truth: &[bool]) -> RateMetrics {
+    assert_eq!(
+        predictions.len(),
+        truth.len(),
+        "prediction/truth length mismatch"
+    );
+    let mut m = RateMetrics::default();
+    for (&p, &t) in predictions.iter().zip(truth) {
+        match (p, t) {
+            (true, true) => m.tp += 1,
+            (true, false) => m.fp += 1,
+            (false, false) => m.tn += 1,
+            (false, true) => m.fn_ += 1,
+        }
+    }
+    m
+}
+
+/// Clip-level FPR of an aggregated indicator: the fraction of truly
+/// negative clips still flagged positive (Table 5's "w/ SVAQD" columns).
+pub fn clip_fpr(clip_predictions: &[bool], clip_truth: &[bool]) -> f64 {
+    rate_metrics(clip_predictions, clip_truth).fpr()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vaq_types::ClipInterval;
+
+    fn set(ivs: &[(u64, u64)]) -> SequenceSet {
+        SequenceSet::from_intervals(ivs.iter().map(|&(s, e)| ClipInterval::new(s, e)).collect())
+    }
+
+    #[test]
+    fn perfect_match_is_f1_one() {
+        let truth = set(&[(0, 9), (20, 29)]);
+        let m = sequence_prf(&truth, &truth, 0.5);
+        assert_eq!((m.tp, m.fp, m.fn_), (2, 0, 0));
+        assert_eq!(m.f1(), 1.0);
+    }
+
+    #[test]
+    fn iou_threshold_governs_matching() {
+        let truth = set(&[(0, 9)]);
+        // [0,4] vs [0,9]: IOU = 5/10 = 0.5.
+        let result = set(&[(0, 4)]);
+        assert_eq!(sequence_prf(&result, &truth, 0.5).f1(), 1.0);
+        assert_eq!(sequence_prf(&result, &truth, 0.6).f1(), 0.0);
+    }
+
+    #[test]
+    fn spurious_and_missed_sequences_counted() {
+        let truth = set(&[(0, 9), (50, 59)]);
+        let result = set(&[(0, 9), (100, 109)]);
+        let m = sequence_prf(&result, &truth, 0.5);
+        assert_eq!((m.tp, m.fp, m.fn_), (1, 1, 1));
+        assert!((m.precision() - 0.5).abs() < 1e-12);
+        assert!((m.recall() - 0.5).abs() < 1e-12);
+        assert!((m.f1() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_cases() {
+        let empty = SequenceSet::empty();
+        let truth = set(&[(0, 9)]);
+        let m = sequence_prf(&empty, &truth, 0.5);
+        assert_eq!(m.recall(), 0.0);
+        assert_eq!(m.precision(), 0.0);
+        let m = sequence_prf(&empty, &empty, 0.5);
+        assert_eq!(m.f1(), 1.0, "nothing to find, nothing reported");
+        let m = sequence_prf(&truth, &empty, 0.5);
+        assert_eq!(m.precision(), 0.0);
+    }
+
+    #[test]
+    fn one_result_covering_two_truths() {
+        // A single long result spanning two short ground truths can match
+        // at most those whose IOU clears η.
+        let truth = set(&[(0, 4), (10, 14)]);
+        let result = set(&[(0, 14)]);
+        let m = sequence_prf(&result, &truth, 0.5);
+        assert_eq!((m.tp, m.fp, m.fn_), (0, 1, 2), "15-clip result vs 5-clip truths");
+    }
+
+    #[test]
+    fn frame_level_f1_counts_frames() {
+        let g = VideoGeometry::PAPER_DEFAULT; // 50 frames/clip
+        let result = set(&[(0, 1)]); // frames 0..100
+        let truth = vec![FrameSpan::new(25, 125)];
+        let m = frame_prf(&result, &g, &truth);
+        assert_eq!(m.tp, 75);
+        assert_eq!(m.fp, 25);
+        assert_eq!(m.fn_, 25);
+        assert!((m.f1() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn frame_level_is_clip_size_invariant_for_aligned_results() {
+        // The same frame coverage reported under two different clip sizes
+        // yields the same frame-level F1 — the Figure 5 premise.
+        let truth = vec![FrameSpan::new(0, 600)];
+        let g_small = VideoGeometry::new(10, 2, 30).unwrap(); // 20-frame clips
+        let g_large = VideoGeometry::new(10, 6, 30).unwrap(); // 60-frame clips
+        let r_small = set(&[(0, 29)]); // frames 0..600
+        let r_large = set(&[(0, 9)]); // frames 0..600
+        let f_small = frame_prf(&r_small, &g_small, &truth).f1();
+        let f_large = frame_prf(&r_large, &g_large, &truth).f1();
+        assert!((f_small - f_large).abs() < 1e-12);
+        assert_eq!(f_small, 1.0);
+    }
+
+    #[test]
+    fn rate_metrics_confusion() {
+        let pred = [true, true, false, false, true];
+        let truth = [true, false, false, true, true];
+        let m = rate_metrics(&pred, &truth);
+        assert_eq!((m.tp, m.fp, m.tn, m.fn_), (2, 1, 1, 1));
+        assert!((m.tpr() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((m.fpr() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clip_fpr_is_fpr() {
+        let pred = [true, false, true, false];
+        let truth = [false, false, false, false];
+        assert!((clip_fpr(&pred, &truth) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        let _ = rate_metrics(&[true], &[true, false]);
+    }
+
+    #[test]
+    fn f1_zero_when_no_overlap() {
+        let m = PrecisionRecall {
+            tp: 0,
+            fp: 3,
+            fn_: 3,
+        };
+        assert_eq!(m.f1(), 0.0);
+    }
+}

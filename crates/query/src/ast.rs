@@ -1,0 +1,150 @@
+//! Abstract syntax tree for VAQ-SQL.
+
+/// A full query statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Statement {
+    /// Items of the `SELECT` list.
+    pub select: Vec<SelectItem>,
+    /// The `FROM (PROCESS …)` clause.
+    pub from: ProcessClause,
+    /// The `WHERE` expression.
+    pub predicate: Expr,
+    /// `ORDER BY RANK(…)` presence.
+    pub order_by_rank: bool,
+    /// `LIMIT K`.
+    pub limit: Option<u64>,
+}
+
+/// One `SELECT` list item.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectItem {
+    /// `MERGE(clipID) [AS alias]` — the result-sequence projection.
+    Merge {
+        /// Optional `AS` alias.
+        alias: Option<String>,
+    },
+    /// `RANK(act, obj)` — the ranking score projection (offline form).
+    Rank,
+}
+
+/// `FROM (PROCESS <video> PRODUCE <field> [, <field> USING <Model>]…)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProcessClause {
+    /// The processed video's name.
+    pub video: String,
+    /// Produced fields, e.g. `clipID`, `obj USING ObjectDetector`.
+    pub produce: Vec<ProduceItem>,
+}
+
+/// One `PRODUCE` item.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProduceItem {
+    /// Field name (`clipID`, `obj`, `act`, …).
+    pub field: String,
+    /// Model bound via `USING` (e.g. `ObjectDetector`), if any.
+    pub using: Option<String>,
+}
+
+/// Boolean predicate expression over atoms.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Conjunction.
+    And(Vec<Expr>),
+    /// Disjunction.
+    Or(Vec<Expr>),
+    /// An atomic predicate.
+    Atom(Atom),
+}
+
+/// Atomic predicates of the language.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Atom {
+    /// `act = 'label'`.
+    ActionEquals(String),
+    /// `obj.include('a', 'b', …)` (alias `obj.inc`).
+    ObjectsInclude(Vec<String>),
+    /// `obj.relate('a', 'left_of', 'b')` — footnote-2 extension.
+    Relate {
+        /// Subject object label.
+        subject: String,
+        /// Relation name (`left_of`, `right_of`, `above`, `below`,
+        /// `overlapping`).
+        relation: String,
+        /// Object (grammatical) label.
+        object: String,
+    },
+}
+
+impl Expr {
+    /// Normalizes to disjunctive normal form: a list of conjunctions of
+    /// atoms. The grammar produces shallow trees, so the blow-up is
+    /// bounded in practice; pathological inputs are capped by the caller.
+    pub fn to_dnf(&self) -> Vec<Vec<Atom>> {
+        match self {
+            Expr::Atom(a) => vec![vec![a.clone()]],
+            Expr::Or(es) => es.iter().flat_map(Expr::to_dnf).collect(),
+            Expr::And(es) => {
+                let mut acc: Vec<Vec<Atom>> = vec![Vec::new()];
+                for e in es {
+                    let parts = e.to_dnf();
+                    let mut next = Vec::with_capacity(acc.len() * parts.len());
+                    for lhs in &acc {
+                        for rhs in &parts {
+                            let mut clause = lhs.clone();
+                            clause.extend(rhs.iter().cloned());
+                            next.push(clause);
+                        }
+                    }
+                    acc = next;
+                }
+                acc
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn act(s: &str) -> Expr {
+        Expr::Atom(Atom::ActionEquals(s.into()))
+    }
+    fn objs(os: &[&str]) -> Expr {
+        Expr::Atom(Atom::ObjectsInclude(os.iter().map(|s| s.to_string()).collect()))
+    }
+
+    #[test]
+    fn dnf_of_atom() {
+        assert_eq!(act("a").to_dnf(), vec![vec![Atom::ActionEquals("a".into())]]);
+    }
+
+    #[test]
+    fn dnf_of_conjunction() {
+        let e = Expr::And(vec![act("a"), objs(&["car"])]);
+        let dnf = e.to_dnf();
+        assert_eq!(dnf.len(), 1);
+        assert_eq!(dnf[0].len(), 2);
+    }
+
+    #[test]
+    fn dnf_distributes_and_over_or() {
+        // (a1 OR a2) AND obj → two clauses.
+        let e = Expr::And(vec![Expr::Or(vec![act("a1"), act("a2")]), objs(&["car"])]);
+        let dnf = e.to_dnf();
+        assert_eq!(dnf.len(), 2);
+        assert!(dnf.iter().all(|c| c.len() == 2));
+    }
+
+    #[test]
+    fn dnf_of_nested_or() {
+        let e = Expr::Or(vec![
+            Expr::And(vec![act("a"), objs(&["x"])]),
+            act("b"),
+        ]);
+        let dnf = e.to_dnf();
+        assert_eq!(dnf.len(), 2);
+        assert_eq!(dnf[0].len(), 2);
+        assert_eq!(dnf[1].len(), 1);
+    }
+}

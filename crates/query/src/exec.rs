@@ -1,0 +1,511 @@
+//! Plan execution: drives the SVAQ/SVAQD engines (online) and RVAQ
+//! (offline) from a validated [`Plan`].
+
+use crate::plan::{Mode, Plan};
+use std::collections::HashMap;
+use vaq_core::offline::candidates;
+use vaq_core::offline::repository::{query_repository, RepoResult, Repository};
+use vaq_core::offline::tbclip::QueryTables;
+use vaq_core::online::OnlineEngine;
+use vaq_core::{rvaq, IngestOutput, OnlineConfig, RvaqOptions, ScoringModel};
+use vaq_detect::{ActionRecognizer, InferenceStats, ObjectDetector};
+use vaq_scanstats::{critical_value, ScanConfig};
+use vaq_storage::{ClipScoreTable, CostModel, MemTable, TableKey, VideoCatalog};
+use vaq_types::query::SpatialRelation;
+use vaq_types::{
+    ClipInterval, ObjectType, Query, Result, SequenceSet, VaqError,
+};
+use vaq_video::{SceneScript, VideoStream};
+
+/// The result of executing a plan.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryOutput {
+    /// Online mode: the merged result sequences (paper Eq. 4).
+    Sequences(SequenceSet),
+    /// Offline mode: the top-K sequences with their ranking scores.
+    Ranked(Vec<(ClipInterval, f64)>),
+    /// Repository mode: top-K sequences across many videos.
+    RankedRepo(Vec<RepoResult>),
+}
+
+/// Executes an online plan over a scripted stream.
+pub fn execute_online(
+    plan: &Plan,
+    script: &SceneScript,
+    detector: &dyn ObjectDetector,
+    recognizer: &dyn ActionRecognizer,
+    config: &OnlineConfig,
+) -> Result<(QueryOutput, InferenceStats)> {
+    if plan.mode != Mode::Online {
+        return Err(VaqError::InvalidQuery(
+            "plan is offline; use execute_offline".into(),
+        ));
+    }
+    let geometry = *script.geometry();
+    let mut stats = InferenceStats::default();
+    let mut result = SequenceSet::empty();
+
+    for clause in &plan.disjuncts {
+        // Conjunction over actions (footnote 3): evaluate each action's
+        // core query and intersect the per-clip positives.
+        let mut clause_result: Option<SequenceSet> = None;
+        for query in clause.core_queries() {
+            let core = Query::new(query.action, query.objects.clone());
+            let engine = OnlineEngine::new(core, *config, &geometry, detector, recognizer)?;
+            let run = engine.run(VideoStream::new(script));
+            stats.merge(&run.stats);
+            clause_result = Some(match clause_result {
+                None => run.sequences,
+                Some(prev) => prev.intersect(&run.sequences),
+            });
+        }
+        let mut clause_result = clause_result.unwrap_or_default();
+
+        // Relationship post-filter (footnote 2): frame-level box check.
+        if !clause.relationships.is_empty() {
+            clause_result = filter_relationships(
+                script,
+                &clause_result,
+                &clause.relationships,
+                detector,
+                config,
+                &mut stats,
+            )?;
+        }
+        result = result.union(&clause_result);
+    }
+    Ok((QueryOutput::Sequences(result), stats))
+}
+
+/// Keeps only clips on which every relationship holds on a statistically
+/// significant number of frames (critical value at the configured `p₀`).
+fn filter_relationships(
+    script: &SceneScript,
+    sequences: &SequenceSet,
+    relationships: &[(ObjectType, SpatialRelation, ObjectType)],
+    detector: &dyn ObjectDetector,
+    config: &OnlineConfig,
+    stats: &mut InferenceStats,
+) -> Result<SequenceSet> {
+    let geometry = script.geometry();
+    let fpc = geometry.frames_per_clip();
+    let scan = ScanConfig::new(fpc, config.horizon_clips * fpc, config.alpha)?;
+    let k_crit = critical_value(&scan, config.p0_obj);
+    let stream = VideoStream::new(script);
+
+    let mut kept = Vec::new();
+    for interval in sequences.intervals() {
+        for clip_id in interval.clips() {
+            let clip = stream.materialize(clip_id);
+            let mut counts = vec![0u64; relationships.len()];
+            for frame in &clip.frames {
+                let detections = detector.detect(frame);
+                for (ri, &(subj, rel, obj)) in relationships.iter().enumerate() {
+                    let holds = detections.iter().any(|a| {
+                        a.object == subj
+                            && a.score >= config.t_obj
+                            && detections.iter().any(|b| {
+                                b.object == obj
+                                    && b.score >= config.t_obj
+                                    && relation_holds(rel, &a.bbox, &b.bbox)
+                            })
+                    });
+                    if holds {
+                        counts[ri] += 1;
+                    }
+                }
+            }
+            stats.record_detector(clip.frames.len() as u64, detector.latency_ms());
+            if counts.iter().all(|&c| c >= k_crit) {
+                kept.push(ClipInterval::point(clip_id));
+            }
+        }
+    }
+    Ok(SequenceSet::from_intervals(kept))
+}
+
+fn relation_holds(rel: SpatialRelation, a: &vaq_types::BBox, b: &vaq_types::BBox) -> bool {
+    match rel {
+        SpatialRelation::LeftOf => a.left_of(b),
+        SpatialRelation::RightOf => b.left_of(a),
+        SpatialRelation::Above => a.above(b),
+        SpatialRelation::Below => b.above(a),
+        SpatialRelation::Overlapping => a.iou(b) > 0.0,
+    }
+}
+
+/// Where the offline executor reads its ingested artifacts from.
+pub enum OfflineSource<'a> {
+    /// In-memory ingestion output (tables materialized as [`MemTable`]s).
+    Ingest(&'a IngestOutput, CostModel),
+    /// An on-disk catalog (tables opened as file tables).
+    Catalog(&'a VideoCatalog),
+}
+
+impl OfflineSource<'_> {
+    fn sequences(&self, key: TableKey) -> Result<SequenceSet> {
+        match self {
+            OfflineSource::Ingest(out, _) => match key {
+                TableKey::Object(o) => out
+                    .object_sequences
+                    .get(&o)
+                    .cloned()
+                    .ok_or_else(|| VaqError::InvalidQuery(format!("object {o} not ingested"))),
+                TableKey::Action(a) => out
+                    .action_sequences
+                    .get(&a)
+                    .cloned()
+                    .ok_or_else(|| VaqError::InvalidQuery(format!("action {a} not ingested"))),
+            },
+            OfflineSource::Catalog(cat) => cat.sequences(key).cloned(),
+        }
+    }
+
+    fn table(&self, key: TableKey) -> Result<Box<dyn ClipScoreTable>> {
+        match self {
+            OfflineSource::Ingest(out, cost) => {
+                let rows = match key {
+                    TableKey::Object(o) => out.object_rows.get(&o),
+                    TableKey::Action(a) => out.action_rows.get(&a),
+                }
+                .ok_or_else(|| VaqError::InvalidQuery(format!("{key} not ingested")))?;
+                Ok(Box::new(MemTable::new(rows.clone(), *cost)))
+            }
+            OfflineSource::Catalog(cat) => Ok(Box::new(cat.table(key)?)),
+        }
+    }
+}
+
+/// Executes an offline plan against ingested artifacts.
+pub fn execute_offline(
+    plan: &Plan,
+    source: &OfflineSource<'_>,
+    scoring: &dyn ScoringModel,
+) -> Result<QueryOutput> {
+    let Mode::Offline { k } = plan.mode else {
+        return Err(VaqError::InvalidQuery(
+            "plan is online; use execute_online".into(),
+        ));
+    };
+
+    let mut merged: HashMap<(u64, u64), f64> = HashMap::new();
+    for clause in &plan.disjuncts {
+        if !clause.relationships.is_empty() {
+            return Err(VaqError::InvalidQuery(
+                "relationship predicates need frame-level boxes and are online-only; \
+                 the ingestion phase materializes per-type scores, not geometry"
+                    .into(),
+            ));
+        }
+        // Candidates: intersect all actions' and objects' sequences.
+        let mut seq_sets = Vec::new();
+        for &a in &clause.actions {
+            seq_sets.push(self_seq(source, TableKey::Action(a))?);
+        }
+        let action_seqs = seq_sets.remove(0);
+        let mut object_seqs = seq_sets; // extra actions behave like objects
+        for &o in &clause.objects {
+            object_seqs.push(self_seq(source, TableKey::Object(o))?);
+        }
+        let refs: Vec<&SequenceSet> = object_seqs.iter().collect();
+        let pq = candidates::candidates(&action_seqs, &refs);
+
+        // Tables: first action in the action slot; extra actions join the
+        // object slots (scoring g is monotone in every slot, so this is a
+        // conforming instantiation).
+        let action_table = source.table(TableKey::Action(clause.actions[0]))?;
+        let mut other_tables: Vec<Box<dyn ClipScoreTable>> = Vec::new();
+        for &a in &clause.actions[1..] {
+            other_tables.push(source.table(TableKey::Action(a))?);
+        }
+        for &o in &clause.objects {
+            other_tables.push(source.table(TableKey::Object(o))?);
+        }
+        let tables = QueryTables {
+            action: action_table.as_ref(),
+            objects: other_tables.iter().map(Box::as_ref).collect(),
+        };
+        let result = rvaq(&tables, &pq, scoring, &RvaqOptions::new(k));
+        for (iv, score) in result.sequences {
+            let entry = merged.entry((iv.start.raw(), iv.end.raw())).or_insert(score);
+            if score > *entry {
+                *entry = score;
+            }
+        }
+    }
+
+    let mut ranked: Vec<(ClipInterval, f64)> = merged
+        .into_iter()
+        .map(|((s, e), score)| (ClipInterval::new(s, e), score))
+        .collect();
+    ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+    ranked.truncate(k);
+    Ok(QueryOutput::Ranked(ranked))
+}
+
+fn self_seq(source: &OfflineSource<'_>, key: TableKey) -> Result<SequenceSet> {
+    source.sequences(key)
+}
+
+/// Executes an offline plan against a whole repository: top-K sequences
+/// across every ingested video. Disjunctions are supported (results
+/// unioned, deduplicated per video+interval, re-ranked); multi-action
+/// conjunctions and relationship predicates are not available at the
+/// repository level (the former needs per-clause table plumbing the
+/// repository API deliberately keeps simple, the latter is online-only).
+pub fn execute_repository(
+    plan: &Plan,
+    repo: &Repository,
+    scoring: &dyn ScoringModel,
+) -> Result<QueryOutput> {
+    let Mode::Offline { k } = plan.mode else {
+        return Err(VaqError::InvalidQuery(
+            "plan is online; use execute_online".into(),
+        ));
+    };
+    let mut merged: HashMap<(String, u64, u64), f64> = HashMap::new();
+    for clause in &plan.disjuncts {
+        if !clause.relationships.is_empty() {
+            return Err(VaqError::InvalidQuery(
+                "relationship predicates are online-only".into(),
+            ));
+        }
+        if clause.actions.len() != 1 {
+            return Err(VaqError::InvalidQuery(
+                "repository queries support one action predicate per conjunction".into(),
+            ));
+        }
+        let query = Query::new(clause.actions[0], clause.objects.clone());
+        let (results, _) = query_repository(repo, &query, scoring, k)?;
+        for r in results {
+            let key = (r.video, r.interval.start.raw(), r.interval.end.raw());
+            let entry = merged.entry(key).or_insert(r.score);
+            if r.score > *entry {
+                *entry = r.score;
+            }
+        }
+    }
+    let mut ranked: Vec<RepoResult> = merged
+        .into_iter()
+        .map(|((video, s, e), score)| RepoResult {
+            video,
+            interval: ClipInterval::new(s, e),
+            score,
+        })
+        .collect();
+    ranked.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal));
+    ranked.truncate(k);
+    Ok(QueryOutput::RankedRepo(ranked))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vaq_core::ingest;
+    use vaq_detect::profiles;
+    use vaq_detect::{IouTracker, SimulatedActionRecognizer, SimulatedObjectDetector};
+    use vaq_types::{vocab, VideoGeometry};
+    use vaq_video::SceneScriptBuilder;
+
+    fn script() -> SceneScript {
+        let objects = vocab::coco_objects();
+        let actions = vocab::kinetics_actions();
+        let car = objects.object("car").unwrap();
+        let person = objects.object("person").unwrap();
+        let jumping = actions.action("jumping").unwrap();
+        let archery = actions.action("archery").unwrap();
+        let mut b = SceneScriptBuilder::new(2000, VideoGeometry::PAPER_DEFAULT);
+        // person left, car right throughout 200..1200.
+        b.object_instance(car, 200, 1200, (0.8, 0.5), (0.2, 0.2), (0.0, 0.0))
+            .unwrap();
+        b.object_instance(person, 200, 1200, (0.2, 0.5), (0.15, 0.3), (0.0, 0.0))
+            .unwrap();
+        b.action_span(jumping, 400, 900).unwrap();
+        b.action_span(archery, 1500, 1900).unwrap();
+        b.build()
+    }
+
+    fn models() -> (SimulatedObjectDetector, SimulatedActionRecognizer) {
+        (
+            SimulatedObjectDetector::new(profiles::ideal_object(), 86, 1),
+            SimulatedActionRecognizer::new(profiles::ideal_action(), 36, 1),
+        )
+    }
+
+    fn plan_sql(sql: &str) -> Plan {
+        let stmt = crate::parse(sql).unwrap();
+        crate::plan::plan(&stmt, &vocab::coco_objects(), &vocab::kinetics_actions()).unwrap()
+    }
+
+    #[test]
+    fn online_end_to_end() {
+        let s = script();
+        let (det, rec) = models();
+        let p = plan_sql(
+            "SELECT MERGE(clipID) AS Sequence \
+             FROM (PROCESS v PRODUCE clipID, obj USING ObjectDetector, act USING ActionRecognizer) \
+             WHERE act='jumping' AND obj.include('car', 'person')",
+        );
+        let (out, stats) =
+            execute_online(&p, &s, &det, &rec, &OnlineConfig::svaqd()).unwrap();
+        let QueryOutput::Sequences(seqs) = out else {
+            panic!("expected sequences")
+        };
+        // jumping 400..900 ∩ objects 200..1200 → clips 8..17.
+        assert_eq!(seqs.intervals(), &[ClipInterval::new(8, 17)]);
+        assert!(stats.detector_frames > 0);
+    }
+
+    #[test]
+    fn online_disjunction_unions_results() {
+        let s = script();
+        let (det, rec) = models();
+        let p = plan_sql(
+            "SELECT MERGE(clipID) FROM (PROCESS v PRODUCE clipID) \
+             WHERE (act='jumping' AND obj.include('car')) OR act='archery'",
+        );
+        let (out, _) = execute_online(&p, &s, &det, &rec, &OnlineConfig::svaqd()).unwrap();
+        let QueryOutput::Sequences(seqs) = out else {
+            panic!()
+        };
+        assert_eq!(
+            seqs.intervals(),
+            &[ClipInterval::new(8, 17), ClipInterval::new(30, 37)]
+        );
+    }
+
+    #[test]
+    fn online_multi_action_conjunction_is_empty_when_disjoint() {
+        let s = script();
+        let (det, rec) = models();
+        let p = plan_sql(
+            "SELECT MERGE(clipID) FROM (PROCESS v PRODUCE clipID) \
+             WHERE act='jumping' AND act='archery'",
+        );
+        let (out, _) = execute_online(&p, &s, &det, &rec, &OnlineConfig::svaqd()).unwrap();
+        assert_eq!(out, QueryOutput::Sequences(SequenceSet::empty()));
+    }
+
+    #[test]
+    fn online_relationship_filter() {
+        let s = script();
+        let (det, rec) = models();
+        // person IS left of car → passes.
+        let p = plan_sql(
+            "SELECT MERGE(clipID) FROM (PROCESS v PRODUCE clipID) \
+             WHERE act='jumping' AND obj.include('person','car') \
+             AND obj.relate('person','left_of','car')",
+        );
+        let (out, _) = execute_online(&p, &s, &det, &rec, &OnlineConfig::svaqd()).unwrap();
+        let QueryOutput::Sequences(seqs) = out else {
+            panic!()
+        };
+        assert_eq!(seqs.intervals(), &[ClipInterval::new(8, 17)]);
+
+        // person is NOT right of car → empty.
+        let p = plan_sql(
+            "SELECT MERGE(clipID) FROM (PROCESS v PRODUCE clipID) \
+             WHERE act='jumping' AND obj.include('person','car') \
+             AND obj.relate('person','right_of','car')",
+        );
+        let (out, _) = execute_online(&p, &s, &det, &rec, &OnlineConfig::svaqd()).unwrap();
+        assert_eq!(out, QueryOutput::Sequences(SequenceSet::empty()));
+    }
+
+    #[test]
+    fn offline_end_to_end_over_ingest() {
+        let s = script();
+        let (det, rec) = models();
+        let mut tracker = IouTracker::new(profiles::ideal_tracker(), 1);
+        let out = ingest(&s, "v", &det, &rec, &mut tracker, &OnlineConfig::svaqd()).unwrap();
+        let p = plan_sql(
+            "SELECT MERGE(clipID), RANK(act, obj) \
+             FROM (PROCESS v PRODUCE clipID, obj USING ObjectTracker, act USING ActionRecognizer) \
+             WHERE act='jumping' AND obj.include('car','person') \
+             ORDER BY RANK(act, obj) LIMIT 3",
+        );
+        let source = OfflineSource::Ingest(&out, CostModel::FREE);
+        let result = execute_offline(&p, &source, &vaq_core::PaperScoring).unwrap();
+        let QueryOutput::Ranked(ranked) = result else {
+            panic!()
+        };
+        assert_eq!(ranked.len(), 1, "one candidate sequence exists");
+        assert_eq!(ranked[0].0, ClipInterval::new(8, 17));
+        assert!(ranked[0].1 > 0.0);
+    }
+
+    #[test]
+    fn offline_rejects_relationships() {
+        let s = script();
+        let (det, rec) = models();
+        let mut tracker = IouTracker::new(profiles::ideal_tracker(), 1);
+        let out = ingest(&s, "v", &det, &rec, &mut tracker, &OnlineConfig::svaqd()).unwrap();
+        let p = plan_sql(
+            "SELECT MERGE(clipID) FROM (PROCESS v PRODUCE clipID) \
+             WHERE act='jumping' AND obj.include('person','car') \
+             AND obj.relate('person','left_of','car') LIMIT 2",
+        );
+        let source = OfflineSource::Ingest(&out, CostModel::FREE);
+        let err = execute_offline(&p, &source, &vaq_core::PaperScoring).unwrap_err();
+        assert!(err.to_string().contains("online-only"));
+    }
+
+    #[test]
+    fn repository_execution_ranks_across_videos() {
+        let root = std::env::temp_dir().join(format!("vaq-exec-repo-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        std::fs::create_dir_all(&root).unwrap();
+        let (det, rec) = models();
+        let mut repo =
+            vaq_core::Repository::open(&root, CostModel::FREE).unwrap();
+        // Two videos with the same structure; the second gets two car
+        // instances, so its sequence outscores the first's.
+        let objects = vocab::coco_objects();
+        let actions = vocab::kinetics_actions();
+        for (name, cars) in [("one", 1), ("two", 2)] {
+            let mut b = SceneScriptBuilder::new(1500, VideoGeometry::PAPER_DEFAULT);
+            for _ in 0..cars {
+                b.object_span(objects.object("car").unwrap(), 100, 1200).unwrap();
+            }
+            b.action_span(actions.action("jumping").unwrap(), 300, 900).unwrap();
+            let script = b.build();
+            let mut tracker = IouTracker::new(profiles::ideal_tracker(), 1);
+            let out =
+                ingest(&script, name, &det, &rec, &mut tracker, &OnlineConfig::svaqd()).unwrap();
+            repo.add(&out).unwrap();
+        }
+        let p = plan_sql(
+            "SELECT MERGE(clipID), RANK(act,obj) FROM (PROCESS any PRODUCE clipID)              WHERE act='jumping' AND obj.include('car') ORDER BY RANK(act,obj) LIMIT 3",
+        );
+        let out = super::execute_repository(&p, &repo, &vaq_core::PaperScoring).unwrap();
+        let QueryOutput::RankedRepo(rows) = out else {
+            panic!("expected repo output")
+        };
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].video, "two");
+        assert_eq!(rows[1].video, "one");
+        assert!(rows[0].score > rows[1].score);
+    }
+
+    #[test]
+    fn repository_execution_rejects_online_plans() {
+        let root = std::env::temp_dir().join(format!("vaq-exec-repo2-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        std::fs::create_dir_all(&root).unwrap();
+        let repo = vaq_core::Repository::open(&root, CostModel::FREE).unwrap();
+        let p = plan_sql(
+            "SELECT MERGE(clipID) FROM (PROCESS v PRODUCE clipID) WHERE act='jumping'",
+        );
+        assert!(super::execute_repository(&p, &repo, &vaq_core::PaperScoring).is_err());
+    }
+
+    #[test]
+    fn mode_mismatch_is_error() {
+        let s = script();
+        let (det, rec) = models();
+        let p = plan_sql(
+            "SELECT MERGE(clipID) FROM (PROCESS v PRODUCE clipID) WHERE act='jumping' LIMIT 2",
+        );
+        assert!(execute_online(&p, &s, &det, &rec, &OnlineConfig::svaqd()).is_err());
+    }
+}

@@ -1,0 +1,48 @@
+//! # vaq-query
+//!
+//! VAQ-SQL: the declarative query frontend of the paper's §1–§2 examples.
+//!
+//! ```sql
+//! -- online (streaming) form
+//! SELECT MERGE(clipID) AS Sequence
+//! FROM (PROCESS inputVideo PRODUCE clipID, obj USING ObjectDetector,
+//!       act USING ActionRecognizer)
+//! WHERE act = 'jumping' AND obj.include('car', 'person')
+//!
+//! -- offline (top-K) form
+//! SELECT MERGE(clipID) AS Sequence, RANK(act, obj)
+//! FROM (PROCESS inputVideo PRODUCE clipID, obj USING ObjectTracker,
+//!       act USING ActionRecognizer)
+//! WHERE act = 'jumping' AND obj.include('car', 'person')
+//! ORDER BY RANK(act, obj) LIMIT 5
+//! ```
+//!
+//! The pipeline is classic: [`lexer`] → [`parser`] (AST in [`ast`]) →
+//! [`plan`] (semantic validation against the model vocabularies, DNF
+//! normalization of the `WHERE` clause, online/offline routing) → [`exec`]
+//! (drives [`vaq_core`]'s engines).
+//!
+//! Beyond the paper's core grammar, the footnote extensions are accepted:
+//! multiple action predicates (footnote 3; conjunction over per-clip
+//! indicators), disjunctions via `OR` with parentheses (footnote 4; the
+//! planner normalizes to a disjunction of conjunctive queries and the
+//! executor unions their results), and spatial relationship predicates
+//! `obj.relate('a', 'left_of', 'b')` (footnote 2; online-only frame-level
+//! post-filter).
+
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod exec;
+pub mod lexer;
+pub mod parser;
+pub mod plan;
+
+pub use ast::Statement;
+pub use exec::{execute_offline, execute_online, execute_repository, OfflineSource, QueryOutput};
+pub use plan::{plan, Mode, Plan};
+
+/// Parses a VAQ-SQL string into its AST.
+pub fn parse(sql: &str) -> vaq_types::Result<Statement> {
+    parser::Parser::new(sql)?.parse_statement()
+}

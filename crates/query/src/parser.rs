@@ -1,0 +1,426 @@
+//! Recursive-descent parser for VAQ-SQL.
+
+use crate::ast::{Atom, Expr, ProcessClause, ProduceItem, SelectItem, Statement};
+use crate::lexer::{tokenize, Tok, Token};
+use vaq_types::{Result, VaqError};
+
+/// The parser; create with [`Parser::new`], consume with
+/// [`Parser::parse_statement`].
+pub struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    /// Tokenizes the input.
+    pub fn new(src: &str) -> Result<Self> {
+        Ok(Self {
+            tokens: tokenize(src)?,
+            pos: 0,
+        })
+    }
+
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos.min(self.tokens.len() - 1)]
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.tokens[self.pos.min(self.tokens.len() - 1)].clone();
+        self.pos += 1;
+        t
+    }
+
+    fn err<T>(&self, message: impl Into<String>) -> Result<T> {
+        Err(VaqError::Parse {
+            message: message.into(),
+            offset: self.peek().offset,
+        })
+    }
+
+    /// Consumes a keyword (case-insensitive) or fails.
+    fn expect_kw(&mut self, kw: &str) -> Result<()> {
+        match &self.peek().tok {
+            Tok::Ident(s) if s.eq_ignore_ascii_case(kw) => {
+                self.bump();
+                Ok(())
+            }
+            other => self.err(format!("expected {kw}, found {other:?}")),
+        }
+    }
+
+    /// Checks (and consumes) an optional keyword.
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if matches!(&self.peek().tok, Tok::Ident(s) if s.eq_ignore_ascii_case(kw)) {
+            self.bump();
+            return true;
+        }
+        false
+    }
+
+    fn expect_tok(&mut self, tok: &Tok, what: &str) -> Result<()> {
+        if &self.peek().tok == tok {
+            self.bump();
+            Ok(())
+        } else {
+            self.err(format!("expected {what}, found {:?}", self.peek().tok))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String> {
+        match self.peek().tok.clone() {
+            Tok::Ident(s) => {
+                self.bump();
+                Ok(s)
+            }
+            other => self.err(format!("expected identifier, found {other:?}")),
+        }
+    }
+
+    fn string(&mut self) -> Result<String> {
+        match self.peek().tok.clone() {
+            Tok::Str(s) => {
+                self.bump();
+                Ok(s)
+            }
+            other => self.err(format!("expected string literal, found {other:?}")),
+        }
+    }
+
+    /// Parses a full statement and requires EOF afterwards.
+    pub fn parse_statement(&mut self) -> Result<Statement> {
+        self.expect_kw("SELECT")?;
+        let select = self.parse_select_list()?;
+        self.expect_kw("FROM")?;
+        let from = self.parse_process()?;
+        self.expect_kw("WHERE")?;
+        let predicate = self.parse_or()?;
+
+        let mut order_by_rank = false;
+        if self.eat_kw("ORDER") {
+            self.expect_kw("BY")?;
+            self.expect_kw("RANK")?;
+            self.skip_arglist()?;
+            order_by_rank = true;
+        }
+        let mut limit = None;
+        if self.eat_kw("LIMIT") {
+            match self.peek().tok.clone() {
+                Tok::Num(n) => {
+                    self.bump();
+                    limit = Some(n);
+                }
+                _ => return self.err("expected a number after LIMIT"),
+            }
+        }
+        match &self.peek().tok {
+            Tok::Eof => Ok(Statement {
+                select,
+                from,
+                predicate,
+                order_by_rank,
+                limit,
+            }),
+            other => self.err(format!("trailing input: {other:?}")),
+        }
+    }
+
+    fn parse_select_list(&mut self) -> Result<Vec<SelectItem>> {
+        let mut items = Vec::new();
+        loop {
+            if self.eat_kw("MERGE") {
+                self.expect_tok(&Tok::LParen, "(")?;
+                let field = self.ident()?;
+                if !field.eq_ignore_ascii_case("clipID") {
+                    return self.err(format!("MERGE expects clipID, found {field}"));
+                }
+                self.expect_tok(&Tok::RParen, ")")?;
+                let alias = if self.eat_kw("AS") { Some(self.ident()?) } else { None };
+                items.push(SelectItem::Merge { alias });
+            } else if self.eat_kw("RANK") {
+                self.skip_arglist()?;
+                items.push(SelectItem::Rank);
+            } else {
+                return self.err("expected MERGE(clipID) or RANK(…) in SELECT list");
+            }
+            if !matches!(self.peek().tok, Tok::Comma) {
+                break;
+            }
+            self.bump();
+        }
+        Ok(items)
+    }
+
+    /// Skips a parenthesized identifier list, e.g. `RANK(act, obj)`.
+    fn skip_arglist(&mut self) -> Result<()> {
+        self.expect_tok(&Tok::LParen, "(")?;
+        loop {
+            match self.bump().tok {
+                Tok::RParen => return Ok(()),
+                Tok::Eof => return self.err("unterminated argument list"),
+                _ => {}
+            }
+        }
+    }
+
+    fn parse_process(&mut self) -> Result<ProcessClause> {
+        self.expect_tok(&Tok::LParen, "(")?;
+        self.expect_kw("PROCESS")?;
+        let video = self.ident()?;
+        self.expect_kw("PRODUCE")?;
+        let mut produce = Vec::new();
+        loop {
+            let field = self.ident()?;
+            let using = if self.eat_kw("USING") { Some(self.ident()?) } else { None };
+            produce.push(ProduceItem { field, using });
+            if matches!(self.peek().tok, Tok::Comma) {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.expect_tok(&Tok::RParen, ")")?;
+        Ok(ProcessClause { video, produce })
+    }
+
+    fn parse_or(&mut self) -> Result<Expr> {
+        let mut parts = vec![self.parse_and()?];
+        while self.eat_kw("OR") {
+            parts.push(self.parse_and()?);
+        }
+        Ok(if parts.len() == 1 {
+            parts.pop().expect("one element")
+        } else {
+            Expr::Or(parts)
+        })
+    }
+
+    fn parse_and(&mut self) -> Result<Expr> {
+        let mut parts = vec![self.parse_primary()?];
+        while self.eat_kw("AND") {
+            parts.push(self.parse_primary()?);
+        }
+        Ok(if parts.len() == 1 {
+            parts.pop().expect("one element")
+        } else {
+            Expr::And(parts)
+        })
+    }
+
+    fn parse_primary(&mut self) -> Result<Expr> {
+        if matches!(self.peek().tok, Tok::LParen) {
+            self.bump();
+            let e = self.parse_or()?;
+            self.expect_tok(&Tok::RParen, ")")?;
+            return Ok(e);
+        }
+        let head = self.ident()?;
+        if head.eq_ignore_ascii_case("act") {
+            self.expect_tok(&Tok::Eq, "=")?;
+            let label = self.string()?;
+            return Ok(Expr::Atom(Atom::ActionEquals(label)));
+        }
+        if head.eq_ignore_ascii_case("obj") {
+            self.expect_tok(&Tok::Dot, ".")?;
+            let method = self.ident()?;
+            if method.eq_ignore_ascii_case("include") || method.eq_ignore_ascii_case("inc") {
+                self.expect_tok(&Tok::LParen, "(")?;
+                let mut labels = vec![self.string()?];
+                while matches!(self.peek().tok, Tok::Comma) {
+                    self.bump();
+                    labels.push(self.string()?);
+                }
+                self.expect_tok(&Tok::RParen, ")")?;
+                return Ok(Expr::Atom(Atom::ObjectsInclude(labels)));
+            }
+            if method.eq_ignore_ascii_case("relate") {
+                self.expect_tok(&Tok::LParen, "(")?;
+                let subject = self.string()?;
+                self.expect_tok(&Tok::Comma, ",")?;
+                let relation = self.string()?;
+                self.expect_tok(&Tok::Comma, ",")?;
+                let object = self.string()?;
+                self.expect_tok(&Tok::RParen, ")")?;
+                return Ok(Expr::Atom(Atom::Relate {
+                    subject,
+                    relation,
+                    object,
+                }));
+            }
+            return self.err(format!("unknown obj method {method}"));
+        }
+        self.err(format!("unknown predicate head {head}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ONLINE: &str = "SELECT MERGE(clipID) AS Sequence \
+        FROM (PROCESS inputVideo PRODUCE clipID, obj USING ObjectDetector, \
+        act USING ActionRecognizer) \
+        WHERE act='jumping' AND obj.include('car', 'person')";
+
+    const OFFLINE: &str = "SELECT MERGE(clipID) AS Sequence, RANK(act, obj) \
+        FROM (PROCESS movie PRODUCE clipID, obj USING ObjectTracker, \
+        act USING ActionRecognizer) \
+        WHERE act='smoking' AND obj.include('wine glass', 'cup') \
+        ORDER BY RANK(act, obj) LIMIT 5";
+
+    #[test]
+    fn parses_paper_online_example() {
+        let stmt = Parser::new(ONLINE).unwrap().parse_statement().unwrap();
+        assert_eq!(stmt.select.len(), 1);
+        assert_eq!(stmt.from.video, "inputVideo");
+        assert_eq!(stmt.from.produce.len(), 3);
+        assert_eq!(stmt.from.produce[1].using.as_deref(), Some("ObjectDetector"));
+        assert!(!stmt.order_by_rank);
+        assert_eq!(stmt.limit, None);
+        let dnf = stmt.predicate.to_dnf();
+        assert_eq!(dnf.len(), 1);
+        assert_eq!(dnf[0].len(), 2);
+    }
+
+    #[test]
+    fn parses_paper_offline_example() {
+        let stmt = Parser::new(OFFLINE).unwrap().parse_statement().unwrap();
+        assert!(stmt.order_by_rank);
+        assert_eq!(stmt.limit, Some(5));
+        assert!(matches!(stmt.select[1], SelectItem::Rank));
+        match &stmt.predicate {
+            Expr::And(parts) => assert_eq!(parts.len(), 2),
+            other => panic!("expected And, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn keywords_case_insensitive() {
+        let s = "select merge(CLIPID) from (process v produce clipID) where act='x'";
+        assert!(Parser::new(s).unwrap().parse_statement().is_ok());
+    }
+
+    #[test]
+    fn obj_inc_alias() {
+        let s = "SELECT MERGE(clipID) FROM (PROCESS v PRODUCE clipID) \
+                 WHERE act='x' AND obj.inc('car')";
+        let stmt = Parser::new(s).unwrap().parse_statement().unwrap();
+        let dnf = stmt.predicate.to_dnf();
+        assert!(matches!(&dnf[0][1], Atom::ObjectsInclude(v) if v == &vec!["car".to_string()]));
+    }
+
+    #[test]
+    fn disjunction_with_parentheses() {
+        let s = "SELECT MERGE(clipID) FROM (PROCESS v PRODUCE clipID) \
+                 WHERE (act='a' AND obj.include('x')) OR act='b'";
+        let stmt = Parser::new(s).unwrap().parse_statement().unwrap();
+        assert_eq!(stmt.predicate.to_dnf().len(), 2);
+    }
+
+    #[test]
+    fn relate_predicate() {
+        let s = "SELECT MERGE(clipID) FROM (PROCESS v PRODUCE clipID) \
+                 WHERE act='a' AND obj.include('person','car') \
+                 AND obj.relate('person', 'left_of', 'car')";
+        let stmt = Parser::new(s).unwrap().parse_statement().unwrap();
+        let dnf = stmt.predicate.to_dnf();
+        assert!(matches!(&dnf[0][2], Atom::Relate { relation, .. } if relation == "left_of"));
+    }
+
+    #[test]
+    fn error_messages_carry_offsets() {
+        let err = Parser::new("SELECT NOPE").unwrap().parse_statement().unwrap_err();
+        match err {
+            VaqError::Parse { offset, message } => {
+                assert_eq!(offset, 7);
+                assert!(message.contains("MERGE"));
+            }
+            other => panic!("wrong error {other}"),
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        let s = "SELECT MERGE(clipID) FROM (PROCESS v PRODUCE clipID) WHERE act='x' extra";
+        assert!(Parser::new(s).unwrap().parse_statement().is_err());
+    }
+
+    #[test]
+    fn merge_requires_clip_id() {
+        let s = "SELECT MERGE(frame) FROM (PROCESS v PRODUCE clipID) WHERE act='x'";
+        let err = Parser::new(s).unwrap().parse_statement().unwrap_err();
+        assert!(err.to_string().contains("clipID"));
+    }
+
+    #[test]
+    fn limit_requires_number() {
+        let s = "SELECT MERGE(clipID) FROM (PROCESS v PRODUCE clipID) \
+                 WHERE act='x' ORDER BY RANK(act) LIMIT many";
+        assert!(Parser::new(s).unwrap().parse_statement().is_err());
+    }
+
+    mod fuzz {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(256))]
+
+            /// Arbitrary input must parse or produce a typed error — never
+            /// panic, never loop.
+            #[test]
+            fn prop_never_panics_on_arbitrary_input(input in ".{0,200}") {
+                if let Ok(mut p) = Parser::new(&input) {
+                    let _ = p.parse_statement();
+                }
+            }
+
+            /// Arbitrary SQL-ish token soup likewise.
+            #[test]
+            fn prop_never_panics_on_token_soup(
+                words in proptest::collection::vec(
+                    proptest::sample::select(vec![
+                        "SELECT", "MERGE", "(", ")", "clipID", "FROM", "PROCESS",
+                        "PRODUCE", "WHERE", "act", "=", "'x'", "obj", ".",
+                        "include", "AND", "OR", "ORDER", "BY", "RANK", "LIMIT",
+                        "5", ",", "AS", "USING",
+                    ]),
+                    0..30,
+                )
+            ) {
+                let input = words.join(" ");
+                if let Ok(mut p) = Parser::new(&input) {
+                    let _ = p.parse_statement();
+                }
+            }
+
+            /// Well-formed single-clause queries always parse, for any
+            /// label contents (quotes escaped by doubling).
+            #[test]
+            fn prop_wellformed_queries_parse(
+                action in "[a-zA-Z ]{1,20}",
+                objects in proptest::collection::vec("[a-zA-Z ]{1,15}", 1..4),
+                k in proptest::option::of(1u64..100),
+            ) {
+                let objs = objects
+                    .iter()
+                    .map(|o| format!("'{o}'"))
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                let tail = match k {
+                    Some(k) => format!(" ORDER BY RANK(act, obj) LIMIT {k}"),
+                    None => String::new(),
+                };
+                let sql = format!(
+                    "SELECT MERGE(clipID){} FROM (PROCESS v PRODUCE clipID) \
+                     WHERE act='{action}' AND obj.include({objs}){tail}",
+                    if k.is_some() { ", RANK(act, obj)" } else { "" },
+                );
+                let stmt = Parser::new(&sql).unwrap().parse_statement().unwrap();
+                prop_assert_eq!(stmt.limit, k);
+                let dnf = stmt.predicate.to_dnf();
+                prop_assert_eq!(dnf.len(), 1);
+                prop_assert_eq!(dnf[0].len(), 2);
+            }
+        }
+    }
+}

@@ -1,0 +1,144 @@
+//! Numerically careful binomial probability mass and distribution functions.
+//!
+//! Naus's `Q₂`/`Q₃` formulas are combinations of binomial pmf/cdf terms
+//! `b(k; n, p)` and `F(r; n, p)` at small window sizes `n = w, w−1, w−2` but
+//! potentially extreme rates (`p` down to `1e-6` in the paper's Figure-2
+//! sweep), so everything is computed in log space.
+
+/// Natural log of `n!`, computed by direct summation (windows are small —
+/// hundreds of trials at most — so the O(n) cost is irrelevant and exact
+/// summation beats Stirling's approximation on accuracy).
+pub fn ln_factorial(n: u64) -> f64 {
+    (2..=n).map(|i| (i as f64).ln()).sum()
+}
+
+/// Natural log of the binomial coefficient `C(n, k)`.
+pub fn ln_choose(n: u64, k: u64) -> f64 {
+    assert!(k <= n, "ln_choose: k={k} > n={n}");
+    ln_factorial(n) - ln_factorial(k) - ln_factorial(n - k)
+}
+
+/// Binomial pmf `b(k; n, p) = C(n,k) p^k (1-p)^(n-k)`.
+///
+/// Returns `0.0` for `k > n`. Handles the degenerate rates `p = 0` and
+/// `p = 1` exactly.
+pub fn binom_pmf(k: u64, n: u64, p: f64) -> f64 {
+    debug_assert!((0.0..=1.0).contains(&p), "p={p} outside [0,1]");
+    if k > n {
+        return 0.0;
+    }
+    if p == 0.0 {
+        return if k == 0 { 1.0 } else { 0.0 };
+    }
+    if p == 1.0 {
+        return if k == n { 1.0 } else { 0.0 };
+    }
+    let ln = ln_choose(n, k) + k as f64 * p.ln() + (n - k) as f64 * (1.0 - p).ln();
+    ln.exp()
+}
+
+/// Binomial cdf `F(r; n, p) = P(Bin(n, p) ≤ r)`.
+///
+/// Accepts a *signed* `r` because Naus's formulas index terms like
+/// `F(k−5; …)` that go negative for small `k`; any negative `r` yields `0`.
+pub fn binom_cdf(r: i64, n: u64, p: f64) -> f64 {
+    if r < 0 {
+        return 0.0;
+    }
+    let r = r as u64;
+    if r >= n {
+        return 1.0;
+    }
+    // Sum from the smaller tail for accuracy.
+    let direct: f64 = (0..=r).map(|k| binom_pmf(k, n, p)).sum();
+    direct.min(1.0)
+}
+
+/// Binomial pmf accepting a signed index (negative or `> n` ⇒ `0`), matching
+/// how Naus's formulas index `b(2k−r; w)` for varying `r`.
+pub fn binom_pmf_i(k: i64, n: u64, p: f64) -> f64 {
+    if k < 0 {
+        return 0.0;
+    }
+    binom_pmf(k as u64, n, p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn factorial_small_values() {
+        assert_eq!(ln_factorial(0), 0.0);
+        assert_eq!(ln_factorial(1), 0.0);
+        assert!((ln_factorial(5) - 120f64.ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn choose_matches_pascal() {
+        assert!((ln_choose(5, 2).exp() - 10.0).abs() < 1e-9);
+        assert!((ln_choose(10, 0).exp() - 1.0).abs() < 1e-12);
+        assert!((ln_choose(10, 10).exp() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pmf_known_values() {
+        // Bin(4, 0.5): pmf(2) = 6/16.
+        assert!((binom_pmf(2, 4, 0.5) - 0.375).abs() < 1e-12);
+        assert_eq!(binom_pmf(5, 4, 0.5), 0.0);
+    }
+
+    #[test]
+    fn pmf_degenerate_rates() {
+        assert_eq!(binom_pmf(0, 10, 0.0), 1.0);
+        assert_eq!(binom_pmf(1, 10, 0.0), 0.0);
+        assert_eq!(binom_pmf(10, 10, 1.0), 1.0);
+        assert_eq!(binom_pmf(9, 10, 1.0), 0.0);
+    }
+
+    #[test]
+    fn cdf_boundaries() {
+        assert_eq!(binom_cdf(-1, 10, 0.3), 0.0);
+        assert_eq!(binom_cdf(10, 10, 0.3), 1.0);
+        assert_eq!(binom_cdf(99, 10, 0.3), 1.0);
+    }
+
+    #[test]
+    fn cdf_known_value() {
+        // P(Bin(3, 0.5) ≤ 1) = (1 + 3)/8.
+        assert!((binom_cdf(1, 3, 0.5) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pmf_signed_wrapper() {
+        assert_eq!(binom_pmf_i(-3, 10, 0.4), 0.0);
+        assert_eq!(binom_pmf_i(2, 10, 0.4), binom_pmf(2, 10, 0.4));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_pmf_sums_to_one(n in 1u64..60, p in 0.0f64..=1.0) {
+            let total: f64 = (0..=n).map(|k| binom_pmf(k, n, p)).sum();
+            prop_assert!((total - 1.0).abs() < 1e-9, "sum={total}");
+        }
+
+        #[test]
+        fn prop_cdf_monotone(n in 1u64..40, p in 0.001f64..0.999) {
+            let mut prev = 0.0;
+            for r in 0..=n as i64 {
+                let c = binom_cdf(r, n, p);
+                prop_assert!(c + 1e-12 >= prev);
+                prev = c;
+            }
+        }
+
+        #[test]
+        fn prop_cdf_complements(n in 1u64..40, p in 0.001f64..0.999, r in 0i64..40) {
+            prop_assume!(r < n as i64);
+            let lower = binom_cdf(r, n, p);
+            let upper: f64 = ((r + 1) as u64..=n).map(|k| binom_pmf(k, n, p)).sum();
+            prop_assert!((lower + upper - 1.0).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,266 @@
+//! Critical-value computation (the paper's Eq. 5).
+//!
+//! `k_crit` is the smallest event count that is *statistically significant*
+//! in a scanning window: the smallest `k` with
+//! `P(S_w(N) ≥ k | p₀, w, L) ≤ α`. SVAQ computes it once per predicate;
+//! SVAQD recomputes it every time the background-rate estimate moves, so a
+//! small quantizing cache ([`CriticalValueCache`]) keeps the recomputation
+//! cost negligible.
+
+use crate::naus::scan_prob;
+use std::collections::HashMap;
+use vaq_types::{Result, VaqError};
+
+/// Parameters of the scan-statistics test, fixed per predicate kind.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScanConfig {
+    /// Scanning-window length in occurrence units. For object predicates the
+    /// OU is a frame and `window` is the clip length in frames; for the
+    /// action predicate the OU is a shot and `window` is the clip length in
+    /// shots (paper §3.2).
+    pub window: u64,
+    /// Reference horizon `N` in occurrence units (`L = N / window` windows).
+    /// The paper leaves `N` implicit ("after N OUs have been observed"); we
+    /// expose it as the length of stream over which the family-wise α is
+    /// controlled.
+    pub horizon: u64,
+    /// Significance level `α` of Eq. 5.
+    pub alpha: f64,
+}
+
+impl ScanConfig {
+    /// Validates and builds a configuration.
+    pub fn new(window: u64, horizon: u64, alpha: f64) -> Result<Self> {
+        if window == 0 {
+            return Err(VaqError::InvalidConfig("scan window must be positive".into()));
+        }
+        if horizon < window {
+            return Err(VaqError::InvalidConfig(format!(
+                "horizon {horizon} shorter than window {window}"
+            )));
+        }
+        if !(alpha > 0.0 && alpha < 1.0) {
+            return Err(VaqError::InvalidConfig(format!(
+                "significance level must lie in (0,1), got {alpha}"
+            )));
+        }
+        Ok(Self {
+            window,
+            horizon,
+            alpha,
+        })
+    }
+}
+
+/// Smallest `k ∈ [1, w]` with `P(S_w(N) ≥ k) ≤ α`, saturating at `w` when
+/// even a fully saturated window is not significant (then a clip indicator
+/// can only fire on an all-positive window — the most conservative choice).
+///
+/// `scan_prob` is monotone non-increasing in `k`, so a binary search over
+/// `[1, w]` suffices.
+pub fn critical_value(cfg: &ScanConfig, p0: f64) -> u64 {
+    critical_value_checked(cfg, p0).unwrap_or(cfg.window)
+}
+
+/// Like [`critical_value`] but reports saturation as an error instead of
+/// silently clamping to `w`.
+pub fn critical_value_checked(cfg: &ScanConfig, p0: f64) -> Result<u64> {
+    if !(0.0..=1.0).contains(&p0) {
+        return Err(VaqError::Statistics(format!(
+            "background probability {p0} outside [0,1]"
+        )));
+    }
+    let w = cfg.window;
+    if scan_prob(w, w, cfg.horizon, p0) > cfg.alpha {
+        return Err(VaqError::Statistics(format!(
+            "no critical value: even k=w={w} has scan probability above α={} at p0={p0}",
+            cfg.alpha
+        )));
+    }
+    // Binary search for the first k whose tail probability drops to ≤ α.
+    let (mut lo, mut hi) = (1u64, w);
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        if scan_prob(mid, w, cfg.horizon, p0) <= cfg.alpha {
+            hi = mid;
+        } else {
+            lo = mid + 1;
+        }
+    }
+    Ok(lo)
+}
+
+/// Memoizing wrapper around [`critical_value`] for SVAQD's frequent
+/// recomputations. Background probabilities are quantized to three
+/// significant decimal digits before lookup; the cached value is computed
+/// *for the quantized probability*, so the cache is deterministic (two
+/// callers with nearly identical estimates get identical critical values).
+#[derive(Debug)]
+pub struct CriticalValueCache {
+    cfg: ScanConfig,
+    cache: HashMap<u64, u64>,
+}
+
+impl CriticalValueCache {
+    /// Creates an empty cache for the given configuration.
+    pub fn new(cfg: ScanConfig) -> Self {
+        Self {
+            cfg,
+            cache: HashMap::new(),
+        }
+    }
+
+    /// The configuration this cache serves.
+    pub fn config(&self) -> &ScanConfig {
+        &self.cfg
+    }
+
+    /// Quantizes `p` to three significant digits (in its decade), clamped to
+    /// `[1e-9, 1.0]` so vanishing estimates stay computable.
+    pub fn quantize(p: f64) -> f64 {
+        let p = p.clamp(1e-9, 1.0);
+        let decade = p.log10().floor();
+        let scale = 10f64.powf(2.0 - decade);
+        (p * scale).round() / scale
+    }
+
+    /// Critical value for (the quantization of) `p`, computing and caching
+    /// on miss.
+    pub fn get(&mut self, p: f64) -> u64 {
+        let q = Self::quantize(p);
+        let key = q.to_bits();
+        if let Some(&k) = self.cache.get(&key) {
+            return k;
+        }
+        let k = critical_value(&self.cfg, q);
+        self.cache.insert(key, k);
+        k
+    }
+
+    /// Number of distinct quantized probabilities computed so far.
+    pub fn len(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.cache.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn cfg(w: u64, n: u64, alpha: f64) -> ScanConfig {
+        ScanConfig::new(w, n, alpha).unwrap()
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(ScanConfig::new(0, 100, 0.05).is_err());
+        assert!(ScanConfig::new(10, 5, 0.05).is_err());
+        assert!(ScanConfig::new(10, 100, 0.0).is_err());
+        assert!(ScanConfig::new(10, 100, 1.0).is_err());
+        assert!(ScanConfig::new(10, 100, 0.05).is_ok());
+    }
+
+    #[test]
+    fn critical_value_is_significant_and_minimal() {
+        let c = cfg(50, 10_000, 0.05);
+        let p0 = 1e-3;
+        let k = critical_value_checked(&c, p0).unwrap();
+        assert!(crate::scan_prob(k, c.window, c.horizon, p0) <= c.alpha);
+        if k > 1 {
+            assert!(crate::scan_prob(k - 1, c.window, c.horizon, p0) > c.alpha);
+        }
+    }
+
+    #[test]
+    fn tiny_background_rate_gives_small_k() {
+        // At p0 = 1e-6 over a modest horizon, even two events in a window
+        // are wildly significant.
+        let c = cfg(50, 10_000, 0.05);
+        let k = critical_value(&c, 1e-6);
+        assert!(k <= 2, "k={k}");
+    }
+
+    #[test]
+    fn large_background_rate_needs_more_events() {
+        let c = cfg(50, 10_000, 0.05);
+        let k_low = critical_value(&c, 1e-4);
+        let k_high = critical_value(&c, 0.05);
+        assert!(k_high > k_low, "k({:e})={k_low}, k(0.05)={k_high}", 1e-4);
+    }
+
+    #[test]
+    fn saturation_reported_as_error() {
+        // p0 = 0.9: every window is nearly full; nothing is "unusual".
+        let c = cfg(20, 10_000, 0.001);
+        assert!(critical_value_checked(&c, 0.9).is_err());
+        assert_eq!(critical_value(&c, 0.9), 20, "saturates at w");
+    }
+
+    #[test]
+    fn invalid_probability_rejected() {
+        let c = cfg(10, 100, 0.05);
+        assert!(critical_value_checked(&c, -0.1).is_err());
+        assert!(critical_value_checked(&c, 1.5).is_err());
+    }
+
+    #[test]
+    fn quantization_three_significant_digits() {
+        assert_eq!(CriticalValueCache::quantize(0.123456), 0.123);
+        assert_eq!(CriticalValueCache::quantize(1.23456e-4), 1.23e-4);
+        assert_eq!(CriticalValueCache::quantize(0.0), 1e-9);
+        assert_eq!(CriticalValueCache::quantize(1.0), 1.0);
+    }
+
+    #[test]
+    fn cache_hits_do_not_grow() {
+        let mut cache = CriticalValueCache::new(cfg(50, 10_000, 0.05));
+        let a = cache.get(1.0001e-3);
+        let b = cache.get(1.0004e-3); // same quantization bucket
+        assert_eq!(a, b);
+        assert_eq!(cache.len(), 1);
+        let _ = cache.get(5e-2);
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn cache_matches_direct_computation() {
+        let c = cfg(50, 10_000, 0.05);
+        let mut cache = CriticalValueCache::new(c);
+        for &p in &[1e-5, 1e-4, 1e-3, 1e-2, 0.05] {
+            assert_eq!(cache.get(p), critical_value(&c, CriticalValueCache::quantize(p)));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        #[test]
+        fn prop_critical_value_monotone_in_p(w in 8u64..40, exp in 1i32..5) {
+            let c = cfg(w, w * 200, 0.05);
+            let mut prev = 0;
+            for step in 1..=8 {
+                let p = step as f64 * 10f64.powi(-exp) / 8.0;
+                let k = critical_value(&c, p);
+                prop_assert!(k >= prev, "p={p}: k={k} < prev {prev}");
+                prev = k;
+            }
+        }
+
+        #[test]
+        fn prop_critical_value_weakly_decreasing_in_alpha(w in 8u64..30) {
+            let p = 2e-3;
+            let mut prev = u64::MAX;
+            for alpha in [0.001, 0.01, 0.05, 0.1, 0.3] {
+                let k = critical_value(&cfg(w, w * 100, alpha), p);
+                prop_assert!(k <= prev);
+                prev = k;
+            }
+        }
+    }
+}

@@ -1,0 +1,174 @@
+//! Critical values for Markov-dependent trials — the paper's footnote-7
+//! extension.
+//!
+//! Detector positives on consecutive frames are not independent: an object
+//! visible now tends to be visible on the next frame, and a detector that
+//! hallucinated once may keep hallucinating for a stretch. Footnote 7
+//! sketches handling such dependence with the finite-Markov-chain-embedding
+//! (FMCE) technique. This module provides exactly that for first-order
+//! chains: the scan-statistic distribution is computed by the exact
+//! window-bitmask chain of [`crate::exact`] (an FMCE instance — the chain
+//! state embeds the window contents and the "quota reached" event is an
+//! absorbing state), and the critical value is the smallest significant `k`
+//! under the *dependent* trial model.
+//!
+//! Positive autocorrelation concentrates successes, so Markov-aware
+//! critical values are **larger** than iid ones at the same stationary
+//! rate — using the iid value under bursty noise over-fires the indicator.
+
+use crate::critical::ScanConfig;
+use crate::exact::{exact_scan_prob_markov, MarkovRates, MAX_EXACT_WINDOW};
+use vaq_types::{Result, VaqError};
+
+/// Smallest `k ∈ [1, w]` with `P(S_w(N) ≥ k) ≤ α` under first-order
+/// Markov-dependent Bernoulli trials.
+///
+/// Limited to `window ≤ MAX_EXACT_WINDOW` (the FMCE state space is `2^w`);
+/// for longer windows use the iid approximation with a dependence-inflated
+/// rate, or reduce the occurrence-unit granularity.
+pub fn critical_value_markov(cfg: &ScanConfig, rates: MarkovRates) -> Result<u64> {
+    if cfg.window > MAX_EXACT_WINDOW {
+        return Err(VaqError::Statistics(format!(
+            "Markov critical values need window ≤ {MAX_EXACT_WINDOW} (got {}); \
+             the FMCE state space is 2^w",
+            cfg.window
+        )));
+    }
+    for (name, p) in [
+        ("p_after_failure", rates.p_after_failure),
+        ("p_after_success", rates.p_after_success),
+        ("p_initial", rates.p_initial),
+    ] {
+        if !(0.0..=1.0).contains(&p) {
+            return Err(VaqError::Statistics(format!("{name}={p} outside [0,1]")));
+        }
+    }
+    let w = cfg.window;
+    if exact_scan_prob_markov(w, w, cfg.horizon, rates) > cfg.alpha {
+        return Err(VaqError::Statistics(format!(
+            "no Markov critical value: even k=w={w} exceeds α={}",
+            cfg.alpha
+        )));
+    }
+    let (mut lo, mut hi) = (1u64, w);
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        if exact_scan_prob_markov(mid, w, cfg.horizon, rates) <= cfg.alpha {
+            hi = mid;
+        } else {
+            lo = mid + 1;
+        }
+    }
+    Ok(lo)
+}
+
+/// Builds bursty [`MarkovRates`] from a stationary rate `pi` and a
+/// persistence probability `rho = P(success | previous success)`.
+///
+/// Solving `pi = pi·rho + (1 − pi)·a` for the after-failure rate `a`
+/// requires `rho ≥ pi` is not necessary, but `a` must stay in `[0, 1]`;
+/// out-of-range combinations are rejected.
+pub fn bursty_rates(pi: f64, rho: f64) -> Result<MarkovRates> {
+    if !(0.0..=1.0).contains(&pi) || !(0.0..=1.0).contains(&rho) {
+        return Err(VaqError::Statistics(format!(
+            "pi={pi} / rho={rho} outside [0,1]"
+        )));
+    }
+    if pi >= 1.0 {
+        return Ok(MarkovRates::iid(1.0));
+    }
+    let a = pi * (1.0 - rho) / (1.0 - pi);
+    if !(0.0..=1.0).contains(&a) {
+        return Err(VaqError::Statistics(format!(
+            "persistence rho={rho} infeasible at stationary rate pi={pi} (a={a})"
+        )));
+    }
+    Ok(MarkovRates {
+        p_after_failure: a,
+        p_after_success: rho,
+        p_initial: pi,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::critical::critical_value;
+
+    fn cfg(w: u64) -> ScanConfig {
+        ScanConfig::new(w, w * 100, 0.05).unwrap()
+    }
+
+    #[test]
+    fn iid_rates_match_plain_critical_value_closely() {
+        let c = cfg(10);
+        let p = 0.02;
+        let markov = critical_value_markov(&c, MarkovRates::iid(p)).unwrap();
+        let iid = critical_value(&c, p);
+        // The Naus approximation and the exact DP may differ by at most one
+        // count at these scales.
+        assert!(
+            (markov as i64 - iid as i64).abs() <= 1,
+            "markov {markov} vs iid {iid}"
+        );
+    }
+
+    #[test]
+    fn bursty_noise_needs_larger_critical_values() {
+        let c = cfg(12);
+        let pi = 0.05;
+        let iid_k = critical_value_markov(&c, MarkovRates::iid(pi)).unwrap();
+        // Moderate persistence: strong enough to concentrate successes,
+        // weak enough that a fully saturated window stays significant.
+        let bursty = bursty_rates(pi, 0.4).unwrap();
+        let bursty_k = critical_value_markov(&c, bursty).unwrap();
+        assert!(
+            bursty_k > iid_k,
+            "bursty k {bursty_k} should exceed iid k {iid_k}"
+        );
+    }
+
+    #[test]
+    fn bursty_rates_have_requested_stationary_rate() {
+        let r = bursty_rates(0.1, 0.6).unwrap();
+        assert!((r.stationary() - 0.1).abs() < 1e-12);
+        assert!(r.p_after_success > r.p_after_failure);
+    }
+
+    #[test]
+    fn oversized_window_rejected() {
+        let c = ScanConfig::new(32, 3200, 0.05).unwrap();
+        assert!(critical_value_markov(&c, MarkovRates::iid(0.01)).is_err());
+    }
+
+    #[test]
+    fn invalid_rates_rejected() {
+        let c = cfg(8);
+        let bad = MarkovRates {
+            p_after_failure: -0.1,
+            p_after_success: 0.5,
+            p_initial: 0.1,
+        };
+        assert!(critical_value_markov(&c, bad).is_err());
+        assert!(bursty_rates(1.5, 0.5).is_err());
+        assert!(bursty_rates(0.9, 0.0).is_err(), "a would exceed 1");
+    }
+
+    #[test]
+    fn saturation_is_an_error() {
+        let c = ScanConfig::new(6, 600, 0.001).unwrap();
+        let r = MarkovRates::iid(0.9);
+        assert!(critical_value_markov(&c, r).is_err());
+    }
+
+    #[test]
+    fn significance_holds_at_the_returned_value() {
+        let c = cfg(10);
+        let rates = bursty_rates(0.03, 0.5).unwrap();
+        let k = critical_value_markov(&c, rates).unwrap();
+        assert!(exact_scan_prob_markov(k, 10, c.horizon, rates) <= c.alpha);
+        if k > 1 {
+            assert!(exact_scan_prob_markov(k - 1, 10, c.horizon, rates) > c.alpha);
+        }
+    }
+}

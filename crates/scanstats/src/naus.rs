@@ -1,0 +1,275 @@
+//! Naus's approximation for the distribution of the discrete scan statistic.
+//!
+//! Let `S_w(N)` be the maximum number of successes observed in any window of
+//! `w` consecutive Bernoulli(`p`) trials among `N` trials. Naus (1982,
+//! *J. Amer. Statist. Assoc.* 77) gives exact expressions for
+//! `Q₂ = P(S_w(2w) < k)` and `Q₃ = P(S_w(3w) < k)` and the remarkably
+//! accurate extrapolation (the paper's footnote 6):
+//!
+//! ```text
+//! P(S_w(N) ≥ k)  ≈  1 − Q₂ · (Q₃ / Q₂)^(L−2),        L = N / w.
+//! ```
+//!
+//! The exact `Q₂`/`Q₃` formulas below follow Naus (1982) as reproduced in
+//! Glaz, Naus & Wallenstein, *Scan Statistics* (2001), ch. 13, with
+//! `b(j; n) = P(Bin(n,p) = j)` and `F(r; n) = P(Bin(n,p) ≤ r)`:
+//!
+//! ```text
+//! Q₂ = F(k−1; w)² − (k−1)·b(k; w)·F(k−2; w) + w·p·b(k; w)·F(k−3; w−1)
+//!
+//! Q₃ = F(k−1; w)³ − A₁ + A₂ + A₃ − A₄
+//! A₁ = 2·b(k; w)·F(k−1; w)·[ (k−1)·F(k−2; w) − w·p·F(k−3; w−1) ]
+//! A₂ = ½·b(k; w)²·[ (k−1)(k−2)·F(k−3; w) − 2(k−2)·w·p·F(k−4; w−1)
+//!                    + w(w−1)·p²·F(k−5; w−2) ]
+//! A₃ = Σ_{r=1}^{k−1} b(2k−r; w)·F(r−1; w)²
+//! A₄ = Σ_{r=2}^{k−1} b(2k−r; w)·b(r; w)·[ (r−1)·F(r−2; w) − w·p·F(r−3; w−1) ]
+//! ```
+//!
+//! The property tests in this crate cross-validate the approximation against
+//! the exact window-bitmask dynamic program ([`crate::exact`]) and a
+//! Monte-Carlo simulation.
+
+use crate::binomial::{binom_cdf, binom_pmf, binom_pmf_i};
+
+/// Exact `Q₂ = P(S_w(2w) < k)` under iid Bernoulli(`p`) trials.
+///
+/// Result is clamped to `[0, 1]` to absorb floating-point noise at extreme
+/// parameters.
+pub fn q2(k: u64, w: u64, p: f64) -> f64 {
+    debug_assert!(w >= 1);
+    if k == 0 {
+        return 0.0; // S ≥ 0 always, so P(S < 0) = 0.
+    }
+    if k > 2 * w {
+        return 1.0;
+    }
+    let ki = k as i64;
+    let f = |r: i64, n: u64| binom_cdf(r, n, p);
+    let bk = binom_pmf(k, w, p);
+    let val = f(ki - 1, w).powi(2) - (k as f64 - 1.0) * bk * f(ki - 2, w)
+        + w as f64 * p * bk * f(ki - 3, w.saturating_sub(1));
+    val.clamp(0.0, 1.0)
+}
+
+/// Exact `Q₃ = P(S_w(3w) < k)` under iid Bernoulli(`p`) trials.
+pub fn q3(k: u64, w: u64, p: f64) -> f64 {
+    debug_assert!(w >= 1);
+    if k == 0 {
+        return 0.0;
+    }
+    if k > 3 * w {
+        return 1.0;
+    }
+    let ki = k as i64;
+    let f = |r: i64, n: u64| binom_cdf(r, n, p);
+    let b = |j: i64, n: u64| binom_pmf_i(j, n, p);
+    let wf = w as f64;
+    let kf = k as f64;
+    let bk = b(ki, w);
+    let f_k1 = f(ki - 1, w);
+
+    let a1 = 2.0 * bk * f_k1 * ((kf - 1.0) * f(ki - 2, w) - wf * p * f(ki - 3, w.saturating_sub(1)));
+    let a2 = 0.5
+        * bk
+        * bk
+        * ((kf - 1.0) * (kf - 2.0) * f(ki - 3, w)
+            - 2.0 * (kf - 2.0) * wf * p * f(ki - 4, w.saturating_sub(1))
+            + wf * (wf - 1.0) * p * p * f(ki - 5, w.saturating_sub(2)));
+    let mut a3 = 0.0;
+    for r in 1..=ki - 1 {
+        a3 += b(2 * ki - r, w) * f(r - 1, w).powi(2);
+    }
+    let mut a4 = 0.0;
+    for r in 2..=ki - 1 {
+        a4 += b(2 * ki - r, w)
+            * b(r, w)
+            * ((r as f64 - 1.0) * f(r - 2, w) - wf * p * f(r - 3, w.saturating_sub(1)));
+    }
+
+    (f_k1.powi(3) - a1 + a2 + a3 - a4).clamp(0.0, 1.0)
+}
+
+/// Naus's approximation of `P(S_w(N) ≥ k | p, w, L)` with `L = N / w`
+/// (the paper's Eq. 5 left-hand side).
+///
+/// Degenerate cases are handled exactly: `k = 0` ⇒ `1`; `k > w` ⇒ `0`
+/// (a window of `w` trials cannot hold more than `w` successes); `p = 0` ⇒
+/// `0` for `k ≥ 1`; `p = 1` ⇒ `1` for `k ≤ w` (given `N ≥ w`). For `N < 2w`
+/// the scan reduces to at most a handful of windows and we return the
+/// single-window bound `P(Bin(w,p) ≥ k)` when only one full window exists,
+/// or `1 − Q₂` when `w ≤ N < 3w`.
+pub fn scan_prob(k: u64, w: u64, big_n: u64, p: f64) -> f64 {
+    assert!(w >= 1, "window length must be positive");
+    assert!((0.0..=1.0).contains(&p), "p={p} outside [0,1]");
+    if k == 0 {
+        return 1.0;
+    }
+    if k > w || big_n < w {
+        return 0.0;
+    }
+    if p == 0.0 {
+        return 0.0;
+    }
+    if p == 1.0 {
+        return 1.0;
+    }
+    if big_n < 2 * w {
+        // Single full window (plus partial shifts ≤ w trials of slack): the
+        // dominant term is the one-window binomial tail; we use it directly.
+        return (1.0 - binom_cdf(k as i64 - 1, w, p)).clamp(0.0, 1.0);
+    }
+    let q2v = q2(k, w, p);
+    if big_n < 3 * w {
+        return (1.0 - q2v).clamp(0.0, 1.0);
+    }
+    if q2v <= f64::MIN_POSITIVE {
+        // The two-window survival probability is already ~0: some window
+        // reaches k almost surely.
+        return 1.0;
+    }
+    let q3v = q3(k, w, p);
+    let l = big_n as f64 / w as f64;
+    let ratio = (q3v / q2v).clamp(0.0, 1.0);
+    (1.0 - q2v * ratio.powf(l - 2.0)).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::{exact_scan_prob, monte_carlo_scan_prob};
+    use proptest::prelude::*;
+
+    #[test]
+    fn degenerate_cases() {
+        assert_eq!(scan_prob(0, 10, 100, 0.3), 1.0);
+        assert_eq!(scan_prob(11, 10, 100, 0.3), 0.0);
+        assert_eq!(scan_prob(3, 10, 100, 0.0), 0.0);
+        assert_eq!(scan_prob(3, 10, 100, 1.0), 1.0);
+        assert_eq!(scan_prob(3, 10, 5, 0.9), 0.0, "N < w has no full window");
+    }
+
+    #[test]
+    fn q2_is_a_probability_and_monotone_in_k() {
+        let (w, p) = (12, 0.2);
+        let mut prev = 0.0;
+        for k in 1..=w {
+            let q = q2(k, w, p);
+            assert!((0.0..=1.0).contains(&q), "q2({k})={q}");
+            assert!(q + 1e-9 >= prev, "q2 must grow with k");
+            prev = q;
+        }
+    }
+
+    #[test]
+    fn q2_matches_exact_two_window_probability() {
+        // Q2 is *exact* for N = 2w; compare with the bitmask DP.
+        for &(k, w, p) in &[(2u64, 5u64, 0.1f64), (3, 5, 0.3), (4, 8, 0.2), (1, 4, 0.05)] {
+            let approx = 1.0 - q2(k, w, p);
+            let exact = exact_scan_prob(k, w, 2 * w, p);
+            assert!(
+                (approx - exact).abs() < 1e-9,
+                "k={k} w={w} p={p}: 1-Q2={approx} exact={exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn q3_matches_exact_three_window_probability() {
+        for &(k, w, p) in &[(2u64, 5u64, 0.1f64), (3, 5, 0.3), (4, 8, 0.2), (2, 6, 0.15)] {
+            let approx = 1.0 - q3(k, w, p);
+            let exact = exact_scan_prob(k, w, 3 * w, p);
+            assert!(
+                (approx - exact).abs() < 1e-9,
+                "k={k} w={w} p={p}: 1-Q3={approx} exact={exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn approximation_close_to_exact_dp() {
+        // The Naus extrapolation should track the exact DP within a small
+        // absolute error across moderate parameter ranges.
+        for &(k, w, n, p) in &[
+            (3u64, 8u64, 80u64, 0.1f64),
+            (4, 8, 160, 0.1),
+            (5, 10, 100, 0.2),
+            (2, 6, 120, 0.02),
+            (6, 12, 240, 0.15),
+        ] {
+            let approx = scan_prob(k, w, n, p);
+            let exact = exact_scan_prob(k, w, n, p);
+            assert!(
+                (approx - exact).abs() < 0.02,
+                "k={k} w={w} N={n} p={p}: approx={approx} exact={exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn matches_monte_carlo_on_larger_window() {
+        let (k, w, n, p) = (7u64, 30u64, 600u64, 0.1f64);
+        let approx = scan_prob(k, w, n, p);
+        let mc = monte_carlo_scan_prob(k, w, n, p, 40_000, 0xC0FFEE);
+        assert!(
+            (approx - mc).abs() < 0.02,
+            "approx={approx} monte-carlo={mc}"
+        );
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn prop_scan_prob_in_unit_interval(
+            k in 1u64..12, w in 2u64..14, l in 1u64..20, p in 0.0f64..=1.0
+        ) {
+            let v = scan_prob(k, w, w * l, p);
+            prop_assert!((0.0..=1.0).contains(&v));
+        }
+
+        #[test]
+        fn prop_monotone_decreasing_in_k(w in 3u64..12, l in 3u64..12, p in 0.01f64..0.5) {
+            let n = w * l;
+            let mut prev = 1.0;
+            for k in 1..=w {
+                let v = scan_prob(k, w, n, p);
+                prop_assert!(v <= prev + 1e-9, "k={k}: {v} > prev {prev}");
+                prev = v;
+            }
+        }
+
+        #[test]
+        fn prop_monotone_increasing_in_n(k in 2u64..6, w in 6u64..12, p in 0.01f64..0.4) {
+            let mut prev = 0.0;
+            for l in 3u64..14 {
+                let v = scan_prob(k, w, w * l, p);
+                prop_assert!(v + 1e-9 >= prev, "L={l}: {v} < prev {prev}");
+                prev = v;
+            }
+        }
+
+        #[test]
+        fn prop_monotone_increasing_in_p(k in 2u64..6, w in 6u64..12, l in 3u64..10) {
+            let n = w * l;
+            let mut prev = 0.0;
+            for i in 1..=20 {
+                let p = i as f64 * 0.03;
+                let v = scan_prob(k, w, n, p);
+                prop_assert!(v + 1e-6 >= prev, "p={p}: {v} < prev {prev}");
+                prev = v;
+            }
+        }
+
+        #[test]
+        fn prop_tracks_exact_dp(k in 1u64..6, w in 3u64..10, l in 2u64..10, p in 0.01f64..0.35) {
+            let n = w * l;
+            prop_assume!(k <= w);
+            let approx = scan_prob(k, w, n, p);
+            let exact = exact_scan_prob(k, w, n, p);
+            prop_assert!(
+                (approx - exact).abs() < 0.05,
+                "k={k} w={w} N={n} p={p}: approx={approx} exact={exact}"
+            );
+        }
+    }
+}

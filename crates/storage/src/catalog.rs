@@ -1,0 +1,362 @@
+//! The per-video ingestion catalog.
+//!
+//! The paper's ingestion phase (§4.2) materializes, per video and per
+//! object/action type: a clip score table and the type's *individual
+//! sequences* (`P_{o_i}` / `P_{a_j}` — maximal runs of clips with positive
+//! indicators). A [`VideoCatalog`] is that materialization on disk:
+//!
+//! ```text
+//! <dir>/manifest.json      — name, geometry, frame count, table inventory
+//! <dir>/sequences.json     — individual sequences per type
+//! <dir>/obj_<id>.{tbl,idx} — object clip score tables
+//! <dir>/act_<id>.{tbl,idx} — action clip score tables
+//! ```
+//!
+//! Adding or removing a video from a repository is adding or removing its
+//! catalog directory — matching the paper's observation that multi-video
+//! repositories just associate a video identifier with each `cid`.
+
+use crate::cost::CostModel;
+use crate::file::{FileTable, FileTableWriter};
+use crate::table::{ScoreRow, TableKey};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::{Path, PathBuf};
+use vaq_types::{ActionType, ObjectType, Result, SequenceSet, VaqError, VideoGeometry};
+
+/// The JSON manifest at the root of a catalog directory.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct CatalogManifest {
+    /// Human-readable video name.
+    pub name: String,
+    /// Total frames in the video.
+    pub num_frames: u64,
+    /// Shot/clip geometry used at ingestion.
+    pub geometry: VideoGeometry,
+    /// Raw ids of object types with materialized tables.
+    pub object_tables: Vec<u32>,
+    /// Raw ids of action types with materialized tables.
+    pub action_tables: Vec<u32>,
+}
+
+impl CatalogManifest {
+    /// Number of complete clips in the video.
+    pub fn num_clips(&self) -> u64 {
+        self.geometry.num_clips(self.num_frames)
+    }
+}
+
+#[derive(Debug, Default, Serialize, Deserialize)]
+struct SequencesFile {
+    /// `"obj:<id>"` / `"act:<id>"` → list of `(c_l, c_r)` pairs.
+    sequences: BTreeMap<String, Vec<(u64, u64)>>,
+}
+
+fn key_name(key: TableKey) -> String {
+    match key {
+        TableKey::Object(o) => format!("obj:{}", o.raw()),
+        TableKey::Action(a) => format!("act:{}", a.raw()),
+    }
+}
+
+fn table_base(dir: &Path, key: TableKey) -> PathBuf {
+    match key {
+        TableKey::Object(o) => dir.join(format!("obj_{}", o.raw())),
+        TableKey::Action(a) => dir.join(format!("act_{}", a.raw())),
+    }
+}
+
+/// Write-side of a catalog: collects tables and sequences, then finalizes
+/// the manifest (written last, so a crashed ingestion leaves no manifest
+/// and the directory is recognizably incomplete).
+#[derive(Debug)]
+pub struct CatalogWriter {
+    dir: PathBuf,
+    name: String,
+    geometry: VideoGeometry,
+    num_frames: u64,
+    object_tables: Vec<u32>,
+    action_tables: Vec<u32>,
+    sequences: SequencesFile,
+}
+
+impl CatalogWriter {
+    /// Starts a catalog in `dir` (created if absent; an existing manifest is
+    /// an error — catalogs are immutable once finished).
+    pub fn create(
+        dir: impl Into<PathBuf>,
+        name: impl Into<String>,
+        geometry: VideoGeometry,
+        num_frames: u64,
+    ) -> Result<Self> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        if dir.join("manifest.json").exists() {
+            return Err(VaqError::Storage(format!(
+                "{}: catalog already exists",
+                dir.display()
+            )));
+        }
+        Ok(Self {
+            dir,
+            name: name.into(),
+            geometry,
+            num_frames,
+            object_tables: Vec::new(),
+            action_tables: Vec::new(),
+            sequences: SequencesFile::default(),
+        })
+    }
+
+    /// Writes the clip score table and individual sequences for one type.
+    pub fn add(
+        &mut self,
+        key: TableKey,
+        rows: Vec<ScoreRow>,
+        sequences: &SequenceSet,
+    ) -> Result<()> {
+        FileTableWriter::write(&table_base(&self.dir, key), rows)?;
+        match key {
+            TableKey::Object(o) => self.object_tables.push(o.raw()),
+            TableKey::Action(a) => self.action_tables.push(a.raw()),
+        }
+        self.sequences.sequences.insert(
+            key_name(key),
+            sequences
+                .intervals()
+                .iter()
+                .map(|iv| (iv.start.raw(), iv.end.raw()))
+                .collect(),
+        );
+        Ok(())
+    }
+
+    /// Finalizes the catalog: writes `sequences.json` then `manifest.json`.
+    pub fn finish(mut self) -> Result<CatalogManifest> {
+        self.object_tables.sort_unstable();
+        self.action_tables.sort_unstable();
+        let manifest = CatalogManifest {
+            name: self.name,
+            num_frames: self.num_frames,
+            geometry: self.geometry,
+            object_tables: self.object_tables,
+            action_tables: self.action_tables,
+        };
+        let seq_json = serde_json::to_vec_pretty(&self.sequences)
+            .map_err(|e| VaqError::Storage(format!("serializing sequences: {e}")))?;
+        fs::write(self.dir.join("sequences.json"), seq_json)?;
+        let man_json = serde_json::to_vec_pretty(&manifest)
+            .map_err(|e| VaqError::Storage(format!("serializing manifest: {e}")))?;
+        fs::write(self.dir.join("manifest.json"), man_json)?;
+        Ok(manifest)
+    }
+}
+
+/// Read-side of a catalog.
+#[derive(Debug)]
+pub struct VideoCatalog {
+    dir: PathBuf,
+    manifest: CatalogManifest,
+    sequences: BTreeMap<String, SequenceSet>,
+    cost: CostModel,
+}
+
+impl VideoCatalog {
+    /// Opens the catalog in `dir`, loading manifest and sequences.
+    pub fn open(dir: impl Into<PathBuf>, cost: CostModel) -> Result<Self> {
+        let dir = dir.into();
+        let man_raw = fs::read(dir.join("manifest.json")).map_err(|e| {
+            VaqError::Storage(format!("{}: no readable manifest: {e}", dir.display()))
+        })?;
+        let manifest: CatalogManifest = serde_json::from_slice(&man_raw)
+            .map_err(|e| VaqError::Storage(format!("{}: bad manifest: {e}", dir.display())))?;
+        let seq_raw = fs::read(dir.join("sequences.json")).map_err(|e| {
+            VaqError::Storage(format!("{}: no readable sequences: {e}", dir.display()))
+        })?;
+        let seq_file: SequencesFile = serde_json::from_slice(&seq_raw)
+            .map_err(|e| VaqError::Storage(format!("{}: bad sequences: {e}", dir.display())))?;
+        let sequences = seq_file
+            .sequences
+            .into_iter()
+            .map(|(k, pairs)| {
+                let set = SequenceSet::from_intervals(
+                    pairs
+                        .into_iter()
+                        .map(|(l, r)| vaq_types::ClipInterval::new(l, r))
+                        .collect(),
+                );
+                (k, set)
+            })
+            .collect();
+        Ok(Self {
+            dir,
+            manifest,
+            sequences,
+            cost,
+        })
+    }
+
+    /// The catalog's manifest.
+    pub fn manifest(&self) -> &CatalogManifest {
+        &self.manifest
+    }
+
+    /// Whether a table exists for `key`.
+    pub fn has_table(&self, key: TableKey) -> bool {
+        match key {
+            TableKey::Object(o) => self.manifest.object_tables.contains(&o.raw()),
+            TableKey::Action(a) => self.manifest.action_tables.contains(&a.raw()),
+        }
+    }
+
+    /// Opens the clip score table for `key`.
+    pub fn table(&self, key: TableKey) -> Result<FileTable> {
+        if !self.has_table(key) {
+            return Err(VaqError::Storage(format!(
+                "{}: no ingested table for {key}",
+                self.dir.display()
+            )));
+        }
+        FileTable::open(&table_base(&self.dir, key), self.cost)
+    }
+
+    /// The individual sequences `P` for `key` (empty set if the type never
+    /// had a positive clip).
+    pub fn sequences(&self, key: TableKey) -> Result<&SequenceSet> {
+        if !self.has_table(key) {
+            return Err(VaqError::Storage(format!(
+                "{}: no ingested sequences for {key}",
+                self.dir.display()
+            )));
+        }
+        Ok(self
+            .sequences
+            .get(&key_name(key))
+            .expect("sequences written for every table"))
+    }
+
+    /// Convenience accessor for an object key.
+    pub fn object_sequences(&self, o: ObjectType) -> Result<&SequenceSet> {
+        self.sequences(TableKey::Object(o))
+    }
+
+    /// Convenience accessor for an action key.
+    pub fn action_sequences(&self, a: ActionType) -> Result<&SequenceSet> {
+        self.sequences(TableKey::Action(a))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vaq_types::{ClipId, ClipInterval};
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "vaq-catalog-test-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn rows(n: u64) -> Vec<ScoreRow> {
+        (0..n)
+            .map(|c| ScoreRow {
+                clip: ClipId::new(c),
+                score: (c as f64 * 37.0) % 11.0,
+            })
+            .collect()
+    }
+
+    fn build(dir: &Path) -> CatalogManifest {
+        let mut w = CatalogWriter::create(
+            dir,
+            "demo",
+            VideoGeometry::PAPER_DEFAULT,
+            1_000,
+        )
+        .unwrap();
+        let seqs = SequenceSet::from_intervals(vec![
+            ClipInterval::new(2, 5),
+            ClipInterval::new(10, 12),
+        ]);
+        w.add(TableKey::Object(ObjectType::new(3)), rows(20), &seqs)
+            .unwrap();
+        w.add(
+            TableKey::Action(ActionType::new(1)),
+            rows(20),
+            &SequenceSet::from_intervals(vec![ClipInterval::new(0, 19)]),
+        )
+        .unwrap();
+        w.finish().unwrap()
+    }
+
+    #[test]
+    fn roundtrip_manifest_and_sequences() {
+        let dir = tmpdir("roundtrip");
+        let manifest = build(&dir);
+        assert_eq!(manifest.num_clips(), 20);
+        let cat = VideoCatalog::open(&dir, CostModel::FREE).unwrap();
+        assert_eq!(cat.manifest(), &manifest);
+        let seqs = cat.object_sequences(ObjectType::new(3)).unwrap();
+        assert_eq!(
+            seqs.intervals(),
+            &[ClipInterval::new(2, 5), ClipInterval::new(10, 12)]
+        );
+        assert_eq!(
+            cat.action_sequences(ActionType::new(1))
+                .unwrap()
+                .total_clips(),
+            20
+        );
+    }
+
+    #[test]
+    fn tables_openable_and_consistent() {
+        let dir = tmpdir("tables");
+        build(&dir);
+        let cat = VideoCatalog::open(&dir, CostModel::FREE).unwrap();
+        let t = cat.table(TableKey::Object(ObjectType::new(3))).unwrap();
+        use crate::table::ClipScoreTable as _;
+        assert_eq!(t.len(), 20);
+        // Highest score among c*37 % 11 for c in 0..20.
+        let top = t.sorted_access(0).unwrap();
+        assert!(top.score >= t.sorted_access(1).unwrap().score);
+    }
+
+    #[test]
+    fn missing_table_is_error() {
+        let dir = tmpdir("missing-table");
+        build(&dir);
+        let cat = VideoCatalog::open(&dir, CostModel::FREE).unwrap();
+        assert!(cat.table(TableKey::Object(ObjectType::new(99))).is_err());
+        assert!(cat.object_sequences(ObjectType::new(99)).is_err());
+    }
+
+    #[test]
+    fn double_create_rejected() {
+        let dir = tmpdir("double");
+        build(&dir);
+        let err =
+            CatalogWriter::create(&dir, "again", VideoGeometry::PAPER_DEFAULT, 10).unwrap_err();
+        assert!(err.to_string().contains("already exists"));
+    }
+
+    #[test]
+    fn open_without_manifest_fails() {
+        let dir = tmpdir("no-manifest");
+        fs::create_dir_all(&dir).unwrap();
+        assert!(VideoCatalog::open(&dir, CostModel::FREE).is_err());
+    }
+
+    #[test]
+    fn corrupt_manifest_fails_cleanly() {
+        let dir = tmpdir("corrupt-manifest");
+        build(&dir);
+        fs::write(dir.join("manifest.json"), b"{not json").unwrap();
+        let err = VideoCatalog::open(&dir, CostModel::FREE).unwrap_err();
+        assert!(err.to_string().contains("bad manifest"));
+    }
+}

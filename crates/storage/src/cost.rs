@@ -1,0 +1,56 @@
+//! Simulated I/O cost model.
+//!
+//! Runtime comparisons in the paper's Tables 6–8 reflect secondary-storage
+//! access patterns: sequential (sorted/reverse) accesses stream pages,
+//! random accesses seek. The model charges a fixed cost per access kind;
+//! defaults approximate a SATA-SSD-era device (the paper's server), where a
+//! random row lookup costs roughly an order of magnitude more than the next
+//! row of an open scan.
+
+use serde::{Deserialize, Serialize};
+
+/// Per-access simulated costs, microseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CostModel {
+    /// Cost of one sorted (or reverse) scan step.
+    pub sequential_us: f64,
+    /// Cost of one random row lookup.
+    pub random_us: f64,
+}
+
+impl CostModel {
+    /// Default model: 8 µs per sequential step, 120 µs per random lookup.
+    pub const DEFAULT: Self = Self {
+        sequential_us: 8.0,
+        random_us: 120.0,
+    };
+
+    /// A free cost model (pure counting).
+    pub const FREE: Self = Self {
+        sequential_us: 0.0,
+        random_us: 0.0,
+    };
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        Self::DEFAULT
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_is_costlier_than_sequential() {
+        let m = CostModel::default();
+        assert!(m.random_us > 5.0 * m.sequential_us);
+    }
+
+    #[test]
+    fn free_model_is_zero() {
+        assert_eq!(CostModel::FREE.sequential_us, 0.0);
+        assert_eq!(CostModel::FREE.random_us, 0.0);
+    }
+}

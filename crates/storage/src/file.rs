@@ -1,0 +1,386 @@
+//! File-backed clip score tables.
+//!
+//! Layout (all little-endian, fixed width):
+//!
+//! ```text
+//! <name>.tbl  — header | rows sorted by descending score
+//! <name>.idx  — header | rows sorted by ascending clip id
+//! header      — magic "VAQT" (4) | version u32 (4) | row count u64 (8)
+//! row         — clip u64 (8) | score f64 (8)
+//! ```
+//!
+//! Every access is a positioned read against the file (`read_at`), so the
+//! access counters measure real I/O operations: a sorted/reverse step reads
+//! one row of `.tbl`; a random lookup binary-searches `.idx` (charged as a
+//! single random access, the unit the paper counts — one row lookup).
+
+use crate::cost::CostModel;
+use crate::table::{AccessCounters, AccessStats, ClipScoreTable, ScoreRow};
+use bytes::{Buf, BufMut, BytesMut};
+use std::fs::File;
+use std::io::Write as _;
+use std::os::unix::fs::FileExt;
+use std::path::{Path, PathBuf};
+use vaq_types::{ClipId, Result, VaqError};
+
+const MAGIC: &[u8; 4] = b"VAQT";
+const VERSION: u32 = 1;
+const HEADER_LEN: u64 = 16;
+const ROW_LEN: u64 = 16;
+
+fn encode_header(rows: u64) -> BytesMut {
+    let mut buf = BytesMut::with_capacity(HEADER_LEN as usize);
+    buf.put_slice(MAGIC);
+    buf.put_u32_le(VERSION);
+    buf.put_u64_le(rows);
+    buf
+}
+
+fn read_header(file: &File, path: &Path) -> Result<u64> {
+    let mut hdr = [0u8; HEADER_LEN as usize];
+    file.read_exact_at(&mut hdr, 0).map_err(|e| {
+        VaqError::Storage(format!("{}: cannot read header: {e}", path.display()))
+    })?;
+    let mut buf = &hdr[..];
+    let mut magic = [0u8; 4];
+    buf.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(VaqError::Storage(format!(
+            "{}: bad magic {magic:?} (not a VAQ table)",
+            path.display()
+        )));
+    }
+    let version = buf.get_u32_le();
+    if version != VERSION {
+        return Err(VaqError::Storage(format!(
+            "{}: unsupported version {version}",
+            path.display()
+        )));
+    }
+    let rows = buf.get_u64_le();
+    let expect = HEADER_LEN + rows * ROW_LEN;
+    let actual = file
+        .metadata()
+        .map_err(VaqError::Io)?
+        .len();
+    if actual != expect {
+        return Err(VaqError::Storage(format!(
+            "{}: truncated or padded: {actual} bytes, expected {expect}",
+            path.display()
+        )));
+    }
+    Ok(rows)
+}
+
+fn read_row(file: &File, path: &Path, row: u64) -> Result<ScoreRow> {
+    let mut raw = [0u8; ROW_LEN as usize];
+    file.read_exact_at(&mut raw, HEADER_LEN + row * ROW_LEN)
+        .map_err(|e| VaqError::Storage(format!("{}: row {row}: {e}", path.display())))?;
+    let mut buf = &raw[..];
+    Ok(ScoreRow {
+        clip: ClipId::new(buf.get_u64_le()),
+        score: buf.get_f64_le(),
+    })
+}
+
+/// Writes a clip score table (`.tbl` + `.idx`) to disk.
+pub struct FileTableWriter;
+
+impl FileTableWriter {
+    /// Writes `rows` (any order; must have unique clips and finite scores)
+    /// as table `base` (producing `base.tbl` and `base.idx`).
+    pub fn write(base: &Path, mut rows: Vec<ScoreRow>) -> Result<()> {
+        if rows.iter().any(|r| !r.score.is_finite()) {
+            return Err(VaqError::Storage("non-finite score in table rows".into()));
+        }
+        rows.sort_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .expect("finite")
+                .then(a.clip.cmp(&b.clip))
+        });
+        Self::write_file(&base.with_extension("tbl"), &rows)?;
+        rows.sort_by_key(|r| r.clip);
+        for w in rows.windows(2) {
+            if w[0].clip == w[1].clip {
+                return Err(VaqError::Storage(format!(
+                    "duplicate clip {} in table rows",
+                    w[0].clip
+                )));
+            }
+        }
+        Self::write_file(&base.with_extension("idx"), &rows)
+    }
+
+    fn write_file(path: &Path, rows: &[ScoreRow]) -> Result<()> {
+        let mut buf = encode_header(rows.len() as u64);
+        buf.reserve(rows.len() * ROW_LEN as usize);
+        for r in rows {
+            buf.put_u64_le(r.clip.raw());
+            buf.put_f64_le(r.score);
+        }
+        let mut file = File::create(path)?;
+        file.write_all(&buf)?;
+        file.sync_all()?;
+        Ok(())
+    }
+}
+
+/// A file-backed clip score table (see module docs for the layout).
+#[derive(Debug)]
+pub struct FileTable {
+    tbl_path: PathBuf,
+    idx_path: PathBuf,
+    tbl: File,
+    idx: File,
+    rows: u64,
+    counters: AccessCounters,
+    cost: CostModel,
+}
+
+impl FileTable {
+    /// Opens table `base` (expects `base.tbl` and `base.idx`), validating
+    /// both headers.
+    pub fn open(base: &Path, cost: CostModel) -> Result<Self> {
+        let tbl_path = base.with_extension("tbl");
+        let idx_path = base.with_extension("idx");
+        let tbl = File::open(&tbl_path)?;
+        let idx = File::open(&idx_path)?;
+        let rows = read_header(&tbl, &tbl_path)?;
+        let idx_rows = read_header(&idx, &idx_path)?;
+        if rows != idx_rows {
+            return Err(VaqError::Storage(format!(
+                "{}: table has {rows} rows but index has {idx_rows}",
+                base.display()
+            )));
+        }
+        Ok(Self {
+            tbl_path,
+            idx_path,
+            tbl,
+            idx,
+            rows,
+            counters: AccessCounters::default(),
+            cost,
+        })
+    }
+}
+
+impl ClipScoreTable for FileTable {
+    fn len(&self) -> usize {
+        self.rows as usize
+    }
+
+    fn sorted_access(&self, row: usize) -> Option<ScoreRow> {
+        if row as u64 >= self.rows {
+            return None;
+        }
+        self.counters.count_sequential(&self.cost);
+        read_row(&self.tbl, &self.tbl_path, row as u64).ok()
+    }
+
+    fn reverse_access(&self, row: usize) -> Option<ScoreRow> {
+        if row as u64 >= self.rows {
+            return None;
+        }
+        self.counters.count_reverse(&self.cost);
+        read_row(&self.tbl, &self.tbl_path, self.rows - 1 - row as u64).ok()
+    }
+
+    fn random_access(&self, clip: ClipId) -> Option<f64> {
+        self.counters.count_random(&self.cost);
+        // Binary search over the clip-ordered index file.
+        let (mut lo, mut hi) = (0u64, self.rows);
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            let row = read_row(&self.idx, &self.idx_path, mid).ok()?;
+            match row.clip.cmp(&clip) {
+                std::cmp::Ordering::Equal => return Some(row.score),
+                std::cmp::Ordering::Less => lo = mid + 1,
+                std::cmp::Ordering::Greater => hi = mid,
+            }
+        }
+        None
+    }
+
+    fn stats(&self) -> AccessStats {
+        self.counters.snapshot()
+    }
+
+    fn reset_stats(&self) {
+        self.counters.reset()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::MemTable;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("vaq-storage-test-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn rows(n: u64, seed: u64) -> Vec<ScoreRow> {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        (0..n)
+            .map(|c| ScoreRow {
+                clip: ClipId::new(c),
+                score: rng.gen_range(0.0..100.0),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn roundtrip_matches_memtable() {
+        let dir = tmpdir("roundtrip");
+        let base = dir.join("t0");
+        let data = rows(200, 1);
+        FileTableWriter::write(&base, data.clone()).unwrap();
+        let ft = FileTable::open(&base, CostModel::FREE).unwrap();
+        let mt = MemTable::new(data, CostModel::FREE);
+        assert_eq!(ft.len(), mt.len());
+        for i in 0..ft.len() {
+            assert_eq!(ft.sorted_access(i), mt.sorted_access(i), "sorted row {i}");
+            assert_eq!(ft.reverse_access(i), mt.reverse_access(i), "reverse row {i}");
+        }
+        for c in [0u64, 57, 199] {
+            assert_eq!(
+                ft.random_access(ClipId::new(c)),
+                mt.random_access(ClipId::new(c))
+            );
+        }
+        assert_eq!(ft.random_access(ClipId::new(10_000)), None);
+    }
+
+    #[test]
+    fn accounting_on_file_table() {
+        let dir = tmpdir("accounting");
+        let base = dir.join("t1");
+        FileTableWriter::write(&base, rows(50, 2)).unwrap();
+        let ft = FileTable::open(&base, CostModel::DEFAULT).unwrap();
+        ft.sorted_access(0);
+        ft.reverse_access(0);
+        ft.random_access(ClipId::new(25));
+        let s = ft.stats();
+        assert_eq!((s.sorted, s.reverse, s.random), (1, 1, 1));
+        assert!(s.simulated_ns > 0);
+    }
+
+    #[test]
+    fn corrupt_magic_rejected() {
+        let dir = tmpdir("magic");
+        let base = dir.join("t2");
+        FileTableWriter::write(&base, rows(5, 3)).unwrap();
+        let path = base.with_extension("tbl");
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[0] = b'X';
+        std::fs::write(&path, bytes).unwrap();
+        let err = FileTable::open(&base, CostModel::FREE).unwrap_err();
+        assert!(matches!(err, VaqError::Storage(_)), "{err}");
+        assert!(err.to_string().contains("bad magic"));
+    }
+
+    #[test]
+    fn truncated_file_rejected() {
+        let dir = tmpdir("trunc");
+        let base = dir.join("t3");
+        FileTableWriter::write(&base, rows(10, 4)).unwrap();
+        let path = base.with_extension("tbl");
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 8]).unwrap();
+        let err = FileTable::open(&base, CostModel::FREE).unwrap_err();
+        assert!(err.to_string().contains("truncated"));
+    }
+
+    #[test]
+    fn row_count_mismatch_rejected() {
+        let dir = tmpdir("mismatch");
+        let base = dir.join("t4");
+        FileTableWriter::write(&base, rows(10, 5)).unwrap();
+        // Overwrite the idx with a different row count.
+        FileTableWriter::write_file(&base.with_extension("idx"), &rows(9, 5)).unwrap();
+        let err = FileTable::open(&base, CostModel::FREE).unwrap_err();
+        assert!(err.to_string().contains("rows"), "{err}");
+    }
+
+    #[test]
+    fn duplicate_clip_rejected_by_writer() {
+        let dir = tmpdir("dup");
+        let base = dir.join("t5");
+        let mut data = rows(5, 6);
+        data.push(ScoreRow {
+            clip: ClipId::new(0),
+            score: 1.0,
+        });
+        assert!(FileTableWriter::write(&base, data).is_err());
+    }
+
+    #[test]
+    fn empty_table_roundtrip() {
+        let dir = tmpdir("empty");
+        let base = dir.join("t6");
+        FileTableWriter::write(&base, Vec::new()).unwrap();
+        let ft = FileTable::open(&base, CostModel::FREE).unwrap();
+        assert!(ft.is_empty());
+        assert_eq!(ft.sorted_access(0), None);
+        assert_eq!(ft.random_access(ClipId::new(0)), None);
+    }
+
+    mod equivalence {
+        use super::*;
+        use crate::table::ClipScoreTable as _;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(24))]
+
+            /// The file-backed table is observationally identical to the
+            /// in-memory table on any row set, across all three access
+            /// paths.
+            #[test]
+            fn prop_file_table_equals_mem_table(
+                raw in proptest::collection::btree_map(0u64..500, 0u32..10_000, 0..60),
+                probes in proptest::collection::vec(0u64..520, 0..20),
+            ) {
+                let rows: Vec<ScoreRow> = raw
+                    .iter()
+                    .map(|(&c, &s)| ScoreRow {
+                        clip: ClipId::new(c),
+                        score: s as f64 / 100.0,
+                    })
+                    .collect();
+                let dir = std::env::temp_dir()
+                    .join(format!("vaq-prop-ft-{}", std::process::id()));
+                std::fs::create_dir_all(&dir).unwrap();
+                let base = dir.join(format!("t{:x}", rows.len() as u64 * 31
+                    + rows.first().map(|r| r.clip.raw()).unwrap_or(0)));
+                FileTableWriter::write(&base, rows.clone()).unwrap();
+                let ft = FileTable::open(&base, CostModel::FREE).unwrap();
+                let mt = MemTable::new(rows, CostModel::FREE);
+                prop_assert_eq!(ft.len(), mt.len());
+                for i in 0..ft.len() {
+                    prop_assert_eq!(ft.sorted_access(i), mt.sorted_access(i));
+                    prop_assert_eq!(ft.reverse_access(i), mt.reverse_access(i));
+                }
+                for &c in &probes {
+                    prop_assert_eq!(
+                        ft.random_access(ClipId::new(c)),
+                        mt.random_access(ClipId::new(c))
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        let dir = tmpdir("missing");
+        let err = FileTable::open(&dir.join("nope"), CostModel::FREE).unwrap_err();
+        assert!(matches!(err, VaqError::Io(_)));
+    }
+}

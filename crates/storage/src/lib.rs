@@ -1,0 +1,43 @@
+//! # vaq-storage
+//!
+//! Clip score tables and the ingestion catalog — the secondary-storage
+//! substrate of the paper's offline case (§4.2).
+//!
+//! During the ingestion phase, every object type and every action type gets
+//! a *clip score table* `table_x : {cid, Score}` ordered by score. The
+//! offline algorithms (RVAQ and the compared baselines) touch those tables
+//! through exactly three access paths, mirroring the top-k literature's
+//! cost model (Fagin):
+//!
+//! * **sorted access** — read the `i`-th highest-scoring row;
+//! * **reverse access** — read the `i`-th *lowest*-scoring row (TBClip's
+//!   bottom iterator);
+//! * **random access** — look up the score of a specific clip id.
+//!
+//! The [`table::ClipScoreTable`] trait is the only interface the algorithms
+//! see, and every implementation *accounts* each access in
+//! [`table::AccessStats`] (counts plus simulated I/O time from a
+//! [`cost::CostModel`]). The paper's Tables 6–8 report runtime and number
+//! of random disk accesses; the accounting layer is what makes those
+//! numbers trustworthy — an algorithm cannot read a score without paying
+//! for it.
+//!
+//! Two implementations are provided: [`table::MemTable`] (sorted vectors;
+//! used by tests and the online case) and [`file::FileTable`] (fixed-width
+//! binary rows on disk, score-ordered, with a clip-ordered sidecar index
+//! for `O(log n)` random access via binary search of on-disk rows — every
+//! probe is a real positioned read). [`catalog::VideoCatalog`] ties
+//! together the per-video tables, the materialized individual sequences
+//! `P_{o_i}`/`P_{a_j}`, and a JSON manifest.
+
+#![warn(missing_docs)]
+
+pub mod catalog;
+pub mod cost;
+pub mod file;
+pub mod table;
+
+pub use catalog::{CatalogManifest, VideoCatalog};
+pub use cost::CostModel;
+pub use file::{FileTable, FileTableWriter};
+pub use table::{AccessStats, ClipScoreTable, MemTable, ScoreRow, TableKey};

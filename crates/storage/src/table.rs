@@ -1,0 +1,352 @@
+//! The clip-score-table interface and the in-memory implementation.
+
+use crate::cost::CostModel;
+use std::sync::atomic::{AtomicU64, Ordering};
+use vaq_types::{ActionType, ClipId, ObjectType};
+
+/// Identifies which per-type table is meant (`table_{o_i}` or `table_{a_j}`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum TableKey {
+    /// An object type's table.
+    Object(ObjectType),
+    /// An action type's table.
+    Action(ActionType),
+}
+
+impl std::fmt::Display for TableKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TableKey::Object(o) => write!(f, "table_{o}"),
+            TableKey::Action(a) => write!(f, "table_{a}"),
+        }
+    }
+}
+
+/// One table row: a clip identifier and its score for the table's type.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScoreRow {
+    /// The clip identifier (`cid`).
+    pub clip: ClipId,
+    /// The clip's score for this table's object/action type.
+    pub score: f64,
+}
+
+/// Access counters plus simulated I/O time. Counters use atomics so tables
+/// can be shared immutably between algorithm components while still
+/// accounting every read.
+#[derive(Debug, Default)]
+pub struct AccessCounters {
+    sorted: AtomicU64,
+    reverse: AtomicU64,
+    random: AtomicU64,
+    simulated_ns: AtomicU64,
+}
+
+/// A point-in-time snapshot of [`AccessCounters`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AccessStats {
+    /// Sorted (top-down) scan steps.
+    pub sorted: u64,
+    /// Reverse (bottom-up) scan steps.
+    pub reverse: u64,
+    /// Random row lookups.
+    pub random: u64,
+    /// Simulated I/O time, nanoseconds.
+    pub simulated_ns: u64,
+}
+
+impl AccessStats {
+    /// Total accesses of any kind.
+    pub fn total(&self) -> u64 {
+        self.sorted + self.reverse + self.random
+    }
+
+    /// Simulated I/O time in milliseconds.
+    pub fn simulated_ms(&self) -> f64 {
+        self.simulated_ns as f64 / 1e6
+    }
+
+    /// Component-wise sum.
+    pub fn merge(&self, other: &AccessStats) -> AccessStats {
+        AccessStats {
+            sorted: self.sorted + other.sorted,
+            reverse: self.reverse + other.reverse,
+            random: self.random + other.random,
+            simulated_ns: self.simulated_ns + other.simulated_ns,
+        }
+    }
+}
+
+impl AccessCounters {
+    pub(crate) fn count_sequential(&self, cost: &CostModel) {
+        self.sorted.fetch_add(1, Ordering::Relaxed);
+        self.simulated_ns
+            .fetch_add((cost.sequential_us * 1e3) as u64, Ordering::Relaxed);
+    }
+
+    pub(crate) fn count_reverse(&self, cost: &CostModel) {
+        self.reverse.fetch_add(1, Ordering::Relaxed);
+        self.simulated_ns
+            .fetch_add((cost.sequential_us * 1e3) as u64, Ordering::Relaxed);
+    }
+
+    pub(crate) fn count_random(&self, cost: &CostModel) {
+        self.random.fetch_add(1, Ordering::Relaxed);
+        self.simulated_ns
+            .fetch_add((cost.random_us * 1e3) as u64, Ordering::Relaxed);
+    }
+
+    pub(crate) fn snapshot(&self) -> AccessStats {
+        AccessStats {
+            sorted: self.sorted.load(Ordering::Relaxed),
+            reverse: self.reverse.load(Ordering::Relaxed),
+            random: self.random.load(Ordering::Relaxed),
+            simulated_ns: self.simulated_ns.load(Ordering::Relaxed),
+        }
+    }
+
+    pub(crate) fn reset(&self) {
+        self.sorted.store(0, Ordering::Relaxed);
+        self.reverse.store(0, Ordering::Relaxed);
+        self.random.store(0, Ordering::Relaxed);
+        self.simulated_ns.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A clip score table ordered by score, exposing the three accounted access
+/// paths of the top-k cost model.
+pub trait ClipScoreTable: Send + Sync {
+    /// Number of rows.
+    fn len(&self) -> usize;
+
+    /// Whether the table has no rows.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The `row`-th highest-scoring entry (0-based), or `None` past the end.
+    fn sorted_access(&self, row: usize) -> Option<ScoreRow>;
+
+    /// The `row`-th *lowest*-scoring entry (0-based from the bottom).
+    fn reverse_access(&self, row: usize) -> Option<ScoreRow>;
+
+    /// The score of clip `clip`, or `None` if the clip has no entry.
+    fn random_access(&self, clip: ClipId) -> Option<f64>;
+
+    /// Snapshot of the access counters.
+    fn stats(&self) -> AccessStats;
+
+    /// Resets the access counters.
+    fn reset_stats(&self);
+}
+
+/// In-memory clip score table: one vector sorted by descending score, one
+/// sorted by clip id for binary-search random access.
+#[derive(Debug)]
+pub struct MemTable {
+    by_score: Vec<ScoreRow>,
+    by_clip: Vec<ScoreRow>,
+    counters: AccessCounters,
+    cost: CostModel,
+}
+
+impl MemTable {
+    /// Builds a table from unordered rows.
+    ///
+    /// # Panics
+    /// Panics on duplicate clip ids or non-finite scores — both are
+    /// ingestion bugs, not runtime conditions.
+    pub fn new(mut rows: Vec<ScoreRow>, cost: CostModel) -> Self {
+        assert!(
+            rows.iter().all(|r| r.score.is_finite()),
+            "scores must be finite"
+        );
+        rows.sort_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .expect("finite scores compare")
+                .then(a.clip.cmp(&b.clip))
+        });
+        let by_score = rows;
+        let mut by_clip = by_score.clone();
+        by_clip.sort_by_key(|r| r.clip);
+        for w in by_clip.windows(2) {
+            assert!(w[0].clip != w[1].clip, "duplicate clip {}", w[0].clip);
+        }
+        Self {
+            by_score,
+            by_clip,
+            counters: AccessCounters::default(),
+            cost,
+        }
+    }
+
+    /// Iterates rows in descending score order *without* accounting — for
+    /// ingestion-time serialization only, not for query processing.
+    pub fn rows_unaccounted(&self) -> &[ScoreRow] {
+        &self.by_score
+    }
+}
+
+impl ClipScoreTable for MemTable {
+    fn len(&self) -> usize {
+        self.by_score.len()
+    }
+
+    fn sorted_access(&self, row: usize) -> Option<ScoreRow> {
+        let r = self.by_score.get(row).copied();
+        if r.is_some() {
+            self.counters.count_sequential(&self.cost);
+        }
+        r
+    }
+
+    fn reverse_access(&self, row: usize) -> Option<ScoreRow> {
+        if row >= self.by_score.len() {
+            return None;
+        }
+        self.counters.count_reverse(&self.cost);
+        Some(self.by_score[self.by_score.len() - 1 - row])
+    }
+
+    fn random_access(&self, clip: ClipId) -> Option<f64> {
+        self.counters.count_random(&self.cost);
+        self.by_clip
+            .binary_search_by_key(&clip, |r| r.clip)
+            .ok()
+            .map(|i| self.by_clip[i].score)
+    }
+
+    fn stats(&self) -> AccessStats {
+        self.counters.snapshot()
+    }
+
+    fn reset_stats(&self) {
+        self.counters.reset()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(clip: u64, score: f64) -> ScoreRow {
+        ScoreRow {
+            clip: ClipId::new(clip),
+            score,
+        }
+    }
+
+    fn table() -> MemTable {
+        MemTable::new(
+            vec![row(0, 0.5), row(1, 0.9), row(2, 0.1), row(3, 0.7)],
+            CostModel::FREE,
+        )
+    }
+
+    #[test]
+    fn sorted_access_descends() {
+        let t = table();
+        let scores: Vec<f64> = (0..t.len())
+            .map(|i| t.sorted_access(i).unwrap().score)
+            .collect();
+        assert_eq!(scores, vec![0.9, 0.7, 0.5, 0.1]);
+        assert!(t.sorted_access(4).is_none());
+    }
+
+    #[test]
+    fn reverse_access_ascends() {
+        let t = table();
+        assert_eq!(t.reverse_access(0).unwrap().score, 0.1);
+        assert_eq!(t.reverse_access(3).unwrap().score, 0.9);
+        assert!(t.reverse_access(4).is_none());
+    }
+
+    #[test]
+    fn random_access_by_clip() {
+        let t = table();
+        assert_eq!(t.random_access(ClipId::new(3)), Some(0.7));
+        assert_eq!(t.random_access(ClipId::new(9)), None);
+    }
+
+    #[test]
+    fn ties_break_by_clip_id() {
+        let t = MemTable::new(vec![row(5, 0.5), row(2, 0.5)], CostModel::FREE);
+        assert_eq!(t.sorted_access(0).unwrap().clip, ClipId::new(2));
+        assert_eq!(t.sorted_access(1).unwrap().clip, ClipId::new(5));
+    }
+
+    #[test]
+    fn accounting_counts_every_access() {
+        let t = MemTable::new(
+            vec![row(0, 0.5), row(1, 0.9)],
+            CostModel {
+                sequential_us: 10.0,
+                random_us: 100.0,
+            },
+        );
+        t.sorted_access(0);
+        t.sorted_access(1);
+        t.reverse_access(0);
+        t.random_access(ClipId::new(0));
+        t.random_access(ClipId::new(42)); // misses still cost a seek
+        let s = t.stats();
+        assert_eq!(s.sorted, 2);
+        assert_eq!(s.reverse, 1);
+        assert_eq!(s.random, 2);
+        assert_eq!(s.total(), 5);
+        assert_eq!(s.simulated_ns, (3 * 10_000 + 2 * 100_000) as u64);
+        t.reset_stats();
+        assert_eq!(t.stats().total(), 0);
+    }
+
+    #[test]
+    fn out_of_range_sorted_access_is_free() {
+        let t = table();
+        t.sorted_access(99);
+        assert_eq!(t.stats().sorted, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate clip")]
+    fn duplicate_clips_panic() {
+        let _ = MemTable::new(vec![row(1, 0.2), row(1, 0.3)], CostModel::FREE);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn non_finite_scores_panic() {
+        let _ = MemTable::new(vec![row(1, f64::NAN)], CostModel::FREE);
+    }
+
+    #[test]
+    fn merge_stats() {
+        let a = AccessStats {
+            sorted: 1,
+            reverse: 2,
+            random: 3,
+            simulated_ns: 10,
+        };
+        let b = AccessStats {
+            sorted: 10,
+            reverse: 20,
+            random: 30,
+            simulated_ns: 100,
+        };
+        let m = a.merge(&b);
+        assert_eq!(m.total(), 66);
+        assert_eq!(m.simulated_ns, 110);
+    }
+
+    #[test]
+    fn table_key_display() {
+        assert_eq!(
+            TableKey::Object(ObjectType::new(2)).to_string(),
+            "table_obj#2"
+        );
+        assert_eq!(
+            TableKey::Action(ActionType::new(1)).to_string(),
+            "table_act#1"
+        );
+    }
+}

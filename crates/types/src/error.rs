@@ -1,0 +1,113 @@
+//! The shared error type for the `vaq` workspace.
+//!
+//! All fallible public APIs across the workspace return [`Result<T>`]. The
+//! variants are deliberately coarse-grained at the workspace level; each
+//! carries a human-readable message with enough context to diagnose the
+//! failure without a debugger.
+
+use std::fmt;
+use std::io;
+
+/// Workspace-wide result alias.
+pub type Result<T, E = VaqError> = std::result::Result<T, E>;
+
+/// Errors produced anywhere in the `vaq` workspace.
+#[derive(Debug)]
+pub enum VaqError {
+    /// A label (object or action name) is not present in the relevant
+    /// vocabulary. Produced when binding query predicates to a model's
+    /// supported label set.
+    UnknownLabel {
+        /// The label the caller asked for.
+        label: String,
+        /// Which vocabulary was searched (e.g. `"object"`, `"action"`).
+        vocabulary: &'static str,
+    },
+    /// A configuration value is out of its valid domain (e.g. a zero clip
+    /// length, a significance level outside `(0, 1)`).
+    InvalidConfig(String),
+    /// A query is structurally invalid (e.g. no predicates at all).
+    InvalidQuery(String),
+    /// The statistical machinery could not produce a result (e.g. the
+    /// critical-value search failed to converge, a probability left `[0,1]`).
+    Statistics(String),
+    /// A storage-layer failure: missing table, corrupt row, short read.
+    Storage(String),
+    /// Failure parsing a VAQ-SQL query string. Carries the byte offset of
+    /// the offending token for caret diagnostics.
+    Parse {
+        /// Human-readable description of what went wrong.
+        message: String,
+        /// Byte offset into the query string.
+        offset: usize,
+    },
+    /// An underlying I/O error (file-backed tables, dataset export).
+    Io(io::Error),
+}
+
+impl fmt::Display for VaqError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VaqError::UnknownLabel { label, vocabulary } => {
+                write!(f, "unknown {vocabulary} label {label:?}")
+            }
+            VaqError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            VaqError::InvalidQuery(msg) => write!(f, "invalid query: {msg}"),
+            VaqError::Statistics(msg) => write!(f, "statistics error: {msg}"),
+            VaqError::Storage(msg) => write!(f, "storage error: {msg}"),
+            VaqError::Parse { message, offset } => {
+                write!(f, "parse error at byte {offset}: {message}")
+            }
+            VaqError::Io(err) => write!(f, "I/O error: {err}"),
+        }
+    }
+}
+
+impl std::error::Error for VaqError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            VaqError::Io(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for VaqError {
+    fn from(err: io::Error) -> Self {
+        VaqError::Io(err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error as _;
+
+    #[test]
+    fn display_formats_are_informative() {
+        let e = VaqError::UnknownLabel {
+            label: "robot".into(),
+            vocabulary: "object",
+        };
+        assert_eq!(e.to_string(), "unknown object label \"robot\"");
+
+        let e = VaqError::Parse {
+            message: "expected SELECT".into(),
+            offset: 4,
+        };
+        assert!(e.to_string().contains("byte 4"));
+    }
+
+    #[test]
+    fn io_source_is_preserved() {
+        let inner = io::Error::new(io::ErrorKind::UnexpectedEof, "short read");
+        let e = VaqError::from(inner);
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("short read"));
+    }
+
+    #[test]
+    fn non_io_variants_have_no_source() {
+        assert!(VaqError::InvalidConfig("x".into()).source().is_none());
+    }
+}

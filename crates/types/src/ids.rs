@@ -1,0 +1,209 @@
+//! Identifier newtypes for the video decomposition.
+//!
+//! The paper indexes frames within a video (`v_i`), shots within a video,
+//! clips within a video (`cid`), tracked object instances (`t`), and videos
+//! within a repository. Each gets a dedicated newtype so the compiler rejects
+//! unit confusion (e.g. passing a frame index where a clip index is
+//! expected) — a class of bug that is otherwise easy to introduce when
+//! converting between granularities.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+macro_rules! id_newtype {
+    ($(#[$meta:meta])* $name:ident, $prefix:literal) => {
+        $(#[$meta])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
+            Serialize, Deserialize,
+        )]
+        pub struct $name(pub u64);
+
+        impl $name {
+            /// Wraps a raw index.
+            #[inline]
+            pub const fn new(raw: u64) -> Self {
+                Self(raw)
+            }
+
+            /// Returns the raw index.
+            #[inline]
+            pub const fn raw(self) -> u64 {
+                self.0
+            }
+
+            /// Returns the identifier immediately after this one.
+            #[inline]
+            pub const fn next(self) -> Self {
+                Self(self.0 + 1)
+            }
+
+            /// Returns the identifier immediately before this one, or `None`
+            /// at index zero.
+            #[inline]
+            pub const fn prev(self) -> Option<Self> {
+                match self.0.checked_sub(1) {
+                    Some(v) => Some(Self(v)),
+                    None => None,
+                }
+            }
+
+            /// Returns this identifier offset forward by `n` positions.
+            #[inline]
+            pub const fn offset(self, n: u64) -> Self {
+                Self(self.0 + n)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<u64> for $name {
+            fn from(raw: u64) -> Self {
+                Self(raw)
+            }
+        }
+
+        impl From<$name> for u64 {
+            fn from(id: $name) -> u64 {
+                id.0
+            }
+        }
+    };
+}
+
+id_newtype!(
+    /// Index of a frame within a video (the paper's `v_i`). Frames are the
+    /// occurrence unit for object detections.
+    FrameId,
+    "f"
+);
+
+id_newtype!(
+    /// Index of a shot within a video. Shots are fixed-length runs of frames
+    /// and are the occurrence unit for action classifications.
+    ShotId,
+    "s"
+);
+
+id_newtype!(
+    /// Index of a clip within a video (the paper's `cid`). Clips are
+    /// fixed-length runs of shots; query predicates are decided per clip.
+    ClipId,
+    "c"
+);
+
+id_newtype!(
+    /// Identifier of a video within a repository.
+    VideoId,
+    "v"
+);
+
+id_newtype!(
+    /// Tracking identifier assigned by the object tracker to an object
+    /// instance the first time it is detected (the paper's `t`); it stays
+    /// stable while the instance remains visible.
+    TrackId,
+    "t"
+);
+
+/// An object *type* (label) recognizable by the deployed object detector —
+/// an element of the paper's universe `O` (e.g. `car`, `faucet`).
+///
+/// The numeric value is an index into an object [`crate::Vocabulary`].
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct ObjectType(pub u32);
+
+impl ObjectType {
+    /// Wraps a raw vocabulary index.
+    #[inline]
+    pub const fn new(raw: u32) -> Self {
+        Self(raw)
+    }
+
+    /// Returns the raw vocabulary index.
+    #[inline]
+    pub const fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for ObjectType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "obj#{}", self.0)
+    }
+}
+
+/// An action *category* recognizable by the deployed action recognizer — an
+/// element of the paper's universe `A` (e.g. `washing_dishes`).
+///
+/// The numeric value is an index into an action [`crate::Vocabulary`].
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct ActionType(pub u32);
+
+impl ActionType {
+    /// Wraps a raw vocabulary index.
+    #[inline]
+    pub const fn new(raw: u32) -> Self {
+        Self(raw)
+    }
+
+    /// Returns the raw vocabulary index.
+    #[inline]
+    pub const fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for ActionType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "act#{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn next_prev_roundtrip() {
+        let c = ClipId::new(7);
+        assert_eq!(c.next().prev(), Some(c));
+        assert_eq!(ClipId::new(0).prev(), None);
+    }
+
+    #[test]
+    fn offset_adds() {
+        assert_eq!(FrameId::new(10).offset(5), FrameId::new(15));
+    }
+
+    #[test]
+    fn display_uses_prefix() {
+        assert_eq!(ClipId::new(3).to_string(), "c3");
+        assert_eq!(FrameId::new(3).to_string(), "f3");
+        assert_eq!(ShotId::new(3).to_string(), "s3");
+        assert_eq!(TrackId::new(3).to_string(), "t3");
+        assert_eq!(VideoId::new(3).to_string(), "v3");
+        assert_eq!(ObjectType::new(3).to_string(), "obj#3");
+        assert_eq!(ActionType::new(3).to_string(), "act#3");
+    }
+
+    #[test]
+    fn ordering_follows_raw() {
+        assert!(ClipId::new(1) < ClipId::new(2));
+        assert!(ObjectType::new(0) < ObjectType::new(1));
+    }
+
+    #[test]
+    fn from_into_roundtrip() {
+        let raw: u64 = ClipId::from(9).into();
+        assert_eq!(raw, 9);
+    }
+}

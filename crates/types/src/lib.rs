@@ -1,0 +1,38 @@
+//! # vaq-types
+//!
+//! Foundational vocabulary for the `vaq` workspace: identifier newtypes for
+//! the paper's video decomposition (frames → shots → clips → sequences),
+//! interval algebra over clips, label vocabularies for object and action
+//! types, bounding-box geometry, the query model, and the shared error type.
+//!
+//! Everything in this crate is deliberately free of I/O, randomness and
+//! algorithmic policy — it is the shared language the rest of the workspace
+//! speaks.
+//!
+//! ## Paper correspondence
+//!
+//! *Querying For Actions Over Videos* (EDBT 2024), §2 "Background" defines a
+//! video `V = {v_1, …, v_|V|}` of frames, *shots* (fixed-length runs of
+//! frames consumed by action recognizers), *clips* (fixed-length runs of
+//! shots; the unit at which query predicates are decided), and *sequences*
+//! (maximal runs of contiguous positive clips; the query result unit).
+//! [`VideoGeometry`] encodes the shot/clip lengths; [`ClipInterval`] and
+//! [`SequenceSet`] encode result sequences `P = {(c_l, c_r)}`.
+
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod geometry;
+pub mod ids;
+pub mod interval;
+pub mod query;
+pub mod timing;
+pub mod vocab;
+
+pub use error::{Result, VaqError};
+pub use geometry::BBox;
+pub use ids::{ActionType, ClipId, FrameId, ObjectType, ShotId, TrackId, VideoId};
+pub use interval::{ClipInterval, SequenceSet};
+pub use query::{Predicate, Query, QueryBuilder};
+pub use timing::VideoGeometry;
+pub use vocab::{Vocabulary, VocabularyKind};

@@ -1,0 +1,248 @@
+//! Video geometry: conversions between frames, shots and clips.
+//!
+//! The paper fixes a shot length in frames (decided by the action
+//! recognizer; "typical values in the literature range from 10–30") and a
+//! clip length in shots (a tunable parameter whose effect is studied in
+//! Figures 4–5). [`VideoGeometry`] centralizes those two constants plus the
+//! frame rate, and provides all index conversions so no module does ad-hoc
+//! arithmetic.
+
+use crate::error::{Result, VaqError};
+use crate::ids::{ClipId, FrameId, ShotId};
+use serde::{Deserialize, Serialize};
+
+/// Shot/clip layout of a video.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VideoGeometry {
+    /// Frames per shot (the action recognizer's input length).
+    pub frames_per_shot: u32,
+    /// Shots per clip (the paper's tunable clip-size parameter).
+    pub shots_per_clip: u32,
+    /// Frames per second; used only to convert wall-clock durations in the
+    /// dataset generators and reports.
+    pub fps: u32,
+}
+
+impl VideoGeometry {
+    /// The defaults used throughout the paper's running example (Figure 1):
+    /// 10-frame shots, 5 shots per clip (50-frame clips), 30 fps.
+    pub const PAPER_DEFAULT: Self = Self {
+        frames_per_shot: 10,
+        shots_per_clip: 5,
+        fps: 30,
+    };
+
+    /// Validates and builds a geometry.
+    pub fn new(frames_per_shot: u32, shots_per_clip: u32, fps: u32) -> Result<Self> {
+        if frames_per_shot == 0 || shots_per_clip == 0 || fps == 0 {
+            return Err(VaqError::InvalidConfig(format!(
+                "geometry fields must be positive (frames_per_shot={frames_per_shot}, \
+                 shots_per_clip={shots_per_clip}, fps={fps})"
+            )));
+        }
+        Ok(Self {
+            frames_per_shot,
+            shots_per_clip,
+            fps,
+        })
+    }
+
+    /// Returns a copy with a different clip size (shots per clip); used by
+    /// the Figure 4/5 clip-size sweeps.
+    pub fn with_shots_per_clip(self, shots_per_clip: u32) -> Result<Self> {
+        Self::new(self.frames_per_shot, shots_per_clip, self.fps)
+    }
+
+    /// Frames per clip.
+    #[inline]
+    pub fn frames_per_clip(&self) -> u64 {
+        self.frames_per_shot as u64 * self.shots_per_clip as u64
+    }
+
+    /// Shot containing frame `f`.
+    #[inline]
+    pub fn shot_of_frame(&self, f: FrameId) -> ShotId {
+        ShotId::new(f.raw() / self.frames_per_shot as u64)
+    }
+
+    /// Clip containing frame `f`.
+    #[inline]
+    pub fn clip_of_frame(&self, f: FrameId) -> ClipId {
+        ClipId::new(f.raw() / self.frames_per_clip())
+    }
+
+    /// Clip containing shot `s`.
+    #[inline]
+    pub fn clip_of_shot(&self, s: ShotId) -> ClipId {
+        ClipId::new(s.raw() / self.shots_per_clip as u64)
+    }
+
+    /// First frame of shot `s`.
+    #[inline]
+    pub fn first_frame_of_shot(&self, s: ShotId) -> FrameId {
+        FrameId::new(s.raw() * self.frames_per_shot as u64)
+    }
+
+    /// First frame of clip `c`.
+    #[inline]
+    pub fn first_frame_of_clip(&self, c: ClipId) -> FrameId {
+        FrameId::new(c.raw() * self.frames_per_clip())
+    }
+
+    /// First shot of clip `c`.
+    #[inline]
+    pub fn first_shot_of_clip(&self, c: ClipId) -> ShotId {
+        ShotId::new(c.raw() * self.shots_per_clip as u64)
+    }
+
+    /// Iterates the frames of clip `c` (the paper's `V(c)`).
+    pub fn frames_of_clip(&self, c: ClipId) -> impl Iterator<Item = FrameId> {
+        let start = self.first_frame_of_clip(c).raw();
+        (start..start + self.frames_per_clip()).map(FrameId::new)
+    }
+
+    /// Iterates the shots of clip `c` (the paper's `S(c)`).
+    pub fn shots_of_clip(&self, c: ClipId) -> impl Iterator<Item = ShotId> {
+        let start = self.first_shot_of_clip(c).raw();
+        (start..start + self.shots_per_clip as u64).map(ShotId::new)
+    }
+
+    /// Iterates the frames of shot `s`.
+    pub fn frames_of_shot(&self, s: ShotId) -> impl Iterator<Item = FrameId> {
+        let start = self.first_frame_of_shot(s).raw();
+        (start..start + self.frames_per_shot as u64).map(FrameId::new)
+    }
+
+    /// Number of complete clips in a video of `num_frames` frames; a
+    /// trailing partial clip is dropped, as the paper's fixed-length clip
+    /// model implies.
+    #[inline]
+    pub fn num_clips(&self, num_frames: u64) -> u64 {
+        num_frames / self.frames_per_clip()
+    }
+
+    /// Number of complete shots in a video of `num_frames` frames.
+    #[inline]
+    pub fn num_shots(&self, num_frames: u64) -> u64 {
+        num_frames / self.frames_per_shot as u64
+    }
+
+    /// Number of frames spanned by `minutes` of video at this frame rate.
+    #[inline]
+    pub fn frames_for_minutes(&self, minutes: u64) -> u64 {
+        minutes * 60 * self.fps as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const G: VideoGeometry = VideoGeometry::PAPER_DEFAULT;
+
+    #[test]
+    fn paper_default_is_fifty_frame_clips() {
+        assert_eq!(G.frames_per_clip(), 50);
+    }
+
+    #[test]
+    fn frame_to_shot_to_clip() {
+        let f = FrameId::new(123);
+        assert_eq!(G.shot_of_frame(f), ShotId::new(12));
+        assert_eq!(G.clip_of_frame(f), ClipId::new(2));
+        assert_eq!(G.clip_of_shot(ShotId::new(12)), ClipId::new(2));
+    }
+
+    #[test]
+    fn clip_boundaries_are_consistent() {
+        let c = ClipId::new(3);
+        let frames: Vec<_> = G.frames_of_clip(c).collect();
+        assert_eq!(frames.len(), 50);
+        assert_eq!(frames[0], FrameId::new(150));
+        assert!(frames.iter().all(|&f| G.clip_of_frame(f) == c));
+
+        let shots: Vec<_> = G.shots_of_clip(c).collect();
+        assert_eq!(shots.len(), 5);
+        assert!(shots.iter().all(|&s| G.clip_of_shot(s) == c));
+    }
+
+    #[test]
+    fn frames_of_shot_within_clip() {
+        let s = ShotId::new(7);
+        let frames: Vec<_> = G.frames_of_shot(s).collect();
+        assert_eq!(frames.len(), 10);
+        assert!(frames.iter().all(|&f| G.shot_of_frame(f) == s));
+    }
+
+    #[test]
+    fn num_clips_drops_partial_tail() {
+        assert_eq!(G.num_clips(100), 2);
+        assert_eq!(G.num_clips(149), 2);
+        assert_eq!(G.num_clips(150), 3);
+        assert_eq!(G.num_shots(25), 2);
+    }
+
+    #[test]
+    fn minutes_to_frames() {
+        assert_eq!(G.frames_for_minutes(2), 3600);
+    }
+
+    #[test]
+    fn zero_fields_rejected() {
+        assert!(VideoGeometry::new(0, 5, 30).is_err());
+        assert!(VideoGeometry::new(10, 0, 30).is_err());
+        assert!(VideoGeometry::new(10, 5, 0).is_err());
+    }
+
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// Frame → shot → clip conversions are consistent for any
+            /// geometry: containment holds and boundaries are exact.
+            #[test]
+            fn prop_conversions_consistent(
+                fps_shot in 1u32..40,
+                spc in 1u32..20,
+                f in 0u64..1_000_000,
+            ) {
+                let g = VideoGeometry::new(fps_shot, spc, 30).unwrap();
+                let fid = FrameId::new(f);
+                let shot = g.shot_of_frame(fid);
+                let clip = g.clip_of_frame(fid);
+                prop_assert_eq!(g.clip_of_shot(shot), clip);
+                // The frame lies within its shot's frame range.
+                let first = g.first_frame_of_shot(shot).raw();
+                prop_assert!((first..first + fps_shot as u64).contains(&f));
+                // The shot lies within its clip's shot range.
+                let first_shot = g.first_shot_of_clip(clip).raw();
+                prop_assert!(
+                    (first_shot..first_shot + spc as u64).contains(&shot.raw())
+                );
+            }
+
+            /// Iterating a clip's frames visits exactly frames_per_clip
+            /// distinct frames, all mapping back to the clip.
+            #[test]
+            fn prop_clip_iteration_roundtrip(
+                fps_shot in 1u32..20,
+                spc in 1u32..10,
+                c in 0u64..10_000,
+            ) {
+                let g = VideoGeometry::new(fps_shot, spc, 30).unwrap();
+                let cid = ClipId::new(c);
+                let frames: Vec<_> = g.frames_of_clip(cid).collect();
+                prop_assert_eq!(frames.len() as u64, g.frames_per_clip());
+                prop_assert!(frames.iter().all(|&f| g.clip_of_frame(f) == cid));
+            }
+        }
+    }
+
+    #[test]
+    fn clip_size_sweep_constructor() {
+        let g = G.with_shots_per_clip(8).unwrap();
+        assert_eq!(g.frames_per_clip(), 80);
+        assert!(G.with_shots_per_clip(0).is_err());
+    }
+}

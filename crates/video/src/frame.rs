@@ -1,0 +1,215 @@
+//! Materialized frame/shot/clip views and the streaming clip iterator.
+//!
+//! The online algorithms (paper Algorithm 1/3) consume a video stream one
+//! clip at a time: `c ← X.next()`. [`VideoStream`] provides exactly that
+//! over a [`SceneScript`], materializing a [`ClipView`] per step — the
+//! frames (with their ground-truth visible instances, which the simulated
+//! detectors condition on) and the shots (with their ground-truth actions).
+
+use crate::script::{SceneScript, VisibleInstance};
+use vaq_types::{ActionType, ClipId, FrameId, ShotId};
+
+/// Re-export: a ground-truth object instance visible on a frame.
+pub type GtInstance = VisibleInstance;
+
+/// One materialized frame: its index plus the ground-truth instances a
+/// perfect detector would see.
+#[derive(Debug, Clone)]
+pub struct Frame {
+    /// The frame index.
+    pub id: FrameId,
+    /// Ground-truth instances visible on the frame.
+    pub instances: Vec<GtInstance>,
+}
+
+/// One materialized shot: its index plus the ground-truth actions active on
+/// it (half-coverage rule, see [`SceneScript::shot_actions`]), each with its
+/// scene prominence.
+#[derive(Debug, Clone)]
+pub struct Shot {
+    /// The shot index.
+    pub id: ShotId,
+    /// Ground-truth actions active on the shot, with prominence in `(0,1]`.
+    pub actions: Vec<(ActionType, f32)>,
+}
+
+impl Shot {
+    /// Whether action `a` is active on this shot.
+    pub fn has_action(&self, a: ActionType) -> bool {
+        self.actions.iter().any(|&(x, _)| x == a)
+    }
+}
+
+/// One materialized clip: the unit the online algorithms evaluate.
+#[derive(Debug, Clone)]
+pub struct ClipView {
+    /// The clip index (`cid`).
+    pub id: ClipId,
+    /// The clip's frames (the paper's `V(c)`).
+    pub frames: Vec<Frame>,
+    /// The clip's shots (the paper's `S(c)`).
+    pub shots: Vec<Shot>,
+}
+
+/// Clip-at-a-time iterator over a scene script — the paper's stream `X`.
+#[derive(Debug, Clone)]
+pub struct VideoStream<'a> {
+    script: &'a SceneScript,
+    next_clip: u64,
+    num_clips: u64,
+}
+
+impl<'a> VideoStream<'a> {
+    /// Opens a stream at clip 0.
+    pub fn new(script: &'a SceneScript) -> Self {
+        Self {
+            script,
+            next_clip: 0,
+            num_clips: script.num_clips(),
+        }
+    }
+
+    /// The underlying script.
+    #[inline]
+    pub fn script(&self) -> &'a SceneScript {
+        self.script
+    }
+
+    /// Whether the stream is exhausted (the paper's `X.end()`).
+    #[inline]
+    pub fn is_end(&self) -> bool {
+        self.next_clip >= self.num_clips
+    }
+
+    /// Total clips the stream will yield.
+    #[inline]
+    pub fn num_clips(&self) -> u64 {
+        self.num_clips
+    }
+
+    /// Rewinds to clip 0.
+    pub fn reset(&mut self) {
+        self.next_clip = 0;
+    }
+
+    /// Materializes clip `c` without advancing the stream.
+    pub fn materialize(&self, c: ClipId) -> ClipView {
+        let g = self.script.geometry();
+        let frames = g
+            .frames_of_clip(c)
+            .map(|f| Frame {
+                id: f,
+                instances: self.script.visible_at(f),
+            })
+            .collect();
+        let shots = g
+            .shots_of_clip(c)
+            .map(|s| Shot {
+                id: s,
+                actions: self.script.shot_actions(s),
+            })
+            .collect();
+        ClipView {
+            id: c,
+            frames,
+            shots,
+        }
+    }
+}
+
+impl Iterator for VideoStream<'_> {
+    type Item = ClipView;
+
+    fn next(&mut self) -> Option<ClipView> {
+        if self.is_end() {
+            return None;
+        }
+        let clip = self.materialize(ClipId::new(self.next_clip));
+        self.next_clip += 1;
+        Some(clip)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let left = (self.num_clips - self.next_clip) as usize;
+        (left, Some(left))
+    }
+}
+
+impl ExactSizeIterator for VideoStream<'_> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::script::SceneScriptBuilder;
+    use vaq_types::{ActionType, ObjectType, VideoGeometry};
+
+    fn o(i: u32) -> ObjectType {
+        ObjectType::new(i)
+    }
+    fn a(i: u32) -> ActionType {
+        ActionType::new(i)
+    }
+
+    fn script() -> SceneScript {
+        let mut b = SceneScriptBuilder::new(250, VideoGeometry::PAPER_DEFAULT);
+        b.object_span(o(1), 0, 120).unwrap();
+        b.action_span(a(0), 60, 200).unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn stream_yields_all_complete_clips() {
+        let s = script();
+        let stream = VideoStream::new(&s);
+        assert_eq!(stream.num_clips(), 5);
+        let clips: Vec<_> = stream.collect();
+        assert_eq!(clips.len(), 5);
+        assert_eq!(clips[3].id, ClipId::new(3));
+    }
+
+    #[test]
+    fn clip_views_carry_geometry() {
+        let s = script();
+        let clip = VideoStream::new(&s).next().unwrap();
+        assert_eq!(clip.frames.len(), 50);
+        assert_eq!(clip.shots.len(), 5);
+        assert_eq!(clip.frames[0].id, FrameId::new(0));
+        assert_eq!(clip.shots[4].id, ShotId::new(4));
+    }
+
+    #[test]
+    fn ground_truth_flows_into_views() {
+        let s = script();
+        let stream = VideoStream::new(&s);
+        let clips: Vec<_> = stream.collect();
+        // Clip 0 (frames 0..50): o1 visible, action not yet (starts at 60).
+        assert!(clips[0].frames.iter().all(|f| f.instances.len() == 1));
+        assert!(clips[0].shots.iter().all(|sh| sh.actions.is_empty()));
+        // Clip 2 (frames 100..150): o1 visible through frame 119; action on.
+        let clip2 = &clips[2];
+        assert_eq!(clip2.frames[19].instances.len(), 1);
+        assert_eq!(clip2.frames[20].instances.len(), 0);
+        assert!(clip2.shots.iter().all(|sh| sh.actions == vec![(a(0), 1.0)]));
+    }
+
+    #[test]
+    fn is_end_and_reset() {
+        let s = script();
+        let mut stream = VideoStream::new(&s);
+        while stream.next().is_some() {}
+        assert!(stream.is_end());
+        stream.reset();
+        assert!(!stream.is_end());
+        assert_eq!(stream.len(), 5);
+    }
+
+    #[test]
+    fn materialize_is_random_access() {
+        let s = script();
+        let stream = VideoStream::new(&s);
+        let c4 = stream.materialize(ClipId::new(4));
+        assert_eq!(c4.frames[0].id, FrameId::new(200));
+        // Shot 20..25 overlap action span 60..200? frames 200.. are outside.
+        assert!(c4.shots.iter().all(|sh| sh.actions.is_empty()));
+    }
+}

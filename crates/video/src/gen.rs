@@ -1,0 +1,192 @@
+//! Randomized span generators for scripted videos.
+//!
+//! Dataset builders need realistic presence patterns: objects that come and
+//! go with a duty cycle, actions occurring in episodes, and — for the SVAQD
+//! adaptivity experiments — *drift*: background rates that change suddenly
+//! (the paper's §3.3 example of a surveillance camera experiencing peak
+//! traffic at certain times of day).
+//!
+//! All generators take a caller-seeded RNG; every dataset in `vaq-datasets`
+//! is reproducible from its seed.
+
+use crate::span::{normalize_spans, FrameSpan};
+use rand::Rng;
+
+/// One phase of a piecewise-constant duty-cycle profile.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RatePhase {
+    /// Length of the phase in frames.
+    pub frames: u64,
+    /// Fraction of the phase's frames covered by spans, in `[0, 1)`.
+    pub duty: f64,
+}
+
+fn sample_exp(rng: &mut impl Rng, mean: f64) -> u64 {
+    debug_assert!(mean > 0.0);
+    let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+    (-mean * u.ln()).ceil().max(1.0) as u64
+}
+
+/// Generates alternating on/off runs over `[offset, offset + frames)` with
+/// on-run mean length `mean_len` and long-run on-fraction `duty`.
+fn alternating(
+    rng: &mut impl Rng,
+    offset: u64,
+    frames: u64,
+    duty: f64,
+    mean_len: f64,
+) -> Vec<FrameSpan> {
+    assert!((0.0..1.0).contains(&duty), "duty {duty} outside [0,1)");
+    assert!(mean_len >= 1.0, "mean span length must be ≥ 1 frame");
+    let mut spans = Vec::new();
+    if duty == 0.0 || frames == 0 {
+        return spans;
+    }
+    let mean_off = mean_len * (1.0 - duty) / duty;
+    let end = offset + frames;
+    // Randomize the initial phase so phase boundaries are not span starts.
+    let mut cursor = offset + rng.gen_range(0..=(mean_off.ceil() as u64).max(1));
+    while cursor < end {
+        let on = sample_exp(rng, mean_len).min(end - cursor);
+        spans.push(FrameSpan::new(cursor, cursor + on));
+        cursor += on;
+        cursor += sample_exp(rng, mean_off.max(1.0));
+    }
+    spans
+}
+
+/// Spans with a constant duty cycle over the whole video.
+pub fn spans_with_duty(
+    rng: &mut impl Rng,
+    num_frames: u64,
+    duty: f64,
+    mean_len: f64,
+) -> Vec<FrameSpan> {
+    normalize_spans(alternating(rng, 0, num_frames, duty, mean_len))
+}
+
+/// Spans following a piecewise-constant duty profile — the drift generator.
+/// Phases are laid out back to back; the sum of phase lengths should equal
+/// the video length (extra frames are simply uncovered).
+pub fn spans_with_profile(
+    rng: &mut impl Rng,
+    phases: &[RatePhase],
+    mean_len: f64,
+) -> Vec<FrameSpan> {
+    let mut spans = Vec::new();
+    let mut offset = 0;
+    for phase in phases {
+        spans.extend(alternating(rng, offset, phase.frames, phase.duty, mean_len));
+        offset += phase.frames;
+    }
+    normalize_spans(spans)
+}
+
+/// Exactly `count` episodes of length `len ± jitter`, placed uniformly at
+/// random without overlap (best effort: placement retries a bounded number
+/// of times, so extremely dense requests may yield fewer episodes).
+pub fn episodes(
+    rng: &mut impl Rng,
+    num_frames: u64,
+    count: usize,
+    len: u64,
+    jitter: u64,
+) -> Vec<FrameSpan> {
+    assert!(len > jitter, "episode length must exceed jitter");
+    let mut placed: Vec<FrameSpan> = Vec::with_capacity(count);
+    'outer: for _ in 0..count {
+        for _attempt in 0..64 {
+            let l = len - jitter + rng.gen_range(0..=2 * jitter);
+            if l >= num_frames {
+                continue;
+            }
+            let start = rng.gen_range(0..num_frames - l);
+            let cand = FrameSpan::new(start, start + l);
+            if placed.iter().all(|p| p.intersection(&cand).is_none()) {
+                placed.push(cand);
+                continue 'outer;
+            }
+        }
+        // Could not place this episode without overlap; skip it.
+    }
+    normalize_spans(placed)
+}
+
+/// Empirical duty cycle of a normalized span list.
+pub fn duty_of(spans: &[FrameSpan], num_frames: u64) -> f64 {
+    if num_frames == 0 {
+        return 0.0;
+    }
+    crate::span::total_frames(spans) as f64 / num_frames as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn duty_cycle_is_respected() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let spans = spans_with_duty(&mut rng, 200_000, 0.3, 120.0);
+        let duty = duty_of(&spans, 200_000);
+        assert!((duty - 0.3).abs() < 0.05, "duty={duty}");
+    }
+
+    #[test]
+    fn zero_duty_yields_nothing() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        assert!(spans_with_duty(&mut rng, 10_000, 0.0, 50.0).is_empty());
+    }
+
+    #[test]
+    fn spans_stay_in_bounds() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let spans = spans_with_duty(&mut rng, 5_000, 0.5, 40.0);
+        assert!(spans.iter().all(|s| s.end <= 5_000));
+        assert!(!spans.is_empty());
+    }
+
+    #[test]
+    fn profile_changes_density() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let phases = [
+            RatePhase {
+                frames: 100_000,
+                duty: 0.05,
+            },
+            RatePhase {
+                frames: 100_000,
+                duty: 0.6,
+            },
+        ];
+        let spans = spans_with_profile(&mut rng, &phases, 80.0);
+        let quiet: Vec<_> = spans.iter().filter(|s| s.end <= 100_000).copied().collect();
+        let busy: Vec<_> = spans.iter().filter(|s| s.start >= 100_000).copied().collect();
+        let d_quiet = duty_of(&quiet, 100_000);
+        let d_busy = duty_of(&busy, 100_000);
+        assert!(d_quiet < 0.12, "quiet phase duty {d_quiet}");
+        assert!(d_busy > 0.45, "busy phase duty {d_busy}");
+    }
+
+    #[test]
+    fn episodes_do_not_overlap_and_respect_length() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let eps = episodes(&mut rng, 100_000, 20, 600, 100);
+        assert!(eps.len() >= 18, "placed {}", eps.len());
+        for w in eps.windows(2) {
+            assert!(w[0].end <= w[1].start);
+        }
+        for e in &eps {
+            assert!((500..=700).contains(&e.len()), "len={}", e.len());
+        }
+    }
+
+    #[test]
+    fn generators_are_seed_deterministic() {
+        let a = spans_with_duty(&mut SmallRng::seed_from_u64(9), 50_000, 0.2, 60.0);
+        let b = spans_with_duty(&mut SmallRng::seed_from_u64(9), 50_000, 0.2, 60.0);
+        assert_eq!(a, b);
+    }
+}

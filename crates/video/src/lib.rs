@@ -1,0 +1,38 @@
+//! # vaq-video
+//!
+//! The synthetic video substrate.
+//!
+//! The paper's algorithms never look at pixels: they consume the *outputs*
+//! of object detectors (per frame) and action recognizers (per shot). What
+//! determines algorithm behaviour is the temporal structure of the video —
+//! where objects are present, where actions happen, how those spans overlap
+//! and drift. This crate models exactly that structure:
+//!
+//! * [`span::FrameSpan`] — a half-open run of frames, with conversions to
+//!   clip-level [`vaq_types::SequenceSet`]s.
+//! * [`script::SceneScript`] — the ground-truth timeline of a video: which
+//!   object instances are visible on which frames (with moving bounding
+//!   boxes, so the simulated tracker has something to track) and which
+//!   actions occur when. Built via [`script::SceneScriptBuilder`], queried
+//!   for per-frame/per-shot truth, and able to derive the exact ground-truth
+//!   answer of any query (the authors' manual annotations, by construction).
+//! * [`frame`] — materialized [`frame::Frame`] / [`frame::Shot`] /
+//!   [`frame::ClipView`] values and the [`frame::VideoStream`] iterator that
+//!   feeds the online algorithms clip by clip, exactly as the paper's
+//!   `X.next()` does.
+//! * [`gen`] — randomized span generators (uniform rates, piecewise rates,
+//!   rush-hour drift profiles) used by the dataset builders and the SVAQD
+//!   adaptivity experiments.
+
+#![warn(missing_docs)]
+
+pub mod frame;
+pub mod gen;
+pub mod persist;
+pub mod script;
+pub mod span;
+
+pub use frame::{ClipView, Frame, GtInstance, Shot, VideoStream};
+pub use persist::{load_script, save_script};
+pub use script::{SceneScript, SceneScriptBuilder};
+pub use span::FrameSpan;

@@ -1,0 +1,80 @@
+//! Scene-script persistence (JSON).
+//!
+//! Scripts stand in for real footage, so a saved script is this
+//! repository's equivalent of a video file: the CLI generates benchmark
+//! scripts to disk, and ingestion/streaming read them back. The format is
+//! plain JSON of the [`SceneScript`] structure — human-inspectable and
+//! diff-friendly.
+
+use crate::script::SceneScript;
+use std::fs;
+use std::path::Path;
+use vaq_types::{Result, VaqError};
+
+/// Writes a script as pretty-printed JSON.
+pub fn save_script(script: &SceneScript, path: &Path) -> Result<()> {
+    let json = serde_json::to_vec_pretty(script)
+        .map_err(|e| VaqError::Storage(format!("serializing scene script: {e}")))?;
+    fs::write(path, json)?;
+    Ok(())
+}
+
+/// Reads a script back from JSON, rebuilding derived indexes.
+pub fn load_script(path: &Path) -> Result<SceneScript> {
+    let raw = fs::read(path)
+        .map_err(|e| VaqError::Storage(format!("{}: {e}", path.display())))?;
+    let mut script: SceneScript = serde_json::from_slice(&raw)
+        .map_err(|e| VaqError::Storage(format!("{}: bad scene script: {e}", path.display())))?;
+    script.rebuild_indexes();
+    Ok(script)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::script::SceneScriptBuilder;
+    use vaq_types::{ActionType, FrameId, ObjectType, Query, VideoGeometry};
+
+    fn demo() -> SceneScript {
+        let mut b = SceneScriptBuilder::new(1000, VideoGeometry::PAPER_DEFAULT);
+        b.object_span(ObjectType::new(1), 100, 400).unwrap();
+        b.object_span(ObjectType::new(2), 0, 1000).unwrap();
+        b.action_occurrence(ActionType::new(0), 200, 500, 0.8).unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn roundtrip_preserves_ground_truth_and_stabbing() {
+        let dir = std::env::temp_dir().join(format!("vaq-persist-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("script.json");
+        let original = demo();
+        save_script(&original, &path).unwrap();
+        let loaded = load_script(&path).unwrap();
+
+        assert_eq!(loaded.num_frames(), original.num_frames());
+        assert_eq!(loaded.geometry(), original.geometry());
+        let q = Query::new(ActionType::new(0), vec![ObjectType::new(1)]);
+        assert_eq!(loaded.ground_truth(&q, 0.5), original.ground_truth(&q, 0.5));
+        // Derived indexes (frame stabbing) must survive the round trip.
+        assert_eq!(
+            loaded.visible_at(FrameId::new(250)).len(),
+            original.visible_at(FrameId::new(250)).len()
+        );
+        assert_eq!(
+            loaded.action_occurrences(ActionType::new(0)),
+            original.action_occurrences(ActionType::new(0))
+        );
+    }
+
+    #[test]
+    fn corrupt_file_is_a_typed_error() {
+        let dir = std::env::temp_dir().join(format!("vaq-persist-bad-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.json");
+        std::fs::write(&path, b"{not json").unwrap();
+        let err = load_script(&path).unwrap_err();
+        assert!(err.to_string().contains("bad scene script"));
+        assert!(load_script(&dir.join("missing.json")).is_err());
+    }
+}

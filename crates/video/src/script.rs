@@ -1,0 +1,526 @@
+//! Scene scripts: the ground-truth timeline of a synthetic video.
+//!
+//! A [`SceneScript`] records, for a video of `num_frames` frames, every
+//! object *instance* (a contiguous appearance of one object of some type,
+//! with a moving bounding box and a stable track identifier — what a perfect
+//! tracker would output) and every action occurrence (a frame span during
+//! which the action is being performed).
+//!
+//! The script plays the role of the paper's manually-annotated ground truth
+//! (§5.1 "for each queried object type, we label the temporal boundaries of
+//! the appearances") — except it is exact by construction. It also *drives*
+//! the simulated detectors in `vaq-detect`: a detector's true-positive
+//! behaviour is conditioned on what the script says is actually visible.
+
+use crate::span::{self, FrameSpan};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use vaq_types::{
+    ActionType, BBox, FrameId, ObjectType, Query, Result, SequenceSet, ShotId, TrackId, VaqError,
+    VideoGeometry,
+};
+
+/// One contiguous appearance of an object instance, with a linear motion
+/// path for its bounding box.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct InstancePath {
+    /// Frames during which the instance is visible.
+    pub span: FrameSpan,
+    /// Track identifier (unique within the script).
+    pub track: TrackId,
+    /// Box center at the first frame of the span.
+    pub center: (f32, f32),
+    /// Box width/height (constant over the path).
+    pub size: (f32, f32),
+    /// Center velocity in normalized units per frame.
+    pub velocity: (f32, f32),
+}
+
+impl InstancePath {
+    /// The instance's bounding box at frame `f`, or `None` if not visible.
+    pub fn bbox_at(&self, f: FrameId) -> Option<BBox> {
+        if !self.span.contains(f) {
+            return None;
+        }
+        let dt = (f.raw() - self.span.start) as f32;
+        let cx = (self.center.0 + self.velocity.0 * dt).clamp(0.02, 0.98);
+        let cy = (self.center.1 + self.velocity.1 * dt).clamp(0.02, 0.98);
+        Some(BBox::from_center(cx, cy, self.size.0, self.size.1))
+    }
+}
+
+/// A ground-truth object instance visible on a specific frame.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VisibleInstance {
+    /// The instance's object type.
+    pub object: ObjectType,
+    /// The instance's stable track identifier.
+    pub track: TrackId,
+    /// Its bounding box on this frame.
+    pub bbox: BBox,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct TypeTimeline {
+    /// Instance paths sorted by span start.
+    instances: Vec<InstancePath>,
+    /// Longest instance span, bounding the binary-search window for
+    /// frame-stabbing queries.
+    max_len: u64,
+    /// Normalized union of the instance spans (the type's presence spans).
+    spans: Vec<FrameSpan>,
+}
+
+impl TypeTimeline {
+    fn rebuild(&mut self) {
+        self.instances.sort_by_key(|i| (i.span.start, i.span.end));
+        self.max_len = self.instances.iter().map(|i| i.span.len()).max().unwrap_or(0);
+        self.spans = span::normalize_spans(self.instances.iter().map(|i| i.span).collect());
+    }
+
+    fn visible_at<'a>(&'a self, f: FrameId) -> impl Iterator<Item = &'a InstancePath> + 'a {
+        let fr = f.raw();
+        let lo = fr.saturating_sub(self.max_len.saturating_sub(1).max(0));
+        let begin = self.instances.partition_point(|i| i.span.start < lo);
+        let end = self.instances.partition_point(|i| i.span.start <= fr);
+        self.instances[begin..end]
+            .iter()
+            .filter(move |i| i.span.contains(f))
+    }
+}
+
+/// The complete ground-truth timeline of one synthetic video.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SceneScript {
+    num_frames: u64,
+    geometry: VideoGeometry,
+    objects: BTreeMap<ObjectType, TypeTimeline>,
+    actions: BTreeMap<ActionType, Vec<ActionSpan>>,
+}
+
+/// One action occurrence: its frames plus a *prominence* factor in
+/// `(0, 1]` modelling how clearly the action reads on screen (close-up vs
+/// distant). Prominence scales the simulated recognizer's confidence, so
+/// clip scores of prominent scenes are high across all queried predicates —
+/// the cross-table score correlation real footage exhibits.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ActionSpan {
+    /// Frames covered by the occurrence.
+    pub span: FrameSpan,
+    /// Prominence factor in `(0, 1]`.
+    pub prominence: f32,
+}
+
+impl SceneScript {
+    /// Recomputes derived per-type indexes (sort order, stabbing bounds,
+    /// normalized spans) — call after deserializing a script whose JSON may
+    /// have been produced by an older writer or edited by hand.
+    pub fn rebuild_indexes(&mut self) {
+        for timeline in self.objects.values_mut() {
+            timeline.rebuild();
+        }
+        for occurrences in self.actions.values_mut() {
+            occurrences.sort_by_key(|o| (o.span.start, o.span.end));
+        }
+    }
+
+    /// Total frames in the video.
+    #[inline]
+    pub fn num_frames(&self) -> u64 {
+        self.num_frames
+    }
+
+    /// The video's shot/clip geometry.
+    #[inline]
+    pub fn geometry(&self) -> &VideoGeometry {
+        &self.geometry
+    }
+
+    /// Number of complete clips.
+    #[inline]
+    pub fn num_clips(&self) -> u64 {
+        self.geometry.num_clips(self.num_frames)
+    }
+
+    /// Number of complete shots.
+    #[inline]
+    pub fn num_shots(&self) -> u64 {
+        self.geometry.num_shots(self.num_frames)
+    }
+
+    /// Object types that appear somewhere in the script.
+    pub fn object_types(&self) -> impl Iterator<Item = ObjectType> + '_ {
+        self.objects.keys().copied()
+    }
+
+    /// Action types that occur somewhere in the script.
+    pub fn action_types(&self) -> impl Iterator<Item = ActionType> + '_ {
+        self.actions.keys().copied()
+    }
+
+    /// Normalized presence spans of object type `o` (empty if absent).
+    pub fn object_spans(&self, o: ObjectType) -> &[FrameSpan] {
+        self.objects.get(&o).map_or(&[], |t| &t.spans)
+    }
+
+    /// Occurrence spans of action `a` (sorted by start; empty if absent).
+    pub fn action_occurrences(&self, a: ActionType) -> &[ActionSpan] {
+        self.actions.get(&a).map_or(&[], Vec::as_slice)
+    }
+
+    /// Normalized occurrence frame spans of action `a` (empty if absent).
+    pub fn action_spans(&self, a: ActionType) -> Vec<FrameSpan> {
+        span::normalize_spans(
+            self.action_occurrences(a)
+                .iter()
+                .map(|o| o.span)
+                .collect(),
+        )
+    }
+
+    /// All instance paths of object type `o`.
+    pub fn instances_of(&self, o: ObjectType) -> &[InstancePath] {
+        self.objects.get(&o).map_or(&[], |t| &t.instances)
+    }
+
+    /// Ground-truth instances visible on frame `f`.
+    pub fn visible_at(&self, f: FrameId) -> Vec<VisibleInstance> {
+        let mut out = Vec::new();
+        for (&object, timeline) in &self.objects {
+            for inst in timeline.visible_at(f) {
+                // bbox_at is Some by construction (span contains f).
+                if let Some(bbox) = inst.bbox_at(f) {
+                    out.push(VisibleInstance {
+                        object,
+                        track: inst.track,
+                        bbox,
+                    });
+                }
+            }
+        }
+        out
+    }
+
+    /// Whether object type `o` is visible on frame `f`.
+    pub fn object_visible(&self, o: ObjectType, f: FrameId) -> bool {
+        self.objects
+            .get(&o)
+            .is_some_and(|t| t.spans.iter().any(|s| s.contains(f)))
+    }
+
+    /// Ground-truth actions active on shot `s` (with prominence): an action
+    /// counts when it covers at least half of the shot's frames (an action
+    /// recognizer sees the shot as containing the action only if most of
+    /// the shot is the action). Prominence is the maximum over covering
+    /// occurrences.
+    pub fn shot_actions(&self, s: ShotId) -> Vec<(ActionType, f32)> {
+        let fps = self.geometry.frames_per_shot as u64;
+        let shot_span = FrameSpan::new(s.raw() * fps, (s.raw() + 1) * fps);
+        let needed = fps.div_ceil(2);
+        self.actions
+            .iter()
+            .filter_map(|(&a, occurrences)| {
+                let covered: u64 = occurrences
+                    .iter()
+                    .map(|o| o.span.overlap_len(&shot_span))
+                    .sum();
+                if covered < needed {
+                    return None;
+                }
+                let prominence = occurrences
+                    .iter()
+                    .filter(|o| o.span.overlap_len(&shot_span) > 0)
+                    .map(|o| o.prominence)
+                    .fold(0.0f32, f32::max);
+                Some((a, prominence))
+            })
+            .collect()
+    }
+
+    /// Whether action `a` is active on shot `s` (same half-coverage rule).
+    pub fn action_on_shot(&self, a: ActionType, s: ShotId) -> bool {
+        self.shot_actions(s).iter().any(|&(x, _)| x == a)
+    }
+
+    /// Frame-level ground truth for a query: the intersection of the action
+    /// spans with every queried object's presence spans (paper §5.1: "The
+    /// intersection of the temporal intervals of all the query-specified
+    /// objects and the action will be considered as the result sequence").
+    pub fn ground_truth_spans(&self, query: &Query) -> Vec<FrameSpan> {
+        let mut acc: Vec<FrameSpan> = self.action_spans(query.action);
+        for &o in &query.objects {
+            acc = span::intersect_spans(&acc, self.object_spans(o));
+            if acc.is_empty() {
+                break;
+            }
+        }
+        acc
+    }
+
+    /// Clip-level ground truth for a query at coverage fraction `coverage`
+    /// (0.5 reproduces the evaluation convention used throughout).
+    pub fn ground_truth(&self, query: &Query, coverage: f64) -> SequenceSet {
+        span::spans_to_clip_set(
+            &self.ground_truth_spans(query),
+            &self.geometry,
+            self.num_frames,
+            coverage,
+        )
+    }
+}
+
+/// Builder for [`SceneScript`]. Tracks identifiers automatically and
+/// validates every span against the video length.
+#[derive(Debug, Clone)]
+pub struct SceneScriptBuilder {
+    num_frames: u64,
+    geometry: VideoGeometry,
+    objects: BTreeMap<ObjectType, Vec<InstancePath>>,
+    actions: BTreeMap<ActionType, Vec<ActionSpan>>,
+    next_track: u64,
+}
+
+impl SceneScriptBuilder {
+    /// Starts a script for a video of `num_frames` frames.
+    pub fn new(num_frames: u64, geometry: VideoGeometry) -> Self {
+        Self {
+            num_frames,
+            geometry,
+            objects: BTreeMap::new(),
+            actions: BTreeMap::new(),
+            next_track: 0,
+        }
+    }
+
+    fn check_span(&self, start: u64, end: u64) -> Result<FrameSpan> {
+        if start >= end {
+            return Err(VaqError::InvalidConfig(format!(
+                "empty or inverted span [{start}, {end})"
+            )));
+        }
+        if end > self.num_frames {
+            return Err(VaqError::InvalidConfig(format!(
+                "span [{start}, {end}) exceeds video length {}",
+                self.num_frames
+            )));
+        }
+        Ok(FrameSpan::new(start, end))
+    }
+
+    /// Adds an object instance with an explicit motion path. Returns the
+    /// assigned track identifier.
+    pub fn object_instance(
+        &mut self,
+        object: ObjectType,
+        start: u64,
+        end: u64,
+        center: (f32, f32),
+        size: (f32, f32),
+        velocity: (f32, f32),
+    ) -> Result<TrackId> {
+        let span = self.check_span(start, end)?;
+        let track = TrackId::new(self.next_track);
+        self.next_track += 1;
+        self.objects.entry(object).or_default().push(InstancePath {
+            span,
+            track,
+            center,
+            size,
+            velocity,
+        });
+        Ok(track)
+    }
+
+    /// Adds an object instance with a deterministic default path derived
+    /// from the track index (stationary placements spread over the frame).
+    pub fn object_span(&mut self, object: ObjectType, start: u64, end: u64) -> Result<TrackId> {
+        let idx = self.next_track as f32;
+        let cx = 0.15 + (idx * 0.37).fract() * 0.7;
+        let cy = 0.15 + (idx * 0.59).fract() * 0.7;
+        self.object_instance(object, start, end, (cx, cy), (0.2, 0.25), (0.0, 0.0))
+    }
+
+    /// Adds an action occurrence at full prominence.
+    pub fn action_span(&mut self, action: ActionType, start: u64, end: u64) -> Result<&mut Self> {
+        self.action_occurrence(action, start, end, 1.0)
+    }
+
+    /// Adds an action occurrence with explicit prominence in `(0, 1]`.
+    pub fn action_occurrence(
+        &mut self,
+        action: ActionType,
+        start: u64,
+        end: u64,
+        prominence: f32,
+    ) -> Result<&mut Self> {
+        if !(prominence > 0.0 && prominence <= 1.0) {
+            return Err(VaqError::InvalidConfig(format!(
+                "prominence {prominence} outside (0, 1]"
+            )));
+        }
+        let span = self.check_span(start, end)?;
+        self.actions
+            .entry(action)
+            .or_default()
+            .push(ActionSpan { span, prominence });
+        Ok(self)
+    }
+
+    /// Finalizes the script (sorts and indexes timelines).
+    pub fn build(self) -> SceneScript {
+        let objects = self
+            .objects
+            .into_iter()
+            .map(|(o, instances)| {
+                let mut tl = TypeTimeline {
+                    instances,
+                    max_len: 0,
+                    spans: Vec::new(),
+                };
+                tl.rebuild();
+                (o, tl)
+            })
+            .collect();
+        let actions = self
+            .actions
+            .into_iter()
+            .map(|(a, mut occurrences)| {
+                occurrences.sort_by_key(|o| (o.span.start, o.span.end));
+                (a, occurrences)
+            })
+            .collect();
+        SceneScript {
+            num_frames: self.num_frames,
+            geometry: self.geometry,
+            objects,
+            actions,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vaq_types::ClipInterval;
+
+    const G: VideoGeometry = VideoGeometry::PAPER_DEFAULT;
+
+    fn o(i: u32) -> ObjectType {
+        ObjectType::new(i)
+    }
+    fn a(i: u32) -> ActionType {
+        ActionType::new(i)
+    }
+
+    fn demo_script() -> SceneScript {
+        let mut b = SceneScriptBuilder::new(1000, G);
+        b.object_span(o(1), 100, 400).unwrap();
+        b.object_span(o(1), 350, 600).unwrap(); // overlapping second instance
+        b.object_span(o(2), 0, 1000).unwrap();
+        b.action_span(a(0), 200, 500).unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn spans_are_normalized_per_type() {
+        let s = demo_script();
+        assert_eq!(s.object_spans(o(1)), &[FrameSpan::new(100, 600)]);
+        assert_eq!(s.object_spans(o(9)), &[] as &[FrameSpan]);
+    }
+
+    #[test]
+    fn visible_at_stabbing() {
+        let s = demo_script();
+        // Frame 375: both o1 instances plus the o2 instance.
+        let vis = s.visible_at(FrameId::new(375));
+        assert_eq!(vis.len(), 3);
+        assert_eq!(vis.iter().filter(|v| v.object == o(1)).count(), 2);
+        // Distinct tracks for the two o1 instances.
+        let mut tracks: Vec<_> = vis.iter().map(|v| v.track).collect();
+        tracks.sort();
+        tracks.dedup();
+        assert_eq!(tracks.len(), 3);
+        // Frame 50: only o2.
+        assert_eq!(s.visible_at(FrameId::new(50)).len(), 1);
+    }
+
+    #[test]
+    fn object_visible_matches_spans() {
+        let s = demo_script();
+        assert!(s.object_visible(o(1), FrameId::new(100)));
+        assert!(!s.object_visible(o(1), FrameId::new(99)));
+        assert!(!s.object_visible(o(1), FrameId::new(600)));
+    }
+
+    #[test]
+    fn shot_actions_half_coverage() {
+        let s = demo_script();
+        // Shot 20 = frames 200..210 — fully inside the action span.
+        assert_eq!(s.shot_actions(ShotId::new(20)), vec![(a(0), 1.0)]);
+        // Shot 19 = frames 190..200 — zero coverage.
+        assert!(s.shot_actions(ShotId::new(19)).is_empty());
+        assert!(s.action_on_shot(a(0), ShotId::new(49))); // frames 490..500
+        assert!(!s.action_on_shot(a(0), ShotId::new(50))); // frames 500..510
+    }
+
+    #[test]
+    fn shot_action_boundary_half() {
+        let mut b = SceneScriptBuilder::new(100, G);
+        // Covers frames 5..10 of shot 0 — exactly half of a 10-frame shot.
+        b.action_span(a(1), 5, 10).unwrap();
+        let s = b.build();
+        assert!(s.action_on_shot(a(1), ShotId::new(0)));
+        // 4 of 10 frames is below half.
+        let mut b = SceneScriptBuilder::new(100, G);
+        b.action_span(a(1), 6, 10).unwrap();
+        assert!(!b.build().action_on_shot(a(1), ShotId::new(0)));
+    }
+
+    #[test]
+    fn ground_truth_is_intersection() {
+        let s = demo_script();
+        let q = Query::new(a(0), vec![o(1), o(2)]);
+        // action 200..500 ∩ o1 100..600 ∩ o2 0..1000 = 200..500.
+        assert_eq!(s.ground_truth_spans(&q), vec![FrameSpan::new(200, 500)]);
+        // Clips: 200..500 covers clips 4..9 fully.
+        let gt = s.ground_truth(&q, 0.5);
+        assert_eq!(gt.intervals(), &[ClipInterval::new(4, 9)]);
+    }
+
+    #[test]
+    fn ground_truth_empty_when_object_missing() {
+        let s = demo_script();
+        let q = Query::new(a(0), vec![o(7)]);
+        assert!(s.ground_truth_spans(&q).is_empty());
+        assert!(s.ground_truth(&q, 0.5).is_empty());
+    }
+
+    #[test]
+    fn builder_validates_spans() {
+        let mut b = SceneScriptBuilder::new(100, G);
+        assert!(b.object_span(o(1), 50, 50).is_err());
+        assert!(b.object_span(o(1), 90, 120).is_err());
+        assert!(b.action_span(a(0), 20, 10).is_err());
+        assert!(b.object_span(o(1), 0, 100).is_ok());
+    }
+
+    #[test]
+    fn bbox_moves_along_path() {
+        let mut b = SceneScriptBuilder::new(100, G);
+        b.object_instance(o(1), 0, 50, (0.3, 0.3), (0.1, 0.1), (0.01, 0.0))
+            .unwrap();
+        let s = b.build();
+        let inst = &s.instances_of(o(1))[0];
+        let b0 = inst.bbox_at(FrameId::new(0)).unwrap();
+        let b10 = inst.bbox_at(FrameId::new(10)).unwrap();
+        assert!((b10.center().0 - b0.center().0 - 0.1).abs() < 1e-5);
+        assert_eq!(inst.bbox_at(FrameId::new(50)), None);
+    }
+
+    #[test]
+    fn counts_match_geometry() {
+        let s = demo_script();
+        assert_eq!(s.num_clips(), 20);
+        assert_eq!(s.num_shots(), 100);
+    }
+}

@@ -1,0 +1,123 @@
+//! The declarative frontend: VAQ-SQL strings through the full
+//! lexer → parser → planner → executor pipeline, in both the streaming and
+//! the top-K form, including the footnote extensions (disjunction, spatial
+//! relationships) and the caret diagnostics on errors.
+//!
+//! ```sh
+//! cargo run --release --example sql_queries
+//! ```
+
+use vaq::core::{ingest, OnlineConfig, PaperScoring};
+use vaq::detect::{profiles, IouTracker, SimulatedActionRecognizer, SimulatedObjectDetector};
+use vaq::query::{execute_offline, execute_online, plan, OfflineSource, QueryOutput};
+use vaq::storage::CostModel;
+use vaq::types::vocab;
+use vaq::video::SceneScriptBuilder;
+use vaq::VideoGeometry;
+
+fn main() -> vaq::Result<()> {
+    let objects = vocab::coco_objects();
+    let actions = vocab::kinetics_actions();
+
+    // One scripted video: a person left of a car, jumping; later archery.
+    let geometry = VideoGeometry::PAPER_DEFAULT;
+    let mut b = SceneScriptBuilder::new(4000, geometry);
+    b.object_instance(objects.object("car")?, 200, 1800, (0.8, 0.5), (0.2, 0.2), (0.0, 0.0))?;
+    b.object_instance(
+        objects.object("person")?,
+        200,
+        1800,
+        (0.2, 0.5),
+        (0.15, 0.3),
+        (0.0, 0.0),
+    )?;
+    b.action_span(actions.action("jumping")?, 500, 1500)?;
+    b.action_span(actions.action("archery")?, 2500, 3500)?;
+    let script = b.build();
+
+    let detector = SimulatedObjectDetector::new(profiles::ideal_object(), objects.len() as u32, 1);
+    let recognizer =
+        SimulatedActionRecognizer::new(profiles::ideal_action(), actions.len() as u32, 1);
+
+    // --- 1. The paper's streaming form.
+    let sql = "SELECT MERGE(clipID) AS Sequence \
+               FROM (PROCESS inputVideo PRODUCE clipID, obj USING ObjectDetector, \
+                     act USING ActionRecognizer) \
+               WHERE act='jumping' AND obj.include('car', 'person')";
+    run_online(sql, &script, &detector, &recognizer)?;
+
+    // --- 2. Disjunction (footnote 4): jumping-with-car OR archery.
+    let sql = "SELECT MERGE(clipID) FROM (PROCESS inputVideo PRODUCE clipID) \
+               WHERE (act='jumping' AND obj.include('car')) OR act='archery'";
+    run_online(sql, &script, &detector, &recognizer)?;
+
+    // --- 3. Spatial relationship (footnote 2): person left of the car.
+    let sql = "SELECT MERGE(clipID) FROM (PROCESS inputVideo PRODUCE clipID) \
+               WHERE act='jumping' AND obj.include('person','car') \
+               AND obj.relate('person', 'left_of', 'car')";
+    run_online(sql, &script, &detector, &recognizer)?;
+
+    // --- 4. The offline top-K form over an ingested repository.
+    let mut tracker = IouTracker::new(profiles::ideal_tracker(), 1);
+    let out = ingest(
+        &script,
+        "inputVideo",
+        &detector,
+        &recognizer,
+        &mut tracker,
+        &OnlineConfig::svaqd(),
+    )?;
+    let sql = "SELECT MERGE(clipID) AS Sequence, RANK(act, obj) \
+               FROM (PROCESS inputVideo PRODUCE clipID, obj USING ObjectTracker, \
+                     act USING ActionRecognizer) \
+               WHERE act='jumping' AND obj.include('car', 'person') \
+               ORDER BY RANK(act, obj) LIMIT 3";
+    println!("\nsql> {sql}");
+    let stmt = vaq::query::parse(sql)?;
+    let p = plan(&stmt, &objects, &actions)?;
+    let source = OfflineSource::Ingest(&out, CostModel::DEFAULT);
+    match execute_offline(&p, &source, &PaperScoring)? {
+        QueryOutput::Ranked(rows) => {
+            for (rank, (iv, score)) in rows.iter().enumerate() {
+                println!("  #{} {iv} score {score:.1}", rank + 1);
+            }
+        }
+        other => println!("unexpected output {other:?}"),
+    }
+
+    // --- 5. Diagnostics: the planner reports unknown labels with context.
+    let bad = "SELECT MERGE(clipID) FROM (PROCESS v PRODUCE clipID) WHERE act='moonwalking'";
+    println!("\nsql> {bad}");
+    match vaq::query::parse(bad).and_then(|s| plan(&s, &objects, &actions)) {
+        Err(e) => println!("  error: {e}"),
+        Ok(_) => println!("  unexpectedly planned"),
+    }
+    let syntactically_broken = "SELECT MERGE(clipID FROM x";
+    println!("sql> {syntactically_broken}");
+    if let Err(e) = vaq::query::parse(syntactically_broken) {
+        println!("  error: {e}");
+    }
+    Ok(())
+}
+
+fn run_online(
+    sql: &str,
+    script: &vaq::video::SceneScript,
+    detector: &vaq::detect::SimulatedObjectDetector,
+    recognizer: &vaq::detect::SimulatedActionRecognizer,
+) -> vaq::Result<()> {
+    let objects = vocab::coco_objects();
+    let actions = vocab::kinetics_actions();
+    println!("\nsql> {sql}");
+    let stmt = vaq::query::parse(sql)?;
+    let p = plan(&stmt, &objects, &actions)?;
+    let (out, stats) = execute_online(&p, script, detector, recognizer, &OnlineConfig::svaqd())?;
+    match out {
+        QueryOutput::Sequences(seqs) => println!(
+            "  sequences: {seqs}   ({} frames detected)",
+            stats.detector_frames
+        ),
+        other => println!("  unexpected output {other:?}"),
+    }
+    Ok(())
+}

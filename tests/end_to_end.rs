@@ -1,0 +1,252 @@
+//! Cross-crate integration tests: the full pipeline from dataset generation
+//! through detection, query processing (both modes), and persistence.
+
+use vaq::core::offline::baselines;
+use vaq::core::offline::candidates::{candidates_from_catalog, candidates_from_ingest};
+use vaq::core::offline::tbclip::QueryTables;
+use vaq::core::{ingest, rvaq, OnlineConfig, OnlineEngine, PaperScoring, RvaqOptions};
+use vaq::detect::{profiles, IouTracker, SimulatedActionRecognizer, SimulatedObjectDetector};
+use vaq::metrics::sequence_prf;
+use vaq::query::{execute_offline, execute_online, plan, OfflineSource, QueryOutput};
+use vaq::storage::{ClipScoreTable, CostModel, TableKey, VideoCatalog};
+use vaq::types::vocab;
+use vaq::video::{SceneScriptBuilder, VideoStream};
+use vaq::{Query, VideoGeometry};
+
+fn models(
+    ideal: bool,
+    seed: u64,
+) -> (SimulatedObjectDetector, SimulatedActionRecognizer) {
+    let objects = vocab::coco_objects().len() as u32;
+    let actions = vocab::kinetics_actions().len() as u32;
+    if ideal {
+        (
+            SimulatedObjectDetector::new(profiles::ideal_object(), objects, seed),
+            SimulatedActionRecognizer::new(profiles::ideal_action(), actions, seed),
+        )
+    } else {
+        (
+            SimulatedObjectDetector::new(profiles::mask_rcnn(), objects, seed),
+            SimulatedActionRecognizer::new(profiles::i3d(), actions, seed),
+        )
+    }
+}
+
+fn demo_script() -> vaq::video::SceneScript {
+    let objects = vocab::coco_objects();
+    let actions = vocab::kinetics_actions();
+    let mut b = SceneScriptBuilder::new(6000, VideoGeometry::PAPER_DEFAULT);
+    b.object_span(objects.object("car").unwrap(), 500, 2500).unwrap();
+    b.object_span(objects.object("car").unwrap(), 4000, 5500).unwrap();
+    b.object_span(objects.object("person").unwrap(), 0, 6000).unwrap();
+    b.action_span(actions.action("jumping").unwrap(), 1000, 2000).unwrap();
+    b.action_span(actions.action("jumping").unwrap(), 4200, 5200).unwrap();
+    b.build()
+}
+
+fn demo_query() -> Query {
+    let objects = vocab::coco_objects();
+    let actions = vocab::kinetics_actions();
+    Query::new(
+        actions.action("jumping").unwrap(),
+        vec![
+            objects.object("car").unwrap(),
+            objects.object("person").unwrap(),
+        ],
+    )
+}
+
+#[test]
+fn online_pipeline_recovers_ground_truth_with_ideal_models() {
+    let script = demo_script();
+    let query = demo_query();
+    let (det, rec) = models(true, 1);
+    let engine = OnlineEngine::new(
+        query.clone(),
+        OnlineConfig::svaqd(),
+        script.geometry(),
+        &det,
+        &rec,
+    )
+    .unwrap();
+    let result = engine.run(VideoStream::new(&script));
+    assert_eq!(result.sequences, script.ground_truth(&query, 0.5));
+}
+
+#[test]
+fn online_pipeline_with_noise_is_accurate() {
+    let script = demo_script();
+    let query = demo_query();
+    let (det, rec) = models(false, 9);
+    let engine = OnlineEngine::new(
+        query.clone(),
+        OnlineConfig::svaqd(),
+        script.geometry(),
+        &det,
+        &rec,
+    )
+    .unwrap();
+    let result = engine.run(VideoStream::new(&script));
+    let truth = script.ground_truth(&query, 0.5);
+    let prf = sequence_prf(&result.sequences, &truth, 0.5);
+    assert!(prf.f1() >= 0.5, "noisy F1 = {}", prf.f1());
+}
+
+#[test]
+fn svaq_and_svaqd_agree_with_ideal_models() {
+    let script = demo_script();
+    let query = demo_query();
+    let (det, rec) = models(true, 1);
+    let run = |cfg: OnlineConfig| {
+        OnlineEngine::new(query.clone(), cfg, script.geometry(), &det, &rec)
+            .unwrap()
+            .run(VideoStream::new(&script))
+            .sequences
+    };
+    assert_eq!(run(OnlineConfig::svaq()), run(OnlineConfig::svaqd()));
+}
+
+#[test]
+fn full_pipeline_is_deterministic() {
+    let run = || {
+        let script = demo_script();
+        let query = demo_query();
+        let (det, rec) = models(false, 77);
+        let engine = OnlineEngine::new(
+            query,
+            OnlineConfig::svaqd(),
+            script.geometry(),
+            &det,
+            &rec,
+        )
+        .unwrap();
+        engine.run(VideoStream::new(&script)).sequences
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn offline_pipeline_end_to_end_with_disk_catalog() {
+    let script = demo_script();
+    let query = demo_query();
+    let (det, rec) = models(true, 1);
+    let mut tracker = IouTracker::new(profiles::ideal_tracker(), 1);
+    let out = ingest(&script, "e2e", &det, &rec, &mut tracker, &OnlineConfig::svaqd()).unwrap();
+
+    // In-memory path.
+    let pq_mem = candidates_from_ingest(&out, &query).unwrap();
+    assert_eq!(pq_mem, script.ground_truth(&query, 0.5));
+
+    // Disk round trip.
+    let dir = std::env::temp_dir().join(format!("vaq-e2e-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    out.write_catalog(&dir).unwrap();
+    let catalog = VideoCatalog::open(&dir, CostModel::FREE).unwrap();
+    let pq_disk = candidates_from_catalog(&catalog, &query).unwrap();
+    assert_eq!(pq_mem, pq_disk);
+
+    // Top-K over the disk tables agrees with the in-memory tables.
+    let action_disk = catalog.table(TableKey::Action(query.action)).unwrap();
+    let obj_disk: Vec<_> = query
+        .objects
+        .iter()
+        .map(|&o| catalog.table(TableKey::Object(o)).unwrap())
+        .collect();
+    let disk_tables = QueryTables {
+        action: &action_disk,
+        objects: obj_disk.iter().map(|t| t as &dyn ClipScoreTable).collect(),
+    };
+    let (mem_obj, mem_act) = out.mem_tables(CostModel::FREE);
+    let mem_tables = QueryTables {
+        action: &mem_act[&query.action],
+        objects: query
+            .objects
+            .iter()
+            .map(|o| &mem_obj[o] as &dyn ClipScoreTable)
+            .collect(),
+    };
+    let from_disk = rvaq(&disk_tables, &pq_disk, &PaperScoring, &RvaqOptions::new(2));
+    let from_mem = rvaq(&mem_tables, &pq_mem, &PaperScoring, &RvaqOptions::new(2));
+    assert_eq!(from_disk.sequences.len(), from_mem.sequences.len());
+    for (d, m) in from_disk.sequences.iter().zip(&from_mem.sequences) {
+        assert_eq!(d.0, m.0);
+        assert!((d.1 - m.1).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn all_offline_algorithms_agree_on_noisy_ingestion() {
+    let script = demo_script();
+    let query = demo_query();
+    let (det, rec) = models(false, 5);
+    let mut tracker = IouTracker::new(profiles::centertrack(), 5);
+    let out = ingest(&script, "agree", &det, &rec, &mut tracker, &OnlineConfig::svaqd()).unwrap();
+    let pq = candidates_from_ingest(&out, &query).unwrap();
+    let (mem_obj, mem_act) = out.mem_tables(CostModel::FREE);
+    let tables = QueryTables {
+        action: &mem_act[&query.action],
+        objects: query
+            .objects
+            .iter()
+            .map(|o| &mem_obj[o] as &dyn ClipScoreTable)
+            .collect(),
+    };
+    let k = 2.min(pq.len().max(1));
+    let reference = rvaq(&tables, &pq, &PaperScoring, &RvaqOptions::new(k));
+    for result in [
+        baselines::fa(&tables, &pq, &PaperScoring, k),
+        baselines::rvaq_noskip(&tables, &pq, &PaperScoring, k),
+        baselines::pq_traverse(&tables, &pq, &PaperScoring, k),
+    ] {
+        assert_eq!(result.sequences.len(), reference.sequences.len());
+        for (a, b) in result.sequences.iter().zip(&reference.sequences) {
+            assert_eq!(a.0, b.0);
+            assert!((a.1 - b.1).abs() < 1e-6);
+        }
+    }
+}
+
+#[test]
+fn sql_frontend_matches_direct_api_online() {
+    let script = demo_script();
+    let (det, rec) = models(true, 1);
+    let sql = "SELECT MERGE(clipID) AS Sequence \
+               FROM (PROCESS v PRODUCE clipID, obj USING ObjectDetector, \
+                     act USING ActionRecognizer) \
+               WHERE act='jumping' AND obj.include('car', 'person')";
+    let stmt = vaq::query::parse(sql).unwrap();
+    let p = plan(&stmt, &vocab::coco_objects(), &vocab::kinetics_actions()).unwrap();
+    let (out, _) = execute_online(&p, &script, &det, &rec, &OnlineConfig::svaqd()).unwrap();
+
+    let query = demo_query();
+    let engine = OnlineEngine::new(
+        query,
+        OnlineConfig::svaqd(),
+        script.geometry(),
+        &det,
+        &rec,
+    )
+    .unwrap();
+    let direct = engine.run(VideoStream::new(&script)).sequences;
+    assert_eq!(out, QueryOutput::Sequences(direct));
+}
+
+#[test]
+fn sql_frontend_matches_direct_api_offline() {
+    let script = demo_script();
+    let (det, rec) = models(true, 1);
+    let mut tracker = IouTracker::new(profiles::ideal_tracker(), 1);
+    let out = ingest(&script, "v", &det, &rec, &mut tracker, &OnlineConfig::svaqd()).unwrap();
+    let sql = "SELECT MERGE(clipID), RANK(act, obj) \
+               FROM (PROCESS v PRODUCE clipID) \
+               WHERE act='jumping' AND obj.include('car','person') \
+               ORDER BY RANK(act, obj) LIMIT 2";
+    let stmt = vaq::query::parse(sql).unwrap();
+    let p = plan(&stmt, &vocab::coco_objects(), &vocab::kinetics_actions()).unwrap();
+    let source = OfflineSource::Ingest(&out, CostModel::FREE);
+    let QueryOutput::Ranked(rows) = execute_offline(&p, &source, &PaperScoring).unwrap() else {
+        panic!("expected ranked output");
+    };
+    assert_eq!(rows.len(), 2, "two ground-truth sequences exist");
+    assert!(rows[0].1 >= rows[1].1);
+}

@@ -1,0 +1,139 @@
+//! Failure-injection tests: every misuse or corruption must surface as a
+//! typed [`vaq::VaqError`], never a panic.
+
+use vaq::core::{OnlineConfig, OnlineEngine, ParameterPolicy};
+use vaq::detect::{profiles, SimulatedActionRecognizer, SimulatedObjectDetector};
+use vaq::query::plan;
+use vaq::storage::{CostModel, FileTable, VideoCatalog};
+use vaq::types::vocab;
+use vaq::video::SceneScriptBuilder;
+use vaq::{Query, VaqError, VideoGeometry};
+
+#[test]
+fn sql_errors_are_reported_with_context() {
+    let objects = vocab::coco_objects();
+    let actions = vocab::kinetics_actions();
+    // Lexer-level.
+    let err = vaq::query::parse("SELECT @").unwrap_err();
+    assert!(matches!(err, VaqError::Parse { .. }));
+    // Parser-level with offset.
+    let err = vaq::query::parse("SELECT MERGE(clipID) WHERE act='x'").unwrap_err();
+    let VaqError::Parse { offset, .. } = err else {
+        panic!("wrong variant")
+    };
+    assert!(offset > 0);
+    // Planner-level: unknown labels.
+    let stmt = vaq::query::parse(
+        "SELECT MERGE(clipID) FROM (PROCESS v PRODUCE clipID) WHERE act='jumping' \
+         AND obj.include('gryphon')",
+    )
+    .unwrap();
+    let err = plan(&stmt, &objects, &actions).unwrap_err();
+    assert!(matches!(err, VaqError::UnknownLabel { .. }));
+}
+
+#[test]
+fn invalid_engine_configuration_is_rejected() {
+    let objects = vocab::coco_objects();
+    let actions = vocab::kinetics_actions();
+    let det = SimulatedObjectDetector::new(profiles::ideal_object(), objects.len() as u32, 1);
+    let rec = SimulatedActionRecognizer::new(profiles::ideal_action(), actions.len() as u32, 1);
+    let query = Query::new(actions.action("jumping").unwrap(), vec![]);
+    let g = VideoGeometry::PAPER_DEFAULT;
+
+    for bad in [
+        OnlineConfig {
+            alpha: 0.0,
+            ..OnlineConfig::svaq()
+        },
+        OnlineConfig {
+            t_obj: -0.5,
+            ..OnlineConfig::svaq()
+        },
+        OnlineConfig {
+            p0_obj: 2.0,
+            ..OnlineConfig::svaq()
+        },
+        OnlineConfig {
+            policy: ParameterPolicy::Dynamic {
+                bandwidth_clips: -1.0,
+                update: vaq::core::UpdatePolicy::EveryClip,
+            },
+            ..OnlineConfig::svaqd()
+        },
+    ] {
+        let err = match OnlineEngine::new(query.clone(), bad, &g, &det, &rec) {
+            Err(e) => e,
+            Ok(_) => panic!("config {bad:?} unexpectedly accepted"),
+        };
+        assert!(matches!(err, VaqError::InvalidConfig(_)), "{err}");
+    }
+}
+
+#[test]
+fn duplicate_query_predicates_rejected() {
+    let actions = vocab::kinetics_actions();
+    let objects = vocab::coco_objects();
+    let car = objects.object("car").unwrap();
+    let q = Query::new(actions.action("jumping").unwrap(), vec![car, car]);
+    assert!(matches!(q.validate(), Err(VaqError::InvalidQuery(_))));
+}
+
+#[test]
+fn corrupt_storage_is_detected() {
+    let dir = std::env::temp_dir().join(format!("vaq-failures-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+
+    // Missing catalog.
+    assert!(VideoCatalog::open(dir.join("nope"), CostModel::FREE).is_err());
+
+    // Garbage table file.
+    std::fs::write(dir.join("junk.tbl"), b"garbage").unwrap();
+    std::fs::write(dir.join("junk.idx"), b"garbage").unwrap();
+    let err = FileTable::open(&dir.join("junk"), CostModel::FREE).unwrap_err();
+    assert!(matches!(err, VaqError::Storage(_)), "{err}");
+
+    // Garbage manifest.
+    let cat_dir = dir.join("cat");
+    std::fs::create_dir_all(&cat_dir).unwrap();
+    std::fs::write(cat_dir.join("manifest.json"), b"{oops").unwrap();
+    std::fs::write(cat_dir.join("sequences.json"), b"{}").unwrap();
+    let err = VideoCatalog::open(&cat_dir, CostModel::FREE).unwrap_err();
+    assert!(err.to_string().contains("manifest"), "{err}");
+}
+
+#[test]
+fn degenerate_videos_are_handled() {
+    let g = VideoGeometry::PAPER_DEFAULT;
+    let objects = vocab::coco_objects();
+    let actions = vocab::kinetics_actions();
+    let det = SimulatedObjectDetector::new(profiles::ideal_object(), objects.len() as u32, 1);
+    let rec = SimulatedActionRecognizer::new(profiles::ideal_action(), actions.len() as u32, 1);
+    let query = Query::new(
+        actions.action("jumping").unwrap(),
+        vec![objects.object("car").unwrap()],
+    );
+
+    // A video shorter than one clip yields zero clips and an empty result.
+    let script = SceneScriptBuilder::new(30, g).build();
+    let engine =
+        OnlineEngine::new(query.clone(), OnlineConfig::svaqd(), &g, &det, &rec).unwrap();
+    let result = engine.run(vaq::video::VideoStream::new(&script));
+    assert!(result.sequences.is_empty());
+    assert!(result.records.is_empty());
+
+    // Spans outside the video bounds are rejected at script construction.
+    let mut b = SceneScriptBuilder::new(100, g);
+    assert!(b.object_span(objects.object("car").unwrap(), 50, 200).is_err());
+    assert!(b.action_span(query.action, 10, 5).is_err());
+    assert!(b
+        .action_occurrence(query.action, 0, 50, 0.0)
+        .is_err(), "zero prominence rejected");
+}
+
+#[test]
+fn geometry_validation() {
+    assert!(VideoGeometry::new(0, 1, 30).is_err());
+    assert!(VideoGeometry::new(10, 0, 30).is_err());
+    assert!(VideoGeometry::PAPER_DEFAULT.with_shots_per_clip(0).is_err());
+}

@@ -1,0 +1,173 @@
+//! Paper-level invariants checked at reduced scale: the qualitative claims
+//! of §5 that the full benchmark harness reproduces quantitatively.
+
+use vaq::core::{OnlineConfig, OnlineEngine};
+use vaq::datasets::drift::{surveillance, DriftSpec};
+use vaq::datasets::youtube::{self, YoutubeSpec};
+use vaq::metrics::sequence_prf;
+use vaq::types::vocab;
+use vaq::video::VideoStream;
+use vaq::Query;
+
+fn run_f1(
+    set: &vaq::datasets::QuerySet,
+    cfg: OnlineConfig,
+    ideal: bool,
+    seed: u64,
+) -> f64 {
+    use vaq::detect::{profiles, SimulatedActionRecognizer, SimulatedObjectDetector};
+    let nobj = vocab::coco_objects().len() as u32;
+    let nact = vocab::kinetics_actions().len() as u32;
+    let (mut tp, mut fp, mut fnn) = (0u64, 0u64, 0u64);
+    for (i, video) in set.videos.iter().enumerate() {
+        let s = seed + i as u64;
+        let (det, rec) = if ideal {
+            (
+                SimulatedObjectDetector::new(profiles::ideal_object(), nobj, s),
+                SimulatedActionRecognizer::new(profiles::ideal_action(), nact, s),
+            )
+        } else {
+            (
+                SimulatedObjectDetector::new(profiles::mask_rcnn(), nobj, s),
+                SimulatedActionRecognizer::new(profiles::i3d(), nact, s),
+            )
+        };
+        let engine = OnlineEngine::new(
+            set.query.clone(),
+            cfg,
+            video.script.geometry(),
+            &det,
+            &rec,
+        )
+        .unwrap();
+        let result = engine.run(VideoStream::new(&video.script));
+        let truth = video.script.ground_truth(&set.query, 0.5);
+        let m = sequence_prf(&result.sequences, &truth, 0.5);
+        tp += m.tp;
+        fp += m.fp;
+        fnn += m.fn_;
+    }
+    vaq::metrics::PrecisionRecall { tp, fp, fn_: fnn }.f1()
+}
+
+fn tiny_set(id: &str) -> vaq::datasets::QuerySet {
+    let spec = YoutubeSpec {
+        scale: 0.05,
+        ..YoutubeSpec::default()
+    };
+    youtube::query_set(youtube::row(id).unwrap(), &spec, 42)
+}
+
+/// Table 4's headline: ideal models ⇒ the pipeline is exact.
+#[test]
+fn ideal_models_reach_f1_one() {
+    let set = tiny_set("q2");
+    let f1 = run_f1(&set, OnlineConfig::svaqd(), true, 1);
+    assert!(f1 >= 0.99, "ideal-model F1 = {f1}");
+}
+
+/// Figure 2's headline: SVAQD is far less sensitive to the initial
+/// background probability than SVAQ.
+#[test]
+fn svaqd_is_insensitive_to_p0_where_svaq_is_not() {
+    let set = tiny_set("q5");
+    let p0s = [1e-6, 1e-4, 1e-2];
+    let svaq: Vec<f64> = p0s
+        .iter()
+        .map(|&p| run_f1(&set, OnlineConfig::svaq().with_p0(p), false, 3))
+        .collect();
+    let svaqd: Vec<f64> = p0s
+        .iter()
+        .map(|&p| run_f1(&set, OnlineConfig::svaqd().with_p0(p), false, 3))
+        .collect();
+    let spread = |v: &[f64]| {
+        v.iter().cloned().fold(f64::MIN, f64::max) - v.iter().cloned().fold(f64::MAX, f64::min)
+    };
+    assert!(
+        spread(&svaqd) <= spread(&svaq) + 1e-9,
+        "SVAQD spread {:?} vs SVAQ spread {:?}",
+        svaqd,
+        svaq
+    );
+}
+
+/// §3.3's headline: under drift, the adaptive engine beats a mis-calibrated
+/// static one.
+#[test]
+fn svaqd_beats_miscalibrated_svaq_under_drift() {
+    let set = surveillance(
+        &DriftSpec {
+            phase_minutes: 4,
+            ..DriftSpec::default()
+        },
+        7,
+    );
+    let f_svaq = run_f1(&set, OnlineConfig::svaq().with_p0(1e-5), false, 11);
+    let f_svaqd = run_f1(&set, OnlineConfig::svaqd().with_p0(1e-5), false, 11);
+    assert!(
+        f_svaqd >= f_svaq,
+        "drift: SVAQD {f_svaqd} should not lose to SVAQ {f_svaq}"
+    );
+}
+
+/// Table 3's headline: a highly correlated, accurately detected predicate
+/// (person) does not hurt — and composite queries remain accurate.
+#[test]
+fn adding_correlated_person_predicate_keeps_accuracy() {
+    let set = tiny_set("q9");
+    let objects = vocab::coco_objects();
+    let base = run_f1(&set, OnlineConfig::svaqd(), false, 5);
+
+    let mut with_person = set.clone();
+    let mut objs = set.query.objects.clone();
+    objs.push(objects.object("person").unwrap());
+    with_person.query = Query::new(set.query.action, objs);
+    let extended = run_f1(&with_person, OnlineConfig::svaqd(), false, 5);
+    assert!(
+        extended + 0.25 >= base,
+        "person predicate collapsed accuracy: {base} -> {extended}"
+    );
+}
+
+/// Table 5's headline: the scan-statistics indicator eliminates most of the
+/// detector's clip-level false positives.
+#[test]
+fn scan_statistics_reduce_false_positives() {
+    use vaq::detect::{profiles, SimulatedActionRecognizer, SimulatedObjectDetector};
+    let set = tiny_set("q2");
+    let video = &set.videos[0];
+    let script = &video.script;
+    let objects = vocab::coco_objects();
+    let car = objects.object("car").unwrap();
+    let query = Query::new(set.query.action, vec![car]);
+    let det = SimulatedObjectDetector::new(profiles::mask_rcnn(), objects.len() as u32, 3);
+    let rec = SimulatedActionRecognizer::new(
+        profiles::i3d(),
+        vocab::kinetics_actions().len() as u32,
+        3,
+    );
+    let engine =
+        OnlineEngine::new(query, OnlineConfig::svaqd(), script.geometry(), &det, &rec).unwrap();
+    let run = engine.run(VideoStream::new(script));
+
+    let fpc = script.geometry().frames_per_clip();
+    let (mut naive_fp, mut svaqd_fp, mut negatives) = (0u64, 0u64, 0u64);
+    for (idx, record) in run.records.iter().enumerate() {
+        let start = idx as u64 * fpc;
+        let clip_span = vaq::video::span::FrameSpan::new(start, start + fpc);
+        let negative = script
+            .object_spans(car)
+            .iter()
+            .all(|s| s.intersection(&clip_span).is_none());
+        if negative {
+            negatives += 1;
+            naive_fp += u64::from(record.object_counts[0] >= 1);
+            svaqd_fp += u64::from(record.object_indicators[0]);
+        }
+    }
+    assert!(negatives > 0);
+    assert!(
+        svaqd_fp * 2 <= naive_fp || naive_fp == 0,
+        "scan statistics should at least halve clip-level FPs: naive {naive_fp}, svaqd {svaqd_fp} over {negatives} clips"
+    );
+}
