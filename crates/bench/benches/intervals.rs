@@ -47,5 +47,10 @@ fn bench_multi_intersect(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_intersect, bench_from_indicator, bench_multi_intersect);
+criterion_group!(
+    benches,
+    bench_intersect,
+    bench_from_indicator,
+    bench_multi_intersect
+);
 criterion_main!(benches);

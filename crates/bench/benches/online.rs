@@ -12,7 +12,8 @@ fn script(object_duty_high: bool) -> SceneScript {
     let mut b = SceneScriptBuilder::new(30_000, VideoGeometry::PAPER_DEFAULT);
     let end = if object_duty_high { 30_000 } else { 3_000 };
     b.object_span(ObjectType::new(2), 0, end).unwrap();
-    b.action_span(vaq_types::ActionType::new(0), 5_000, 20_000).unwrap();
+    b.action_span(vaq_types::ActionType::new(0), 5_000, 20_000)
+        .unwrap();
     b.build()
 }
 

@@ -4,11 +4,11 @@
 //! O(N*) direct estimator.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use vaq_scanstats::ScanConfig;
 use vaq_scanstats::{
     critical_value, exact_scan_prob, scan_prob, BackgroundRateEstimator, CriticalValueCache,
     DirectKernelEstimator,
 };
-use vaq_scanstats::ScanConfig;
 
 fn bench_scan_prob(c: &mut Criterion) {
     let mut group = c.benchmark_group("scan_prob");

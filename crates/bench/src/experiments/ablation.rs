@@ -27,7 +27,10 @@ pub fn ablation_update_policy() -> Vec<(String, f64)> {
 
     let policies: Vec<(String, UpdatePolicy)> = vec![
         ("EveryClip".into(), UpdatePolicy::EveryClip),
-        ("PositiveClips (Alg. 3 literal)".into(), UpdatePolicy::PositiveClips),
+        (
+            "PositiveClips (Alg. 3 literal)".into(),
+            UpdatePolicy::PositiveClips,
+        ),
         ("EveryNClips(8)".into(), UpdatePolicy::EveryNClips(8)),
         ("EveryNClips(32)".into(), UpdatePolicy::EveryNClips(32)),
     ];
@@ -61,7 +64,11 @@ pub fn ablation_markov_critical_values() -> Vec<(f64, u64, u64)> {
     let cfg = ScanConfig::new(10, 2000, 0.05).expect("valid scan config");
     let pi = 0.03;
     let k_iid = critical_value(&cfg, pi);
-    let mut table = Table::new(&["persistence ρ", "k_crit (iid model)", "k_crit (Markov/FMCE)"]);
+    let mut table = Table::new(&[
+        "persistence ρ",
+        "k_crit (iid model)",
+        "k_crit (Markov/FMCE)",
+    ]);
     let mut rows = Vec::new();
     for rho in [0.03, 0.2, 0.4, 0.6] {
         let rates = if rho == 0.03 {

@@ -8,6 +8,4 @@ pub mod online_exp;
 
 pub use ablation::{ablation_markov_critical_values, ablation_update_policy};
 pub use offline_exp::{tab6, tab7, tab8, tab_rvaq_accuracy};
-pub use online_exp::{
-    fig2, fig3, fig4, fig5, tab3, tab4, tab5, tab_runtime_decomposition,
-};
+pub use online_exp::{fig2, fig3, fig4, fig5, tab3, tab4, tab5, tab_runtime_decomposition};

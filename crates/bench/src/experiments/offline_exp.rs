@@ -19,7 +19,11 @@ fn movie_spec() -> MovieSpec {
 }
 
 fn prepare_movie(title: &str) -> OfflineWorkload {
-    let set = movies::movie(movies::row(title).expect("known movie"), &movie_spec(), seed());
+    let set = movies::movie(
+        movies::row(title).expect("known movie"),
+        &movie_spec(),
+        seed(),
+    );
     OfflineWorkload::prepare(
         &set,
         &models::mask_rcnn_i3d(seed()),

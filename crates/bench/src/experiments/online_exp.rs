@@ -52,9 +52,18 @@ pub fn fig2() -> Vec<(String, f64, f64, f64)> {
     for (label, set, query) in focus_queries() {
         let mut table = Table::new(&["p0", "SVAQ F1", "SVAQD F1"]);
         for &p0 in &p0s {
-            let svaq = evaluate_online(&set, &stack, &OnlineConfig::svaq().with_p0(p0), Some(&query));
-            let svaqd =
-                evaluate_online(&set, &stack, &OnlineConfig::svaqd().with_p0(p0), Some(&query));
+            let svaq = evaluate_online(
+                &set,
+                &stack,
+                &OnlineConfig::svaq().with_p0(p0),
+                Some(&query),
+            );
+            let svaqd = evaluate_online(
+                &set,
+                &stack,
+                &OnlineConfig::svaqd().with_p0(p0),
+                Some(&query),
+            );
             table.row(vec![format!("{p0:.0e}"), f2(svaq.f1()), f2(svaqd.f1())]);
             rows.push((label.clone(), p0, svaq.f1(), svaqd.f1()));
         }
@@ -99,7 +108,11 @@ pub fn tab3() -> Vec<(String, f64, f64)> {
         ("a=blowing leaves, o1=person", "q2", vec!["person"]),
         ("a=blowing leaves, o1=plant", "q2", vec!["plant"]),
         ("a=blowing leaves, o1=car", "q2", vec!["car"]),
-        ("a=blowing leaves, o1=person, o2=car", "q2", vec!["person", "car"]),
+        (
+            "a=blowing leaves, o1=person, o2=car",
+            "q2",
+            vec!["person", "car"],
+        ),
         (
             "a=blowing leaves, o1=person, o2=plant, o3=car",
             "q2",
@@ -109,7 +122,11 @@ pub fn tab3() -> Vec<(String, f64, f64)> {
         ("a=washing dishes, o1=person", "q1", vec!["person"]),
         ("a=washing dishes, o1=oven", "q1", vec!["oven"]),
         ("a=washing dishes, o1=faucet", "q1", vec!["faucet"]),
-        ("a=washing dishes, o1=faucet, o2=oven", "q1", vec!["faucet", "oven"]),
+        (
+            "a=washing dishes, o1=faucet, o2=oven",
+            "q1",
+            vec!["faucet", "oven"],
+        ),
         (
             "a=washing dishes, o1=person, o2=faucet, o3=oven",
             "q1",
@@ -124,8 +141,10 @@ pub fn tab3() -> Vec<(String, f64, f64)> {
         for s in seeds() {
             let stack = models::mask_rcnn_i3d(s);
             let set = youtube::query_set(youtube::row(set_id).unwrap(), &spec(), s);
-            let query =
-                Query::new(set.query.action, objs.iter().map(|n| o(n)).collect::<Vec<_>>());
+            let query = Query::new(
+                set.query.action,
+                objs.iter().map(|n| o(n)).collect::<Vec<_>>(),
+            );
             svaq_f1 += evaluate_online(&set, &stack, &OnlineConfig::svaq(), Some(&query)).f1();
             svaqd_f1 += evaluate_online(&set, &stack, &OnlineConfig::svaqd(), Some(&query)).f1();
         }
@@ -222,8 +241,7 @@ pub fn tab5() -> Vec<(String, f64, f64, f64, f64)> {
                     svaqd_obj.push(record.object_indicators[0]);
                 }
                 if act_negative {
-                    if let (Some(count), Some(ind)) =
-                        (record.action_count, record.action_indicator)
+                    if let (Some(count), Some(ind)) = (record.action_count, record.action_indicator)
                     {
                         naive_act.push(count >= 1);
                         svaqd_act.push(ind);
@@ -253,15 +271,10 @@ pub fn tab5() -> Vec<(String, f64, f64, f64, f64)> {
     out
 }
 
-
 /// The clip sizes (shots per clip) Figures 4–5 sweep.
 pub const CLIP_SIZES: [u32; 6] = [2, 3, 5, 8, 12, 16];
 
-fn clip_size_runs(
-    query_label: &str,
-    row_id: &str,
-    object: &str,
-) -> Vec<(u32, u64, u64, f64)> {
+fn clip_size_runs(query_label: &str, row_id: &str, object: &str) -> Vec<(u32, u64, u64, f64)> {
     let objects = vocab::coco_objects();
     let stack = models::mask_rcnn_i3d(seed());
     let mut out = Vec::new();
@@ -277,7 +290,12 @@ fn clip_size_runs(
         let set = youtube::query_set(youtube::row(row_id).unwrap(), &spec, seed());
         let query = Query::new(set.query.action, vec![objects.object(object).unwrap()]);
         let eval = evaluate_online(&set, &stack, &OnlineConfig::svaqd(), Some(&query));
-        out.push((spc, eval.num_sequences, eval.frames_reported, eval.frame.f1()));
+        out.push((
+            spc,
+            eval.num_sequences,
+            eval.frames_reported,
+            eval.frame.f1(),
+        ));
     }
     let _ = query_label;
     out
@@ -348,8 +366,8 @@ pub fn tab_runtime_decomposition() -> (f64, f64, f64, f64) {
 
     // Short-circuit ablation: what the recognizer would have cost without
     // Algorithm 2's early exit.
-    let saved_shots = eval.stats.clips_short_circuited
-        * u64::from(VideoGeometry::PAPER_DEFAULT.shots_per_clip);
+    let saved_shots =
+        eval.stats.clips_short_circuited * u64::from(VideoGeometry::PAPER_DEFAULT.shots_per_clip);
     let saved_min = saved_shots as f64 * stack.recognizer.latency_ms() / 60_000.0;
     table.row(vec![
         "recognizer time saved by short-circuit (min)".into(),

@@ -23,8 +23,8 @@ pub struct ModelStack {
 /// gives SVAQD's per-stream calibration something to adapt to: a single
 /// global `p₀` cannot be right for both tails.
 pub fn clutter_for(seed: u64, video_idx: u64) -> f64 {
-    let h = (seed ^ video_idx.wrapping_mul(0x9E37_79B9_7F4A_7C15))
-        .wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    let h =
+        (seed ^ video_idx.wrapping_mul(0x9E37_79B9_7F4A_7C15)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     let u = (h >> 11) as f64 / (1u64 << 53) as f64; // [0, 1)
     4.0f64.powf(2.0 * u - 1.0)
 }
@@ -37,7 +37,10 @@ impl ModelStack {
 
     /// Per-video model instantiation: fresh noise seed plus a video-specific
     /// scene-clutter factor on the noise rates.
-    pub fn for_video(&self, video_idx: u64) -> (SimulatedObjectDetector, SimulatedActionRecognizer) {
+    pub fn for_video(
+        &self,
+        video_idx: u64,
+    ) -> (SimulatedObjectDetector, SimulatedActionRecognizer) {
         let clutter = clutter_for(self.tracker_seed, video_idx);
         let vid_seed = self
             .tracker_seed

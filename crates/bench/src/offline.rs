@@ -28,7 +28,12 @@ pub struct OfflineWorkload {
 
 impl OfflineWorkload {
     /// Ingests the first video of a (single-video) query set.
-    pub fn prepare(set: &QuerySet, stack: &ModelStack, config: &OnlineConfig, cost: CostModel) -> Self {
+    pub fn prepare(
+        set: &QuerySet,
+        stack: &ModelStack,
+        config: &OnlineConfig,
+        cost: CostModel,
+    ) -> Self {
         let video = &set.videos[0];
         let mut tracker = stack.tracker();
         let output = ingest(
@@ -41,7 +46,9 @@ impl OfflineWorkload {
         )
         .expect("ingestion succeeds");
         let pq = candidates_from_ingest(&output, &set.query).expect("queried types ingested");
-        let ground_truth = video.script.ground_truth(&set.query, crate::runner::GT_COVERAGE);
+        let ground_truth = video
+            .script
+            .ground_truth(&set.query, crate::runner::GT_COVERAGE);
         let (object_tables, action_tables) = output.mem_tables(cost);
         Self {
             name: set.id.clone(),
@@ -137,7 +144,10 @@ pub fn run_algo(workload: &OfflineWorkload, algo: Algo, k: usize) -> AlgoRun {
 
 /// Runs all four algorithms at one K.
 pub fn run_all(workload: &OfflineWorkload, k: usize) -> Vec<AlgoRun> {
-    Algo::all().iter().map(|&a| run_algo(workload, a, k)).collect()
+    Algo::all()
+        .iter()
+        .map(|&a| run_algo(workload, a, k))
+        .collect()
 }
 
 #[cfg(test)]
@@ -192,14 +202,25 @@ mod tests {
         // value, which a partially-covered boundary clip can meet).
         let w = tiny_workload();
         let diff = (w.pq.len() as i64 - w.ground_truth.len() as i64).abs();
-        assert!(diff <= 2, "pq {} vs gt {}", w.pq.len(), w.ground_truth.len());
+        assert!(
+            diff <= 2,
+            "pq {} vs gt {}",
+            w.pq.len(),
+            w.ground_truth.len()
+        );
         for got in w.pq.intervals() {
             assert!(
-                w.ground_truth.intervals().iter().any(|want| got.overlaps(want)),
+                w.ground_truth
+                    .intervals()
+                    .iter()
+                    .any(|want| got.overlaps(want)),
                 "candidate {got} has no ground-truth counterpart"
             );
         }
-        let (pq_clips, gt_clips) = (w.pq.total_clips() as f64, w.ground_truth.total_clips() as f64);
+        let (pq_clips, gt_clips) = (
+            w.pq.total_clips() as f64,
+            w.ground_truth.total_clips() as f64,
+        );
         assert!(
             (pq_clips - gt_clips).abs() / gt_clips < 0.25,
             "clip volume diverges: {pq_clips} vs {gt_clips}"

@@ -11,10 +11,7 @@ use vaq_storage::CostModel;
 use vaq_types::{vocab, Result, VaqError};
 use vaq_video::{load_script, save_script, SceneScript};
 
-fn models(
-    kind: &str,
-    seed: u64,
-) -> Result<(SimulatedObjectDetector, SimulatedActionRecognizer)> {
+fn models(kind: &str, seed: u64) -> Result<(SimulatedObjectDetector, SimulatedActionRecognizer)> {
     let nobj = vocab::coco_objects().len() as u32;
     let nact = vocab::kinetics_actions().len() as u32;
     let (op, ap) = match kind {
@@ -35,7 +32,13 @@ fn models(
 
 fn slug(name: &str) -> String {
     name.chars()
-        .map(|c| if c.is_ascii_alphanumeric() { c.to_ascii_lowercase() } else { '_' })
+        .map(|c| {
+            if c.is_ascii_alphanumeric() {
+                c.to_ascii_lowercase()
+            } else {
+                '_'
+            }
+        })
         .collect()
 }
 
@@ -53,7 +56,10 @@ pub fn gen(args: &Args, out: &mut Vec<String>) -> Result<()> {
             let row = youtube::row(id).ok_or_else(|| {
                 VaqError::InvalidConfig(format!("unknown YouTube query id {id:?} (q1..q12)"))
             })?;
-            let spec = youtube::YoutubeSpec { scale, ..Default::default() };
+            let spec = youtube::YoutubeSpec {
+                scale,
+                ..Default::default()
+            };
             youtube::query_set(row, &spec, seed)
         }
         "movie" => {
@@ -61,7 +67,10 @@ pub fn gen(args: &Args, out: &mut Vec<String>) -> Result<()> {
             let row = movies::row(id).ok_or_else(|| {
                 VaqError::InvalidConfig(format!("unknown movie {id:?} (see Table 2)"))
             })?;
-            let spec = movies::MovieSpec { scale, ..Default::default() };
+            let spec = movies::MovieSpec {
+                scale,
+                ..Default::default()
+            };
             movies::movie(row, &spec, seed)
         }
         "drift" => drift::surveillance(&drift::DriftSpec::default(), seed),
@@ -97,20 +106,21 @@ pub fn ingest(args: &Args, out: &mut Vec<String>) -> Result<()> {
     std::fs::create_dir_all(&repo_dir)?;
     let seed = args.get_or("seed", 42u64)?;
     let stack = args.get("models").unwrap_or("maskrcnn");
-    let name = args
-        .get("name")
-        .map(str::to_owned)
-        .unwrap_or_else(|| {
-            Path::new(script_path)
-                .file_stem()
-                .map(|s| s.to_string_lossy().into_owned())
-                .unwrap_or_else(|| "video".into())
-        });
+    let name = args.get("name").map(str::to_owned).unwrap_or_else(|| {
+        Path::new(script_path)
+            .file_stem()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_else(|| "video".into())
+    });
 
     let script = load(script_path)?;
     let (detector, recognizer) = models(stack, seed)?;
     let mut tracker = IouTracker::new(
-        if stack == "ideal" { profiles::ideal_tracker() } else { profiles::centertrack() },
+        if stack == "ideal" {
+            profiles::ideal_tracker()
+        } else {
+            profiles::centertrack()
+        },
         seed,
     );
     let output = core_ingest(
@@ -147,6 +157,30 @@ pub fn info(args: &Args, out: &mut Vec<String>) -> Result<()> {
             m.object_tables.len(),
             m.action_tables.len()
         ));
+    }
+    Ok(())
+}
+
+/// `fsck`: scan a repository's catalogs for missing/truncated/corrupt
+/// files. Reports every finding; a dirty repository is an error so shell
+/// pipelines see a non-zero exit.
+pub fn fsck(args: &Args, out: &mut Vec<String>) -> Result<()> {
+    let dir = PathBuf::from(args.require("repo")?);
+    let report = vaq_storage::fsck_repository(&dir)?;
+    for entry in &report.entries {
+        out.push(format!("{}: {}", entry.path.display(), entry.status));
+    }
+    let problems = report.problems().len();
+    out.push(format!(
+        "{} file(s) checked, {} problem(s)",
+        report.entries.len(),
+        problems
+    ));
+    if problems > 0 {
+        return Err(VaqError::Storage(format!(
+            "{}: fsck found {problems} problem(s)",
+            dir.display()
+        )));
     }
     Ok(())
 }
@@ -189,10 +223,7 @@ pub fn stream(args: &Args, out: &mut Vec<String>) -> Result<()> {
         execute_online(&p, &script, &detector, &recognizer, &OnlineConfig::svaqd())?;
     match result {
         QueryOutput::Sequences(seqs) => {
-            out.push(format!(
-                "{} sequence(s): {seqs}",
-                seqs.len()
-            ));
+            out.push(format!("{} sequence(s): {seqs}", seqs.len()));
             out.push(format!(
                 "cost: {} frames detected, {} shots recognized, {:.1} simulated minutes",
                 stats.detector_frames,
@@ -240,8 +271,17 @@ mod tests {
 
         // gen a tiny movie
         let out = run(&[
-            "gen", "--kind", "movie", "--id", "Coffee and Cigarettes", "--out",
-            videos.to_str().unwrap(), "--scale", "0.02", "--seed", "5",
+            "gen",
+            "--kind",
+            "movie",
+            "--id",
+            "Coffee and Cigarettes",
+            "--out",
+            videos.to_str().unwrap(),
+            "--scale",
+            "0.02",
+            "--seed",
+            "5",
         ])
         .unwrap();
         assert!(out.iter().any(|l| l.starts_with("wrote ")));
@@ -250,8 +290,15 @@ mod tests {
 
         // ingest with ideal models (fast + exact)
         let out = run(&[
-            "ingest", "--script", script.to_str().unwrap(), "--repo",
-            repo.to_str().unwrap(), "--models", "ideal", "--seed", "5",
+            "ingest",
+            "--script",
+            script.to_str().unwrap(),
+            "--repo",
+            repo.to_str().unwrap(),
+            "--models",
+            "ideal",
+            "--seed",
+            "5",
         ])
         .unwrap();
         assert!(out[0].contains("ingested"));
@@ -262,7 +309,10 @@ mod tests {
 
         // offline query across the repository
         let out = run(&[
-            "query", "--repo", repo.to_str().unwrap(), "--sql",
+            "query",
+            "--repo",
+            repo.to_str().unwrap(),
+            "--sql",
             "SELECT MERGE(clipID), RANK(act,obj) FROM (PROCESS any PRODUCE clipID) \
              WHERE act='smoking' AND obj.include('wine glass','cup') \
              ORDER BY RANK(act,obj) LIMIT 3",
@@ -273,7 +323,12 @@ mod tests {
 
         // online query over the script
         let out = run(&[
-            "stream", "--script", script.to_str().unwrap(), "--models", "ideal", "--sql",
+            "stream",
+            "--script",
+            script.to_str().unwrap(),
+            "--models",
+            "ideal",
+            "--sql",
             "SELECT MERGE(clipID) FROM (PROCESS v PRODUCE clipID) WHERE act='smoking'",
         ])
         .unwrap();
@@ -281,10 +336,63 @@ mod tests {
     }
 
     #[test]
+    fn fsck_reports_clean_and_corrupt_repositories() {
+        let dir = tmp("fsck");
+        let videos = dir.join("videos");
+        let repo = dir.join("repo");
+        run(&[
+            "gen",
+            "--kind",
+            "movie",
+            "--id",
+            "Coffee and Cigarettes",
+            "--out",
+            videos.to_str().unwrap(),
+            "--scale",
+            "0.02",
+            "--seed",
+            "5",
+        ])
+        .unwrap();
+        let script = videos.join("coffee_and_cigarettes.json");
+        run(&[
+            "ingest",
+            "--script",
+            script.to_str().unwrap(),
+            "--repo",
+            repo.to_str().unwrap(),
+            "--models",
+            "ideal",
+            "--seed",
+            "5",
+        ])
+        .unwrap();
+
+        let out = run(&["fsck", "--repo", repo.to_str().unwrap()]).unwrap();
+        assert!(out.last().unwrap().contains("0 problem(s)"), "{out:?}");
+
+        // Truncate one table; fsck must now report it and fail.
+        let tbl = std::fs::read_dir(repo.join("coffee_and_cigarettes"))
+            .unwrap()
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .find(|p| p.extension().is_some_and(|x| x == "tbl"))
+            .expect("an ingested .tbl");
+        let bytes = std::fs::read(&tbl).unwrap();
+        std::fs::write(&tbl, &bytes[..bytes.len() / 2]).unwrap();
+        let err = run(&["fsck", "--repo", repo.to_str().unwrap()]).unwrap_err();
+        assert!(err.to_string().contains("problem"), "{err}");
+    }
+
+    #[test]
     fn gen_validates_ids() {
         let dir = tmp("badid");
         assert!(run(&[
-            "gen", "--kind", "youtube", "--id", "q99", "--out",
+            "gen",
+            "--kind",
+            "youtube",
+            "--id",
+            "q99",
+            "--out",
             dir.to_str().unwrap()
         ])
         .is_err());
@@ -297,7 +405,10 @@ mod tests {
         let repo = dir.join("repo");
         std::fs::create_dir_all(&repo).unwrap();
         let err = run(&[
-            "query", "--repo", repo.to_str().unwrap(), "--sql",
+            "query",
+            "--repo",
+            repo.to_str().unwrap(),
+            "--sql",
             "SELECT MERGE(clipID) FROM (PROCESS v PRODUCE clipID) WHERE act='smoking'",
         ])
         .unwrap_err();
@@ -309,13 +420,29 @@ mod tests {
         let dir = tmp("models");
         let videos = dir.join("videos");
         run(&[
-            "gen", "--kind", "drift", "--out", videos.to_str().unwrap(), "--seed", "3",
+            "gen",
+            "--kind",
+            "drift",
+            "--out",
+            videos.to_str().unwrap(),
+            "--seed",
+            "3",
         ])
         .unwrap();
-        let script = std::fs::read_dir(&videos).unwrap().next().unwrap().unwrap().path();
+        let script = std::fs::read_dir(&videos)
+            .unwrap()
+            .next()
+            .unwrap()
+            .unwrap()
+            .path();
         let err = run(&[
-            "ingest", "--script", script.to_str().unwrap(), "--repo",
-            dir.join("r").to_str().unwrap(), "--models", "resnet",
+            "ingest",
+            "--script",
+            script.to_str().unwrap(),
+            "--repo",
+            dir.join("r").to_str().unwrap(),
+            "--models",
+            "resnet",
         ])
         .unwrap_err();
         assert!(err.to_string().contains("model stack"));

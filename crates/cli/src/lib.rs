@@ -7,6 +7,7 @@
 //! vaq-cli gen    --kind movie --id "Coffee and Cigarettes" --out videos/ --scale 0.1
 //! vaq-cli ingest --script videos/coffee_and_cigarettes.json --repo repo/
 //! vaq-cli info   --repo repo/
+//! vaq-cli fsck   --repo repo/
 //! vaq-cli query  --repo repo/ --sql "SELECT MERGE(clipID), RANK(act,obj) FROM \
 //!                (PROCESS any PRODUCE clipID) WHERE act='smoking' \
 //!                AND obj.include('wine glass','cup') ORDER BY RANK(act,obj) LIMIT 5"
@@ -37,6 +38,7 @@ USAGE:
   vaq-cli ingest --script <FILE> --repo <DIR> [--name <NAME>]
                  [--models <maskrcnn|yolo|ideal>] [--seed <N>]
   vaq-cli info   --repo <DIR>
+  vaq-cli fsck   --repo <DIR>
   vaq-cli query  --repo <DIR> --sql <SQL>
   vaq-cli stream --script <FILE> --sql <SQL>
                  [--models <maskrcnn|yolo|ideal>] [--seed <N>]
@@ -55,6 +57,7 @@ pub fn run(argv: &[String], out: &mut Vec<String>) -> Result<()> {
         "gen" => commands::gen(&args, out),
         "ingest" => commands::ingest(&args, out),
         "info" => commands::info(&args, out),
+        "fsck" => commands::fsck(&args, out),
         "query" => commands::query(&args, out),
         "stream" => commands::stream(&args, out),
         "help" | "--help" | "-h" => {

@@ -34,6 +34,85 @@ pub enum UpdatePolicy {
     EveryNClips(u32),
 }
 
+/// What the engine does with a clip whose model outputs stay unavailable
+/// after bounded retries (detector outage, dropped frames, exhausted
+/// transient errors).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum DegradationPolicy {
+    /// Fail the stream with [`vaq_types::VaqError::DetectorUnavailable`].
+    /// The strict choice: never answer from partial data.
+    Abort,
+    /// Skip the clip entirely and emit a typed gap marker in the result;
+    /// the clip contributes nothing to sequences or background estimates.
+    SkipClip,
+    /// Impute missing occurrence units as background (they carry no event)
+    /// and test the predicate on the *observed* sub-window with an
+    /// edge-corrected critical value `max(1, ⌈k·observed/total⌉)` — the
+    /// scan window shrank, so the event-count bar shrinks proportionally.
+    /// Clips with zero observed units still degrade to a gap marker. The
+    /// default: keeps answering through partial outages without silently
+    /// treating missing data as evidence of absence at full window size.
+    #[default]
+    ImputeBackground,
+}
+
+/// Bounded retry with exponential backoff for faulted model invocations.
+///
+/// Attempt `i` (zero-based) waits `base_backoff_ms · 2^i` before retrying;
+/// the waits are deposited into
+/// [`vaq_detect::InferenceStats::backoff_ms`] so the runtime-decomposition
+/// accounting stays honest about time lost to faults.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Retries after the first failed attempt (0 = fail immediately).
+    pub max_retries: u32,
+    /// Backoff before the first retry, ms; doubles per further retry.
+    pub base_backoff_ms: f64,
+}
+
+impl RetryPolicy {
+    /// Two retries starting at 50 ms — absorbs isolated transient errors
+    /// without stalling long on a real outage.
+    pub const DEFAULT: Self = Self {
+        max_retries: 2,
+        base_backoff_ms: 50.0,
+    };
+
+    /// No retries at all.
+    pub const NONE: Self = Self {
+        max_retries: 0,
+        base_backoff_ms: 0.0,
+    };
+
+    /// Simulated backoff wait before retry `attempt` (zero-based), ms.
+    pub fn backoff_ms(&self, attempt: u32) -> f64 {
+        self.base_backoff_ms * f64::from(1u32 << attempt.min(16))
+    }
+
+    /// Validates field domains.
+    pub fn validate(&self) -> Result<()> {
+        if !(self.base_backoff_ms.is_finite() && self.base_backoff_ms >= 0.0) {
+            return Err(VaqError::InvalidConfig(format!(
+                "retry backoff {} must be non-negative and finite",
+                self.base_backoff_ms
+            )));
+        }
+        if self.max_retries > 16 {
+            return Err(VaqError::InvalidConfig(format!(
+                "max_retries {} unreasonably large (cap 16)",
+                self.max_retries
+            )));
+        }
+        Ok(())
+    }
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self::DEFAULT
+    }
+}
+
 /// Configuration of the online engines.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct OnlineConfig {
@@ -53,6 +132,10 @@ pub struct OnlineConfig {
     pub p0_act: f64,
     /// SVAQ vs SVAQD.
     pub policy: ParameterPolicy,
+    /// What to do when model outputs stay unavailable after retries.
+    pub degradation: DegradationPolicy,
+    /// Bounded retry with backoff for faulted model invocations.
+    pub retry: RetryPolicy,
 }
 
 impl OnlineConfig {
@@ -68,6 +151,8 @@ impl OnlineConfig {
             p0_obj: 1e-4,
             p0_act: 1e-4,
             policy: ParameterPolicy::Static,
+            degradation: DegradationPolicy::default(),
+            retry: RetryPolicy::DEFAULT,
         }
     }
 
@@ -86,6 +171,18 @@ impl OnlineConfig {
     pub fn with_p0(mut self, p0: f64) -> Self {
         self.p0_obj = p0;
         self.p0_act = p0;
+        self
+    }
+
+    /// Overrides the degradation policy.
+    pub fn with_degradation(mut self, policy: DegradationPolicy) -> Self {
+        self.degradation = policy;
+        self
+    }
+
+    /// Overrides the retry policy.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
         self
     }
 
@@ -122,7 +219,7 @@ impl OnlineConfig {
                 )));
             }
         }
-        Ok(())
+        self.retry.validate()
     }
 }
 
@@ -154,11 +251,69 @@ mod tests {
     }
 
     #[test]
+    fn defaults_degrade_by_imputation() {
+        let c = OnlineConfig::svaq();
+        assert_eq!(c.degradation, DegradationPolicy::ImputeBackground);
+        assert_eq!(c.retry, RetryPolicy::DEFAULT);
+    }
+
+    #[test]
+    fn retry_backoff_doubles() {
+        let r = RetryPolicy {
+            max_retries: 3,
+            base_backoff_ms: 10.0,
+        };
+        assert_eq!(r.backoff_ms(0), 10.0);
+        assert_eq!(r.backoff_ms(1), 20.0);
+        assert_eq!(r.backoff_ms(2), 40.0);
+    }
+
+    #[test]
+    fn invalid_retry_rejected() {
+        let bad = OnlineConfig {
+            retry: RetryPolicy {
+                max_retries: 1,
+                base_backoff_ms: f64::NAN,
+            },
+            ..OnlineConfig::svaq()
+        };
+        assert!(bad.validate().is_err());
+        let bad = OnlineConfig {
+            retry: RetryPolicy {
+                max_retries: 99,
+                base_backoff_ms: 1.0,
+            },
+            ..OnlineConfig::svaq()
+        };
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
     fn invalid_fields_rejected() {
-        assert!(OnlineConfig { t_obj: 1.5, ..OnlineConfig::svaq() }.validate().is_err());
-        assert!(OnlineConfig { alpha: 0.0, ..OnlineConfig::svaq() }.validate().is_err());
-        assert!(OnlineConfig { horizon_clips: 1, ..OnlineConfig::svaq() }.validate().is_err());
-        assert!(OnlineConfig { p0_act: -0.2, ..OnlineConfig::svaq() }.validate().is_err());
+        assert!(OnlineConfig {
+            t_obj: 1.5,
+            ..OnlineConfig::svaq()
+        }
+        .validate()
+        .is_err());
+        assert!(OnlineConfig {
+            alpha: 0.0,
+            ..OnlineConfig::svaq()
+        }
+        .validate()
+        .is_err());
+        assert!(OnlineConfig {
+            horizon_clips: 1,
+            ..OnlineConfig::svaq()
+        }
+        .validate()
+        .is_err());
+        assert!(OnlineConfig {
+            p0_act: -0.2,
+            ..OnlineConfig::svaq()
+        }
+        .validate()
+        .is_err());
         let bad = OnlineConfig {
             policy: ParameterPolicy::Dynamic {
                 bandwidth_clips: 0.0,

@@ -25,9 +25,10 @@ pub mod config;
 pub mod offline;
 pub mod online;
 
-pub use config::{OnlineConfig, ParameterPolicy, UpdatePolicy};
+pub use config::{DegradationPolicy, OnlineConfig, ParameterPolicy, RetryPolicy, UpdatePolicy};
 pub use offline::ingest::{ingest, IngestOutput};
 pub use offline::repository::{query_repository, RepoResult, Repository};
 pub use offline::rvaq::{rvaq, RvaqOptions, TopKResult};
 pub use offline::scoring::{PaperScoring, ScoringModel};
-pub use online::engine::{OnlineEngine, OnlineResult};
+pub use online::engine::{EngineCheckpoint, GapMarker, OnlineEngine, OnlineResult};
+pub use online::indicator::GapReason;

@@ -39,7 +39,12 @@ struct TypeState {
 }
 
 impl TypeState {
-    fn new(policy: &ParameterPolicy, p0: f64, bandwidth_ou: f64, cache: &mut CriticalValueCache) -> Result<Self> {
+    fn new(
+        policy: &ParameterPolicy,
+        p0: f64,
+        bandwidth_ou: f64,
+        cache: &mut CriticalValueCache,
+    ) -> Result<Self> {
         let estimator = match policy {
             ParameterPolicy::Static => None,
             // Seed-only prior weight; see `online::engine` for rationale.
@@ -123,7 +128,10 @@ impl IngestOutput {
     pub fn mem_tables(
         &self,
         cost: CostModel,
-    ) -> (BTreeMap<ObjectType, MemTable>, BTreeMap<ActionType, MemTable>) {
+    ) -> (
+        BTreeMap<ObjectType, MemTable>,
+        BTreeMap<ActionType, MemTable>,
+    ) {
         let objects = self
             .object_rows
             .iter()

@@ -136,15 +136,22 @@ pub fn query_repository(
         };
         let result = rvaq(&tables, &pq, scoring, &RvaqOptions::new(k));
         stats = stats.merge(&result.stats);
-        merged.extend(result.sequences.into_iter().map(|(interval, score)| {
-            RepoResult {
-                video: catalog.manifest().name.clone(),
-                interval,
-                score,
-            }
-        }));
+        merged.extend(
+            result
+                .sequences
+                .into_iter()
+                .map(|(interval, score)| RepoResult {
+                    video: catalog.manifest().name.clone(),
+                    interval,
+                    score,
+                }),
+        );
     }
-    merged.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal));
+    merged.sort_by(|a, b| {
+        b.score
+            .partial_cmp(&a.score)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
     merged.truncate(k);
     Ok((merged, stats))
 }
@@ -183,8 +190,15 @@ mod tests {
             b.action_span(a(0), 200, 500).unwrap();
             let script = b.build();
             let mut tracker = IouTracker::new(profiles::ideal_tracker(), 1);
-            let out = ingest(&script, name, &det, &rec, &mut tracker, &OnlineConfig::svaqd())
-                .unwrap();
+            let out = ingest(
+                &script,
+                name,
+                &det,
+                &rec,
+                &mut tracker,
+                &OnlineConfig::svaqd(),
+            )
+            .unwrap();
             repo.add(&out).unwrap();
         }
         (repo, Query::new(a(0), vec![o(1)]))
@@ -235,8 +249,15 @@ mod tests {
         b.object_span(o(1), 0, 100).unwrap();
         let script = b.build();
         let mut tracker = IouTracker::new(profiles::ideal_tracker(), 1);
-        let out =
-            ingest(&script, "alpha", &det, &rec, &mut tracker, &OnlineConfig::svaqd()).unwrap();
+        let out = ingest(
+            &script,
+            "alpha",
+            &det,
+            &rec,
+            &mut tracker,
+            &OnlineConfig::svaqd(),
+        )
+        .unwrap();
         assert!(repo.add(&out).is_err());
     }
 

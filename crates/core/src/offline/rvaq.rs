@@ -187,7 +187,10 @@ pub fn rvaq(
         // Rank by lower bound; the K best form PQ_lo^K.
         let (blo_k, bup_notk) = frontier(&states, k);
         if opts.skip_enabled {
-            for st in states.iter_mut().filter(|s| !s.decided_out && !s.decided_in) {
+            for st in states
+                .iter_mut()
+                .filter(|s| !s.decided_out && !s.decided_in)
+            {
                 if st.b_up < blo_k {
                     st.decided_out = true;
                 } else if st.b_lo > bup_notk {
@@ -202,7 +205,9 @@ pub fn rvaq(
 
     // Select the K sequences with the highest lower bounds (exact at
     // convergence), then optionally refine to exact scores.
-    let mut order: Vec<usize> = (0..states.len()).filter(|&i| !states[i].decided_out).collect();
+    let mut order: Vec<usize> = (0..states.len())
+        .filter(|&i| !states[i].decided_out)
+        .collect();
     order.sort_by(|&a, &b| {
         states[b]
             .b_lo
@@ -241,7 +246,9 @@ pub fn rvaq(
 
 /// `(B_lo^K, B_up^¬K)` for the current bound state.
 fn frontier(states: &[SeqState], k: usize) -> (f64, f64) {
-    let mut alive: Vec<usize> = (0..states.len()).filter(|&i| !states[i].decided_out).collect();
+    let mut alive: Vec<usize> = (0..states.len())
+        .filter(|&i| !states[i].decided_out)
+        .collect();
     alive.sort_by(|&a, &b| {
         states[b]
             .b_lo
@@ -281,11 +288,9 @@ pub(crate) fn exact_sequence_score(
     scoring: &dyn ScoringModel,
     interval: &ClipInterval,
 ) -> f64 {
-    interval
-        .clips()
-        .fold(scoring.f_identity(), |acc, c| {
-            scoring.f_combine(acc, tb.clip_score_cached(c))
-        })
+    interval.clips().fold(scoring.f_identity(), |acc, c| {
+        scoring.f_combine(acc, tb.clip_score_cached(c))
+    })
 }
 
 #[cfg(test)]

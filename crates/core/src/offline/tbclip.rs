@@ -163,11 +163,7 @@ impl<'t, 'q> TbClip<'t, 'q> {
         for (ti, slot) in partial.iter_mut().enumerate() {
             let v = match slot {
                 Some(v) => *v,
-                None => self
-                    .tables
-                    .table(ti)
-                    .random_access(clip)
-                    .unwrap_or(0.0),
+                None => self.tables.table(ti).random_access(clip).unwrap_or(0.0),
             };
             scores.push(v);
         }

@@ -13,11 +13,12 @@
 //! [`OnlineEngine::sequences`].
 
 use crate::config::{OnlineConfig, ParameterPolicy, UpdatePolicy};
-use crate::online::indicator::{evaluate_clip, ClipEvaluation};
+use crate::online::indicator::{try_evaluate_clip, ClipEvaluation, GapReason};
+use serde::{Deserialize, Serialize};
 use std::time::Instant;
 use vaq_detect::{ActionRecognizer, InferenceStats, ObjectDetector};
-use vaq_scanstats::{BackgroundRateEstimator, CriticalValueCache, ScanConfig};
-use vaq_types::{Query, Result, SequenceSet, VideoGeometry};
+use vaq_scanstats::{BackgroundRateEstimator, CriticalValueCache, EstimatorCheckpoint, ScanConfig};
+use vaq_types::{ClipId, Query, Result, SequenceSet, VaqError, VideoGeometry};
 use vaq_video::{ClipView, VideoStream};
 
 /// Per-predicate scan-statistics state.
@@ -112,11 +113,71 @@ impl PredicateState {
             self.k_crit = self.cache.get(self.p_current);
         }
     }
+
+    fn checkpoint(&self) -> PredicateCheckpoint {
+        PredicateCheckpoint {
+            p_current: self.p_current,
+            k_crit: self.k_crit,
+            pending: self.pending.clone(),
+            pending_ok: self.pending_ok,
+            prev_below: self.prev_below,
+            estimator: self.estimator.as_ref().map(|e| e.checkpoint()),
+        }
+    }
+
+    /// Overwrites this freshly-constructed state with checkpointed values.
+    /// The critical-value cache is *not* checkpointed: it is a pure
+    /// memoization of [`ScanConfig`] and repopulates identically on demand.
+    fn restore_from(&mut self, c: &PredicateCheckpoint) -> Result<()> {
+        if c.estimator.is_some() != self.estimator.is_some() {
+            return Err(VaqError::InvalidConfig(
+                "checkpoint parameter policy (static/dynamic) does not match \
+                 the engine configuration"
+                    .into(),
+            ));
+        }
+        if !(c.p_current.is_finite() && (0.0..=1.0).contains(&c.p_current)) {
+            return Err(VaqError::InvalidConfig(format!(
+                "checkpoint background probability {} outside [0,1]",
+                c.p_current
+            )));
+        }
+        if let (Some(slot), Some(est)) = (&mut self.estimator, &c.estimator) {
+            *slot = BackgroundRateEstimator::restore(est)?;
+        }
+        self.p_current = c.p_current;
+        self.k_crit = c.k_crit;
+        self.pending = c.pending.clone();
+        self.pending_ok = c.pending_ok;
+        self.prev_below = c.prev_below;
+        Ok(())
+    }
+}
+
+/// Serializable snapshot of one [`PredicateState`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PredicateCheckpoint {
+    p_current: f64,
+    k_crit: u64,
+    pending: Option<Vec<bool>>,
+    pending_ok: bool,
+    prev_below: bool,
+    estimator: Option<EstimatorCheckpoint>,
+}
+
+/// A clip the engine processed but could not answer: where it sat in the
+/// stream and why it is a gap rather than a negative.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GapMarker {
+    /// The unanswerable clip.
+    pub clip: ClipId,
+    /// Why no answer exists for it.
+    pub reason: GapReason,
 }
 
 /// Per-clip decision record kept for diagnostics and the noise-elimination
 /// metrics (paper Table 5).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ClipRecord {
     /// Positive-frame counts per object predicate.
     pub object_counts: Vec<u64>,
@@ -128,6 +189,10 @@ pub struct ClipRecord {
     pub action_indicator: Option<bool>,
     /// The query indicator `𝟙_q(c)`.
     pub indicator: bool,
+    /// Set when the clip degraded to a gap; its indicator is then a forced
+    /// negative, not a measurement.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub gap: Option<GapReason>,
 }
 
 /// Output of running an online engine over a (finite prefix of a) stream.
@@ -137,6 +202,8 @@ pub struct OnlineResult {
     pub sequences: SequenceSet,
     /// Per-clip decision records, in stream order.
     pub records: Vec<ClipRecord>,
+    /// Clips that degraded to gaps, in stream order (empty on a clean run).
+    pub gaps: Vec<GapMarker>,
     /// Accumulated inference/engine cost accounting.
     pub stats: InferenceStats,
 }
@@ -151,6 +218,7 @@ pub struct OnlineEngine<'m> {
     act_state: PredicateState,
     indicators: Vec<bool>,
     records: Vec<ClipRecord>,
+    gaps: Vec<GapMarker>,
     stats: InferenceStats,
     clips_since_refresh: u32,
 }
@@ -196,6 +264,7 @@ impl<'m> OnlineEngine<'m> {
             act_state,
             indicators: Vec::new(),
             records: Vec::new(),
+            gaps: Vec::new(),
             stats: InferenceStats::default(),
             clips_since_refresh: 0,
         })
@@ -223,10 +292,30 @@ impl<'m> OnlineEngine<'m> {
     }
 
     /// Processes one clip; returns its query indicator `𝟙_q(c)`.
+    ///
+    /// Infallible convenience over [`Self::try_push_clip`]: panics if the
+    /// clip aborts, which requires both [`DegradationPolicy::Abort`] and a
+    /// model whose fallible path actually fails — use `try_push_clip` in
+    /// that configuration.
+    ///
+    /// [`DegradationPolicy::Abort`]: crate::config::DegradationPolicy::Abort
     pub fn push_clip(&mut self, clip: &ClipView) -> bool {
+        self.try_push_clip(clip)
+            .expect("only DegradationPolicy::Abort with a faulting model can fail")
+    }
+
+    /// Processes one clip through the fallible model paths; returns its
+    /// query indicator `𝟙_q(c)`.
+    ///
+    /// Faults surviving the configured retries degrade per the configured
+    /// [`DegradationPolicy`](crate::config::DegradationPolicy): a gap clip
+    /// records a [`GapMarker`], contributes a negative indicator, and is
+    /// excluded from background estimation; `Abort` surfaces
+    /// [`VaqError::DetectorUnavailable`].
+    pub fn try_push_clip(&mut self, clip: &ClipView) -> Result<bool> {
         let started = Instant::now();
         let k_obj: Vec<u64> = self.obj_states.iter().map(|s| s.k_crit).collect();
-        let evaluation = evaluate_clip(
+        let (evaluation, gap) = try_evaluate_clip(
             &self.query,
             clip,
             self.detector,
@@ -235,10 +324,22 @@ impl<'m> OnlineEngine<'m> {
             self.config.t_act,
             &k_obj,
             self.act_state.k_crit,
+            &self.config.retry,
+            self.config.degradation,
             &mut self.stats,
-        );
-        self.absorb(&evaluation);
-        self.explore_action_background(clip, &evaluation);
+        )?;
+        if let Some(reason) = gap {
+            // A gap clip feeds nothing: its events are absent or partial in
+            // a way the estimators must not mistake for observed background.
+            self.stats.record_gap();
+            self.gaps.push(GapMarker {
+                clip: clip.id,
+                reason,
+            });
+        } else {
+            self.absorb(&evaluation);
+            self.explore_action_background(clip, &evaluation);
+        }
         self.indicators.push(evaluation.indicator);
         self.records.push(ClipRecord {
             object_counts: evaluation.object_counts,
@@ -246,13 +347,14 @@ impl<'m> OnlineEngine<'m> {
             action_count: evaluation.action_count,
             action_indicator: evaluation.action_indicator,
             indicator: evaluation.indicator,
+            gap,
         });
         // Engine time excludes the *simulated* model milliseconds, which are
         // accounted separately; what we measure here is the real bookkeeping
         // cost standing in for the paper's non-inference time.
         self.stats
             .record_engine(started.elapsed().as_secs_f64() * 1e3);
-        evaluation.indicator
+        Ok(evaluation.indicator)
     }
 
     /// SVAQD bookkeeping after a clip: feed estimators, refresh critical
@@ -327,18 +429,27 @@ impl<'m> OnlineEngine<'m> {
         if clip.id.raw() % Self::EXPLORE_EVERY != 0 {
             return;
         }
-        let events: Vec<bool> = clip
-            .shots
-            .iter()
-            .map(|shot| {
-                self.recognizer
-                    .recognize(shot)
-                    .iter()
-                    .any(|p| p.action == self.query.action && p.score >= self.config.t_act)
-            })
-            .collect();
-        self.stats
-            .record_recognizer(clip.shots.len() as u64, self.recognizer.latency_ms());
+        // Exploration is best-effort and never retried: a faulted shot is
+        // simply not sampled. The clip's query indicator is already decided,
+        // so a fault here can only thin the background sample.
+        let mut events: Vec<bool> = Vec::with_capacity(clip.shots.len());
+        for shot in &clip.shots {
+            match self.recognizer.try_recognize(shot) {
+                Ok(preds) => {
+                    self.stats
+                        .record_recognizer(1, self.recognizer.latency_ms());
+                    events.push(
+                        preds
+                            .iter()
+                            .any(|p| p.action == self.query.action && p.score >= self.config.t_act),
+                    );
+                }
+                Err(_) => self.stats.record_recognizer_fault(),
+            }
+        }
+        if events.is_empty() {
+            return;
+        }
         let count = events.iter().filter(|&&e| e).count() as u64;
         self.act_state.offer(&events, count);
     }
@@ -351,6 +462,11 @@ impl<'m> OnlineEngine<'m> {
     /// Per-clip indicator log.
     pub fn indicators(&self) -> &[bool] {
         &self.indicators
+    }
+
+    /// Gap markers recorded so far (empty on a clean run).
+    pub fn gaps(&self) -> &[GapMarker] {
+        &self.gaps
     }
 
     /// Cost accounting so far.
@@ -366,13 +482,113 @@ impl<'m> OnlineEngine<'m> {
         self.into_result()
     }
 
+    /// Drains a stream to its end through the fallible clip path.
+    pub fn try_run(mut self, stream: VideoStream<'_>) -> Result<OnlineResult> {
+        for clip in stream {
+            self.try_push_clip(&clip)?;
+        }
+        Ok(self.into_result())
+    }
+
     /// Finalizes the engine into its result.
     pub fn into_result(self) -> OnlineResult {
         OnlineResult {
             sequences: SequenceSet::from_indicator(&self.indicators),
             records: self.records,
+            gaps: self.gaps,
             stats: self.stats,
         }
+    }
+
+    /// Snapshots the full engine state at a clip boundary. Restoring the
+    /// checkpoint with [`Self::restore`] and feeding the remaining clips
+    /// reproduces the uninterrupted run bit for bit (modulo wall-clock
+    /// `engine_ms`).
+    pub fn checkpoint(&self) -> EngineCheckpoint {
+        EngineCheckpoint {
+            clips_processed: self.indicators.len() as u64,
+            indicators: self.indicators.clone(),
+            records: self.records.clone(),
+            gaps: self.gaps.clone(),
+            stats: self.stats,
+            obj_states: self.obj_states.iter().map(|s| s.checkpoint()).collect(),
+            act_state: self.act_state.checkpoint(),
+            clips_since_refresh: self.clips_since_refresh,
+        }
+    }
+
+    /// Rebuilds an engine from a checkpoint taken by [`Self::checkpoint`].
+    ///
+    /// `query`, `config`, and `geometry` must match the checkpointing
+    /// engine's — they are not embedded in the checkpoint (models are not
+    /// serializable), so mismatches are detected only structurally: wrong
+    /// predicate counts or a static/dynamic policy flip are rejected, a
+    /// same-shaped different query is the caller's responsibility.
+    pub fn restore(
+        query: Query,
+        config: OnlineConfig,
+        geometry: &VideoGeometry,
+        detector: &'m dyn ObjectDetector,
+        recognizer: &'m dyn ActionRecognizer,
+        checkpoint: &EngineCheckpoint,
+    ) -> Result<Self> {
+        let mut engine = Self::new(query, config, geometry, detector, recognizer)?;
+        if checkpoint.obj_states.len() != engine.obj_states.len() {
+            return Err(VaqError::InvalidConfig(format!(
+                "checkpoint has {} object-predicate states, query has {}",
+                checkpoint.obj_states.len(),
+                engine.obj_states.len()
+            )));
+        }
+        let n = checkpoint.indicators.len() as u64;
+        if checkpoint.clips_processed != n || checkpoint.records.len() as u64 != n {
+            return Err(VaqError::InvalidConfig(format!(
+                "corrupt checkpoint: clips_processed={} but {} indicators, {} records",
+                checkpoint.clips_processed,
+                n,
+                checkpoint.records.len()
+            )));
+        }
+        for (state, c) in engine.obj_states.iter_mut().zip(&checkpoint.obj_states) {
+            state.restore_from(c)?;
+        }
+        engine.act_state.restore_from(&checkpoint.act_state)?;
+        engine.indicators = checkpoint.indicators.clone();
+        engine.records = checkpoint.records.clone();
+        engine.gaps = checkpoint.gaps.clone();
+        engine.stats = checkpoint.stats;
+        engine.clips_since_refresh = checkpoint.clips_since_refresh;
+        Ok(engine)
+    }
+}
+
+/// Serializable snapshot of a whole [`OnlineEngine`] at a clip boundary —
+/// everything needed to resume the stream where it stopped, except the
+/// models themselves.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EngineCheckpoint {
+    /// Clips fed to the engine before the snapshot (== resume position).
+    pub clips_processed: u64,
+    indicators: Vec<bool>,
+    records: Vec<ClipRecord>,
+    gaps: Vec<GapMarker>,
+    stats: InferenceStats,
+    obj_states: Vec<PredicateCheckpoint>,
+    act_state: PredicateCheckpoint,
+    clips_since_refresh: u32,
+}
+
+impl EngineCheckpoint {
+    /// Serializes the checkpoint to JSON.
+    pub fn to_json(&self) -> Result<String> {
+        serde_json::to_string(self)
+            .map_err(|e| VaqError::Storage(format!("checkpoint serialization failed: {e}")))
+    }
+
+    /// Parses a checkpoint from JSON produced by [`Self::to_json`].
+    pub fn from_json(json: &str) -> Result<Self> {
+        serde_json::from_str(json)
+            .map_err(|e| VaqError::Storage(format!("checkpoint parse failed: {e}")))
     }
 }
 
@@ -413,9 +629,14 @@ mod tests {
     fn svaq_recovers_ground_truth_with_ideal_models() {
         let s = script();
         let (det, rec) = ideal_models();
-        let engine =
-            OnlineEngine::new(Query::new(a(0), vec![o(1)]), OnlineConfig::svaq(), &G, &det, &rec)
-                .unwrap();
+        let engine = OnlineEngine::new(
+            Query::new(a(0), vec![o(1)]),
+            OnlineConfig::svaq(),
+            &G,
+            &det,
+            &rec,
+        )
+        .unwrap();
         let result = engine.run(vaq_video::VideoStream::new(&s));
         let gt = s.ground_truth(&Query::new(a(0), vec![o(1)]), 0.5);
         assert_eq!(result.sequences, gt, "got {} want {}", result.sequences, gt);
@@ -537,7 +758,10 @@ mod tests {
         let result = engine.run(vaq_video::VideoStream::new(&s));
         assert_eq!(result.records.len(), 30);
         for r in &result.records {
-            assert_eq!(r.indicator, r.object_indicators[0] && r.action_indicator == Some(true));
+            assert_eq!(
+                r.indicator,
+                r.object_indicators[0] && r.action_indicator == Some(true)
+            );
         }
     }
 
@@ -616,7 +840,9 @@ mod tests {
         );
         // Exploration is bounded by 1/EXPLORE_EVERY of the skipped clips.
         let explored = svaqd.stats.recognizer_shots - svaq.stats.recognizer_shots;
-        let bound = svaq.stats.clips_short_circuited
+        let bound = svaq
+            .stats
+            .clips_short_circuited
             .div_ceil(OnlineEngine::EXPLORE_EVERY)
             * u64::from(G.shots_per_clip);
         assert!(explored <= bound, "explored {explored} > bound {bound}");
@@ -629,8 +855,84 @@ mod tests {
             alpha: 2.0,
             ..OnlineConfig::svaq()
         };
-        assert!(
-            OnlineEngine::new(Query::new(a(0), vec![o(1)]), bad, &G, &det, &rec).is_err()
-        );
+        assert!(OnlineEngine::new(Query::new(a(0), vec![o(1)]), bad, &G, &det, &rec).is_err());
+    }
+
+    #[test]
+    fn checkpoint_restore_resumes_identically() {
+        // Noisy models + SVAQD (the hardest case: live estimators, censor
+        // pipeline state). Kill at every 7th clip boundary, restore, resume:
+        // the result must match the uninterrupted run exactly.
+        let s = script();
+        let det = SimulatedObjectDetector::new(profiles::mask_rcnn(), 86, 11);
+        let rec = SimulatedActionRecognizer::new(profiles::i3d(), 36, 11);
+        let q = Query::new(a(0), vec![o(1)]);
+        let cfg = OnlineConfig::svaqd();
+        let clips: Vec<_> = vaq_video::VideoStream::new(&s).collect();
+
+        let mut reference = OnlineEngine::new(q.clone(), cfg, &G, &det, &rec).unwrap();
+        for clip in &clips {
+            reference.push_clip(clip);
+        }
+        let reference = reference.into_result();
+
+        for cut in [1, 7, 14, 29] {
+            let mut first = OnlineEngine::new(q.clone(), cfg, &G, &det, &rec).unwrap();
+            for clip in &clips[..cut] {
+                first.push_clip(clip);
+            }
+            let ckpt = EngineCheckpoint::from_json(&first.checkpoint().to_json().unwrap()).unwrap();
+            drop(first); // the "crash"
+            let mut resumed = OnlineEngine::restore(q.clone(), cfg, &G, &det, &rec, &ckpt).unwrap();
+            assert_eq!(ckpt.clips_processed, cut as u64);
+            for clip in &clips[cut..] {
+                resumed.push_clip(clip);
+            }
+            let resumed = resumed.into_result();
+            assert_eq!(resumed.sequences, reference.sequences, "cut at {cut}");
+            assert_eq!(resumed.records, reference.records, "cut at {cut}");
+            assert_eq!(
+                resumed.stats.detector_frames, reference.stats.detector_frames,
+                "cut at {cut}"
+            );
+            assert_eq!(
+                resumed.stats.recognizer_shots, reference.stats.recognizer_shots,
+                "cut at {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn restore_rejects_mismatched_shapes() {
+        let (det, rec) = ideal_models();
+        let q1 = Query::new(a(0), vec![o(1)]);
+        let q2 = Query::new(a(0), vec![o(1), o(2)]);
+        let cfg = OnlineConfig::svaqd();
+        let engine = OnlineEngine::new(q1.clone(), cfg, &G, &det, &rec).unwrap();
+        let ckpt = engine.checkpoint();
+        // Wrong predicate count.
+        assert!(OnlineEngine::restore(q2, cfg, &G, &det, &rec, &ckpt).is_err());
+        // Static/dynamic policy flip.
+        assert!(OnlineEngine::restore(q1, OnlineConfig::svaq(), &G, &det, &rec, &ckpt).is_err());
+    }
+
+    #[test]
+    fn corrupt_checkpoint_json_is_storage_error() {
+        match EngineCheckpoint::from_json("{not json") {
+            Err(vaq_types::VaqError::Storage(_)) => {}
+            other => panic!("want Storage error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn clean_runs_have_no_gaps() {
+        let s = script();
+        let (det, rec) = ideal_models();
+        let q = Query::new(a(0), vec![o(1)]);
+        let engine = OnlineEngine::new(q, OnlineConfig::svaqd(), &G, &det, &rec).unwrap();
+        let result = engine.try_run(vaq_video::VideoStream::new(&s)).unwrap();
+        assert!(result.gaps.is_empty());
+        assert_eq!(result.stats.clips_gapped, 0);
+        assert!(result.records.iter().all(|r| r.gap.is_none()));
     }
 }

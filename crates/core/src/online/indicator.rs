@@ -18,32 +18,349 @@
 //! the saved work is visible in
 //! [`InferenceStats::clips_short_circuited`].
 
+use crate::config::{DegradationPolicy, RetryPolicy};
+use serde::{Deserialize, Serialize};
+use vaq_detect::fault::DetectorFault;
 use vaq_detect::{ActionRecognizer, InferenceStats, ObjectDetector};
-use vaq_types::Query;
+use vaq_types::{Query, Result, VaqError};
 use vaq_video::ClipView;
+
+/// Why a clip carries no query answer — the typed gap markers degraded
+/// runs report instead of silently mis-answering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum GapReason {
+    /// No frame of the clip produced a detector output (full detector
+    /// outage under [`DegradationPolicy::ImputeBackground`]).
+    DetectorOutage,
+    /// Object predicates passed but no shot produced a recognizer output.
+    RecognizerOutage,
+    /// The clip was skipped on the first unrecovered fault under
+    /// [`DegradationPolicy::SkipClip`].
+    SkippedOnFault,
+}
+
+impl std::fmt::Display for GapReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GapReason::DetectorOutage => write!(f, "detector outage"),
+            GapReason::RecognizerOutage => write!(f, "recognizer outage"),
+            GapReason::SkippedOnFault => write!(f, "skipped on fault"),
+        }
+    }
+}
 
 /// The outcome of evaluating one clip, including the per-occurrence-unit
 /// event indicators SVAQD's estimators consume.
+///
+/// Under [`DegradationPolicy::ImputeBackground`] the event vectors hold
+/// only the *observed* occurrence units — missing frames/shots are imputed
+/// as background and must not feed the background estimators as if they
+/// had been measured.
 #[derive(Debug, Clone)]
 pub struct ClipEvaluation {
-    /// Per object predicate (query order), per frame: `𝟙_{o_i}(v)`.
+    /// Per object predicate (query order), per observed frame: `𝟙_{o_i}(v)`.
     pub object_events: Vec<Vec<bool>>,
-    /// Per object predicate: count of positive frames in the clip.
+    /// Per object predicate: count of positive observed frames in the clip.
     pub object_counts: Vec<u64>,
     /// Per object predicate: the clip indicator `𝟙_{o_i}(c)`.
     pub object_indicators: Vec<bool>,
-    /// Per shot: `𝟙_a(s)`; `None` when the action recognizer was skipped by
-    /// short-circuiting.
+    /// Per observed shot: `𝟙_a(s)`; `None` when the action recognizer was
+    /// skipped by short-circuiting (or the clip degraded to a gap).
     pub action_events: Option<Vec<bool>>,
-    /// Count of positive shots, when evaluated.
+    /// Count of positive observed shots, when evaluated.
     pub action_count: Option<u64>,
     /// The action clip indicator `𝟙_a(c)`, when evaluated.
     pub action_indicator: Option<bool>,
     /// The query indicator `𝟙_q(c)` (Eq. 3).
     pub indicator: bool,
+    /// Frames in the clip.
+    pub frames_total: u64,
+    /// Frames whose detector output was available (== `frames_total` on a
+    /// fault-free run).
+    pub frames_observed: u64,
+    /// Shots in the clip.
+    pub shots_total: u64,
+    /// Shots whose recognizer output was available, when the recognizer
+    /// ran at all.
+    pub shots_observed: Option<u64>,
 }
 
-/// Evaluates Algorithm 2 on one clip.
+impl ClipEvaluation {
+    /// An all-negative evaluation for a clip degraded to a gap.
+    fn gap(query: &Query, frames_total: u64, shots_total: u64) -> Self {
+        Self {
+            object_events: vec![Vec::new(); query.objects.len()],
+            object_counts: vec![0; query.objects.len()],
+            object_indicators: vec![false; query.objects.len()],
+            action_events: None,
+            action_count: None,
+            action_indicator: None,
+            indicator: false,
+            frames_total,
+            frames_observed: 0,
+            shots_total,
+            shots_observed: None,
+        }
+    }
+}
+
+/// Edge-corrected critical value for a scan window truncated to `observed`
+/// of `total` occurrence units: the event-count bar shrinks proportionally
+/// (never below 1). With the full window observed this is exactly `k`.
+fn edge_corrected_k(k: u64, observed: u64, total: u64) -> u64 {
+    debug_assert!(observed > 0 && observed <= total);
+    if observed == total {
+        return k;
+    }
+    ((k * observed).div_ceil(total)).max(1)
+}
+
+enum ModelKind {
+    Detector,
+    Recognizer,
+}
+
+/// Bounded retry with exponential backoff around one model invocation.
+/// Every fault and every backoff wait is deposited into `stats`.
+fn call_with_retry<T>(
+    retry: &RetryPolicy,
+    kind: ModelKind,
+    stats: &mut InferenceStats,
+    mut call: impl FnMut() -> std::result::Result<T, DetectorFault>,
+) -> std::result::Result<T, DetectorFault> {
+    let mut attempt = 0u32;
+    loop {
+        match call() {
+            Ok(v) => return Ok(v),
+            Err(fault) => {
+                match kind {
+                    ModelKind::Detector => stats.record_detector_fault(),
+                    ModelKind::Recognizer => stats.record_recognizer_fault(),
+                }
+                if !fault.is_retryable() || attempt >= retry.max_retries {
+                    return Err(fault);
+                }
+                stats.record_retry(retry.backoff_ms(attempt));
+                attempt += 1;
+            }
+        }
+    }
+}
+
+/// Evaluates Algorithm 2 on one clip through the fallible model paths,
+/// degrading per `degradation` when outputs stay unavailable after
+/// `retry`.
+///
+/// Returns the evaluation plus an optional [`GapReason`] when the clip
+/// carries no usable answer; under [`DegradationPolicy::Abort`] an
+/// unrecovered fault is a [`VaqError::DetectorUnavailable`] error instead.
+#[allow(clippy::too_many_arguments)]
+pub fn try_evaluate_clip(
+    query: &Query,
+    clip: &ClipView,
+    detector: &dyn ObjectDetector,
+    recognizer: &dyn ActionRecognizer,
+    t_obj: f64,
+    t_act: f64,
+    k_crit_obj: &[u64],
+    k_crit_act: u64,
+    retry: &RetryPolicy,
+    degradation: DegradationPolicy,
+    stats: &mut InferenceStats,
+) -> Result<(ClipEvaluation, Option<GapReason>)> {
+    debug_assert_eq!(k_crit_obj.len(), query.objects.len());
+    let frames_total = clip.frames.len() as u64;
+    let shots_total = clip.shots.len() as u64;
+
+    // One detector pass per frame, reused by all object predicates. The
+    // per-frame max score per queried type is all the indicators need.
+    let mut observed_scores: Vec<Vec<f64>> = query
+        .objects
+        .iter()
+        .map(|_| Vec::with_capacity(clip.frames.len()))
+        .collect();
+    let mut missing_frames = 0u64;
+    for frame in &clip.frames {
+        match call_with_retry(retry, ModelKind::Detector, stats, || {
+            detector.try_detect(frame)
+        }) {
+            Ok(detections) => {
+                stats.record_detector(1, detector.latency_ms());
+                let mut maxes = vec![0.0f64; query.objects.len()];
+                for det in &detections {
+                    if let Some(pi) = query.objects.iter().position(|&o| o == det.object) {
+                        if det.score > maxes[pi] {
+                            maxes[pi] = det.score;
+                        }
+                    }
+                }
+                for (pi, &m) in maxes.iter().enumerate() {
+                    observed_scores[pi].push(m);
+                }
+            }
+            Err(fault) => match degradation {
+                DegradationPolicy::Abort => {
+                    return Err(VaqError::DetectorUnavailable(format!(
+                        "object detector {:?} failed on frame {} of clip {}: {fault}",
+                        detector.name(),
+                        frame.id,
+                        clip.id
+                    )));
+                }
+                DegradationPolicy::SkipClip => {
+                    return Ok((
+                        ClipEvaluation::gap(query, frames_total, shots_total),
+                        Some(GapReason::SkippedOnFault),
+                    ));
+                }
+                DegradationPolicy::ImputeBackground => missing_frames += 1,
+            },
+        }
+    }
+    let frames_observed = frames_total - missing_frames;
+    if missing_frames > 0 {
+        stats.record_imputed_frames(missing_frames);
+    }
+    // A clip with object predicates but zero observed frames carries no
+    // object information at all: degrade to a typed gap rather than
+    // imputing an answer out of nothing.
+    if frames_observed == 0 && !query.objects.is_empty() && frames_total > 0 {
+        return Ok((
+            ClipEvaluation::gap(query, frames_total, shots_total),
+            Some(GapReason::DetectorOutage),
+        ));
+    }
+
+    let mut object_events = Vec::with_capacity(query.objects.len());
+    let mut object_counts = Vec::with_capacity(query.objects.len());
+    let mut object_indicators = Vec::with_capacity(query.objects.len());
+    let mut objects_pass = true;
+    for (pi, scores) in observed_scores.iter().enumerate() {
+        let events: Vec<bool> = scores.iter().map(|&s| s >= t_obj).collect();
+        let count = events.iter().filter(|&&e| e).count() as u64;
+        let k_eff = edge_corrected_k(k_crit_obj[pi], frames_observed.max(1), frames_total.max(1));
+        let indicator = count >= k_eff;
+        objects_pass &= indicator;
+        object_events.push(events);
+        object_counts.push(count);
+        object_indicators.push(indicator);
+    }
+
+    // Short-circuit: a failed object predicate means the clip cannot
+    // satisfy the query; skip the action recognizer entirely.
+    if !objects_pass {
+        stats.record_short_circuit();
+        return Ok((
+            ClipEvaluation {
+                object_events,
+                object_counts,
+                object_indicators,
+                action_events: None,
+                action_count: None,
+                action_indicator: None,
+                indicator: false,
+                frames_total,
+                frames_observed,
+                shots_total,
+                shots_observed: None,
+            },
+            None,
+        ));
+    }
+
+    let mut action_events: Vec<bool> = Vec::with_capacity(clip.shots.len());
+    let mut missing_shots = 0u64;
+    for shot in &clip.shots {
+        match call_with_retry(retry, ModelKind::Recognizer, stats, || {
+            recognizer.try_recognize(shot)
+        }) {
+            Ok(preds) => {
+                stats.record_recognizer(1, recognizer.latency_ms());
+                action_events.push(
+                    preds
+                        .iter()
+                        .any(|p| p.action == query.action && p.score >= t_act),
+                );
+            }
+            Err(fault) => match degradation {
+                DegradationPolicy::Abort => {
+                    return Err(VaqError::DetectorUnavailable(format!(
+                        "action recognizer {:?} failed on shot {} of clip {}: {fault}",
+                        recognizer.name(),
+                        shot.id,
+                        clip.id
+                    )));
+                }
+                DegradationPolicy::SkipClip => {
+                    return Ok((
+                        ClipEvaluation {
+                            object_events,
+                            object_counts,
+                            object_indicators,
+                            action_events: None,
+                            action_count: None,
+                            action_indicator: None,
+                            indicator: false,
+                            frames_total,
+                            frames_observed,
+                            shots_total,
+                            shots_observed: None,
+                        },
+                        Some(GapReason::SkippedOnFault),
+                    ));
+                }
+                DegradationPolicy::ImputeBackground => missing_shots += 1,
+            },
+        }
+    }
+    let shots_observed = shots_total - missing_shots;
+    if missing_shots > 0 {
+        stats.record_imputed_shots(missing_shots);
+    }
+    if shots_observed == 0 && shots_total > 0 {
+        // Objects passed but the action predicate is unknowable.
+        return Ok((
+            ClipEvaluation {
+                object_events,
+                object_counts,
+                object_indicators,
+                action_events: None,
+                action_count: None,
+                action_indicator: None,
+                indicator: false,
+                frames_total,
+                frames_observed,
+                shots_total,
+                shots_observed: Some(0),
+            },
+            Some(GapReason::RecognizerOutage),
+        ));
+    }
+    let action_count = action_events.iter().filter(|&&e| e).count() as u64;
+    let k_act_eff = edge_corrected_k(k_crit_act, shots_observed.max(1), shots_total.max(1));
+    let action_indicator = action_count >= k_act_eff;
+
+    Ok((
+        ClipEvaluation {
+            object_events,
+            object_counts,
+            object_indicators,
+            action_events: Some(action_events),
+            action_count: Some(action_count),
+            action_indicator: Some(action_indicator),
+            indicator: action_indicator,
+            frames_total,
+            frames_observed,
+            shots_total,
+            shots_observed: Some(shots_observed),
+        },
+        None,
+    ))
+}
+
+/// Evaluates Algorithm 2 on one clip through the infallible model paths —
+/// the zero-fault fast path, equivalent to [`try_evaluate_clip`] with
+/// models that never fail.
 ///
 /// `k_crit_obj` must hold one critical value per object predicate (query
 /// order); `k_crit_act` is the action predicate's critical value.
@@ -59,76 +376,22 @@ pub fn evaluate_clip(
     k_crit_act: u64,
     stats: &mut InferenceStats,
 ) -> ClipEvaluation {
-    debug_assert_eq!(k_crit_obj.len(), query.objects.len());
-
-    // One detector pass per frame, reused by all object predicates. The
-    // per-frame max score per queried type is all the indicators need.
-    let num_frames = clip.frames.len();
-    let mut max_scores = vec![vec![0.0f64; num_frames]; query.objects.len()];
-    for (fi, frame) in clip.frames.iter().enumerate() {
-        let detections = detector.detect(frame);
-        for det in &detections {
-            if let Some(pi) = query.objects.iter().position(|&o| o == det.object) {
-                if det.score > max_scores[pi][fi] {
-                    max_scores[pi][fi] = det.score;
-                }
-            }
-        }
-    }
-    stats.record_detector(num_frames as u64, detector.latency_ms());
-
-    let mut object_events = Vec::with_capacity(query.objects.len());
-    let mut object_counts = Vec::with_capacity(query.objects.len());
-    let mut object_indicators = Vec::with_capacity(query.objects.len());
-    let mut objects_pass = true;
-    for (pi, scores) in max_scores.iter().enumerate() {
-        let events: Vec<bool> = scores.iter().map(|&s| s >= t_obj).collect();
-        let count = events.iter().filter(|&&e| e).count() as u64;
-        let indicator = count >= k_crit_obj[pi];
-        objects_pass &= indicator;
-        object_events.push(events);
-        object_counts.push(count);
-        object_indicators.push(indicator);
-    }
-
-    // Short-circuit: a failed object predicate means the clip cannot
-    // satisfy the query; skip the action recognizer entirely.
-    if !objects_pass {
-        stats.record_short_circuit();
-        return ClipEvaluation {
-            object_events,
-            object_counts,
-            object_indicators,
-            action_events: None,
-            action_count: None,
-            action_indicator: None,
-            indicator: false,
-        };
-    }
-
-    let action_events: Vec<bool> = clip
-        .shots
-        .iter()
-        .map(|shot| {
-            recognizer
-                .recognize(shot)
-                .iter()
-                .any(|p| p.action == query.action && p.score >= t_act)
-        })
-        .collect();
-    stats.record_recognizer(clip.shots.len() as u64, recognizer.latency_ms());
-    let action_count = action_events.iter().filter(|&&e| e).count() as u64;
-    let action_indicator = action_count >= k_crit_act;
-
-    ClipEvaluation {
-        object_events,
-        object_counts,
-        object_indicators,
-        action_events: Some(action_events),
-        action_count: Some(action_count),
-        action_indicator: Some(action_indicator),
-        indicator: action_indicator,
-    }
+    let (evaluation, gap) = try_evaluate_clip(
+        query,
+        clip,
+        detector,
+        recognizer,
+        t_obj,
+        t_act,
+        k_crit_obj,
+        k_crit_act,
+        &RetryPolicy::NONE,
+        DegradationPolicy::ImputeBackground,
+        stats,
+    )
+    .expect("ImputeBackground never aborts");
+    debug_assert!(gap.is_none(), "infallible models cannot produce gaps");
+    evaluation
 }
 
 #[cfg(test)]

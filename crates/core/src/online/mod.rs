@@ -8,5 +8,5 @@
 pub mod engine;
 pub mod indicator;
 
-pub use engine::{OnlineEngine, OnlineResult};
-pub use indicator::{evaluate_clip, ClipEvaluation};
+pub use engine::{ClipRecord, EngineCheckpoint, GapMarker, OnlineEngine, OnlineResult};
+pub use indicator::{evaluate_clip, try_evaluate_clip, ClipEvaluation, GapReason};

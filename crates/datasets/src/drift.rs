@@ -49,23 +49,35 @@ pub fn surveillance(spec: &DriftSpec, seed: u64) -> QuerySet {
     // Vehicles with the piecewise duty profile.
     let car = objects.object("car").unwrap();
     let phases = [
-        RatePhase { frames: phase, duty: spec.quiet_duty },
-        RatePhase { frames: phase, duty: spec.rush_duty },
-        RatePhase { frames: phase, duty: spec.quiet_duty },
+        RatePhase {
+            frames: phase,
+            duty: spec.quiet_duty,
+        },
+        RatePhase {
+            frames: phase,
+            duty: spec.rush_duty,
+        },
+        RatePhase {
+            frames: phase,
+            duty: spec.quiet_duty,
+        },
     ];
     for span in gen::spans_with_profile(&mut rng, &phases, 300.0) {
-        b.object_span(car, span.start, span.end).expect("span in range");
+        b.object_span(car, span.start, span.end)
+            .expect("span in range");
     }
 
     // Pedestrians jump occasionally in every phase.
     let ep_len = 8 * geometry.fps as u64;
     for ep in gen::episodes(&mut rng, frames, 18, ep_len, ep_len / 4) {
-        b.action_span(query.action, ep.start, ep.end).expect("episode in range");
+        b.action_span(query.action, ep.start, ep.end)
+            .expect("episode in range");
     }
     // Persons are around throughout.
     let person = objects.object("person").unwrap();
     for span in gen::spans_with_duty(&mut rng, frames, 0.5, 700.0) {
-        b.object_span(person, span.start, span.end).expect("span in range");
+        b.object_span(person, span.start, span.end)
+            .expect("span in range");
     }
 
     QuerySet {

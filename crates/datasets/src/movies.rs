@@ -125,10 +125,7 @@ pub fn movie(row: &TableTwoRow, spec: &MovieSpec, seed: u64) -> QuerySet {
     // what lets TBClip's parallel sorted access find common clips quickly
     // and gives RVAQ's bound refinement something to prune (homogeneous,
     // uncorrelated scores force full enumeration).
-    let prominences: Vec<f32> = eps
-        .iter()
-        .map(|_| rng.gen_range(0.55f32..1.0))
-        .collect();
+    let prominences: Vec<f32> = eps.iter().map(|_| rng.gen_range(0.55f32..1.0)).collect();
     for (ep, &prom) in eps.iter().zip(&prominences) {
         b.action_occurrence(query.action, ep.start, ep.end, prom)
             .expect("episode in range");
@@ -147,7 +144,8 @@ pub fn movie(row: &TableTwoRow, spec: &MovieSpec, seed: u64) -> QuerySet {
         }
         // Scattered appearances outside episodes too.
         for span in gen::spans_with_duty(&mut rng, frames, 0.03, 400.0) {
-            b.object_span(obj, span.start, span.end).expect("span in range");
+            b.object_span(obj, span.start, span.end)
+                .expect("span in range");
         }
     }
 
@@ -155,7 +153,8 @@ pub fn movie(row: &TableTwoRow, spec: &MovieSpec, seed: u64) -> QuerySet {
     // picks, plus background actions.
     let person = objects.object("person").unwrap();
     for span in gen::spans_with_duty(&mut rng, frames, 0.6, 900.0) {
-        b.object_span(person, span.start, span.end).expect("span in range");
+        b.object_span(person, span.start, span.end)
+            .expect("span in range");
     }
     let obj_universe = objects.len() as u32;
     for _ in 0..spec.background_objects {
@@ -164,7 +163,8 @@ pub fn movie(row: &TableTwoRow, spec: &MovieSpec, seed: u64) -> QuerySet {
             continue;
         }
         for span in gen::spans_with_duty(&mut rng, frames, spec.background_duty, 500.0) {
-            b.object_span(t, span.start, span.end).expect("span in range");
+            b.object_span(t, span.start, span.end)
+                .expect("span in range");
         }
     }
     let act_universe = actions.len() as u32;
@@ -174,7 +174,8 @@ pub fn movie(row: &TableTwoRow, spec: &MovieSpec, seed: u64) -> QuerySet {
             continue;
         }
         for span in gen::spans_with_duty(&mut rng, frames, 0.06, 600.0) {
-            b.action_span(t, span.start, span.end).expect("span in range");
+            b.action_span(t, span.start, span.end)
+                .expect("span in range");
         }
     }
 

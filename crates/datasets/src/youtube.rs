@@ -32,18 +32,78 @@ pub struct TableOneRow {
 
 /// The paper's Table 1, verbatim.
 pub const TABLE_ONE: [TableOneRow; 12] = [
-    TableOneRow { id: "q1", action: "washing dishes", objects: &["faucet", "oven"], minutes: 57 },
-    TableOneRow { id: "q2", action: "blowing leaves", objects: &["car", "plant"], minutes: 52 },
-    TableOneRow { id: "q3", action: "walking the dog", objects: &["tree", "chair"], minutes: 127 },
-    TableOneRow { id: "q4", action: "drinking beer", objects: &["bottle", "chair"], minutes: 63 },
-    TableOneRow { id: "q5", action: "playing volleyball", objects: &["tree"], minutes: 110 },
-    TableOneRow { id: "q6", action: "solving rubiks cube", objects: &["clock"], minutes: 89 },
-    TableOneRow { id: "q7", action: "cleaning sink", objects: &["faucet", "knife"], minutes: 84 },
-    TableOneRow { id: "q8", action: "kneeling", objects: &["tree"], minutes: 104 },
-    TableOneRow { id: "q9", action: "doing crunches", objects: &["chair"], minutes: 85 },
-    TableOneRow { id: "q10", action: "blowdrying hair", objects: &["kid"], minutes: 138 },
-    TableOneRow { id: "q11", action: "washing hands", objects: &["faucet", "dish"], minutes: 113 },
-    TableOneRow { id: "q12", action: "archery", objects: &["sunglasses"], minutes: 156 },
+    TableOneRow {
+        id: "q1",
+        action: "washing dishes",
+        objects: &["faucet", "oven"],
+        minutes: 57,
+    },
+    TableOneRow {
+        id: "q2",
+        action: "blowing leaves",
+        objects: &["car", "plant"],
+        minutes: 52,
+    },
+    TableOneRow {
+        id: "q3",
+        action: "walking the dog",
+        objects: &["tree", "chair"],
+        minutes: 127,
+    },
+    TableOneRow {
+        id: "q4",
+        action: "drinking beer",
+        objects: &["bottle", "chair"],
+        minutes: 63,
+    },
+    TableOneRow {
+        id: "q5",
+        action: "playing volleyball",
+        objects: &["tree"],
+        minutes: 110,
+    },
+    TableOneRow {
+        id: "q6",
+        action: "solving rubiks cube",
+        objects: &["clock"],
+        minutes: 89,
+    },
+    TableOneRow {
+        id: "q7",
+        action: "cleaning sink",
+        objects: &["faucet", "knife"],
+        minutes: 84,
+    },
+    TableOneRow {
+        id: "q8",
+        action: "kneeling",
+        objects: &["tree"],
+        minutes: 104,
+    },
+    TableOneRow {
+        id: "q9",
+        action: "doing crunches",
+        objects: &["chair"],
+        minutes: 85,
+    },
+    TableOneRow {
+        id: "q10",
+        action: "blowdrying hair",
+        objects: &["kid"],
+        minutes: 138,
+    },
+    TableOneRow {
+        id: "q11",
+        action: "washing hands",
+        objects: &["faucet", "dish"],
+        minutes: 113,
+    },
+    TableOneRow {
+        id: "q12",
+        action: "archery",
+        objects: &["sunglasses"],
+        minutes: 156,
+    },
 ];
 
 /// Tunables of the video generator.
@@ -79,7 +139,9 @@ impl Default for YoutubeSpec {
 }
 
 fn person_type() -> ObjectType {
-    vocab::coco_objects().object("person").expect("person in COCO")
+    vocab::coco_objects()
+        .object("person")
+        .expect("person in COCO")
 }
 
 /// Generates one benchmark video.
@@ -93,11 +155,13 @@ fn gen_video(
 ) -> SceneScript {
     let mut b = SceneScriptBuilder::new(minutes_frames, geometry);
     let ep_len = spec.episode_secs * geometry.fps as u64;
-    let count =
-        ((minutes_frames as f64 * spec.action_duty) / ep_len as f64).round().max(1.0) as usize;
+    let count = ((minutes_frames as f64 * spec.action_duty) / ep_len as f64)
+        .round()
+        .max(1.0) as usize;
     let episodes = gen::episodes(rng, minutes_frames, count, ep_len, ep_len / 3);
     for ep in &episodes {
-        b.action_span(query.action, ep.start, ep.end).expect("episode in range");
+        b.action_span(query.action, ep.start, ep.end)
+            .expect("episode in range");
     }
 
     for &obj in &query.objects {
@@ -117,7 +181,8 @@ fn gen_video(
         // uncovered action episodes rarely create sub-clip-length ground
         // truth fragments).
         for span in gen::spans_with_duty(rng, minutes_frames, spec.background_duty, 500.0) {
-            b.object_span(obj, span.start, span.end).expect("span in range");
+            b.object_span(obj, span.start, span.end)
+                .expect("span in range");
         }
     }
 
@@ -131,7 +196,8 @@ fn gen_video(
                 .expect("span in range");
         }
         for span in gen::spans_with_duty(rng, minutes_frames, 0.35, 400.0) {
-            b.object_span(person, span.start, span.end).expect("span in range");
+            b.object_span(person, span.start, span.end)
+                .expect("span in range");
         }
     }
 
@@ -144,13 +210,15 @@ fn gen_video(
             continue;
         }
         for span in gen::spans_with_duty(rng, minutes_frames, 0.1, 250.0) {
-            b.object_span(distractor, span.start, span.end).expect("span in range");
+            b.object_span(distractor, span.start, span.end)
+                .expect("span in range");
         }
     }
     let other_action = vaq_types::ActionType::new(rng.gen_range(0..act_universe));
     if other_action != query.action {
         for span in gen::spans_with_duty(rng, minutes_frames, 0.07, 300.0) {
-            b.action_span(other_action, span.start, span.end).expect("span in range");
+            b.action_span(other_action, span.start, span.end)
+                .expect("span in range");
         }
     }
 
@@ -214,7 +282,10 @@ pub fn single_video_set(row: &TableOneRow, spec: &YoutubeSpec, seed: u64) -> Que
 
 /// Builds all twelve query sets.
 pub fn benchmark(spec: &YoutubeSpec, seed: u64) -> Vec<QuerySet> {
-    TABLE_ONE.iter().map(|row| query_set(row, spec, seed)).collect()
+    TABLE_ONE
+        .iter()
+        .map(|row| query_set(row, spec, seed))
+        .collect()
 }
 
 /// Finds a Table 1 row by id (`"q1"` … `"q12"`).
@@ -294,8 +365,16 @@ mod tests {
         let a = query_set(row("q3").unwrap(), &tiny_spec(), 9);
         let b = query_set(row("q3").unwrap(), &tiny_spec(), 9);
         assert_eq!(a.total_frames(), b.total_frames());
-        let ga: Vec<_> = a.videos.iter().map(|v| v.script.ground_truth(&a.query, 0.5)).collect();
-        let gb: Vec<_> = b.videos.iter().map(|v| v.script.ground_truth(&b.query, 0.5)).collect();
+        let ga: Vec<_> = a
+            .videos
+            .iter()
+            .map(|v| v.script.ground_truth(&a.query, 0.5))
+            .collect();
+        let gb: Vec<_> = b
+            .videos
+            .iter()
+            .map(|v| v.script.ground_truth(&b.query, 0.5))
+            .collect();
         assert_eq!(ga, gb);
         let c = query_set(row("q3").unwrap(), &tiny_spec(), 10);
         assert_ne!(

@@ -3,6 +3,7 @@
 //! The query algorithms depend only on these traits; swapping a simulated
 //! model for bindings to a real network would not touch `vaq-core`.
 
+use crate::fault::DetectorFault;
 use vaq_types::{ActionType, BBox, ObjectType, TrackId};
 use vaq_video::Frame;
 
@@ -46,6 +47,15 @@ pub trait ObjectDetector {
     /// instances of the same type may appear.
     fn detect(&self, frame: &Frame) -> Vec<Detection>;
 
+    /// Fallible variant of [`Self::detect`]. The default implementation
+    /// delegates to the infallible method and never fails; fault-aware
+    /// wrappers (e.g. [`crate::fault::FaultInjector`]) override it to
+    /// surface transient errors, outages and dropped inputs. Engines with a
+    /// degradation policy call this path.
+    fn try_detect(&self, frame: &Frame) -> Result<Vec<Detection>, DetectorFault> {
+        Ok(self.detect(frame))
+    }
+
     /// Size of the detector's label universe `|O|` (bounds false-positive
     /// simulation and ingestion-phase table allocation).
     fn universe(&self) -> u32;
@@ -62,6 +72,12 @@ pub trait ActionRecognizer {
     /// Runs the recognizer on one shot. Returns scores for every action the
     /// model considers present (absent actions are simply not listed).
     fn recognize(&self, shot: &vaq_video::Shot) -> Vec<ActionScore>;
+
+    /// Fallible variant of [`Self::recognize`]; see
+    /// [`ObjectDetector::try_detect`] for the contract.
+    fn try_recognize(&self, shot: &vaq_video::Shot) -> Result<Vec<ActionScore>, DetectorFault> {
+        Ok(self.recognize(shot))
+    }
 
     /// Size of the recognizer's category universe `|A|`.
     fn universe(&self) -> u32;

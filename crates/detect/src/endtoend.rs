@@ -48,9 +48,7 @@ impl EndToEndModel {
         let mut binom = 1u64; // C(num_objects, k)
         for k in 0..=max_objects as u64 {
             if k > 0 {
-                binom = binom
-                    .saturating_mul(num_objects.saturating_sub(k - 1))
-                    / k;
+                binom = binom.saturating_mul(num_objects.saturating_sub(k - 1)) / k;
             }
             per_action = per_action.saturating_add(binom);
         }

@@ -1,0 +1,556 @@
+//! Fault taxonomy and the deterministic fault injector.
+//!
+//! Production model serving fails in structured ways: a request times out
+//! once (transient), an endpoint goes down for minutes (outage), an input
+//! frame never arrives (drop), or a degraded replica answers with garbage.
+//! [`DetectorFault`] names those modes; [`FaultInjector`] wraps any
+//! [`ObjectDetector`] / [`ActionRecognizer`] and injects them on a
+//! **deterministic, seeded schedule** so that every resilience experiment
+//! is exactly reproducible.
+//!
+//! ## Determinism
+//!
+//! Like the simulated models themselves (see [`crate::noise`]), fault
+//! decisions are pure functions of `(schedule seed, occurrence-unit id,
+//! attempt number)` — not of a stateful RNG stream. Two consequences the
+//! engine's resilience tests rely on:
+//!
+//! * a schedule with zero rates and no outage windows is **observationally
+//!   identical** to the raw wrapped model, and
+//! * restarting a stream from a checkpoint at a clip boundary replays the
+//!   exact same faults on the remaining clips, because no injector state
+//!   from before the boundary can influence them (per-input attempt
+//!   counters reset with each fresh input).
+//!
+//! Transient faults are keyed on the attempt number so that *retrying the
+//! same input can succeed* — exactly the behaviour a bounded-retry policy
+//! exists to exploit. Outage windows and input drops are keyed on the
+//! occurrence unit alone: retrying inside an outage keeps failing, and a
+//! dropped frame stays dropped.
+
+use crate::api::{ActionRecognizer, ActionScore, Detection, ObjectDetector};
+use crate::noise::DetRng;
+use std::cell::Cell;
+use std::fmt;
+use vaq_types::{ActionType, BBox, ObjectType, Result, VaqError};
+use vaq_video::{Frame, Shot};
+
+const SITE_TRANSIENT: u64 = 0xFA01;
+const SITE_DROP: u64 = 0xFA02;
+const SITE_GARBAGE: u64 = 0xFA03;
+const SITE_GARBAGE_N: u64 = 0xFA04;
+const SITE_GARBAGE_LABEL: u64 = 0xFA05;
+const SITE_GARBAGE_SCORE: u64 = 0xFA06;
+const SITE_GARBAGE_BOX: u64 = 0xFA07;
+
+/// Domain tags keep detector and recognizer fault draws independent even
+/// when one `FaultInjector` value serves as both (frame ids and shot ids
+/// overlap numerically).
+const DOMAIN_DETECTOR: u64 = 0x0D00_0000_0000_0000;
+const DOMAIN_RECOGNIZER: u64 = 0x0A00_0000_0000_0000;
+
+/// How a model invocation failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DetectorFault {
+    /// A one-off failure (timeout, connection reset, transient OOM). An
+    /// immediate retry of the *same* input may succeed.
+    Transient,
+    /// The model endpoint is down. Every call inside the outage window
+    /// fails, retries included.
+    Unavailable,
+    /// The input itself was lost before reaching the model (dropped frame
+    /// or shot). Retrying cannot recover it.
+    InputLost,
+}
+
+impl DetectorFault {
+    /// Whether a bounded-retry policy should bother retrying this fault.
+    /// Lost inputs are gone; everything else might clear.
+    pub fn is_retryable(self) -> bool {
+        !matches!(self, DetectorFault::InputLost)
+    }
+}
+
+impl fmt::Display for DetectorFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DetectorFault::Transient => write!(f, "transient model error"),
+            DetectorFault::Unavailable => write!(f, "model unavailable (outage)"),
+            DetectorFault::InputLost => write!(f, "input frame/shot lost"),
+        }
+    }
+}
+
+/// A seeded, declarative schedule of faults to inject.
+///
+/// Rates are per-invocation probabilities; outage windows are half-open
+/// ranges of the wrapped model's *occurrence units* (frame ids for an
+/// object detector, shot ids for an action recognizer). Convert clip
+/// windows with the geometry's frames/shots per clip.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultSchedule {
+    /// Seed for every fault draw.
+    pub seed: u64,
+    /// Per-attempt probability of a [`DetectorFault::Transient`] error.
+    pub transient_rate: f64,
+    /// Per-input probability the input is lost ([`DetectorFault::InputLost`]).
+    pub drop_rate: f64,
+    /// Per-input probability a *successful* call returns garbage:
+    /// fabricated low-confidence predictions for arbitrary labels.
+    pub garbage_rate: f64,
+    /// Half-open `[start, end)` outage windows in occurrence units; calls
+    /// inside any window fail with [`DetectorFault::Unavailable`].
+    pub outages: Vec<(u64, u64)>,
+}
+
+impl FaultSchedule {
+    /// A schedule injecting nothing (useful as a base for builders and for
+    /// the zero-fault equivalence property).
+    pub fn none(seed: u64) -> Self {
+        Self {
+            seed,
+            transient_rate: 0.0,
+            drop_rate: 0.0,
+            garbage_rate: 0.0,
+            outages: Vec::new(),
+        }
+    }
+
+    /// Sets the transient-error rate.
+    pub fn with_transient_rate(mut self, rate: f64) -> Self {
+        self.transient_rate = rate;
+        self
+    }
+
+    /// Sets the input-drop rate.
+    pub fn with_drop_rate(mut self, rate: f64) -> Self {
+        self.drop_rate = rate;
+        self
+    }
+
+    /// Sets the garbage-output rate.
+    pub fn with_garbage_rate(mut self, rate: f64) -> Self {
+        self.garbage_rate = rate;
+        self
+    }
+
+    /// Adds an outage window `[start, start + len)` in occurrence units.
+    pub fn with_outage(mut self, start: u64, len: u64) -> Self {
+        self.outages.push((start, start.saturating_add(len)));
+        self
+    }
+
+    /// Validates rate domains and window ordering.
+    pub fn validate(&self) -> Result<()> {
+        for (name, rate) in [
+            ("transient_rate", self.transient_rate),
+            ("drop_rate", self.drop_rate),
+            ("garbage_rate", self.garbage_rate),
+        ] {
+            if !(0.0..=1.0).contains(&rate) {
+                return Err(VaqError::InvalidConfig(format!(
+                    "fault {name}={rate} outside [0,1]"
+                )));
+            }
+        }
+        for &(start, end) in &self.outages {
+            if start >= end {
+                return Err(VaqError::InvalidConfig(format!(
+                    "empty outage window [{start}, {end})"
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    fn in_outage(&self, ou: u64) -> bool {
+        self.outages.iter().any(|&(s, e)| s <= ou && ou < e)
+    }
+}
+
+/// Counts of faults actually injected, by kind.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultCounts {
+    /// Transient errors raised.
+    pub transient: u64,
+    /// Calls rejected inside an outage window.
+    pub outage: u64,
+    /// Inputs dropped.
+    pub dropped: u64,
+    /// Garbage outputs substituted.
+    pub garbage: u64,
+}
+
+impl FaultCounts {
+    /// Total faults of any kind.
+    pub fn total(&self) -> u64 {
+        self.transient + self.outage + self.dropped + self.garbage
+    }
+}
+
+/// Wraps a model and injects faults per a [`FaultSchedule`].
+///
+/// The infallible [`ObjectDetector::detect`] / [`ActionRecognizer::recognize`]
+/// paths delegate straight to the wrapped model (fault-free view); only the
+/// fallible `try_*` paths inject. Engines that opt into fault handling call
+/// the `try_*` variants.
+#[derive(Debug)]
+pub struct FaultInjector<M> {
+    inner: M,
+    schedule: FaultSchedule,
+    rng: DetRng,
+    /// `(domain-tagged input id, attempts made so far)` — retries are
+    /// consecutive calls on the same input, so one slot suffices.
+    attempts: Cell<(u64, u32)>,
+    counts: Cell<FaultCounts>,
+}
+
+impl<M> FaultInjector<M> {
+    /// Wraps `inner` under `schedule` (validated).
+    pub fn new(inner: M, schedule: FaultSchedule) -> Result<Self> {
+        schedule.validate()?;
+        let rng = DetRng::new(schedule.seed ^ 0xFAB7_1C7E_D000_0000);
+        Ok(Self {
+            inner,
+            schedule,
+            rng,
+            attempts: Cell::new((u64::MAX, 0)),
+            counts: Cell::new(FaultCounts::default()),
+        })
+    }
+
+    /// The wrapped model.
+    pub fn inner(&self) -> &M {
+        &self.inner
+    }
+
+    /// The schedule in force.
+    pub fn schedule(&self) -> &FaultSchedule {
+        &self.schedule
+    }
+
+    /// Faults injected so far.
+    pub fn counts(&self) -> FaultCounts {
+        self.counts.get()
+    }
+
+    fn bump(&self, f: impl FnOnce(&mut FaultCounts)) {
+        let mut c = self.counts.get();
+        f(&mut c);
+        self.counts.set(c);
+    }
+
+    /// Attempt number for this call: 0 on a fresh input, incrementing on
+    /// consecutive calls (retries) for the same input.
+    fn attempt(&self, key: u64) -> u32 {
+        let (last_key, made) = self.attempts.get();
+        let attempt = if last_key == key { made + 1 } else { 0 };
+        self.attempts.set((key, attempt));
+        attempt
+    }
+
+    /// Shared fault decision for one invocation on occurrence unit `ou`
+    /// tagged with `domain`. `None` means the call goes through.
+    fn decide(&self, ou: u64, domain: u64) -> Option<DetectorFault> {
+        let key = ou | domain;
+        let attempt = self.attempt(key);
+        if self.schedule.in_outage(ou) {
+            self.bump(|c| c.outage += 1);
+            return Some(DetectorFault::Unavailable);
+        }
+        if self.schedule.drop_rate > 0.0
+            && self
+                .rng
+                .bernoulli(self.schedule.drop_rate, key, 0, SITE_DROP)
+        {
+            self.bump(|c| c.dropped += 1);
+            return Some(DetectorFault::InputLost);
+        }
+        if self.schedule.transient_rate > 0.0
+            && self.rng.bernoulli(
+                self.schedule.transient_rate,
+                key,
+                u64::from(attempt),
+                SITE_TRANSIENT,
+            )
+        {
+            self.bump(|c| c.transient += 1);
+            return Some(DetectorFault::Transient);
+        }
+        None
+    }
+
+    fn garbage_due(&self, ou: u64, domain: u64) -> bool {
+        let key = ou | domain;
+        self.schedule.garbage_rate > 0.0
+            && self
+                .rng
+                .bernoulli(self.schedule.garbage_rate, key, 0, SITE_GARBAGE)
+    }
+}
+
+impl<D: ObjectDetector> ObjectDetector for FaultInjector<D> {
+    fn detect(&self, frame: &Frame) -> Vec<Detection> {
+        self.inner.detect(frame)
+    }
+
+    fn try_detect(&self, frame: &Frame) -> std::result::Result<Vec<Detection>, DetectorFault> {
+        let f = frame.id.raw();
+        if let Some(fault) = self.decide(f, DOMAIN_DETECTOR) {
+            return Err(fault);
+        }
+        if self.garbage_due(f, DOMAIN_DETECTOR) {
+            self.bump(|c| c.garbage += 1);
+            let key = f | DOMAIN_DETECTOR;
+            let n = 1 + self.rng.raw(key, 0, SITE_GARBAGE_N) % 3;
+            let universe = u64::from(self.inner.universe().max(1));
+            let out = (0..n)
+                .map(|i| {
+                    let label = (self.rng.raw(key, i, SITE_GARBAGE_LABEL) % universe) as u32;
+                    let score = self.rng.range(0.02, 0.45, key, i, SITE_GARBAGE_SCORE);
+                    let cx = self.rng.range(0.1, 0.9, key, i, SITE_GARBAGE_BOX) as f32;
+                    let cy = self.rng.range(0.1, 0.9, key, i, SITE_GARBAGE_BOX ^ 0xFF) as f32;
+                    Detection {
+                        object: ObjectType::new(label),
+                        score,
+                        bbox: BBox::from_center(cx, cy, 0.2, 0.2),
+                        gt_track: None,
+                    }
+                })
+                .collect();
+            return Ok(out);
+        }
+        self.inner.try_detect(frame)
+    }
+
+    fn universe(&self) -> u32 {
+        self.inner.universe()
+    }
+
+    fn latency_ms(&self) -> f64 {
+        self.inner.latency_ms()
+    }
+
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+}
+
+impl<R: ActionRecognizer> ActionRecognizer for FaultInjector<R> {
+    fn recognize(&self, shot: &Shot) -> Vec<ActionScore> {
+        self.inner.recognize(shot)
+    }
+
+    fn try_recognize(&self, shot: &Shot) -> std::result::Result<Vec<ActionScore>, DetectorFault> {
+        let s = shot.id.raw();
+        if let Some(fault) = self.decide(s, DOMAIN_RECOGNIZER) {
+            return Err(fault);
+        }
+        if self.garbage_due(s, DOMAIN_RECOGNIZER) {
+            self.bump(|c| c.garbage += 1);
+            let key = s | DOMAIN_RECOGNIZER;
+            let n = 1 + self.rng.raw(key, 0, SITE_GARBAGE_N) % 2;
+            let universe = u64::from(self.inner.universe().max(1));
+            let out = (0..n)
+                .map(|i| {
+                    let label = (self.rng.raw(key, i, SITE_GARBAGE_LABEL) % universe) as u32;
+                    ActionScore {
+                        action: ActionType::new(label),
+                        score: self.rng.range(0.02, 0.45, key, i, SITE_GARBAGE_SCORE),
+                    }
+                })
+                .collect();
+            return Ok(out);
+        }
+        self.inner.try_recognize(shot)
+    }
+
+    fn universe(&self) -> u32 {
+        self.inner.universe()
+    }
+
+    fn latency_ms(&self) -> f64 {
+        self.inner.latency_ms()
+    }
+
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profiles;
+    use crate::sim::{SimulatedActionRecognizer, SimulatedObjectDetector};
+    use vaq_types::VideoGeometry;
+    use vaq_video::{SceneScriptBuilder, VideoStream};
+
+    fn script() -> vaq_video::SceneScript {
+        let mut b = SceneScriptBuilder::new(1500, VideoGeometry::PAPER_DEFAULT);
+        b.object_span(ObjectType::new(1), 200, 700).unwrap();
+        b.action_span(ActionType::new(0), 300, 900).unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn zero_fault_schedule_is_transparent() {
+        let s = script();
+        let raw = SimulatedObjectDetector::new(profiles::mask_rcnn(), 86, 7);
+        let wrapped = FaultInjector::new(raw.clone(), FaultSchedule::none(3)).unwrap();
+        let stream = VideoStream::new(&s);
+        for c in 0..5u64 {
+            let clip = stream.materialize(vaq_types::ClipId::new(c));
+            for frame in &clip.frames {
+                assert_eq!(raw.detect(frame), wrapped.try_detect(frame).unwrap());
+            }
+        }
+        assert_eq!(wrapped.counts(), FaultCounts::default());
+    }
+
+    #[test]
+    fn outage_window_fails_every_call_inside() {
+        let s = script();
+        let det = SimulatedObjectDetector::new(profiles::ideal_object(), 86, 1);
+        // Frames 100..200 are down.
+        let inj = FaultInjector::new(det, FaultSchedule::none(9).with_outage(100, 100)).unwrap();
+        let stream = VideoStream::new(&s);
+        let clip2 = stream.materialize(vaq_types::ClipId::new(2)); // frames 100..150
+        for frame in &clip2.frames {
+            for _ in 0..3 {
+                assert_eq!(
+                    inj.try_detect(frame).unwrap_err(),
+                    DetectorFault::Unavailable
+                );
+            }
+        }
+        let clip0 = stream.materialize(vaq_types::ClipId::new(0));
+        assert!(inj.try_detect(&clip0.frames[0]).is_ok());
+        assert!(inj.counts().outage >= 150);
+    }
+
+    #[test]
+    fn transient_faults_clear_on_retry() {
+        let s = script();
+        let det = SimulatedObjectDetector::new(profiles::ideal_object(), 86, 1);
+        let inj = FaultInjector::new(det, FaultSchedule::none(5).with_transient_rate(0.3)).unwrap();
+        let stream = VideoStream::new(&s);
+        let clip = stream.materialize(vaq_types::ClipId::new(0));
+        let mut failures = 0u32;
+        let mut recovered = 0u32;
+        for frame in &clip.frames {
+            match inj.try_detect(frame) {
+                Ok(_) => {}
+                Err(DetectorFault::Transient) => {
+                    failures += 1;
+                    // Bounded retry: virtually certain to clear in 8 tries
+                    // at rate 0.3.
+                    for _ in 0..8 {
+                        if inj.try_detect(frame).is_ok() {
+                            recovered += 1;
+                            break;
+                        }
+                    }
+                }
+                Err(other) => panic!("unexpected fault {other}"),
+            }
+        }
+        assert!(failures > 0, "rate 0.3 over 50 frames must fault");
+        assert_eq!(failures, recovered, "every transient must clear on retry");
+    }
+
+    #[test]
+    fn dropped_inputs_stay_dropped() {
+        let s = script();
+        let det = SimulatedObjectDetector::new(profiles::ideal_object(), 86, 1);
+        let inj = FaultInjector::new(det, FaultSchedule::none(11).with_drop_rate(0.2)).unwrap();
+        let stream = VideoStream::new(&s);
+        let clip = stream.materialize(vaq_types::ClipId::new(0));
+        let mut dropped = 0u32;
+        for frame in &clip.frames {
+            if inj.try_detect(frame) == Err(DetectorFault::InputLost) {
+                dropped += 1;
+                for _ in 0..4 {
+                    assert_eq!(
+                        inj.try_detect(frame).unwrap_err(),
+                        DetectorFault::InputLost,
+                        "a lost input must not reappear on retry"
+                    );
+                }
+            }
+        }
+        assert!(dropped > 0);
+    }
+
+    #[test]
+    fn garbage_outputs_are_low_confidence() {
+        let s = script();
+        let det = SimulatedObjectDetector::new(profiles::ideal_object(), 86, 1);
+        let inj = FaultInjector::new(det, FaultSchedule::none(13).with_garbage_rate(1.0)).unwrap();
+        let stream = VideoStream::new(&s);
+        let clip = stream.materialize(vaq_types::ClipId::new(5));
+        for frame in &clip.frames {
+            let dets = inj.try_detect(frame).unwrap();
+            assert!(!dets.is_empty());
+            for d in &dets {
+                assert!(d.score < 0.5, "garbage must sit below decision thresholds");
+                assert!(d.gt_track.is_none());
+            }
+        }
+        assert!(inj.counts().garbage >= 50);
+    }
+
+    #[test]
+    fn recognizer_injection_mirrors_detector() {
+        let s = script();
+        let rec = SimulatedActionRecognizer::new(profiles::ideal_action(), 36, 1);
+        let inj = FaultInjector::new(rec, FaultSchedule::none(2).with_outage(0, 5)).unwrap();
+        let stream = VideoStream::new(&s);
+        let clip = stream.materialize(vaq_types::ClipId::new(0)); // shots 0..5
+        for shot in &clip.shots {
+            assert_eq!(
+                inj.try_recognize(shot).unwrap_err(),
+                DetectorFault::Unavailable
+            );
+        }
+        let clip1 = stream.materialize(vaq_types::ClipId::new(1));
+        assert!(inj.try_recognize(&clip1.shots[0]).is_ok());
+    }
+
+    #[test]
+    fn fault_decisions_are_reproducible() {
+        let s = script();
+        let stream = VideoStream::new(&s);
+        let clip = stream.materialize(vaq_types::ClipId::new(0));
+        let schedule = FaultSchedule::none(21)
+            .with_transient_rate(0.2)
+            .with_drop_rate(0.1);
+        let run = |inj: &FaultInjector<SimulatedObjectDetector>| -> Vec<bool> {
+            clip.frames
+                .iter()
+                .map(|f| inj.try_detect(f).is_ok())
+                .collect()
+        };
+        let a = FaultInjector::new(
+            SimulatedObjectDetector::new(profiles::ideal_object(), 86, 1),
+            schedule.clone(),
+        )
+        .unwrap();
+        let b = FaultInjector::new(
+            SimulatedObjectDetector::new(profiles::ideal_object(), 86, 1),
+            schedule,
+        )
+        .unwrap();
+        assert_eq!(run(&a), run(&b));
+    }
+
+    #[test]
+    fn invalid_schedules_rejected() {
+        let det = SimulatedObjectDetector::new(profiles::ideal_object(), 86, 1);
+        assert!(
+            FaultInjector::new(det.clone(), FaultSchedule::none(1).with_transient_rate(1.5))
+                .is_err()
+        );
+        assert!(FaultInjector::new(det, FaultSchedule::none(1).with_outage(10, 0)).is_err());
+    }
+}

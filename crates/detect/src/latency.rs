@@ -7,8 +7,14 @@
 //! (measured) processing time, so the decomposition experiment reproduces
 //! the paper's breakdown from the cost model.
 
+use serde::{Deserialize, Serialize};
+
 /// Accumulated simulated inference costs plus measured engine time.
-#[derive(Debug, Clone, Copy, Default, PartialEq)]
+///
+/// Serializable so that an engine checkpoint carries its cost accounting
+/// across a restart; resumed accounting continues where it left off.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[serde(default)]
 pub struct InferenceStats {
     /// Frames run through the object detector.
     pub detector_frames: u64,
@@ -27,6 +33,23 @@ pub struct InferenceStats {
     /// Clips whose action recognition was skipped by short-circuit
     /// evaluation (paper Algorithm 2, lines 6–8).
     pub clips_short_circuited: u64,
+    /// Object-detector invocations that faulted (before retries).
+    pub detector_faults: u64,
+    /// Action-recognizer invocations that faulted (before retries).
+    pub recognizer_faults: u64,
+    /// Retry attempts issued by the degradation policy.
+    pub retries: u64,
+    /// Simulated retry-backoff waiting time, ms. Counted in
+    /// [`Self::total_ms`] (the stream stalls while the engine backs off)
+    /// but not in [`Self::inference_ms`] — no model ran during the wait.
+    pub backoff_ms: f64,
+    /// Frames whose detector output stayed unavailable and was imputed as
+    /// background by the degradation policy.
+    pub frames_imputed: u64,
+    /// Shots whose recognizer output stayed unavailable and was imputed.
+    pub shots_imputed: u64,
+    /// Clips degraded to a typed gap marker (no usable model output).
+    pub clips_gapped: u64,
 }
 
 impl InferenceStats {
@@ -58,14 +81,45 @@ impl InferenceStats {
         self.clips_short_circuited += 1;
     }
 
+    /// Records one faulted object-detector invocation.
+    pub fn record_detector_fault(&mut self) {
+        self.detector_faults += 1;
+    }
+
+    /// Records one faulted action-recognizer invocation.
+    pub fn record_recognizer_fault(&mut self) {
+        self.recognizer_faults += 1;
+    }
+
+    /// Records one retry attempt and its simulated backoff wait.
+    pub fn record_retry(&mut self, backoff_ms: f64) {
+        self.retries += 1;
+        self.backoff_ms += backoff_ms;
+    }
+
+    /// Records `n` frames imputed as background.
+    pub fn record_imputed_frames(&mut self, n: u64) {
+        self.frames_imputed += n;
+    }
+
+    /// Records `n` shots imputed as background.
+    pub fn record_imputed_shots(&mut self, n: u64) {
+        self.shots_imputed += n;
+    }
+
+    /// Records one clip degraded to a gap marker.
+    pub fn record_gap(&mut self) {
+        self.clips_gapped += 1;
+    }
+
     /// Total simulated model-inference time, ms.
     pub fn inference_ms(&self) -> f64 {
         self.detector_ms + self.recognizer_ms + self.tracker_ms
     }
 
-    /// Total query time (inference + engine), ms.
+    /// Total query time (inference + engine + retry backoff), ms.
     pub fn total_ms(&self) -> f64 {
-        self.inference_ms() + self.engine_ms
+        self.inference_ms() + self.engine_ms + self.backoff_ms
     }
 
     /// Fraction of total time spent in model inference — the paper's >98%.
@@ -87,6 +141,13 @@ impl InferenceStats {
         self.tracker_ms += other.tracker_ms;
         self.engine_ms += other.engine_ms;
         self.clips_short_circuited += other.clips_short_circuited;
+        self.detector_faults += other.detector_faults;
+        self.recognizer_faults += other.recognizer_faults;
+        self.retries += other.retries;
+        self.backoff_ms += other.backoff_ms;
+        self.frames_imputed += other.frames_imputed;
+        self.shots_imputed += other.shots_imputed;
+        self.clips_gapped += other.clips_gapped;
     }
 }
 

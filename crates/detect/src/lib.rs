@@ -38,6 +38,7 @@
 
 pub mod api;
 pub mod endtoend;
+pub mod fault;
 pub mod latency;
 pub mod noise;
 pub mod profiles;
@@ -45,6 +46,7 @@ pub mod sim;
 pub mod tracker;
 
 pub use api::{ActionRecognizer, ActionScore, Detection, ObjectDetector, TrackedDetection};
+pub use fault::{DetectorFault, FaultCounts, FaultInjector, FaultSchedule};
 pub use latency::InferenceStats;
 pub use profiles::{ActionProfile, ObjectProfile, TrackerProfile};
 pub use sim::{SimulatedActionRecognizer, SimulatedObjectDetector};

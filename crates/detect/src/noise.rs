@@ -134,7 +134,9 @@ mod tests {
         let mean = samples.iter().sum::<f64>() / n as f64;
         assert!((mean - 0.8).abs() < 0.01, "mean={mean}");
         assert!(samples.iter().all(|&s| (0.0..=1.0).contains(&s)));
-        assert!(samples.iter().all(|&s| (0.65 - 1e-9..=0.95 + 1e-9).contains(&s)));
+        assert!(samples
+            .iter()
+            .all(|&s| (0.65 - 1e-9..=0.95 + 1e-9).contains(&s)));
     }
 
     #[test]

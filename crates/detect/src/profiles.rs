@@ -200,7 +200,10 @@ mod tests {
         assert!(mask_rcnn().tpr > yolov3().tpr);
         assert!(mask_rcnn().fpr < yolov3().fpr);
         assert!(mask_rcnn().block_miss_rate < yolov3().block_miss_rate);
-        assert!(mask_rcnn().latency_ms > yolov3().latency_ms, "two-stage is slower");
+        assert!(
+            mask_rcnn().latency_ms > yolov3().latency_ms,
+            "two-stage is slower"
+        );
     }
 
     #[test]

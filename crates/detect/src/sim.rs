@@ -59,7 +59,10 @@ impl ObjectDetector for SimulatedObjectDetector {
             let key = inst.track.raw();
             if p.block_miss_rate > 0.0 {
                 let block = f / crate::profiles::OBJ_BLOCK_FRAMES;
-                if self.rng.bernoulli(p.block_miss_rate, block, key, SITE_BLOCK) {
+                if self
+                    .rng
+                    .bernoulli(p.block_miss_rate, block, key, SITE_BLOCK)
+                {
                     continue;
                 }
             }
@@ -68,12 +71,10 @@ impl ObjectDetector for SimulatedObjectDetector {
             }
             let score = p.pos_score.sample(&self.rng, f, key, SITE_TP);
             let bbox = if p.bbox_jitter > 0.0 {
-                let jx = (self.rng.uniform(f, key, SITE_JITTER_X) as f32 - 0.5)
-                    * 2.0
-                    * p.bbox_jitter;
-                let jy = (self.rng.uniform(f, key, SITE_JITTER_Y) as f32 - 0.5)
-                    * 2.0
-                    * p.bbox_jitter;
+                let jx =
+                    (self.rng.uniform(f, key, SITE_JITTER_X) as f32 - 0.5) * 2.0 * p.bbox_jitter;
+                let jy =
+                    (self.rng.uniform(f, key, SITE_JITTER_Y) as f32 - 0.5) * 2.0 * p.bbox_jitter;
                 let (cx, cy) = inst.bbox.center();
                 BBox::from_center(
                     (cx + jx).clamp(0.02, 0.98),
@@ -159,7 +160,10 @@ impl ActionRecognizer for SimulatedActionRecognizer {
             let key = u64::from(action.raw());
             if p.block_miss_rate > 0.0 {
                 let block = s / crate::profiles::ACT_BLOCK_SHOTS;
-                if self.rng.bernoulli(p.block_miss_rate, block, key, SITE_BLOCK) {
+                if self
+                    .rng
+                    .bernoulli(p.block_miss_rate, block, key, SITE_BLOCK)
+                {
                     continue;
                 }
             }

@@ -141,7 +141,9 @@ impl IouTracker {
         }
         self.tracks.retain(|t| t.missed <= max_coast);
 
-        out.into_iter().map(|t| t.expect("every detection tracked")).collect()
+        out.into_iter()
+            .map(|t| t.expect("every detection tracked"))
+            .collect()
     }
 }
 
@@ -172,7 +174,10 @@ mod tests {
         let mut tr = IouTracker::new(profiles::ideal_tracker(), 1);
         let a = tr.update(FrameId::new(0), &[det(1, 0.2, 0.2, 0.9)]);
         let b = tr.update(FrameId::new(1), &[det(1, 0.8, 0.8, 0.9)]);
-        assert_ne!(a[0].track, b[0].track, "disjoint boxes are different instances");
+        assert_ne!(
+            a[0].track, b[0].track,
+            "disjoint boxes are different instances"
+        );
     }
 
     #[test]

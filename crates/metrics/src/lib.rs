@@ -226,7 +226,11 @@ mod tests {
         let truth = set(&[(0, 4), (10, 14)]);
         let result = set(&[(0, 14)]);
         let m = sequence_prf(&result, &truth, 0.5);
-        assert_eq!((m.tp, m.fp, m.fn_), (0, 1, 2), "15-clip result vs 5-clip truths");
+        assert_eq!(
+            (m.tp, m.fp, m.fn_),
+            (0, 1, 2),
+            "15-clip result vs 5-clip truths"
+        );
     }
 
     #[test]

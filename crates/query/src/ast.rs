@@ -111,12 +111,17 @@ mod tests {
         Expr::Atom(Atom::ActionEquals(s.into()))
     }
     fn objs(os: &[&str]) -> Expr {
-        Expr::Atom(Atom::ObjectsInclude(os.iter().map(|s| s.to_string()).collect()))
+        Expr::Atom(Atom::ObjectsInclude(
+            os.iter().map(|s| s.to_string()).collect(),
+        ))
     }
 
     #[test]
     fn dnf_of_atom() {
-        assert_eq!(act("a").to_dnf(), vec![vec![Atom::ActionEquals("a".into())]]);
+        assert_eq!(
+            act("a").to_dnf(),
+            vec![vec![Atom::ActionEquals("a".into())]]
+        );
     }
 
     #[test]
@@ -138,10 +143,7 @@ mod tests {
 
     #[test]
     fn dnf_of_nested_or() {
-        let e = Expr::Or(vec![
-            Expr::And(vec![act("a"), objs(&["x"])]),
-            act("b"),
-        ]);
+        let e = Expr::Or(vec![Expr::And(vec![act("a"), objs(&["x"])]), act("b")]);
         let dnf = e.to_dnf();
         assert_eq!(dnf.len(), 2);
         assert_eq!(dnf[0].len(), 2);

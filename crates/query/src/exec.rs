@@ -12,9 +12,7 @@ use vaq_detect::{ActionRecognizer, InferenceStats, ObjectDetector};
 use vaq_scanstats::{critical_value, ScanConfig};
 use vaq_storage::{ClipScoreTable, CostModel, MemTable, TableKey, VideoCatalog};
 use vaq_types::query::SpatialRelation;
-use vaq_types::{
-    ClipInterval, ObjectType, Query, Result, SequenceSet, VaqError,
-};
+use vaq_types::{ClipInterval, ObjectType, Query, Result, SequenceSet, VaqError};
 use vaq_video::{SceneScript, VideoStream};
 
 /// The result of executing a plan.
@@ -227,7 +225,9 @@ pub fn execute_offline(
         };
         let result = rvaq(&tables, &pq, scoring, &RvaqOptions::new(k));
         for (iv, score) in result.sequences {
-            let entry = merged.entry((iv.start.raw(), iv.end.raw())).or_insert(score);
+            let entry = merged
+                .entry((iv.start.raw(), iv.end.raw()))
+                .or_insert(score);
             if score > *entry {
                 *entry = score;
             }
@@ -293,7 +293,11 @@ pub fn execute_repository(
             score,
         })
         .collect();
-    ranked.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal));
+    ranked.sort_by(|a, b| {
+        b.score
+            .partial_cmp(&a.score)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
     ranked.truncate(k);
     Ok(QueryOutput::RankedRepo(ranked))
 }
@@ -346,8 +350,7 @@ mod tests {
              FROM (PROCESS v PRODUCE clipID, obj USING ObjectDetector, act USING ActionRecognizer) \
              WHERE act='jumping' AND obj.include('car', 'person')",
         );
-        let (out, stats) =
-            execute_online(&p, &s, &det, &rec, &OnlineConfig::svaqd()).unwrap();
+        let (out, stats) = execute_online(&p, &s, &det, &rec, &OnlineConfig::svaqd()).unwrap();
         let QueryOutput::Sequences(seqs) = out else {
             panic!("expected sequences")
         };
@@ -456,8 +459,7 @@ mod tests {
         let _ = std::fs::remove_dir_all(&root);
         std::fs::create_dir_all(&root).unwrap();
         let (det, rec) = models();
-        let mut repo =
-            vaq_core::Repository::open(&root, CostModel::FREE).unwrap();
+        let mut repo = vaq_core::Repository::open(&root, CostModel::FREE).unwrap();
         // Two videos with the same structure; the second gets two car
         // instances, so its sequence outscores the first's.
         let objects = vocab::coco_objects();
@@ -465,13 +467,22 @@ mod tests {
         for (name, cars) in [("one", 1), ("two", 2)] {
             let mut b = SceneScriptBuilder::new(1500, VideoGeometry::PAPER_DEFAULT);
             for _ in 0..cars {
-                b.object_span(objects.object("car").unwrap(), 100, 1200).unwrap();
+                b.object_span(objects.object("car").unwrap(), 100, 1200)
+                    .unwrap();
             }
-            b.action_span(actions.action("jumping").unwrap(), 300, 900).unwrap();
+            b.action_span(actions.action("jumping").unwrap(), 300, 900)
+                .unwrap();
             let script = b.build();
             let mut tracker = IouTracker::new(profiles::ideal_tracker(), 1);
-            let out =
-                ingest(&script, name, &det, &rec, &mut tracker, &OnlineConfig::svaqd()).unwrap();
+            let out = ingest(
+                &script,
+                name,
+                &det,
+                &rec,
+                &mut tracker,
+                &OnlineConfig::svaqd(),
+            )
+            .unwrap();
             repo.add(&out).unwrap();
         }
         let p = plan_sql(
@@ -493,9 +504,8 @@ mod tests {
         let _ = std::fs::remove_dir_all(&root);
         std::fs::create_dir_all(&root).unwrap();
         let repo = vaq_core::Repository::open(&root, CostModel::FREE).unwrap();
-        let p = plan_sql(
-            "SELECT MERGE(clipID) FROM (PROCESS v PRODUCE clipID) WHERE act='jumping'",
-        );
+        let p =
+            plan_sql("SELECT MERGE(clipID) FROM (PROCESS v PRODUCE clipID) WHERE act='jumping'");
         assert!(super::execute_repository(&p, &repo, &vaq_core::PaperScoring).is_err());
     }
 

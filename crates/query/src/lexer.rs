@@ -55,23 +55,38 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>> {
                 }
             }
             '(' => {
-                out.push(Token { tok: Tok::LParen, offset: i });
+                out.push(Token {
+                    tok: Tok::LParen,
+                    offset: i,
+                });
                 i += 1;
             }
             ')' => {
-                out.push(Token { tok: Tok::RParen, offset: i });
+                out.push(Token {
+                    tok: Tok::RParen,
+                    offset: i,
+                });
                 i += 1;
             }
             ',' => {
-                out.push(Token { tok: Tok::Comma, offset: i });
+                out.push(Token {
+                    tok: Tok::Comma,
+                    offset: i,
+                });
                 i += 1;
             }
             '.' => {
-                out.push(Token { tok: Tok::Dot, offset: i });
+                out.push(Token {
+                    tok: Tok::Dot,
+                    offset: i,
+                });
                 i += 1;
             }
             '=' => {
-                out.push(Token { tok: Tok::Eq, offset: i });
+                out.push(Token {
+                    tok: Tok::Eq,
+                    offset: i,
+                });
                 i += 1;
             }
             '\'' => {
@@ -100,7 +115,10 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>> {
                         }
                     }
                 }
-                out.push(Token { tok: Tok::Str(s), offset: start });
+                out.push(Token {
+                    tok: Tok::Str(s),
+                    offset: start,
+                });
             }
             '0'..='9' => {
                 let start = i;
@@ -115,13 +133,14 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>> {
                         })?;
                     i += 1;
                 }
-                out.push(Token { tok: Tok::Num(v), offset: start });
+                out.push(Token {
+                    tok: Tok::Num(v),
+                    offset: start,
+                });
             }
             'a'..='z' | 'A'..='Z' | '_' => {
                 let start = i;
-                while i < bytes.len()
-                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
-                {
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
                     i += 1;
                 }
                 out.push(Token {
@@ -137,7 +156,10 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>> {
             }
         }
     }
-    out.push(Token { tok: Tok::Eof, offset: src.len() });
+    out.push(Token {
+        tok: Tok::Eof,
+        offset: src.len(),
+    });
     Ok(out)
 }
 
@@ -179,7 +201,11 @@ mod tests {
     fn comments_skipped() {
         assert_eq!(
             kinds("SELECT -- the select keyword\n x"),
-            vec![Tok::Ident("SELECT".into()), Tok::Ident("x".into()), Tok::Eof]
+            vec![
+                Tok::Ident("SELECT".into()),
+                Tok::Ident("x".into()),
+                Tok::Eof
+            ]
         );
     }
 

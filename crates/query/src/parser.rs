@@ -134,7 +134,11 @@ impl Parser {
                     return self.err(format!("MERGE expects clipID, found {field}"));
                 }
                 self.expect_tok(&Tok::RParen, ")")?;
-                let alias = if self.eat_kw("AS") { Some(self.ident()?) } else { None };
+                let alias = if self.eat_kw("AS") {
+                    Some(self.ident()?)
+                } else {
+                    None
+                };
                 items.push(SelectItem::Merge { alias });
             } else if self.eat_kw("RANK") {
                 self.skip_arglist()?;
@@ -170,7 +174,11 @@ impl Parser {
         let mut produce = Vec::new();
         loop {
             let field = self.ident()?;
-            let using = if self.eat_kw("USING") { Some(self.ident()?) } else { None };
+            let using = if self.eat_kw("USING") {
+                Some(self.ident()?)
+            } else {
+                None
+            };
             produce.push(ProduceItem { field, using });
             if matches!(self.peek().tok, Tok::Comma) {
                 self.bump();
@@ -273,7 +281,10 @@ mod tests {
         assert_eq!(stmt.select.len(), 1);
         assert_eq!(stmt.from.video, "inputVideo");
         assert_eq!(stmt.from.produce.len(), 3);
-        assert_eq!(stmt.from.produce[1].using.as_deref(), Some("ObjectDetector"));
+        assert_eq!(
+            stmt.from.produce[1].using.as_deref(),
+            Some("ObjectDetector")
+        );
         assert!(!stmt.order_by_rank);
         assert_eq!(stmt.limit, None);
         let dnf = stmt.predicate.to_dnf();
@@ -328,7 +339,10 @@ mod tests {
 
     #[test]
     fn error_messages_carry_offsets() {
-        let err = Parser::new("SELECT NOPE").unwrap().parse_statement().unwrap_err();
+        let err = Parser::new("SELECT NOPE")
+            .unwrap()
+            .parse_statement()
+            .unwrap_err();
         match err {
             VaqError::Parse { offset, message } => {
                 assert_eq!(offset, 7);

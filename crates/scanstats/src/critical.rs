@@ -32,7 +32,9 @@ impl ScanConfig {
     /// Validates and builds a configuration.
     pub fn new(window: u64, horizon: u64, alpha: f64) -> Result<Self> {
         if window == 0 {
-            return Err(VaqError::InvalidConfig("scan window must be positive".into()));
+            return Err(VaqError::InvalidConfig(
+                "scan window must be positive".into(),
+            ));
         }
         if horizon < window {
             return Err(VaqError::InvalidConfig(format!(
@@ -233,7 +235,10 @@ mod tests {
         let c = cfg(50, 10_000, 0.05);
         let mut cache = CriticalValueCache::new(c);
         for &p in &[1e-5, 1e-4, 1e-3, 1e-2, 0.05] {
-            assert_eq!(cache.get(p), critical_value(&c, CriticalValueCache::quantize(p)));
+            assert_eq!(
+                cache.get(p),
+                critical_value(&c, CriticalValueCache::quantize(p))
+            );
         }
     }
 

@@ -194,9 +194,7 @@ mod tests {
         // N == w: exactly one window, so P(S ≥ k) = P(Bin(w,p) ≥ k).
         let (k, w, p) = (3u64, 6u64, 0.3f64);
         let dp = exact_scan_prob(k, w, w, p);
-        let tail: f64 = (k..=w)
-            .map(|j| crate::binomial::binom_pmf(j, w, p))
-            .sum();
+        let tail: f64 = (k..=w).map(|j| crate::binomial::binom_pmf(j, w, p)).sum();
         assert!((dp - tail).abs() < 1e-12, "dp={dp} tail={tail}");
     }
 

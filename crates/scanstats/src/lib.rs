@@ -39,6 +39,6 @@ pub mod naus;
 
 pub use critical::{critical_value, critical_value_checked, CriticalValueCache, ScanConfig};
 pub use exact::{exact_scan_prob, exact_scan_prob_markov, monte_carlo_scan_prob, MarkovRates};
-pub use kernel::{BackgroundRateEstimator, DirectKernelEstimator};
+pub use kernel::{BackgroundRateEstimator, DirectKernelEstimator, EstimatorCheckpoint};
 pub use markov::{bursty_rates, critical_value_markov};
 pub use naus::scan_prob;

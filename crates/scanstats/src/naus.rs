@@ -68,7 +68,8 @@ pub fn q3(k: u64, w: u64, p: f64) -> f64 {
     let bk = b(ki, w);
     let f_k1 = f(ki - 1, w);
 
-    let a1 = 2.0 * bk * f_k1 * ((kf - 1.0) * f(ki - 2, w) - wf * p * f(ki - 3, w.saturating_sub(1)));
+    let a1 =
+        2.0 * bk * f_k1 * ((kf - 1.0) * f(ki - 2, w) - wf * p * f(ki - 3, w.saturating_sub(1)));
     let a2 = 0.5
         * bk
         * bk

@@ -60,7 +60,7 @@ fn key_name(key: TableKey) -> String {
     }
 }
 
-fn table_base(dir: &Path, key: TableKey) -> PathBuf {
+pub(crate) fn table_base(dir: &Path, key: TableKey) -> PathBuf {
     match key {
         TableKey::Object(o) => dir.join(format!("obj_{}", o.raw())),
         TableKey::Action(a) => dir.join(format!("act_{}", a.raw())),
@@ -253,10 +253,8 @@ mod tests {
     use vaq_types::{ClipId, ClipInterval};
 
     fn tmpdir(tag: &str) -> PathBuf {
-        let dir = std::env::temp_dir().join(format!(
-            "vaq-catalog-test-{tag}-{}",
-            std::process::id()
-        ));
+        let dir =
+            std::env::temp_dir().join(format!("vaq-catalog-test-{tag}-{}", std::process::id()));
         let _ = fs::remove_dir_all(&dir);
         dir
     }
@@ -271,17 +269,10 @@ mod tests {
     }
 
     fn build(dir: &Path) -> CatalogManifest {
-        let mut w = CatalogWriter::create(
-            dir,
-            "demo",
-            VideoGeometry::PAPER_DEFAULT,
-            1_000,
-        )
-        .unwrap();
-        let seqs = SequenceSet::from_intervals(vec![
-            ClipInterval::new(2, 5),
-            ClipInterval::new(10, 12),
-        ]);
+        let mut w =
+            CatalogWriter::create(dir, "demo", VideoGeometry::PAPER_DEFAULT, 1_000).unwrap();
+        let seqs =
+            SequenceSet::from_intervals(vec![ClipInterval::new(2, 5), ClipInterval::new(10, 12)]);
         w.add(TableKey::Object(ObjectType::new(3)), rows(20), &seqs)
             .unwrap();
         w.add(

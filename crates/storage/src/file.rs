@@ -1,18 +1,26 @@
 //! File-backed clip score tables.
 //!
-//! Layout (all little-endian, fixed width):
+//! Layout (all little-endian, fixed width; format version 2):
 //!
 //! ```text
-//! <name>.tbl  — header | rows sorted by descending score
-//! <name>.idx  — header | rows sorted by ascending clip id
+//! <name>.tbl  — header | rows sorted by descending score | footer
+//! <name>.idx  — header | rows sorted by ascending clip id | footer
 //! header      — magic "VAQT" (4) | version u32 (4) | row count u64 (8)
 //! row         — clip u64 (8) | score f64 (8)
+//! footer      — CRC-32/IEEE of header+rows u32 (4) | its complement u32 (4)
 //! ```
 //!
 //! Every access is a positioned read against the file (`read_at`), so the
 //! access counters measure real I/O operations: a sorted/reverse step reads
 //! one row of `.tbl`; a random lookup binary-searches `.idx` (charged as a
 //! single random access, the unit the paper counts — one row lookup).
+//!
+//! **Durability.** Each file is written crash-safely: the full image goes
+//! to `<file>.tmp`, is fsynced, renamed over the final name, and the parent
+//! directory is fsynced — a crash at any point leaves either the old table
+//! or the new one, never a half-written file under the real name. The CRC
+//! footer is verified on every open, so silent torn writes and bit rot
+//! surface as [`VaqError::Storage`] instead of wrong query answers.
 
 use crate::cost::CostModel;
 use crate::table::{AccessCounters, AccessStats, ClipScoreTable, ScoreRow};
@@ -21,12 +29,44 @@ use std::fs::File;
 use std::io::Write as _;
 use std::os::unix::fs::FileExt;
 use std::path::{Path, PathBuf};
+use std::sync::OnceLock;
 use vaq_types::{ClipId, Result, VaqError};
 
 const MAGIC: &[u8; 4] = b"VAQT";
-const VERSION: u32 = 1;
+/// Version 2 added the CRC footer; version-1 files (no footer) are rejected.
+const VERSION: u32 = 2;
 const HEADER_LEN: u64 = 16;
 const ROW_LEN: u64 = 16;
+const FOOTER_LEN: u64 = 8;
+
+/// CRC-32/IEEE (the zlib/gzip polynomial), table-driven.
+pub(crate) fn crc32(data: &[u8]) -> u32 {
+    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+    let table = TABLE.get_or_init(|| {
+        let mut t = [0u32; 256];
+        let mut i = 0usize;
+        while i < 256 {
+            let mut c = i as u32;
+            let mut bit = 0;
+            while bit < 8 {
+                c = if c & 1 != 0 {
+                    0xEDB8_8320 ^ (c >> 1)
+                } else {
+                    c >> 1
+                };
+                bit += 1;
+            }
+            t[i] = c;
+            i += 1;
+        }
+        t
+    });
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in data {
+        crc = table[((crc ^ u32::from(b)) & 0xFF) as usize] ^ (crc >> 8);
+    }
+    !crc
+}
 
 fn encode_header(rows: u64) -> BytesMut {
     let mut buf = BytesMut::with_capacity(HEADER_LEN as usize);
@@ -36,11 +76,12 @@ fn encode_header(rows: u64) -> BytesMut {
     buf
 }
 
-fn read_header(file: &File, path: &Path) -> Result<u64> {
+/// Validates the header, total length, and CRC footer; returns the row
+/// count. Everything `FileTable::open` and `fsck` need to trust a table.
+pub(crate) fn read_header(file: &File, path: &Path) -> Result<u64> {
     let mut hdr = [0u8; HEADER_LEN as usize];
-    file.read_exact_at(&mut hdr, 0).map_err(|e| {
-        VaqError::Storage(format!("{}: cannot read header: {e}", path.display()))
-    })?;
+    file.read_exact_at(&mut hdr, 0)
+        .map_err(|e| VaqError::Storage(format!("{}: cannot read header: {e}", path.display())))?;
     let mut buf = &hdr[..];
     let mut magic = [0u8; 4];
     buf.copy_to_slice(&mut magic);
@@ -58,14 +99,42 @@ fn read_header(file: &File, path: &Path) -> Result<u64> {
         )));
     }
     let rows = buf.get_u64_le();
-    let expect = HEADER_LEN + rows * ROW_LEN;
-    let actual = file
-        .metadata()
-        .map_err(VaqError::Io)?
-        .len();
+    let expect = rows
+        .checked_mul(ROW_LEN)
+        .and_then(|b| b.checked_add(HEADER_LEN + FOOTER_LEN))
+        .ok_or_else(|| {
+            VaqError::Storage(format!(
+                "{}: absurd row count {rows} in header",
+                path.display()
+            ))
+        })?;
+    let actual = file.metadata().map_err(VaqError::Io)?.len();
     if actual != expect {
         return Err(VaqError::Storage(format!(
             "{}: truncated or padded: {actual} bytes, expected {expect}",
+            path.display()
+        )));
+    }
+    // Verify the CRC footer over header + rows.
+    let body_len = (expect - FOOTER_LEN) as usize;
+    let mut body = vec![0u8; body_len];
+    file.read_exact_at(&mut body, 0)
+        .map_err(|e| VaqError::Storage(format!("{}: cannot read body: {e}", path.display())))?;
+    let mut footer = [0u8; FOOTER_LEN as usize];
+    file.read_exact_at(&mut footer, expect - FOOTER_LEN)
+        .map_err(|e| VaqError::Storage(format!("{}: cannot read footer: {e}", path.display())))?;
+    let stored = u32::from_le_bytes(footer[..4].try_into().expect("4 bytes"));
+    let complement = u32::from_le_bytes(footer[4..].try_into().expect("4 bytes"));
+    if complement != !stored {
+        return Err(VaqError::Storage(format!(
+            "{}: corrupt CRC footer (complement check failed)",
+            path.display()
+        )));
+    }
+    let computed = crc32(&body);
+    if computed != stored {
+        return Err(VaqError::Storage(format!(
+            "{}: CRC mismatch: stored {stored:#010x}, computed {computed:#010x}",
             path.display()
         )));
     }
@@ -89,17 +158,17 @@ pub struct FileTableWriter;
 impl FileTableWriter {
     /// Writes `rows` (any order; must have unique clips and finite scores)
     /// as table `base` (producing `base.tbl` and `base.idx`).
+    ///
+    /// All validation runs before any file is touched: a rejected row set
+    /// leaves the filesystem exactly as it was. Each file is then written
+    /// crash-safely (tmp + fsync + rename + directory fsync).
     pub fn write(base: &Path, mut rows: Vec<ScoreRow>) -> Result<()> {
-        if rows.iter().any(|r| !r.score.is_finite()) {
-            return Err(VaqError::Storage("non-finite score in table rows".into()));
+        if let Some(bad) = rows.iter().find(|r| !r.score.is_finite()) {
+            return Err(VaqError::Storage(format!(
+                "non-finite score {} for clip {} in table rows",
+                bad.score, bad.clip
+            )));
         }
-        rows.sort_by(|a, b| {
-            b.score
-                .partial_cmp(&a.score)
-                .expect("finite")
-                .then(a.clip.cmp(&b.clip))
-        });
-        Self::write_file(&base.with_extension("tbl"), &rows)?;
         rows.sort_by_key(|r| r.clip);
         for w in rows.windows(2) {
             if w[0].clip == w[1].clip {
@@ -109,19 +178,37 @@ impl FileTableWriter {
                 )));
             }
         }
-        Self::write_file(&base.with_extension("idx"), &rows)
+        Self::write_file(&base.with_extension("idx"), &rows)?;
+        rows.sort_by(|a, b| b.score.total_cmp(&a.score).then(a.clip.cmp(&b.clip)));
+        Self::write_file(&base.with_extension("tbl"), &rows)
     }
 
     fn write_file(path: &Path, rows: &[ScoreRow]) -> Result<()> {
         let mut buf = encode_header(rows.len() as u64);
-        buf.reserve(rows.len() * ROW_LEN as usize);
+        buf.reserve(rows.len() * ROW_LEN as usize + FOOTER_LEN as usize);
         for r in rows {
             buf.put_u64_le(r.clip.raw());
             buf.put_f64_le(r.score);
         }
-        let mut file = File::create(path)?;
+        let crc = crc32(&buf);
+        buf.put_u32_le(crc);
+        buf.put_u32_le(!crc);
+
+        // tmp + fsync + rename + dir fsync: a crash leaves either the old
+        // table or the new one under the real name, never a torn file.
+        let tmp = {
+            let mut os = path.as_os_str().to_os_string();
+            os.push(".tmp");
+            PathBuf::from(os)
+        };
+        let mut file = File::create(&tmp)?;
         file.write_all(&buf)?;
         file.sync_all()?;
+        drop(file);
+        std::fs::rename(&tmp, path)?;
+        if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+            File::open(parent)?.sync_all()?;
+        }
         Ok(())
     }
 }
@@ -220,7 +307,8 @@ mod tests {
     use rand::{Rng, SeedableRng};
 
     fn tmpdir(tag: &str) -> PathBuf {
-        let dir = std::env::temp_dir().join(format!("vaq-storage-test-{tag}-{}", std::process::id()));
+        let dir =
+            std::env::temp_dir().join(format!("vaq-storage-test-{tag}-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
         dir
     }
@@ -246,7 +334,11 @@ mod tests {
         assert_eq!(ft.len(), mt.len());
         for i in 0..ft.len() {
             assert_eq!(ft.sorted_access(i), mt.sorted_access(i), "sorted row {i}");
-            assert_eq!(ft.reverse_access(i), mt.reverse_access(i), "reverse row {i}");
+            assert_eq!(
+                ft.reverse_access(i),
+                mt.reverse_access(i),
+                "reverse row {i}"
+            );
         }
         for c in [0u64, 57, 199] {
             assert_eq!(
@@ -318,6 +410,95 @@ mod tests {
             score: 1.0,
         });
         assert!(FileTableWriter::write(&base, data).is_err());
+    }
+
+    #[test]
+    fn failed_write_leaves_no_files() {
+        // Validation happens before any file is created: a rejected row set
+        // must leave the directory untouched (previously the `.tbl` was
+        // written before the duplicate check ran).
+        let dir = tmpdir("nofiles");
+        let base = dir.join("t7");
+        let mut data = rows(5, 7);
+        data.push(ScoreRow {
+            clip: ClipId::new(2),
+            score: 9.0,
+        });
+        assert!(FileTableWriter::write(&base, data).is_err());
+        assert!(
+            !base.with_extension("tbl").exists(),
+            ".tbl created on failure"
+        );
+        assert!(
+            !base.with_extension("idx").exists(),
+            ".idx created on failure"
+        );
+
+        let mut data = rows(5, 7);
+        data[3].score = f64::NAN;
+        assert!(FileTableWriter::write(&base, data).is_err());
+        assert!(!base.with_extension("tbl").exists());
+        assert!(!base.with_extension("idx").exists());
+    }
+
+    #[test]
+    fn successful_write_leaves_no_tmp_files() {
+        let dir = tmpdir("notmp");
+        let base = dir.join("t8");
+        FileTableWriter::write(&base, rows(10, 8)).unwrap();
+        for ext in ["tbl.tmp", "idx.tmp"] {
+            assert!(!base.with_extension(ext).exists(), "{ext} left behind");
+        }
+    }
+
+    #[test]
+    fn crc_detects_row_bit_rot() {
+        let dir = tmpdir("bitrot");
+        let base = dir.join("t9");
+        FileTableWriter::write(&base, rows(20, 9)).unwrap();
+        let path = base.with_extension("tbl");
+        let mut bytes = std::fs::read(&path).unwrap();
+        // Flip one bit in the row region; length and header stay valid.
+        let mid = HEADER_LEN as usize + 5 * ROW_LEN as usize + 3;
+        bytes[mid] ^= 0x40;
+        std::fs::write(&path, bytes).unwrap();
+        let err = FileTable::open(&base, CostModel::FREE).unwrap_err();
+        assert!(matches!(err, VaqError::Storage(_)), "{err}");
+        assert!(err.to_string().contains("CRC mismatch"), "{err}");
+    }
+
+    #[test]
+    fn corrupt_footer_complement_rejected() {
+        let dir = tmpdir("footer");
+        let base = dir.join("t10");
+        FileTableWriter::write(&base, rows(4, 10)).unwrap();
+        let path = base.with_extension("idx");
+        let mut bytes = std::fs::read(&path).unwrap();
+        let n = bytes.len();
+        // Corrupt the complement half of the footer only.
+        bytes[n - 1] ^= 0xFF;
+        std::fs::write(&path, bytes).unwrap();
+        let err = FileTable::open(&base, CostModel::FREE).unwrap_err();
+        assert!(err.to_string().contains("footer"), "{err}");
+    }
+
+    #[test]
+    fn nan_scores_rejected_before_sort() {
+        // total_cmp tolerates NaN in the comparator, so the explicit
+        // validation is the only gate — make sure it holds.
+        let dir = tmpdir("nan");
+        let base = dir.join("t11");
+        let mut data = rows(3, 11);
+        data[0].score = f64::INFINITY;
+        let err = FileTableWriter::write(&base, data).unwrap_err();
+        assert!(err.to_string().contains("non-finite"), "{err}");
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // Standard CRC-32/IEEE check values.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
     }
 
     #[test]

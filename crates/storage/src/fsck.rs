@@ -1,0 +1,321 @@
+//! Offline integrity checking for catalogs — the library behind `vaq fsck`.
+//!
+//! A check never repairs and never panics: every file of a catalog
+//! (manifest, sequences, each `.tbl`/`.idx` pair) is probed independently
+//! and the findings are collected into an [`FsckReport`]. Table files go
+//! through the same header/length/CRC validation as a real open, plus the
+//! `.tbl`-vs-`.idx` row-count cross-check, so anything fsck passes is
+//! openable and anything corrupt is named precisely.
+
+use crate::catalog::{table_base, CatalogManifest};
+use crate::file;
+use crate::table::TableKey;
+use std::fs::{self, File};
+use std::path::{Path, PathBuf};
+use vaq_types::{ActionType, ObjectType, Result, VaqError};
+
+/// Outcome of checking one file (or one cross-file invariant).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FsckStatus {
+    /// The file exists and passed every check.
+    Clean,
+    /// The file is absent.
+    Missing,
+    /// The file exists but failed validation; the message says how.
+    Corrupt(String),
+}
+
+impl FsckStatus {
+    /// Whether this status represents a problem.
+    pub fn is_problem(&self) -> bool {
+        !matches!(self, FsckStatus::Clean)
+    }
+}
+
+impl std::fmt::Display for FsckStatus {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FsckStatus::Clean => write!(f, "ok"),
+            FsckStatus::Missing => write!(f, "MISSING"),
+            FsckStatus::Corrupt(msg) => write!(f, "CORRUPT: {msg}"),
+        }
+    }
+}
+
+/// One checked file or invariant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FsckEntry {
+    /// The file (or table base, for cross-file checks) examined.
+    pub path: PathBuf,
+    /// What the check found.
+    pub status: FsckStatus,
+}
+
+/// Everything fsck found over one catalog or repository.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FsckReport {
+    /// One entry per checked file/invariant, in scan order.
+    pub entries: Vec<FsckEntry>,
+}
+
+impl FsckReport {
+    /// Whether every check passed.
+    pub fn is_clean(&self) -> bool {
+        self.entries.iter().all(|e| !e.status.is_problem())
+    }
+
+    /// The entries that found a problem.
+    pub fn problems(&self) -> Vec<&FsckEntry> {
+        self.entries
+            .iter()
+            .filter(|e| e.status.is_problem())
+            .collect()
+    }
+
+    fn push(&mut self, path: impl Into<PathBuf>, status: FsckStatus) {
+        self.entries.push(FsckEntry {
+            path: path.into(),
+            status,
+        });
+    }
+}
+
+/// Probes one table file: open, header, length, CRC footer. Returns the
+/// row count when clean.
+fn check_table_file(report: &mut FsckReport, path: &Path) -> Option<u64> {
+    let f = match File::open(path) {
+        Ok(f) => f,
+        Err(_) => {
+            report.push(path, FsckStatus::Missing);
+            return None;
+        }
+    };
+    match file::read_header(&f, path) {
+        Ok(rows) => {
+            report.push(path, FsckStatus::Clean);
+            Some(rows)
+        }
+        Err(e) => {
+            report.push(path, FsckStatus::Corrupt(e.to_string()));
+            None
+        }
+    }
+}
+
+fn check_table(report: &mut FsckReport, base: &Path) {
+    let tbl_rows = check_table_file(report, &base.with_extension("tbl"));
+    let idx_rows = check_table_file(report, &base.with_extension("idx"));
+    if let (Some(t), Some(i)) = (tbl_rows, idx_rows) {
+        if t != i {
+            report.push(
+                base,
+                FsckStatus::Corrupt(format!(".tbl has {t} rows but .idx has {i}")),
+            );
+        }
+    }
+}
+
+/// Checks every file of the catalog in `dir`. Only I/O-level surprises
+/// (e.g. an unreadable directory) are errors; corruption is *reported*.
+pub fn fsck_catalog(dir: &Path) -> Result<FsckReport> {
+    let mut report = FsckReport::default();
+    let man_path = dir.join("manifest.json");
+    let manifest: CatalogManifest = match fs::read(&man_path) {
+        Err(_) => {
+            report.push(&man_path, FsckStatus::Missing);
+            return Ok(report);
+        }
+        Ok(raw) => match serde_json::from_slice(&raw) {
+            Ok(m) => {
+                report.push(&man_path, FsckStatus::Clean);
+                m
+            }
+            Err(e) => {
+                report.push(&man_path, FsckStatus::Corrupt(e.to_string()));
+                return Ok(report);
+            }
+        },
+    };
+
+    let seq_path = dir.join("sequences.json");
+    match fs::read(&seq_path) {
+        Err(_) => report.push(&seq_path, FsckStatus::Missing),
+        Ok(raw) => match serde_json::from_slice::<serde_json::Value>(&raw) {
+            Ok(_) => report.push(&seq_path, FsckStatus::Clean),
+            Err(e) => report.push(&seq_path, FsckStatus::Corrupt(e.to_string())),
+        },
+    }
+
+    for &o in &manifest.object_tables {
+        check_table(
+            &mut report,
+            &table_base(dir, TableKey::Object(ObjectType::new(o))),
+        );
+    }
+    for &a in &manifest.action_tables {
+        check_table(
+            &mut report,
+            &table_base(dir, TableKey::Action(ActionType::new(a))),
+        );
+    }
+    Ok(report)
+}
+
+/// Checks every catalog under `dir`: each immediate subdirectory holding a
+/// `manifest.json` is fsck'd, and `dir` itself is treated as a single
+/// catalog when it holds a manifest directly.
+pub fn fsck_repository(dir: &Path) -> Result<FsckReport> {
+    if dir.join("manifest.json").exists() {
+        return fsck_catalog(dir);
+    }
+    let mut report = FsckReport::default();
+    let mut found = false;
+    let mut subdirs: Vec<PathBuf> = Vec::new();
+    for entry in fs::read_dir(dir)
+        .map_err(|e| VaqError::Storage(format!("{}: cannot scan repository: {e}", dir.display())))?
+    {
+        let entry = entry.map_err(VaqError::Io)?;
+        let path = entry.path();
+        if path.is_dir() && path.join("manifest.json").exists() {
+            subdirs.push(path);
+        }
+    }
+    subdirs.sort();
+    for path in subdirs {
+        found = true;
+        report.entries.extend(fsck_catalog(&path)?.entries);
+    }
+    if !found {
+        return Err(VaqError::Storage(format!(
+            "{}: no catalogs found (no manifest.json here or in subdirectories)",
+            dir.display()
+        )));
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::CatalogWriter;
+    use crate::table::ScoreRow;
+    use vaq_types::{ClipId, SequenceSet, VideoGeometry};
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("vaq-fsck-test-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn rows(n: u64) -> Vec<ScoreRow> {
+        (0..n)
+            .map(|c| ScoreRow {
+                clip: ClipId::new(c),
+                score: (c as f64 * 7.0) % 5.0,
+            })
+            .collect()
+    }
+
+    fn build_catalog(dir: &Path) {
+        let mut w =
+            CatalogWriter::create(dir, "demo", VideoGeometry::PAPER_DEFAULT, 1_000).unwrap();
+        w.add(
+            TableKey::Object(ObjectType::new(3)),
+            rows(20),
+            &SequenceSet::empty(),
+        )
+        .unwrap();
+        w.add(
+            TableKey::Action(ActionType::new(1)),
+            rows(20),
+            &SequenceSet::empty(),
+        )
+        .unwrap();
+        w.finish().unwrap();
+    }
+
+    #[test]
+    fn clean_catalog_passes() {
+        let dir = tmpdir("clean");
+        build_catalog(&dir);
+        let report = fsck_catalog(&dir).unwrap();
+        assert!(report.is_clean(), "{:?}", report.problems());
+        // manifest + sequences + 2 tables × 2 files.
+        assert_eq!(report.entries.len(), 6);
+    }
+
+    #[test]
+    fn truncated_table_flagged() {
+        let dir = tmpdir("trunc");
+        build_catalog(&dir);
+        let path = dir.join("obj_3.tbl");
+        let bytes = fs::read(&path).unwrap();
+        fs::write(&path, &bytes[..bytes.len() - 10]).unwrap();
+        let report = fsck_catalog(&dir).unwrap();
+        let problems = report.problems();
+        assert_eq!(problems.len(), 1);
+        assert_eq!(problems[0].path, path);
+        assert!(matches!(problems[0].status, FsckStatus::Corrupt(_)));
+    }
+
+    #[test]
+    fn missing_index_flagged() {
+        let dir = tmpdir("missing-idx");
+        build_catalog(&dir);
+        fs::remove_file(dir.join("act_1.idx")).unwrap();
+        let report = fsck_catalog(&dir).unwrap();
+        let problems = report.problems();
+        assert_eq!(problems.len(), 1);
+        assert_eq!(problems[0].status, FsckStatus::Missing);
+    }
+
+    #[test]
+    fn corrupt_manifest_flagged_without_panicking() {
+        let dir = tmpdir("bad-manifest");
+        build_catalog(&dir);
+        fs::write(dir.join("manifest.json"), b"{truncated").unwrap();
+        let report = fsck_catalog(&dir).unwrap();
+        assert!(!report.is_clean());
+        assert!(matches!(report.entries[0].status, FsckStatus::Corrupt(_)));
+    }
+
+    #[test]
+    fn bit_rot_in_rows_flagged_by_crc() {
+        let dir = tmpdir("rot");
+        build_catalog(&dir);
+        let path = dir.join("obj_3.idx");
+        let mut bytes = fs::read(&path).unwrap();
+        bytes[40] ^= 0x01;
+        fs::write(&path, bytes).unwrap();
+        let report = fsck_catalog(&dir).unwrap();
+        let problems = report.problems();
+        assert_eq!(problems.len(), 1);
+        match &problems[0].status {
+            FsckStatus::Corrupt(msg) => assert!(msg.contains("CRC"), "{msg}"),
+            other => panic!("want Corrupt, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn repository_scan_aggregates_catalogs() {
+        let repo = tmpdir("repo");
+        build_catalog(&repo.join("v0"));
+        build_catalog(&repo.join("v1"));
+        // Corrupt one file in v1.
+        let path = repo.join("v1").join("obj_3.tbl");
+        let bytes = fs::read(&path).unwrap();
+        fs::write(&path, &bytes[..8]).unwrap();
+        let report = fsck_repository(&repo).unwrap();
+        assert_eq!(report.entries.len(), 12);
+        let problems = report.problems();
+        assert_eq!(problems.len(), 1);
+        assert_eq!(problems[0].path, path);
+    }
+
+    #[test]
+    fn empty_repository_is_an_error() {
+        let dir = tmpdir("empty-repo");
+        assert!(fsck_repository(&dir).is_err());
+    }
+}

@@ -35,9 +35,11 @@
 pub mod catalog;
 pub mod cost;
 pub mod file;
+pub mod fsck;
 pub mod table;
 
 pub use catalog::{CatalogManifest, VideoCatalog};
 pub use cost::CostModel;
 pub use file::{FileTable, FileTableWriter};
+pub use fsck::{fsck_catalog, fsck_repository, FsckEntry, FsckReport, FsckStatus};
 pub use table::{AccessStats, ClipScoreTable, MemTable, ScoreRow, TableKey};

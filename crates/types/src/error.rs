@@ -33,6 +33,10 @@ pub enum VaqError {
     Statistics(String),
     /// A storage-layer failure: missing table, corrupt row, short read.
     Storage(String),
+    /// A model (object detector or action recognizer) stayed unavailable
+    /// after the engine's bounded retries and the degradation policy was
+    /// configured to abort rather than degrade.
+    DetectorUnavailable(String),
     /// Failure parsing a VAQ-SQL query string. Carries the byte offset of
     /// the offending token for caret diagnostics.
     Parse {
@@ -55,6 +59,9 @@ impl fmt::Display for VaqError {
             VaqError::InvalidQuery(msg) => write!(f, "invalid query: {msg}"),
             VaqError::Statistics(msg) => write!(f, "statistics error: {msg}"),
             VaqError::Storage(msg) => write!(f, "storage error: {msg}"),
+            VaqError::DetectorUnavailable(msg) => {
+                write!(f, "model unavailable: {msg}")
+            }
             VaqError::Parse { message, offset } => {
                 write!(f, "parse error at byte {offset}: {message}")
             }

@@ -28,7 +28,10 @@ impl BBox {
     /// # Panics
     /// Panics if the box is degenerate (`x1 <= x0` or `y1 <= y0`).
     pub fn new(x0: f32, y0: f32, x1: f32, y1: f32) -> Self {
-        assert!(x1 > x0 && y1 > y0, "degenerate bbox ({x0},{y0})-({x1},{y1})");
+        assert!(
+            x1 > x0 && y1 > y0,
+            "degenerate bbox ({x0},{y0})-({x1},{y1})"
+        );
         Self { x0, y0, x1, y1 }
     }
 

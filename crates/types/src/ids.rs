@@ -114,9 +114,7 @@ id_newtype!(
 /// an element of the paper's universe `O` (e.g. `car`, `faucet`).
 ///
 /// The numeric value is an index into an object [`crate::Vocabulary`].
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct ObjectType(pub u32);
 
 impl ObjectType {
@@ -143,9 +141,7 @@ impl fmt::Display for ObjectType {
 /// element of the paper's universe `A` (e.g. `washing_dishes`).
 ///
 /// The numeric value is an index into an action [`crate::Vocabulary`].
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct ActionType(pub u32);
 
 impl ActionType {

@@ -125,13 +125,15 @@ impl Query {
         let mut out = Vec::with_capacity(self.num_predicates());
         out.push(Predicate::Action(self.action));
         out.extend(self.objects.iter().map(|&o| Predicate::Object(o)));
-        out.extend(self.relationships.iter().map(|&(subject, relation, object)| {
-            Predicate::Relationship {
-                subject,
-                relation,
-                object,
-            }
-        }));
+        out.extend(
+            self.relationships
+                .iter()
+                .map(|&(subject, relation, object)| Predicate::Relationship {
+                    subject,
+                    relation,
+                    object,
+                }),
+        );
         out
     }
 }

@@ -57,7 +57,11 @@ impl Vocabulary {
             let prev = index.insert(l.clone(), i as u32);
             assert!(prev.is_none(), "duplicate vocabulary label {l:?}");
         }
-        Self { kind, labels, index }
+        Self {
+            kind,
+            labels,
+            index,
+        }
     }
 
     /// Restores the label → index map after deserialization.
@@ -107,23 +111,23 @@ impl Vocabulary {
     /// Resolves an object label, failing with [`VaqError::UnknownLabel`].
     pub fn object(&self, label: &str) -> Result<ObjectType> {
         debug_assert_eq!(self.kind, VocabularyKind::Object);
-        self.index_of(label).map(ObjectType::new).ok_or_else(|| {
-            VaqError::UnknownLabel {
+        self.index_of(label)
+            .map(ObjectType::new)
+            .ok_or_else(|| VaqError::UnknownLabel {
                 label: label.to_owned(),
                 vocabulary: self.kind.as_str(),
-            }
-        })
+            })
     }
 
     /// Resolves an action label, failing with [`VaqError::UnknownLabel`].
     pub fn action(&self, label: &str) -> Result<ActionType> {
         debug_assert_eq!(self.kind, VocabularyKind::Action);
-        self.index_of(label).map(ActionType::new).ok_or_else(|| {
-            VaqError::UnknownLabel {
+        self.index_of(label)
+            .map(ActionType::new)
+            .ok_or_else(|| VaqError::UnknownLabel {
                 label: label.to_owned(),
                 vocabulary: self.kind.as_str(),
-            }
-        })
+            })
     }
 
     /// Label of an object type (panics if out of range — an [`ObjectType`]
@@ -146,16 +150,85 @@ impl Vocabulary {
 /// `dish`, `kid`, `sunglasses`.
 pub fn coco_objects() -> Vocabulary {
     const COCO: &[&str] = &[
-        "person", "bicycle", "car", "motorcycle", "airplane", "bus", "train", "truck", "boat",
-        "traffic light", "fire hydrant", "stop sign", "parking meter", "bench", "bird", "cat",
-        "dog", "horse", "sheep", "cow", "elephant", "bear", "zebra", "giraffe", "backpack",
-        "umbrella", "handbag", "tie", "suitcase", "frisbee", "skis", "snowboard", "sports ball",
-        "kite", "baseball bat", "baseball glove", "skateboard", "surfboard", "tennis racket",
-        "bottle", "wine glass", "cup", "fork", "knife", "spoon", "bowl", "banana", "apple",
-        "sandwich", "orange", "broccoli", "carrot", "hot dog", "pizza", "donut", "cake", "chair",
-        "couch", "potted plant", "bed", "dining table", "toilet", "tv", "laptop", "mouse",
-        "remote", "keyboard", "cell phone", "microwave", "oven", "toaster", "sink",
-        "refrigerator", "book", "clock", "vase", "scissors", "teddy bear", "hair drier",
+        "person",
+        "bicycle",
+        "car",
+        "motorcycle",
+        "airplane",
+        "bus",
+        "train",
+        "truck",
+        "boat",
+        "traffic light",
+        "fire hydrant",
+        "stop sign",
+        "parking meter",
+        "bench",
+        "bird",
+        "cat",
+        "dog",
+        "horse",
+        "sheep",
+        "cow",
+        "elephant",
+        "bear",
+        "zebra",
+        "giraffe",
+        "backpack",
+        "umbrella",
+        "handbag",
+        "tie",
+        "suitcase",
+        "frisbee",
+        "skis",
+        "snowboard",
+        "sports ball",
+        "kite",
+        "baseball bat",
+        "baseball glove",
+        "skateboard",
+        "surfboard",
+        "tennis racket",
+        "bottle",
+        "wine glass",
+        "cup",
+        "fork",
+        "knife",
+        "spoon",
+        "bowl",
+        "banana",
+        "apple",
+        "sandwich",
+        "orange",
+        "broccoli",
+        "carrot",
+        "hot dog",
+        "pizza",
+        "donut",
+        "cake",
+        "chair",
+        "couch",
+        "potted plant",
+        "bed",
+        "dining table",
+        "toilet",
+        "tv",
+        "laptop",
+        "mouse",
+        "remote",
+        "keyboard",
+        "cell phone",
+        "microwave",
+        "oven",
+        "toaster",
+        "sink",
+        "refrigerator",
+        "book",
+        "clock",
+        "vase",
+        "scissors",
+        "teddy bear",
+        "hair drier",
         "toothbrush",
     ];
     // Benchmark labels from the paper outside COCO's 80 (covered by YOLO9000

@@ -163,7 +163,11 @@ mod tests {
         ];
         let spans = spans_with_profile(&mut rng, &phases, 80.0);
         let quiet: Vec<_> = spans.iter().filter(|s| s.end <= 100_000).copied().collect();
-        let busy: Vec<_> = spans.iter().filter(|s| s.start >= 100_000).copied().collect();
+        let busy: Vec<_> = spans
+            .iter()
+            .filter(|s| s.start >= 100_000)
+            .copied()
+            .collect();
         let d_quiet = duty_of(&quiet, 100_000);
         let d_busy = duty_of(&busy, 100_000);
         assert!(d_quiet < 0.12, "quiet phase duty {d_quiet}");

@@ -21,8 +21,7 @@ pub fn save_script(script: &SceneScript, path: &Path) -> Result<()> {
 
 /// Reads a script back from JSON, rebuilding derived indexes.
 pub fn load_script(path: &Path) -> Result<SceneScript> {
-    let raw = fs::read(path)
-        .map_err(|e| VaqError::Storage(format!("{}: {e}", path.display())))?;
+    let raw = fs::read(path).map_err(|e| VaqError::Storage(format!("{}: {e}", path.display())))?;
     let mut script: SceneScript = serde_json::from_slice(&raw)
         .map_err(|e| VaqError::Storage(format!("{}: bad scene script: {e}", path.display())))?;
     script.rebuild_indexes();
@@ -39,7 +38,8 @@ mod tests {
         let mut b = SceneScriptBuilder::new(1000, VideoGeometry::PAPER_DEFAULT);
         b.object_span(ObjectType::new(1), 100, 400).unwrap();
         b.object_span(ObjectType::new(2), 0, 1000).unwrap();
-        b.action_occurrence(ActionType::new(0), 200, 500, 0.8).unwrap();
+        b.action_occurrence(ActionType::new(0), 200, 500, 0.8)
+            .unwrap();
         b.build()
     }
 

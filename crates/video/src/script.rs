@@ -74,7 +74,12 @@ struct TypeTimeline {
 impl TypeTimeline {
     fn rebuild(&mut self) {
         self.instances.sort_by_key(|i| (i.span.start, i.span.end));
-        self.max_len = self.instances.iter().map(|i| i.span.len()).max().unwrap_or(0);
+        self.max_len = self
+            .instances
+            .iter()
+            .map(|i| i.span.len())
+            .max()
+            .unwrap_or(0);
         self.spans = span::normalize_spans(self.instances.iter().map(|i| i.span).collect());
     }
 
@@ -170,12 +175,7 @@ impl SceneScript {
 
     /// Normalized occurrence frame spans of action `a` (empty if absent).
     pub fn action_spans(&self, a: ActionType) -> Vec<FrameSpan> {
-        span::normalize_spans(
-            self.action_occurrences(a)
-                .iter()
-                .map(|o| o.span)
-                .collect(),
-        )
+        span::normalize_spans(self.action_occurrences(a).iter().map(|o| o.span).collect())
     }
 
     /// All instance paths of object type `o`.

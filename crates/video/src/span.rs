@@ -165,7 +165,11 @@ mod tests {
     fn intersection_half_open() {
         let a = FrameSpan::new(0, 10);
         let b = FrameSpan::new(10, 20);
-        assert_eq!(a.intersection(&b), None, "touching half-open spans are disjoint");
+        assert_eq!(
+            a.intersection(&b),
+            None,
+            "touching half-open spans are disjoint"
+        );
         let c = FrameSpan::new(5, 15);
         assert_eq!(a.intersection(&c), Some(FrameSpan::new(5, 10)));
     }

@@ -35,8 +35,7 @@ fn main() -> vaq::Result<()> {
     let objects = vocab::coco_objects();
     let actions = vocab::kinetics_actions();
     let detector = SimulatedObjectDetector::new(profiles::mask_rcnn(), objects.len() as u32, 42);
-    let recognizer =
-        SimulatedActionRecognizer::new(profiles::i3d(), actions.len() as u32, 42);
+    let recognizer = SimulatedActionRecognizer::new(profiles::i3d(), actions.len() as u32, 42);
     let mut tracker = IouTracker::new(profiles::centertrack(), 42);
     let out = ingest(
         &video.script,

@@ -22,7 +22,14 @@ fn main() -> vaq::Result<()> {
     // One scripted video: a person left of a car, jumping; later archery.
     let geometry = VideoGeometry::PAPER_DEFAULT;
     let mut b = SceneScriptBuilder::new(4000, geometry);
-    b.object_instance(objects.object("car")?, 200, 1800, (0.8, 0.5), (0.2, 0.2), (0.0, 0.0))?;
+    b.object_instance(
+        objects.object("car")?,
+        200,
+        1800,
+        (0.8, 0.5),
+        (0.2, 0.2),
+        (0.0, 0.0),
+    )?;
     b.object_instance(
         objects.object("person")?,
         200,

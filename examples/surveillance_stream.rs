@@ -95,10 +95,6 @@ fn vaq_bench_models() -> (
             vocab::coco_objects().len() as u32,
             11,
         ),
-        SimulatedActionRecognizer::new(
-            profiles::i3d(),
-            vocab::kinetics_actions().len() as u32,
-            11,
-        ),
+        SimulatedActionRecognizer::new(profiles::i3d(), vocab::kinetics_actions().len() as u32, 11),
     )
 }

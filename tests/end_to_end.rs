@@ -13,10 +13,7 @@ use vaq::types::vocab;
 use vaq::video::{SceneScriptBuilder, VideoStream};
 use vaq::{Query, VideoGeometry};
 
-fn models(
-    ideal: bool,
-    seed: u64,
-) -> (SimulatedObjectDetector, SimulatedActionRecognizer) {
+fn models(ideal: bool, seed: u64) -> (SimulatedObjectDetector, SimulatedActionRecognizer) {
     let objects = vocab::coco_objects().len() as u32;
     let actions = vocab::kinetics_actions().len() as u32;
     if ideal {
@@ -36,11 +33,16 @@ fn demo_script() -> vaq::video::SceneScript {
     let objects = vocab::coco_objects();
     let actions = vocab::kinetics_actions();
     let mut b = SceneScriptBuilder::new(6000, VideoGeometry::PAPER_DEFAULT);
-    b.object_span(objects.object("car").unwrap(), 500, 2500).unwrap();
-    b.object_span(objects.object("car").unwrap(), 4000, 5500).unwrap();
-    b.object_span(objects.object("person").unwrap(), 0, 6000).unwrap();
-    b.action_span(actions.action("jumping").unwrap(), 1000, 2000).unwrap();
-    b.action_span(actions.action("jumping").unwrap(), 4200, 5200).unwrap();
+    b.object_span(objects.object("car").unwrap(), 500, 2500)
+        .unwrap();
+    b.object_span(objects.object("car").unwrap(), 4000, 5500)
+        .unwrap();
+    b.object_span(objects.object("person").unwrap(), 0, 6000)
+        .unwrap();
+    b.action_span(actions.action("jumping").unwrap(), 1000, 2000)
+        .unwrap();
+    b.action_span(actions.action("jumping").unwrap(), 4200, 5200)
+        .unwrap();
     b.build()
 }
 
@@ -112,14 +114,8 @@ fn full_pipeline_is_deterministic() {
         let script = demo_script();
         let query = demo_query();
         let (det, rec) = models(false, 77);
-        let engine = OnlineEngine::new(
-            query,
-            OnlineConfig::svaqd(),
-            script.geometry(),
-            &det,
-            &rec,
-        )
-        .unwrap();
+        let engine =
+            OnlineEngine::new(query, OnlineConfig::svaqd(), script.geometry(), &det, &rec).unwrap();
         engine.run(VideoStream::new(&script)).sequences
     };
     assert_eq!(run(), run());
@@ -131,7 +127,15 @@ fn offline_pipeline_end_to_end_with_disk_catalog() {
     let query = demo_query();
     let (det, rec) = models(true, 1);
     let mut tracker = IouTracker::new(profiles::ideal_tracker(), 1);
-    let out = ingest(&script, "e2e", &det, &rec, &mut tracker, &OnlineConfig::svaqd()).unwrap();
+    let out = ingest(
+        &script,
+        "e2e",
+        &det,
+        &rec,
+        &mut tracker,
+        &OnlineConfig::svaqd(),
+    )
+    .unwrap();
 
     // In-memory path.
     let pq_mem = candidates_from_ingest(&out, &query).unwrap();
@@ -180,7 +184,15 @@ fn all_offline_algorithms_agree_on_noisy_ingestion() {
     let query = demo_query();
     let (det, rec) = models(false, 5);
     let mut tracker = IouTracker::new(profiles::centertrack(), 5);
-    let out = ingest(&script, "agree", &det, &rec, &mut tracker, &OnlineConfig::svaqd()).unwrap();
+    let out = ingest(
+        &script,
+        "agree",
+        &det,
+        &rec,
+        &mut tracker,
+        &OnlineConfig::svaqd(),
+    )
+    .unwrap();
     let pq = candidates_from_ingest(&out, &query).unwrap();
     let (mem_obj, mem_act) = out.mem_tables(CostModel::FREE);
     let tables = QueryTables {
@@ -219,14 +231,8 @@ fn sql_frontend_matches_direct_api_online() {
     let (out, _) = execute_online(&p, &script, &det, &rec, &OnlineConfig::svaqd()).unwrap();
 
     let query = demo_query();
-    let engine = OnlineEngine::new(
-        query,
-        OnlineConfig::svaqd(),
-        script.geometry(),
-        &det,
-        &rec,
-    )
-    .unwrap();
+    let engine =
+        OnlineEngine::new(query, OnlineConfig::svaqd(), script.geometry(), &det, &rec).unwrap();
     let direct = engine.run(VideoStream::new(&script)).sequences;
     assert_eq!(out, QueryOutput::Sequences(direct));
 }
@@ -236,7 +242,15 @@ fn sql_frontend_matches_direct_api_offline() {
     let script = demo_script();
     let (det, rec) = models(true, 1);
     let mut tracker = IouTracker::new(profiles::ideal_tracker(), 1);
-    let out = ingest(&script, "v", &det, &rec, &mut tracker, &OnlineConfig::svaqd()).unwrap();
+    let out = ingest(
+        &script,
+        "v",
+        &det,
+        &rec,
+        &mut tracker,
+        &OnlineConfig::svaqd(),
+    )
+    .unwrap();
     let sql = "SELECT MERGE(clipID), RANK(act, obj) \
                FROM (PROCESS v PRODUCE clipID) \
                WHERE act='jumping' AND obj.include('car','person') \

@@ -4,10 +4,10 @@
 use vaq::core::{OnlineConfig, OnlineEngine, ParameterPolicy};
 use vaq::detect::{profiles, SimulatedActionRecognizer, SimulatedObjectDetector};
 use vaq::query::plan;
-use vaq::storage::{CostModel, FileTable, VideoCatalog};
+use vaq::storage::{CostModel, FileTable, FileTableWriter, ScoreRow, VideoCatalog};
 use vaq::types::vocab;
 use vaq::video::SceneScriptBuilder;
-use vaq::{Query, VaqError, VideoGeometry};
+use vaq::{ClipId, Query, VaqError, VideoGeometry};
 
 #[test]
 fn sql_errors_are_reported_with_context() {
@@ -102,6 +102,87 @@ fn corrupt_storage_is_detected() {
     assert!(err.to_string().contains("manifest"), "{err}");
 }
 
+/// Builds a fresh valid table on disk and returns its base path.
+fn write_table(dir: &std::path::Path, name: &str, n: u64) -> std::path::PathBuf {
+    let base = dir.join(name);
+    let rows: Vec<ScoreRow> = (0..n)
+        .map(|c| ScoreRow {
+            clip: ClipId::new(c),
+            score: (c as f64 * 13.0) % 7.0,
+        })
+        .collect();
+    FileTableWriter::write(&base, rows).unwrap();
+    base
+}
+
+fn expect_storage_error(base: &std::path::Path, what: &str) -> String {
+    match FileTable::open(base, CostModel::FREE) {
+        Err(VaqError::Storage(msg)) => msg,
+        Err(other) => panic!("{what}: want VaqError::Storage, got {other}"),
+        Ok(_) => panic!("{what}: corrupt table opened successfully"),
+    }
+}
+
+#[test]
+fn truncated_header_is_storage_error() {
+    let dir = std::env::temp_dir().join(format!("vaq-trunc-hdr-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let base = write_table(&dir, "t", 12);
+    let tbl = base.with_extension("tbl");
+    let bytes = std::fs::read(&tbl).unwrap();
+    // Cut inside the 16-byte header.
+    std::fs::write(&tbl, &bytes[..7]).unwrap();
+    let msg = expect_storage_error(&base, "truncated header");
+    assert!(msg.contains("header"), "{msg}");
+}
+
+#[test]
+fn truncated_row_region_is_storage_error() {
+    let dir = std::env::temp_dir().join(format!("vaq-trunc-rows-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let base = write_table(&dir, "t", 12);
+    let tbl = base.with_extension("tbl");
+    let bytes = std::fs::read(&tbl).unwrap();
+    // Drop three rows' worth of bytes mid-file: length no longer matches
+    // the header's row count.
+    std::fs::write(&tbl, &bytes[..bytes.len() - 3 * 16]).unwrap();
+    let msg = expect_storage_error(&base, "truncated rows");
+    assert!(msg.contains("truncated"), "{msg}");
+}
+
+#[test]
+fn bad_crc_footer_is_storage_error() {
+    let dir = std::env::temp_dir().join(format!("vaq-bad-crc-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let base = write_table(&dir, "t", 12);
+    let idx = base.with_extension("idx");
+    let mut bytes = std::fs::read(&idx).unwrap();
+    // Flip a score bit in the row region: length and header stay valid, so
+    // only the CRC footer can catch it.
+    let off = 16 + 4 * 16 + 9;
+    bytes[off] ^= 0x10;
+    std::fs::write(&idx, bytes).unwrap();
+    let msg = expect_storage_error(&base, "bit rot");
+    assert!(msg.contains("CRC"), "{msg}");
+}
+
+#[test]
+fn row_count_mismatch_between_tbl_and_idx_is_storage_error() {
+    let dir = std::env::temp_dir().join(format!("vaq-rowcount-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    // Two individually-valid tables of different sizes; graft b's index
+    // onto a's table.
+    let a = write_table(&dir, "a", 12);
+    let b = write_table(&dir, "b", 9);
+    std::fs::copy(b.with_extension("idx"), a.with_extension("idx")).unwrap();
+    let msg = expect_storage_error(&a, "row-count mismatch");
+    assert!(msg.contains("12") && msg.contains("9"), "{msg}");
+}
+
 #[test]
 fn degenerate_videos_are_handled() {
     let g = VideoGeometry::PAPER_DEFAULT;
@@ -116,19 +197,21 @@ fn degenerate_videos_are_handled() {
 
     // A video shorter than one clip yields zero clips and an empty result.
     let script = SceneScriptBuilder::new(30, g).build();
-    let engine =
-        OnlineEngine::new(query.clone(), OnlineConfig::svaqd(), &g, &det, &rec).unwrap();
+    let engine = OnlineEngine::new(query.clone(), OnlineConfig::svaqd(), &g, &det, &rec).unwrap();
     let result = engine.run(vaq::video::VideoStream::new(&script));
     assert!(result.sequences.is_empty());
     assert!(result.records.is_empty());
 
     // Spans outside the video bounds are rejected at script construction.
     let mut b = SceneScriptBuilder::new(100, g);
-    assert!(b.object_span(objects.object("car").unwrap(), 50, 200).is_err());
-    assert!(b.action_span(query.action, 10, 5).is_err());
     assert!(b
-        .action_occurrence(query.action, 0, 50, 0.0)
-        .is_err(), "zero prominence rejected");
+        .object_span(objects.object("car").unwrap(), 50, 200)
+        .is_err());
+    assert!(b.action_span(query.action, 10, 5).is_err());
+    assert!(
+        b.action_occurrence(query.action, 0, 50, 0.0).is_err(),
+        "zero prominence rejected"
+    );
 }
 
 #[test]

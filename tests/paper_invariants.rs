@@ -9,12 +9,7 @@ use vaq::types::vocab;
 use vaq::video::VideoStream;
 use vaq::Query;
 
-fn run_f1(
-    set: &vaq::datasets::QuerySet,
-    cfg: OnlineConfig,
-    ideal: bool,
-    seed: u64,
-) -> f64 {
+fn run_f1(set: &vaq::datasets::QuerySet, cfg: OnlineConfig, ideal: bool, seed: u64) -> f64 {
     use vaq::detect::{profiles, SimulatedActionRecognizer, SimulatedObjectDetector};
     let nobj = vocab::coco_objects().len() as u32;
     let nact = vocab::kinetics_actions().len() as u32;
@@ -32,14 +27,8 @@ fn run_f1(
                 SimulatedActionRecognizer::new(profiles::i3d(), nact, s),
             )
         };
-        let engine = OnlineEngine::new(
-            set.query.clone(),
-            cfg,
-            video.script.geometry(),
-            &det,
-            &rec,
-        )
-        .unwrap();
+        let engine =
+            OnlineEngine::new(set.query.clone(), cfg, video.script.geometry(), &det, &rec).unwrap();
         let result = engine.run(VideoStream::new(&video.script));
         let truth = video.script.ground_truth(&set.query, 0.5);
         let m = sequence_prf(&result.sequences, &truth, 0.5);
@@ -141,11 +130,8 @@ fn scan_statistics_reduce_false_positives() {
     let car = objects.object("car").unwrap();
     let query = Query::new(set.query.action, vec![car]);
     let det = SimulatedObjectDetector::new(profiles::mask_rcnn(), objects.len() as u32, 3);
-    let rec = SimulatedActionRecognizer::new(
-        profiles::i3d(),
-        vocab::kinetics_actions().len() as u32,
-        3,
-    );
+    let rec =
+        SimulatedActionRecognizer::new(profiles::i3d(), vocab::kinetics_actions().len() as u32, 3);
     let engine =
         OnlineEngine::new(query, OnlineConfig::svaqd(), script.geometry(), &det, &rec).unwrap();
     let run = engine.run(VideoStream::new(script));

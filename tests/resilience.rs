@@ -1,0 +1,316 @@
+//! Resilience tests: fault injection through the streaming engines,
+//! degradation policies, and checkpoint/restore.
+//!
+//! The two core properties (also exercised as proptests):
+//!
+//! 1. **Zero-fault transparency** — an engine run through a
+//!    [`FaultInjector`] with an empty schedule is bit-for-bit identical to
+//!    a run on the raw models.
+//! 2. **Checkpoint determinism** — killing an engine at any clip boundary,
+//!    serializing its checkpoint, and resuming in a fresh process (fresh
+//!    injector state included) reproduces the uninterrupted run exactly.
+
+use proptest::prelude::*;
+use vaq::core::{
+    DegradationPolicy, EngineCheckpoint, GapReason, OnlineConfig, OnlineEngine, RetryPolicy,
+};
+use vaq::detect::{
+    profiles, FaultInjector, FaultSchedule, InferenceStats, SimulatedActionRecognizer,
+    SimulatedObjectDetector,
+};
+use vaq::metrics::sequence_prf;
+use vaq::types::{ActionType, ObjectType};
+use vaq::video::{SceneScriptBuilder, VideoStream};
+use vaq::{Query, VaqError, VideoGeometry};
+
+const G: VideoGeometry = VideoGeometry::PAPER_DEFAULT;
+
+/// 30 clips of 50 frames: object on clips 4..13, action on clips 6..17,
+/// ground truth for the query is clips 6..13.
+fn script() -> vaq::video::SceneScript {
+    let mut b = SceneScriptBuilder::new(1500, G);
+    b.object_span(ObjectType::new(1), 200, 700).unwrap();
+    b.action_span(ActionType::new(0), 300, 900).unwrap();
+    b.build()
+}
+
+fn query() -> Query {
+    Query::new(ActionType::new(0), vec![ObjectType::new(1)])
+}
+
+fn models(seed: u64) -> (SimulatedObjectDetector, SimulatedActionRecognizer) {
+    (
+        SimulatedObjectDetector::new(profiles::mask_rcnn(), 86, seed),
+        SimulatedActionRecognizer::new(profiles::i3d(), 36, seed),
+    )
+}
+
+/// The deterministic slice of the accounting — everything except measured
+/// wall-clock engine time.
+fn deterministic_stats(s: &InferenceStats) -> impl PartialEq + std::fmt::Debug {
+    (
+        (
+            s.detector_frames,
+            s.recognizer_shots,
+            s.clips_short_circuited,
+        ),
+        (s.detector_faults, s.recognizer_faults, s.retries),
+        (s.frames_imputed, s.shots_imputed, s.clips_gapped),
+        (s.detector_ms, s.recognizer_ms, s.backoff_ms),
+    )
+}
+
+#[test]
+fn zero_fault_injection_is_bit_for_bit_transparent() {
+    let s = script();
+    let cfg = OnlineConfig::svaqd();
+
+    let (det, rec) = models(17);
+    let raw = OnlineEngine::new(query(), cfg, &G, &det, &rec)
+        .unwrap()
+        .try_run(VideoStream::new(&s))
+        .unwrap();
+
+    let (det, rec) = models(17);
+    let det = FaultInjector::new(det, FaultSchedule::none(99)).unwrap();
+    let rec = FaultInjector::new(rec, FaultSchedule::none(99)).unwrap();
+    let wrapped = OnlineEngine::new(query(), cfg, &G, &det, &rec)
+        .unwrap()
+        .try_run(VideoStream::new(&s))
+        .unwrap();
+
+    assert_eq!(raw.sequences, wrapped.sequences);
+    assert_eq!(raw.records, wrapped.records);
+    assert!(wrapped.gaps.is_empty());
+    assert_eq!(det.counts().total() + rec.counts().total(), 0);
+    assert_eq!(
+        deterministic_stats(&raw.stats),
+        deterministic_stats(&wrapped.stats)
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Property form over model seeds and both engine flavors.
+    #[test]
+    fn prop_zero_fault_runs_identical(seed in 1u64..1000, dynamic in any::<bool>()) {
+        let s = script();
+        let cfg = if dynamic { OnlineConfig::svaqd() } else { OnlineConfig::svaq() };
+
+        let (det, rec) = models(seed);
+        let raw = OnlineEngine::new(query(), cfg, &G, &det, &rec)
+            .unwrap()
+            .try_run(VideoStream::new(&s))
+            .unwrap();
+
+        let (det, rec) = models(seed);
+        let det = FaultInjector::new(det, FaultSchedule::none(seed ^ 7)).unwrap();
+        let rec = FaultInjector::new(rec, FaultSchedule::none(seed ^ 7)).unwrap();
+        let wrapped = OnlineEngine::new(query(), cfg, &G, &det, &rec)
+            .unwrap()
+            .try_run(VideoStream::new(&s))
+            .unwrap();
+
+        prop_assert_eq!(raw.sequences, wrapped.sequences);
+        prop_assert_eq!(raw.records, wrapped.records);
+        prop_assert!(wrapped.gaps.is_empty());
+    }
+
+    /// Kill/restore at an arbitrary clip boundary under an active fault
+    /// schedule: the resumed run (fresh injector state, checkpoint through
+    /// JSON) must reproduce the uninterrupted run's results exactly.
+    #[test]
+    fn prop_checkpoint_restore_reproduces_run(
+        cut in 0usize..30,
+        seed in 1u64..500,
+    ) {
+        let s = script();
+        let cfg = OnlineConfig::svaqd();
+        let schedule = FaultSchedule::none(seed)
+            .with_transient_rate(0.1)
+            .with_drop_rate(0.02)
+            .with_outage(700, 100);
+        let clips: Vec<_> = VideoStream::new(&s).collect();
+
+        // Uninterrupted reference.
+        let (det, rec) = models(seed);
+        let det = FaultInjector::new(det, schedule.clone()).unwrap();
+        let rec = FaultInjector::new(rec, schedule.clone()).unwrap();
+        let mut reference = OnlineEngine::new(query(), cfg, &G, &det, &rec).unwrap();
+        for clip in &clips {
+            reference.try_push_clip(clip).unwrap();
+        }
+        let reference = reference.into_result();
+
+        // Run to `cut`, checkpoint, "crash", restore with fresh models and
+        // a fresh injector, finish the stream.
+        let (det, rec) = models(seed);
+        let det = FaultInjector::new(det, schedule.clone()).unwrap();
+        let rec = FaultInjector::new(rec, schedule.clone()).unwrap();
+        let mut first = OnlineEngine::new(query(), cfg, &G, &det, &rec).unwrap();
+        for clip in &clips[..cut] {
+            first.try_push_clip(clip).unwrap();
+        }
+        let json = first.checkpoint().to_json().unwrap();
+        drop(first);
+
+        let ckpt = EngineCheckpoint::from_json(&json).unwrap();
+        let (det, rec) = models(seed);
+        let det = FaultInjector::new(det, schedule.clone()).unwrap();
+        let rec = FaultInjector::new(rec, schedule).unwrap();
+        let mut resumed =
+            OnlineEngine::restore(query(), cfg, &G, &det, &rec, &ckpt).unwrap();
+        for clip in &clips[cut..] {
+            resumed.try_push_clip(clip).unwrap();
+        }
+        let resumed = resumed.into_result();
+
+        prop_assert_eq!(&resumed.sequences, &reference.sequences);
+        prop_assert_eq!(&resumed.records, &reference.records);
+        prop_assert_eq!(&resumed.gaps, &reference.gaps);
+        prop_assert_eq!(
+            deterministic_stats(&resumed.stats),
+            deterministic_stats(&reference.stats)
+        );
+    }
+}
+
+/// The ISSUE's demo schedule: 10% transient errors plus one 5-clip
+/// detector outage, streamed through SVAQD under the impute policy. Must
+/// complete without panicking, report the outage through typed gap
+/// markers, and stay close to the clean run.
+#[test]
+fn demo_fault_schedule_through_svaqd_impute() {
+    let s = script();
+    let cfg = OnlineConfig::svaqd()
+        .with_degradation(DegradationPolicy::ImputeBackground)
+        .with_retry(RetryPolicy::DEFAULT);
+
+    // Clean reference run.
+    let (det, rec) = models(5);
+    let clean = OnlineEngine::new(query(), cfg, &G, &det, &rec)
+        .unwrap()
+        .try_run(VideoStream::new(&s))
+        .unwrap();
+
+    // Faulty run: 10% transient on both models; detector down for clips
+    // 20..25 (frames 1000..1250), a background region.
+    let (det, rec) = models(5);
+    let det = FaultInjector::new(
+        det,
+        FaultSchedule::none(1)
+            .with_transient_rate(0.1)
+            .with_outage(1000, 250),
+    )
+    .unwrap();
+    let rec = FaultInjector::new(rec, FaultSchedule::none(2).with_transient_rate(0.1)).unwrap();
+    let faulty = OnlineEngine::new(query(), cfg, &G, &det, &rec)
+        .unwrap()
+        .try_run(VideoStream::new(&s))
+        .unwrap();
+
+    // The outage is reported as typed gaps covering exactly clips 20..24.
+    let gap_clips: Vec<u64> = faulty.gaps.iter().map(|g| g.clip.raw()).collect();
+    assert_eq!(gap_clips, vec![20, 21, 22, 23, 24]);
+    assert!(faulty
+        .gaps
+        .iter()
+        .all(|g| g.reason == GapReason::DetectorOutage));
+    assert_eq!(faulty.stats.clips_gapped, 5);
+
+    // Bounded retries absorbed transient errors and were accounted.
+    assert!(faulty.stats.detector_faults > 0);
+    assert!(faulty.stats.retries > 0);
+    assert!(faulty.stats.backoff_ms > 0.0);
+    assert!(
+        faulty.stats.total_ms() > faulty.stats.inference_ms(),
+        "backoff must show up in total time"
+    );
+
+    // Accuracy against the clean run: the outage sits in background, so
+    // the recovered sequences should essentially match.
+    let prf = sequence_prf(&faulty.sequences, &clean.sequences, 0.5);
+    println!(
+        "demo schedule F1 vs clean run: {:.3} (faulty {} vs clean {})",
+        prf.f1(),
+        faulty.sequences,
+        clean.sequences
+    );
+    assert!(
+        prf.f1() >= 0.5,
+        "degraded F1 {:.3} collapsed (faulty {} vs clean {})",
+        prf.f1(),
+        faulty.sequences,
+        clean.sequences
+    );
+}
+
+#[test]
+fn abort_policy_surfaces_detector_unavailable() {
+    let s = script();
+    let cfg = OnlineConfig::svaqd()
+        .with_degradation(DegradationPolicy::Abort)
+        .with_retry(RetryPolicy::NONE);
+    let (det, rec) = models(3);
+    let det = FaultInjector::new(det, FaultSchedule::none(1).with_outage(0, 50)).unwrap();
+    let engine = OnlineEngine::new(query(), cfg, &G, &det, &rec).unwrap();
+    match engine.try_run(VideoStream::new(&s)) {
+        Err(VaqError::DetectorUnavailable(msg)) => {
+            assert!(msg.contains("clip"), "{msg}");
+        }
+        other => panic!("want DetectorUnavailable, got {other:?}"),
+    }
+}
+
+#[test]
+fn skip_policy_marks_gaps_and_keeps_streaming() {
+    let s = script();
+    let cfg = OnlineConfig::svaqd()
+        .with_degradation(DegradationPolicy::SkipClip)
+        .with_retry(RetryPolicy::NONE);
+    let (det, rec) = models(3);
+    // Outage over clips 0..2 only; the signal region is untouched.
+    let det = FaultInjector::new(det, FaultSchedule::none(4).with_outage(0, 100)).unwrap();
+    let rec = FaultInjector::new(rec, FaultSchedule::none(4)).unwrap();
+    let result = OnlineEngine::new(query(), cfg, &G, &det, &rec)
+        .unwrap()
+        .try_run(VideoStream::new(&s))
+        .unwrap();
+    assert_eq!(result.gaps.len(), 2);
+    assert!(result
+        .gaps
+        .iter()
+        .all(|g| g.reason == GapReason::SkippedOnFault));
+    assert_eq!(result.records.len(), 30);
+    assert!(
+        !result.sequences.is_empty(),
+        "stream must keep answering after skipped clips"
+    );
+}
+
+#[test]
+fn garbage_outputs_never_fabricate_positives() {
+    // A degraded replica fabricating low-confidence predictions (scores in
+    // 0.02..0.45, below both thresholds) can suppress detections but never
+    // invent them: with ideal models, every reported sequence must overlap
+    // ground truth — pure-background clips stay negative.
+    let s = script();
+    let cfg = OnlineConfig::svaqd();
+    let det = SimulatedObjectDetector::new(profiles::ideal_object(), 86, 3);
+    let rec = SimulatedActionRecognizer::new(profiles::ideal_action(), 36, 3);
+    let det = FaultInjector::new(det, FaultSchedule::none(8).with_garbage_rate(0.3)).unwrap();
+    let rec = FaultInjector::new(rec, FaultSchedule::none(8).with_garbage_rate(0.3)).unwrap();
+    let garbage = OnlineEngine::new(query(), cfg, &G, &det, &rec)
+        .unwrap()
+        .try_run(VideoStream::new(&s))
+        .unwrap();
+    assert!(det.counts().garbage > 0, "schedule never fired");
+    let truth = s.ground_truth(&query(), 0.5);
+    for iv in garbage.sequences.intervals() {
+        assert!(
+            iv.clips().any(|c| truth.contains(c)),
+            "sequence {iv} reported in pure background"
+        );
+    }
+}
