@@ -33,7 +33,7 @@ fn bench_critical_value(c: &mut Criterion) {
         b.iter(|| black_box(critical_value(&cfg, black_box(1e-3))))
     });
     c.bench_function("critical_value_cached", |b| {
-        let mut cache = CriticalValueCache::new(cfg);
+        let cache = CriticalValueCache::new(cfg);
         cache.get(1e-3);
         b.iter(|| black_box(cache.get(black_box(1.0001e-3))))
     });

@@ -2,13 +2,17 @@
 
 use crate::args::Args;
 use std::path::{Path, PathBuf};
+use std::time::Instant;
 use vaq_core::offline::repository::Repository;
-use vaq_core::{ingest as core_ingest, OnlineConfig, PaperScoring};
+use vaq_core::{
+    ingest as core_ingest, ingest_parallel, run_multi_query, MultiQueryOptions, OnlineConfig,
+    PaperScoring,
+};
 use vaq_datasets::{drift, movies, youtube};
 use vaq_detect::{profiles, IouTracker, SimulatedActionRecognizer, SimulatedObjectDetector};
 use vaq_query::{execute_online, execute_repository, plan, QueryOutput};
 use vaq_storage::CostModel;
-use vaq_types::{vocab, Result, VaqError};
+use vaq_types::{vocab, Query, Result, VaqError};
 use vaq_video::{load_script, save_script, SceneScript};
 
 fn models(kind: &str, seed: u64) -> Result<(SimulatedObjectDetector, SimulatedActionRecognizer)> {
@@ -236,6 +240,156 @@ pub fn stream(args: &Args, out: &mut Vec<String>) -> Result<()> {
     Ok(())
 }
 
+/// `bench-baseline`: a reproducible throughput baseline for the parallel
+/// execution layer. Times serial vs sharded ingest over one benchmark
+/// video (verifying their outputs agree), then runs a multi-query online
+/// batch against the shared inference cache, and writes both reports as
+/// JSON (`BENCH_ingest.json`, `BENCH_online.json`) into `--out`.
+pub fn bench_baseline(args: &Args, out: &mut Vec<String>) -> Result<()> {
+    let dir = PathBuf::from(args.get("out").unwrap_or("."));
+    std::fs::create_dir_all(&dir)?;
+    let seed = args.get_or("seed", 42u64)?;
+    let scale = args.get_or("scale", 0.05f64)?;
+    let threads = args.get_or("threads", 4usize)?;
+    let num_queries = args.get_or("queries", 8usize)?;
+    let stack = args.get("models").unwrap_or("maskrcnn");
+
+    let row = movies::row("Coffee and Cigarettes").expect("known benchmark movie");
+    let spec = movies::MovieSpec {
+        scale,
+        ..Default::default()
+    };
+    let set = movies::movie(row, &spec, seed);
+    let video = set
+        .videos
+        .first()
+        .ok_or_else(|| VaqError::InvalidConfig("empty benchmark dataset".into()))?;
+    let script = &video.script;
+    let clips = script.num_clips();
+    let num_frames = script.num_frames();
+
+    let (detector, recognizer) = models(stack, seed)?;
+    let tracker_profile = if stack == "ideal" {
+        profiles::ideal_tracker()
+    } else {
+        profiles::centertrack()
+    };
+    let cfg = OnlineConfig::svaqd();
+
+    // --- ingest: serial vs clip-sharded, same models and seed.
+    let mut tracker = IouTracker::new(tracker_profile, seed);
+    let started = Instant::now();
+    let serial = core_ingest(script, "bench", &detector, &recognizer, &mut tracker, &cfg)?;
+    let serial_s = started.elapsed().as_secs_f64().max(1e-9);
+
+    let proto = IouTracker::new(tracker_profile, seed);
+    let started = Instant::now();
+    let parallel = ingest_parallel(
+        script,
+        "bench",
+        &detector,
+        &recognizer,
+        &proto,
+        &cfg,
+        threads,
+    )?;
+    let parallel_s = started.elapsed().as_secs_f64().max(1e-9);
+    if serial.object_rows != parallel.object_rows
+        || serial.action_rows != parallel.action_rows
+        || serial.object_sequences != parallel.object_sequences
+        || serial.action_sequences != parallel.action_sequences
+    {
+        return Err(VaqError::Statistics(
+            "parallel ingest diverged from the serial baseline".into(),
+        ));
+    }
+    let ingest_json = format!(
+        "{{\n  \"dataset\": \"{}\",\n  \"clips\": {clips},\n  \"threads\": {threads},\n  \
+         \"serial_s\": {serial_s:.6},\n  \"serial_clips_per_s\": {:.3},\n  \
+         \"parallel_s\": {parallel_s:.6},\n  \"parallel_clips_per_s\": {:.3},\n  \
+         \"speedup\": {:.3}\n}}\n",
+        slug(&video.name),
+        clips as f64 / serial_s,
+        clips as f64 / parallel_s,
+        serial_s / parallel_s,
+    );
+    let ingest_path = dir.join("BENCH_ingest.json");
+    std::fs::write(&ingest_path, &ingest_json)?;
+    out.push(format!(
+        "wrote {} (speedup {:.2}x at {threads} threads)",
+        ingest_path.display(),
+        serial_s / parallel_s
+    ));
+
+    // --- online: a query batch sharing one inference cache. Queries pair
+    // the most-detected action types with the most-detected object types,
+    // so every engine has real work on this dataset.
+    let mut objs: Vec<_> = serial
+        .object_rows
+        .iter()
+        .filter(|(_, rows)| !rows.is_empty())
+        .map(|(&o, rows)| (o, rows.len()))
+        .collect();
+    objs.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.raw().cmp(&b.0.raw())));
+    let mut acts: Vec<_> = serial
+        .action_rows
+        .iter()
+        .filter(|(_, rows)| !rows.is_empty())
+        .map(|(&a, rows)| (a, rows.len()))
+        .collect();
+    acts.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.raw().cmp(&b.0.raw())));
+    if objs.is_empty() || acts.is_empty() {
+        return Err(VaqError::InvalidConfig(
+            "benchmark video yielded no detections; increase --scale".into(),
+        ));
+    }
+    let queries: Vec<Query> = (0..num_queries.max(1))
+        .map(|i| {
+            let mut objects = vec![objs[i % objs.len()].0];
+            let second = objs[(i / objs.len() + 1) % objs.len()].0;
+            if second != objects[0] {
+                objects.push(second);
+            }
+            Query::new(acts[i % acts.len()].0, objects)
+        })
+        .collect();
+
+    let started = Instant::now();
+    let multi = run_multi_query(
+        &queries,
+        &cfg,
+        script,
+        &detector,
+        &recognizer,
+        MultiQueryOptions {
+            threads,
+            cache_clips: 8,
+        },
+    )?;
+    let wall_s = started.elapsed().as_secs_f64().max(1e-9);
+    let invocations_per_frame = multi.stats.detector_frames as f64 / num_frames.max(1) as f64;
+    let online_json = format!(
+        "{{\n  \"queries\": {},\n  \"clips\": {clips},\n  \"threads\": {threads},\n  \
+         \"detector_frames_executed\": {},\n  \"detector_cached\": {},\n  \
+         \"invocations_per_frame\": {invocations_per_frame:.4},\n  \
+         \"cache_hit_rate\": {:.4},\n  \"wall_s\": {wall_s:.6}\n}}\n",
+        queries.len(),
+        multi.stats.detector_frames,
+        multi.stats.detector_cached,
+        multi.cache.hit_rate(),
+    );
+    let online_path = dir.join("BENCH_online.json");
+    std::fs::write(&online_path, &online_json)?;
+    out.push(format!(
+        "wrote {} ({} queries, {:.2} detector invocations/frame, {:.0}% cache hits)",
+        online_path.display(),
+        queries.len(),
+        invocations_per_frame,
+        multi.cache.hit_rate() * 100.0
+    ));
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -381,6 +535,56 @@ mod tests {
         std::fs::write(&tbl, &bytes[..bytes.len() / 2]).unwrap();
         let err = run(&["fsck", "--repo", repo.to_str().unwrap()]).unwrap_err();
         assert!(err.to_string().contains("problem"), "{err}");
+    }
+
+    #[test]
+    fn bench_baseline_writes_reports() {
+        let dir = tmp("bench");
+        let out = run(&[
+            "bench-baseline",
+            "--out",
+            dir.to_str().unwrap(),
+            "--scale",
+            "0.02",
+            "--seed",
+            "7",
+            "--threads",
+            "2",
+            "--queries",
+            "4",
+            "--models",
+            "ideal",
+        ])
+        .unwrap();
+        assert!(
+            out.iter().any(|l| l.contains("BENCH_ingest.json")),
+            "{out:?}"
+        );
+        assert!(
+            out.iter().any(|l| l.contains("BENCH_online.json")),
+            "{out:?}"
+        );
+        let ingest_json = std::fs::read_to_string(dir.join("BENCH_ingest.json")).unwrap();
+        for key in [
+            "\"clips\"",
+            "\"threads\"",
+            "\"serial_clips_per_s\"",
+            "\"parallel_clips_per_s\"",
+            "\"speedup\"",
+        ] {
+            assert!(ingest_json.contains(key), "missing {key} in {ingest_json}");
+        }
+        let online_json = std::fs::read_to_string(dir.join("BENCH_online.json")).unwrap();
+        for key in [
+            "\"queries\"",
+            "\"detector_frames_executed\"",
+            "\"detector_cached\"",
+            "\"invocations_per_frame\"",
+            "\"cache_hit_rate\"",
+            "\"wall_s\"",
+        ] {
+            assert!(online_json.contains(key), "missing {key} in {online_json}");
+        }
     }
 
     #[test]

@@ -42,6 +42,8 @@ USAGE:
   vaq-cli query  --repo <DIR> --sql <SQL>
   vaq-cli stream --script <FILE> --sql <SQL>
                  [--models <maskrcnn|yolo|ideal>] [--seed <N>]
+  vaq-cli bench-baseline [--out <DIR>] [--scale <F>] [--seed <N>]
+                 [--threads <N>] [--queries <N>] [--models <maskrcnn|yolo|ideal>]
   vaq-cli help
 ";
 
@@ -60,6 +62,7 @@ pub fn run(argv: &[String], out: &mut Vec<String>) -> Result<()> {
         "fsck" => commands::fsck(&args, out),
         "query" => commands::query(&args, out),
         "stream" => commands::stream(&args, out),
+        "bench-baseline" => commands::bench_baseline(&args, out),
         "help" | "--help" | "-h" => {
             out.push(USAGE.to_string());
             Ok(())

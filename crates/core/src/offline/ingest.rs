@@ -18,6 +18,7 @@
 
 use crate::config::{OnlineConfig, ParameterPolicy};
 use std::collections::BTreeMap;
+use std::ops::Range;
 use std::path::Path;
 use vaq_detect::{ActionRecognizer, InferenceStats, IouTracker, ObjectDetector};
 use vaq_scanstats::{BackgroundRateEstimator, CriticalValueCache, ScanConfig};
@@ -43,7 +44,7 @@ impl TypeState {
         policy: &ParameterPolicy,
         p0: f64,
         bandwidth_ou: f64,
-        cache: &mut CriticalValueCache,
+        cache: &CriticalValueCache,
     ) -> Result<Self> {
         let estimator = match policy {
             ParameterPolicy::Static => None,
@@ -71,7 +72,7 @@ impl TypeState {
         score: f64,
         positives: u64,
         ou_per_clip: u64,
-        cache: &mut CriticalValueCache,
+        cache: &CriticalValueCache,
     ) {
         let positive_clip = positives >= self.k_crit;
         self.indicator.push(positive_clip);
@@ -171,45 +172,39 @@ impl IngestOutput {
     }
 }
 
-/// Runs the ingestion phase over one scripted video.
+/// Everything one clip contributes to the sequential merge phase: the
+/// per-type accumulator values, sparse over the types actually seen.
+struct ClipAccum {
+    clip: ClipId,
+    frames: u64,
+    shots: u64,
+    /// `(type index, h-combined score, positive OUs)`, ascending by index.
+    obj: Vec<(usize, f64, u64)>,
+    act: Vec<(usize, f64, u64)>,
+}
+
+/// Model pass over a contiguous range of clips — the embarrassingly
+/// parallel half of ingestion. Pure per-clip work: no estimator feedback,
+/// no critical values, so disjoint ranges can run on different threads.
 ///
-/// `config` supplies thresholds, the scan-statistics parameters and the
-/// background-rate policy (SVAQD-style dynamic estimation per §4.2's
-/// "Utilizing algorithm SVAQD … we determine the positive clips").
-pub fn ingest(
+/// The tracker is per-range: track identifiers then differ across shard
+/// boundaries, but ingestion aggregates `detection.score` per *type* and
+/// never reads the identifiers ([`IouTracker::update`] returns each input
+/// detection unchanged, only annotated), so the accumulators are
+/// unaffected. The parallel-determinism test enforces this.
+#[allow(clippy::too_many_arguments)]
+fn scan_clips(
     script: &SceneScript,
-    name: impl Into<String>,
+    clips: Range<u64>,
     detector: &dyn ObjectDetector,
     recognizer: &dyn ActionRecognizer,
     tracker: &mut IouTracker,
     config: &OnlineConfig,
-) -> Result<IngestOutput> {
-    config.validate()?;
-    let geometry = *script.geometry();
-    let fpc = geometry.frames_per_clip();
-    let spc = geometry.shots_per_clip as u64;
-    let obj_universe = detector.universe() as usize;
-    let act_universe = recognizer.universe() as usize;
-
-    let obj_scan = ScanConfig::new(fpc, config.horizon_clips * fpc, config.alpha)?;
-    let act_scan = ScanConfig::new(spc, config.horizon_clips * spc, config.alpha)?;
-    let mut obj_cache = CriticalValueCache::new(obj_scan);
-    let mut act_cache = CriticalValueCache::new(act_scan);
-    let (bw_frames, bw_shots) = match config.policy {
-        ParameterPolicy::Static => (1.0, 1.0),
-        ParameterPolicy::Dynamic {
-            bandwidth_clips, ..
-        } => (bandwidth_clips * fpc as f64, bandwidth_clips * spc as f64),
-    };
-
-    let mut obj_states: Vec<TypeState> = (0..obj_universe)
-        .map(|_| TypeState::new(&config.policy, config.p0_obj, bw_frames, &mut obj_cache))
-        .collect::<Result<_>>()?;
-    let mut act_states: Vec<TypeState> = (0..act_universe)
-        .map(|_| TypeState::new(&config.policy, config.p0_act, bw_shots, &mut act_cache))
-        .collect::<Result<_>>()?;
-
-    let mut stats = InferenceStats::default();
+    obj_universe: usize,
+    act_universe: usize,
+) -> Vec<ClipAccum> {
+    let stream = VideoStream::new(script);
+    let mut out = Vec::with_capacity((clips.end.saturating_sub(clips.start)) as usize);
     // Scratch: per-type accumulators for the current clip, plus a touched
     // list so clearing is O(touched) rather than O(universe).
     let mut obj_score_acc = vec![0.0f64; obj_universe];
@@ -221,8 +216,8 @@ pub fn ingest(
     let mut act_pos_acc = vec![0u64; act_universe];
     let mut act_touched: Vec<usize> = Vec::new();
 
-    let stream = VideoStream::new(script);
-    for clip in stream {
+    for cid in clips {
+        let clip = stream.materialize(ClipId::new(cid));
         // --- objects: detect + track every frame, accumulate per type.
         for frame in &clip.frames {
             let detections = detector.detect(frame);
@@ -256,13 +251,12 @@ pub fn ingest(
             }
             frame_touched.clear();
         }
-        stats.record_detector(clip.frames.len() as u64, detector.latency_ms());
-        stats.record_tracker(clip.frames.len() as u64, tracker.latency_ms());
-
-        for (ti, state) in obj_states.iter_mut().enumerate() {
-            let (score, pos) = (obj_score_acc[ti], obj_pos_acc[ti]);
-            state.absorb_clip(clip.id, score, pos, fpc, &mut obj_cache);
-        }
+        obj_touched.sort_unstable();
+        obj_touched.dedup();
+        let obj = obj_touched
+            .iter()
+            .map(|&ti| (ti, obj_score_acc[ti], obj_pos_acc[ti]))
+            .collect();
         for &ti in &obj_touched {
             obj_score_acc[ti] = 0.0;
             obj_pos_acc[ti] = 0;
@@ -285,17 +279,94 @@ pub fn ingest(
                 }
             }
         }
-        stats.record_recognizer(clip.shots.len() as u64, recognizer.latency_ms());
-
-        for (ai, state) in act_states.iter_mut().enumerate() {
-            let (score, pos) = (act_score_acc[ai], act_pos_acc[ai]);
-            state.absorb_clip(clip.id, score, pos, spc, &mut act_cache);
-        }
+        act_touched.sort_unstable();
+        act_touched.dedup();
+        let act = act_touched
+            .iter()
+            .map(|&ai| (ai, act_score_acc[ai], act_pos_acc[ai]))
+            .collect();
         for &ai in &act_touched {
             act_score_acc[ai] = 0.0;
             act_pos_acc[ai] = 0;
         }
         act_touched.clear();
+
+        out.push(ClipAccum {
+            clip: clip.id,
+            frames: clip.frames.len() as u64,
+            shots: clip.shots.len() as u64,
+            obj,
+            act,
+        });
+    }
+    out
+}
+
+/// The sequential merge phase: feeds per-clip accumulators, **in clip
+/// order**, through the per-type estimator/critical-value pipeline. This is
+/// the order-sensitive half of ingestion and always runs single-threaded —
+/// which is what makes the parallel scan deterministic: the estimators see
+/// exactly the value sequence the serial pass produces.
+fn assemble(
+    name: String,
+    script: &SceneScript,
+    config: &OnlineConfig,
+    obj_universe: usize,
+    act_universe: usize,
+    latency_ms: (f64, f64, f64),
+    accums: Vec<ClipAccum>,
+) -> Result<IngestOutput> {
+    let geometry = *script.geometry();
+    let fpc = geometry.frames_per_clip();
+    let spc = geometry.shots_per_clip as u64;
+    let (detector_ms, recognizer_ms, tracker_ms) = latency_ms;
+
+    let obj_scan = ScanConfig::new(fpc, config.horizon_clips * fpc, config.alpha)?;
+    let act_scan = ScanConfig::new(spc, config.horizon_clips * spc, config.alpha)?;
+    let obj_cache = CriticalValueCache::new(obj_scan);
+    let act_cache = CriticalValueCache::new(act_scan);
+    let (bw_frames, bw_shots) = match config.policy {
+        ParameterPolicy::Static => (1.0, 1.0),
+        ParameterPolicy::Dynamic {
+            bandwidth_clips, ..
+        } => (bandwidth_clips * fpc as f64, bandwidth_clips * spc as f64),
+    };
+
+    let mut obj_states: Vec<TypeState> = (0..obj_universe)
+        .map(|_| TypeState::new(&config.policy, config.p0_obj, bw_frames, &obj_cache))
+        .collect::<Result<_>>()?;
+    let mut act_states: Vec<TypeState> = (0..act_universe)
+        .map(|_| TypeState::new(&config.policy, config.p0_act, bw_shots, &act_cache))
+        .collect::<Result<_>>()?;
+
+    let mut stats = InferenceStats::default();
+    for accum in &accums {
+        stats.record_detector(accum.frames, detector_ms);
+        stats.record_tracker(accum.frames, tracker_ms);
+        let mut touched = accum.obj.iter().peekable();
+        for (ti, state) in obj_states.iter_mut().enumerate() {
+            let (score, pos) = match touched.peek() {
+                Some(&&(i, s, p)) if i == ti => {
+                    touched.next();
+                    (s, p)
+                }
+                _ => (0.0, 0),
+            };
+            state.absorb_clip(accum.clip, score, pos, fpc, &obj_cache);
+        }
+
+        stats.record_recognizer(accum.shots, recognizer_ms);
+        let mut touched = accum.act.iter().peekable();
+        for (ai, state) in act_states.iter_mut().enumerate() {
+            let (score, pos) = match touched.peek() {
+                Some(&&(i, s, p)) if i == ai => {
+                    touched.next();
+                    (s, p)
+                }
+                _ => (0.0, 0),
+            };
+            state.absorb_clip(accum.clip, score, pos, spc, &act_cache);
+        }
     }
 
     let object_rows: BTreeMap<ObjectType, Vec<ScoreRow>> = obj_states
@@ -330,7 +401,7 @@ pub fn ingest(
         .collect();
 
     Ok(IngestOutput {
-        name: name.into(),
+        name,
         num_frames: script.num_frames(),
         geometry,
         object_rows,
@@ -339,6 +410,129 @@ pub fn ingest(
         action_sequences,
         stats,
     })
+}
+
+/// Runs the ingestion phase over one scripted video.
+///
+/// `config` supplies thresholds, the scan-statistics parameters and the
+/// background-rate policy (SVAQD-style dynamic estimation per §4.2's
+/// "Utilizing algorithm SVAQD … we determine the positive clips").
+pub fn ingest(
+    script: &SceneScript,
+    name: impl Into<String>,
+    detector: &dyn ObjectDetector,
+    recognizer: &dyn ActionRecognizer,
+    tracker: &mut IouTracker,
+    config: &OnlineConfig,
+) -> Result<IngestOutput> {
+    config.validate()?;
+    let obj_universe = detector.universe() as usize;
+    let act_universe = recognizer.universe() as usize;
+    let latency = (
+        detector.latency_ms(),
+        recognizer.latency_ms(),
+        tracker.latency_ms(),
+    );
+    let accums = scan_clips(
+        script,
+        0..script.num_clips(),
+        detector,
+        recognizer,
+        tracker,
+        config,
+        obj_universe,
+        act_universe,
+    );
+    assemble(
+        name.into(),
+        script,
+        config,
+        obj_universe,
+        act_universe,
+        latency,
+        accums,
+    )
+}
+
+/// Parallel ingestion: shards the clip stream into contiguous ranges, scans
+/// each range on its own thread, then merges the per-clip accumulators in
+/// clip order through the (single-threaded) estimator pipeline.
+///
+/// **Determinism contract:** the output is bit-identical to [`ingest`] for
+/// any `threads >= 1`. Two properties make this hold: (a) per-clip
+/// floating-point accumulation happens inside [`scan_clips`] in the same
+/// frame/shot order regardless of which thread owns the clip, and (b) all
+/// order-sensitive state — background-rate estimators, evolving critical
+/// values, inference-cost sums — is updated only in the ordered merge
+/// phase. The parallel-determinism test compares every table, sequence and
+/// stats field against the serial path at several thread counts.
+///
+/// `tracker` is a *prototype*: each shard clones it so per-shard tracking
+/// state starts fresh at the shard boundary (see [`scan_clips`] for why the
+/// accumulators do not depend on cross-shard track identity).
+pub fn ingest_parallel(
+    script: &SceneScript,
+    name: impl Into<String>,
+    detector: &dyn ObjectDetector,
+    recognizer: &dyn ActionRecognizer,
+    tracker: &IouTracker,
+    config: &OnlineConfig,
+    threads: usize,
+) -> Result<IngestOutput> {
+    config.validate()?;
+    let threads = threads.max(1) as u64;
+    let obj_universe = detector.universe() as usize;
+    let act_universe = recognizer.universe() as usize;
+    let latency = (
+        detector.latency_ms(),
+        recognizer.latency_ms(),
+        tracker.latency_ms(),
+    );
+
+    let num_clips = script.num_clips();
+    let chunk = num_clips.div_ceil(threads).max(1);
+    let ranges: Vec<Range<u64>> = (0..threads)
+        .map(|i| (i * chunk).min(num_clips)..((i + 1) * chunk).min(num_clips))
+        .filter(|r| !r.is_empty())
+        .collect();
+
+    let accums = std::thread::scope(|scope| {
+        let handles: Vec<_> = ranges
+            .into_iter()
+            .map(|range| {
+                let mut shard_tracker = tracker.clone();
+                scope.spawn(move || {
+                    scan_clips(
+                        script,
+                        range,
+                        detector,
+                        recognizer,
+                        &mut shard_tracker,
+                        config,
+                        obj_universe,
+                        act_universe,
+                    )
+                })
+            })
+            .collect();
+        // Shards cover 0..num_clips contiguously in spawn order, so
+        // flattening joined results yields accumulators in clip order.
+        let mut accums = Vec::with_capacity(num_clips as usize);
+        for handle in handles {
+            accums.extend(handle.join().expect("ingest shard worker panicked"));
+        }
+        accums
+    });
+
+    assemble(
+        name.into(),
+        script,
+        config,
+        obj_universe,
+        act_universe,
+        latency,
+        accums,
+    )
 }
 
 #[cfg(test)]
@@ -475,5 +669,55 @@ mod tests {
             got.intervals().iter().any(|iv| iv.iou(&want) >= 0.5),
             "o1 sequences {got} do not match {want}"
         );
+    }
+
+    /// Field-by-field comparison of two ingestion outputs, with exact
+    /// (bitwise) float equality — the parallel path promises bit-identity,
+    /// not approximation.
+    fn assert_outputs_identical(a: &IngestOutput, b: &IngestOutput, label: &str) {
+        assert_eq!(a.name, b.name, "{label}: name");
+        assert_eq!(a.num_frames, b.num_frames, "{label}: num_frames");
+        assert_eq!(a.object_rows, b.object_rows, "{label}: object_rows");
+        assert_eq!(a.action_rows, b.action_rows, "{label}: action_rows");
+        assert_eq!(
+            a.object_sequences, b.object_sequences,
+            "{label}: object_sequences"
+        );
+        assert_eq!(
+            a.action_sequences, b.action_sequences,
+            "{label}: action_sequences"
+        );
+        assert_eq!(a.stats, b.stats, "{label}: stats");
+    }
+
+    #[test]
+    fn parallel_ingest_is_bit_identical_to_serial() {
+        // Noisy models: if shard boundaries leaked into scores or estimator
+        // order, noise would amplify the difference into a table mismatch.
+        let s = script();
+        let det = SimulatedObjectDetector::new(profiles::mask_rcnn(), 8, 42);
+        let rec = SimulatedActionRecognizer::new(profiles::i3d(), 4, 42);
+        let cfg = OnlineConfig::svaqd();
+        let mut tracker = IouTracker::new(profiles::centertrack(), 42);
+        let serial = ingest(&s, "t", &det, &rec, &mut tracker, &cfg).unwrap();
+
+        for threads in [1usize, 2, 8] {
+            let proto = IouTracker::new(profiles::centertrack(), 42);
+            let par = ingest_parallel(&s, "t", &det, &rec, &proto, &cfg, threads).unwrap();
+            assert_outputs_identical(&serial, &par, &format!("threads={threads}"));
+        }
+    }
+
+    #[test]
+    fn parallel_ingest_handles_more_shards_than_clips() {
+        let s = script(); // 20 clips
+        let det = SimulatedObjectDetector::new(profiles::ideal_object(), 8, 1);
+        let rec = SimulatedActionRecognizer::new(profiles::ideal_action(), 4, 1);
+        let cfg = OnlineConfig::svaqd();
+        let mut tracker = IouTracker::new(profiles::ideal_tracker(), 1);
+        let serial = ingest(&s, "t", &det, &rec, &mut tracker, &cfg).unwrap();
+        let proto = IouTracker::new(profiles::ideal_tracker(), 1);
+        let par = ingest_parallel(&s, "t", &det, &rec, &proto, &cfg, 64).unwrap();
+        assert_outputs_identical(&serial, &par, "threads=64");
     }
 }

@@ -13,10 +13,11 @@
 //! [`OnlineEngine::sequences`].
 
 use crate::config::{OnlineConfig, ParameterPolicy, UpdatePolicy};
-use crate::online::indicator::{try_evaluate_clip, ClipEvaluation, GapReason};
+use crate::online::indicator::{try_evaluate_clip, ClipEvaluation, EvalScratch, GapReason};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 use std::time::Instant;
-use vaq_detect::{ActionRecognizer, InferenceStats, ObjectDetector};
+use vaq_detect::{ActionRecognizer, CallProvenance, InferenceStats, ObjectDetector};
 use vaq_scanstats::{BackgroundRateEstimator, CriticalValueCache, EstimatorCheckpoint, ScanConfig};
 use vaq_types::{ClipId, Query, Result, SequenceSet, VaqError, VideoGeometry};
 use vaq_video::{ClipView, VideoStream};
@@ -24,7 +25,7 @@ use vaq_video::{ClipView, VideoStream};
 /// Per-predicate scan-statistics state.
 #[derive(Debug)]
 struct PredicateState {
-    cache: CriticalValueCache,
+    cache: Arc<CriticalValueCache>,
     estimator: Option<BackgroundRateEstimator>,
     p_current: f64,
     k_crit: u64,
@@ -38,8 +39,12 @@ struct PredicateState {
 }
 
 impl PredicateState {
-    fn new(scan: ScanConfig, p0: f64, policy: &ParameterPolicy, bandwidth_ou: f64) -> Result<Self> {
-        let mut cache = CriticalValueCache::new(scan);
+    fn new(
+        cache: Arc<CriticalValueCache>,
+        p0: f64,
+        policy: &ParameterPolicy,
+        bandwidth_ou: f64,
+    ) -> Result<Self> {
         let k_crit = cache.get(p0);
         let estimator = match policy {
             ParameterPolicy::Static => None,
@@ -208,6 +213,37 @@ pub struct OnlineResult {
     pub stats: InferenceStats,
 }
 
+/// One pair of critical-value caches — frame-windowed for object
+/// predicates, shot-windowed for the action predicate — shared by every
+/// engine built from the same [`OnlineConfig`] and [`VideoGeometry`].
+///
+/// [`CriticalValueCache`] memoizes a pure function of its [`ScanConfig`],
+/// so sharing is free of coordination concerns: `get` takes `&self`, and
+/// concurrent engines (one per query, possibly on different threads) each
+/// warm the cache for all of the others. A multi-query batch computes each
+/// `(p, ScanConfig)` critical value once instead of once per engine.
+#[derive(Debug, Clone)]
+pub struct SharedScanCaches {
+    obj: Arc<CriticalValueCache>,
+    act: Arc<CriticalValueCache>,
+}
+
+impl SharedScanCaches {
+    /// Builds the cache pair for engines configured with `config` over
+    /// videos of the given geometry.
+    pub fn new(config: &OnlineConfig, geometry: &VideoGeometry) -> Result<Self> {
+        config.validate()?;
+        let fpc = geometry.frames_per_clip();
+        let spc = geometry.shots_per_clip as u64;
+        let obj_scan = ScanConfig::new(fpc, config.horizon_clips * fpc, config.alpha)?;
+        let act_scan = ScanConfig::new(spc, config.horizon_clips * spc, config.alpha)?;
+        Ok(Self {
+            obj: Arc::new(CriticalValueCache::new(obj_scan)),
+            act: Arc::new(CriticalValueCache::new(act_scan)),
+        })
+    }
+}
+
 /// The streaming query engine (SVAQ / SVAQD by configuration).
 pub struct OnlineEngine<'m> {
     query: Query,
@@ -221,6 +257,8 @@ pub struct OnlineEngine<'m> {
     gaps: Vec<GapMarker>,
     stats: InferenceStats,
     clips_since_refresh: u32,
+    /// Reusable evaluation buffers; not part of the checkpointed state.
+    scratch: EvalScratch,
 }
 
 impl<'m> OnlineEngine<'m> {
@@ -229,7 +267,10 @@ impl<'m> OnlineEngine<'m> {
     /// [`Self::explore_action_background`]).
     pub const EXPLORE_EVERY: u64 = 4;
 
-    /// Builds an engine for `query` over videos with the given geometry.
+    /// Builds an engine for `query` over videos with the given geometry,
+    /// with private critical-value caches. Batch drivers running several
+    /// engines over one stream should build one [`SharedScanCaches`] and
+    /// use [`Self::with_shared_caches`] instead.
     pub fn new(
         query: Query,
         config: OnlineConfig,
@@ -237,12 +278,33 @@ impl<'m> OnlineEngine<'m> {
         detector: &'m dyn ObjectDetector,
         recognizer: &'m dyn ActionRecognizer,
     ) -> Result<Self> {
+        let caches = SharedScanCaches::new(&config, geometry)?;
+        Self::with_shared_caches(query, config, geometry, detector, recognizer, &caches)
+    }
+
+    /// Builds an engine whose critical-value lookups go through `caches`,
+    /// shared with other engines of the same configuration.
+    pub fn with_shared_caches(
+        query: Query,
+        config: OnlineConfig,
+        geometry: &VideoGeometry,
+        detector: &'m dyn ObjectDetector,
+        recognizer: &'m dyn ActionRecognizer,
+        caches: &SharedScanCaches,
+    ) -> Result<Self> {
         config.validate()?;
         query.validate()?;
         let fpc = geometry.frames_per_clip();
         let spc = geometry.shots_per_clip as u64;
         let obj_scan = ScanConfig::new(fpc, config.horizon_clips * fpc, config.alpha)?;
         let act_scan = ScanConfig::new(spc, config.horizon_clips * spc, config.alpha)?;
+        if *caches.obj.config() != obj_scan || *caches.act.config() != act_scan {
+            return Err(VaqError::InvalidConfig(
+                "shared critical-value caches were built for a different scan \
+                 configuration"
+                    .into(),
+            ));
+        }
         let (bw_frames, bw_shots) = match config.policy {
             ParameterPolicy::Static => (1.0, 1.0), // unused
             ParameterPolicy::Dynamic {
@@ -252,9 +314,21 @@ impl<'m> OnlineEngine<'m> {
         let obj_states = query
             .objects
             .iter()
-            .map(|_| PredicateState::new(obj_scan, config.p0_obj, &config.policy, bw_frames))
+            .map(|_| {
+                PredicateState::new(
+                    Arc::clone(&caches.obj),
+                    config.p0_obj,
+                    &config.policy,
+                    bw_frames,
+                )
+            })
             .collect::<Result<Vec<_>>>()?;
-        let act_state = PredicateState::new(act_scan, config.p0_act, &config.policy, bw_shots)?;
+        let act_state = PredicateState::new(
+            Arc::clone(&caches.act),
+            config.p0_act,
+            &config.policy,
+            bw_shots,
+        )?;
         Ok(Self {
             query,
             config,
@@ -267,6 +341,7 @@ impl<'m> OnlineEngine<'m> {
             gaps: Vec::new(),
             stats: InferenceStats::default(),
             clips_since_refresh: 0,
+            scratch: EvalScratch::new(),
         })
     }
 
@@ -326,6 +401,7 @@ impl<'m> OnlineEngine<'m> {
             self.act_state.k_crit,
             &self.config.retry,
             self.config.degradation,
+            &mut self.scratch,
             &mut self.stats,
         )?;
         if let Some(reason) = gap {
@@ -434,10 +510,14 @@ impl<'m> OnlineEngine<'m> {
         // so a fault here can only thin the background sample.
         let mut events: Vec<bool> = Vec::with_capacity(clip.shots.len());
         for shot in &clip.shots {
-            match self.recognizer.try_recognize(shot) {
-                Ok(preds) => {
-                    self.stats
-                        .record_recognizer(1, self.recognizer.latency_ms());
+            match self.recognizer.try_recognize_traced(shot) {
+                Ok((preds, provenance)) => {
+                    match provenance {
+                        CallProvenance::Executed => self
+                            .stats
+                            .record_recognizer(1, self.recognizer.latency_ms()),
+                        CallProvenance::Cached => self.stats.record_recognizer_cached(1),
+                    }
                     events.push(
                         preds
                             .iter()
@@ -922,6 +1002,72 @@ mod tests {
             Err(vaq_types::VaqError::Storage(_)) => {}
             other => panic!("want Storage error, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn two_engines_share_one_critical_value_cache_across_threads() {
+        // Two engines over the same shared caches on two threads must each
+        // produce exactly what a private-cache engine produces — the cache
+        // is a pure memoizer, so sharing only changes who computes first.
+        let s = script();
+        let det = SimulatedObjectDetector::new(profiles::mask_rcnn(), 86, 11);
+        let rec = SimulatedActionRecognizer::new(profiles::i3d(), 36, 11);
+        let cfg = OnlineConfig::svaqd();
+        let queries = [Query::new(a(0), vec![o(1)]), Query::action_only(a(0))];
+
+        let reference: Vec<OnlineResult> = queries
+            .iter()
+            .map(|q| {
+                OnlineEngine::new(q.clone(), cfg, &G, &det, &rec)
+                    .unwrap()
+                    .run(vaq_video::VideoStream::new(&s))
+            })
+            .collect();
+
+        let caches = SharedScanCaches::new(&cfg, &G).unwrap();
+        let shared: Vec<OnlineResult> = std::thread::scope(|scope| {
+            let handles: Vec<_> = queries
+                .iter()
+                .map(|q| {
+                    let caches = caches.clone();
+                    let (s, det, rec) = (&s, &det, &rec);
+                    scope.spawn(move || {
+                        OnlineEngine::with_shared_caches(q.clone(), cfg, &G, det, rec, &caches)
+                            .unwrap()
+                            .run(vaq_video::VideoStream::new(s))
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("engine thread panicked"))
+                .collect()
+        });
+
+        for (i, (r, sh)) in reference.iter().zip(&shared).enumerate() {
+            assert_eq!(r.sequences, sh.sequences, "query {i}");
+            assert_eq!(r.records, sh.records, "query {i}");
+        }
+    }
+
+    #[test]
+    fn shared_caches_reject_mismatched_geometry() {
+        let (det, rec) = ideal_models();
+        let cfg = OnlineConfig::svaqd();
+        let caches = SharedScanCaches::new(&cfg, &G).unwrap();
+        let other = VideoGeometry {
+            frames_per_shot: 20,
+            ..G
+        };
+        let err = OnlineEngine::with_shared_caches(
+            Query::new(a(0), vec![o(1)]),
+            cfg,
+            &other,
+            &det,
+            &rec,
+            &caches,
+        );
+        assert!(err.is_err(), "geometry mismatch must be rejected");
     }
 
     #[test]

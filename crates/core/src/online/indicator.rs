@@ -21,9 +21,43 @@
 use crate::config::{DegradationPolicy, RetryPolicy};
 use serde::{Deserialize, Serialize};
 use vaq_detect::fault::DetectorFault;
-use vaq_detect::{ActionRecognizer, InferenceStats, ObjectDetector};
+use vaq_detect::{ActionRecognizer, CallProvenance, InferenceStats, ObjectDetector};
 use vaq_types::{Query, Result, VaqError};
 use vaq_video::ClipView;
+
+/// Reusable evaluation buffers, hoisting the per-clip allocations
+/// (`observed_scores`, per-frame `maxes`) out of [`try_evaluate_clip`]'s
+/// hot loop. An engine owns one scratch and threads it through every clip;
+/// one-shot callers can pass a fresh [`EvalScratch::new`].
+#[derive(Debug, Default)]
+pub struct EvalScratch {
+    /// Per object predicate: the per-frame max score column.
+    scores: Vec<Vec<f64>>,
+    /// Per object predicate: the current frame's max score.
+    maxes: Vec<f64>,
+}
+
+impl EvalScratch {
+    /// An empty scratch; buffers grow on first use and are reused after.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Readies the buffers for `predicates` object predicates over a clip
+    /// of `frames` frames, keeping previously grown capacity.
+    fn reset(&mut self, predicates: usize, frames: usize) {
+        self.scores.truncate(predicates);
+        while self.scores.len() < predicates {
+            self.scores.push(Vec::new());
+        }
+        for column in &mut self.scores {
+            column.clear();
+            column.reserve(frames);
+        }
+        self.maxes.clear();
+        self.maxes.resize(predicates, 0.0);
+    }
+}
 
 /// Why a clip carries no query answer — the typed gap markers degraded
 /// runs report instead of silently mis-answering.
@@ -166,6 +200,7 @@ pub fn try_evaluate_clip(
     k_crit_act: u64,
     retry: &RetryPolicy,
     degradation: DegradationPolicy,
+    scratch: &mut EvalScratch,
     stats: &mut InferenceStats,
 ) -> Result<(ClipEvaluation, Option<GapReason>)> {
     debug_assert_eq!(k_crit_obj.len(), query.objects.len());
@@ -173,20 +208,27 @@ pub fn try_evaluate_clip(
     let shots_total = clip.shots.len() as u64;
 
     // One detector pass per frame, reused by all object predicates. The
-    // per-frame max score per queried type is all the indicators need.
-    let mut observed_scores: Vec<Vec<f64>> = query
-        .objects
-        .iter()
-        .map(|_| Vec::with_capacity(clip.frames.len()))
-        .collect();
+    // per-frame max score per queried type is all the indicators need; both
+    // buffers live in the caller-owned scratch so the hot loop is
+    // allocation-free across clips.
+    scratch.reset(query.objects.len(), clip.frames.len());
+    let EvalScratch {
+        scores: observed_scores,
+        maxes,
+    } = scratch;
     let mut missing_frames = 0u64;
     for frame in &clip.frames {
         match call_with_retry(retry, ModelKind::Detector, stats, || {
-            detector.try_detect(frame)
+            detector.try_detect_traced(frame)
         }) {
-            Ok(detections) => {
-                stats.record_detector(1, detector.latency_ms());
-                let mut maxes = vec![0.0f64; query.objects.len()];
+            Ok((detections, provenance)) => {
+                match provenance {
+                    CallProvenance::Executed => stats.record_detector(1, detector.latency_ms()),
+                    CallProvenance::Cached => stats.record_detector_cached(1),
+                }
+                for m in maxes.iter_mut() {
+                    *m = 0.0;
+                }
                 for det in &detections {
                     if let Some(pi) = query.objects.iter().position(|&o| o == det.object) {
                         if det.score > maxes[pi] {
@@ -272,10 +314,13 @@ pub fn try_evaluate_clip(
     let mut missing_shots = 0u64;
     for shot in &clip.shots {
         match call_with_retry(retry, ModelKind::Recognizer, stats, || {
-            recognizer.try_recognize(shot)
+            recognizer.try_recognize_traced(shot)
         }) {
-            Ok(preds) => {
-                stats.record_recognizer(1, recognizer.latency_ms());
+            Ok((preds, provenance)) => {
+                match provenance {
+                    CallProvenance::Executed => stats.record_recognizer(1, recognizer.latency_ms()),
+                    CallProvenance::Cached => stats.record_recognizer_cached(1),
+                }
                 action_events.push(
                     preds
                         .iter()
@@ -376,6 +421,7 @@ pub fn evaluate_clip(
     k_crit_act: u64,
     stats: &mut InferenceStats,
 ) -> ClipEvaluation {
+    let mut scratch = EvalScratch::new();
     let (evaluation, gap) = try_evaluate_clip(
         query,
         clip,
@@ -387,6 +433,7 @@ pub fn evaluate_clip(
         k_crit_act,
         &RetryPolicy::NONE,
         DegradationPolicy::ImputeBackground,
+        &mut scratch,
         stats,
     )
     .expect("ImputeBackground never aborts");

@@ -7,6 +7,10 @@
 
 pub mod engine;
 pub mod indicator;
+pub mod multi;
 
-pub use engine::{ClipRecord, EngineCheckpoint, GapMarker, OnlineEngine, OnlineResult};
-pub use indicator::{evaluate_clip, try_evaluate_clip, ClipEvaluation, GapReason};
+pub use engine::{
+    ClipRecord, EngineCheckpoint, GapMarker, OnlineEngine, OnlineResult, SharedScanCaches,
+};
+pub use indicator::{evaluate_clip, try_evaluate_clip, ClipEvaluation, EvalScratch, GapReason};
+pub use multi::{run_multi_query, MultiQueryOptions, MultiQueryOutput};

@@ -41,8 +41,24 @@ pub struct TrackedDetection {
     pub track: TrackId,
 }
 
+/// Where a model answer came from: a live model execution or a shared
+/// inference cache. Lets cost accounting distinguish real model calls from
+/// free cache hits (see [`crate::latency::InferenceStats`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CallProvenance {
+    /// The model actually ran on this input (bill its latency).
+    Executed,
+    /// The answer was served from an inference cache; no model ran.
+    Cached,
+}
+
 /// An object detection model: frame in, scored detections out.
-pub trait ObjectDetector {
+///
+/// `Send + Sync` is a supertrait bound: models are invoked behind `&self`
+/// from parallel ingestion shards and concurrent online engines, so every
+/// implementation must be shareable across threads (interior mutability
+/// must be lock- or atomic-based, never `Cell`/`RefCell`).
+pub trait ObjectDetector: Send + Sync {
     /// Runs the detector on one frame. Detections are unordered; multiple
     /// instances of the same type may appear.
     fn detect(&self, frame: &Frame) -> Vec<Detection>;
@@ -54,6 +70,18 @@ pub trait ObjectDetector {
     /// degradation policy call this path.
     fn try_detect(&self, frame: &Frame) -> Result<Vec<Detection>, DetectorFault> {
         Ok(self.detect(frame))
+    }
+
+    /// Like [`Self::try_detect`], but also reports whether the answer was
+    /// executed or served from a cache. Plain models always execute;
+    /// caching wrappers ([`crate::cache::CachedObjectDetector`]) override
+    /// this so call sites can account cached and executed invocations
+    /// separately.
+    fn try_detect_traced(
+        &self,
+        frame: &Frame,
+    ) -> Result<(Vec<Detection>, CallProvenance), DetectorFault> {
+        Ok((self.try_detect(frame)?, CallProvenance::Executed))
     }
 
     /// Size of the detector's label universe `|O|` (bounds false-positive
@@ -68,7 +96,9 @@ pub trait ObjectDetector {
 }
 
 /// An action recognition model: shot in, scored action predictions out.
-pub trait ActionRecognizer {
+///
+/// `Send + Sync` for the same reason as [`ObjectDetector`].
+pub trait ActionRecognizer: Send + Sync {
     /// Runs the recognizer on one shot. Returns scores for every action the
     /// model considers present (absent actions are simply not listed).
     fn recognize(&self, shot: &vaq_video::Shot) -> Vec<ActionScore>;
@@ -77,6 +107,15 @@ pub trait ActionRecognizer {
     /// [`ObjectDetector::try_detect`] for the contract.
     fn try_recognize(&self, shot: &vaq_video::Shot) -> Result<Vec<ActionScore>, DetectorFault> {
         Ok(self.recognize(shot))
+    }
+
+    /// Like [`Self::try_recognize`], with provenance; see
+    /// [`ObjectDetector::try_detect_traced`].
+    fn try_recognize_traced(
+        &self,
+        shot: &vaq_video::Shot,
+    ) -> Result<(Vec<ActionScore>, CallProvenance), DetectorFault> {
+        Ok((self.try_recognize(shot)?, CallProvenance::Executed))
     }
 
     /// Size of the recognizer's category universe `|A|`.

@@ -30,8 +30,8 @@
 
 use crate::api::{ActionRecognizer, ActionScore, Detection, ObjectDetector};
 use crate::noise::DetRng;
-use std::cell::Cell;
 use std::fmt;
+use std::sync::Mutex;
 use vaq_types::{ActionType, BBox, ObjectType, Result, VaqError};
 use vaq_video::{Frame, Shot};
 
@@ -200,9 +200,12 @@ pub struct FaultInjector<M> {
     schedule: FaultSchedule,
     rng: DetRng,
     /// `(domain-tagged input id, attempts made so far)` — retries are
-    /// consecutive calls on the same input, so one slot suffices.
-    attempts: Cell<(u64, u32)>,
-    counts: Cell<FaultCounts>,
+    /// consecutive calls on the same input, so one slot suffices. Behind a
+    /// mutex because the model traits are `Sync`; retry sequences are
+    /// per-engine, so the slot semantics assume one engine drives one
+    /// injector (concurrent engines should each wrap their own).
+    attempts: Mutex<(u64, u32)>,
+    counts: Mutex<FaultCounts>,
 }
 
 impl<M> FaultInjector<M> {
@@ -214,8 +217,8 @@ impl<M> FaultInjector<M> {
             inner,
             schedule,
             rng,
-            attempts: Cell::new((u64::MAX, 0)),
-            counts: Cell::new(FaultCounts::default()),
+            attempts: Mutex::new((u64::MAX, 0)),
+            counts: Mutex::new(FaultCounts::default()),
         })
     }
 
@@ -231,21 +234,20 @@ impl<M> FaultInjector<M> {
 
     /// Faults injected so far.
     pub fn counts(&self) -> FaultCounts {
-        self.counts.get()
+        *self.counts.lock().expect("fault counts poisoned")
     }
 
     fn bump(&self, f: impl FnOnce(&mut FaultCounts)) {
-        let mut c = self.counts.get();
-        f(&mut c);
-        self.counts.set(c);
+        f(&mut self.counts.lock().expect("fault counts poisoned"));
     }
 
     /// Attempt number for this call: 0 on a fresh input, incrementing on
     /// consecutive calls (retries) for the same input.
     fn attempt(&self, key: u64) -> u32 {
-        let (last_key, made) = self.attempts.get();
+        let mut slot = self.attempts.lock().expect("attempt slot poisoned");
+        let (last_key, made) = *slot;
         let attempt = if last_key == key { made + 1 } else { 0 };
-        self.attempts.set((key, attempt));
+        *slot = (key, attempt);
         attempt
     }
 

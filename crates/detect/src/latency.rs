@@ -16,10 +16,18 @@ use serde::{Deserialize, Serialize};
 #[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
 #[serde(default)]
 pub struct InferenceStats {
-    /// Frames run through the object detector.
+    /// Frames actually *executed* by the object detector. Calls served
+    /// from a shared inference cache are counted in
+    /// [`Self::detector_cached`] instead.
     pub detector_frames: u64,
-    /// Shots run through the action recognizer.
+    /// Shots actually *executed* by the action recognizer (cache hits are
+    /// counted in [`Self::recognizer_cached`]).
     pub recognizer_shots: u64,
+    /// Detector invocations answered by a shared [`crate::cache::InferenceCache`]:
+    /// no model ran, no latency is billed.
+    pub detector_cached: u64,
+    /// Recognizer invocations answered by a shared inference cache.
+    pub recognizer_cached: u64,
     /// Frames run through the tracker.
     pub tracker_frames: u64,
     /// Simulated object-detector time, ms.
@@ -63,6 +71,18 @@ impl InferenceStats {
     pub fn record_recognizer(&mut self, n: u64, ms_per_shot: f64) {
         self.recognizer_shots += n;
         self.recognizer_ms += n as f64 * ms_per_shot;
+    }
+
+    /// Records `n` detector invocations served from an inference cache.
+    /// Free by construction: the cached answer was billed when it was
+    /// originally executed.
+    pub fn record_detector_cached(&mut self, n: u64) {
+        self.detector_cached += n;
+    }
+
+    /// Records `n` recognizer invocations served from an inference cache.
+    pub fn record_recognizer_cached(&mut self, n: u64) {
+        self.recognizer_cached += n;
     }
 
     /// Records `n` tracker invocations at `ms_per_frame` each.
@@ -135,6 +155,8 @@ impl InferenceStats {
     pub fn merge(&mut self, other: &InferenceStats) {
         self.detector_frames += other.detector_frames;
         self.recognizer_shots += other.recognizer_shots;
+        self.detector_cached += other.detector_cached;
+        self.recognizer_cached += other.recognizer_cached;
         self.tracker_frames += other.tracker_frames;
         self.detector_ms += other.detector_ms;
         self.recognizer_ms += other.recognizer_ms;
@@ -189,9 +211,32 @@ mod tests {
         a.record_short_circuit();
         let mut b = InferenceStats::default();
         b.record_detector(5, 2.0);
+        b.record_detector_cached(3);
         a.merge(&b);
         assert_eq!(a.detector_frames, 15);
         assert_eq!(a.detector_ms, 20.0);
         assert_eq!(a.clips_short_circuited, 1);
+        assert_eq!(a.detector_cached, 3);
+    }
+
+    #[test]
+    fn cached_invocations_bill_no_latency() {
+        let mut s = InferenceStats::default();
+        s.record_detector_cached(100);
+        s.record_recognizer_cached(10);
+        assert_eq!(s.detector_cached, 100);
+        assert_eq!(s.recognizer_cached, 10);
+        assert_eq!(s.detector_frames, 0, "cache hits are not executions");
+        assert_eq!(s.inference_ms(), 0.0);
+    }
+
+    #[test]
+    fn stats_without_cache_fields_deserialize_with_zeroes() {
+        // Checkpoints written before the cache counters existed must load.
+        let legacy = r#"{"detector_frames": 7, "detector_ms": 630.0}"#;
+        let s: InferenceStats = serde_json::from_str(legacy).unwrap();
+        assert_eq!(s.detector_frames, 7);
+        assert_eq!(s.detector_cached, 0);
+        assert_eq!(s.recognizer_cached, 0);
     }
 }

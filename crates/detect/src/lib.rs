@@ -37,6 +37,7 @@
 #![warn(missing_docs)]
 
 pub mod api;
+pub mod cache;
 pub mod endtoend;
 pub mod fault;
 pub mod latency;
@@ -45,7 +46,10 @@ pub mod profiles;
 pub mod sim;
 pub mod tracker;
 
-pub use api::{ActionRecognizer, ActionScore, Detection, ObjectDetector, TrackedDetection};
+pub use api::{
+    ActionRecognizer, ActionScore, CallProvenance, Detection, ObjectDetector, TrackedDetection,
+};
+pub use cache::{CacheStats, CachedActionRecognizer, CachedObjectDetector, InferenceCache};
 pub use fault::{DetectorFault, FaultCounts, FaultInjector, FaultSchedule};
 pub use latency::InferenceStats;
 pub use profiles::{ActionProfile, ObjectProfile, TrackerProfile};

@@ -9,6 +9,7 @@
 
 use crate::naus::scan_prob;
 use std::collections::HashMap;
+use std::sync::RwLock;
 use vaq_types::{Result, VaqError};
 
 /// Parameters of the scan-statistics test, fixed per predicate kind.
@@ -97,10 +98,17 @@ pub fn critical_value_checked(cfg: &ScanConfig, p0: f64) -> Result<u64> {
 /// significant decimal digits before lookup; the cached value is computed
 /// *for the quantized probability*, so the cache is deterministic (two
 /// callers with nearly identical estimates get identical critical values).
+///
+/// The map lives behind a [`RwLock`], so lookups take `&self` and one cache
+/// (typically in an `Arc`) can serve every engine running the same
+/// [`ScanConfig`], across threads. Two threads missing on the same key both
+/// compute the (identical, deterministic) value and the second insert is a
+/// no-op in effect — correctness never depends on the lock being held
+/// across the computation.
 #[derive(Debug)]
 pub struct CriticalValueCache {
     cfg: ScanConfig,
-    cache: HashMap<u64, u64>,
+    cache: RwLock<HashMap<u64, u64>>,
 }
 
 impl CriticalValueCache {
@@ -108,7 +116,7 @@ impl CriticalValueCache {
     pub fn new(cfg: ScanConfig) -> Self {
         Self {
             cfg,
-            cache: HashMap::new(),
+            cache: RwLock::new(HashMap::new()),
         }
     }
 
@@ -118,35 +126,49 @@ impl CriticalValueCache {
     }
 
     /// Quantizes `p` to three significant digits (in its decade), clamped to
-    /// `[1e-9, 1.0]` so vanishing estimates stay computable.
+    /// `[1e-9, 1.0]` so vanishing estimates stay computable. Idempotent:
+    /// `quantize(quantize(p)) == quantize(p)` bit for bit.
     pub fn quantize(p: f64) -> f64 {
         let p = p.clamp(1e-9, 1.0);
-        let decade = p.log10().floor();
-        let scale = 10f64.powf(2.0 - decade);
+        let decade = p.log10().floor() as i32;
+        let scale = 10f64.powi(2 - decade);
         (p * scale).round() / scale
     }
 
     /// Critical value for (the quantization of) `p`, computing and caching
     /// on miss.
-    pub fn get(&mut self, p: f64) -> u64 {
+    pub fn get(&self, p: f64) -> u64 {
         let q = Self::quantize(p);
         let key = q.to_bits();
-        if let Some(&k) = self.cache.get(&key) {
+        if let Some(&k) = self
+            .cache
+            .read()
+            .expect("critical-value cache poisoned")
+            .get(&key)
+        {
             return k;
         }
+        // Computed outside the lock: a racing miss on the same key derives
+        // the same deterministic value, so duplicated work is the only cost.
         let k = critical_value(&self.cfg, q);
-        self.cache.insert(key, k);
+        self.cache
+            .write()
+            .expect("critical-value cache poisoned")
+            .insert(key, k);
         k
     }
 
     /// Number of distinct quantized probabilities computed so far.
     pub fn len(&self) -> usize {
-        self.cache.len()
+        self.cache
+            .read()
+            .expect("critical-value cache poisoned")
+            .len()
     }
 
     /// Whether the cache is empty.
     pub fn is_empty(&self) -> bool {
-        self.cache.is_empty()
+        self.len() == 0
     }
 }
 
@@ -221,7 +243,7 @@ mod tests {
 
     #[test]
     fn cache_hits_do_not_grow() {
-        let mut cache = CriticalValueCache::new(cfg(50, 10_000, 0.05));
+        let cache = CriticalValueCache::new(cfg(50, 10_000, 0.05));
         let a = cache.get(1.0001e-3);
         let b = cache.get(1.0004e-3); // same quantization bucket
         assert_eq!(a, b);
@@ -233,13 +255,39 @@ mod tests {
     #[test]
     fn cache_matches_direct_computation() {
         let c = cfg(50, 10_000, 0.05);
-        let mut cache = CriticalValueCache::new(c);
+        let cache = CriticalValueCache::new(c);
         for &p in &[1e-5, 1e-4, 1e-3, 1e-2, 0.05] {
             assert_eq!(
                 cache.get(p),
                 critical_value(&c, CriticalValueCache::quantize(p))
             );
         }
+    }
+
+    #[test]
+    fn cache_is_shareable_across_threads() {
+        use std::sync::Arc;
+        let cache = Arc::new(CriticalValueCache::new(cfg(50, 10_000, 0.05)));
+        let probs = [1e-5, 1e-4, 1e-3, 1e-2, 0.05];
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let cache = Arc::clone(&cache);
+                s.spawn(move || {
+                    for &p in &probs {
+                        let k = cache.get(p);
+                        assert_eq!(
+                            k,
+                            critical_value(cache.config(), CriticalValueCache::quantize(p))
+                        );
+                    }
+                });
+            }
+        });
+        assert_eq!(
+            cache.len(),
+            probs.len(),
+            "racing misses must collapse to one entry per key"
+        );
     }
 
     proptest! {
@@ -255,6 +303,13 @@ mod tests {
                 prop_assert!(k >= prev, "p={p}: k={k} < prev {prev}");
                 prev = k;
             }
+        }
+
+        #[test]
+        fn prop_quantize_is_idempotent(p in 1e-12f64..1.5f64) {
+            let q = CriticalValueCache::quantize(p);
+            let qq = CriticalValueCache::quantize(q);
+            prop_assert_eq!(q.to_bits(), qq.to_bits(), "quantize({p}) = {q} requantizes to {qq}");
         }
 
         #[test]
