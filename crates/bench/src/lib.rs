@@ -16,6 +16,7 @@
 //!   a laptop-friendly fraction of the paper's footage and can be dialed
 //!   to 1.0 for full-scale runs.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod experiments;

@@ -19,6 +19,7 @@
 //! `DESIGN.md` for the simulation substrate. The binary is a thin wrapper
 //! around [`run`], which is unit-tested directly.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod args;

@@ -1,6 +1,7 @@
 //! `vaq-cli` binary entry point; all logic lives in the library for
 //! testability.
 
+#![forbid(unsafe_code)]
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut out = Vec::new();

@@ -19,6 +19,11 @@
 //!   [`offline::scoring`] is the monotone scoring-function framework of
 //!   §4.1 with the paper's sample instantiation.
 
+#![forbid(unsafe_code)]
+#![cfg_attr(
+    not(test),
+    warn(clippy::unwrap_used, clippy::expect_used, clippy::panic)
+)]
 #![warn(missing_docs)]
 
 pub mod config;

@@ -49,7 +49,7 @@ pub fn pq_traverse(
             (iv, score)
         })
         .collect();
-    sequences.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+    sequences.sort_by(|a, b| b.1.total_cmp(&a.1));
     sequences.truncate(k);
     TopKResult {
         sequences,
@@ -114,7 +114,7 @@ pub fn fa(
         .zip(seq_scores)
         .map(|(&iv, s)| (iv, s))
         .collect();
-    sequences.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+    sequences.sort_by(|a, b| b.1.total_cmp(&a.1));
     sequences.truncate(k);
     TopKResult {
         sequences,

@@ -519,7 +519,11 @@ pub fn ingest_parallel(
         // flattening joined results yields accumulators in clip order.
         let mut accums = Vec::with_capacity(num_clips as usize);
         for handle in handles {
-            accums.extend(handle.join().expect("ingest shard worker panicked"));
+            accums.extend(
+                handle
+                    .join()
+                    .unwrap_or_else(|e| std::panic::resume_unwind(e)),
+            );
         }
         accums
     });

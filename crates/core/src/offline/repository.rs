@@ -147,11 +147,7 @@ pub fn query_repository(
                 }),
         );
     }
-    merged.sort_by(|a, b| {
-        b.score
-            .partial_cmp(&a.score)
-            .unwrap_or(std::cmp::Ordering::Equal)
-    });
+    merged.sort_by(|a, b| b.score.total_cmp(&a.score));
     merged.truncate(k);
     Ok((merged, stats))
 }

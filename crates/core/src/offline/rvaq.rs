@@ -211,14 +211,8 @@ pub fn rvaq(
     order.sort_by(|&a, &b| {
         states[b]
             .b_lo
-            .partial_cmp(&states[a].b_lo)
-            .unwrap_or(std::cmp::Ordering::Equal)
-            .then(
-                states[b]
-                    .b_up
-                    .partial_cmp(&states[a].b_up)
-                    .unwrap_or(std::cmp::Ordering::Equal),
-            )
+            .total_cmp(&states[a].b_lo)
+            .then(states[b].b_up.total_cmp(&states[a].b_up))
     });
     order.truncate(k);
 
@@ -234,7 +228,7 @@ pub fn rvaq(
             (iv, score)
         })
         .collect();
-    sequences.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+    sequences.sort_by(|a, b| b.1.total_cmp(&a.1));
 
     TopKResult {
         sequences,
@@ -249,12 +243,7 @@ fn frontier(states: &[SeqState], k: usize) -> (f64, f64) {
     let mut alive: Vec<usize> = (0..states.len())
         .filter(|&i| !states[i].decided_out)
         .collect();
-    alive.sort_by(|&a, &b| {
-        states[b]
-            .b_lo
-            .partial_cmp(&states[a].b_lo)
-            .unwrap_or(std::cmp::Ordering::Equal)
-    });
+    alive.sort_by(|&a, &b| states[b].b_lo.total_cmp(&states[a].b_lo));
     let top_set = &alive[..k.min(alive.len())];
     let blo_k = top_set
         .iter()

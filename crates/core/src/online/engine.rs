@@ -374,8 +374,10 @@ impl<'m> OnlineEngine<'m> {
     /// that configuration.
     ///
     /// [`DegradationPolicy::Abort`]: crate::config::DegradationPolicy::Abort
+    #[allow(clippy::expect_used)]
     pub fn push_clip(&mut self, clip: &ClipView) -> bool {
         self.try_push_clip(clip)
+            // vaq-lint: allow(no-panic) -- documented panicking convenience; Abort-policy callers use try_push_clip
             .expect("only DegradationPolicy::Abort with a faulting model can fail")
     }
 
@@ -388,7 +390,7 @@ impl<'m> OnlineEngine<'m> {
     /// excluded from background estimation; `Abort` surfaces
     /// [`VaqError::DetectorUnavailable`].
     pub fn try_push_clip(&mut self, clip: &ClipView) -> Result<bool> {
-        let started = Instant::now();
+        let started = Instant::now(); // vaq-lint: allow(nondeterminism) -- wall-clock overhead metric only; never feeds query decisions
         let k_obj: Vec<u64> = self.obj_states.iter().map(|s| s.k_crit).collect();
         let (evaluation, gap) = try_evaluate_clip(
             &self.query,

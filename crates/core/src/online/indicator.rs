@@ -409,7 +409,7 @@ pub fn try_evaluate_clip(
 ///
 /// `k_crit_obj` must hold one critical value per object predicate (query
 /// order); `k_crit_act` is the action predicate's critical value.
-#[allow(clippy::too_many_arguments)]
+#[allow(clippy::too_many_arguments, clippy::expect_used)]
 pub fn evaluate_clip(
     query: &Query,
     clip: &ClipView,
@@ -436,6 +436,7 @@ pub fn evaluate_clip(
         &mut scratch,
         stats,
     )
+    // vaq-lint: allow(no-panic) -- statically infallible: ImputeBackground with RetryPolicy::NONE has no Err path
     .expect("ImputeBackground never aborts");
     debug_assert!(gap.is_none(), "infallible models cannot produce gaps");
     evaluation

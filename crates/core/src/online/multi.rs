@@ -110,9 +110,7 @@ pub fn run_multi_query(
         // Sharded: contiguous query chunks, one worker thread per chunk,
         // each streaming the whole video through its engines.
         let chunk = queries.len().div_ceil(options.threads);
-        let mut results: Vec<Option<OnlineResult>> = Vec::new();
-        results.resize_with(queries.len(), || None);
-        std::thread::scope(|scope| -> Result<()> {
+        std::thread::scope(|scope| -> Result<Vec<OnlineResult>> {
             let handles: Vec<_> = queries
                 .chunks(chunk)
                 .map(|batch| {
@@ -140,19 +138,18 @@ pub fn run_multi_query(
                     })
                 })
                 .collect();
-            let mut next = 0usize;
+            // Workers cover contiguous query chunks in spawn order, so
+            // joining in order yields results in query order.
+            let mut results = Vec::with_capacity(queries.len());
             for handle in handles {
-                for result in handle.join().expect("multi-query worker panicked")? {
-                    results[next] = Some(result);
-                    next += 1;
-                }
+                results.extend(
+                    handle
+                        .join()
+                        .unwrap_or_else(|e| std::panic::resume_unwind(e))?,
+                );
             }
-            Ok(())
-        })?;
-        results
-            .into_iter()
-            .map(|r| r.expect("every query produces a result"))
-            .collect()
+            Ok(results)
+        })?
     };
 
     let mut stats = InferenceStats::default();

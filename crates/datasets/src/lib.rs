@@ -18,6 +18,7 @@
 //! Everything is generated from an explicit seed; two calls with the same
 //! seed produce byte-identical scripts.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod drift;

@@ -18,13 +18,26 @@
 //! profiles would serve wrong answers. Create one cache per stream per
 //! model configuration.
 //!
+//! ## Single-flight misses
+//!
+//! Concurrent misses on the same key are coalesced: the first caller
+//! becomes the *winner* and executes the model; every other caller parks on
+//! the shard's condvar and is handed the winner's answer (provenance
+//! [`CallProvenance::Cached`]). Exactly one [`CallProvenance::Executed`]
+//! call happens per key per residency — the property the loom suite
+//! (`tests/loom_cache.rs`) model-checks across interleavings. This is what
+//! makes the sharded multi-query driver pay one model pass per frame/shot
+//! even when worker threads reach the same clip simultaneously.
+//!
 //! ## Faults
 //!
 //! Only *successful* model calls are cached. Faults (see [`crate::fault`])
 //! are per-attempt events: a transient error on one engine's call must not
 //! poison — or be masked for — another engine's retry, so a fault simply
-//! propagates and leaves the cache untouched. A later successful retry
-//! populates the entry as usual.
+//! propagates and leaves the cache untouched. A winner whose call faults
+//! (or panics) clears its in-flight claim and wakes the parked waiters; the
+//! first to wake becomes the new winner and retries the model, so a fault
+//! degrades to "exactly one *successful* execution" rather than deadlock.
 //!
 //! ## Eviction
 //!
@@ -32,13 +45,14 @@
 //! locked LRU shards to keep contention low. Eviction is "lazy LRU": hits
 //! bump a monotone tick and append to a queue, eviction pops stale queue
 //! entries until the live map fits the capacity — O(1) amortized, no
-//! intrusive lists.
+//! intrusive lists. In-flight claims live outside the LRU map, so eviction
+//! can never drop a claim and strand its waiters.
 
 use crate::api::{ActionRecognizer, ActionScore, CallProvenance, Detection, ObjectDetector};
 use crate::fault::DetectorFault;
-use std::collections::{HashMap, VecDeque};
+use crate::sync::{Condvar, Mutex, MutexGuard};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
 use vaq_video::{Frame, Shot};
 
 /// Number of independently locked shards per cached domain.
@@ -88,10 +102,13 @@ fn ratio(hits: u64, misses: u64) -> f64 {
 /// One bounded shard: a map from key to `(last-use tick, value)` plus a
 /// use-order queue. Queue entries whose tick no longer matches the map are
 /// stale (the key was touched again later) and are skipped on eviction.
+/// `pending` holds keys whose value is being computed by a winner thread;
+/// it is disjoint from `map` and never subject to eviction.
 #[derive(Debug)]
 struct Shard<V> {
     map: HashMap<u64, (u64, V)>,
     queue: VecDeque<(u64, u64)>,
+    pending: HashSet<u64>,
     capacity: usize,
     tick: u64,
 }
@@ -101,6 +118,7 @@ impl<V: Clone> Shard<V> {
         Self {
             map: HashMap::new(),
             queue: VecDeque::new(),
+            pending: HashSet::new(),
             capacity: capacity.max(1),
             tick: 0,
         }
@@ -146,12 +164,91 @@ impl<V: Clone> Shard<V> {
     }
 }
 
+/// One locked shard plus the condvar its single-flight waiters park on.
+#[derive(Debug)]
+struct SingleFlight<V> {
+    state: Mutex<Shard<V>>,
+    cv: Condvar,
+}
+
+impl<V: Clone> SingleFlight<V> {
+    fn new(capacity: usize) -> Self {
+        Self {
+            state: Mutex::new(Shard::new(capacity)),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, Shard<V>> {
+        self.state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// The single-flight protocol: return a cached value, or join the
+    /// in-flight computation for `key`, or become the winner and compute.
+    /// The winner's claim is released — and waiters woken — on success,
+    /// fault, and panic alike (see [`FlightGuard`]).
+    fn get_or_try_insert_with<E>(
+        &self,
+        key: u64,
+        compute: impl FnOnce() -> Result<V, E>,
+    ) -> Result<(V, CallProvenance), E> {
+        let mut shard = self.lock();
+        loop {
+            if let Some(v) = shard.get(key) {
+                return Ok((v, CallProvenance::Cached));
+            }
+            if !shard.pending.contains(&key) {
+                break;
+            }
+            shard = self
+                .cv
+                .wait(shard)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+        shard.pending.insert(key);
+        drop(shard);
+        let mut flight = FlightGuard {
+            lock: self,
+            key,
+            value: None,
+        };
+        let value = compute()?;
+        flight.value = Some(value.clone());
+        drop(flight);
+        Ok((value, CallProvenance::Executed))
+    }
+}
+
+/// Releases a winner's in-flight claim when dropped: removes the key from
+/// `pending`, publishes the computed value if there is one, and wakes every
+/// parked waiter. Running this in `Drop` makes the hand-off unconditional —
+/// a faulting or panicking winner cannot strand its waiters.
+struct FlightGuard<'a, V: Clone> {
+    lock: &'a SingleFlight<V>,
+    key: u64,
+    value: Option<V>,
+}
+
+impl<V: Clone> Drop for FlightGuard<'_, V> {
+    fn drop(&mut self) {
+        let mut shard = self.lock.lock();
+        shard.pending.remove(&self.key);
+        if let Some(v) = self.value.take() {
+            shard.insert(self.key, v);
+        }
+        drop(shard);
+        self.lock.cv.notify_all();
+    }
+}
+
 /// Bounded, sharded, concurrency-safe cache of model outputs for one
 /// (model, stream) pair. See the [module docs](self) for the contract.
 #[derive(Debug)]
 pub struct InferenceCache {
-    frames: Vec<Mutex<Shard<Vec<Detection>>>>,
-    shots: Vec<Mutex<Shard<Vec<ActionScore>>>>,
+    frames: Vec<SingleFlight<Vec<Detection>>>,
+    shots: Vec<SingleFlight<Vec<ActionScore>>>,
     detector_hits: AtomicU64,
     detector_misses: AtomicU64,
     recognizer_hits: AtomicU64,
@@ -166,10 +263,10 @@ impl InferenceCache {
         let shard_cap = |cap: usize| cap.div_ceil(SHARDS).max(1);
         Self {
             frames: (0..SHARDS)
-                .map(|_| Mutex::new(Shard::new(shard_cap(frame_capacity))))
+                .map(|_| SingleFlight::new(shard_cap(frame_capacity)))
                 .collect(),
             shots: (0..SHARDS)
-                .map(|_| Mutex::new(Shard::new(shard_cap(shot_capacity))))
+                .map(|_| SingleFlight::new(shard_cap(shot_capacity)))
                 .collect(),
             detector_hits: AtomicU64::new(0),
             detector_misses: AtomicU64::new(0),
@@ -214,52 +311,37 @@ impl InferenceCache {
         (key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 60) as usize % SHARDS
     }
 
-    fn get_frame(&self, key: u64) -> Option<Vec<Detection>> {
-        let hit = self.frames[Self::shard_index(key)]
-            .lock()
-            .expect("frame cache shard poisoned")
-            .get(key);
-        match hit {
-            Some(v) => {
-                self.detector_hits.fetch_add(1, Ordering::Relaxed);
-                Some(v)
-            }
-            None => {
-                self.detector_misses.fetch_add(1, Ordering::Relaxed);
-                None
-            }
-        }
+    /// Returns the cached detections for `key`, or runs `compute` under the
+    /// single-flight protocol: concurrent misses on one key coalesce into
+    /// one model execution, with every other caller handed the winner's
+    /// answer as [`CallProvenance::Cached`]. A fault from `compute`
+    /// propagates uncached and promotes the first waiter to winner.
+    pub fn frame_or_try_insert_with<E>(
+        &self,
+        key: u64,
+        compute: impl FnOnce() -> Result<Vec<Detection>, E>,
+    ) -> Result<(Vec<Detection>, CallProvenance), E> {
+        let out = self.frames[Self::shard_index(key)].get_or_try_insert_with(key, compute)?;
+        match out.1 {
+            CallProvenance::Cached => self.detector_hits.fetch_add(1, Ordering::Relaxed),
+            CallProvenance::Executed => self.detector_misses.fetch_add(1, Ordering::Relaxed),
+        };
+        Ok(out)
     }
 
-    fn put_frame(&self, key: u64, value: Vec<Detection>) {
-        self.frames[Self::shard_index(key)]
-            .lock()
-            .expect("frame cache shard poisoned")
-            .insert(key, value);
-    }
-
-    fn get_shot(&self, key: u64) -> Option<Vec<ActionScore>> {
-        let hit = self.shots[Self::shard_index(key)]
-            .lock()
-            .expect("shot cache shard poisoned")
-            .get(key);
-        match hit {
-            Some(v) => {
-                self.recognizer_hits.fetch_add(1, Ordering::Relaxed);
-                Some(v)
-            }
-            None => {
-                self.recognizer_misses.fetch_add(1, Ordering::Relaxed);
-                None
-            }
-        }
-    }
-
-    fn put_shot(&self, key: u64, value: Vec<ActionScore>) {
-        self.shots[Self::shard_index(key)]
-            .lock()
-            .expect("shot cache shard poisoned")
-            .insert(key, value);
+    /// Single-flight lookup-or-compute for recognizer output; the shot-domain
+    /// twin of [`Self::frame_or_try_insert_with`].
+    pub fn shot_or_try_insert_with<E>(
+        &self,
+        key: u64,
+        compute: impl FnOnce() -> Result<Vec<ActionScore>, E>,
+    ) -> Result<(Vec<ActionScore>, CallProvenance), E> {
+        let out = self.shots[Self::shard_index(key)].get_or_try_insert_with(key, compute)?;
+        match out.1 {
+            CallProvenance::Cached => self.recognizer_hits.fetch_add(1, Ordering::Relaxed),
+            CallProvenance::Executed => self.recognizer_misses.fetch_add(1, Ordering::Relaxed),
+        };
+        Ok(out)
     }
 }
 
@@ -267,20 +349,29 @@ impl InferenceCache {
 /// [`InferenceCache`]. Transparent to callers: same outputs, same universe,
 /// same name; only [`ObjectDetector::try_detect_traced`] reveals whether a
 /// call hit the cache.
-#[derive(Debug, Clone, Copy)]
+#[derive(Clone, Copy)]
 pub struct CachedObjectDetector<'a> {
     inner: &'a dyn ObjectDetector,
     cache: &'a InferenceCache,
 }
 
+impl std::fmt::Debug for CachedObjectDetector<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CachedObjectDetector")
+            .field("inner", &self.inner.name())
+            .finish_non_exhaustive()
+    }
+}
+
 impl ObjectDetector for CachedObjectDetector<'_> {
     fn detect(&self, frame: &Frame) -> Vec<Detection> {
-        if let Some(hit) = self.cache.get_frame(frame.id.raw()) {
-            return hit;
+        let infallible = self.cache.frame_or_try_insert_with(frame.id.raw(), || {
+            Ok::<_, std::convert::Infallible>(self.inner.detect(frame))
+        });
+        match infallible {
+            Ok((out, _)) => out,
+            Err(e) => match e {},
         }
-        let out = self.inner.detect(frame);
-        self.cache.put_frame(frame.id.raw(), out.clone());
-        out
     }
 
     fn try_detect(&self, frame: &Frame) -> Result<Vec<Detection>, DetectorFault> {
@@ -291,13 +382,9 @@ impl ObjectDetector for CachedObjectDetector<'_> {
         &self,
         frame: &Frame,
     ) -> Result<(Vec<Detection>, CallProvenance), DetectorFault> {
-        if let Some(hit) = self.cache.get_frame(frame.id.raw()) {
-            return Ok((hit, CallProvenance::Cached));
-        }
         // Faults propagate uncached; only a successful answer is stored.
-        let out = self.inner.try_detect(frame)?;
-        self.cache.put_frame(frame.id.raw(), out.clone());
-        Ok((out, CallProvenance::Executed))
+        self.cache
+            .frame_or_try_insert_with(frame.id.raw(), || self.inner.try_detect(frame))
     }
 
     fn universe(&self) -> u32 {
@@ -315,20 +402,29 @@ impl ObjectDetector for CachedObjectDetector<'_> {
 
 /// An [`ActionRecognizer`] serving answers through a shared
 /// [`InferenceCache`]; see [`CachedObjectDetector`].
-#[derive(Debug, Clone, Copy)]
+#[derive(Clone, Copy)]
 pub struct CachedActionRecognizer<'a> {
     inner: &'a dyn ActionRecognizer,
     cache: &'a InferenceCache,
 }
 
+impl std::fmt::Debug for CachedActionRecognizer<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CachedActionRecognizer")
+            .field("inner", &self.inner.name())
+            .finish_non_exhaustive()
+    }
+}
+
 impl ActionRecognizer for CachedActionRecognizer<'_> {
     fn recognize(&self, shot: &Shot) -> Vec<ActionScore> {
-        if let Some(hit) = self.cache.get_shot(shot.id.raw()) {
-            return hit;
+        let infallible = self.cache.shot_or_try_insert_with(shot.id.raw(), || {
+            Ok::<_, std::convert::Infallible>(self.inner.recognize(shot))
+        });
+        match infallible {
+            Ok((out, _)) => out,
+            Err(e) => match e {},
         }
-        let out = self.inner.recognize(shot);
-        self.cache.put_shot(shot.id.raw(), out.clone());
-        out
     }
 
     fn try_recognize(&self, shot: &Shot) -> Result<Vec<ActionScore>, DetectorFault> {
@@ -339,12 +435,8 @@ impl ActionRecognizer for CachedActionRecognizer<'_> {
         &self,
         shot: &Shot,
     ) -> Result<(Vec<ActionScore>, CallProvenance), DetectorFault> {
-        if let Some(hit) = self.cache.get_shot(shot.id.raw()) {
-            return Ok((hit, CallProvenance::Cached));
-        }
-        let out = self.inner.try_recognize(shot)?;
-        self.cache.put_shot(shot.id.raw(), out.clone());
-        Ok((out, CallProvenance::Executed))
+        self.cache
+            .shot_or_try_insert_with(shot.id.raw(), || self.inner.try_recognize(shot))
     }
 
     fn universe(&self) -> u32 {
@@ -485,13 +577,11 @@ mod tests {
     fn bounded_capacity_holds_across_shards() {
         let cache = InferenceCache::new(32, 8);
         for key in 0..10_000u64 {
-            cache.put_frame(key, Vec::new());
+            cache
+                .frame_or_try_insert_with(key, || Ok::<_, std::convert::Infallible>(Vec::new()))
+                .unwrap();
         }
-        let live: usize = cache
-            .frames
-            .iter()
-            .map(|s| s.lock().unwrap().map.len())
-            .sum();
+        let live: usize = cache.frames.iter().map(|s| s.lock().map.len()).sum();
         // Per-shard bound is ceil(32/16) = 2 entries; 16 shards ⇒ ≤ 32.
         assert!(
             live <= 32,
@@ -524,12 +614,60 @@ mod tests {
         });
         let stats = cache.stats();
         assert_eq!(stats.detector_hits + stats.detector_misses, 4 * 500);
-        // Racing first touches may duplicate a few executions, but the vast
-        // majority of the 4× traffic must be hits.
+        // Single-flight coalesces racing first touches, so only eviction
+        // (shard imbalance at exactly-fitting capacity) can duplicate an
+        // execution — the 4× traffic must be overwhelmingly hits.
         assert!(
             stats.detector_misses < 2 * 500,
             "misses {} — cache not shared",
             stats.detector_misses
+        );
+    }
+
+    #[test]
+    fn racing_misses_coalesce_into_one_execution() {
+        let cache = InferenceCache::new(64, 16);
+        let executions = AtomicU64::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                let cache = &cache;
+                let executions = &executions;
+                scope.spawn(move || {
+                    let (out, _) = cache
+                        .frame_or_try_insert_with(7, || {
+                            executions.fetch_add(1, Ordering::SeqCst);
+                            Ok::<_, std::convert::Infallible>(Vec::new())
+                        })
+                        .unwrap();
+                    assert!(out.is_empty());
+                });
+            }
+        });
+        assert_eq!(
+            executions.load(Ordering::SeqCst),
+            1,
+            "single-flight must coalesce concurrent misses on one key"
+        );
+        let stats = cache.stats();
+        assert_eq!(stats.detector_misses, 1);
+        assert_eq!(stats.detector_hits, 7);
+    }
+
+    #[test]
+    fn faulted_winner_hands_off_to_a_waiter() {
+        // A fault must clear the in-flight claim so a later (or waiting)
+        // caller re-executes rather than deadlocking or caching the fault.
+        let cache = InferenceCache::new(64, 16);
+        let err = cache.frame_or_try_insert_with(3, || Err(DetectorFault::Transient));
+        assert!(err.is_err());
+        let (out, provenance) = cache
+            .frame_or_try_insert_with(3, || Ok::<_, DetectorFault>(Vec::new()))
+            .unwrap();
+        assert!(out.is_empty());
+        assert_eq!(
+            provenance,
+            CallProvenance::Executed,
+            "the fault must not have populated the cache"
         );
     }
 }

@@ -234,17 +234,26 @@ impl<M> FaultInjector<M> {
 
     /// Faults injected so far.
     pub fn counts(&self) -> FaultCounts {
-        *self.counts.lock().expect("fault counts poisoned")
+        *self
+            .counts
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 
     fn bump(&self, f: impl FnOnce(&mut FaultCounts)) {
-        f(&mut self.counts.lock().expect("fault counts poisoned"));
+        f(&mut self
+            .counts
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner));
     }
 
     /// Attempt number for this call: 0 on a fresh input, incrementing on
     /// consecutive calls (retries) for the same input.
     fn attempt(&self, key: u64) -> u32 {
-        let mut slot = self.attempts.lock().expect("attempt slot poisoned");
+        let mut slot = self
+            .attempts
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         let (last_key, made) = *slot;
         let attempt = if last_key == key { made + 1 } else { 0 };
         *slot = (key, attempt);

@@ -34,6 +34,11 @@
 //! fine-tuned end-to-end alternative the paper dismisses (>60 h of training
 //! for <0.05 F1 gain).
 
+#![forbid(unsafe_code)]
+#![cfg_attr(
+    not(test),
+    warn(clippy::unwrap_used, clippy::expect_used, clippy::panic)
+)]
 #![warn(missing_docs)]
 
 pub mod api;
@@ -44,6 +49,7 @@ pub mod latency;
 pub mod noise;
 pub mod profiles;
 pub mod sim;
+mod sync;
 pub mod tracker;
 
 pub use api::{

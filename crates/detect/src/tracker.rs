@@ -68,15 +68,11 @@ impl IouTracker {
 
     /// Associates the frame's detections with tracks. Must be called in
     /// frame order (tracking is inherently sequential).
+    #[allow(clippy::expect_used)]
     pub fn update(&mut self, frame: FrameId, detections: &[Detection]) -> Vec<TrackedDetection> {
         // Highest-score detections claim tracks first.
         let mut order: Vec<usize> = (0..detections.len()).collect();
-        order.sort_by(|&a, &b| {
-            detections[b]
-                .score
-                .partial_cmp(&detections[a].score)
-                .unwrap_or(std::cmp::Ordering::Equal)
-        });
+        order.sort_by(|&a, &b| detections[b].score.total_cmp(&detections[a].score));
 
         let mut claimed = vec![false; self.tracks.len()];
         let mut out = vec![None; detections.len()];
@@ -142,6 +138,7 @@ impl IouTracker {
         self.tracks.retain(|t| t.missed <= max_coast);
 
         out.into_iter()
+            // vaq-lint: allow(no-panic) -- `order` is a permutation of 0..detections.len() and the loop fills every slot
             .map(|t| t.expect("every detection tracked"))
             .collect()
     }

@@ -1,0 +1,223 @@
+//! Model-checked interleavings of the [`vaq_detect::InferenceCache`]
+//! single-flight protocol.
+//!
+//! Compiled only under `--cfg loom` and run against the in-repo `vaq-loom`
+//! explorer:
+//!
+//! ```sh
+//! RUSTFLAGS="--cfg loom" cargo test -p vaq-detect --test loom_cache
+//! ```
+//!
+//! Each `model(..)` body executes under *every* thread interleaving the
+//! preemption-bounded explorer can reach (see `crates/loom`), so an
+//! assertion here is a proof over schedules, not a lucky timing. The three
+//! scenarios mirror the failure modes the shard protocol was designed
+//! against: duplicated execution on a racing miss, a faulting winner
+//! stranding its waiters, and eviction racing a hand-off.
+#![cfg(loom)]
+
+use loom::sync::atomic::{AtomicUsize, Ordering};
+use loom::sync::Arc;
+use loom::{model, thread};
+use vaq_detect::{CallProvenance, Detection, DetectorFault, InferenceCache};
+use vaq_types::{BBox, ObjectType};
+
+/// A recognizable detector output of length `n` (the length is the payload
+/// identity the assertions check).
+fn dets(n: usize) -> Vec<Detection> {
+    std::iter::repeat_with(|| Detection {
+        object: ObjectType::new(1),
+        score: 0.9,
+        bbox: BBox::new(0.1, 0.1, 0.4, 0.4),
+        gt_track: None,
+    })
+    .take(n)
+    .collect()
+}
+
+/// Two threads racing a miss on one key: in every interleaving the model
+/// executes exactly once, exactly one caller observes
+/// [`CallProvenance::Executed`], and both receive the same value.
+#[test]
+fn racing_get_or_insert_executes_exactly_once() {
+    model(|| {
+        let cache = Arc::new(InferenceCache::new(64, 16));
+        let execs = Arc::new(AtomicUsize::new(0));
+        let executed_seen = Arc::new(AtomicUsize::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..2 {
+            let cache = Arc::clone(&cache);
+            let execs = Arc::clone(&execs);
+            let executed_seen = Arc::clone(&executed_seen);
+            handles.push(thread::spawn(move || {
+                let (out, provenance) = cache
+                    .frame_or_try_insert_with(9, || {
+                        execs.fetch_add(1, Ordering::SeqCst);
+                        Ok::<_, DetectorFault>(dets(1))
+                    })
+                    .unwrap();
+                assert_eq!(out.len(), 1, "wrong value handed to a caller");
+                if provenance == CallProvenance::Executed {
+                    executed_seen.fetch_add(1, Ordering::SeqCst);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(execs.load(Ordering::SeqCst), 1, "duplicate model execution");
+        assert_eq!(
+            executed_seen.load(Ordering::SeqCst),
+            1,
+            "exactly one caller must observe Executed provenance"
+        );
+        let stats = cache.stats();
+        assert_eq!((stats.detector_misses, stats.detector_hits), (1, 1));
+    });
+}
+
+/// A faulting winner racing a successful caller on the same key. The fault
+/// must release the in-flight claim in every interleaving: the successful
+/// caller always executes (the fault is never cached, never served), and
+/// the faulting caller either observes its own fault or — if the success
+/// already published — a cached hit. No schedule may deadlock.
+#[test]
+fn faulting_winner_releases_claim_in_every_interleaving() {
+    model(|| {
+        let cache = Arc::new(InferenceCache::new(64, 16));
+        let ok_execs = Arc::new(AtomicUsize::new(0));
+
+        let ok_thread = {
+            let cache = Arc::clone(&cache);
+            let ok_execs = Arc::clone(&ok_execs);
+            thread::spawn(move || {
+                let (out, provenance) = cache
+                    .frame_or_try_insert_with(5, || {
+                        ok_execs.fetch_add(1, Ordering::SeqCst);
+                        Ok::<_, DetectorFault>(dets(2))
+                    })
+                    .unwrap();
+                assert_eq!(out.len(), 2);
+                // Nothing else ever publishes key 5, so this caller's own
+                // compute is the only possible source of the value.
+                assert_eq!(provenance, CallProvenance::Executed);
+            })
+        };
+        let fault_thread = {
+            let cache = Arc::clone(&cache);
+            thread::spawn(move || {
+                let result = cache.frame_or_try_insert_with(5, || Err(DetectorFault::Transient));
+                match result {
+                    // The success published first; the fault closure never ran.
+                    Ok((out, CallProvenance::Cached)) => assert_eq!(out.len(), 2),
+                    Ok((_, CallProvenance::Executed)) => {
+                        panic!("a closure returning Err cannot execute successfully")
+                    }
+                    Err(DetectorFault::Transient) => {}
+                    Err(DetectorFault::Unavailable) | Err(DetectorFault::InputLost) => {
+                        panic!("fault kind changed in flight")
+                    }
+                }
+            })
+        };
+        ok_thread.join().unwrap();
+        fault_thread.join().unwrap();
+        assert_eq!(ok_execs.load(Ordering::SeqCst), 1);
+        let (out, provenance) = cache
+            .frame_or_try_insert_with(5, || Ok::<_, DetectorFault>(dets(9)))
+            .unwrap();
+        assert_eq!(
+            (out.len(), provenance),
+            (2, CallProvenance::Cached),
+            "the successful value must be resident after both threads retire"
+        );
+    });
+}
+
+/// The multi-query driver's sharing pattern (core's `run_multi_query` in
+/// sharded mode): worker engines advance over the same inputs in skewed
+/// orders, racing on one shared cache. With capacity ample (no eviction),
+/// every interleaving must execute each key exactly once — one worker wins
+/// each key and hands the answer to the other — for 2 misses + 2 hits
+/// total, never a duplicated model pass.
+#[test]
+fn skewed_workers_hand_off_each_key_exactly_once() {
+    model(|| {
+        let cache = Arc::new(InferenceCache::new(64, 16));
+        let execs = Arc::new(AtomicUsize::new(0));
+        let mut workers = Vec::new();
+        for keys in [[9u64, 21], [21, 9]] {
+            let cache = Arc::clone(&cache);
+            let execs = Arc::clone(&execs);
+            workers.push(thread::spawn(move || {
+                for key in keys {
+                    let (out, _) = cache
+                        .frame_or_try_insert_with(key, || {
+                            execs.fetch_add(1, Ordering::SeqCst);
+                            Ok::<_, DetectorFault>(dets(key as usize % 7))
+                        })
+                        .unwrap();
+                    assert_eq!(out.len(), key as usize % 7, "cross-key value leak");
+                }
+            }));
+        }
+        for w in workers {
+            w.join().unwrap();
+        }
+        assert_eq!(
+            execs.load(Ordering::SeqCst),
+            2,
+            "each key must execute exactly once across both workers"
+        );
+        let stats = cache.stats();
+        assert_eq!((stats.detector_misses, stats.detector_hits), (2, 2));
+    });
+}
+
+/// Eviction racing the single-flight hand-off. Keys 5, 18 and 26 all map
+/// to the same shard (capacity 1), so the evictor thread can push the raced
+/// key out between its publication and a waiter's re-read. In-flight claims
+/// live outside the LRU map, so no schedule may deadlock or hand a waiter a
+/// wrong value; the raced key executes once per residency (1 or 2 times).
+#[test]
+fn eviction_cannot_strand_or_corrupt_a_waiter() {
+    model(|| {
+        let cache = Arc::new(InferenceCache::new(1, 1));
+        let execs = Arc::new(AtomicUsize::new(0));
+        let mut racers = Vec::new();
+        for _ in 0..2 {
+            let cache = Arc::clone(&cache);
+            let execs = Arc::clone(&execs);
+            racers.push(thread::spawn(move || {
+                let (out, _) = cache
+                    .frame_or_try_insert_with(5, || {
+                        execs.fetch_add(1, Ordering::SeqCst);
+                        Ok::<_, DetectorFault>(dets(1))
+                    })
+                    .unwrap();
+                assert_eq!(out.len(), 1, "waiter handed another key's value");
+            }));
+        }
+        let evictor = {
+            let cache = Arc::clone(&cache);
+            thread::spawn(move || {
+                for (key, len) in [(18u64, 2usize), (26, 3)] {
+                    let (out, _) = cache
+                        .frame_or_try_insert_with(key, || Ok::<_, DetectorFault>(dets(len)))
+                        .unwrap();
+                    assert_eq!(out.len(), len);
+                }
+            })
+        };
+        for h in racers {
+            h.join().unwrap();
+        }
+        evictor.join().unwrap();
+        let execs = execs.load(Ordering::SeqCst);
+        assert!(
+            (1..=2).contains(&execs),
+            "key 5 executed {execs} times: single-flight only re-executes \
+             after an eviction, never concurrently"
+        );
+    });
+}

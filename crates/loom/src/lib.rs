@@ -1,0 +1,58 @@
+//! # vaq-loom
+//!
+//! A dependency-free, loom-API-compatible model checker for the workspace's
+//! concurrent code. [`model`] runs a closure under **every** distinct thread
+//! interleaving (up to a preemption bound), with [`thread`] and [`sync`]
+//! drop-in shims for the `std` primitives the closure uses.
+//!
+//! The workspace cannot assume the real [loom] crate is available (builds
+//! must succeed from a cold, offline registry), so this crate reimplements
+//! the slice of loom the vaq test-suite needs:
+//!
+//! * [`model`] — explore all schedules of a closure.
+//! * [`thread::spawn`] / [`thread::JoinHandle`] / [`thread::yield_now`].
+//! * [`sync::Mutex`], [`sync::RwLock`], [`sync::Condvar`] — schedule-aware
+//!   locks; [`sync::Arc`] and [`sync::atomic`] re-export `std`.
+//!
+//! Consumer crates rename it (`loom = { package = "vaq-loom", … }`) and gate
+//! a `sync` facade on `--cfg loom`, exactly as they would with the real
+//! loom, so the model-checked code is byte-for-byte the production code.
+//!
+//! ## How exploration works
+//!
+//! One modeled thread runs at a time (a baton is passed between real OS
+//! threads), and every lock acquire/release, condvar operation, spawn and
+//! join is a *schedule point* where the scheduler picks which runnable
+//! thread continues. The first execution runs each thread to completion
+//! (switching only when the runner blocks); depth-first backtracking then
+//! revisits the latest schedule point with an untried choice and replays
+//! the prefix, enumerating every interleaving with at most
+//! `LOOM_MAX_PREEMPTIONS` involuntary switches (default 2 — the CHESS
+//! result: almost all concurrency bugs manifest within two preemptions).
+//!
+//! Determinism is required of the model closure: same choices ⇒ same
+//! schedule points. The workspace's `nondeterminism` lint rule exists
+//! precisely to keep wall-clocks and ambient RNG out of these paths.
+//!
+//! ## What is and is not modeled
+//!
+//! Lock/condvar interleavings and deadlocks are modeled; panics in modeled
+//! threads are caught, the failing schedule is printed, and the panic is
+//! re-raised from [`model`]. Weak memory is **not** modeled — atomics are
+//! real `std` atomics, which under one-runnable-thread-at-a-time scheduling
+//! behave sequentially consistently. That is the right fidelity for the
+//! cache layer, whose shared state lives entirely behind locks.
+//!
+//! Outside a [`model`] call every shim falls back to plain `std` behavior,
+//! so code linked against vaq-loom is unaffected until a model runs.
+//!
+//! [loom]: https://docs.rs/loom
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod sched;
+pub mod sync;
+pub mod thread;
+
+pub use sched::model;

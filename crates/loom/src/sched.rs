@@ -1,0 +1,364 @@
+//! The schedule explorer: one runnable thread at a time, DFS over the
+//! choice of which thread runs at each schedule point.
+
+use std::any::Any;
+use std::cell::RefCell;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+
+/// Involuntary context switches allowed per execution (see crate docs).
+const DEFAULT_MAX_PREEMPTIONS: u32 = 2;
+/// Hard cap on explored executions — a runaway-state-space backstop.
+const MAX_EXECUTIONS: u64 = 200_000;
+
+/// What a parked thread is waiting for.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) enum Wait {
+    /// A mutex identified by its object id.
+    Mutex(usize),
+    /// A reader/writer lock identified by its object id.
+    RwLock(usize),
+    /// A condition variable identified by its object id.
+    Condvar(usize),
+    /// A specific thread's termination.
+    Join(usize),
+    /// Any thread's termination (the implicit end-of-model join).
+    AnyFinish,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum ThreadState {
+    Runnable,
+    Blocked(Wait),
+    Finished,
+}
+
+/// One recorded schedule decision: which thread was chosen, out of which
+/// candidates (candidate order is the DFS branch order).
+struct Decision {
+    chosen: usize,
+    candidates: Vec<usize>,
+}
+
+struct State {
+    threads: Vec<ThreadState>,
+    current: usize,
+    replay: Vec<usize>,
+    trace: Vec<Decision>,
+    step: usize,
+    preemptions: u32,
+    max_preemptions: u32,
+    aborted: bool,
+    panics: Vec<(usize, Box<dyn Any + Send>)>,
+}
+
+pub(crate) struct Scheduler {
+    state: Mutex<State>,
+    cv: Condvar,
+}
+
+thread_local! {
+    static CTX: RefCell<Option<Ctx>> = const { RefCell::new(None) };
+}
+
+/// A modeled thread's handle to the active scheduler.
+#[derive(Clone)]
+pub(crate) struct Ctx {
+    pub(crate) sched: Arc<Scheduler>,
+    pub(crate) id: usize,
+}
+
+/// The current thread's model context, if a model is running.
+pub(crate) fn current() -> Option<Ctx> {
+    CTX.with(|c| c.borrow().clone())
+}
+
+pub(crate) fn install(ctx: Option<Ctx>) {
+    CTX.with(|c| *c.borrow_mut() = ctx);
+}
+
+fn abort_panic() -> ! {
+    panic!("vaq-loom: model aborted (deadlock or failure on another thread)")
+}
+
+impl Scheduler {
+    fn new(replay: Vec<usize>, max_preemptions: u32) -> Self {
+        Scheduler {
+            state: Mutex::new(State {
+                threads: vec![ThreadState::Runnable], // thread 0 = the model closure
+                current: 0,
+                replay,
+                trace: Vec::new(),
+                step: 0,
+                preemptions: 0,
+                max_preemptions,
+                aborted: false,
+                panics: Vec::new(),
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, State> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Registers a newly spawned thread; it starts runnable but only runs
+    /// once the scheduler picks it.
+    pub(crate) fn register(&self) -> usize {
+        let mut st = self.lock();
+        st.threads.push(ThreadState::Runnable);
+        st.threads.len() - 1
+    }
+
+    pub(crate) fn is_finished(&self, id: usize) -> bool {
+        matches!(self.lock().threads[id], ThreadState::Finished)
+    }
+
+    pub(crate) fn all_children_finished(&self) -> bool {
+        self.lock()
+            .threads
+            .iter()
+            .skip(1)
+            .all(|s| matches!(s, ThreadState::Finished))
+    }
+
+    /// Marks `me` finished (recording a caught panic, if any) and hands the
+    /// baton on.
+    pub(crate) fn finish(&self, me: usize, panic: Option<Box<dyn Any + Send>>) {
+        if let Some(p) = panic {
+            self.lock().panics.push((me, p));
+        }
+        self.switch(me, None, true);
+    }
+
+    pub(crate) fn take_panic(&self, id: usize) -> Option<Box<dyn Any + Send>> {
+        let mut st = self.lock();
+        st.panics
+            .iter()
+            .position(|(i, _)| *i == id)
+            .map(|idx| st.panics.remove(idx).1)
+    }
+
+    fn take_any_panic(&self) -> Option<Box<dyn Any + Send>> {
+        let mut st = self.lock();
+        if st.panics.is_empty() {
+            None
+        } else {
+            Some(st.panics.remove(0).1)
+        }
+    }
+
+    /// Flips every parked thread whose wait matches `pred` back to
+    /// runnable. Not itself a schedule point.
+    pub(crate) fn unblock(&self, pred: impl Fn(Wait) -> bool) {
+        let mut st = self.lock();
+        unblock_locked(&mut st, pred);
+    }
+
+    /// The schedule point. `me` either stays runnable (pure yield), parks
+    /// on `wait`, or — with `finished` — terminates. Picks the next thread
+    /// per the replay prefix or the DFS default, then blocks until `me` is
+    /// scheduled again (unless it finished).
+    pub(crate) fn switch(&self, me: usize, wait: Option<Wait>, finished: bool) {
+        let mut st = self.lock();
+        if st.aborted {
+            if finished {
+                st.threads[me] = ThreadState::Finished;
+            }
+            self.cv.notify_all();
+            drop(st);
+            if finished || std::thread::panicking() {
+                return;
+            }
+            abort_panic();
+        }
+        st.threads[me] = if finished {
+            ThreadState::Finished
+        } else if let Some(w) = wait {
+            ThreadState::Blocked(w)
+        } else {
+            ThreadState::Runnable
+        };
+        if finished {
+            unblock_locked(&mut st, |w| {
+                matches!(w, Wait::Join(t) if t == me) || w == Wait::AnyFinish
+            });
+        }
+        let runnable: Vec<usize> = st
+            .threads
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| matches!(s, ThreadState::Runnable))
+            .map(|(i, _)| i)
+            .collect();
+        if runnable.is_empty() {
+            if st
+                .threads
+                .iter()
+                .all(|s| matches!(s, ThreadState::Finished))
+            {
+                self.cv.notify_all();
+                return; // execution complete
+            }
+            st.aborted = true;
+            let states: Vec<String> = st
+                .threads
+                .iter()
+                .enumerate()
+                .map(|(i, s)| format!("  thread {i}: {s:?}"))
+                .collect();
+            self.cv.notify_all();
+            drop(st);
+            panic!(
+                "vaq-loom: deadlock — no runnable thread\n{}",
+                states.join("\n")
+            );
+        }
+        let me_runnable = matches!(st.threads[me], ThreadState::Runnable);
+        let mut candidates: Vec<usize> = Vec::new();
+        if me_runnable {
+            // Continuing the current thread is free; switching away while
+            // it could continue costs a preemption.
+            candidates.push(me);
+            if st.preemptions < st.max_preemptions {
+                candidates.extend(runnable.iter().copied().filter(|&t| t != me));
+            }
+        } else {
+            candidates = runnable;
+        }
+        let chosen = if st.step < st.replay.len() {
+            let c = st.replay[st.step];
+            assert!(
+                candidates.contains(&c),
+                "vaq-loom: replay diverged at step {} (wanted thread {c}, \
+                 candidates {candidates:?}) — the model closure must be \
+                 deterministic",
+                st.step
+            );
+            c
+        } else {
+            candidates[0]
+        };
+        if me_runnable && chosen != me {
+            st.preemptions += 1;
+        }
+        st.trace.push(Decision { chosen, candidates });
+        st.step += 1;
+        st.current = chosen;
+        self.cv.notify_all();
+        drop(st);
+        if !finished && chosen != me {
+            self.wait_my_turn(me);
+        }
+    }
+
+    /// Parks the calling OS thread until the scheduler hands it the baton.
+    pub(crate) fn wait_my_turn(&self, me: usize) {
+        let mut st = self.lock();
+        while !st.aborted && !(st.current == me && matches!(st.threads[me], ThreadState::Runnable))
+        {
+            st = self.cv.wait(st).unwrap_or_else(PoisonError::into_inner);
+        }
+        let aborted = st.aborted;
+        drop(st);
+        if aborted && !std::thread::panicking() {
+            abort_panic();
+        }
+    }
+
+    fn abort(&self) {
+        self.lock().aborted = true;
+        self.cv.notify_all();
+    }
+
+    fn take_trace(&self) -> Vec<Decision> {
+        std::mem::take(&mut self.lock().trace)
+    }
+}
+
+fn unblock_locked(st: &mut State, pred: impl Fn(Wait) -> bool) {
+    for s in st.threads.iter_mut() {
+        if let ThreadState::Blocked(w) = *s {
+            if pred(w) {
+                *s = ThreadState::Runnable;
+            }
+        }
+    }
+}
+
+/// Given the last execution's decisions, computes the replay prefix of the
+/// next DFS branch, or `None` when the space is exhausted.
+fn next_replay(trace: &[Decision]) -> Option<Vec<usize>> {
+    for i in (0..trace.len()).rev() {
+        let d = &trace[i];
+        let pos = d
+            .candidates
+            .iter()
+            .position(|&c| c == d.chosen)
+            .unwrap_or(usize::MAX);
+        if pos.saturating_add(1) < d.candidates.len() {
+            let mut replay: Vec<usize> = trace[..i].iter().map(|d| d.chosen).collect();
+            replay.push(d.candidates[pos + 1]);
+            return Some(replay);
+        }
+    }
+    None
+}
+
+fn report_failure(trace: &[Decision], execution: u64) {
+    let schedule: Vec<usize> = trace.iter().map(|d| d.chosen).collect();
+    eprintln!("vaq-loom: failure on execution {execution}, schedule {schedule:?}");
+}
+
+/// Runs `f` under every distinct interleaving (bounded by
+/// `LOOM_MAX_PREEMPTIONS`, default 2). Panics — with the failing schedule
+/// on stderr — if any execution panics on any thread, or deadlocks.
+pub fn model<F>(f: F)
+where
+    F: Fn() + Sync + Send + 'static,
+{
+    assert!(current().is_none(), "vaq-loom: model() calls cannot nest");
+    let max_preemptions = std::env::var("LOOM_MAX_PREEMPTIONS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(DEFAULT_MAX_PREEMPTIONS);
+    let mut replay: Vec<usize> = Vec::new();
+    let mut executions: u64 = 0;
+    loop {
+        executions += 1;
+        assert!(
+            executions <= MAX_EXECUTIONS,
+            "vaq-loom: exceeded {MAX_EXECUTIONS} executions — shrink the model"
+        );
+        let sched = Arc::new(Scheduler::new(replay.clone(), max_preemptions));
+        install(Some(Ctx {
+            sched: Arc::clone(&sched),
+            id: 0,
+        }));
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            f();
+            // Implicit join: drive every spawned thread to completion so
+            // leaked handles still get fully explored.
+            while !sched.all_children_finished() {
+                sched.switch(0, Some(Wait::AnyFinish), false);
+            }
+        }));
+        install(None);
+        let trace = sched.take_trace();
+        if let Err(payload) = result {
+            sched.abort(); // release any still-parked children
+            report_failure(&trace, executions);
+            resume_unwind(payload);
+        }
+        if let Some(p) = sched.take_any_panic() {
+            sched.abort();
+            report_failure(&trace, executions);
+            resume_unwind(p);
+        }
+        match next_replay(&trace) {
+            Some(next) => replay = next,
+            None => break,
+        }
+    }
+}

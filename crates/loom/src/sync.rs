@@ -1,0 +1,332 @@
+//! Schedule-aware replacements for `std::sync` lock primitives.
+//!
+//! Each lock keeps its *logical* state (`held`, reader/writer counts) in
+//! plain atomics that the single-runnable-thread discipline makes race-free,
+//! and wraps a real `std` lock for the data itself — which is therefore
+//! never contended: a thread only touches the `std` lock after the logical
+//! state admitted it. Acquire and release are schedule points; a thread
+//! that cannot acquire parks until a release flips it runnable again.
+//!
+//! [`Arc`] and [`atomic`] are re-exports of `std` (weak memory is out of
+//! scope; see the crate docs).
+
+use crate::sched::{self, Wait};
+use std::fmt;
+use std::ops::{Deref, DerefMut};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{LockResult, PoisonError};
+
+pub use std::sync::atomic;
+pub use std::sync::Arc;
+
+static NEXT_OBJECT: AtomicUsize = AtomicUsize::new(0);
+
+fn new_object_id() -> usize {
+    NEXT_OBJECT.fetch_add(1, Ordering::Relaxed)
+}
+
+/// A mutual-exclusion lock whose acquire/release are schedule points.
+pub struct Mutex<T: ?Sized> {
+    id: usize,
+    held: AtomicBool,
+    std: std::sync::Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// Creates a new unlocked mutex.
+    pub fn new(value: T) -> Self {
+        Mutex {
+            id: new_object_id(),
+            held: AtomicBool::new(false),
+            std: std::sync::Mutex::new(value),
+        }
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquires the lock, parking the modeled thread while another holds it.
+    pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+        if let Some(ctx) = sched::current() {
+            loop {
+                ctx.sched.switch(ctx.id, None, false); // acquire point
+                if !self.held.load(Ordering::Relaxed) {
+                    self.held.store(true, Ordering::Relaxed);
+                    break;
+                }
+                ctx.sched.switch(ctx.id, Some(Wait::Mutex(self.id)), false);
+            }
+        }
+        match self.std.lock() {
+            Ok(g) => Ok(MutexGuard {
+                inner: Some(g),
+                lock: self,
+            }),
+            Err(p) => Err(PoisonError::new(MutexGuard {
+                inner: Some(p.into_inner()),
+                lock: self,
+            })),
+        }
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.std.fmt(f)
+    }
+}
+
+/// RAII guard for [`Mutex`]; releasing is a schedule point.
+pub struct MutexGuard<'a, T: ?Sized> {
+    inner: Option<std::sync::MutexGuard<'a, T>>,
+    lock: &'a Mutex<T>,
+}
+
+impl<T: ?Sized> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_deref().expect("guard released")
+    }
+}
+
+impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_deref_mut().expect("guard released")
+    }
+}
+
+impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        if self.inner.take().is_some() {
+            if let Some(ctx) = sched::current() {
+                self.lock.held.store(false, Ordering::Relaxed);
+                let id = self.lock.id;
+                ctx.sched.unblock(|w| w == Wait::Mutex(id));
+                if !std::thread::panicking() {
+                    ctx.sched.switch(ctx.id, None, false); // release point
+                }
+            }
+        }
+    }
+}
+
+/// A condition variable compatible with [`Mutex`].
+pub struct Condvar {
+    id: usize,
+    std: std::sync::Condvar,
+}
+
+impl Condvar {
+    /// Creates a new condition variable.
+    pub fn new() -> Self {
+        Condvar {
+            id: new_object_id(),
+            std: std::sync::Condvar::new(),
+        }
+    }
+
+    /// Atomically releases `guard`'s mutex and parks until notified, then
+    /// re-acquires. There is no schedule point between the release and the
+    /// park, so a model cannot lose a wakeup.
+    pub fn wait<'a, T>(&self, mut guard: MutexGuard<'a, T>) -> LockResult<MutexGuard<'a, T>> {
+        let lock = guard.lock;
+        match sched::current() {
+            Some(ctx) => {
+                drop(guard.inner.take()); // the Drop impl is now a no-op
+                lock.held.store(false, Ordering::Relaxed);
+                let mutex_id = lock.id;
+                ctx.sched.unblock(|w| w == Wait::Mutex(mutex_id));
+                ctx.sched
+                    .switch(ctx.id, Some(Wait::Condvar(self.id)), false);
+                drop(guard);
+                lock.lock()
+            }
+            None => {
+                let inner = guard.inner.take().expect("guard released");
+                drop(guard);
+                match self.std.wait(inner) {
+                    Ok(g) => Ok(MutexGuard {
+                        inner: Some(g),
+                        lock,
+                    }),
+                    Err(p) => Err(PoisonError::new(MutexGuard {
+                        inner: Some(p.into_inner()),
+                        lock,
+                    })),
+                }
+            }
+        }
+    }
+
+    /// Wakes one waiter. Under a model this conservatively wakes all —
+    /// spurious wakeups are within the condvar contract, and exploring the
+    /// over-approximation covers every real wake order.
+    pub fn notify_one(&self) {
+        match sched::current() {
+            Some(_) => self.notify_all(),
+            None => self.std.notify_one(),
+        }
+    }
+
+    /// Wakes every waiter.
+    pub fn notify_all(&self) {
+        match sched::current() {
+            Some(ctx) => {
+                let id = self.id;
+                ctx.sched.unblock(|w| w == Wait::Condvar(id));
+                ctx.sched.switch(ctx.id, None, false); // notify point
+            }
+            None => self.std.notify_all(),
+        }
+    }
+}
+
+impl Default for Condvar {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl fmt::Debug for Condvar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Condvar").finish_non_exhaustive()
+    }
+}
+
+/// A reader/writer lock whose acquire/release are schedule points.
+pub struct RwLock<T: ?Sized> {
+    id: usize,
+    readers: AtomicUsize,
+    writer: AtomicBool,
+    std: std::sync::RwLock<T>,
+}
+
+impl<T> RwLock<T> {
+    /// Creates a new unlocked lock.
+    pub fn new(value: T) -> Self {
+        RwLock {
+            id: new_object_id(),
+            readers: AtomicUsize::new(0),
+            writer: AtomicBool::new(false),
+            std: std::sync::RwLock::new(value),
+        }
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    /// Acquires shared access; parks while a writer holds the lock.
+    pub fn read(&self) -> LockResult<RwLockReadGuard<'_, T>> {
+        if let Some(ctx) = sched::current() {
+            loop {
+                ctx.sched.switch(ctx.id, None, false);
+                if !self.writer.load(Ordering::Relaxed) {
+                    self.readers.fetch_add(1, Ordering::Relaxed);
+                    break;
+                }
+                ctx.sched.switch(ctx.id, Some(Wait::RwLock(self.id)), false);
+            }
+        }
+        match self.std.read() {
+            Ok(g) => Ok(RwLockReadGuard {
+                inner: Some(g),
+                lock: self,
+            }),
+            Err(p) => Err(PoisonError::new(RwLockReadGuard {
+                inner: Some(p.into_inner()),
+                lock: self,
+            })),
+        }
+    }
+
+    /// Acquires exclusive access; parks while readers or a writer hold it.
+    pub fn write(&self) -> LockResult<RwLockWriteGuard<'_, T>> {
+        if let Some(ctx) = sched::current() {
+            loop {
+                ctx.sched.switch(ctx.id, None, false);
+                if !self.writer.load(Ordering::Relaxed) && self.readers.load(Ordering::Relaxed) == 0
+                {
+                    self.writer.store(true, Ordering::Relaxed);
+                    break;
+                }
+                ctx.sched.switch(ctx.id, Some(Wait::RwLock(self.id)), false);
+            }
+        }
+        match self.std.write() {
+            Ok(g) => Ok(RwLockWriteGuard {
+                inner: Some(g),
+                lock: self,
+            }),
+            Err(p) => Err(PoisonError::new(RwLockWriteGuard {
+                inner: Some(p.into_inner()),
+                lock: self,
+            })),
+        }
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for RwLock<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.std.fmt(f)
+    }
+}
+
+/// RAII shared guard for [`RwLock`].
+pub struct RwLockReadGuard<'a, T: ?Sized> {
+    inner: Option<std::sync::RwLockReadGuard<'a, T>>,
+    lock: &'a RwLock<T>,
+}
+
+impl<T: ?Sized> Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_deref().expect("guard released")
+    }
+}
+
+impl<T: ?Sized> Drop for RwLockReadGuard<'_, T> {
+    fn drop(&mut self) {
+        if self.inner.take().is_some() {
+            if let Some(ctx) = sched::current() {
+                self.lock.readers.fetch_sub(1, Ordering::Relaxed);
+                let id = self.lock.id;
+                ctx.sched.unblock(|w| w == Wait::RwLock(id));
+                if !std::thread::panicking() {
+                    ctx.sched.switch(ctx.id, None, false);
+                }
+            }
+        }
+    }
+}
+
+/// RAII exclusive guard for [`RwLock`].
+pub struct RwLockWriteGuard<'a, T: ?Sized> {
+    inner: Option<std::sync::RwLockWriteGuard<'a, T>>,
+    lock: &'a RwLock<T>,
+}
+
+impl<T: ?Sized> Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_deref().expect("guard released")
+    }
+}
+
+impl<T: ?Sized> DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_deref_mut().expect("guard released")
+    }
+}
+
+impl<T: ?Sized> Drop for RwLockWriteGuard<'_, T> {
+    fn drop(&mut self) {
+        if self.inner.take().is_some() {
+            if let Some(ctx) = sched::current() {
+                self.lock.writer.store(false, Ordering::Relaxed);
+                let id = self.lock.id;
+                ctx.sched.unblock(|w| w == Wait::RwLock(id));
+                if !std::thread::panicking() {
+                    ctx.sched.switch(ctx.id, None, false);
+                }
+            }
+        }
+    }
+}

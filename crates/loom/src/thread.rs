@@ -1,0 +1,97 @@
+//! Schedule-aware replacements for `std::thread`.
+
+use crate::sched::{self, Ctx, Wait};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+
+/// Spawns a modeled thread (or a plain `std` thread outside a model).
+///
+/// Inside [`crate::model`], the spawn itself is a schedule point and the
+/// child only runs when the scheduler picks it.
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    match sched::current() {
+        Some(ctx) => {
+            let id = ctx.sched.register();
+            let sched_for_child = Arc::clone(&ctx.sched);
+            let inner = std::thread::spawn(move || {
+                sched::install(Some(Ctx {
+                    sched: Arc::clone(&sched_for_child),
+                    id,
+                }));
+                sched_for_child.wait_my_turn(id);
+                let out = catch_unwind(AssertUnwindSafe(f));
+                sched::install(None);
+                match out {
+                    Ok(v) => {
+                        sched_for_child.finish(id, None);
+                        Some(v)
+                    }
+                    Err(p) => {
+                        sched_for_child.finish(id, Some(p));
+                        None
+                    }
+                }
+            });
+            ctx.sched.switch(ctx.id, None, false);
+            JoinHandle(Inner::Model {
+                inner,
+                id,
+                sched: ctx.sched,
+            })
+        }
+        None => JoinHandle(Inner::Std(std::thread::spawn(f))),
+    }
+}
+
+/// A voluntary schedule point (no-op scheduling hint outside a model).
+pub fn yield_now() {
+    match sched::current() {
+        Some(ctx) => ctx.sched.switch(ctx.id, None, false),
+        None => std::thread::yield_now(),
+    }
+}
+
+/// Handle to a spawned thread; join semantics mirror `std`.
+pub struct JoinHandle<T>(Inner<T>);
+
+enum Inner<T> {
+    /// A plain `std` thread (spawned outside any model).
+    Std(std::thread::JoinHandle<T>),
+    /// A modeled thread: the carrier OS thread (closure result is `None`
+    /// on panic), the modeled thread id, and the owning scheduler.
+    Model {
+        inner: std::thread::JoinHandle<Option<T>>,
+        id: usize,
+        sched: Arc<sched::Scheduler>,
+    },
+}
+
+impl<T> JoinHandle<T> {
+    /// Waits for the thread to finish; a panic on the thread is returned as
+    /// `Err` with its payload, exactly like `std::thread::JoinHandle::join`.
+    pub fn join(self) -> std::thread::Result<T> {
+        match self.0 {
+            Inner::Std(h) => h.join(),
+            Inner::Model { inner, id, sched } => {
+                if let Some(ctx) = sched::current() {
+                    while !sched.is_finished(id) {
+                        sched.switch(ctx.id, Some(Wait::Join(id)), false);
+                    }
+                }
+                if let Some(p) = sched.take_panic(id) {
+                    let _ = inner.join(); // reap the carrier thread
+                    return Err(p);
+                }
+                match inner.join() {
+                    Ok(Some(v)) => Ok(v),
+                    Ok(None) => Err(Box::new("vaq-loom: thread panicked")),
+                    Err(p) => Err(p),
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,233 @@
+//! Self-validation of the vaq-loom explorer. These tests run under plain
+//! `cargo test` (no `--cfg loom` needed — the shims enter model mode
+//! whenever `model()` is active), so tier-1 CI exercises the checker that
+//! the `--cfg loom` suites in vaq-detect / vaq-scanstats rely on.
+
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use vaq_loom::sync::{Arc, Condvar, Mutex, RwLock};
+use vaq_loom::{model, thread};
+
+/// The classic check-then-act race: lock, miss, unlock, compute, lock,
+/// insert. Two threads can both observe the miss, so some interleaving
+/// executes twice — the explorer must find it.
+#[test]
+fn explorer_finds_check_then_act_race() {
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        model(|| {
+            let map = Arc::new(Mutex::new(HashMap::<u64, u64>::new()));
+            let execs = Arc::new(AtomicUsize::new(0));
+            let mut handles = Vec::new();
+            for _ in 0..2 {
+                let map = Arc::clone(&map);
+                let execs = Arc::clone(&execs);
+                handles.push(thread::spawn(move || {
+                    if let Some(&v) = map.lock().unwrap().get(&7) {
+                        return v;
+                    }
+                    // Lock released: another thread can miss here too.
+                    execs.fetch_add(1, Ordering::SeqCst);
+                    map.lock().unwrap().insert(7, 42);
+                    42
+                }));
+            }
+            for h in handles {
+                assert_eq!(h.join().unwrap(), 42);
+            }
+            assert_eq!(
+                execs.load(Ordering::SeqCst),
+                1,
+                "duplicate execution — the race the explorer must expose"
+            );
+        });
+    }));
+    assert!(
+        result.is_err(),
+        "the explorer failed to find the check-then-act interleaving"
+    );
+}
+
+/// The single-flight protocol (a miniature of the vaq-detect cache): a
+/// pending flag claims the computation under the same lock that observed
+/// the miss, and losers park on a condvar. No interleaving may duplicate
+/// the execution, lose a wakeup, or deadlock.
+#[test]
+fn single_flight_executes_exactly_once_under_all_interleavings() {
+    struct Flight {
+        value: Option<u64>,
+        pending: bool,
+    }
+
+    fn get_or_compute(state: &Mutex<Flight>, cv: &Condvar, execs: &AtomicUsize) -> u64 {
+        let mut st = state.lock().unwrap();
+        loop {
+            if let Some(v) = st.value {
+                return v;
+            }
+            if !st.pending {
+                break;
+            }
+            st = cv.wait(st).unwrap();
+        }
+        st.pending = true;
+        drop(st);
+        execs.fetch_add(1, Ordering::SeqCst);
+        let mut st = state.lock().unwrap();
+        st.pending = false;
+        st.value = Some(42);
+        drop(st);
+        cv.notify_all();
+        42
+    }
+
+    model(|| {
+        let state = Arc::new(Mutex::new(Flight {
+            value: None,
+            pending: false,
+        }));
+        let cv = Arc::new(Condvar::new());
+        let execs = Arc::new(AtomicUsize::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..2 {
+            let state = Arc::clone(&state);
+            let cv = Arc::clone(&cv);
+            let execs = Arc::clone(&execs);
+            handles.push(thread::spawn(move || get_or_compute(&state, &cv, &execs)));
+        }
+        for h in handles {
+            assert_eq!(h.join().unwrap(), 42);
+        }
+        assert_eq!(execs.load(Ordering::SeqCst), 1);
+    });
+}
+
+/// ABBA lock ordering: the explorer must reach the interleaving where both
+/// threads hold one lock and want the other, and report the deadlock.
+#[test]
+fn explorer_detects_abba_deadlock() {
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        model(|| {
+            let a = Arc::new(Mutex::new(0u32));
+            let b = Arc::new(Mutex::new(0u32));
+            let t = {
+                let a = Arc::clone(&a);
+                let b = Arc::clone(&b);
+                thread::spawn(move || {
+                    let _ga = a.lock().unwrap();
+                    let _gb = b.lock().unwrap();
+                })
+            };
+            {
+                let _gb = b.lock().unwrap();
+                let _ga = a.lock().unwrap();
+            }
+            let _ = t.join();
+        });
+    }));
+    assert!(result.is_err(), "ABBA deadlock was not detected");
+}
+
+/// A waiting consumer and a notifying producer: no interleaving may lose
+/// the wakeup (which would surface as a deadlock panic).
+#[test]
+fn condvar_wakeups_are_never_lost() {
+    model(|| {
+        let state = Arc::new(Mutex::new(false));
+        let cv = Arc::new(Condvar::new());
+        let consumer = {
+            let state = Arc::clone(&state);
+            let cv = Arc::clone(&cv);
+            thread::spawn(move || {
+                let mut ready = state.lock().unwrap();
+                while !*ready {
+                    ready = cv.wait(ready).unwrap();
+                }
+            })
+        };
+        *state.lock().unwrap() = true;
+        cv.notify_all();
+        consumer.join().unwrap();
+    });
+}
+
+/// Two readers must be able to overlap inside an RwLock read section in at
+/// least one explored interleaving, and no interleaving may deadlock.
+#[test]
+fn rwlock_readers_overlap_and_writers_exclude() {
+    let overlap_seen = Arc::new(AtomicUsize::new(0));
+    let seen = Arc::clone(&overlap_seen);
+    model(move || {
+        let lock = Arc::new(RwLock::new(0u64));
+        let inside = Arc::new(AtomicUsize::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..2 {
+            let lock = Arc::clone(&lock);
+            let inside = Arc::clone(&inside);
+            let seen = Arc::clone(&seen);
+            handles.push(thread::spawn(move || {
+                let g = lock.read().unwrap();
+                let now = inside.fetch_add(1, Ordering::SeqCst) + 1;
+                seen.fetch_max(now, Ordering::SeqCst);
+                thread::yield_now();
+                inside.fetch_sub(1, Ordering::SeqCst);
+                *g
+            }));
+        }
+        let writer = {
+            let lock = Arc::clone(&lock);
+            let inside = Arc::clone(&inside);
+            thread::spawn(move || {
+                let mut g = lock.write().unwrap();
+                assert_eq!(
+                    inside.load(Ordering::SeqCst),
+                    0,
+                    "writer overlapped a reader"
+                );
+                *g += 1;
+                0u64
+            })
+        };
+        handles.push(writer);
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(*lock.read().unwrap(), 1);
+    });
+    assert_eq!(
+        overlap_seen.load(Ordering::SeqCst),
+        2,
+        "no explored schedule had both readers inside simultaneously"
+    );
+}
+
+/// A panic on a modeled thread is caught and returned through join, exactly
+/// like `std::thread` — and a handled join error does not fail the model.
+#[test]
+fn join_returns_the_panic_payload() {
+    model(|| {
+        let t = thread::spawn(|| panic!("boom"));
+        let err = t.join().expect_err("panic must surface through join");
+        let msg = err
+            .downcast_ref::<&str>()
+            .copied()
+            .unwrap_or("<non-str payload>");
+        assert!(msg.contains("boom"));
+    });
+}
+
+/// Outside `model()`, the shims behave like plain std primitives.
+#[test]
+fn fallback_mode_matches_std_semantics() {
+    let m = Mutex::new(5u32);
+    *m.lock().unwrap() += 1;
+    assert_eq!(*m.lock().unwrap(), 6);
+
+    let rw = RwLock::new(1u32);
+    assert_eq!(*rw.read().unwrap(), 1);
+    *rw.write().unwrap() = 2;
+    assert_eq!(*rw.read().unwrap(), 2);
+
+    let t = thread::spawn(|| 7u32);
+    assert_eq!(t.join().unwrap(), 7);
+}

@@ -16,6 +16,7 @@
 //!   "with SVAQD" rows of Table 5 (fraction of truly-negative clips the
 //!   aggregated indicator still flags).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use vaq_types::{SequenceSet, VideoGeometry};

@@ -238,7 +238,7 @@ pub fn execute_offline(
         .into_iter()
         .map(|((s, e), score)| (ClipInterval::new(s, e), score))
         .collect();
-    ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+    ranked.sort_by(|a, b| b.1.total_cmp(&a.1));
     ranked.truncate(k);
     Ok(QueryOutput::Ranked(ranked))
 }
@@ -293,11 +293,7 @@ pub fn execute_repository(
             score,
         })
         .collect();
-    ranked.sort_by(|a, b| {
-        b.score
-            .partial_cmp(&a.score)
-            .unwrap_or(std::cmp::Ordering::Equal)
-    });
+    ranked.sort_by(|a, b| b.score.total_cmp(&a.score));
     ranked.truncate(k);
     Ok(QueryOutput::RankedRepo(ranked))
 }

@@ -30,6 +30,11 @@
 //! `obj.relate('a', 'left_of', 'b')` (footnote 2; online-only frame-level
 //! post-filter).
 
+#![forbid(unsafe_code)]
+#![cfg_attr(
+    not(test),
+    warn(clippy::unwrap_used, clippy::expect_used, clippy::panic)
+)]
 #![warn(missing_docs)]
 
 pub mod ast;

@@ -191,27 +191,27 @@ impl Parser {
     }
 
     fn parse_or(&mut self) -> Result<Expr> {
-        let mut parts = vec![self.parse_and()?];
+        let first = self.parse_and()?;
+        if !self.eat_kw("OR") {
+            return Ok(first);
+        }
+        let mut parts = vec![first, self.parse_and()?];
         while self.eat_kw("OR") {
             parts.push(self.parse_and()?);
         }
-        Ok(if parts.len() == 1 {
-            parts.pop().expect("one element")
-        } else {
-            Expr::Or(parts)
-        })
+        Ok(Expr::Or(parts))
     }
 
     fn parse_and(&mut self) -> Result<Expr> {
-        let mut parts = vec![self.parse_primary()?];
+        let first = self.parse_primary()?;
+        if !self.eat_kw("AND") {
+            return Ok(first);
+        }
+        let mut parts = vec![first, self.parse_primary()?];
         while self.eat_kw("AND") {
             parts.push(self.parse_primary()?);
         }
-        Ok(if parts.len() == 1 {
-            parts.pop().expect("one element")
-        } else {
-            Expr::And(parts)
-        })
+        Ok(Expr::And(parts))
     }
 
     fn parse_primary(&mut self) -> Result<Expr> {

@@ -1,0 +1,97 @@
+//! Property tests for the float-ordering invariant (`vaq-lint: float-ord`,
+//! DESIGN.md §10.1): ranked score tables sort with `f64::total_cmp`, so a
+//! NaN score — however it arises — can never panic a sort, break the
+//! comparator's contract, or reorder the finite-scored clips among
+//! themselves. The comparator under test is byte-for-byte the one used by
+//! the executor's ranked output (`query/src/exec.rs`) and the offline
+//! repository merge.
+
+use proptest::prelude::*;
+use vaq_types::ClipInterval;
+
+/// The executor's ranking comparator: descending score, total order.
+fn rank(table: &mut [(ClipInterval, f64)]) {
+    table.sort_by(|a, b| b.1.total_cmp(&a.1));
+}
+
+/// Scores including every awkward class a detector pipeline can emit.
+fn score() -> impl Strategy<Value = f64> {
+    prop_oneof![
+        8 => -1e6..1e6f64,
+        1 => Just(f64::NAN),
+        1 => Just(-f64::NAN),
+        1 => Just(f64::INFINITY),
+        1 => Just(f64::NEG_INFINITY),
+        1 => Just(0.0f64),
+        1 => Just(-0.0f64),
+    ]
+}
+
+fn table() -> impl Strategy<Value = Vec<(ClipInterval, f64)>> {
+    prop::collection::vec((0u64..1000, score()), 0..64).prop_map(|rows| {
+        rows.into_iter()
+            .map(|(start, s)| (ClipInterval::new(start, start + 1), s))
+            .collect()
+    })
+}
+
+proptest! {
+    /// `total_cmp` is a total order: sorting any mix of finite, infinite
+    /// and NaN scores must complete (no comparator panic, no `sort_by`
+    /// contract violation) and lose no rows.
+    #[test]
+    fn ranking_with_nans_never_panics_or_drops_rows(mut rows in table()) {
+        let n = rows.len();
+        let nans = rows.iter().filter(|(_, s)| s.is_nan()).count();
+        rank(&mut rows);
+        prop_assert_eq!(rows.len(), n);
+        prop_assert_eq!(rows.iter().filter(|(_, s)| s.is_nan()).count(), nans);
+    }
+
+    /// The finite-scored clips come out in non-increasing score order no
+    /// matter where NaNs sat in the input.
+    #[test]
+    fn finite_scores_are_ranked_descending(mut rows in table()) {
+        rank(&mut rows);
+        let finite: Vec<f64> = rows
+            .iter()
+            .map(|&(_, s)| s)
+            .filter(|s| !s.is_nan())
+            .collect();
+        for pair in finite.windows(2) {
+            prop_assert!(
+                pair[0] >= pair[1],
+                "finite scores out of order: {} before {}",
+                pair[0],
+                pair[1]
+            );
+        }
+    }
+
+    /// NaN rows never *reorder* the rest of the table: ranking the full
+    /// table and then dropping the NaN rows yields exactly the same
+    /// sequence of (clip, score) as dropping them first and ranking the
+    /// remainder. With the old `partial_cmp(..).unwrap_or(Equal)` idiom the
+    /// comparator stopped being transitive as soon as one NaN appeared, and
+    /// this equality broke.
+    #[test]
+    fn nan_rows_never_reorder_finite_rows(rows in table()) {
+        let mut with_nans = rows.clone();
+        rank(&mut with_nans);
+        let after: Vec<(ClipInterval, u64)> = with_nans
+            .into_iter()
+            .filter(|(_, s)| !s.is_nan())
+            .map(|(iv, s)| (iv, s.to_bits()))
+            .collect();
+
+        let mut without_nans: Vec<(ClipInterval, f64)> =
+            rows.into_iter().filter(|(_, s)| !s.is_nan()).collect();
+        rank(&mut without_nans);
+        let reference: Vec<(ClipInterval, u64)> = without_nans
+            .into_iter()
+            .map(|(iv, s)| (iv, s.to_bits()))
+            .collect();
+
+        prop_assert_eq!(after, reference);
+    }
+}

@@ -8,8 +8,8 @@
 //! cost negligible.
 
 use crate::naus::scan_prob;
+use crate::sync::RwLock;
 use std::collections::HashMap;
-use std::sync::RwLock;
 use vaq_types::{Result, VaqError};
 
 /// Parameters of the scan-statistics test, fixed per predicate kind.
@@ -143,7 +143,7 @@ impl CriticalValueCache {
         if let Some(&k) = self
             .cache
             .read()
-            .expect("critical-value cache poisoned")
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .get(&key)
         {
             return k;
@@ -153,7 +153,7 @@ impl CriticalValueCache {
         let k = critical_value(&self.cfg, q);
         self.cache
             .write()
-            .expect("critical-value cache poisoned")
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .insert(key, k);
         k
     }
@@ -162,7 +162,7 @@ impl CriticalValueCache {
     pub fn len(&self) -> usize {
         self.cache
             .read()
-            .expect("critical-value cache poisoned")
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .len()
     }
 

@@ -28,6 +28,11 @@
 //!   unit, alongside an `O(N*)` direct reference implementation used by the
 //!   tests.
 
+#![forbid(unsafe_code)]
+#![cfg_attr(
+    not(test),
+    warn(clippy::unwrap_used, clippy::expect_used, clippy::panic)
+)]
 #![warn(missing_docs)]
 
 pub mod binomial;
@@ -36,6 +41,7 @@ pub mod exact;
 pub mod kernel;
 pub mod markov;
 pub mod naus;
+mod sync;
 
 pub use critical::{critical_value, critical_value_checked, CriticalValueCache, ScanConfig};
 pub use exact::{exact_scan_prob, exact_scan_prob_markov, monte_carlo_scan_prob, MarkovRates};

@@ -1,0 +1,15 @@
+//! Synchronization facade: `std::sync` in normal builds, the deterministic
+//! [`vaq-loom`] interleaving explorer under `--cfg loom`.
+//!
+//! Concurrency-sensitive modules import their primitives from here so the
+//! loom model-checking suite (`tests/loom_critical.rs`, run with
+//! `RUSTFLAGS="--cfg loom" cargo test -p vaq-scanstats --test loom_critical`)
+//! exercises the exact same code paths under every explored interleaving.
+//!
+//! [`vaq-loom`]: ../../loom/index.html
+
+#[cfg(loom)]
+pub(crate) use loom::sync::RwLock;
+
+#[cfg(not(loom))]
+pub(crate) use std::sync::RwLock;

@@ -1,0 +1,93 @@
+//! Model-checked interleavings of [`vaq_scanstats::CriticalValueCache`].
+//!
+//! Compiled only under `--cfg loom`:
+//!
+//! ```sh
+//! RUSTFLAGS="--cfg loom" cargo test -p vaq-scanstats --test loom_critical
+//! ```
+//!
+//! The cache deliberately computes outside the lock (racing misses derive
+//! the same deterministic value), so the properties to check are: every
+//! reader always gets the sequential answer, concurrent readers and a
+//! racing writer never deadlock, and duplicated computation is the only
+//! cost of a race (the map converges to one entry per quantized key).
+#![cfg(loom)]
+
+use loom::sync::Arc;
+use loom::{model, thread};
+use vaq_scanstats::{critical_value, CriticalValueCache, ScanConfig};
+
+fn tiny_cfg() -> ScanConfig {
+    // Small window and horizon keep the per-execution numeric work trivial;
+    // the explorer runs the body under hundreds of schedules.
+    ScanConfig::new(4, 64, 0.05).unwrap()
+}
+
+/// Two readers racing a cold miss on the same probability: in every
+/// interleaving both observe exactly the sequential critical value.
+#[test]
+fn concurrent_readers_agree_with_sequential_value() {
+    let cfg = tiny_cfg();
+    let expected = critical_value(&cfg, CriticalValueCache::quantize(2e-2));
+    model(move || {
+        let cache = Arc::new(CriticalValueCache::new(tiny_cfg()));
+        let mut handles = Vec::new();
+        for _ in 0..2 {
+            let cache = Arc::clone(&cache);
+            handles.push(thread::spawn(move || cache.get(2e-2)));
+        }
+        for h in handles {
+            assert_eq!(h.join().unwrap(), expected);
+        }
+        assert_eq!(cache.len(), 1, "racing misses must converge to one entry");
+    });
+}
+
+/// A reader racing a writer on a *different* key: reads are never blocked
+/// into a deadlock by the writer's insert, and each key's answer is the
+/// sequential one regardless of schedule.
+#[test]
+fn reader_and_writer_on_distinct_keys_never_interfere() {
+    let cfg = tiny_cfg();
+    let expected_a = critical_value(&cfg, CriticalValueCache::quantize(2e-2));
+    let expected_b = critical_value(&cfg, CriticalValueCache::quantize(1e-3));
+    model(move || {
+        let cache = Arc::new(CriticalValueCache::new(tiny_cfg()));
+        let a = {
+            let cache = Arc::clone(&cache);
+            thread::spawn(move || cache.get(2e-2))
+        };
+        let b = {
+            let cache = Arc::clone(&cache);
+            thread::spawn(move || cache.get(1e-3))
+        };
+        assert_eq!(a.join().unwrap(), expected_a);
+        assert_eq!(b.join().unwrap(), expected_b);
+        assert_eq!(cache.len(), 2);
+    });
+}
+
+/// A warm read racing a cold miss: the warm key's answer must be stable
+/// under every interleaving of the other key's insert (the write lock is
+/// only held for the map insert, never across the computation).
+#[test]
+fn warm_hit_is_stable_under_a_racing_insert() {
+    let cfg = tiny_cfg();
+    let expected = critical_value(&cfg, CriticalValueCache::quantize(2e-2));
+    model(move || {
+        let cache = Arc::new(CriticalValueCache::new(tiny_cfg()));
+        let warm = cache.get(2e-2);
+        assert_eq!(warm, expected);
+        let reader = {
+            let cache = Arc::clone(&cache);
+            thread::spawn(move || cache.get(2e-2))
+        };
+        let inserter = {
+            let cache = Arc::clone(&cache);
+            thread::spawn(move || cache.get(1e-3))
+        };
+        assert_eq!(reader.join().unwrap(), expected);
+        let _ = inserter.join().unwrap();
+        assert_eq!(cache.len(), 2);
+    });
+}

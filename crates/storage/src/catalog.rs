@@ -230,10 +230,12 @@ impl VideoCatalog {
                 self.dir.display()
             )));
         }
-        Ok(self
-            .sequences
-            .get(&key_name(key))
-            .expect("sequences written for every table"))
+        self.sequences.get(&key_name(key)).ok_or_else(|| {
+            VaqError::Storage(format!(
+                "{}: table {key} present but its sequence set was never loaded",
+                self.dir.display()
+            ))
+        })
     }
 
     /// Convenience accessor for an object key.

@@ -123,8 +123,9 @@ pub(crate) fn read_header(file: &File, path: &Path) -> Result<u64> {
     let mut footer = [0u8; FOOTER_LEN as usize];
     file.read_exact_at(&mut footer, expect - FOOTER_LEN)
         .map_err(|e| VaqError::Storage(format!("{}: cannot read footer: {e}", path.display())))?;
-    let stored = u32::from_le_bytes(footer[..4].try_into().expect("4 bytes"));
-    let complement = u32::from_le_bytes(footer[4..].try_into().expect("4 bytes"));
+    let [s0, s1, s2, s3, c0, c1, c2, c3] = footer;
+    let stored = u32::from_le_bytes([s0, s1, s2, s3]);
+    let complement = u32::from_le_bytes([c0, c1, c2, c3]);
     if complement != !stored {
         return Err(VaqError::Storage(format!(
             "{}: corrupt CRC footer (complement check failed)",

@@ -30,6 +30,11 @@
 //! together the per-video tables, the materialized individual sequences
 //! `P_{o_i}`/`P_{a_j}`, and a JSON manifest.
 
+#![forbid(unsafe_code)]
+#![cfg_attr(
+    not(test),
+    warn(clippy::unwrap_used, clippy::expect_used, clippy::panic)
+)]
 #![warn(missing_docs)]
 
 pub mod catalog;

@@ -161,12 +161,7 @@ impl MemTable {
             rows.iter().all(|r| r.score.is_finite()),
             "scores must be finite"
         );
-        rows.sort_by(|a, b| {
-            b.score
-                .partial_cmp(&a.score)
-                .expect("finite scores compare")
-                .then(a.clip.cmp(&b.clip))
-        });
+        rows.sort_by(|a, b| b.score.total_cmp(&a.score).then(a.clip.cmp(&b.clip)));
         let by_score = rows;
         let mut by_clip = by_score.clone();
         by_clip.sort_by_key(|r| r.clip);

@@ -19,6 +19,11 @@
 //! [`VideoGeometry`] encodes the shot/clip lengths; [`ClipInterval`] and
 //! [`SequenceSet`] encode result sequences `P = {(c_l, c_r)}`.
 
+#![forbid(unsafe_code)]
+#![cfg_attr(
+    not(test),
+    warn(clippy::unwrap_used, clippy::expect_used, clippy::panic)
+)]
 #![warn(missing_docs)]
 
 pub mod error;

@@ -132,14 +132,18 @@ impl Vocabulary {
 
     /// Label of an object type (panics if out of range — an [`ObjectType`]
     /// should only ever be minted by this vocabulary).
+    #[allow(clippy::panic)]
     pub fn object_label(&self, o: ObjectType) -> &str {
         self.label(o.raw())
+            // vaq-lint: allow(no-panic) -- documented contract panic: ObjectTypes are only minted by this vocabulary
             .unwrap_or_else(|| panic!("object type {o} out of vocabulary range"))
     }
 
     /// Label of an action type (panics if out of range).
+    #[allow(clippy::panic)]
     pub fn action_label(&self, a: ActionType) -> &str {
         self.label(a.raw())
+            // vaq-lint: allow(no-panic) -- documented contract panic: ActionTypes are only minted by this vocabulary
             .unwrap_or_else(|| panic!("action type {a} out of vocabulary range"))
     }
 }

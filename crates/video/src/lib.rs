@@ -24,6 +24,7 @@
 //!   rush-hour drift profiles) used by the dataset builders and the SVAQD
 //!   adaptivity experiments.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod frame;

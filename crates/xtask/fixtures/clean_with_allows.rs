@@ -1,0 +1,29 @@
+//! A fixture that exercises every rule's *compliant* form, including the
+//! audited-exception mechanism. The self-test asserts zero violations.
+
+pub fn ordered(mut scores: Vec<(u64, f64)>) -> Vec<(u64, f64)> {
+    scores.sort_by(|a, b| b.1.total_cmp(&a.1));
+    scores
+}
+
+pub fn recovered(m: &std::sync::Mutex<u32>) -> u32 {
+    *m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+pub fn audited(x: Option<u32>) -> u32 {
+    // vaq-lint: allow(no-panic) -- fixture: x is populated two lines above in every caller
+    x.unwrap()
+}
+
+pub fn audited_trailing(started: bool) -> bool {
+    let t = std::time::Instant::now(); // vaq-lint: allow(nondeterminism) -- fixture: wall-clock metric only
+    started && t.elapsed().as_nanos() > 0
+}
+
+pub fn exhaustive(fault: DetectorFault) -> &'static str {
+    match fault {
+        DetectorFault::Transient => "retry",
+        DetectorFault::Unavailable => "degrade",
+        DetectorFault::InputLost => "skip",
+    }
+}

@@ -1,0 +1,9 @@
+//! Seeded `fault-exhaustive` violation: a `_ =>` arm swallowing unknown
+//! fault variants in degradation code.
+
+pub fn classify(fault: DetectorFault) -> &'static str {
+    match fault {
+        DetectorFault::Transient => "retry",
+        _ => "give up",
+    }
+}

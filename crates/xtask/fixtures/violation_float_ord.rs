@@ -1,0 +1,7 @@
+//! Seeded `float-ord` violation: ranking scores with `partial_cmp` — the
+//! exact shape of the PR-1 NaN-ordering bug.
+
+pub fn rank(mut scores: Vec<(u64, f64)>) -> Vec<(u64, f64)> {
+    scores.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+    scores
+}

@@ -1,0 +1,20 @@
+//! Seeded `no-panic` violations: the self-test asserts vaq-lint catches
+//! exactly these three, and that the test module below stays exempt.
+
+pub fn library_code(x: Option<u32>, y: Result<u32, String>) -> u32 {
+    let a = x.unwrap();
+    let b = y.expect("y must be set");
+    if a + b == 0 {
+        panic!("zero");
+    }
+    a + b
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_unwrap() {
+        let v: Option<u32> = Some(1);
+        assert_eq!(v.unwrap(), 1);
+    }
+}

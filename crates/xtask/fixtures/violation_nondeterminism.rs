@@ -1,0 +1,14 @@
+//! Seeded `nondeterminism` violations: wall-clock and ambient entropy in
+//! what the self-test lints as a deterministic path.
+
+pub fn decide() -> bool {
+    let t = std::time::Instant::now();
+    let s = std::time::SystemTime::UNIX_EPOCH;
+    let mut rng = rand::thread_rng();
+    let _ = (t, s);
+    rng_is_fine(&mut rng)
+}
+
+fn rng_is_fine<T>(_: &mut T) -> bool {
+    true
+}

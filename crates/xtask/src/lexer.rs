@@ -1,0 +1,485 @@
+//! A minimal Rust lexer — just enough structure for token-pattern lints.
+//!
+//! The workspace cannot assume `syn` (the build environment is offline), so
+//! `vaq-lint` works on a hand-rolled token stream instead of a syntax tree.
+//! The lexer understands everything that could make naive text matching lie:
+//! line and (nested) block comments, string/byte/raw-string literals, char
+//! literals vs. lifetimes, and numeric literals. Rules then match on token
+//! patterns (e.g. `.` `unwrap` `(`), which cannot be fooled by occurrences
+//! inside strings, comments, or doc examples.
+
+/// Kind of one lexed token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kind {
+    /// Identifier or keyword (including raw `r#ident`).
+    Ident,
+    /// One punctuation character (`.`, `(`, `{`, `!`, …).
+    Punct,
+    /// Any literal: string, raw string, byte string, char, or number.
+    Lit,
+    /// A lifetime such as `'a` or `'_`.
+    Lifetime,
+}
+
+/// One token with its source line (1-based).
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// What class of token this is.
+    pub kind: Kind,
+    /// The token text (for `Punct`, a single character).
+    pub text: String,
+    /// 1-based line number of the token's first character.
+    pub line: u32,
+}
+
+impl Tok {
+    /// Whether this token is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == Kind::Ident && self.text == s
+    }
+
+    /// Whether this token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == Kind::Punct && self.text.len() == 1 && self.text.starts_with(c)
+    }
+}
+
+/// A `// vaq-lint: allow(rule) -- reason` directive found while lexing.
+#[derive(Debug, Clone)]
+pub struct AllowDirective {
+    /// Line the comment sits on.
+    pub line: u32,
+    /// The rule name inside `allow(...)`, or `None` if unparsable.
+    pub rule: Option<String>,
+    /// Whether a non-empty reason followed `--`.
+    pub has_reason: bool,
+    /// The raw comment text (for diagnostics).
+    pub raw: String,
+}
+
+/// Output of [`lex`]: the token stream plus side tables.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// All code tokens in source order.
+    pub tokens: Vec<Tok>,
+    /// `vaq-lint:` directives found in comments.
+    pub directives: Vec<AllowDirective>,
+}
+
+/// Lexes `src` into tokens, collecting `vaq-lint:` comment directives.
+///
+/// The lexer is lossy where it is safe to be (comments and literal contents
+/// are discarded) and conservative where it matters: anything it cannot
+/// classify becomes a single-character `Punct` so no input is silently
+/// swallowed.
+pub fn lex(src: &str) -> Lexed {
+    let b: Vec<char> = src.chars().collect();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+
+    let bump_lines = |s: &[char]| s.iter().filter(|&&c| c == '\n').count() as u32;
+
+    while i < b.len() {
+        let c = b[i];
+        // Newlines / whitespace.
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Line comment (also doc comments `///`, `//!`).
+        if c == '/' && b.get(i + 1) == Some(&'/') {
+            let start = i;
+            while i < b.len() && b[i] != '\n' {
+                i += 1;
+            }
+            let text: String = b[start..i].iter().collect();
+            if let Some(d) = parse_directive(&text, line) {
+                out.directives.push(d);
+            }
+            continue;
+        }
+        // Block comment, possibly nested.
+        if c == '/' && b.get(i + 1) == Some(&'*') {
+            let mut depth = 1usize;
+            let start = i;
+            i += 2;
+            while i < b.len() && depth > 0 {
+                if b[i] == '/' && b.get(i + 1) == Some(&'*') {
+                    depth += 1;
+                    i += 2;
+                } else if b[i] == '*' && b.get(i + 1) == Some(&'/') {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+            line += bump_lines(&b[start..i.min(b.len())]);
+            continue;
+        }
+        // Raw strings / byte strings / raw identifiers: r"..", r#".."#,
+        // br".."), b"..", r#ident.
+        if c == 'r' || c == 'b' {
+            if let Some((consumed, newlines, is_lit)) = try_lex_prefixed(&b[i..]) {
+                out.tokens.push(Tok {
+                    kind: if is_lit { Kind::Lit } else { Kind::Ident },
+                    text: if is_lit {
+                        String::from("\"…\"")
+                    } else {
+                        b[i..i + consumed].iter().collect()
+                    },
+                    line,
+                });
+                line += newlines;
+                i += consumed;
+                continue;
+            }
+        }
+        // Plain string literal.
+        if c == '"' {
+            let (consumed, newlines) = lex_string(&b[i..]);
+            out.tokens.push(Tok {
+                kind: Kind::Lit,
+                text: String::from("\"…\""),
+                line,
+            });
+            line += newlines;
+            i += consumed;
+            continue;
+        }
+        // Char literal vs. lifetime.
+        if c == '\'' {
+            let (consumed, is_lifetime, text) = lex_quote(&b[i..]);
+            out.tokens.push(Tok {
+                kind: if is_lifetime {
+                    Kind::Lifetime
+                } else {
+                    Kind::Lit
+                },
+                text,
+                line,
+            });
+            i += consumed;
+            continue;
+        }
+        // Identifier / keyword.
+        if c == '_' || c.is_alphabetic() {
+            let start = i;
+            while i < b.len() && (b[i] == '_' || b[i].is_alphanumeric()) {
+                i += 1;
+            }
+            out.tokens.push(Tok {
+                kind: Kind::Ident,
+                text: b[start..i].iter().collect(),
+                line,
+            });
+            continue;
+        }
+        // Numeric literal. Consume digits, `_`, type suffixes, hex letters
+        // and a decimal point followed by a digit (so `0..5` and tuple
+        // access `x.0.method()` are not swallowed).
+        if c.is_ascii_digit() {
+            let start = i;
+            i += 1;
+            while i < b.len() {
+                let d = b[i];
+                if d == '_' || d.is_ascii_alphanumeric() {
+                    i += 1;
+                } else if d == '.'
+                    && b.get(i + 1).is_some_and(|n| n.is_ascii_digit())
+                    && b.get(i + 1) != Some(&'.')
+                {
+                    i += 1;
+                } else {
+                    break;
+                }
+            }
+            out.tokens.push(Tok {
+                kind: Kind::Lit,
+                text: b[start..i].iter().collect(),
+                line,
+            });
+            continue;
+        }
+        // Everything else: one punctuation character.
+        out.tokens.push(Tok {
+            kind: Kind::Punct,
+            text: c.to_string(),
+            line,
+        });
+        i += 1;
+    }
+    out
+}
+
+/// Parses a `vaq-lint:` comment into a directive, if the comment carries one.
+fn parse_directive(comment: &str, line: u32) -> Option<AllowDirective> {
+    let body = comment
+        .trim_start_matches('/')
+        .trim_start_matches('!')
+        .trim();
+    let rest = body.strip_prefix("vaq-lint:")?.trim();
+    let mut rule = None;
+    if let Some(open) = rest.find("allow(") {
+        if let Some(close) = rest[open..].find(')') {
+            rule = Some(rest[open + 6..open + close].trim().to_string());
+        }
+    }
+    let has_reason = rest
+        .split_once("--")
+        .is_some_and(|(_, reason)| !reason.trim().is_empty());
+    Some(AllowDirective {
+        line,
+        rule,
+        has_reason,
+        raw: comment.to_string(),
+    })
+}
+
+/// Lexes a string literal starting at `"`; returns (chars consumed, newlines).
+fn lex_string(b: &[char]) -> (usize, u32) {
+    let mut i = 1usize;
+    let mut newlines = 0u32;
+    while i < b.len() {
+        match b[i] {
+            // An escape may be a `\` line-continuation: the skipped
+            // character still counts toward line tracking.
+            '\\' => {
+                if b.get(i + 1) == Some(&'\n') {
+                    newlines += 1;
+                }
+                i += 2;
+            }
+            '"' => {
+                i += 1;
+                break;
+            }
+            '\n' => {
+                newlines += 1;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    (i.min(b.len()), newlines)
+}
+
+/// Tries to lex an `r`/`b`-prefixed token: raw string `r"…"`/`r#"…"#`,
+/// byte string `b"…"`, raw byte string `br#"…"#`, or raw identifier
+/// `r#ident`. Returns `(consumed, newlines, is_literal)`, or `None` when the
+/// prefix is just the start of an ordinary identifier.
+fn try_lex_prefixed(b: &[char]) -> Option<(usize, u32, bool)> {
+    let mut i = 0usize;
+    // Optional `b` then optional `r` (covers r, b, br) — but only treat as a
+    // prefix when what follows is `"` or `#`.
+    if b[i] == 'b' {
+        i += 1;
+        if b.get(i) == Some(&'r') {
+            i += 1;
+        }
+    } else if b[i] == 'r' {
+        i += 1;
+    }
+    match b.get(i) {
+        Some(&'"') => {
+            // Non-raw (b"...") or raw with zero hashes (r"...").
+            let raw =
+                b.first() == Some(&'r') || (b.first() == Some(&'b') && b.get(1) == Some(&'r'));
+            if raw {
+                let (consumed, newlines) = lex_raw_string(&b[i..], 0)?;
+                Some((i + consumed, newlines, true))
+            } else {
+                let (consumed, newlines) = lex_string(&b[i..]);
+                Some((i + consumed, newlines, true))
+            }
+        }
+        Some(&'#') => {
+            // Count hashes; then either a raw string or a raw identifier.
+            let mut hashes = 0usize;
+            while b.get(i + hashes) == Some(&'#') {
+                hashes += 1;
+            }
+            if b.get(i + hashes) == Some(&'"') {
+                let (consumed, newlines) = lex_raw_string(&b[i + hashes..], hashes)?;
+                Some((i + hashes + consumed, newlines, true))
+            } else if hashes == 1 && b.first() == Some(&'r') {
+                // Raw identifier r#ident.
+                let mut j = i + 1;
+                while j < b.len() && (b[j] == '_' || b[j].is_alphanumeric()) {
+                    j += 1;
+                }
+                if j > i + 1 {
+                    Some((j, 0, false))
+                } else {
+                    None
+                }
+            } else {
+                None
+            }
+        }
+        _ => None,
+    }
+}
+
+/// Lexes a raw string starting at `"` with `hashes` trailing hashes required.
+fn lex_raw_string(b: &[char], hashes: usize) -> Option<(usize, u32)> {
+    debug_assert_eq!(b.first(), Some(&'"'));
+    let mut i = 1usize;
+    let mut newlines = 0u32;
+    while i < b.len() {
+        if b[i] == '\n' {
+            newlines += 1;
+            i += 1;
+            continue;
+        }
+        if b[i] == '"' {
+            let mut ok = true;
+            for k in 0..hashes {
+                if b.get(i + 1 + k) != Some(&'#') {
+                    ok = false;
+                    break;
+                }
+            }
+            if ok {
+                return Some((i + 1 + hashes, newlines));
+            }
+        }
+        i += 1;
+    }
+    Some((b.len(), newlines))
+}
+
+/// Disambiguates `'a` (lifetime) from `'x'` / `'\n'` (char literal).
+/// Returns `(consumed, is_lifetime, text)`.
+fn lex_quote(b: &[char]) -> (usize, bool, String) {
+    // Escape: definitely a char literal.
+    if b.get(1) == Some(&'\\') {
+        let mut i = 2usize;
+        if i < b.len() {
+            i += 1; // the escaped char (or u of \u{...})
+        }
+        while i < b.len() && b[i] != '\'' {
+            i += 1;
+        }
+        return ((i + 1).min(b.len()), false, String::from("'…'"));
+    }
+    // `'x'` — a single char then a closing quote.
+    if b.len() >= 3 && b[2] == '\'' {
+        return (3, false, String::from("'…'"));
+    }
+    // Otherwise a lifetime: consume the identifier run.
+    let mut i = 1usize;
+    while i < b.len() && (b[i] == '_' || b[i].is_alphanumeric()) {
+        i += 1;
+    }
+    let text: String = b[..i].iter().collect();
+    (i.max(1), true, text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .iter()
+            .filter(|t| t.kind == Kind::Ident)
+            .map(|t| t.text.clone())
+            .collect()
+    }
+
+    #[test]
+    fn line_tracking_survives_string_continuations() {
+        let src = "let a = \"first \\\n second\";\nlet b = 1;\n";
+        let toks = lex(src).tokens;
+        let b_tok = toks.iter().find(|t| t.text == "b").expect("b token");
+        assert_eq!(b_tok.line, 3, "escaped newline inside a string must count");
+    }
+
+    #[test]
+    fn strings_and_comments_are_invisible() {
+        let src = r##"
+            // a comment mentioning .unwrap()
+            /* block with panic!() and /* nested unwrap */ done */
+            let s = "string with .expect(\"x\") inside";
+            let r = r#"raw with .unwrap() inside"#;
+            real_ident();
+        "##;
+        let ids = idents(src);
+        assert!(ids.contains(&"real_ident".to_string()));
+        assert!(!ids.contains(&"unwrap".to_string()));
+        assert!(!ids.contains(&"panic".to_string()));
+        assert!(!ids.contains(&"expect".to_string()));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let toks = lex("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }").tokens;
+        let lifetimes: Vec<_> = toks.iter().filter(|t| t.kind == Kind::Lifetime).collect();
+        assert_eq!(lifetimes.len(), 2);
+        let chars = toks
+            .iter()
+            .filter(|t| t.kind == Kind::Lit && t.text == "'…'");
+        assert_eq!(chars.count(), 2);
+    }
+
+    #[test]
+    fn tuple_access_keeps_method_calls_visible() {
+        // `b.1.partial_cmp(&a.1)` must surface `.` `partial_cmp` `(`.
+        let toks = lex("b.1.partial_cmp(&a.1)").tokens;
+        let pos = toks.iter().position(|t| t.is_ident("partial_cmp")).unwrap();
+        assert!(toks[pos - 1].is_punct('.'));
+        assert!(toks[pos + 1].is_punct('('));
+    }
+
+    #[test]
+    fn ranges_are_not_floats() {
+        let toks = lex("for i in 0..5 { }").tokens;
+        let lits: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == Kind::Lit)
+            .map(|t| t.text.clone())
+            .collect();
+        assert_eq!(lits, vec!["0", "5"]);
+    }
+
+    #[test]
+    fn line_numbers_track_newlines_everywhere() {
+        let src = "a\n\"two\nline string\"\nb";
+        let toks = lex(src).tokens;
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[1].line, 2); // the string starts on line 2
+        assert_eq!(toks[2].line, 4); // b after the embedded newline
+    }
+
+    #[test]
+    fn directives_are_parsed() {
+        let src = "// vaq-lint: allow(no-panic) -- poisoning is unreachable here\nx.unwrap()";
+        let lexed = lex(src);
+        assert_eq!(lexed.directives.len(), 1);
+        let d = &lexed.directives[0];
+        assert_eq!(d.rule.as_deref(), Some("no-panic"));
+        assert!(d.has_reason);
+        assert_eq!(d.line, 1);
+    }
+
+    #[test]
+    fn directive_without_reason_is_flagged_as_such() {
+        let lexed = lex("// vaq-lint: allow(float-ord)\n");
+        assert_eq!(lexed.directives.len(), 1);
+        assert!(!lexed.directives[0].has_reason);
+    }
+
+    #[test]
+    fn raw_identifiers_lex_as_idents() {
+        let ids = idents("let r#type = 1;");
+        assert!(ids.contains(&"r#type".to_string()));
+    }
+}

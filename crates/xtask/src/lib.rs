@@ -1,0 +1,202 @@
+//! `vaq-lint`: the workspace invariant checker behind `cargo xtask lint`.
+//!
+//! Clippy and rustc enforce generic hygiene; the invariants that make this
+//! codebase correct are project-specific and live here instead:
+//!
+//! 1. **`no-panic`** — library crates never `unwrap`/`expect`/`panic!`
+//!    outside `#[cfg(test)]`; failures route through `vaq_types::VaqError`.
+//! 2. **`float-ord`** — scores are ordered with `total_cmp`, never
+//!    `partial_cmp` (NaN broke ranking once; never again).
+//! 3. **`nondeterminism`** — deterministic paths (ingestion, fault
+//!    injection, online engines, simulated models) take no wall-clock time
+//!    and no ambient entropy; everything flows through seeded abstractions.
+//! 4. **`fault-exhaustive`** — `match`es over `DetectorFault` carry no
+//!    `_ =>` arm, so adding a fault variant is a compile-time TODO list.
+//! 5. **`indexing`** (advisory) — library code prefers `.get(..)`.
+//!
+//! Exceptions are explicit and audited:
+//! `// vaq-lint: allow(<rule>) -- <reason>` on the offending line or alone
+//! on the line above. A directive without a known rule or a reason is
+//! itself a violation, so exceptions cannot rot silently.
+//!
+//! The checker is dependency-free on purpose: it lexes Rust with a small
+//! hand-rolled lexer (`lexer`), so it builds and runs in offline
+//! environments where `syn` is unavailable, and it is fast enough to run on
+//! every commit. See `DESIGN.md` §10 for the full rule rationale.
+
+#![forbid(unsafe_code)]
+pub mod lexer;
+pub mod rules;
+pub mod workspace;
+
+use std::path::Path;
+use workspace::Report;
+
+/// Runs the full workspace lint and renders a human-readable report to
+/// `out`. Returns the report for programmatic use (exit codes, tests).
+pub fn run_lint(root: &Path, out: &mut impl std::io::Write) -> std::io::Result<Report> {
+    let report = workspace::lint_workspace(root)?;
+    for file in &report.files {
+        for v in &file.violations {
+            if v.rule.is_deny() {
+                writeln!(
+                    out,
+                    "{}:{}: [{}] {}",
+                    file.path.display(),
+                    v.line,
+                    v.rule.name(),
+                    v.message
+                )?;
+            }
+        }
+    }
+    let advisories = report.advisory_count();
+    if advisories > 0 {
+        writeln!(
+            out,
+            "note: {advisories} advisory finding(s) (rule `indexing`); run \
+             `cargo xtask lint --advisory` to list them"
+        )?;
+    }
+    writeln!(
+        out,
+        "vaq-lint: {} file(s) scanned, {} violation(s), {} advisory",
+        report.files_scanned,
+        report.deny_count(),
+        advisories
+    )?;
+    Ok(report)
+}
+
+/// Renders advisory findings (the `indexing` rule) to `out`.
+pub fn render_advisories(report: &Report, out: &mut impl std::io::Write) -> std::io::Result<()> {
+    for file in &report.files {
+        for v in &file.violations {
+            if !v.rule.is_deny() {
+                writeln!(
+                    out,
+                    "{}:{}: [{}] {}",
+                    file.path.display(),
+                    v.line,
+                    v.rule.name(),
+                    v.message
+                )?;
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod selftest {
+    //! Fixture-based self-tests: seeded violations must be caught, and the
+    //! real workspace must lint clean. The latter is what makes `cargo test`
+    //! (tier-1) enforce the invariants even where CI scripts are not run.
+
+    use crate::rules::Rule;
+    use std::path::{Path, PathBuf};
+
+    fn fixture(name: &str) -> String {
+        let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .join("fixtures")
+            .join(name);
+        std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("fixture {} unreadable: {e}", path.display()))
+    }
+
+    fn lint_fixture(name: &str) -> Vec<(Rule, u32)> {
+        // Fixtures are linted as if they were library code in a
+        // deterministic path — every rule active.
+        let rules = crate::rules::RuleSet {
+            no_panic: true,
+            float_ord: true,
+            nondeterminism: true,
+            fault_exhaustive: true,
+            indexing: true,
+        };
+        crate::rules::lint_source(&fixture(name), rules)
+            .into_iter()
+            .filter(|v| v.rule.is_deny())
+            .map(|v| (v.rule, v.line))
+            .collect()
+    }
+
+    #[test]
+    fn seeded_no_panic_violations_are_caught() {
+        let got = lint_fixture("violation_no_panic.rs");
+        let rules: Vec<Rule> = got.iter().map(|&(r, _)| r).collect();
+        assert_eq!(
+            rules,
+            vec![Rule::NoPanic, Rule::NoPanic, Rule::NoPanic],
+            "expected unwrap + expect + panic! hits, got {got:?}"
+        );
+    }
+
+    #[test]
+    fn seeded_float_ord_violation_is_caught() {
+        let got = lint_fixture("violation_float_ord.rs");
+        assert!(
+            got.iter().any(|&(r, _)| r == Rule::FloatOrd),
+            "seeded partial_cmp missed: {got:?}"
+        );
+    }
+
+    #[test]
+    fn seeded_nondeterminism_violations_are_caught() {
+        let got = lint_fixture("violation_nondeterminism.rs");
+        let n = got
+            .iter()
+            .filter(|&&(r, _)| r == Rule::Nondeterminism)
+            .count();
+        assert_eq!(n, 3, "Instant::now + SystemTime + thread_rng: {got:?}");
+    }
+
+    #[test]
+    fn seeded_fault_wildcard_is_caught() {
+        let got = lint_fixture("violation_fault_wildcard.rs");
+        assert!(
+            got.iter().any(|&(r, _)| r == Rule::FaultExhaustive),
+            "seeded `_ =>` over DetectorFault missed: {got:?}"
+        );
+    }
+
+    #[test]
+    fn clean_fixture_with_allows_passes() {
+        let got = lint_fixture("clean_with_allows.rs");
+        assert!(got.is_empty(), "clean fixture flagged: {got:?}");
+    }
+
+    #[test]
+    fn workspace_lints_clean() {
+        // CARGO_MANIFEST_DIR = <root>/crates/xtask.
+        let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+            .ancestors()
+            .nth(2)
+            .expect("workspace root exists");
+        let report = crate::workspace::lint_workspace(root).expect("workspace readable");
+        assert!(
+            report.files_scanned >= 40,
+            "only {} files scanned — workspace walk broken?",
+            report.files_scanned
+        );
+        let mut rendered = Vec::new();
+        for file in &report.files {
+            for v in &file.violations {
+                if v.rule.is_deny() {
+                    rendered.push(format!(
+                        "{}:{}: [{}] {}",
+                        file.path.display(),
+                        v.line,
+                        v.rule.name(),
+                        v.message
+                    ));
+                }
+            }
+        }
+        assert!(
+            rendered.is_empty(),
+            "workspace invariant violations:\n{}",
+            rendered.join("\n")
+        );
+    }
+}

@@ -1,0 +1,67 @@
+//! `cargo xtask` — workspace automation.
+//!
+//! Subcommands:
+//! * `lint` — run the `vaq-lint` invariant checker over the workspace.
+//!   `--advisory` additionally lists advisory findings. Exit code 0 when
+//!   clean, 1 on violations, 2 on usage errors.
+//! * `rules` — print the rule catalogue.
+
+#![forbid(unsafe_code)]
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn workspace_root() -> PathBuf {
+    // When run via `cargo xtask`, CARGO_MANIFEST_DIR points at crates/xtask.
+    let manifest = std::env::var("CARGO_MANIFEST_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| PathBuf::from("."));
+    manifest
+        .ancestors()
+        .nth(2)
+        .map(PathBuf::from)
+        .unwrap_or(manifest)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => {
+            let advisory = args.iter().any(|a| a == "--advisory");
+            let root = args
+                .iter()
+                .position(|a| a == "--root")
+                .and_then(|i| args.get(i + 1))
+                .map(PathBuf::from)
+                .unwrap_or_else(workspace_root);
+            let stdout = std::io::stdout();
+            let mut out = stdout.lock();
+            match xtask::run_lint(&root, &mut out) {
+                Ok(report) => {
+                    if advisory {
+                        let _ = xtask::render_advisories(&report, &mut out);
+                    }
+                    if report.deny_count() == 0 {
+                        ExitCode::SUCCESS
+                    } else {
+                        ExitCode::from(1)
+                    }
+                }
+                Err(e) => {
+                    eprintln!("vaq-lint: i/o error: {e}");
+                    ExitCode::from(2)
+                }
+            }
+        }
+        Some("rules") => {
+            for rule in xtask::rules::ALL_RULES {
+                let severity = if rule.is_deny() { "deny" } else { "advisory" };
+                println!("{:<16} [{severity}]", rule.name());
+            }
+            ExitCode::SUCCESS
+        }
+        _ => {
+            eprintln!("usage: cargo xtask <lint [--advisory] [--root PATH] | rules>");
+            ExitCode::from(2)
+        }
+    }
+}

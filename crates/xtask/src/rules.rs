@@ -1,0 +1,635 @@
+//! The `vaq-lint` rule passes.
+//!
+//! Every rule is a pure function over one file's token stream (see
+//! [`crate::lexer`]) plus a precomputed *test mask* marking tokens inside
+//! `#[cfg(test)]` / `#[test]` items, which are exempt from the library-code
+//! rules. Inline exceptions use
+//! `// vaq-lint: allow(<rule>) -- <reason>` on the offending line (or alone
+//! on the line above); a directive without a reason is itself a violation.
+
+use crate::lexer::{lex, Kind, Lexed, Tok};
+
+/// Identifies one lint rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Rule {
+    /// No `unwrap`/`expect`/`panic!`/`unreachable!`/`todo!`/`unimplemented!`
+    /// in library code — failures route through `vaq_types::VaqError`.
+    NoPanic,
+    /// No `partial_cmp` on scores — `total_cmp` gives NaN a total order.
+    FloatOrd,
+    /// No wall-clock or entropy sources in deterministic paths.
+    Nondeterminism,
+    /// No `_ =>` arms in `match`es over `DetectorFault`.
+    FaultExhaustive,
+    /// Advisory: prefer `.get(i)` over `x[i]` in library code.
+    Indexing,
+    /// A malformed `vaq-lint:` directive (unknown rule or missing reason).
+    BadDirective,
+}
+
+impl Rule {
+    /// The rule's stable name, as used inside `allow(...)`.
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::NoPanic => "no-panic",
+            Rule::FloatOrd => "float-ord",
+            Rule::Nondeterminism => "nondeterminism",
+            Rule::FaultExhaustive => "fault-exhaustive",
+            Rule::Indexing => "indexing",
+            Rule::BadDirective => "bad-directive",
+        }
+    }
+
+    /// Parses a rule name (the inverse of [`Rule::name`]).
+    pub fn from_name(s: &str) -> Option<Rule> {
+        match s {
+            "no-panic" => Some(Rule::NoPanic),
+            "float-ord" => Some(Rule::FloatOrd),
+            "nondeterminism" => Some(Rule::Nondeterminism),
+            "fault-exhaustive" => Some(Rule::FaultExhaustive),
+            "indexing" => Some(Rule::Indexing),
+            "bad-directive" => Some(Rule::BadDirective),
+            _ => None,
+        }
+    }
+
+    /// Whether a violation of this rule fails the lint (vs. advisory).
+    pub fn is_deny(self) -> bool {
+        !matches!(self, Rule::Indexing)
+    }
+}
+
+/// All rules, for documentation and directive validation.
+pub const ALL_RULES: [Rule; 6] = [
+    Rule::NoPanic,
+    Rule::FloatOrd,
+    Rule::Nondeterminism,
+    Rule::FaultExhaustive,
+    Rule::Indexing,
+    Rule::BadDirective,
+];
+
+/// One reported violation.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// The rule violated.
+    pub rule: Rule,
+    /// 1-based source line.
+    pub line: u32,
+    /// Human-readable description.
+    pub message: String,
+}
+
+/// Which rules to run on one file.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RuleSet {
+    /// Run [`Rule::NoPanic`].
+    pub no_panic: bool,
+    /// Run [`Rule::FloatOrd`].
+    pub float_ord: bool,
+    /// Run [`Rule::Nondeterminism`].
+    pub nondeterminism: bool,
+    /// Run [`Rule::FaultExhaustive`].
+    pub fault_exhaustive: bool,
+    /// Run the advisory [`Rule::Indexing`].
+    pub indexing: bool,
+}
+
+/// Lints one file's source under `rules`, honouring inline allows.
+pub fn lint_source(src: &str, rules: RuleSet) -> Vec<Violation> {
+    let lexed = lex(src);
+    let test_mask = test_mask(&lexed.tokens);
+    let mut raw = Vec::new();
+
+    if rules.no_panic {
+        no_panic(&lexed.tokens, &test_mask, &mut raw);
+    }
+    if rules.float_ord {
+        float_ord(&lexed.tokens, &test_mask, &mut raw);
+    }
+    if rules.nondeterminism {
+        nondeterminism(&lexed.tokens, &test_mask, &mut raw);
+    }
+    if rules.fault_exhaustive {
+        fault_exhaustive(&lexed.tokens, &test_mask, &mut raw);
+    }
+    if rules.indexing {
+        indexing(&lexed.tokens, &test_mask, &mut raw);
+    }
+
+    apply_directives(src, &lexed, raw)
+}
+
+/// Filters violations through the file's `vaq-lint:` directives and appends
+/// [`Rule::BadDirective`] violations for malformed ones.
+fn apply_directives(src: &str, lexed: &Lexed, raw: Vec<Violation>) -> Vec<Violation> {
+    // A directive alone on its line covers the next line with code; a
+    // trailing directive covers its own line.
+    let mut covered: Vec<(u32, Rule)> = Vec::new();
+    let mut out = Vec::new();
+    let lines: Vec<&str> = src.lines().collect();
+    for d in &lexed.directives {
+        let rule = d.rule.as_deref().and_then(Rule::from_name);
+        let (Some(rule), true) = (rule, d.has_reason) else {
+            out.push(Violation {
+                rule: Rule::BadDirective,
+                line: d.line,
+                message: format!(
+                    "malformed directive {:?}: expected `vaq-lint: allow(<rule>) -- <reason>` \
+                     with a known rule and a non-empty reason",
+                    d.raw.trim()
+                ),
+            });
+            continue;
+        };
+        let own_line = lines
+            .get(d.line as usize - 1)
+            .map(|l| l.trim_start().starts_with("//"))
+            .unwrap_or(false);
+        if own_line {
+            // Comment-only line: cover the next non-comment, non-blank line.
+            let mut target = d.line + 1;
+            while let Some(l) = lines.get(target as usize - 1) {
+                let t = l.trim();
+                if t.is_empty() || t.starts_with("//") {
+                    target += 1;
+                } else {
+                    break;
+                }
+            }
+            covered.push((target, rule));
+        } else {
+            covered.push((d.line, rule));
+        }
+    }
+    for v in raw {
+        if covered.iter().any(|&(l, r)| l == v.line && r == v.rule) {
+            continue;
+        }
+        out.push(v);
+    }
+    out.sort_by_key(|v| v.line);
+    out
+}
+
+/// Marks tokens covered by `#[cfg(test)]` / `#[test]` items (attribute
+/// through the end of the following item body).
+fn test_mask(toks: &[Tok]) -> Vec<bool> {
+    let mut mask = vec![false; toks.len()];
+    let mut i = 0usize;
+    while i < toks.len() {
+        if toks[i].is_punct('#') && toks.get(i + 1).is_some_and(|t| t.is_punct('[')) {
+            // Collect the attribute's tokens (balanced brackets).
+            let attr_start = i + 2;
+            let mut depth = 1i32;
+            let mut j = attr_start;
+            while j < toks.len() && depth > 0 {
+                if toks[j].is_punct('[') {
+                    depth += 1;
+                } else if toks[j].is_punct(']') {
+                    depth -= 1;
+                }
+                j += 1;
+            }
+            let attr = &toks[attr_start..j.saturating_sub(1).max(attr_start)];
+            // `#[test]`, `#[cfg(test)]`, `#[cfg(all(test, ...))]` — but not
+            // `#[cfg(not(test))]`, which is *non*-test code.
+            let is_test_attr =
+                attr.iter().any(|t| t.is_ident("test")) && !attr.iter().any(|t| t.is_ident("not"));
+            if is_test_attr {
+                // Find the item body: the next `{` at nesting depth 0 (w.r.t.
+                // parens/brackets), or a `;` ending a body-less item.
+                let mut k = j;
+                let mut nest = 0i32;
+                let body_start = loop {
+                    let Some(t) = toks.get(k) else { break None };
+                    if nest == 0 && t.is_punct('{') {
+                        break Some(k);
+                    }
+                    if nest == 0 && t.is_punct(';') {
+                        break None;
+                    }
+                    if t.is_punct('(') || t.is_punct('[') {
+                        nest += 1;
+                    } else if t.is_punct(')') || t.is_punct(']') {
+                        nest -= 1;
+                    }
+                    k += 1;
+                };
+                let end = match body_start {
+                    Some(open) => {
+                        let mut depth = 1i32;
+                        let mut m = open + 1;
+                        while m < toks.len() && depth > 0 {
+                            if toks[m].is_punct('{') {
+                                depth += 1;
+                            } else if toks[m].is_punct('}') {
+                                depth -= 1;
+                            }
+                            m += 1;
+                        }
+                        m
+                    }
+                    None => k + 1,
+                };
+                for slot in mask.iter_mut().take(end.min(toks.len())).skip(i) {
+                    *slot = true;
+                }
+                i = end;
+                continue;
+            }
+            i = j;
+            continue;
+        }
+        i += 1;
+    }
+    mask
+}
+
+const PANIC_MACROS: [&str; 4] = ["panic", "unreachable", "todo", "unimplemented"];
+
+fn no_panic(toks: &[Tok], mask: &[bool], out: &mut Vec<Violation>) {
+    for i in 0..toks.len() {
+        if mask[i] {
+            continue;
+        }
+        let t = &toks[i];
+        // `.unwrap(` / `.expect(`
+        if (t.is_ident("unwrap") || t.is_ident("expect"))
+            && i > 0
+            && toks[i - 1].is_punct('.')
+            && toks.get(i + 1).is_some_and(|n| n.is_punct('('))
+        {
+            out.push(Violation {
+                rule: Rule::NoPanic,
+                line: t.line,
+                message: format!(
+                    ".{}() in library code — return a typed `VaqError` (or \
+                     recover, e.g. `unwrap_or_else(PoisonError::into_inner)`)",
+                    t.text
+                ),
+            });
+        }
+        // `panic!(`-family macros.
+        if t.kind == Kind::Ident
+            && PANIC_MACROS.contains(&t.text.as_str())
+            && toks.get(i + 1).is_some_and(|n| n.is_punct('!'))
+        {
+            out.push(Violation {
+                rule: Rule::NoPanic,
+                line: t.line,
+                message: format!(
+                    "{}! in library code — return a typed `VaqError` instead",
+                    t.text
+                ),
+            });
+        }
+    }
+}
+
+fn float_ord(toks: &[Tok], mask: &[bool], out: &mut Vec<Violation>) {
+    for i in 0..toks.len() {
+        if mask[i] {
+            continue;
+        }
+        if toks[i].is_ident("partial_cmp")
+            && i > 0
+            && toks[i - 1].is_punct('.')
+            && toks.get(i + 1).is_some_and(|n| n.is_punct('('))
+        {
+            out.push(Violation {
+                rule: Rule::FloatOrd,
+                line: toks[i].line,
+                message: ".partial_cmp() on floats is not total under NaN — use \
+                          `total_cmp` (the PR-1 NaN-ordering bug)"
+                    .to_string(),
+            });
+        }
+    }
+}
+
+fn nondeterminism(toks: &[Tok], mask: &[bool], out: &mut Vec<Violation>) {
+    for i in 0..toks.len() {
+        if mask[i] {
+            continue;
+        }
+        let t = &toks[i];
+        let hit = if t.is_ident("Instant")
+            && toks.get(i + 1).is_some_and(|n| n.is_punct(':'))
+            && toks.get(i + 3).is_some_and(|n| n.is_ident("now"))
+        {
+            Some("Instant::now()")
+        } else if t.is_ident("SystemTime") {
+            Some("SystemTime")
+        } else if t.is_ident("thread_rng") {
+            Some("thread_rng")
+        } else if t.is_ident("from_entropy") {
+            Some("from_entropy")
+        } else {
+            None
+        };
+        if let Some(what) = hit {
+            out.push(Violation {
+                rule: Rule::Nondeterminism,
+                line: t.line,
+                message: format!(
+                    "{what} in a deterministic path — time/randomness must flow \
+                     through the seeded abstractions (`DetRng`, explicit seeds)"
+                ),
+            });
+        }
+    }
+}
+
+/// Flags `_ =>` arms in a `match` whose other arms mention `DetectorFault`.
+fn fault_exhaustive(toks: &[Tok], mask: &[bool], out: &mut Vec<Violation>) {
+    let mut i = 0usize;
+    while i < toks.len() {
+        if !toks[i].is_ident("match") || mask[i] {
+            i += 1;
+            continue;
+        }
+        // Scrutinee: scan to the `{` opening the match body (struct literals
+        // are not allowed un-parenthesised in scrutinee position, so the
+        // first `{` at paren/bracket depth 0 is the body).
+        let mut j = i + 1;
+        let mut nest = 0i32;
+        let open = loop {
+            let Some(t) = toks.get(j) else { break None };
+            if nest == 0 && t.is_punct('{') {
+                break Some(j);
+            }
+            if t.is_punct('(') || t.is_punct('[') {
+                nest += 1;
+            } else if t.is_punct(')') || t.is_punct(']') {
+                nest -= 1;
+            }
+            j += 1;
+        };
+        let Some(open) = open else {
+            i += 1;
+            continue;
+        };
+        // Walk the body, splitting arms at depth 1. An arm is
+        // `pattern => expr`, terminated by `,` at depth 1 or a `}` closing a
+        // depth-2 block.
+        let mut depth = 1i32;
+        let mut k = open + 1;
+        let mut pattern: Vec<usize> = Vec::new();
+        let mut in_pattern = true;
+        let mut mentions_fault = false;
+        let mut wildcard_lines: Vec<u32> = Vec::new();
+        while k < toks.len() && depth > 0 {
+            let t = &toks[k];
+            if t.is_punct('{') || t.is_punct('(') || t.is_punct('[') {
+                depth += 1;
+            } else if t.is_punct('}') || t.is_punct(')') || t.is_punct(']') {
+                depth -= 1;
+                if depth == 1 && t.is_punct('}') && !in_pattern {
+                    // A block-bodied arm just ended; next tokens start a new
+                    // pattern (an optional `,` is consumed harmlessly).
+                    in_pattern = true;
+                    pattern.clear();
+                }
+                k += 1;
+                continue;
+            }
+            if depth == 1 && in_pattern {
+                if t.is_punct('=') && toks.get(k + 1).is_some_and(|n| n.is_punct('>')) {
+                    // End of pattern: classify it.
+                    let pat: Vec<&Tok> = pattern.iter().map(|&p| &toks[p]).collect();
+                    if pat.iter().any(|p| p.is_ident("DetectorFault")) {
+                        mentions_fault = true;
+                    }
+                    let is_wildcard = matches!(pat.as_slice(), [p] if p.is_ident("_"))
+                        || matches!(pat.as_slice(), [p, q, ..] if p.is_ident("_") && q.is_ident("if"));
+                    if is_wildcard {
+                        wildcard_lines.push(t.line);
+                    }
+                    in_pattern = false;
+                    pattern.clear();
+                    k += 2;
+                    continue;
+                }
+                pattern.push(k);
+            } else if depth == 1 && t.is_punct(',') {
+                in_pattern = true;
+                pattern.clear();
+            }
+            k += 1;
+        }
+        if mentions_fault {
+            for line in wildcard_lines {
+                out.push(Violation {
+                    rule: Rule::FaultExhaustive,
+                    line,
+                    message: "`_ =>` arm in a match over `DetectorFault` — every \
+                              fault variant must be handled explicitly so new \
+                              variants are compile errors here"
+                        .to_string(),
+                });
+            }
+        }
+        i = open + 1;
+    }
+}
+
+/// Advisory: `expr[...]` indexing in library code.
+fn indexing(toks: &[Tok], mask: &[bool], out: &mut Vec<Violation>) {
+    for i in 1..toks.len() {
+        if mask[i] {
+            continue;
+        }
+        if !toks[i].is_punct('[') {
+            continue;
+        }
+        let prev = &toks[i - 1];
+        let prev_is_expr = prev.kind == Kind::Ident || prev.is_punct(')') || prev.is_punct(']');
+        // Skip attributes (`#[...]`) and macro brackets (`vec![...]`).
+        let attr = i >= 2 && toks[i - 2].is_punct('#') && prev.is_punct('[');
+        let macro_call = prev.is_punct('!');
+        if prev_is_expr && !attr && !macro_call && !prev.is_ident("mut") && !prev.is_ident("dyn") {
+            out.push(Violation {
+                rule: Rule::Indexing,
+                line: toks[i].line,
+                message: "indexing may panic — prefer `.get(..)` with typed error \
+                          handling (advisory)"
+                    .to_string(),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ALL: RuleSet = RuleSet {
+        no_panic: true,
+        float_ord: true,
+        nondeterminism: true,
+        fault_exhaustive: true,
+        indexing: true,
+    };
+
+    fn deny_rules(src: &str) -> Vec<(Rule, u32)> {
+        lint_source(src, ALL)
+            .into_iter()
+            .filter(|v| v.rule.is_deny())
+            .map(|v| (v.rule, v.line))
+            .collect()
+    }
+
+    #[test]
+    fn unwrap_in_library_code_is_flagged() {
+        let got = deny_rules("fn f() {\n    x.unwrap();\n}\n");
+        assert_eq!(got, vec![(Rule::NoPanic, 2)]);
+    }
+
+    #[test]
+    fn unwrap_inside_cfg_test_module_is_exempt() {
+        let src = "fn lib() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\n";
+        assert!(deny_rules(src).is_empty());
+    }
+
+    #[test]
+    fn unwrap_inside_test_fn_is_exempt() {
+        let src = "#[test]\nfn t() {\n    x.unwrap();\n    y.expect(\"boom\");\n}\n";
+        assert!(deny_rules(src).is_empty());
+    }
+
+    #[test]
+    fn code_after_a_test_item_is_not_exempt() {
+        let src = "#[test]\nfn t() { x.unwrap(); }\nfn lib() { y.unwrap(); }\n";
+        assert_eq!(deny_rules(src), vec![(Rule::NoPanic, 3)]);
+    }
+
+    #[test]
+    fn panic_macros_are_flagged() {
+        let src = "fn f() {\n    panic!(\"x\");\n    unreachable!();\n    todo!();\n}\n";
+        let got = deny_rules(src);
+        assert_eq!(
+            got,
+            vec![(Rule::NoPanic, 2), (Rule::NoPanic, 3), (Rule::NoPanic, 4)]
+        );
+    }
+
+    #[test]
+    fn unwrap_or_else_is_not_flagged() {
+        let src = "fn f() { m.lock().unwrap_or_else(|e| e.into_inner()); }\n";
+        assert!(deny_rules(src).is_empty());
+    }
+
+    #[test]
+    fn expect_in_string_or_comment_is_invisible() {
+        let src = "fn f() {\n    // .unwrap() would panic\n    let s = \".expect(\";\n}\n";
+        assert!(deny_rules(src).is_empty());
+    }
+
+    #[test]
+    fn partial_cmp_is_flagged_and_total_cmp_is_not() {
+        let src = "fn f() {\n    v.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());\n    v.sort_by(|a, b| b.total_cmp(a));\n}\n";
+        let got = deny_rules(src);
+        // Both the partial_cmp and the trailing unwrap on line 2.
+        assert!(got.contains(&(Rule::FloatOrd, 2)));
+        assert!(got.contains(&(Rule::NoPanic, 2)));
+        assert_eq!(got.len(), 2);
+    }
+
+    #[test]
+    fn nondeterminism_sources_are_flagged() {
+        let src = "fn f() {\n    let t = Instant::now();\n    let r = rand::thread_rng();\n}\n";
+        let got = deny_rules(src);
+        assert_eq!(
+            got,
+            vec![(Rule::Nondeterminism, 2), (Rule::Nondeterminism, 3)]
+        );
+    }
+
+    #[test]
+    fn instant_import_alone_is_not_flagged() {
+        assert!(deny_rules("use std::time::Instant;\n").is_empty());
+    }
+
+    #[test]
+    fn wildcard_arm_over_detector_fault_is_flagged() {
+        let src = "fn f(e: DetectorFault) -> u32 {\n    match e {\n        DetectorFault::Transient => 1,\n        _ => 0,\n    }\n}\n";
+        assert_eq!(deny_rules(src), vec![(Rule::FaultExhaustive, 4)]);
+    }
+
+    #[test]
+    fn wildcard_arm_in_unrelated_match_is_fine() {
+        let src =
+            "fn f(x: u32) -> u32 {\n    match x {\n        0 => 1,\n        _ => 0,\n    }\n}\n";
+        assert!(deny_rules(src).is_empty());
+    }
+
+    #[test]
+    fn block_bodied_arms_are_split_correctly() {
+        let src = "fn f(e: DetectorFault) {\n    match e {\n        DetectorFault::Transient => { retry(); }\n        DetectorFault::Unavailable => { degrade(); }\n        DetectorFault::InputLost => { skip(); }\n    }\n}\n";
+        assert!(deny_rules(src).is_empty());
+    }
+
+    #[test]
+    fn binding_arm_is_not_a_wildcard() {
+        let src = "fn f(e: DetectorFault) -> u32 {\n    match e {\n        DetectorFault::Transient => 1,\n        other => handle(other),\n    }\n}\n";
+        assert!(deny_rules(src).is_empty());
+    }
+
+    #[test]
+    fn allow_directive_on_same_line_suppresses() {
+        let src =
+            "fn f() {\n    x.unwrap(); // vaq-lint: allow(no-panic) -- statically infallible\n}\n";
+        assert!(deny_rules(src).is_empty());
+    }
+
+    #[test]
+    fn allow_directive_on_preceding_line_suppresses() {
+        let src = "fn f() {\n    // vaq-lint: allow(no-panic) -- statically infallible\n    x.unwrap();\n}\n";
+        assert!(deny_rules(src).is_empty());
+    }
+
+    #[test]
+    fn allow_directive_does_not_leak_to_later_lines() {
+        let src = "fn f() {\n    // vaq-lint: allow(no-panic) -- covers next line only\n    x.unwrap();\n    y.unwrap();\n}\n";
+        assert_eq!(deny_rules(src), vec![(Rule::NoPanic, 4)]);
+    }
+
+    #[test]
+    fn allow_directive_is_rule_specific() {
+        let src = "fn f() {\n    a.partial_cmp(&b).unwrap(); // vaq-lint: allow(no-panic) -- only covers no-panic\n}\n";
+        assert_eq!(deny_rules(src), vec![(Rule::FloatOrd, 2)]);
+    }
+
+    #[test]
+    fn directive_without_reason_is_a_violation() {
+        let src = "fn f() {\n    x.unwrap(); // vaq-lint: allow(no-panic)\n}\n";
+        let got = deny_rules(src);
+        assert!(got.contains(&(Rule::BadDirective, 2)));
+        assert!(
+            got.contains(&(Rule::NoPanic, 2)),
+            "unsuppressed without reason"
+        );
+    }
+
+    #[test]
+    fn directive_with_unknown_rule_is_a_violation() {
+        let src = "// vaq-lint: allow(no-such-rule) -- why\nfn f() {}\n";
+        assert_eq!(deny_rules(src), vec![(Rule::BadDirective, 1)]);
+    }
+
+    #[test]
+    fn indexing_is_advisory_only() {
+        let src = "fn f(v: &[u32], i: usize) -> u32 { v[i] }\n";
+        let all = lint_source(src, ALL);
+        assert_eq!(all.len(), 1);
+        assert_eq!(all[0].rule, Rule::Indexing);
+        assert!(!all[0].rule.is_deny());
+    }
+
+    #[test]
+    fn attributes_and_macros_are_not_indexing() {
+        let src = "#[derive(Debug)]\nfn f() { let v = vec![1, 2]; let t: [u8; 4]; }\n";
+        assert!(lint_source(src, ALL).is_empty());
+    }
+}

@@ -1,0 +1,191 @@
+//! Maps the vaq workspace onto `vaq-lint` rule scopes.
+//!
+//! Scopes are project policy, fixed here rather than configured per run so
+//! every checkout and CI job enforces the same invariants:
+//!
+//! * **Library crates** (`types`, `scanstats`, `detect`, `storage`, `core`,
+//!   `query`, plus the root `vaq` facade): no panicking calls outside
+//!   `#[cfg(test)]`; advisory indexing.
+//! * **Deterministic paths** (ingestion, fault injection, the online
+//!   engines, the seeded noise/sim models): no wall-clock or entropy.
+//! * **Everywhere** (all crate `src/` trees): `total_cmp`-only float
+//!   ordering and exhaustive `DetectorFault` matches. Tooling crates
+//!   (`xtask`, `loom`) are exempt from the panic rule — panicking is their
+//!   error reporting — but still scanned for the universal rules.
+
+use crate::rules::{lint_source, RuleSet, Violation};
+use std::path::{Path, PathBuf};
+
+/// Crates whose `src/` is "library code" under the no-panic rule.
+const LIB_CRATES: [&str; 6] = ["types", "scanstats", "detect", "storage", "core", "query"];
+
+/// Crates exempt from every rule's deny set except float-ord/fault matches.
+const TOOLING_CRATES: [&str; 2] = ["xtask", "loom"];
+
+/// Path fragments (workspace-relative, `/`-separated) of deterministic
+/// paths: results there must be pure functions of (input, seed).
+const DETERMINISTIC_PATHS: [&str; 5] = [
+    "crates/core/src/offline/ingest.rs",
+    "crates/core/src/online/",
+    "crates/detect/src/fault.rs",
+    "crates/detect/src/noise.rs",
+    "crates/detect/src/sim.rs",
+];
+
+/// One file's lint outcome.
+#[derive(Debug)]
+pub struct FileReport {
+    /// Path relative to the workspace root.
+    pub path: PathBuf,
+    /// Violations found (deny and advisory).
+    pub violations: Vec<Violation>,
+}
+
+/// Whole-workspace lint outcome.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Per-file results, only for files with at least one violation.
+    pub files: Vec<FileReport>,
+    /// Total files scanned.
+    pub files_scanned: usize,
+}
+
+impl Report {
+    /// All deny-severity violations, flattened.
+    pub fn deny_count(&self) -> usize {
+        self.files
+            .iter()
+            .flat_map(|f| &f.violations)
+            .filter(|v| v.rule.is_deny())
+            .count()
+    }
+
+    /// All advisory violations, flattened.
+    pub fn advisory_count(&self) -> usize {
+        self.files
+            .iter()
+            .flat_map(|f| &f.violations)
+            .filter(|v| !v.rule.is_deny())
+            .count()
+    }
+}
+
+/// Decides which rules apply to `rel` (workspace-relative path with `/`
+/// separators). Returns `None` when the file is out of scope entirely.
+pub fn rules_for(rel: &str) -> Option<RuleSet> {
+    // Only Rust sources under a `src/` tree are governed; `tests/`,
+    // `benches/`, `examples/`, and fixtures stay free-form.
+    if !rel.ends_with(".rs") {
+        return None;
+    }
+    let in_root_src = rel.starts_with("src/");
+    let crate_name = rel
+        .strip_prefix("crates/")
+        .and_then(|r| r.split_once('/'))
+        .filter(|(_, rest)| rest.starts_with("src/"))
+        .map(|(name, _)| name);
+    if !in_root_src && crate_name.is_none() {
+        return None;
+    }
+    let is_lib = in_root_src || crate_name.is_some_and(|c| LIB_CRATES.contains(&c));
+    let is_tooling = crate_name.is_some_and(|c| TOOLING_CRATES.contains(&c));
+    let is_deterministic = DETERMINISTIC_PATHS.iter().any(|p| rel.starts_with(p));
+    Some(RuleSet {
+        no_panic: is_lib && !is_tooling,
+        float_ord: !is_tooling,
+        nondeterminism: is_deterministic,
+        fault_exhaustive: true,
+        indexing: is_lib && !is_tooling,
+    })
+}
+
+/// Recursively collects `.rs` files under `dir` into `out`.
+fn collect(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    let mut entries: Vec<_> = std::fs::read_dir(dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            collect(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Lints the whole workspace rooted at `root`.
+pub fn lint_workspace(root: &Path) -> std::io::Result<Report> {
+    let mut files = Vec::new();
+    collect(&root.join("src"), &mut files)?;
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        let mut crate_dirs: Vec<_> = std::fs::read_dir(&crates_dir)?
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.is_dir())
+            .collect();
+        crate_dirs.sort();
+        for crate_dir in crate_dirs {
+            collect(&crate_dir.join("src"), &mut files)?;
+        }
+    }
+
+    let mut report = Report::default();
+    for path in files {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let Some(rules) = rules_for(&rel) else {
+            continue;
+        };
+        report.files_scanned += 1;
+        let src = std::fs::read_to_string(&path)?;
+        let violations = lint_source(&src, rules);
+        if !violations.is_empty() {
+            report.files.push(FileReport {
+                path: PathBuf::from(rel),
+                violations,
+            });
+        }
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scopes_match_project_policy() {
+        let lib = rules_for("crates/storage/src/table.rs").unwrap();
+        assert!(lib.no_panic && lib.float_ord && lib.fault_exhaustive && lib.indexing);
+        assert!(!lib.nondeterminism);
+
+        let det = rules_for("crates/core/src/online/engine.rs").unwrap();
+        assert!(det.no_panic && det.nondeterminism);
+
+        let ingest = rules_for("crates/core/src/offline/ingest.rs").unwrap();
+        assert!(ingest.nondeterminism);
+
+        let cli = rules_for("crates/cli/src/commands.rs").unwrap();
+        assert!(!cli.no_panic, "binaries may panic at the top level");
+        assert!(cli.float_ord && cli.fault_exhaustive);
+
+        let tool = rules_for("crates/xtask/src/rules.rs").unwrap();
+        assert!(!tool.no_panic && !tool.float_ord && tool.fault_exhaustive);
+
+        let facade = rules_for("src/lib.rs").unwrap();
+        assert!(facade.no_panic);
+
+        assert!(rules_for("tests/resilience.rs").is_none());
+        assert!(rules_for("crates/xtask/fixtures/no_panic.rs").is_none());
+        assert!(rules_for("crates/bench/benches/scanstats.rs").is_none());
+        assert!(rules_for("README.md").is_none());
+    }
+}

@@ -50,6 +50,11 @@
 //! # Ok::<(), vaq::VaqError>(())
 //! ```
 
+#![forbid(unsafe_code)]
+#![cfg_attr(
+    not(test),
+    warn(clippy::unwrap_used, clippy::expect_used, clippy::panic)
+)]
 pub use vaq_core as core;
 pub use vaq_datasets as datasets;
 pub use vaq_detect as detect;
