@@ -3,17 +3,23 @@
 use crate::args::Args;
 use std::path::{Path, PathBuf};
 use std::time::Instant;
+use trace::{MonotonicClock, NullSink, TraceSummary, Tracer};
+use vaq_core::offline::candidates::candidates_from_ingest;
 use vaq_core::offline::repository::Repository;
+use vaq_core::offline::tbclip::QueryTables;
 use vaq_core::{
-    ingest as core_ingest, ingest_parallel, run_multi_query, MultiQueryOptions, OnlineConfig,
-    PaperScoring,
+    ingest_parallel_traced, ingest_traced, run_multi_query_traced, rvaq_traced, MultiQueryOptions,
+    OnlineConfig, OnlineEngine, PaperScoring, RvaqOptions, SharedScanCaches,
 };
 use vaq_datasets::{drift, movies, youtube};
-use vaq_detect::{profiles, IouTracker, SimulatedActionRecognizer, SimulatedObjectDetector};
+use vaq_detect::{
+    profiles, InferenceCache, IouTracker, SimulatedActionRecognizer, SimulatedObjectDetector,
+    TracingActionRecognizer, TracingObjectDetector,
+};
 use vaq_query::{execute_online, execute_repository, plan, QueryOutput};
-use vaq_storage::CostModel;
-use vaq_types::{vocab, Query, Result, VaqError};
-use vaq_video::{load_script, save_script, SceneScript};
+use vaq_storage::{ClipScoreTable, CostModel, MemTable};
+use vaq_types::{vocab, ActionType, ObjectType, Query, Result, VaqError, VideoGeometry};
+use vaq_video::{load_script, save_script, SceneScript, SceneScriptBuilder, VideoStream};
 
 fn models(kind: &str, seed: u64) -> Result<(SimulatedObjectDetector, SimulatedActionRecognizer)> {
     let nobj = vocab::coco_objects().len() as u32;
@@ -104,7 +110,7 @@ fn load(path: &str) -> Result<SceneScript> {
 
 /// `ingest`: run the ingestion phase for one scripted video into a
 /// repository directory.
-pub fn ingest(args: &Args, out: &mut Vec<String>) -> Result<()> {
+pub fn ingest(args: &Args, out: &mut Vec<String>, tracer: &Tracer) -> Result<()> {
     let script_path = args.require("script")?;
     let repo_dir = PathBuf::from(args.require("repo")?);
     std::fs::create_dir_all(&repo_dir)?;
@@ -127,13 +133,14 @@ pub fn ingest(args: &Args, out: &mut Vec<String>) -> Result<()> {
         },
         seed,
     );
-    let output = core_ingest(
+    let output = ingest_traced(
         &script,
         name.clone(),
         &detector,
         &recognizer,
         &mut tracker,
         &OnlineConfig::svaqd(),
+        tracer,
     )?;
     let mut repo = Repository::open(&repo_dir, CostModel::DEFAULT)?;
     repo.add(&output)?;
@@ -216,11 +223,13 @@ pub fn query(args: &Args, out: &mut Vec<String>) -> Result<()> {
 }
 
 /// `stream`: run an online VAQ-SQL query over one scripted video.
-pub fn stream(args: &Args, out: &mut Vec<String>) -> Result<()> {
+pub fn stream(args: &Args, out: &mut Vec<String>, tracer: &Tracer) -> Result<()> {
     let script = load(args.require("script")?)?;
     let sql = args.require("sql")?;
     let seed = args.get_or("seed", 42u64)?;
     let (detector, recognizer) = models(args.get("models").unwrap_or("maskrcnn"), seed)?;
+    let detector = TracingObjectDetector::new(&detector, tracer.clone());
+    let recognizer = TracingActionRecognizer::new(&recognizer, tracer.clone());
     let stmt = vaq_query::parse(sql)?;
     let p = plan(&stmt, &vocab::coco_objects(), &vocab::kinetics_actions())?;
     let (result, stats) =
@@ -276,15 +285,28 @@ pub fn bench_baseline(args: &Args, out: &mut Vec<String>) -> Result<()> {
     };
     let cfg = OnlineConfig::svaqd();
 
-    // --- ingest: serial vs clip-sharded, same models and seed.
+    // --- ingest: serial vs clip-sharded, same models and seed. Each run
+    // gets its own throwaway tracer (real clock, no span stream) so the
+    // report can attribute time to pipeline stages via the duration
+    // histograms without mixing the two runs' samples.
+    let serial_tracer = Tracer::new(MonotonicClock::new(), NullSink);
     let mut tracker = IouTracker::new(tracker_profile, seed);
     let started = Instant::now();
-    let serial = core_ingest(script, "bench", &detector, &recognizer, &mut tracker, &cfg)?;
+    let serial = ingest_traced(
+        script,
+        "bench",
+        &detector,
+        &recognizer,
+        &mut tracker,
+        &cfg,
+        &serial_tracer,
+    )?;
     let serial_s = started.elapsed().as_secs_f64().max(1e-9);
 
+    let parallel_tracer = Tracer::new(MonotonicClock::new(), NullSink);
     let proto = IouTracker::new(tracker_profile, seed);
     let started = Instant::now();
-    let parallel = ingest_parallel(
+    let parallel = ingest_parallel_traced(
         script,
         "bench",
         &detector,
@@ -292,6 +314,7 @@ pub fn bench_baseline(args: &Args, out: &mut Vec<String>) -> Result<()> {
         &proto,
         &cfg,
         threads,
+        &parallel_tracer,
     )?;
     let parallel_s = started.elapsed().as_secs_f64().max(1e-9);
     if serial.object_rows != parallel.object_rows
@@ -307,11 +330,13 @@ pub fn bench_baseline(args: &Args, out: &mut Vec<String>) -> Result<()> {
         "{{\n  \"dataset\": \"{}\",\n  \"clips\": {clips},\n  \"threads\": {threads},\n  \
          \"serial_s\": {serial_s:.6},\n  \"serial_clips_per_s\": {:.3},\n  \
          \"parallel_s\": {parallel_s:.6},\n  \"parallel_clips_per_s\": {:.3},\n  \
-         \"speedup\": {:.3}\n}}\n",
+         \"speedup\": {:.3},\n  \"serial_stages\": {},\n  \"parallel_stages\": {}\n}}\n",
         slug(&video.name),
         clips as f64 / serial_s,
         clips as f64 / parallel_s,
         serial_s / parallel_s,
+        stages_json(&serial_tracer.snapshot()),
+        stages_json(&parallel_tracer.snapshot()),
     );
     let ingest_path = dir.join("BENCH_ingest.json");
     std::fs::write(&ingest_path, &ingest_json)?;
@@ -354,8 +379,9 @@ pub fn bench_baseline(args: &Args, out: &mut Vec<String>) -> Result<()> {
         })
         .collect();
 
+    let online_tracer = Tracer::new(MonotonicClock::new(), NullSink);
     let started = Instant::now();
-    let multi = run_multi_query(
+    let multi = run_multi_query_traced(
         &queries,
         &cfg,
         script,
@@ -365,6 +391,7 @@ pub fn bench_baseline(args: &Args, out: &mut Vec<String>) -> Result<()> {
             threads,
             cache_clips: 8,
         },
+        &online_tracer,
     )?;
     let wall_s = started.elapsed().as_secs_f64().max(1e-9);
     let invocations_per_frame = multi.stats.detector_frames as f64 / num_frames.max(1) as f64;
@@ -372,11 +399,12 @@ pub fn bench_baseline(args: &Args, out: &mut Vec<String>) -> Result<()> {
         "{{\n  \"queries\": {},\n  \"clips\": {clips},\n  \"threads\": {threads},\n  \
          \"detector_frames_executed\": {},\n  \"detector_cached\": {},\n  \
          \"invocations_per_frame\": {invocations_per_frame:.4},\n  \
-         \"cache_hit_rate\": {:.4},\n  \"wall_s\": {wall_s:.6}\n}}\n",
+         \"cache_hit_rate\": {:.4},\n  \"wall_s\": {wall_s:.6},\n  \"stages\": {}\n}}\n",
         queries.len(),
         multi.stats.detector_frames,
         multi.stats.detector_cached,
         multi.cache.hit_rate(),
+        stages_json(&online_tracer.snapshot()),
     );
     let online_path = dir.join("BENCH_online.json");
     std::fs::write(&online_path, &online_json)?;
@@ -387,6 +415,140 @@ pub fn bench_baseline(args: &Args, out: &mut Vec<String>) -> Result<()> {
         invocations_per_frame,
         multi.cache.hit_rate() * 100.0
     ));
+    Ok(())
+}
+
+/// Renders a summary's per-span duration histograms as a JSON object
+/// keyed by span name — the per-stage breakdown embedded in the
+/// `BENCH_*.json` reports. Quantiles are log2-bucket upper bounds.
+fn stages_json(summary: &TraceSummary) -> String {
+    let mut s = String::from("{");
+    let mut first = true;
+    for (name, h) in &summary.spans {
+        if !first {
+            s.push_str(", ");
+        }
+        first = false;
+        s.push_str(&format!(
+            "\"{name}\": {{\"count\": {}, \"sum_ns\": {}, \"p50_ns\": {}, \"p95_ns\": {}, \
+             \"p99_ns\": {}}}",
+            h.count, h.sum_ns, h.p50_ns, h.p95_ns, h.p99_ns
+        ));
+    }
+    s.push('}');
+    s
+}
+
+/// `demo`: exercise every traced subsystem over a built-in scripted video
+/// — serial ingestion, an online SVAQD query through a traced inference
+/// cache, and the offline RVAQ top-K over the ingested tables. Run it as
+/// `vaq-cli --trace out.jsonl demo` to capture the full span tree (ingest
+/// clips, detector/recognizer calls with cache provenance, critical-value
+/// computations, per-clip decisions, RVAQ iterations) as JSON lines.
+pub fn demo(args: &Args, out: &mut Vec<String>, tracer: &Tracer) -> Result<()> {
+    let seed = args.get_or("seed", 42u64)?;
+    let k = args.get_or("k", 5usize)?;
+    let stack = args.get("models").unwrap_or("ideal");
+
+    // The built-in scene: object 1 and action 0 co-occur on frames
+    // 300..700, so the demo query has real positives; object 2 is mostly
+    // background.
+    let geometry = VideoGeometry::PAPER_DEFAULT;
+    let mut builder = SceneScriptBuilder::new(1500, geometry);
+    builder.object_span(ObjectType::new(1), 200, 700)?;
+    builder.object_span(ObjectType::new(2), 0, 1200)?;
+    builder.action_span(ActionType::new(0), 300, 900)?;
+    let script = builder.build();
+    let query = Query::new(ActionType::new(0), vec![ObjectType::new(1)]);
+
+    let (detector, recognizer) = models(stack, seed)?;
+    let mut tracker = IouTracker::new(
+        if stack == "ideal" {
+            profiles::ideal_tracker()
+        } else {
+            profiles::centertrack()
+        },
+        seed,
+    );
+    let cfg = OnlineConfig::svaqd();
+
+    // 1. Ingestion (serial, so span ids in the trace are reproducible).
+    let ingested = ingest_traced(
+        &script,
+        "demo",
+        &detector,
+        &recognizer,
+        &mut tracker,
+        &cfg,
+        tracer,
+    )?;
+    out.push(format!(
+        "ingested {} clips, {} object tables, {} action tables",
+        script.num_clips(),
+        ingested.object_rows.len(),
+        ingested.action_rows.len()
+    ));
+
+    // 2. Online SVAQD through a traced inference cache: `detect.frame` /
+    // `detect.shot` spans carry executed-vs-cached provenance, the shared
+    // critical-value caches count hits and misses, and each clip decision
+    // is an `online.clip` span.
+    let cache = InferenceCache::with_clip_capacity(&geometry, 1);
+    let cached_detector = cache.detector(&detector);
+    let cached_recognizer = cache.recognizer(&recognizer);
+    let traced_detector = TracingObjectDetector::new(&cached_detector, tracer.clone());
+    let traced_recognizer = TracingActionRecognizer::new(&cached_recognizer, tracer.clone());
+    let scan_caches = SharedScanCaches::new_traced(&cfg, &geometry, tracer)?;
+    let engine = OnlineEngine::with_shared_caches(
+        query.clone(),
+        cfg,
+        &geometry,
+        &traced_detector,
+        &traced_recognizer,
+        &scan_caches,
+    )?
+    .with_tracer(tracer.clone());
+    let online = engine.run(VideoStream::new(&script));
+    out.push(format!(
+        "online[svaqd]: {} sequence(s): {}",
+        online.sequences.len(),
+        online.sequences
+    ));
+
+    // 3. Offline RVAQ top-K over the ingested score tables.
+    let pq = candidates_from_ingest(&ingested, &query)?;
+    let action_rows = ingested
+        .action_rows
+        .get(&query.action)
+        .cloned()
+        .unwrap_or_default();
+    let action_table = MemTable::new(action_rows, CostModel::FREE);
+    let object_tables: Vec<MemTable> = query
+        .objects
+        .iter()
+        .map(|o| {
+            MemTable::new(
+                ingested.object_rows.get(o).cloned().unwrap_or_default(),
+                CostModel::FREE,
+            )
+        })
+        .collect();
+    let tables = QueryTables {
+        action: &action_table,
+        objects: object_tables
+            .iter()
+            .map(|t| t as &dyn ClipScoreTable)
+            .collect(),
+    };
+    let top = rvaq_traced(&tables, &pq, &PaperScoring, &RvaqOptions::new(k), tracer);
+    out.push(format!(
+        "rvaq top-{k} ({} candidates, {} iterations):",
+        pq.len(),
+        top.iterations
+    ));
+    for (rank, (interval, score)) in top.sequences.iter().enumerate() {
+        out.push(format!("  #{:<2} {interval}  score {score:.1}", rank + 1));
+    }
     Ok(())
 }
 
@@ -571,6 +733,10 @@ mod tests {
             "\"serial_clips_per_s\"",
             "\"parallel_clips_per_s\"",
             "\"speedup\"",
+            "\"serial_stages\"",
+            "\"parallel_stages\"",
+            "\"ingest.clip\"",
+            "\"p95_ns\"",
         ] {
             assert!(ingest_json.contains(key), "missing {key} in {ingest_json}");
         }
@@ -582,9 +748,70 @@ mod tests {
             "\"invocations_per_frame\"",
             "\"cache_hit_rate\"",
             "\"wall_s\"",
+            "\"stages\"",
+            "\"online.clip\"",
+            "\"p99_ns\"",
         ] {
             assert!(online_json.contains(key), "missing {key} in {online_json}");
         }
+    }
+
+    #[test]
+    fn demo_with_trace_covers_every_subsystem() {
+        let dir = tmp("demo");
+        let trace_path = dir.join("trace.jsonl");
+        let out = run(&[
+            "--trace",
+            trace_path.to_str().unwrap(),
+            "demo",
+            "--seed",
+            "1",
+            "--k",
+            "3",
+        ])
+        .unwrap();
+        assert!(out.iter().any(|l| l.contains("ingested")), "{out:?}");
+        assert!(out.iter().any(|l| l.contains("online[svaqd]")), "{out:?}");
+        assert!(out.iter().any(|l| l.contains("rvaq top-3")), "{out:?}");
+        // The summary table and the pointer to the span stream follow the
+        // command's own output.
+        assert!(out.iter().any(|l| l.starts_with("span")), "{out:?}");
+        assert!(out.iter().any(|l| l.contains("trace written to")));
+
+        // The span stream covers ingest, model calls with cache
+        // provenance, critical-value computation, per-clip decisions and
+        // RVAQ iterations.
+        let body = std::fs::read_to_string(&trace_path).unwrap();
+        for needle in [
+            "\"name\":\"ingest\"",
+            "\"name\":\"ingest.clip\"",
+            "\"name\":\"detect.frame\"",
+            "\"name\":\"detect.shot\"",
+            "\"name\":\"scanstats.cv_compute\"",
+            "\"name\":\"online.clip\"",
+            "\"name\":\"rvaq\"",
+            "\"name\":\"rvaq.iteration\"",
+            "\"provenance\":\"executed\"",
+        ] {
+            assert!(body.contains(needle), "missing {needle}");
+        }
+        // Every line parses as a self-contained JSON object.
+        for line in body.lines() {
+            assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+        }
+    }
+
+    #[test]
+    fn demo_without_trace_still_reports_results() {
+        let out = run(&["demo", "--seed", "1", "--k", "2"]).unwrap();
+        assert!(out.iter().any(|l| l.contains("online[svaqd]")), "{out:?}");
+        assert!(!out.iter().any(|l| l.contains("trace written")));
+    }
+
+    #[test]
+    fn trace_flag_requires_a_path() {
+        let err = run(&["--trace"]).unwrap_err();
+        assert!(err.to_string().contains("--trace"), "{err}");
     }
 
     #[test]

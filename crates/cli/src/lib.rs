@@ -34,6 +34,12 @@ pub const USAGE: &str = "\
 vaq-cli — querying for actions over (scripted) videos
 
 USAGE:
+  vaq-cli [--trace <FILE>] <COMMAND> ...
+
+  A leading `--trace <FILE>` streams every span the command emits as JSON
+  lines to FILE and prints a per-stage latency summary when done.
+
+COMMANDS:
   vaq-cli gen    --kind <youtube|movie|drift> [--id <q1|title>] --out <DIR>
                  [--scale <F>] [--seed <N>]
   vaq-cli ingest --script <FILE> --repo <DIR> [--name <NAME>]
@@ -45,25 +51,45 @@ USAGE:
                  [--models <maskrcnn|yolo|ideal>] [--seed <N>]
   vaq-cli bench-baseline [--out <DIR>] [--scale <F>] [--seed <N>]
                  [--threads <N>] [--queries <N>] [--models <maskrcnn|yolo|ideal>]
+  vaq-cli demo   [--k <N>] [--models <maskrcnn|yolo|ideal>] [--seed <N>]
   vaq-cli help
 ";
 
 /// Dispatches a full argument vector (without `argv[0]`); output lines are
 /// pushed to `out` so tests can assert on them.
 pub fn run(argv: &[String], out: &mut Vec<String>) -> Result<()> {
+    // A leading `--trace <FILE>` applies to whatever command follows: spans
+    // stream to FILE as JSON lines and a summary table is printed at exit.
+    // It is peeled off here because `Args::parse` handles per-command flags
+    // only.
+    let (tracer, trace_path, argv) = if argv.first().is_some_and(|t| t == "--trace") {
+        let Some(path) = argv.get(1) else {
+            return Err(VaqError::InvalidConfig("--trace needs a file path".into()));
+        };
+        let sink = trace::JsonLinesSink::create(std::path::Path::new(path))?;
+        (
+            trace::Tracer::new(trace::MonotonicClock::new(), sink),
+            Some(path.clone()),
+            &argv[2..],
+        )
+    } else {
+        (trace::Tracer::disabled(), None, argv)
+    };
+
     let Some((command, rest)) = argv.split_first() else {
         out.push(USAGE.to_string());
         return Ok(());
     };
     let args = Args::parse(rest)?;
-    match command.as_str() {
+    let result = match command.as_str() {
         "gen" => commands::gen(&args, out),
-        "ingest" => commands::ingest(&args, out),
+        "ingest" => commands::ingest(&args, out, &tracer),
         "info" => commands::info(&args, out),
         "fsck" => commands::fsck(&args, out),
         "query" => commands::query(&args, out),
-        "stream" => commands::stream(&args, out),
+        "stream" => commands::stream(&args, out, &tracer),
         "bench-baseline" => commands::bench_baseline(&args, out),
+        "demo" => commands::demo(&args, out, &tracer),
         "help" | "--help" | "-h" => {
             out.push(USAGE.to_string());
             Ok(())
@@ -71,5 +97,15 @@ pub fn run(argv: &[String], out: &mut Vec<String>) -> Result<()> {
         other => Err(VaqError::InvalidConfig(format!(
             "unknown command {other:?}; see `vaq-cli help`"
         ))),
+    };
+    if tracer.is_enabled() {
+        tracer.flush();
+        for line in tracer.snapshot().render_table().lines() {
+            out.push(line.to_string());
+        }
+        if let Some(path) = trace_path {
+            out.push(format!("trace written to {path}"));
+        }
     }
+    result
 }

@@ -31,12 +31,16 @@ pub mod offline;
 pub mod online;
 
 pub use config::{DegradationPolicy, OnlineConfig, ParameterPolicy, RetryPolicy, UpdatePolicy};
-pub use offline::ingest::{ingest, ingest_parallel, IngestOutput};
+pub use offline::ingest::{
+    ingest, ingest_parallel, ingest_parallel_traced, ingest_traced, IngestOutput,
+};
 pub use offline::repository::{query_repository, RepoResult, Repository};
-pub use offline::rvaq::{rvaq, RvaqOptions, TopKResult};
+pub use offline::rvaq::{rvaq, rvaq_traced, RvaqOptions, TopKResult};
 pub use offline::scoring::{PaperScoring, ScoringModel};
 pub use online::engine::{
     EngineCheckpoint, GapMarker, OnlineEngine, OnlineResult, SharedScanCaches,
 };
 pub use online::indicator::{EvalScratch, GapReason};
-pub use online::multi::{run_multi_query, MultiQueryOptions, MultiQueryOutput};
+pub use online::multi::{
+    run_multi_query, run_multi_query_traced, MultiQueryOptions, MultiQueryOutput,
+};

@@ -20,6 +20,7 @@ use crate::config::{OnlineConfig, ParameterPolicy};
 use std::collections::BTreeMap;
 use std::ops::Range;
 use std::path::Path;
+use trace::Tracer;
 use vaq_detect::{ActionRecognizer, InferenceStats, IouTracker, ObjectDetector};
 use vaq_scanstats::{BackgroundRateEstimator, CriticalValueCache, ScanConfig};
 use vaq_storage::{CatalogManifest, CostModel, MemTable, ScoreRow, TableKey};
@@ -202,7 +203,17 @@ fn scan_clips(
     config: &OnlineConfig,
     obj_universe: usize,
     act_universe: usize,
+    tracer: &Tracer,
+    parent: Option<u64>,
 ) -> Vec<ClipAccum> {
+    // Shard span: explicit parent because shards may run on worker threads
+    // where the root span is not ambient. Tracing never touches the score
+    // accumulators, so the bit-identity contract with the serial path holds
+    // with tracing on or off (the overhead guard test enforces this).
+    let mut shard_span = tracer.span_with_parent("ingest.shard", parent);
+    shard_span.record("clip_start", clips.start);
+    shard_span.record("clip_end", clips.end);
+    let shard_parent = shard_span.id();
     let stream = VideoStream::new(script);
     let mut out = Vec::with_capacity((clips.end.saturating_sub(clips.start)) as usize);
     // Scratch: per-type accumulators for the current clip, plus a touched
@@ -218,6 +229,8 @@ fn scan_clips(
 
     for cid in clips {
         let clip = stream.materialize(ClipId::new(cid));
+        let mut clip_span = tracer.span_with_parent("ingest.clip", shard_parent);
+        clip_span.record("clip", cid);
         // --- objects: detect + track every frame, accumulate per type.
         for frame in &clip.frames {
             let detections = detector.detect(frame);
@@ -291,6 +304,10 @@ fn scan_clips(
         }
         act_touched.clear();
 
+        clip_span.record("frames", clip.frames.len() as u64);
+        clip_span.record("shots", clip.shots.len() as u64);
+        tracer.counter_add("ingest.frames", clip.frames.len() as u64);
+        tracer.counter_add("ingest.shots", clip.shots.len() as u64);
         out.push(ClipAccum {
             clip: clip.id,
             frames: clip.frames.len() as u64,
@@ -307,6 +324,7 @@ fn scan_clips(
 /// the order-sensitive half of ingestion and always runs single-threaded —
 /// which is what makes the parallel scan deterministic: the estimators see
 /// exactly the value sequence the serial pass produces.
+#[allow(clippy::too_many_arguments)]
 fn assemble(
     name: String,
     script: &SceneScript,
@@ -315,7 +333,12 @@ fn assemble(
     act_universe: usize,
     latency_ms: (f64, f64, f64),
     accums: Vec<ClipAccum>,
+    tracer: &Tracer,
+    parent: Option<u64>,
 ) -> Result<IngestOutput> {
+    let mut merge_span = tracer.span_with_parent("ingest.assemble", parent);
+    merge_span.record("clips", accums.len() as u64);
+    tracer.counter_add("ingest.clips", accums.len() as u64);
     let geometry = *script.geometry();
     let fpc = geometry.frames_per_clip();
     let spc = geometry.shots_per_clip as u64;
@@ -425,7 +448,35 @@ pub fn ingest(
     tracker: &mut IouTracker,
     config: &OnlineConfig,
 ) -> Result<IngestOutput> {
+    ingest_traced(
+        script,
+        name,
+        detector,
+        recognizer,
+        tracker,
+        config,
+        &Tracer::disabled(),
+    )
+}
+
+/// [`ingest`] with tracing: opens the `ingest` root span, one `ingest.shard`
+/// span for the (single) scan range with nested `ingest.clip` spans, and an
+/// `ingest.assemble` span for the sequential merge. Structural counters
+/// `ingest.frames` / `ingest.shots` / `ingest.clips` are recorded as well.
+/// Tracing is strictly observational: the output is bit-identical to the
+/// untraced path.
+#[allow(clippy::too_many_arguments)]
+pub fn ingest_traced(
+    script: &SceneScript,
+    name: impl Into<String>,
+    detector: &dyn ObjectDetector,
+    recognizer: &dyn ActionRecognizer,
+    tracker: &mut IouTracker,
+    config: &OnlineConfig,
+    tracer: &Tracer,
+) -> Result<IngestOutput> {
     config.validate()?;
+    let root = trace::span!(tracer, "ingest", "clips" = script.num_clips());
     let obj_universe = detector.universe() as usize;
     let act_universe = recognizer.universe() as usize;
     let latency = (
@@ -442,6 +493,8 @@ pub fn ingest(
         config,
         obj_universe,
         act_universe,
+        tracer,
+        root.id(),
     );
     assemble(
         name.into(),
@@ -451,6 +504,8 @@ pub fn ingest(
         act_universe,
         latency,
         accums,
+        tracer,
+        root.id(),
     )
 }
 
@@ -479,7 +534,41 @@ pub fn ingest_parallel(
     config: &OnlineConfig,
     threads: usize,
 ) -> Result<IngestOutput> {
+    ingest_parallel_traced(
+        script,
+        name,
+        detector,
+        recognizer,
+        tracker,
+        config,
+        threads,
+        &Tracer::disabled(),
+    )
+}
+
+/// [`ingest_parallel`] with tracing: each shard records its own
+/// `ingest.shard` span (explicitly parented under the `ingest.parallel`
+/// root, since shards run on worker threads), so per-shard cost is
+/// attributable. Span *ids* may interleave differently across runs when
+/// `threads > 1`; the output tables remain bit-identical to [`ingest`].
+#[allow(clippy::too_many_arguments)]
+pub fn ingest_parallel_traced(
+    script: &SceneScript,
+    name: impl Into<String>,
+    detector: &dyn ObjectDetector,
+    recognizer: &dyn ActionRecognizer,
+    tracker: &IouTracker,
+    config: &OnlineConfig,
+    threads: usize,
+    tracer: &Tracer,
+) -> Result<IngestOutput> {
     config.validate()?;
+    let root = trace::span!(
+        tracer,
+        "ingest.parallel",
+        "clips" = script.num_clips(),
+        "threads" = threads.max(1) as u64
+    );
     let threads = threads.max(1) as u64;
     let obj_universe = detector.universe() as usize;
     let act_universe = recognizer.universe() as usize;
@@ -496,6 +585,7 @@ pub fn ingest_parallel(
         .filter(|r| !r.is_empty())
         .collect();
 
+    let root_id = root.id();
     let accums = std::thread::scope(|scope| {
         let handles: Vec<_> = ranges
             .into_iter()
@@ -511,6 +601,8 @@ pub fn ingest_parallel(
                         config,
                         obj_universe,
                         act_universe,
+                        tracer,
+                        root_id,
                     )
                 })
             })
@@ -536,6 +628,8 @@ pub fn ingest_parallel(
         act_universe,
         latency,
         accums,
+        tracer,
+        root_id,
     )
 }
 

@@ -46,6 +46,7 @@
 use crate::offline::scoring::ScoringModel;
 use crate::offline::tbclip::{QueryTables, TbClip};
 use std::time::Instant;
+use trace::Tracer;
 use vaq_storage::AccessStats;
 use vaq_types::{ClipId, ClipInterval, SequenceSet};
 
@@ -114,6 +115,27 @@ pub fn rvaq(
     scoring: &dyn ScoringModel,
     opts: &RvaqOptions,
 ) -> TopKResult {
+    rvaq_traced(tables, pq, scoring, opts, &Tracer::disabled())
+}
+
+/// [`rvaq`] with tracing: opens the `rvaq` root span, one `rvaq.iteration`
+/// span per TBClip step (recording the current bound gap
+/// `B_up^¬K − B_lo^K`, which converging runs drive to ≤ 0), and the
+/// `rvaq.iterations` / `rvaq.decided_out` / `rvaq.decided_in` counters.
+pub fn rvaq_traced(
+    tables: &QueryTables<'_>,
+    pq: &SequenceSet,
+    scoring: &dyn ScoringModel,
+    opts: &RvaqOptions,
+    tracer: &Tracer,
+) -> TopKResult {
+    let _root = trace::span!(
+        tracer,
+        "rvaq",
+        "candidates" = pq.intervals().len() as u64,
+        "k" = opts.k as u64,
+        "skip" = opts.skip_enabled
+    );
     let started = Instant::now();
     tables.reset_stats();
     let mut tb = TbClip::new(tables, scoring);
@@ -143,6 +165,8 @@ pub fn rvaq(
 
     while needs_loop {
         iterations += 1;
+        let mut iter_span = trace::span!(tracer, "rvaq.iteration", "iteration" = iterations);
+        tracer.counter_add("rvaq.iterations", 1);
         // Snapshot the decided flags so the skip closure does not hold a
         // borrow across the bound updates below.
         let decided: Vec<(bool, bool)> = states
@@ -193,11 +217,16 @@ pub fn rvaq(
             {
                 if st.b_up < blo_k {
                     st.decided_out = true;
+                    tracer.counter_add("rvaq.decided_out", 1);
                 } else if st.b_lo > bup_notk {
                     st.decided_in = true;
+                    tracer.counter_add("rvaq.decided_in", 1);
                 }
             }
         }
+        // The gap the stopping rule (Eq. 15) drives to ≤ 0; +∞ until both
+        // frontiers have produced their first clip.
+        iter_span.record("bound_gap", bup_notk - blo_k);
         if blo_k >= bup_notk {
             break;
         }

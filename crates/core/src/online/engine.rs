@@ -17,6 +17,7 @@ use crate::online::indicator::{try_evaluate_clip, ClipEvaluation, EvalScratch, G
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 use std::time::Instant;
+use trace::Tracer;
 use vaq_detect::{ActionRecognizer, CallProvenance, InferenceStats, ObjectDetector};
 use vaq_scanstats::{BackgroundRateEstimator, CriticalValueCache, EstimatorCheckpoint, ScanConfig};
 use vaq_types::{ClipId, Query, Result, SequenceSet, VaqError, VideoGeometry};
@@ -232,14 +233,29 @@ impl SharedScanCaches {
     /// Builds the cache pair for engines configured with `config` over
     /// videos of the given geometry.
     pub fn new(config: &OnlineConfig, geometry: &VideoGeometry) -> Result<Self> {
+        Self::new_traced(config, geometry, &Tracer::disabled())
+    }
+
+    /// [`Self::new`] with telemetry: both caches record their
+    /// `scanstats.cv_hit` / `scanstats.cv_miss` counters and per-miss
+    /// `scanstats.cv_compute` spans through `tracer`.
+    pub fn new_traced(
+        config: &OnlineConfig,
+        geometry: &VideoGeometry,
+        tracer: &Tracer,
+    ) -> Result<Self> {
         config.validate()?;
         let fpc = geometry.frames_per_clip();
         let spc = geometry.shots_per_clip as u64;
         let obj_scan = ScanConfig::new(fpc, config.horizon_clips * fpc, config.alpha)?;
         let act_scan = ScanConfig::new(spc, config.horizon_clips * spc, config.alpha)?;
+        let mut obj = CriticalValueCache::new(obj_scan);
+        let mut act = CriticalValueCache::new(act_scan);
+        obj.set_tracer(tracer.clone());
+        act.set_tracer(tracer.clone());
         Ok(Self {
-            obj: Arc::new(CriticalValueCache::new(obj_scan)),
-            act: Arc::new(CriticalValueCache::new(act_scan)),
+            obj: Arc::new(obj),
+            act: Arc::new(act),
         })
     }
 }
@@ -259,6 +275,10 @@ pub struct OnlineEngine<'m> {
     clips_since_refresh: u32,
     /// Reusable evaluation buffers; not part of the checkpointed state.
     scratch: EvalScratch,
+    /// Telemetry pipeline; disabled by default and never part of the
+    /// checkpointed state — tracing observes decisions, it does not make
+    /// them.
+    tracer: Tracer,
 }
 
 impl<'m> OnlineEngine<'m> {
@@ -342,7 +362,22 @@ impl<'m> OnlineEngine<'m> {
             stats: InferenceStats::default(),
             clips_since_refresh: 0,
             scratch: EvalScratch::new(),
+            tracer: Tracer::disabled(),
         })
+    }
+
+    /// Installs a tracer: every subsequent clip emits an `online.clip` span
+    /// with decision fields plus `online.*` / `detect.*` counters derived
+    /// from the per-clip [`InferenceStats`] deltas.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
+    }
+
+    /// Builder-style [`Self::set_tracer`].
+    #[must_use]
+    pub fn with_tracer(mut self, tracer: Tracer) -> Self {
+        self.tracer = tracer;
+        self
     }
 
     /// The query being processed.
@@ -391,6 +426,8 @@ impl<'m> OnlineEngine<'m> {
     /// [`VaqError::DetectorUnavailable`].
     pub fn try_push_clip(&mut self, clip: &ClipView) -> Result<bool> {
         let started = Instant::now(); // vaq-lint: allow(nondeterminism) -- wall-clock overhead metric only; never feeds query decisions
+        let mut clip_span = trace::span!(&self.tracer, "online.clip", "clip" = clip.id.raw());
+        let stats_before = self.stats;
         let k_obj: Vec<u64> = self.obj_states.iter().map(|s| s.k_crit).collect();
         let (evaluation, gap) = try_evaluate_clip(
             &self.query,
@@ -427,6 +464,48 @@ impl<'m> OnlineEngine<'m> {
             indicator: evaluation.indicator,
             gap,
         });
+        if self.tracer.is_enabled() {
+            let d = |now: u64, was: u64| now.saturating_sub(was);
+            let frames = d(self.stats.detector_frames, stats_before.detector_frames);
+            let shots = d(self.stats.recognizer_shots, stats_before.recognizer_shots);
+            let short_circuited = d(
+                self.stats.clips_short_circuited,
+                stats_before.clips_short_circuited,
+            );
+            clip_span.record("indicator", evaluation.indicator);
+            clip_span.record("short_circuit", short_circuited > 0);
+            clip_span.record("frames", frames);
+            clip_span.record("shots", shots);
+            if let Some(reason) = gap {
+                clip_span.record("gap", format!("{reason:?}"));
+            }
+            self.tracer.counter_add("online.clips", 1);
+            self.tracer
+                .counter_add("online.positive", u64::from(evaluation.indicator));
+            self.tracer
+                .counter_add("online.short_circuit", short_circuited);
+            self.tracer
+                .counter_add("online.gaps", u64::from(gap.is_some()));
+            self.tracer.counter_add("detect.frames", frames);
+            self.tracer.counter_add(
+                "detect.frames_cached",
+                d(self.stats.detector_cached, stats_before.detector_cached),
+            );
+            self.tracer.counter_add("detect.shots", shots);
+            self.tracer.counter_add(
+                "detect.shots_cached",
+                d(self.stats.recognizer_cached, stats_before.recognizer_cached),
+            );
+            self.tracer.counter_add(
+                "detect.faults",
+                d(self.stats.detector_faults, stats_before.detector_faults)
+                    + d(self.stats.recognizer_faults, stats_before.recognizer_faults),
+            );
+            self.tracer.counter_add(
+                "detect.retries",
+                d(self.stats.retries, stats_before.retries),
+            );
+        }
         // Engine time excludes the *simulated* model milliseconds, which are
         // accounted separately; what we measure here is the real bookkeeping
         // cost standing in for the paper's non-inference time.

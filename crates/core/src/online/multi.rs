@@ -26,6 +26,7 @@
 
 use crate::config::OnlineConfig;
 use crate::online::engine::{OnlineEngine, OnlineResult, SharedScanCaches};
+use trace::Tracer;
 use vaq_detect::{ActionRecognizer, CacheStats, InferenceCache, InferenceStats, ObjectDetector};
 use vaq_types::{Query, Result};
 use vaq_video::{SceneScript, VideoStream};
@@ -77,11 +78,35 @@ pub fn run_multi_query(
     recognizer: &dyn ActionRecognizer,
     options: MultiQueryOptions,
 ) -> Result<MultiQueryOutput> {
+    run_multi_query_traced(
+        queries,
+        config,
+        script,
+        detector,
+        recognizer,
+        options,
+        &Tracer::disabled(),
+    )
+}
+
+/// [`run_multi_query`] with telemetry: every engine emits `online.clip`
+/// spans and `online.*` / `detect.*` counters, and the shared
+/// critical-value caches count their hits and misses, all through
+/// `tracer`. Results are bit-identical to the untraced run.
+pub fn run_multi_query_traced(
+    queries: &[Query],
+    config: &OnlineConfig,
+    script: &SceneScript,
+    detector: &dyn ObjectDetector,
+    recognizer: &dyn ActionRecognizer,
+    options: MultiQueryOptions,
+    tracer: &Tracer,
+) -> Result<MultiQueryOutput> {
     let geometry = script.geometry();
     let cache = InferenceCache::with_clip_capacity(geometry, options.cache_clips.max(1));
     let cached_detector = cache.detector(detector);
     let cached_recognizer = cache.recognizer(recognizer);
-    let scan_caches = SharedScanCaches::new(config, geometry)?;
+    let scan_caches = SharedScanCaches::new_traced(config, geometry, tracer)?;
 
     let results = if options.threads <= 1 || queries.len() <= 1 {
         // Interleaved: every engine sees clip c before any engine sees
@@ -98,6 +123,7 @@ pub fn run_multi_query(
                     &cached_recognizer,
                     &scan_caches,
                 )
+                .map(|e| e.with_tracer(tracer.clone()))
             })
             .collect::<Result<Vec<_>>>()?;
         for clip in VideoStream::new(script) {
@@ -127,6 +153,7 @@ pub fn run_multi_query(
                                     &cached_recognizer,
                                     &scan_caches,
                                 )
+                                .map(|e| e.with_tracer(tracer.clone()))
                             })
                             .collect::<Result<Vec<_>>>()?;
                         for clip in VideoStream::new(script) {
@@ -316,6 +343,42 @@ mod tests {
             num_frames
         );
         assert!(out.cache.detector_hits > 0);
+    }
+
+    #[test]
+    fn traced_batch_matches_untraced_and_counts_every_clip() {
+        let s = script();
+        let det = SimulatedObjectDetector::new(profiles::ideal_object(), 8, 1);
+        let rec = SimulatedActionRecognizer::new(profiles::ideal_action(), 4, 1);
+        let cfg = OnlineConfig::svaqd();
+        let qs = queries();
+        let plain =
+            run_multi_query(&qs, &cfg, &s, &det, &rec, MultiQueryOptions::default()).unwrap();
+        let sink = trace::MemorySink::unbounded();
+        let tracer = Tracer::new(trace::MockClock::new(), sink.clone());
+        let traced = run_multi_query_traced(
+            &qs,
+            &cfg,
+            &s,
+            &det,
+            &rec,
+            MultiQueryOptions::default(),
+            &tracer,
+        )
+        .unwrap();
+        for (p, t) in plain.results.iter().zip(&traced.results) {
+            assert_eq!(p.sequences, t.sequences, "telemetry changed a result");
+            assert_eq!(p.records, t.records);
+        }
+        let clips = s.num_clips() * qs.len() as u64;
+        assert_eq!(tracer.snapshot().counters.get("online.clips"), Some(&clips));
+        assert_eq!(
+            sink.spans()
+                .iter()
+                .filter(|r| r.name == "online.clip")
+                .count() as u64,
+            clips
+        );
     }
 
     #[test]

@@ -50,6 +50,7 @@ pub mod noise;
 pub mod profiles;
 pub mod sim;
 mod sync;
+pub mod telemetry;
 pub mod tracker;
 
 pub use api::{
@@ -60,4 +61,5 @@ pub use fault::{DetectorFault, FaultCounts, FaultInjector, FaultSchedule};
 pub use latency::InferenceStats;
 pub use profiles::{ActionProfile, ObjectProfile, TrackerProfile};
 pub use sim::{SimulatedActionRecognizer, SimulatedObjectDetector};
+pub use telemetry::{TracingActionRecognizer, TracingObjectDetector};
 pub use tracker::IouTracker;

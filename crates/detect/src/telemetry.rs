@@ -1,0 +1,226 @@
+//! Tracing wrappers for models: every invocation becomes a span.
+//!
+//! [`TracingObjectDetector`] / [`TracingActionRecognizer`] wrap any model
+//! (typically the outermost layer of a stack like
+//! `Tracing(Cached(FaultInjector(Simulated)))`) and emit one `detect.frame`
+//! / `detect.shot` span per call. The traced variants record the
+//! [`CallProvenance`] as a span field, so cache hits — including
+//! single-flight waiters, which surface as [`CallProvenance::Cached`] — are
+//! distinguishable from live model executions in the trace, and faults are
+//! recorded before being re-raised.
+//!
+//! Telemetry is observational: the wrappers forward inputs and outputs
+//! untouched, so any engine result is bit-identical with or without them.
+
+use crate::api::{ActionRecognizer, ActionScore, CallProvenance, Detection, ObjectDetector};
+use crate::fault::DetectorFault;
+use trace::Tracer;
+use vaq_video::{Frame, Shot};
+
+fn provenance_label(p: CallProvenance) -> &'static str {
+    match p {
+        CallProvenance::Executed => "executed",
+        CallProvenance::Cached => "cached",
+    }
+}
+
+/// An [`ObjectDetector`] that traces every call through to `inner`.
+#[derive(Debug)]
+pub struct TracingObjectDetector<'m> {
+    inner: &'m dyn ObjectDetector,
+    tracer: Tracer,
+}
+
+impl<'m> TracingObjectDetector<'m> {
+    /// Wraps `inner`; spans and counters go to `tracer`.
+    pub fn new(inner: &'m dyn ObjectDetector, tracer: Tracer) -> Self {
+        Self { inner, tracer }
+    }
+}
+
+impl ObjectDetector for TracingObjectDetector<'_> {
+    fn detect(&self, frame: &Frame) -> Vec<Detection> {
+        let mut span = trace::span!(&self.tracer, "detect.frame", "frame" = frame.id.raw());
+        let out = self.inner.detect(frame);
+        span.record("detections", out.len() as u64);
+        out
+    }
+
+    fn try_detect(&self, frame: &Frame) -> Result<Vec<Detection>, DetectorFault> {
+        self.try_detect_traced(frame).map(|(d, _)| d)
+    }
+
+    fn try_detect_traced(
+        &self,
+        frame: &Frame,
+    ) -> Result<(Vec<Detection>, CallProvenance), DetectorFault> {
+        let mut span = trace::span!(&self.tracer, "detect.frame", "frame" = frame.id.raw());
+        match self.inner.try_detect_traced(frame) {
+            Ok((detections, provenance)) => {
+                span.record("detections", detections.len() as u64);
+                span.record("provenance", provenance_label(provenance));
+                match provenance {
+                    CallProvenance::Executed => self.tracer.counter_add("detect.frame_executed", 1),
+                    CallProvenance::Cached => self.tracer.counter_add("detect.frame_cached", 1),
+                }
+                Ok((detections, provenance))
+            }
+            Err(fault) => {
+                span.record("fault", format!("{fault:?}"));
+                self.tracer.counter_add("detect.frame_faults", 1);
+                Err(fault)
+            }
+        }
+    }
+
+    fn universe(&self) -> u32 {
+        self.inner.universe()
+    }
+
+    fn latency_ms(&self) -> f64 {
+        self.inner.latency_ms()
+    }
+
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+}
+
+/// An [`ActionRecognizer`] that traces every call through to `inner`.
+#[derive(Debug)]
+pub struct TracingActionRecognizer<'m> {
+    inner: &'m dyn ActionRecognizer,
+    tracer: Tracer,
+}
+
+impl<'m> TracingActionRecognizer<'m> {
+    /// Wraps `inner`; spans and counters go to `tracer`.
+    pub fn new(inner: &'m dyn ActionRecognizer, tracer: Tracer) -> Self {
+        Self { inner, tracer }
+    }
+}
+
+impl ActionRecognizer for TracingActionRecognizer<'_> {
+    fn recognize(&self, shot: &Shot) -> Vec<ActionScore> {
+        let mut span = trace::span!(&self.tracer, "detect.shot", "shot" = shot.id.raw());
+        let out = self.inner.recognize(shot);
+        span.record("predictions", out.len() as u64);
+        out
+    }
+
+    fn try_recognize(&self, shot: &Shot) -> Result<Vec<ActionScore>, DetectorFault> {
+        self.try_recognize_traced(shot).map(|(p, _)| p)
+    }
+
+    fn try_recognize_traced(
+        &self,
+        shot: &Shot,
+    ) -> Result<(Vec<ActionScore>, CallProvenance), DetectorFault> {
+        let mut span = trace::span!(&self.tracer, "detect.shot", "shot" = shot.id.raw());
+        match self.inner.try_recognize_traced(shot) {
+            Ok((predictions, provenance)) => {
+                span.record("predictions", predictions.len() as u64);
+                span.record("provenance", provenance_label(provenance));
+                match provenance {
+                    CallProvenance::Executed => self.tracer.counter_add("detect.shot_executed", 1),
+                    CallProvenance::Cached => self.tracer.counter_add("detect.shot_cached", 1),
+                }
+                Ok((predictions, provenance))
+            }
+            Err(fault) => {
+                span.record("fault", format!("{fault:?}"));
+                self.tracer.counter_add("detect.shot_faults", 1);
+                Err(fault)
+            }
+        }
+    }
+
+    fn universe(&self) -> u32 {
+        self.inner.universe()
+    }
+
+    fn latency_ms(&self) -> f64 {
+        self.inner.latency_ms()
+    }
+
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::InferenceCache;
+    use crate::profiles;
+    use crate::sim::{SimulatedActionRecognizer, SimulatedObjectDetector};
+    use trace::{MemorySink, MockClock, Tracer};
+    use vaq_types::VideoGeometry;
+    use vaq_video::{SceneScriptBuilder, VideoStream};
+
+    fn one_clip() -> vaq_video::SceneScript {
+        let mut b = SceneScriptBuilder::new(50, VideoGeometry::PAPER_DEFAULT);
+        b.object_span(vaq_types::ObjectType::new(1), 0, 50).unwrap();
+        b.action_span(vaq_types::ActionType::new(0), 0, 50).unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn wrapper_output_matches_inner_and_records_spans() {
+        let script = one_clip();
+        let clip = VideoStream::new(&script).next().unwrap();
+        let det = SimulatedObjectDetector::new(profiles::ideal_object(), 8, 1);
+        let rec = SimulatedActionRecognizer::new(profiles::ideal_action(), 4, 1);
+        let sink = MemorySink::unbounded();
+        let tracer = Tracer::new(MockClock::new(), sink.clone());
+        let tdet = TracingObjectDetector::new(&det, tracer.clone());
+        let trec = TracingActionRecognizer::new(&rec, tracer.clone());
+
+        for frame in &clip.frames {
+            assert_eq!(tdet.detect(frame), det.detect(frame));
+        }
+        for shot in &clip.shots {
+            assert_eq!(trec.recognize(shot), rec.recognize(shot));
+        }
+        let spans = sink.spans();
+        assert_eq!(
+            spans.iter().filter(|s| s.name == "detect.frame").count(),
+            clip.frames.len()
+        );
+        assert_eq!(
+            spans.iter().filter(|s| s.name == "detect.shot").count(),
+            clip.shots.len()
+        );
+    }
+
+    #[test]
+    fn provenance_reaches_the_span_fields_and_counters() {
+        let script = one_clip();
+        let clip = VideoStream::new(&script).next().unwrap();
+        let frame = &clip.frames[0];
+        let det = SimulatedObjectDetector::new(profiles::ideal_object(), 8, 1);
+        let cache = InferenceCache::new(64, 64);
+        let cached = cache.detector(&det);
+        let sink = MemorySink::unbounded();
+        let tracer = Tracer::new(MockClock::new(), sink.clone());
+        let tdet = TracingObjectDetector::new(&cached, tracer.clone());
+
+        let (_, first) = tdet.try_detect_traced(frame).unwrap();
+        let (_, second) = tdet.try_detect_traced(frame).unwrap();
+        assert_eq!(first, CallProvenance::Executed);
+        assert_eq!(second, CallProvenance::Cached);
+
+        let spans = sink.spans();
+        let labels: Vec<_> = spans
+            .iter()
+            .flat_map(|s| &s.fields)
+            .filter(|(k, _)| *k == "provenance")
+            .collect();
+        assert_eq!(labels.len(), 2);
+        assert_eq!(labels[0].1, trace::FieldValue::from("executed"));
+        assert_eq!(labels[1].1, trace::FieldValue::from("cached"));
+        let summary = tracer.snapshot();
+        assert_eq!(summary.counters.get("detect.frame_executed"), Some(&1));
+        assert_eq!(summary.counters.get("detect.frame_cached"), Some(&1));
+    }
+}

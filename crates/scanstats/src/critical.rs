@@ -10,6 +10,7 @@
 use crate::naus::scan_prob;
 use crate::sync::RwLock;
 use std::collections::HashMap;
+use trace::Tracer;
 use vaq_types::{Result, VaqError};
 
 /// Parameters of the scan-statistics test, fixed per predicate kind.
@@ -109,6 +110,7 @@ pub fn critical_value_checked(cfg: &ScanConfig, p0: f64) -> Result<u64> {
 pub struct CriticalValueCache {
     cfg: ScanConfig,
     cache: RwLock<HashMap<u64, u64>>,
+    tracer: Tracer,
 }
 
 impl CriticalValueCache {
@@ -117,7 +119,16 @@ impl CriticalValueCache {
         Self {
             cfg,
             cache: RwLock::new(HashMap::new()),
+            tracer: Tracer::disabled(),
         }
+    }
+
+    /// Installs a tracer: lookups then record the `scanstats.cv_hit` /
+    /// `scanstats.cv_miss` counters and each miss computes its value inside
+    /// a `scanstats.cv_compute` span. Call before sharing the cache (it
+    /// takes `&mut self`); telemetry never changes lookup results.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 
     /// The configuration this cache serves.
@@ -146,11 +157,18 @@ impl CriticalValueCache {
             .unwrap_or_else(std::sync::PoisonError::into_inner)
             .get(&key)
         {
+            self.tracer.counter_add("scanstats.cv_hit", 1);
             return k;
         }
         // Computed outside the lock: a racing miss on the same key derives
         // the same deterministic value, so duplicated work is the only cost.
-        let k = critical_value(&self.cfg, q);
+        self.tracer.counter_add("scanstats.cv_miss", 1);
+        let k = {
+            let mut span = trace::span!(&self.tracer, "scanstats.cv_compute", "p" = q);
+            let k = critical_value(&self.cfg, q);
+            span.record("k", k);
+            k
+        };
         self.cache
             .write()
             .unwrap_or_else(std::sync::PoisonError::into_inner)

@@ -1,0 +1,20 @@
+//! Seeded `root-span` violations for vaq-lint's self-tests.
+//!
+//! Linted with `root_span: Some(&["try_push_clip", "rvaq_traced"])`:
+//! `try_push_clip` below must be flagged (no `trace::span!` in its body),
+//! `rvaq_traced` must pass, and the unlisted helper is out of scope.
+
+pub fn try_push_clip(clip: u64) -> u64 {
+    // A comment mentioning trace::span! must not satisfy the rule.
+    let pretend = "trace::span!";
+    clip + pretend.len() as u64
+}
+
+pub fn rvaq_traced(tracer: &Tracer) -> u64 {
+    let _root = trace::span!(tracer, "rvaq");
+    0
+}
+
+pub fn unlisted_helper() -> u64 {
+    7
+}

@@ -13,6 +13,10 @@
 //! 4. **`fault-exhaustive`** — `match`es over `DetectorFault` carry no
 //!    `_ =>` arm, so adding a fault variant is a compile-time TODO list.
 //! 5. **`indexing`** (advisory) — library code prefers `.get(..)`.
+//! 6. **`root-span`** — the public engine entry points enumerated in
+//!    `workspace::ROOT_SPAN_FNS` must open a root span via
+//!    `trace::span!(...)`, so every ingest/online/offline stage is
+//!    attributable in traces.
 //!
 //! Exceptions are explicit and audited:
 //! `// vaq-lint: allow(<rule>) -- <reason>` on the offending line or alone
@@ -113,6 +117,7 @@ mod selftest {
             nondeterminism: true,
             fault_exhaustive: true,
             indexing: true,
+            root_span: None,
         };
         crate::rules::lint_source(&fixture(name), rules)
             .into_iter()
@@ -158,6 +163,22 @@ mod selftest {
             got.iter().any(|&(r, _)| r == Rule::FaultExhaustive),
             "seeded `_ =>` over DetectorFault missed: {got:?}"
         );
+    }
+
+    #[test]
+    fn seeded_missing_root_span_is_caught() {
+        let rules = crate::rules::RuleSet {
+            root_span: Some(&["try_push_clip", "rvaq_traced"]),
+            ..Default::default()
+        };
+        let got: Vec<(Rule, u32)> =
+            crate::rules::lint_source(&fixture("violation_missing_root_span.rs"), rules)
+                .into_iter()
+                .filter(|v| v.rule.is_deny())
+                .map(|v| (v.rule, v.line))
+                .collect();
+        assert_eq!(got.len(), 1, "exactly the span-less entry point: {got:?}");
+        assert_eq!(got[0].0, Rule::RootSpan);
     }
 
     #[test]

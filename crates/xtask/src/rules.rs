@@ -23,6 +23,9 @@ pub enum Rule {
     FaultExhaustive,
     /// Advisory: prefer `.get(i)` over `x[i]` in library code.
     Indexing,
+    /// Listed public engine entry points must open a root span via
+    /// `trace::span!(...)` so every query is attributable in traces.
+    RootSpan,
     /// A malformed `vaq-lint:` directive (unknown rule or missing reason).
     BadDirective,
 }
@@ -36,6 +39,7 @@ impl Rule {
             Rule::Nondeterminism => "nondeterminism",
             Rule::FaultExhaustive => "fault-exhaustive",
             Rule::Indexing => "indexing",
+            Rule::RootSpan => "root-span",
             Rule::BadDirective => "bad-directive",
         }
     }
@@ -48,6 +52,7 @@ impl Rule {
             "nondeterminism" => Some(Rule::Nondeterminism),
             "fault-exhaustive" => Some(Rule::FaultExhaustive),
             "indexing" => Some(Rule::Indexing),
+            "root-span" => Some(Rule::RootSpan),
             "bad-directive" => Some(Rule::BadDirective),
             _ => None,
         }
@@ -60,12 +65,13 @@ impl Rule {
 }
 
 /// All rules, for documentation and directive validation.
-pub const ALL_RULES: [Rule; 6] = [
+pub const ALL_RULES: [Rule; 7] = [
     Rule::NoPanic,
     Rule::FloatOrd,
     Rule::Nondeterminism,
     Rule::FaultExhaustive,
     Rule::Indexing,
+    Rule::RootSpan,
     Rule::BadDirective,
 ];
 
@@ -93,6 +99,9 @@ pub struct RuleSet {
     pub fault_exhaustive: bool,
     /// Run the advisory [`Rule::Indexing`].
     pub indexing: bool,
+    /// Run [`Rule::RootSpan`] over these function names: each listed
+    /// `fn` in the file must contain `trace::span!` in its body.
+    pub root_span: Option<&'static [&'static str]>,
 }
 
 /// Lints one file's source under `rules`, honouring inline allows.
@@ -115,6 +124,9 @@ pub fn lint_source(src: &str, rules: RuleSet) -> Vec<Violation> {
     }
     if rules.indexing {
         indexing(&lexed.tokens, &test_mask, &mut raw);
+    }
+    if let Some(fns) = rules.root_span {
+        root_span(&lexed.tokens, &test_mask, fns, &mut raw);
     }
 
     apply_directives(src, &lexed, raw)
@@ -434,6 +446,86 @@ fn fault_exhaustive(toks: &[Tok], mask: &[bool], out: &mut Vec<Violation>) {
     }
 }
 
+/// Checks that each listed `fn` opens a root span: its body must contain
+/// the token sequence `trace :: span !`. This is how the workspace pins
+/// "every public engine entry point is attributable in traces" — the entry
+/// points are enumerated per file in `workspace::ROOT_SPAN_FNS`.
+fn root_span(toks: &[Tok], mask: &[bool], fns: &[&str], out: &mut Vec<Violation>) {
+    let mut i = 0usize;
+    while i < toks.len() {
+        if !toks[i].is_ident("fn") || mask[i] {
+            i += 1;
+            continue;
+        }
+        let Some(name_tok) = toks.get(i + 1) else {
+            break;
+        };
+        if !fns.iter().any(|f| name_tok.is_ident(f)) {
+            i += 1;
+            continue;
+        }
+        // Find the body's opening `{`: the first one at paren/bracket
+        // depth 0 after the signature (a `;` first means no body — a trait
+        // method declaration, which is out of scope).
+        let mut j = i + 2;
+        let mut nest = 0i32;
+        let open = loop {
+            let Some(t) = toks.get(j) else { break None };
+            if nest == 0 && t.is_punct('{') {
+                break Some(j);
+            }
+            if nest == 0 && t.is_punct(';') {
+                break None;
+            }
+            if t.is_punct('(') || t.is_punct('[') {
+                nest += 1;
+            } else if t.is_punct(')') || t.is_punct(']') {
+                nest -= 1;
+            }
+            j += 1;
+        };
+        let Some(open) = open else {
+            i = j.max(i + 2);
+            continue;
+        };
+        // Scan the body for `trace :: span !`.
+        let mut depth = 1i32;
+        let mut k = open + 1;
+        let mut found = false;
+        while k < toks.len() && depth > 0 {
+            let t = &toks[k];
+            if t.is_punct('{') {
+                depth += 1;
+            } else if t.is_punct('}') {
+                depth -= 1;
+            }
+            if !found
+                && t.is_ident("trace")
+                && toks.get(k + 1).is_some_and(|n| n.is_punct(':'))
+                && toks.get(k + 2).is_some_and(|n| n.is_punct(':'))
+                && toks.get(k + 3).is_some_and(|n| n.is_ident("span"))
+                && toks.get(k + 4).is_some_and(|n| n.is_punct('!'))
+            {
+                found = true;
+            }
+            k += 1;
+        }
+        if !found {
+            out.push(Violation {
+                rule: Rule::RootSpan,
+                line: toks[i].line,
+                message: format!(
+                    "public engine entry point `{}` does not open a root span — \
+                     add `trace::span!(&tracer, ...)` so the stage is \
+                     attributable in traces",
+                    name_tok.text
+                ),
+            });
+        }
+        i = k;
+    }
+}
+
 /// Advisory: `expr[...]` indexing in library code.
 fn indexing(toks: &[Tok], mask: &[bool], out: &mut Vec<Violation>) {
     for i in 1..toks.len() {
@@ -470,6 +562,7 @@ mod tests {
         nondeterminism: true,
         fault_exhaustive: true,
         indexing: true,
+        root_span: None,
     };
 
     fn deny_rules(src: &str) -> Vec<(Rule, u32)> {
@@ -616,6 +709,65 @@ mod tests {
     fn directive_with_unknown_rule_is_a_violation() {
         let src = "// vaq-lint: allow(no-such-rule) -- why\nfn f() {}\n";
         assert_eq!(deny_rules(src), vec![(Rule::BadDirective, 1)]);
+    }
+
+    const ROOT_SPAN_ONLY: RuleSet = RuleSet {
+        no_panic: false,
+        float_ord: false,
+        nondeterminism: false,
+        fault_exhaustive: false,
+        indexing: false,
+        root_span: Some(&["try_push_clip", "rvaq_traced"]),
+    };
+
+    fn root_span_rules(src: &str) -> Vec<(Rule, u32)> {
+        lint_source(src, ROOT_SPAN_ONLY)
+            .into_iter()
+            .filter(|v| v.rule.is_deny())
+            .map(|v| (v.rule, v.line))
+            .collect()
+    }
+
+    #[test]
+    fn entry_point_without_root_span_is_flagged() {
+        let src = "pub fn try_push_clip(c: &Clip) -> Result<()> {\n    Ok(())\n}\n";
+        assert_eq!(root_span_rules(src), vec![(Rule::RootSpan, 1)]);
+    }
+
+    #[test]
+    fn entry_point_with_root_span_passes() {
+        let src = "pub fn try_push_clip(c: &Clip) -> Result<()> {\n    let _root = trace::span!(&self.tracer, \"online.clip\");\n    Ok(())\n}\n";
+        assert!(root_span_rules(src).is_empty());
+    }
+
+    #[test]
+    fn span_in_a_string_or_comment_does_not_satisfy_root_span() {
+        let src = "pub fn rvaq_traced() {\n    // trace::span!(tracer, \"rvaq\")\n    let s = \"trace::span!\";\n}\n";
+        assert_eq!(root_span_rules(src), vec![(Rule::RootSpan, 1)]);
+    }
+
+    #[test]
+    fn unlisted_functions_are_not_required_to_span() {
+        let src = "pub fn helper() {}\nfn private_thing() { x + 1; }\n";
+        assert!(root_span_rules(src).is_empty());
+    }
+
+    #[test]
+    fn span_in_a_sibling_function_does_not_count() {
+        let src = "pub fn other() {\n    let _r = trace::span!(&t, \"x\");\n}\npub fn try_push_clip() {\n    work();\n}\n";
+        assert_eq!(root_span_rules(src), vec![(Rule::RootSpan, 4)]);
+    }
+
+    #[test]
+    fn root_span_allow_directive_suppresses() {
+        let src = "// vaq-lint: allow(root-span) -- delegates to the traced variant\npub fn try_push_clip() {\n    inner();\n}\n";
+        assert!(root_span_rules(src).is_empty());
+    }
+
+    #[test]
+    fn bodyless_trait_declaration_is_out_of_scope() {
+        let src = "trait Engine {\n    fn try_push_clip(&mut self, c: &Clip) -> Result<()>;\n}\n";
+        assert!(root_span_rules(src).is_empty());
     }
 
     #[test]

@@ -17,19 +17,43 @@ use crate::rules::{lint_source, RuleSet, Violation};
 use std::path::{Path, PathBuf};
 
 /// Crates whose `src/` is "library code" under the no-panic rule.
-const LIB_CRATES: [&str; 6] = ["types", "scanstats", "detect", "storage", "core", "query"];
+const LIB_CRATES: [&str; 7] = [
+    "types",
+    "scanstats",
+    "detect",
+    "storage",
+    "core",
+    "query",
+    "trace",
+];
 
 /// Crates exempt from every rule's deny set except float-ord/fault matches.
 const TOOLING_CRATES: [&str; 2] = ["xtask", "loom"];
 
 /// Path fragments (workspace-relative, `/`-separated) of deterministic
 /// paths: results there must be pure functions of (input, seed).
-const DETERMINISTIC_PATHS: [&str; 5] = [
+const DETERMINISTIC_PATHS: [&str; 6] = [
     "crates/core/src/offline/ingest.rs",
     "crates/core/src/online/",
     "crates/detect/src/fault.rs",
     "crates/detect/src/noise.rs",
     "crates/detect/src/sim.rs",
+    // The tracing layer must never smuggle wall-clock time into replayable
+    // paths: its one Instant::now is an audited allow in clock.rs.
+    "crates/trace/src/",
+];
+
+/// Public engine entry points that must open a root span
+/// (`trace::span!(...)`) — enforced by [`crate::rules::Rule::RootSpan`].
+/// Keyed by workspace-relative file; the traced entry variants own the
+/// root span, their untraced convenience wrappers delegate to them.
+const ROOT_SPAN_FNS: [(&str, &[&str]); 3] = [
+    (
+        "crates/core/src/offline/ingest.rs",
+        &["ingest_traced", "ingest_parallel_traced"],
+    ),
+    ("crates/core/src/offline/rvaq.rs", &["rvaq_traced"]),
+    ("crates/core/src/online/engine.rs", &["try_push_clip"]),
 ];
 
 /// One file's lint outcome.
@@ -90,12 +114,17 @@ pub fn rules_for(rel: &str) -> Option<RuleSet> {
     let is_lib = in_root_src || crate_name.is_some_and(|c| LIB_CRATES.contains(&c));
     let is_tooling = crate_name.is_some_and(|c| TOOLING_CRATES.contains(&c));
     let is_deterministic = DETERMINISTIC_PATHS.iter().any(|p| rel.starts_with(p));
+    let root_span = ROOT_SPAN_FNS
+        .iter()
+        .find(|&&(p, _)| p == rel)
+        .map(|&(_, fns)| fns);
     Some(RuleSet {
         no_panic: is_lib && !is_tooling,
         float_ord: !is_tooling,
         nondeterminism: is_deterministic,
         fault_exhaustive: true,
         indexing: is_lib && !is_tooling,
+        root_span,
     })
 }
 
@@ -169,9 +198,24 @@ mod tests {
 
         let det = rules_for("crates/core/src/online/engine.rs").unwrap();
         assert!(det.no_panic && det.nondeterminism);
+        assert_eq!(det.root_span, Some(&["try_push_clip"][..]));
 
         let ingest = rules_for("crates/core/src/offline/ingest.rs").unwrap();
         assert!(ingest.nondeterminism);
+        assert_eq!(
+            ingest.root_span,
+            Some(&["ingest_traced", "ingest_parallel_traced"][..])
+        );
+
+        let rvaq = rules_for("crates/core/src/offline/rvaq.rs").unwrap();
+        assert_eq!(rvaq.root_span, Some(&["rvaq_traced"][..]));
+
+        let trace = rules_for("crates/trace/src/clock.rs").unwrap();
+        assert!(
+            trace.no_panic && trace.nondeterminism,
+            "the tracing crate is library code on a deterministic path"
+        );
+        assert!(trace.root_span.is_none());
 
         let cli = rules_for("crates/cli/src/commands.rs").unwrap();
         assert!(!cli.no_panic, "binaries may panic at the top level");

@@ -15,6 +15,8 @@
 //! * [`core`] — SVAQ, SVAQD (online) and RVAQ + baselines (offline).
 //! * [`metrics`] — F1 / IOU matching / FPR evaluation.
 //! * [`query`] — the VAQ-SQL declarative frontend.
+//! * [`trace`] — deterministic tracing & telemetry (spans, counters,
+//!   histograms, sinks).
 //!
 //! # Example
 //!
@@ -64,6 +66,8 @@ pub use vaq_scanstats as scanstats;
 pub use vaq_storage as storage;
 pub use vaq_types as types;
 pub use vaq_video as video;
+// `trace` is already the renamed dependency (`package = "vaq-trace"`).
+pub use trace;
 
 pub use vaq_types::{
     ActionType, BBox, ClipId, ClipInterval, FrameId, ObjectType, Query, QueryBuilder, Result,

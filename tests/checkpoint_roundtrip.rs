@@ -1,0 +1,190 @@
+//! Checkpoint round-trip regressions.
+//!
+//! The crash-safety story rests on two exactness claims:
+//!
+//! * [`EstimatorCheckpoint`]: the kernel estimator is two decayed `f64`
+//!   sums plus counters, so `checkpoint → restore → checkpoint` must be
+//!   **bit for bit** stable (`to_bits` equality, not epsilon equality), at
+//!   every boundary — empty, one observation, and around one full kernel
+//!   bandwidth of history where the prior's weight crosses `1/e`.
+//! * [`EngineCheckpoint`]: an engine restored mid-stream (including a trip
+//!   through its JSON form) must finish the stream with exactly the result
+//!   of the uninterrupted run — sequences, per-clip records and gaps all
+//!   equal, estimates and critical values bit-identical. Per
+//!   `tests/README.md`, `InferenceStats::engine_ms` (measured wall-clock)
+//!   is excluded from determinism comparisons.
+
+use vaq::core::{EngineCheckpoint, OnlineConfig, OnlineEngine};
+use vaq::detect::{profiles, SimulatedActionRecognizer, SimulatedObjectDetector};
+use vaq::scanstats::{BackgroundRateEstimator, EstimatorCheckpoint};
+use vaq::video::{SceneScript, SceneScriptBuilder, VideoStream};
+use vaq::{ActionType, ObjectType, Query, VideoGeometry};
+
+fn o(i: u32) -> ObjectType {
+    ObjectType::new(i)
+}
+fn a(i: u32) -> ActionType {
+    ActionType::new(i)
+}
+
+/// Pinned-seed splitmix64, for deterministic event streams.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn assert_checkpoints_bit_identical(x: &EstimatorCheckpoint, y: &EstimatorCheckpoint) {
+    assert_eq!(x.bandwidth.to_bits(), y.bandwidth.to_bits());
+    assert_eq!(x.event_sum.to_bits(), y.event_sum.to_bits());
+    assert_eq!(x.weight_sum.to_bits(), y.weight_sum.to_bits());
+    assert_eq!(x.observed, y.observed);
+    assert_eq!(x.events, y.events);
+}
+
+#[test]
+fn estimator_roundtrip_is_bit_exact_at_every_boundary() {
+    let bw = 40.0;
+    // Boundaries: fresh, single observation, and straddling one bandwidth
+    // of history (prior weight decayed to exactly 1/e at `observed == bw`).
+    for &observed in &[0u64, 1, 39, 40, 41, 500] {
+        let mut original = BackgroundRateEstimator::new(bw, 0.01).unwrap();
+        let mut s = observed.wrapping_mul(0x0123_4567_89AB_CDEF) ^ 0x5DEE_CE66_D15E_A5E5;
+        for _ in 0..observed {
+            original.observe(splitmix64(&mut s) % 20 == 0);
+        }
+        let before = original.checkpoint();
+        let restored = BackgroundRateEstimator::restore(&before).unwrap();
+        // restore → checkpoint reproduces the checkpoint bit for bit.
+        assert_checkpoints_bit_identical(&restored.checkpoint(), &before);
+        assert_eq!(restored.estimate().to_bits(), original.estimate().to_bits());
+
+        // Continuing both under the identical suffix stays bit-identical at
+        // every step — the decay recurrence has no hidden state.
+        let mut restored = restored;
+        for _ in 0..200 {
+            let ev = splitmix64(&mut s) % 20 == 0;
+            original.observe(ev);
+            restored.observe(ev);
+            assert_eq!(restored.estimate().to_bits(), original.estimate().to_bits());
+        }
+        assert_checkpoints_bit_identical(&restored.checkpoint(), &original.checkpoint());
+    }
+}
+
+#[test]
+fn estimator_roundtrip_covers_block_updates() {
+    let mut original = BackgroundRateEstimator::new(60.0, 1e-4).unwrap();
+    original.observe_block_uniform(50, 3);
+    original.observe_block_uniform(50, 0);
+    let restored = BackgroundRateEstimator::restore(&original.checkpoint()).unwrap();
+    assert_checkpoints_bit_identical(&restored.checkpoint(), &original.checkpoint());
+    let mut restored = restored;
+    let mut original = original;
+    for m in [0u64, 2, 5, 1] {
+        original.observe_block_uniform(25, m);
+        restored.observe_block_uniform(25, m);
+        assert_eq!(restored.estimate().to_bits(), original.estimate().to_bits());
+    }
+}
+
+fn script() -> SceneScript {
+    let mut b = SceneScriptBuilder::new(1500, VideoGeometry::PAPER_DEFAULT);
+    b.object_span(o(1), 200, 700).unwrap();
+    b.object_span(o(2), 0, 1200).unwrap();
+    b.action_span(a(0), 300, 900).unwrap();
+    b.build()
+}
+
+/// Splits an SVAQD run at `split`, round-trips the checkpoint through JSON,
+/// and requires the resumed run to reproduce the uninterrupted one.
+fn assert_engine_resumes_exactly(split: usize) {
+    let geometry = VideoGeometry::PAPER_DEFAULT;
+    let s = script();
+    let query = Query::new(a(0), vec![o(1), o(2)]);
+    let config = OnlineConfig::svaqd();
+    // Noisy models: estimator state then actually evolves clip to clip, so
+    // a sloppy (epsilon-level) restore would drift the k_crit schedule.
+    let det = SimulatedObjectDetector::new(profiles::mask_rcnn(), 8, 42);
+    let rec = SimulatedActionRecognizer::new(profiles::i3d(), 4, 42);
+
+    let mut uninterrupted =
+        OnlineEngine::new(query.clone(), config, &geometry, &det, &rec).unwrap();
+    let mut first_half = OnlineEngine::new(query.clone(), config, &geometry, &det, &rec).unwrap();
+    let stream = VideoStream::new(&s);
+    for (i, clip) in stream.clone().enumerate() {
+        uninterrupted.push_clip(&clip);
+        if i < split {
+            first_half.push_clip(&clip);
+        }
+    }
+
+    let checkpoint = first_half.checkpoint();
+    assert_eq!(checkpoint.clips_processed, split as u64);
+    let json = checkpoint.to_json().unwrap();
+    let parsed = EngineCheckpoint::from_json(&json).unwrap();
+    // serde_json renders floats shortest-round-trip, so even the decayed
+    // kernel sums survive the JSON trip without loss.
+    assert_eq!(parsed, checkpoint);
+
+    let mut resumed = OnlineEngine::restore(query, config, &geometry, &det, &rec, &parsed).unwrap();
+    // Restored internal state is bit-identical to the donor engine's.
+    assert_eq!(resumed.critical_values(), first_half.critical_values());
+    let (obj_p_resumed, act_p_resumed) = resumed.background_estimates();
+    let (obj_p_donor, act_p_donor) = first_half.background_estimates();
+    assert_eq!(act_p_resumed.to_bits(), act_p_donor.to_bits());
+    for (r, d) in obj_p_resumed.iter().zip(&obj_p_donor) {
+        assert_eq!(r.to_bits(), d.to_bits());
+    }
+
+    for clip in stream.skip(split) {
+        resumed.push_clip(&clip);
+    }
+    assert_eq!(resumed.critical_values(), uninterrupted.critical_values());
+    let want = uninterrupted.into_result();
+    let got = resumed.into_result();
+    assert_eq!(got.sequences, want.sequences, "split={split}: sequences");
+    assert_eq!(got.records, want.records, "split={split}: records");
+    assert_eq!(got.gaps, want.gaps, "split={split}: gaps");
+    // stats deliberately not compared: engine_ms is measured wall-clock.
+}
+
+#[test]
+fn engine_checkpoint_resumes_bit_for_bit_at_several_boundaries() {
+    for split in [1usize, 7, 15, 29, 30] {
+        assert_engine_resumes_exactly(split);
+    }
+}
+
+#[test]
+fn engine_checkpoint_rejects_mismatched_query_shape() {
+    let geometry = VideoGeometry::PAPER_DEFAULT;
+    let s = script();
+    let det = SimulatedObjectDetector::new(profiles::ideal_object(), 8, 1);
+    let rec = SimulatedActionRecognizer::new(profiles::ideal_action(), 4, 1);
+    let config = OnlineConfig::svaqd();
+    let mut engine = OnlineEngine::new(
+        Query::new(a(0), vec![o(1), o(2)]),
+        config,
+        &geometry,
+        &det,
+        &rec,
+    )
+    .unwrap();
+    for clip in VideoStream::new(&s).take(3) {
+        engine.push_clip(&clip);
+    }
+    let checkpoint = engine.checkpoint();
+    // One object predicate where the checkpoint carries two: must refuse.
+    assert!(OnlineEngine::restore(
+        Query::new(a(0), vec![o(1)]),
+        config,
+        &geometry,
+        &det,
+        &rec,
+        &checkpoint,
+    )
+    .is_err());
+}

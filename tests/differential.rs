@@ -1,0 +1,513 @@
+//! Differential testing against brute-force oracles.
+//!
+//! Each optimized decision procedure in the workspace is checked here
+//! against an independent from-scratch reference implemented *in this
+//! file* — not against the library's own helper of the same shape — so a
+//! bug shared between an algorithm and its in-crate test double cannot
+//! hide:
+//!
+//! * clip decisions: the full SVAQ engine vs a direct Naus evaluation
+//!   (linear-scan critical values, no caches, no shared state);
+//! * candidate intersection: the merge-sweep `SequenceSet::intersect` /
+//!   `candidates` vs a naive O(n·m) membership scan;
+//! * top-K: RVAQ's bound refinement (with and without the skip
+//!   mechanism, traced and untraced) vs a full-sort oracle.
+//!
+//! Random cases are driven by proptest plus pinned-seed splitmix64 sweeps,
+//! so every CI run covers a fixed corpus before any fresh randomness.
+
+use proptest::prelude::*;
+use vaq::core::offline::candidates::candidates;
+use vaq::core::offline::tbclip::QueryTables;
+use vaq::core::{rvaq, rvaq_traced, OnlineConfig, OnlineEngine, PaperScoring, RvaqOptions};
+use vaq::detect::{profiles, SimulatedActionRecognizer, SimulatedObjectDetector};
+use vaq::scanstats::{critical_value, critical_value_checked, scan_prob, ScanConfig};
+use vaq::storage::{CostModel, MemTable, ScoreRow};
+use vaq::trace::{MemorySink, MockClock, Tracer};
+use vaq::video::{SceneScriptBuilder, VideoStream};
+use vaq::{ActionType, ClipId, ClipInterval, ObjectType, Query, SequenceSet, VideoGeometry};
+
+fn o(i: u32) -> ObjectType {
+    ObjectType::new(i)
+}
+fn a(i: u32) -> ActionType {
+    ActionType::new(i)
+}
+
+/// Pinned-seed deterministic PRNG (splitmix64) for the fixed sweeps.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+// ---------------------------------------------------------------------------
+// Oracle 1: critical values by linear scan (no binary search, no cache).
+// ---------------------------------------------------------------------------
+
+/// Smallest `k ∈ [1, w]` with `P(S_w ≥ k) ≤ α`, by scanning k upward —
+/// the obviously-correct counterpart of the library's binary search.
+/// Saturates at `w` exactly like `critical_value`.
+fn critical_value_linear(cfg: &ScanConfig, p0: f64) -> u64 {
+    for k in 1..=cfg.window {
+        if scan_prob(k, cfg.window, cfg.horizon, p0) <= cfg.alpha {
+            return k;
+        }
+    }
+    cfg.window
+}
+
+#[test]
+fn critical_value_binary_search_matches_linear_scan_grid() {
+    for &w in &[2u64, 5, 13, 50] {
+        for &mult in &[10u64, 200] {
+            for &alpha in &[0.01, 0.05, 0.2] {
+                for &p0 in &[1e-6, 1e-4, 1e-3, 1e-2, 0.05, 0.2, 0.9] {
+                    let cfg = ScanConfig::new(w, w * mult, alpha).unwrap();
+                    let want = critical_value_linear(&cfg, p0);
+                    let got = critical_value(&cfg, p0);
+                    assert_eq!(got, want, "w={w} N={} alpha={alpha} p0={p0}", w * mult);
+                    // The checked variant errors exactly when even k=w is
+                    // insignificant; otherwise it agrees with the oracle.
+                    match critical_value_checked(&cfg, p0) {
+                        Ok(k) => {
+                            assert_eq!(k, want);
+                            assert!(scan_prob(k, w, cfg.horizon, p0) <= alpha);
+                        }
+                        Err(_) => {
+                            assert!(scan_prob(w, w, cfg.horizon, p0) > alpha);
+                            assert_eq!(got, w, "clamped on saturation");
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn prop_critical_value_matches_linear_scan(
+        w in 2u64..60,
+        mult in 2u64..300,
+        alpha_m in 1u32..30,
+        p_exp in 1i32..6,
+        p_m in 1u64..99,
+    ) {
+        let alpha = f64::from(alpha_m) / 100.0;
+        let p0 = p_m as f64 * 10f64.powi(-p_exp) / 10.0;
+        let cfg = ScanConfig::new(w, w * mult, alpha).unwrap();
+        prop_assert_eq!(critical_value(&cfg, p0), critical_value_linear(&cfg, p0));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Oracle 2: naive interval intersection by per-clip membership.
+// ---------------------------------------------------------------------------
+
+/// O(clips × intervals) membership-scan intersection — deliberately *not*
+/// `SequenceSet::intersect_naive` (which shares this repo's authorship with
+/// the sweep under test): build both indicator vectors the slow way, AND
+/// them, and let `from_indicator` re-extract maximal runs.
+fn membership_intersect(a: &SequenceSet, b: &SequenceSet, max_clip: u64) -> SequenceSet {
+    let mut indicator = Vec::with_capacity(max_clip as usize + 1);
+    for c in 0..=max_clip {
+        let cid = ClipId::new(c);
+        let in_a = a.intervals().iter().any(|iv| iv.contains(cid));
+        let in_b = b.intervals().iter().any(|iv| iv.contains(cid));
+        indicator.push(in_a && in_b);
+    }
+    SequenceSet::from_indicator(&indicator)
+}
+
+/// Highest clip id mentioned by any of the sets (0 when all empty).
+fn max_clip_of(sets: &[&SequenceSet]) -> u64 {
+    sets.iter()
+        .flat_map(|s| s.intervals())
+        .map(|iv| iv.end.raw())
+        .max()
+        .unwrap_or(0)
+}
+
+fn set_of(pairs: &[(u64, u64)]) -> SequenceSet {
+    SequenceSet::from_intervals(
+        pairs
+            .iter()
+            .map(|&(s, len)| ClipInterval::new(s, s + len))
+            .collect(),
+    )
+}
+
+#[test]
+fn intersect_matches_membership_oracle_on_edge_cases() {
+    let cases: &[(&[(u64, u64)], &[(u64, u64)])] = &[
+        (&[], &[]),
+        (&[(0, 5)], &[]),
+        (&[(0, 5)], &[(6, 2)]),         // disjoint, adjacent boundary
+        (&[(0, 5)], &[(5, 5)]),         // single-clip overlap at the seam
+        (&[(0, 10)], &[(2, 3)]),        // containment
+        (&[(0, 3), (5, 3)], &[(0, 9)]), // gap in a, b spans it
+        (&[(0, 0), (2, 0), (4, 0)], &[(1, 2)]),
+        (&[(3, 4), (10, 0)], &[(0, 20)]),
+    ];
+    for (pa, pb) in cases {
+        let a = set_of(pa);
+        let b = set_of(pb);
+        let max = max_clip_of(&[&a, &b]);
+        let want = membership_intersect(&a, &b, max);
+        assert_eq!(a.intersect(&b), want, "a={a} b={b}");
+        assert_eq!(b.intersect(&a), want, "commuted: a={a} b={b}");
+    }
+}
+
+#[test]
+fn intersect_matches_membership_oracle_pinned_sweep() {
+    // 200 pinned-seed random cases; identical corpus on every run.
+    for seed in 0..200u64 {
+        let mut s = seed.wrapping_mul(0x5851_F42D_4C95_7F2D) ^ 0xDA3E_39CB_94B9_5BDB;
+        let mut gen_set = |state: &mut u64| {
+            let n = (splitmix64(state) % 7) as usize;
+            let pairs: Vec<(u64, u64)> = (0..n)
+                .map(|_| (splitmix64(state) % 60, splitmix64(state) % 9))
+                .collect();
+            set_of(&pairs)
+        };
+        let a = gen_set(&mut s);
+        let b = gen_set(&mut s);
+        let c = gen_set(&mut s);
+        let max = max_clip_of(&[&a, &b, &c]);
+        assert_eq!(
+            a.intersect(&b),
+            membership_intersect(&a, &b, max),
+            "seed={seed}"
+        );
+        // candidates() folds intersect over all predicate sequences; the
+        // oracle folds the membership scan the same way.
+        let want = membership_intersect(&membership_intersect(&a, &b, max), &c, max);
+        assert_eq!(candidates(&a, &[&b, &c]), want, "seed={seed}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn prop_intersect_matches_membership_oracle(
+        pa in proptest::collection::vec((0u64..80, 0u64..10), 0..8),
+        pb in proptest::collection::vec((0u64..80, 0u64..10), 0..8),
+    ) {
+        let a = set_of(&pa);
+        let b = set_of(&pb);
+        let max = max_clip_of(&[&a, &b]);
+        let want = membership_intersect(&a, &b, max);
+        prop_assert_eq!(a.intersect(&b), want.clone());
+        prop_assert_eq!(b.intersect(&a), want);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Oracle 3: SVAQ clip decisions by direct Naus evaluation.
+// ---------------------------------------------------------------------------
+
+/// Per-clip decision of one query, recomputed from scratch: raw model
+/// calls, linear-scan critical values, Algorithm 2's short-circuit order —
+/// no engine, no critical-value cache, no shared scratch.
+struct DirectDecision {
+    object_counts: Vec<u64>,
+    object_indicators: Vec<bool>,
+    action_count: Option<u64>,
+    indicator: bool,
+}
+
+#[allow(clippy::too_many_arguments)]
+fn direct_clip_decision(
+    query: &Query,
+    clip: &vaq::video::ClipView,
+    det: &SimulatedObjectDetector,
+    rec: &SimulatedActionRecognizer,
+    cfg: &OnlineConfig,
+    k_obj: u64,
+    k_act: u64,
+) -> DirectDecision {
+    use vaq::detect::ActionRecognizer as _;
+    use vaq::detect::ObjectDetector as _;
+    let mut object_counts = Vec::new();
+    let mut object_indicators = Vec::new();
+    let mut all_pass = true;
+    for &obj in &query.objects {
+        let mut count = 0u64;
+        for frame in &clip.frames {
+            let hit = det
+                .detect(frame)
+                .iter()
+                .any(|d| d.object == obj && d.score >= cfg.t_obj);
+            count += u64::from(hit);
+        }
+        let ind = count >= k_obj;
+        all_pass &= ind;
+        object_counts.push(count);
+        object_indicators.push(ind);
+    }
+    if !all_pass {
+        return DirectDecision {
+            object_counts,
+            object_indicators,
+            action_count: None,
+            indicator: false,
+        };
+    }
+    let mut action_count = 0u64;
+    for shot in &clip.shots {
+        let hit = rec
+            .recognize(shot)
+            .iter()
+            .any(|p| p.action == query.action && p.score >= cfg.t_act);
+        action_count += u64::from(hit);
+    }
+    DirectDecision {
+        object_counts,
+        object_indicators,
+        action_count: Some(action_count),
+        indicator: action_count >= k_act,
+    }
+}
+
+/// Runs SVAQ end to end and replays every clip through the direct oracle:
+/// per-clip counts, indicators, short-circuit visibility (`action_count`
+/// presence) and the final merged sequences must all agree.
+fn assert_svaq_matches_direct(det_seed: u64, rec_seed: u64, noisy: bool) {
+    let geometry = VideoGeometry::PAPER_DEFAULT;
+    let mut b = SceneScriptBuilder::new(1500, geometry);
+    b.object_span(o(1), 200, 700).unwrap();
+    b.object_span(o(2), 0, 1200).unwrap();
+    b.action_span(a(0), 300, 900).unwrap();
+    let script = b.build();
+
+    let (op, ap) = if noisy {
+        (profiles::mask_rcnn(), profiles::i3d())
+    } else {
+        (profiles::ideal_object(), profiles::ideal_action())
+    };
+    let det = SimulatedObjectDetector::new(op, 8, det_seed);
+    let rec = SimulatedActionRecognizer::new(ap, 4, rec_seed);
+    let query = Query::new(a(0), vec![o(1), o(2)]);
+    let cfg = OnlineConfig::svaq();
+
+    let engine = OnlineEngine::new(query.clone(), cfg, &geometry, &det, &rec).unwrap();
+    let result = engine.run(VideoStream::new(&script));
+    assert!(result.gaps.is_empty(), "clean models cannot produce gaps");
+
+    // Oracle critical values: linear scan, straight from the config — the
+    // engine's cached/binary-searched values must land on the same k.
+    let fpc = geometry.frames_per_clip();
+    let spc = u64::from(geometry.shots_per_clip);
+    let obj_scan = ScanConfig::new(fpc, cfg.horizon_clips * fpc, cfg.alpha).unwrap();
+    let act_scan = ScanConfig::new(spc, cfg.horizon_clips * spc, cfg.alpha).unwrap();
+    let k_obj = critical_value_linear(&obj_scan, cfg.p0_obj);
+    let k_act = critical_value_linear(&act_scan, cfg.p0_act);
+
+    let stream = VideoStream::new(&script);
+    let mut oracle_indicators = Vec::new();
+    for (cid, record) in result.records.iter().enumerate() {
+        let clip = stream.materialize(ClipId::new(cid as u64));
+        let want = direct_clip_decision(&query, &clip, &det, &rec, &cfg, k_obj, k_act);
+        let at = format!("clip {cid} (seeds {det_seed}/{rec_seed}, noisy={noisy})");
+        assert_eq!(
+            record.object_counts, want.object_counts,
+            "{at}: object_counts"
+        );
+        assert_eq!(
+            record.object_indicators, want.object_indicators,
+            "{at}: object_indicators"
+        );
+        assert_eq!(record.action_count, want.action_count, "{at}: action_count");
+        assert_eq!(record.indicator, want.indicator, "{at}: indicator");
+        oracle_indicators.push(want.indicator);
+    }
+    assert_eq!(
+        result.sequences,
+        SequenceSet::from_indicator(&oracle_indicators),
+        "merged sequences"
+    );
+}
+
+#[test]
+fn svaq_clip_decisions_match_direct_naus_ideal() {
+    assert_svaq_matches_direct(1, 1, false);
+}
+
+#[test]
+fn svaq_clip_decisions_match_direct_naus_noisy() {
+    for &(ds, rs) in &[(42u64, 42u64), (7, 99), (1234, 5678)] {
+        assert_svaq_matches_direct(ds, rs, true);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Oracle 4: top-K by full sort (Pq-Traverse semantics, no bounds).
+// ---------------------------------------------------------------------------
+
+/// Scores every candidate sequence directly and full-sorts — the
+/// brute-force reference for RVAQ's bound refinement.
+fn topk_full_sort(
+    tables: &QueryTables<'_>,
+    pq: &SequenceSet,
+    k: usize,
+) -> Vec<(ClipInterval, f64)> {
+    let mut all: Vec<(ClipInterval, f64)> = pq
+        .intervals()
+        .iter()
+        .map(|&iv| {
+            let s: f64 = iv
+                .clips()
+                .map(|c| tables.clip_score(c, &PaperScoring))
+                .sum();
+            (iv, s)
+        })
+        .collect();
+    all.sort_by(|x, y| y.1.total_cmp(&x.1));
+    all.truncate(k);
+    all
+}
+
+/// Builds a random workload: dense action/object score tables over
+/// `clips` clips and a candidate set of disjoint runs.
+fn random_workload(state: &mut u64, clips: u64) -> (MemTable, MemTable, SequenceSet) {
+    let mut action = Vec::new();
+    let mut object = Vec::new();
+    for c in 0..clips {
+        action.push(ScoreRow {
+            clip: ClipId::new(c),
+            score: 0.1 + (splitmix64(state) % 100_000) as f64 / 1000.0,
+        });
+        object.push(ScoreRow {
+            clip: ClipId::new(c),
+            score: 0.1 + (splitmix64(state) % 100_000) as f64 / 1000.0,
+        });
+    }
+    let mut intervals = Vec::new();
+    let mut next = 0u64;
+    while next < clips {
+        let len = 1 + splitmix64(state) % 6;
+        let end = (next + len - 1).min(clips - 1);
+        if splitmix64(state) % 4 != 0 {
+            intervals.push(ClipInterval::new(next, end));
+        }
+        next = end + 2; // gap so runs stay maximal
+    }
+    (
+        MemTable::new(action, CostModel::FREE),
+        MemTable::new(object, CostModel::FREE),
+        SequenceSet::from_intervals(intervals),
+    )
+}
+
+/// Tie-robust comparison: the score vectors must match rank for rank, and
+/// every returned interval must carry its own direct score (so a swap of
+/// equal-scored intervals passes, a wrong interval or score does not).
+fn assert_topk_matches(
+    tables: &QueryTables<'_>,
+    got: &[(ClipInterval, f64)],
+    want: &[(ClipInterval, f64)],
+    label: &str,
+) {
+    assert_eq!(got.len(), want.len(), "{label}: result count");
+    for (rank, ((giv, gs), (_, ws))) in got.iter().zip(want).enumerate() {
+        assert!(
+            (gs - ws).abs() < 1e-9,
+            "{label}: rank {rank} score {gs} vs oracle {ws}"
+        );
+        let direct: f64 = giv
+            .clips()
+            .map(|c| tables.clip_score(c, &PaperScoring))
+            .sum();
+        assert!(
+            (gs - direct).abs() < 1e-9,
+            "{label}: rank {rank} reported {gs} but {giv} scores {direct}"
+        );
+    }
+}
+
+#[test]
+fn rvaq_matches_full_sort_oracle_pinned_sweep() {
+    for seed in 0..24u64 {
+        let mut s = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0xC0FF_EE00_DEAD_BEEF;
+        let (at, ot, pq) = random_workload(&mut s, 40 + seed % 40);
+        if pq.is_empty() {
+            continue;
+        }
+        let tables = QueryTables {
+            action: &at,
+            objects: vec![&ot],
+        };
+        for k in [1usize, 2, pq.len()] {
+            let want = topk_full_sort(&tables, &pq, k);
+            let got = rvaq(&tables, &pq, &PaperScoring, &RvaqOptions::new(k));
+            assert_topk_matches(
+                &tables,
+                &got.sequences,
+                &want,
+                &format!("seed={seed} k={k}"),
+            );
+            let noskip = rvaq(&tables, &pq, &PaperScoring, &RvaqOptions::no_skip(k));
+            assert_topk_matches(
+                &tables,
+                &noskip.sequences,
+                &want,
+                &format!("noskip seed={seed} k={k}"),
+            );
+        }
+    }
+}
+
+#[test]
+fn traced_rvaq_is_bit_identical_and_accounts_iterations() {
+    let mut s = 0xABCD_EF01_2345_6789u64;
+    let (at, ot, pq) = random_workload(&mut s, 60);
+    let tables = QueryTables {
+        action: &at,
+        objects: vec![&ot],
+    };
+    let plain = rvaq(&tables, &pq, &PaperScoring, &RvaqOptions::new(3));
+    let sink = MemorySink::unbounded();
+    let tracer = Tracer::new(MockClock::new(), sink.clone());
+    let traced = rvaq_traced(&tables, &pq, &PaperScoring, &RvaqOptions::new(3), &tracer);
+    assert_eq!(
+        plain.sequences, traced.sequences,
+        "tracing must not change results"
+    );
+    assert_eq!(plain.iterations, traced.iterations);
+    let spans = sink.spans();
+    let iteration_spans = spans.iter().filter(|r| r.name == "rvaq.iteration").count() as u64;
+    assert_eq!(iteration_spans, traced.iterations, "one span per iteration");
+    assert_eq!(
+        tracer.snapshot().counters.get("rvaq.iterations"),
+        Some(&traced.iterations)
+    );
+    assert!(spans.iter().any(|r| r.name == "rvaq"), "root span present");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn prop_rvaq_matches_full_sort_oracle(seed in 0u64..1 << 48, clips in 10u64..90) {
+        let mut s = seed;
+        let (at, ot, pq) = random_workload(&mut s, clips);
+        prop_assume!(!pq.is_empty());
+        let tables = QueryTables { action: &at, objects: vec![&ot] };
+        let k = 1 + (seed as usize) % pq.len();
+        let want = topk_full_sort(&tables, &pq, k);
+        let got = rvaq(&tables, &pq, &PaperScoring, &RvaqOptions::new(k));
+        prop_assert_eq!(got.sequences.len(), want.len());
+        for (rank, ((giv, gs), (_, ws))) in got.sequences.iter().zip(&want).enumerate() {
+            prop_assert!((gs - ws).abs() < 1e-9, "rank {}: {} vs {}", rank, gs, ws);
+            let direct: f64 = giv.clips().map(|c| tables.clip_score(c, &PaperScoring)).sum();
+            prop_assert!((gs - direct).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,179 @@
+//! Golden-trace snapshot tests.
+//!
+//! Under [`MockClock`] (frozen at 0) a trace is fully deterministic, so the
+//! rendered span tree and the metrics summary can be compared byte for byte
+//! against committed fixtures in `tests/fixtures/traces/`. A fixture
+//! mismatch means the *instrumentation contract* changed — span names,
+//! nesting, field order, or counter names — which is exactly the kind of
+//! silent drift these tests exist to catch. If the change is intentional,
+//! regenerate the fixture from the test's failure output.
+//!
+//! The engine and RVAQ traces are not pinned to fixtures (their span count
+//! scales with the scenario) but must still be byte-reproducible run to run.
+
+use vaq::core::offline::tbclip::QueryTables;
+use vaq::core::{
+    ingest_traced, rvaq_traced, OnlineConfig, OnlineEngine, PaperScoring, RvaqOptions,
+};
+use vaq::detect::{profiles, IouTracker, SimulatedActionRecognizer, SimulatedObjectDetector};
+use vaq::storage::{CostModel, MemTable, ScoreRow};
+use vaq::trace::{render_tree, MemorySink, MockClock, Tracer};
+use vaq::video::{SceneScriptBuilder, VideoStream};
+use vaq::{ActionType, ClipId, ClipInterval, ObjectType, Query, SequenceSet, VideoGeometry};
+
+const TREE_FIXTURE: &str = include_str!("fixtures/traces/ingest_two_clips.tree.json");
+const SUMMARY_FIXTURE: &str = include_str!("fixtures/traces/ingest_two_clips.summary.json");
+
+fn o(i: u32) -> ObjectType {
+    ObjectType::new(i)
+}
+fn a(i: u32) -> ActionType {
+    ActionType::new(i)
+}
+
+/// Ingests a fixed two-clip script under a mock clock and returns the
+/// rendered tree and summary.
+fn two_clip_ingest_trace() -> (String, String) {
+    let geometry = VideoGeometry::PAPER_DEFAULT;
+    let mut b = SceneScriptBuilder::new(100, geometry);
+    b.object_span(o(1), 10, 60).unwrap();
+    let script = b.build();
+    let det = SimulatedObjectDetector::new(profiles::ideal_object(), 4, 1);
+    let rec = SimulatedActionRecognizer::new(profiles::ideal_action(), 2, 1);
+    let mut tracker = IouTracker::new(profiles::centertrack(), 1);
+    let sink = MemorySink::unbounded();
+    let tracer = Tracer::new(MockClock::new(), sink.clone());
+    let out = ingest_traced(
+        &script,
+        "golden",
+        &det,
+        &rec,
+        &mut tracker,
+        &OnlineConfig::svaqd(),
+        &tracer,
+    )
+    .unwrap();
+    assert_eq!(out.num_frames, 100);
+    (render_tree(&sink.spans()), tracer.snapshot().to_json())
+}
+
+#[test]
+fn ingest_trace_tree_matches_committed_fixture() {
+    let (tree, _) = two_clip_ingest_trace();
+    assert_eq!(
+        tree, TREE_FIXTURE,
+        "span tree drifted from tests/fixtures/traces/ingest_two_clips.tree.json"
+    );
+}
+
+#[test]
+fn ingest_trace_summary_matches_committed_fixture() {
+    let (_, summary) = two_clip_ingest_trace();
+    assert_eq!(
+        summary, SUMMARY_FIXTURE,
+        "summary drifted from tests/fixtures/traces/ingest_two_clips.summary.json"
+    );
+}
+
+#[test]
+fn ingest_trace_is_byte_identical_across_runs() {
+    assert_eq!(two_clip_ingest_trace(), two_clip_ingest_trace());
+}
+
+/// The engine's per-clip trace: every span is an `online.clip` root, one
+/// per clip, and the rendered trace is reproducible byte for byte.
+#[test]
+fn engine_trace_is_deterministic_and_one_span_per_clip() {
+    let run = || {
+        let geometry = VideoGeometry::PAPER_DEFAULT;
+        let mut b = SceneScriptBuilder::new(1500, geometry);
+        b.object_span(o(1), 200, 700).unwrap();
+        b.action_span(a(0), 300, 900).unwrap();
+        let script = b.build();
+        let det = SimulatedObjectDetector::new(profiles::ideal_object(), 8, 1);
+        let rec = SimulatedActionRecognizer::new(profiles::ideal_action(), 4, 1);
+        let sink = MemorySink::unbounded();
+        let tracer = Tracer::new(MockClock::new(), sink.clone());
+        let engine = OnlineEngine::new(
+            Query::new(a(0), vec![o(1)]),
+            OnlineConfig::svaq(),
+            &geometry,
+            &det,
+            &rec,
+        )
+        .unwrap()
+        .with_tracer(tracer.clone());
+        let result = engine.run(VideoStream::new(&script));
+
+        let spans = sink.spans();
+        assert_eq!(spans.len() as u64, script.num_clips());
+        assert!(spans
+            .iter()
+            .all(|s| s.name == "online.clip" && s.parent.is_none()));
+        let summary = tracer.snapshot();
+        assert_eq!(
+            summary.counters.get("online.clips"),
+            Some(&script.num_clips())
+        );
+        let positives = result.records.iter().filter(|r| r.indicator).count() as u64;
+        assert_eq!(summary.counters.get("online.positive"), Some(&positives));
+        (render_tree(&spans), summary.to_json(), result.sequences)
+    };
+    let (tree_a, summary_a, seq_a) = run();
+    let (tree_b, summary_b, seq_b) = run();
+    assert_eq!(tree_a, tree_b);
+    assert_eq!(summary_a, summary_b);
+    assert_eq!(seq_a, seq_b);
+}
+
+/// RVAQ's trace nests every `rvaq.iteration` under the `rvaq` root and is
+/// reproducible byte for byte.
+#[test]
+fn rvaq_trace_is_deterministic_and_nested() {
+    let run = || {
+        let rows = |seed: u64| -> Vec<ScoreRow> {
+            (0..30u64)
+                .map(|c| ScoreRow {
+                    clip: ClipId::new(c),
+                    score: 0.05 + ((c * 7919 + seed * 104729) % 1000) as f64 / 100.0,
+                })
+                .collect()
+        };
+        let at = MemTable::new(rows(1), CostModel::FREE);
+        let ot = MemTable::new(rows(2), CostModel::FREE);
+        let tables = QueryTables {
+            action: &at,
+            objects: vec![&ot],
+        };
+        let pq = SequenceSet::from_intervals(vec![
+            ClipInterval::new(0, 3),
+            ClipInterval::new(6, 9),
+            ClipInterval::new(12, 14),
+            ClipInterval::new(20, 26),
+        ]);
+        let sink = MemorySink::unbounded();
+        let tracer = Tracer::new(MockClock::new(), sink.clone());
+        let result = rvaq_traced(&tables, &pq, &PaperScoring, &RvaqOptions::new(2), &tracer);
+
+        let spans = sink.spans();
+        let root = spans
+            .iter()
+            .find(|s| s.name == "rvaq")
+            .expect("rvaq root span");
+        assert!(root.parent.is_none());
+        assert!(spans
+            .iter()
+            .filter(|s| s.name == "rvaq.iteration")
+            .all(|s| s.parent == Some(root.id)));
+        (
+            render_tree(&spans),
+            tracer.snapshot().to_json(),
+            result.sequences,
+        )
+    };
+    let (tree_a, summary_a, seq_a) = run();
+    let (tree_b, summary_b, seq_b) = run();
+    assert_eq!(tree_a, tree_b);
+    assert_eq!(summary_a, summary_b);
+    assert_eq!(seq_a, seq_b);
+}

@@ -1,0 +1,147 @@
+//! Trace-overhead guard.
+//!
+//! The tracing substrate promises two things to hot paths:
+//!
+//! 1. **Observation only** — enabling a tracer never changes algorithm
+//!    output. Enforced here by field-by-field comparison of traced vs
+//!    untraced ingestion (serial and parallel), which must be bit-identical.
+//! 2. **Cheap when sunk to null** — a [`NullSink`] tracer adds bounded
+//!    overhead. Enforced with a *very* generous factor so the guard trips on
+//!    accidental O(n) regressions (per-frame allocation, lock contention on
+//!    the span path), not on CI scheduling noise.
+
+use std::time::Instant;
+use vaq::core::{ingest, ingest_parallel_traced, ingest_traced, IngestOutput, OnlineConfig};
+use vaq::detect::{profiles, IouTracker, SimulatedActionRecognizer, SimulatedObjectDetector};
+use vaq::trace::{MonotonicClock, NullSink, Tracer};
+use vaq::video::{SceneScript, SceneScriptBuilder};
+use vaq::{ActionType, ObjectType, VideoGeometry};
+
+fn o(i: u32) -> ObjectType {
+    ObjectType::new(i)
+}
+fn a(i: u32) -> ActionType {
+    ActionType::new(i)
+}
+
+fn script() -> SceneScript {
+    let mut b = SceneScriptBuilder::new(2000, VideoGeometry::PAPER_DEFAULT);
+    b.object_span(o(1), 100, 900).unwrap();
+    b.object_span(o(2), 0, 2000).unwrap();
+    b.object_span(o(3), 1200, 1800).unwrap();
+    b.action_span(a(0), 250, 1000).unwrap();
+    b.action_span(a(1), 1300, 1700).unwrap();
+    b.build()
+}
+
+/// Field-by-field equality of two ingestion outputs (`IngestOutput` exposes
+/// no `PartialEq` by design — spelling the fields out here means a new field
+/// that matters for determinism shows up as a missed comparison in review).
+fn assert_outputs_identical(x: &IngestOutput, y: &IngestOutput) {
+    assert_eq!(x.name, y.name);
+    assert_eq!(x.num_frames, y.num_frames);
+    assert_eq!(x.geometry, y.geometry);
+    assert_eq!(x.object_rows, y.object_rows);
+    assert_eq!(x.action_rows, y.action_rows);
+    assert_eq!(x.object_sequences, y.object_sequences);
+    assert_eq!(x.action_sequences, y.action_sequences);
+    assert_eq!(x.stats, y.stats);
+}
+
+fn run_untraced(s: &SceneScript) -> IngestOutput {
+    let det = SimulatedObjectDetector::new(profiles::mask_rcnn(), 8, 1);
+    let rec = SimulatedActionRecognizer::new(profiles::i3d(), 4, 1);
+    let mut tracker = IouTracker::new(profiles::centertrack(), 1);
+    ingest(s, "guard", &det, &rec, &mut tracker, &OnlineConfig::svaqd()).unwrap()
+}
+
+fn run_traced(s: &SceneScript, tracer: &Tracer) -> IngestOutput {
+    let det = SimulatedObjectDetector::new(profiles::mask_rcnn(), 8, 1);
+    let rec = SimulatedActionRecognizer::new(profiles::i3d(), 4, 1);
+    let mut tracker = IouTracker::new(profiles::centertrack(), 1);
+    ingest_traced(
+        s,
+        "guard",
+        &det,
+        &rec,
+        &mut tracker,
+        &OnlineConfig::svaqd(),
+        tracer,
+    )
+    .unwrap()
+}
+
+#[test]
+fn traced_serial_ingest_is_bit_identical_to_untraced() {
+    let s = script();
+    let tracer = Tracer::new(MonotonicClock::new(), NullSink);
+    let traced = run_traced(&s, &tracer);
+    let untraced = run_untraced(&s);
+    assert_outputs_identical(&traced, &untraced);
+    // The null-sunk tracer still counted structure.
+    assert_eq!(
+        tracer.snapshot().counters.get("ingest.frames"),
+        Some(&s.num_frames())
+    );
+}
+
+#[test]
+fn traced_parallel_ingest_is_bit_identical_to_untraced_serial() {
+    let s = script();
+    let det = SimulatedObjectDetector::new(profiles::mask_rcnn(), 8, 1);
+    let rec = SimulatedActionRecognizer::new(profiles::i3d(), 4, 1);
+    let tracker = IouTracker::new(profiles::centertrack(), 1);
+    let tracer = Tracer::new(MonotonicClock::new(), NullSink);
+    let parallel = ingest_parallel_traced(
+        &s,
+        "guard",
+        &det,
+        &rec,
+        &tracker,
+        &OnlineConfig::svaqd(),
+        4,
+        &tracer,
+    )
+    .unwrap();
+    assert_outputs_identical(&parallel, &run_untraced(&s));
+}
+
+/// Wall-clock guard. The bound is deliberately loose — 10x plus a 250 ms
+/// allowance — because CI machines are noisy; what it must catch is the
+/// order-of-magnitude blowup of a hot-path regression, and a disabled
+/// tracer costing anywhere near that is a bug regardless of machine.
+#[test]
+fn null_sink_tracing_overhead_is_bounded() {
+    let s = script();
+    // Warm-up run so lazy init (thread-pool, page faults) hits neither side.
+    run_untraced(&s);
+
+    let started = Instant::now();
+    run_untraced(&s);
+    let untraced = started.elapsed();
+
+    let tracer = Tracer::new(MonotonicClock::new(), NullSink);
+    let started = Instant::now();
+    run_traced(&s, &tracer);
+    let traced = started.elapsed();
+
+    let limit = untraced * 10 + std::time::Duration::from_millis(250);
+    assert!(
+        traced <= limit,
+        "NullSink-traced ingest took {traced:?}, untraced {untraced:?} (limit {limit:?})"
+    );
+}
+
+/// The disabled tracer (the default on every untraced entry point) must be
+/// indistinguishable from no tracer at all: no spans, no counters, results
+/// identical.
+#[test]
+fn disabled_tracer_is_observationally_absent() {
+    let s = script();
+    let disabled = Tracer::disabled();
+    let via_disabled = run_traced(&s, &disabled);
+    assert_outputs_identical(&via_disabled, &run_untraced(&s));
+    let summary = disabled.snapshot();
+    assert!(summary.counters.is_empty());
+    assert!(summary.spans.is_empty());
+}
