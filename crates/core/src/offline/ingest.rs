@@ -24,7 +24,7 @@ use trace::Tracer;
 use vaq_detect::{ActionRecognizer, InferenceStats, IouTracker, ObjectDetector};
 use vaq_scanstats::{BackgroundRateEstimator, CriticalValueCache, ScanConfig};
 use vaq_storage::{CatalogManifest, CostModel, MemTable, ScoreRow, TableKey};
-use vaq_types::{ActionType, ClipId, ObjectType, Result, SequenceSet};
+use vaq_types::{conv, ActionType, ClipId, ObjectType, Result, SequenceSet};
 use vaq_video::{SceneScript, VideoStream};
 
 /// Per-type state threaded through the clip scan.
@@ -215,7 +215,7 @@ fn scan_clips(
     shard_span.record("clip_end", clips.end);
     let shard_parent = shard_span.id();
     let stream = VideoStream::new(script);
-    let mut out = Vec::with_capacity((clips.end.saturating_sub(clips.start)) as usize);
+    let mut out = Vec::with_capacity(conv::capacity_hint(clips.end.saturating_sub(clips.start)));
     // Scratch: per-type accumulators for the current clip, plus a touched
     // list so clearing is O(touched) rather than O(universe).
     let mut obj_score_acc = vec![0.0f64; obj_universe];
@@ -236,7 +236,7 @@ fn scan_clips(
             let detections = detector.detect(frame);
             let tracked = tracker.update(frame.id, &detections);
             for td in &tracked {
-                let ti = td.detection.object.raw() as usize;
+                let ti = td.detection.object.index();
                 if ti >= obj_universe {
                     continue;
                 }
@@ -279,7 +279,7 @@ fn scan_clips(
         // --- actions: recognize every shot.
         for shot in &clip.shots {
             for pred in recognizer.recognize(shot) {
-                let ai = pred.action.raw() as usize;
+                let ai = pred.action.index();
                 if ai >= act_universe {
                     continue;
                 }
@@ -304,14 +304,16 @@ fn scan_clips(
         }
         act_touched.clear();
 
-        clip_span.record("frames", clip.frames.len() as u64);
-        clip_span.record("shots", clip.shots.len() as u64);
-        tracer.counter_add("ingest.frames", clip.frames.len() as u64);
-        tracer.counter_add("ingest.shots", clip.shots.len() as u64);
+        let num_frames = conv::len_u64(clip.frames.len());
+        let num_shots = conv::len_u64(clip.shots.len());
+        clip_span.record("frames", num_frames);
+        clip_span.record("shots", num_shots);
+        tracer.counter_add("ingest.frames", num_frames);
+        tracer.counter_add("ingest.shots", num_shots);
         out.push(ClipAccum {
             clip: clip.id,
-            frames: clip.frames.len() as u64,
-            shots: clip.shots.len() as u64,
+            frames: num_frames,
+            shots: num_shots,
             obj,
             act,
         });
@@ -337,11 +339,12 @@ fn assemble(
     parent: Option<u64>,
 ) -> Result<IngestOutput> {
     let mut merge_span = tracer.span_with_parent("ingest.assemble", parent);
-    merge_span.record("clips", accums.len() as u64);
-    tracer.counter_add("ingest.clips", accums.len() as u64);
+    let num_clips = conv::len_u64(accums.len());
+    merge_span.record("clips", num_clips);
+    tracer.counter_add("ingest.clips", num_clips);
     let geometry = *script.geometry();
     let fpc = geometry.frames_per_clip();
-    let spc = geometry.shots_per_clip as u64;
+    let spc = geometry.shots_in_clip();
     let (detector_ms, recognizer_ms, tracker_ms) = latency_ms;
 
     let obj_scan = ScanConfig::new(fpc, config.horizon_clips * fpc, config.alpha)?;
@@ -395,14 +398,14 @@ fn assemble(
     let object_rows: BTreeMap<ObjectType, Vec<ScoreRow>> = obj_states
         .iter_mut()
         .enumerate()
-        .map(|(ti, s)| (ObjectType::new(ti as u32), std::mem::take(&mut s.rows)))
+        .map(|(ti, s)| (ObjectType::from_index(ti), std::mem::take(&mut s.rows)))
         .collect();
     let object_sequences = obj_states
         .iter()
         .enumerate()
         .map(|(ti, s)| {
             (
-                ObjectType::new(ti as u32),
+                ObjectType::from_index(ti),
                 SequenceSet::from_indicator(&s.indicator),
             )
         })
@@ -410,14 +413,14 @@ fn assemble(
     let action_rows: BTreeMap<ActionType, Vec<ScoreRow>> = act_states
         .iter_mut()
         .enumerate()
-        .map(|(ai, s)| (ActionType::new(ai as u32), std::mem::take(&mut s.rows)))
+        .map(|(ai, s)| (ActionType::from_index(ai), std::mem::take(&mut s.rows)))
         .collect();
     let action_sequences = act_states
         .iter()
         .enumerate()
         .map(|(ai, s)| {
             (
-                ActionType::new(ai as u32),
+                ActionType::from_index(ai),
                 SequenceSet::from_indicator(&s.indicator),
             )
         })
@@ -477,8 +480,8 @@ pub fn ingest_traced(
 ) -> Result<IngestOutput> {
     config.validate()?;
     let root = trace::span!(tracer, "ingest", "clips" = script.num_clips());
-    let obj_universe = detector.universe() as usize;
-    let act_universe = recognizer.universe() as usize;
+    let obj_universe = conv::usize_of(detector.universe());
+    let act_universe = conv::usize_of(recognizer.universe());
     let latency = (
         detector.latency_ms(),
         recognizer.latency_ms(),
@@ -563,15 +566,15 @@ pub fn ingest_parallel_traced(
     tracer: &Tracer,
 ) -> Result<IngestOutput> {
     config.validate()?;
+    let threads = conv::len_u64(threads.max(1));
     let root = trace::span!(
         tracer,
         "ingest.parallel",
         "clips" = script.num_clips(),
-        "threads" = threads.max(1) as u64
+        "threads" = threads
     );
-    let threads = threads.max(1) as u64;
-    let obj_universe = detector.universe() as usize;
-    let act_universe = recognizer.universe() as usize;
+    let obj_universe = conv::usize_of(detector.universe());
+    let act_universe = conv::usize_of(recognizer.universe());
     let latency = (
         detector.latency_ms(),
         recognizer.latency_ms(),
@@ -609,7 +612,7 @@ pub fn ingest_parallel_traced(
             .collect();
         // Shards cover 0..num_clips contiguously in spawn order, so
         // flattening joined results yields accumulators in clip order.
-        let mut accums = Vec::with_capacity(num_clips as usize);
+        let mut accums = Vec::with_capacity(conv::capacity_hint(num_clips));
         for handle in handles {
             accums.extend(
                 handle

@@ -48,7 +48,7 @@ use crate::offline::tbclip::{QueryTables, TbClip};
 use std::time::Instant;
 use trace::Tracer;
 use vaq_storage::AccessStats;
-use vaq_types::{ClipId, ClipInterval, SequenceSet};
+use vaq_types::{conv, ClipId, ClipInterval, SequenceSet};
 
 /// Options controlling an RVAQ run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -132,10 +132,11 @@ pub fn rvaq_traced(
     let _root = trace::span!(
         tracer,
         "rvaq",
-        "candidates" = pq.intervals().len() as u64,
-        "k" = opts.k as u64,
+        "candidates" = conv::len_u64(pq.intervals().len()),
+        "k" = conv::len_u64(opts.k),
         "skip" = opts.skip_enabled
     );
+    // vaq-analyze: allow(determinism) -- wall_ms is reporting-only telemetry; no decision reads it
     let started = Instant::now();
     tables.reset_stats();
     let mut tb = TbClip::new(tables, scoring);

@@ -16,7 +16,7 @@
 //! conclusively in or out.
 
 use crate::offline::scoring::ScoringModel;
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 use vaq_storage::{AccessStats, ClipScoreTable, ScoreRow};
 use vaq_types::ClipId;
 
@@ -102,21 +102,24 @@ pub struct TbClip<'t, 'q> {
     /// Per-table scores already revealed by sorted/reverse access (the
     /// top-k access model yields `(cid, score)` pairs, so completing a
     /// clip's score only needs random accesses into the tables that have
-    /// *not* shown it yet).
-    partial: HashMap<ClipId, Vec<Option<f64>>>,
+    /// *not* shown it yet). Ordered maps/sets throughout: delivery ties are
+    /// broken by clip id, so iteration order can never leak hash-layout
+    /// nondeterminism into results (the `determinism` taint pass enforces
+    /// this).
+    partial: BTreeMap<ClipId, Vec<Option<f64>>>,
     /// Distinct tables that have seen each clip via sorted access.
-    seen_top: HashMap<ClipId, u32>,
-    seen_btm: HashMap<ClipId, u32>,
+    seen_top: BTreeMap<ClipId, usize>,
+    seen_btm: BTreeMap<ClipId, usize>,
     /// Clips seen (in any table) but not yet scored.
     unscored_top: Vec<ClipId>,
     unscored_btm: Vec<ClipId>,
     /// Scored candidates awaiting delivery.
-    pending_top: HashSet<ClipId>,
-    pending_btm: HashSet<ClipId>,
+    pending_top: BTreeSet<ClipId>,
+    pending_btm: BTreeSet<ClipId>,
     /// Exact scores of every clip scored so far (shared across sides).
-    score_cache: HashMap<ClipId, f64>,
-    processed_top: HashSet<ClipId>,
-    processed_btm: HashSet<ClipId>,
+    score_cache: BTreeMap<ClipId, f64>,
+    processed_top: BTreeSet<ClipId>,
+    processed_btm: BTreeSet<ClipId>,
     /// Set when a batch of sorted accesses has produced a fresh common clip.
     fresh_common_top: usize,
     fresh_common_btm: usize,
@@ -130,16 +133,16 @@ impl<'t, 'q> TbClip<'t, 'q> {
             scoring,
             stamp_top: 0,
             stamp_btm: 0,
-            partial: HashMap::new(),
-            seen_top: HashMap::new(),
-            seen_btm: HashMap::new(),
+            partial: BTreeMap::new(),
+            seen_top: BTreeMap::new(),
+            seen_btm: BTreeMap::new(),
             unscored_top: Vec::new(),
             unscored_btm: Vec::new(),
-            pending_top: HashSet::new(),
-            pending_btm: HashSet::new(),
-            score_cache: HashMap::new(),
-            processed_top: HashSet::new(),
-            processed_btm: HashSet::new(),
+            pending_top: BTreeSet::new(),
+            pending_btm: BTreeSet::new(),
+            score_cache: BTreeMap::new(),
+            processed_top: BTreeSet::new(),
+            processed_btm: BTreeSet::new(),
             fresh_common_top: 0,
             fresh_common_btm: 0,
         }
@@ -181,7 +184,7 @@ impl<'t, 'q> TbClip<'t, 'q> {
     }
 
     fn advance_side(&mut self, skip: &dyn Fn(ClipId) -> bool, is_top: bool) -> Option<ScoreRow> {
-        let num_tables = self.tables.num_tables() as u32;
+        let num_tables = self.tables.num_tables();
         let max_len = self.tables.max_len();
 
         // Step 1: sorted (or reverse) access in parallel until a fresh
@@ -197,7 +200,7 @@ impl<'t, 'q> TbClip<'t, 'q> {
             }
             let row_idx = *stamp;
             *stamp += 1;
-            for ti in 0..num_tables as usize {
+            for ti in 0..num_tables {
                 let table = self.tables.table(ti);
                 let row = if is_top {
                     table.sorted_access(row_idx)
@@ -205,10 +208,9 @@ impl<'t, 'q> TbClip<'t, 'q> {
                     table.reverse_access(row_idx)
                 };
                 let Some(row) = row else { continue };
-                let num_tables_usize = self.tables.num_tables();
                 self.partial
                     .entry(row.clip)
-                    .or_insert_with(|| vec![None; num_tables_usize])[ti] = Some(row.score);
+                    .or_insert_with(|| vec![None; num_tables])[ti] = Some(row.score);
                 let (seen, unscored, processed, fresh) = if is_top {
                     (
                         &mut self.seen_top,

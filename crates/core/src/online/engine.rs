@@ -20,7 +20,7 @@ use std::time::Instant;
 use trace::Tracer;
 use vaq_detect::{ActionRecognizer, CallProvenance, InferenceStats, ObjectDetector};
 use vaq_scanstats::{BackgroundRateEstimator, CriticalValueCache, EstimatorCheckpoint, ScanConfig};
-use vaq_types::{ClipId, Query, Result, SequenceSet, VaqError, VideoGeometry};
+use vaq_types::{conv, ClipId, Query, Result, SequenceSet, VaqError, VideoGeometry};
 use vaq_video::{ClipView, VideoStream};
 
 /// Per-predicate scan-statistics state.
@@ -246,7 +246,7 @@ impl SharedScanCaches {
     ) -> Result<Self> {
         config.validate()?;
         let fpc = geometry.frames_per_clip();
-        let spc = geometry.shots_per_clip as u64;
+        let spc = geometry.shots_in_clip();
         let obj_scan = ScanConfig::new(fpc, config.horizon_clips * fpc, config.alpha)?;
         let act_scan = ScanConfig::new(spc, config.horizon_clips * spc, config.alpha)?;
         let mut obj = CriticalValueCache::new(obj_scan);
@@ -315,7 +315,7 @@ impl<'m> OnlineEngine<'m> {
         config.validate()?;
         query.validate()?;
         let fpc = geometry.frames_per_clip();
-        let spc = geometry.shots_per_clip as u64;
+        let spc = geometry.shots_in_clip();
         let obj_scan = ScanConfig::new(fpc, config.horizon_clips * fpc, config.alpha)?;
         let act_scan = ScanConfig::new(spc, config.horizon_clips * spc, config.alpha)?;
         if *caches.obj.config() != obj_scan || *caches.act.config() != act_scan {
@@ -425,6 +425,7 @@ impl<'m> OnlineEngine<'m> {
     /// excluded from background estimation; `Abort` surfaces
     /// [`VaqError::DetectorUnavailable`].
     pub fn try_push_clip(&mut self, clip: &ClipView) -> Result<bool> {
+        // vaq-analyze: allow(determinism) -- wall-clock overhead metric only; never feeds query decisions
         let started = Instant::now(); // vaq-lint: allow(nondeterminism) -- wall-clock overhead metric only; never feeds query decisions
         let mut clip_span = trace::span!(&self.tracer, "online.clip", "clip" = clip.id.raw());
         let stats_before = self.stats;
@@ -611,7 +612,7 @@ impl<'m> OnlineEngine<'m> {
         if events.is_empty() {
             return;
         }
-        let count = events.iter().filter(|&&e| e).count() as u64;
+        let count = conv::count_true(&events);
         self.act_state.offer(&events, count);
     }
 
@@ -667,7 +668,7 @@ impl<'m> OnlineEngine<'m> {
     /// `engine_ms`).
     pub fn checkpoint(&self) -> EngineCheckpoint {
         EngineCheckpoint {
-            clips_processed: self.indicators.len() as u64,
+            clips_processed: conv::len_u64(self.indicators.len()),
             indicators: self.indicators.clone(),
             records: self.records.clone(),
             gaps: self.gaps.clone(),
@@ -701,8 +702,8 @@ impl<'m> OnlineEngine<'m> {
                 engine.obj_states.len()
             )));
         }
-        let n = checkpoint.indicators.len() as u64;
-        if checkpoint.clips_processed != n || checkpoint.records.len() as u64 != n {
+        let n = conv::len_u64(checkpoint.indicators.len());
+        if checkpoint.clips_processed != n || conv::len_u64(checkpoint.records.len()) != n {
             return Err(VaqError::InvalidConfig(format!(
                 "corrupt checkpoint: clips_processed={} but {} indicators, {} records",
                 checkpoint.clips_processed,

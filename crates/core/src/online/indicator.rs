@@ -22,7 +22,7 @@ use crate::config::{DegradationPolicy, RetryPolicy};
 use serde::{Deserialize, Serialize};
 use vaq_detect::fault::DetectorFault;
 use vaq_detect::{ActionRecognizer, CallProvenance, InferenceStats, ObjectDetector};
-use vaq_types::{Query, Result, VaqError};
+use vaq_types::{conv, Query, Result, VaqError};
 use vaq_video::ClipView;
 
 /// Reusable evaluation buffers, hoisting the per-clip allocations
@@ -204,8 +204,8 @@ pub fn try_evaluate_clip(
     stats: &mut InferenceStats,
 ) -> Result<(ClipEvaluation, Option<GapReason>)> {
     debug_assert_eq!(k_crit_obj.len(), query.objects.len());
-    let frames_total = clip.frames.len() as u64;
-    let shots_total = clip.shots.len() as u64;
+    let frames_total = conv::len_u64(clip.frames.len());
+    let shots_total = conv::len_u64(clip.shots.len());
 
     // One detector pass per frame, reused by all object predicates. The
     // per-frame max score per queried type is all the indicators need; both
@@ -279,7 +279,7 @@ pub fn try_evaluate_clip(
     let mut objects_pass = true;
     for (pi, scores) in observed_scores.iter().enumerate() {
         let events: Vec<bool> = scores.iter().map(|&s| s >= t_obj).collect();
-        let count = events.iter().filter(|&&e| e).count() as u64;
+        let count = conv::count_true(&events);
         let k_eff = edge_corrected_k(k_crit_obj[pi], frames_observed.max(1), frames_total.max(1));
         let indicator = count >= k_eff;
         objects_pass &= indicator;
@@ -381,7 +381,7 @@ pub fn try_evaluate_clip(
             Some(GapReason::RecognizerOutage),
         ));
     }
-    let action_count = action_events.iter().filter(|&&e| e).count() as u64;
+    let action_count = conv::count_true(&action_events);
     let k_act_eff = edge_corrected_k(k_crit_act, shots_observed.max(1), shots_total.max(1));
     let action_indicator = action_count >= k_act_eff;
 

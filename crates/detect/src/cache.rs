@@ -158,6 +158,7 @@ impl<V: Clone> Shard<V> {
         if self.queue.len() <= self.capacity * 2 + 16 {
             return;
         }
+        // vaq-analyze: allow(determinism) -- hash order is discarded: entries re-sort by their unique insertion stamp before rebuilding the queue
         let mut live: Vec<(u64, u64)> = self.map.iter().map(|(&k, (t, _))| (k, *t)).collect();
         live.sort_unstable_by_key(|&(_, t)| t);
         self.queue = live.into_iter().collect();

@@ -25,10 +25,17 @@ fn provenance_label(p: CallProvenance) -> &'static str {
 }
 
 /// An [`ObjectDetector`] that traces every call through to `inner`.
-#[derive(Debug)]
 pub struct TracingObjectDetector<'m> {
     inner: &'m dyn ObjectDetector,
     tracer: Tracer,
+}
+
+impl std::fmt::Debug for TracingObjectDetector<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TracingObjectDetector")
+            .field("inner", &self.inner.name())
+            .finish_non_exhaustive()
+    }
 }
 
 impl<'m> TracingObjectDetector<'m> {
@@ -87,10 +94,17 @@ impl ObjectDetector for TracingObjectDetector<'_> {
 }
 
 /// An [`ActionRecognizer`] that traces every call through to `inner`.
-#[derive(Debug)]
 pub struct TracingActionRecognizer<'m> {
     inner: &'m dyn ActionRecognizer,
     tracer: Tracer,
+}
+
+impl std::fmt::Debug for TracingActionRecognizer<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TracingActionRecognizer")
+            .field("inner", &self.inner.name())
+            .finish_non_exhaustive()
+    }
 }
 
 impl<'m> TracingActionRecognizer<'m> {

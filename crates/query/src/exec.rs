@@ -2,7 +2,7 @@
 //! (offline) from a validated [`Plan`].
 
 use crate::plan::{Mode, Plan};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use vaq_core::offline::candidates;
 use vaq_core::offline::repository::{query_repository, RepoResult, Repository};
 use vaq_core::offline::tbclip::QueryTables;
@@ -12,7 +12,7 @@ use vaq_detect::{ActionRecognizer, InferenceStats, ObjectDetector};
 use vaq_scanstats::{critical_value, ScanConfig};
 use vaq_storage::{ClipScoreTable, CostModel, MemTable, TableKey, VideoCatalog};
 use vaq_types::query::SpatialRelation;
-use vaq_types::{ClipInterval, ObjectType, Query, Result, SequenceSet, VaqError};
+use vaq_types::{conv, ClipInterval, ObjectType, Query, Result, SequenceSet, VaqError};
 use vaq_video::{SceneScript, VideoStream};
 
 /// The result of executing a plan.
@@ -113,7 +113,7 @@ fn filter_relationships(
                     }
                 }
             }
-            stats.record_detector(clip.frames.len() as u64, detector.latency_ms());
+            stats.record_detector(conv::len_u64(clip.frames.len()), detector.latency_ms());
             if counts.iter().all(|&c| c >= k_crit) {
                 kept.push(ClipInterval::point(clip_id));
             }
@@ -186,7 +186,8 @@ pub fn execute_offline(
         ));
     };
 
-    let mut merged: HashMap<(u64, u64), f64> = HashMap::new();
+    // Ordered so equal-score results rank by (start, end), not hash layout.
+    let mut merged: BTreeMap<(u64, u64), f64> = BTreeMap::new();
     for clause in &plan.disjuncts {
         if !clause.relationships.is_empty() {
             return Err(VaqError::InvalidQuery(
@@ -263,7 +264,8 @@ pub fn execute_repository(
             "plan is online; use execute_online".into(),
         ));
     };
-    let mut merged: HashMap<(String, u64, u64), f64> = HashMap::new();
+    // Ordered so equal-score results rank by (video, interval), not hash layout.
+    let mut merged: BTreeMap<(String, u64, u64), f64> = BTreeMap::new();
     for clause in &plan.disjuncts {
         if !clause.relationships.is_empty() {
             return Err(VaqError::InvalidQuery(

@@ -10,7 +10,7 @@
 
 use crate::ast::{Atom, SelectItem, Statement};
 use vaq_types::query::SpatialRelation;
-use vaq_types::{ActionType, ObjectType, Query, Result, VaqError, Vocabulary};
+use vaq_types::{conv, ActionType, ObjectType, Query, Result, VaqError, Vocabulary};
 
 /// Maximum DNF clauses accepted (guards against pathological nesting).
 pub const MAX_DISJUNCTS: usize = 16;
@@ -96,14 +96,19 @@ pub fn plan(stmt: &Statement, objects: &Vocabulary, actions: &Vocabulary) -> Res
     }
     let has_rank = stmt.select.iter().any(|s| matches!(s, SelectItem::Rank));
 
+    let limit_k = |k: u64| {
+        conv::index(k)
+            .map(|k| Mode::Offline { k })
+            .ok_or_else(|| VaqError::InvalidQuery(format!("LIMIT {k} exceeds addressable size")))
+    };
     let mode = match (stmt.order_by_rank, stmt.limit) {
-        (true, Some(k)) => Mode::Offline { k: k as usize },
+        (true, Some(k)) => limit_k(k)?,
         (true, None) => {
             return Err(VaqError::InvalidQuery(
                 "ORDER BY RANK requires LIMIT K".into(),
             ))
         }
-        (false, Some(k)) => Mode::Offline { k: k as usize },
+        (false, Some(k)) => limit_k(k)?,
         (false, None) => {
             if has_rank {
                 return Err(VaqError::InvalidQuery(

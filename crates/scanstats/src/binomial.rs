@@ -42,10 +42,9 @@ pub fn binom_pmf(k: u64, n: u64, p: f64) -> f64 {
 /// Accepts a *signed* `r` because Naus's formulas index terms like
 /// `F(k−5; …)` that go negative for small `k`; any negative `r` yields `0`.
 pub fn binom_cdf(r: i64, n: u64, p: f64) -> f64 {
-    if r < 0 {
-        return 0.0;
-    }
-    let r = r as u64;
+    let Ok(r) = u64::try_from(r) else {
+        return 0.0; // negative index: empty lower tail
+    };
     if r >= n {
         return 1.0;
     }
@@ -57,10 +56,10 @@ pub fn binom_cdf(r: i64, n: u64, p: f64) -> f64 {
 /// Binomial pmf accepting a signed index (negative or `> n` ⇒ `0`), matching
 /// how Naus's formulas index `b(2k−r; w)` for varying `r`.
 pub fn binom_pmf_i(k: i64, n: u64, p: f64) -> f64 {
-    if k < 0 {
-        return 0.0;
+    match u64::try_from(k) {
+        Ok(k) => binom_pmf(k, n, p),
+        Err(_) => 0.0,
     }
-    binom_pmf(k as u64, n, p)
 }
 
 #[cfg(test)]

@@ -141,6 +141,7 @@ impl CriticalValueCache {
     /// `quantize(quantize(p)) == quantize(p)` bit for bit.
     pub fn quantize(p: f64) -> f64 {
         let p = p.clamp(1e-9, 1.0);
+        // vaq-analyze: allow(cast) -- decade exponent of a clamped probability in [-9, 0]; not a frame/shot/clip quantity
         let decade = p.log10().floor() as i32;
         let scale = 10f64.powi(2 - decade);
         (p * scale).round() / scale

@@ -21,6 +21,7 @@
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
+use vaq_types::conv;
 
 /// Largest window length accepted by the exact bitmask DP (`2^w` states).
 pub const MAX_EXACT_WINDOW: u64 = 20;
@@ -89,9 +90,13 @@ pub fn exact_scan_prob_markov(k: u64, w: u64, big_n: u64, rates: MarkovRates) ->
         return 0.0;
     }
 
-    let w = w as usize;
-    let mask: u32 = if w == 32 { u32::MAX } else { (1u32 << w) - 1 };
-    let num_states = 1usize << w;
+    // w ≤ MAX_EXACT_WINDOW = 20 (asserted above), so the index conversion
+    // cannot fail; the whole DP then runs on usize states with no casts.
+    let Some(w_idx) = conv::index(w) else {
+        return 0.0;
+    };
+    let num_states = 1usize << w_idx;
+    let mask = num_states - 1;
     // dist[state] = probability of that window content and no hit so far.
     let mut dist = vec![0.0f64; num_states];
     let mut next = vec![0.0f64; num_states];
@@ -101,7 +106,7 @@ pub fn exact_scan_prob_markov(k: u64, w: u64, big_n: u64, rates: MarkovRates) ->
     dist[0] = 1.0 - rates.p_initial;
     dist[1] = rates.p_initial;
 
-    for t in 2..=big_n as usize {
+    for t in 2..=big_n {
         next.iter_mut().for_each(|x| *x = 0.0);
         for (state, &prob) in dist.iter().enumerate() {
             if prob == 0.0 {
@@ -112,16 +117,16 @@ pub fn exact_scan_prob_markov(k: u64, w: u64, big_n: u64, rates: MarkovRates) ->
             } else {
                 rates.p_after_failure
             };
-            for (bit, pr) in [(0u32, 1.0 - p_succ), (1u32, p_succ)] {
+            for (bit, pr) in [(0usize, 1.0 - p_succ), (1usize, p_succ)] {
                 if pr == 0.0 {
                     continue;
                 }
-                let new_state = (((state as u32) << 1) | bit) & mask;
+                let new_state = ((state << 1) | bit) & mask;
                 let m = prob * pr;
                 if t >= w && u64::from(new_state.count_ones()) >= k {
                     hit += m;
                 } else {
-                    next[new_state as usize] += m;
+                    next[new_state] += m;
                 }
             }
         }
@@ -134,7 +139,7 @@ pub fn exact_scan_prob_markov(k: u64, w: u64, big_n: u64, rates: MarkovRates) ->
     // with big_n == w the loop above ran t = 2..=w and the t >= w check
     // already covered the single window. For big_n > w all windows were
     // covered incrementally.
-    if big_n == w as u64 {
+    if big_n == w {
         // The t == w iteration handled it unless w == 1.
         if w == 1 {
             return if k == 1 { rates.p_initial } else { 0.0 };
@@ -154,13 +159,16 @@ pub fn monte_carlo_scan_prob(k: u64, w: u64, big_n: u64, p: f64, trials: u32, se
     }
     let mut rng = SmallRng::seed_from_u64(seed);
     let mut hits = 0u32;
-    let w = w as usize;
-    let mut window = vec![false; w];
+    // A window longer than the address space can never fill: probability 0.
+    let Some(w_len) = conv::index(w) else {
+        return 0.0;
+    };
+    let mut window = vec![false; w_len];
     'trial: for _ in 0..trials {
         window.iter_mut().for_each(|b| *b = false);
         let mut count = 0u64;
-        for t in 0..big_n as usize {
-            let slot = t % w;
+        let mut slot = 0usize;
+        for t in 1..=big_n {
             if window[slot] {
                 count -= 1;
             }
@@ -169,7 +177,11 @@ pub fn monte_carlo_scan_prob(k: u64, w: u64, big_n: u64, p: f64, trials: u32, se
             if success {
                 count += 1;
             }
-            if t + 1 >= w && count >= k {
+            slot += 1;
+            if slot == w_len {
+                slot = 0;
+            }
+            if t >= w && count >= k {
                 hits += 1;
                 continue 'trial;
             }

@@ -156,7 +156,9 @@ impl BackgroundRateEstimator {
         if n == 0 {
             return;
         }
-        let dn = self.decay.powi(n as i32);
+        // `powi` wants i32; for block lengths beyond that (never reached —
+        // blocks are clip-sized) the decayed weight is 0 anyway, so saturate.
+        let dn = self.decay.powi(i32::try_from(n).unwrap_or(i32::MAX));
         // Σ_{i=1}^{n} d^{n-i} = (1 − d^n) / (1 − d).
         let geo = (1.0 - dn) / (1.0 - self.decay);
         self.event_sum = self.event_sum * dn + (m as f64 / n as f64) * geo;

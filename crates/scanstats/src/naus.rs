@@ -43,7 +43,8 @@ pub fn q2(k: u64, w: u64, p: f64) -> f64 {
     if k > 2 * w {
         return 1.0;
     }
-    let ki = k as i64;
+    // k ≤ a small multiple of w here (guarded above); saturate defensively.
+    let ki = i64::try_from(k).unwrap_or(i64::MAX);
     let f = |r: i64, n: u64| binom_cdf(r, n, p);
     let bk = binom_pmf(k, w, p);
     let val = f(ki - 1, w).powi(2) - (k as f64 - 1.0) * bk * f(ki - 2, w)
@@ -60,7 +61,8 @@ pub fn q3(k: u64, w: u64, p: f64) -> f64 {
     if k > 3 * w {
         return 1.0;
     }
-    let ki = k as i64;
+    // k ≤ a small multiple of w here (guarded above); saturate defensively.
+    let ki = i64::try_from(k).unwrap_or(i64::MAX);
     let f = |r: i64, n: u64| binom_cdf(r, n, p);
     let b = |j: i64, n: u64| binom_pmf_i(j, n, p);
     let wf = w as f64;
@@ -117,7 +119,8 @@ pub fn scan_prob(k: u64, w: u64, big_n: u64, p: f64) -> f64 {
     if big_n < 2 * w {
         // Single full window (plus partial shifts ≤ w trials of slack): the
         // dominant term is the one-window binomial tail; we use it directly.
-        return (1.0 - binom_cdf(k as i64 - 1, w, p)).clamp(0.0, 1.0);
+        let ki = i64::try_from(k).unwrap_or(i64::MAX);
+        return (1.0 - binom_cdf(ki - 1, w, p)).clamp(0.0, 1.0);
     }
     let q2v = q2(k, w, p);
     if big_n < 3 * w {

@@ -35,6 +35,7 @@ impl MonotonicClock {
     pub fn new() -> Self {
         Self {
             // vaq-lint: allow(nondeterminism) -- the audited wall-clock boundary: all trace timing flows through the Clock trait and never feeds query decisions
+            // vaq-analyze: allow(determinism) -- same audited boundary: clock readings time spans only; no engine decision consumes them
             origin: Instant::now(),
         }
     }

@@ -129,6 +129,20 @@ impl ObjectType {
     pub const fn raw(self) -> u32 {
         self.0
     }
+
+    /// The vocabulary index as a `usize`, for table lookups.
+    #[inline]
+    pub fn index(self) -> usize {
+        crate::conv::usize_of(self.0)
+    }
+
+    /// Builds the type at vocabulary position `i`. Vocabulary sizes are
+    /// bounded by `u32`, so out-of-range positions saturate (and will then
+    /// fail the vocabulary lookup rather than alias another label).
+    #[inline]
+    pub fn from_index(i: usize) -> Self {
+        Self(u32::try_from(i).unwrap_or(u32::MAX))
+    }
 }
 
 impl fmt::Display for ObjectType {
@@ -155,6 +169,19 @@ impl ActionType {
     #[inline]
     pub const fn raw(self) -> u32 {
         self.0
+    }
+
+    /// The vocabulary index as a `usize`, for table lookups.
+    #[inline]
+    pub fn index(self) -> usize {
+        crate::conv::usize_of(self.0)
+    }
+
+    /// Builds the category at vocabulary position `i`; see
+    /// [`ObjectType::from_index`] for the saturation rationale.
+    #[inline]
+    pub fn from_index(i: usize) -> Self {
+        Self(u32::try_from(i).unwrap_or(u32::MAX))
     }
 }
 
@@ -201,5 +228,17 @@ mod tests {
     fn from_into_roundtrip() {
         let raw: u64 = ClipId::from(9).into();
         assert_eq!(raw, 9);
+    }
+
+    #[test]
+    fn vocab_index_roundtrip() {
+        assert_eq!(ObjectType::new(7).index(), 7);
+        assert_eq!(ObjectType::from_index(7), ObjectType::new(7));
+        assert_eq!(ActionType::from_index(3).index(), 3);
+        // Out-of-range positions saturate instead of wrapping.
+        assert_eq!(
+            ObjectType::from_index(usize::MAX),
+            ObjectType::new(u32::MAX)
+        );
     }
 }

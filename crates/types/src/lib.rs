@@ -26,6 +26,7 @@
 )]
 #![warn(missing_docs)]
 
+pub mod conv;
 pub mod error;
 pub mod geometry;
 pub mod ids;

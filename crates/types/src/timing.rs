@@ -59,6 +59,26 @@ impl VideoGeometry {
         self.frames_per_shot as u64 * self.shots_per_clip as u64
     }
 
+    /// Frames per (full) shot as a `u64` count, so callers never widen the
+    /// raw field with an `as` cast.
+    #[inline]
+    pub fn frames_in_shot(&self) -> u64 {
+        u64::from(self.frames_per_shot)
+    }
+
+    /// Shots per (full) clip as a `u64` count.
+    #[inline]
+    pub fn shots_in_clip(&self) -> u64 {
+        u64::from(self.shots_per_clip)
+    }
+
+    /// Frames per (full) clip; the ragged-aware sibling of
+    /// [`Self::frames_in_clip_at`].
+    #[inline]
+    pub fn frames_in_clip(&self) -> u64 {
+        self.frames_per_clip()
+    }
+
     /// Shot containing frame `f`.
     #[inline]
     pub fn shot_of_frame(&self, f: FrameId) -> ShotId {
@@ -127,6 +147,47 @@ impl VideoGeometry {
         num_frames / self.frames_per_shot as u64
     }
 
+    /// Number of clips needed to cover `num_frames` frames, counting a
+    /// trailing partial clip. Pairs with [`Self::frames_in_clip_at`] for
+    /// ragged-tail iteration.
+    #[inline]
+    pub fn num_clips_padded(&self, num_frames: u64) -> u64 {
+        num_frames.div_ceil(self.frames_per_clip())
+    }
+
+    /// Number of shots needed to cover `num_frames` frames, counting a
+    /// trailing partial shot.
+    #[inline]
+    pub fn num_shots_padded(&self, num_frames: u64) -> u64 {
+        num_frames.div_ceil(self.frames_in_shot())
+    }
+
+    /// Number of frames of shot `s` that exist in a video of `num_frames`
+    /// frames: the full shot length except at the ragged tail, where it is
+    /// the remainder (possibly zero for shots past the end).
+    #[inline]
+    pub fn frames_in_shot_at(&self, s: ShotId, num_frames: u64) -> u64 {
+        let start = self.first_frame_of_shot(s).raw();
+        self.frames_in_shot().min(num_frames.saturating_sub(start))
+    }
+
+    /// Number of frames of clip `c` that exist in a video of `num_frames`
+    /// frames (ragged tail included, zero past the end).
+    #[inline]
+    pub fn frames_in_clip_at(&self, c: ClipId, num_frames: u64) -> u64 {
+        let start = self.first_frame_of_clip(c).raw();
+        self.frames_in_clip().min(num_frames.saturating_sub(start))
+    }
+
+    /// Number of shots of clip `c` that have at least one frame in a video
+    /// of `num_frames` frames (a trailing partial shot counts as one shot).
+    #[inline]
+    pub fn shots_in_clip_at(&self, c: ClipId, num_frames: u64) -> u64 {
+        let start = self.first_shot_of_clip(c).raw();
+        self.shots_in_clip()
+            .min(self.num_shots_padded(num_frames).saturating_sub(start))
+    }
+
     /// Number of frames spanned by `minutes` of video at this frame rate.
     #[inline]
     pub fn frames_for_minutes(&self, minutes: u64) -> u64 {
@@ -188,6 +249,40 @@ mod tests {
     }
 
     #[test]
+    fn typed_counts_match_raw_fields() {
+        assert_eq!(G.frames_in_shot(), 10);
+        assert_eq!(G.shots_in_clip(), 5);
+        assert_eq!(G.frames_in_clip(), 50);
+    }
+
+    #[test]
+    fn padded_counts_include_ragged_tail() {
+        // 123 frames = 2 full clips + 23 ragged frames.
+        assert_eq!(G.num_clips_padded(123), 3);
+        assert_eq!(G.num_clips_padded(100), 2);
+        assert_eq!(G.num_clips_padded(0), 0);
+        // 123 frames = 12 full shots + 3 ragged frames.
+        assert_eq!(G.num_shots_padded(123), 13);
+        assert_eq!(G.num_shots_padded(120), 12);
+    }
+
+    #[test]
+    fn ragged_tail_lengths_are_explicit() {
+        // 123 frames: clip 2 holds frames 100..123 = 23 frames.
+        assert_eq!(G.frames_in_clip_at(ClipId::new(1), 123), 50);
+        assert_eq!(G.frames_in_clip_at(ClipId::new(2), 123), 23);
+        assert_eq!(G.frames_in_clip_at(ClipId::new(3), 123), 0);
+        // Shot 12 holds frames 120..123 = 3 frames.
+        assert_eq!(G.frames_in_shot_at(ShotId::new(11), 123), 10);
+        assert_eq!(G.frames_in_shot_at(ShotId::new(12), 123), 3);
+        assert_eq!(G.frames_in_shot_at(ShotId::new(13), 123), 0);
+        // Clip 2's shots 10..13 have frames; shots 13,14 are empty.
+        assert_eq!(G.shots_in_clip_at(ClipId::new(1), 123), 5);
+        assert_eq!(G.shots_in_clip_at(ClipId::new(2), 123), 3);
+        assert_eq!(G.shots_in_clip_at(ClipId::new(3), 123), 0);
+    }
+
+    #[test]
     fn zero_fields_rejected() {
         assert!(VideoGeometry::new(0, 5, 30).is_err());
         assert!(VideoGeometry::new(10, 0, 30).is_err());
@@ -220,6 +315,53 @@ mod tests {
                 prop_assert!(
                     (first_shot..first_shot + spc as u64).contains(&shot.raw())
                 );
+            }
+
+            /// The typed ragged-tail conversions agree with a brute-force
+            /// walk over every frame, for lengths that do not divide evenly
+            /// into shots or clips.
+            #[test]
+            fn prop_ragged_tail_matches_frame_walk(
+                fps_shot in 1u32..16,
+                spc in 1u32..8,
+                num_frames in 0u64..2_000,
+            ) {
+                let g = VideoGeometry::new(fps_shot, spc, 30).unwrap();
+
+                // Clip lengths: count frames landing in each clip.
+                let clips = g.num_clips_padded(num_frames);
+                for c in 0..clips + 1 {
+                    let cid = ClipId::new(c);
+                    let walked = (0..num_frames)
+                        .filter(|&f| g.clip_of_frame(FrameId::new(f)) == cid)
+                        .count() as u64;
+                    prop_assert_eq!(g.frames_in_clip_at(cid, num_frames), walked);
+                }
+                // Every frame lives in some padded clip, none beyond.
+                let total: u64 = (0..clips)
+                    .map(|c| g.frames_in_clip_at(ClipId::new(c), num_frames))
+                    .sum();
+                prop_assert_eq!(total, num_frames);
+
+                // Shot lengths, same brute-force cross-check.
+                let shots = g.num_shots_padded(num_frames);
+                for s in [0, shots.saturating_sub(1), shots] {
+                    let sid = ShotId::new(s);
+                    let walked = (0..num_frames)
+                        .filter(|&f| g.shot_of_frame(FrameId::new(f)) == sid)
+                        .count() as u64;
+                    prop_assert_eq!(g.frames_in_shot_at(sid, num_frames), walked);
+                }
+
+                // Shots-per-clip: count distinct non-empty shots per clip.
+                for c in [0, clips.saturating_sub(1), clips] {
+                    let cid = ClipId::new(c);
+                    let walked = g
+                        .shots_of_clip(cid)
+                        .filter(|&s| g.frames_in_shot_at(s, num_frames) > 0)
+                        .count() as u64;
+                    prop_assert_eq!(g.shots_in_clip_at(cid, num_frames), walked);
+                }
             }
 
             /// Iterating a clip's frames visits exactly frames_per_clip

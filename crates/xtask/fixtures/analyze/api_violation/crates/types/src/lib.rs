@@ -1,0 +1,7 @@
+//! Seeded API drift: the committed `api.lock` next to this fixture locks
+//! `removed_entry`, but the crate now exports `added_entry` instead — the
+//! api-lock pass must report both directions of the diff.
+
+pub fn added_entry() -> u32 {
+    1
+}

@@ -1,0 +1,15 @@
+//! Seeded granularity-cast violations: raw `as` casts converting between
+//! frame/clip quantities, which the cast pass must flag in `core`.
+
+pub fn frames_to_clips(frames: u64, frames_per_clip: u64) -> usize {
+    (frames / frames_per_clip) as usize
+}
+
+pub fn clip_count_to_capacity(num_clips: u64) -> usize {
+    num_clips as usize
+}
+
+pub fn bandwidth(frames: u64) -> f64 {
+    // Float casts are legal: probability math needs them.
+    frames as f64
+}

@@ -1,0 +1,18 @@
+//! Same shape as `taint_violation`, but the source carries an audited
+//! `vaq-analyze: allow(determinism)` — the pass must stay clean, proving
+//! the exception workflow works end to end.
+
+pub fn try_push_clip() -> bool {
+    advance_window();
+    true
+}
+
+fn advance_window() {
+    pick_candidate();
+}
+
+fn pick_candidate() {
+    // vaq-analyze: allow(determinism) -- fixture: overhead telemetry only, never feeds decisions
+    let jitter = std::time::Instant::now();
+    let _ = jitter;
+}

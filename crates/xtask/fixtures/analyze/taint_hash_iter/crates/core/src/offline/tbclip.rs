@@ -1,0 +1,23 @@
+//! Seeded hash-iteration taint: the `next` root (TBClip traversal) breaks
+//! score ties by iterating a `HashSet`, so output order depends on the
+//! hasher — the exact bug class the BTree-by-default policy exists for.
+
+use std::collections::HashSet;
+
+pub struct TbClip {
+    pending: HashSet<u64>,
+}
+
+impl TbClip {
+    pub fn next(&mut self) -> Option<u64> {
+        self.pick()
+    }
+
+    fn pick(&self) -> Option<u64> {
+        let mut best = None;
+        for c in &self.pending {
+            best = Some(*c);
+        }
+        best
+    }
+}

@@ -1,0 +1,18 @@
+//! Seeded determinism-taint violation: `try_push_clip` (a configured
+//! taint root) reaches `Instant::now()` two calls deep. The analyze
+//! self-tests assert the pass reports the full chain
+//! `try_push_clip -> advance_window -> pick_candidate`.
+
+pub fn try_push_clip() -> bool {
+    advance_window();
+    true
+}
+
+fn advance_window() {
+    pick_candidate();
+}
+
+fn pick_candidate() {
+    let jitter = std::time::Instant::now();
+    let _ = jitter;
+}

@@ -1,0 +1,353 @@
+//! `cargo xtask analyze` — the call-graph semantic passes.
+//!
+//! Orchestrates three passes over the governed workspace (see DESIGN.md
+//! §12):
+//!
+//! 1. **determinism** — build the cross-crate call graph
+//!    ([`crate::graph`]) and verify no nondeterministic source is
+//!    transitively reachable from the deterministic core's entry points
+//!    ([`crate::workspace::TAINT_ROOTS`]).
+//! 2. **cast** — ban raw integer `as` casts in the granularity-arithmetic
+//!    crates ([`crate::workspace::CAST_AUDIT_CRATES`]); conversions must go
+//!    through the typed `VideoGeometry` / `vaq_types::conv` helpers.
+//! 3. **api-lock** — snapshot the public surface of the library crates and
+//!    compare against the committed `api.lock`.
+//!
+//! Inline exceptions use `// vaq-analyze: allow(<pass>) -- <reason>` with
+//! the same placement rules as `vaq-lint` directives (trailing covers its
+//! own line, own-line covers the next code line). A malformed directive is
+//! itself a violation, so the audit trail cannot rot.
+
+use crate::api_lock::{self, ApiDiff};
+use crate::casts::integer_casts;
+use crate::graph::{Graph, TaintFinding};
+use crate::items::parse_fns;
+use crate::lexer::{lex, AllowDirective};
+use crate::rules::test_mask_for;
+use crate::workspace::{self, CAST_AUDIT_CRATES, LIB_CRATES, TAINT_ROOTS};
+use std::path::Path;
+
+/// The analyze pass names accepted inside `vaq-analyze: allow(...)`.
+pub const ANALYZE_RULES: [&str; 2] = ["determinism", "cast"];
+
+/// One banned-cast report, file-qualified.
+#[derive(Debug, Clone)]
+pub struct CastReport {
+    /// Workspace-relative file.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Cast target type.
+    pub target: String,
+}
+
+/// One malformed `vaq-analyze:` directive.
+#[derive(Debug, Clone)]
+pub struct DirectiveReport {
+    /// Workspace-relative file.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// The raw comment, for the message.
+    pub raw: String,
+}
+
+/// Everything `cargo xtask analyze` found.
+#[derive(Debug, Default)]
+pub struct AnalyzeReport {
+    /// Determinism-taint findings (sources reachable from roots).
+    pub taint: Vec<TaintFinding>,
+    /// Banned integer casts in audited crates.
+    pub casts: Vec<CastReport>,
+    /// Malformed `vaq-analyze:` directives.
+    pub bad_directives: Vec<DirectiveReport>,
+    /// Public-API drift against `api.lock` (empty when `check_api` off).
+    pub api: ApiDiff,
+    /// Whether the lock file was (re)written this run.
+    pub api_updated: bool,
+    /// Files parsed into the graph.
+    pub files_scanned: usize,
+    /// Functions in the call graph.
+    pub fns: usize,
+}
+
+impl AnalyzeReport {
+    /// Whether the tree passes all requested passes.
+    pub fn is_clean(&self) -> bool {
+        self.taint.is_empty()
+            && self.casts.is_empty()
+            && self.bad_directives.is_empty()
+            && self.api.is_clean()
+    }
+}
+
+/// Run options.
+#[derive(Debug, Clone, Copy)]
+pub struct AnalyzeOptions {
+    /// Compare the public surface against `api.lock`.
+    pub check_api: bool,
+    /// Rewrite `api.lock` from the current surface instead of comparing.
+    pub update_api: bool,
+}
+
+impl Default for AnalyzeOptions {
+    fn default() -> Self {
+        AnalyzeOptions {
+            check_api: true,
+            update_api: false,
+        }
+    }
+}
+
+/// Source lines covered by a well-formed `allow(<rule>)` analyze
+/// directive, as `(line, rule)` pairs; malformed directives are returned
+/// separately. Placement rules match `vaq-lint` (see `rules.rs`).
+fn covered_lines(
+    src: &str,
+    directives: &[AllowDirective],
+) -> (Vec<(u32, String)>, Vec<(u32, String)>) {
+    let lines: Vec<&str> = src.lines().collect();
+    let mut covered = Vec::new();
+    let mut bad = Vec::new();
+    for d in directives {
+        let known = d
+            .rule
+            .as_deref()
+            .is_some_and(|r| ANALYZE_RULES.contains(&r));
+        if !known || !d.has_reason {
+            bad.push((d.line, d.raw.trim().to_string()));
+            continue;
+        }
+        let rule = d.rule.clone().unwrap_or_default();
+        let own_line = lines
+            .get(d.line as usize - 1)
+            .map(|l| l.trim_start().starts_with("//"))
+            .unwrap_or(false);
+        if own_line {
+            let mut target = d.line + 1;
+            while let Some(l) = lines.get(target as usize - 1) {
+                let t = l.trim();
+                if t.is_empty() || t.starts_with("//") {
+                    target += 1;
+                } else {
+                    break;
+                }
+            }
+            covered.push((target, rule));
+        } else {
+            covered.push((d.line, rule));
+        }
+    }
+    (covered, bad)
+}
+
+/// Crate + module prefix for a workspace-relative path, e.g.
+/// `crates/core/src/offline/rvaq.rs` → `core::offline::rvaq`.
+fn module_prefix(rel: &str) -> Option<String> {
+    let (crate_name, rest) = rel.strip_prefix("crates/")?.split_once("/src/")?;
+    let mut parts: Vec<&str> = rest.strip_suffix(".rs")?.split('/').collect();
+    match parts.last() {
+        Some(&"lib") | Some(&"mod") => {
+            parts.pop();
+        }
+        _ => {}
+    }
+    let mut prefix = String::from(crate_name);
+    for p in parts {
+        prefix.push_str("::");
+        prefix.push_str(p);
+    }
+    Some(prefix)
+}
+
+/// Whether `rel` is inside a crate listed in `crates`.
+fn in_crates(rel: &str, crates: &[&str]) -> bool {
+    rel.strip_prefix("crates/")
+        .and_then(|r| r.split_once('/'))
+        .is_some_and(|(name, rest)| crates.contains(&name) && rest.starts_with("src/"))
+}
+
+/// Runs the semantic passes over the workspace rooted at `root`.
+pub fn analyze_workspace(root: &Path, opts: AnalyzeOptions) -> std::io::Result<AnalyzeReport> {
+    let mut report = AnalyzeReport::default();
+    let mut graph_files = Vec::new();
+    let mut api_entries = Vec::new();
+
+    for (rel, src) in workspace::governed_sources(root)? {
+        // The graph and the API lock cover the library crates only; the
+        // root facade and binaries are out of scope for both.
+        if !in_crates(&rel, &LIB_CRATES) {
+            continue;
+        }
+        report.files_scanned += 1;
+        let lexed = lex(&src);
+        let mask = test_mask_for(&lexed.tokens);
+        let (covered, bad) = covered_lines(&src, &lexed.analyze_directives);
+        for (line, raw) in bad {
+            report.bad_directives.push(DirectiveReport {
+                file: rel.clone(),
+                line,
+                raw,
+            });
+        }
+
+        // Determinism sources, minus audited allows.
+        let mut fns = parse_fns(&lexed, &mask);
+        for f in &mut fns {
+            f.sources.retain(|s| {
+                !covered
+                    .iter()
+                    .any(|(l, r)| *l == s.line && r == "determinism")
+            });
+        }
+        graph_files.push((rel.clone(), fns));
+
+        // Cast audit, minus audited allows.
+        if in_crates(&rel, &CAST_AUDIT_CRATES) {
+            for c in integer_casts(&lexed.tokens, &mask) {
+                if covered.iter().any(|(l, r)| *l == c.line && r == "cast") {
+                    continue;
+                }
+                report.casts.push(CastReport {
+                    file: rel.clone(),
+                    line: c.line,
+                    target: c.target,
+                });
+            }
+        }
+
+        // API surface.
+        if opts.check_api || opts.update_api {
+            if let Some(prefix) = module_prefix(&rel) {
+                api_entries.extend(api_lock::api_of_file(&prefix, &src));
+            }
+        }
+    }
+
+    let graph = Graph::build(graph_files);
+    report.fns = graph.len();
+    report.taint = graph.taint(&TAINT_ROOTS);
+
+    if opts.check_api || opts.update_api {
+        api_entries.sort();
+        api_entries.dedup();
+        let lock_path = root.join("api.lock");
+        if opts.update_api {
+            std::fs::write(&lock_path, api_lock::render_lock(&api_entries))?;
+            report.api_updated = true;
+        } else {
+            let locked = match std::fs::read_to_string(&lock_path) {
+                Ok(text) => api_lock::parse_lock(&text),
+                Err(_) => Vec::new(), // missing lock: everything is "added"
+            };
+            report.api = api_lock::diff(&api_entries, &locked);
+        }
+    }
+    Ok(report)
+}
+
+/// Renders the report to `out`; returns the number of violations.
+pub fn render(report: &AnalyzeReport, out: &mut impl std::io::Write) -> std::io::Result<usize> {
+    let mut n = 0usize;
+    for t in &report.taint {
+        n += 1;
+        writeln!(
+            out,
+            "{}:{}: [determinism] {} reachable from {} via {}",
+            t.file,
+            t.line,
+            t.source,
+            t.root,
+            t.path.join(" -> ")
+        )?;
+    }
+    for c in &report.casts {
+        n += 1;
+        writeln!(
+            out,
+            "{}:{}: [cast] raw `as {}` on a granularity quantity — use the typed \
+             `VideoGeometry` conversions or `vaq_types::conv`",
+            c.file, c.line, c.target
+        )?;
+    }
+    for d in &report.bad_directives {
+        n += 1;
+        writeln!(
+            out,
+            "{}:{}: [bad-directive] malformed {:?}: expected \
+             `vaq-analyze: allow(<pass>) -- <reason>` with a known pass and a reason",
+            d.file, d.line, d.raw
+        )?;
+    }
+    for a in &report.api.added {
+        n += 1;
+        writeln!(
+            out,
+            "api.lock: [api-lock] undeclared addition: {a} (run `cargo xtask analyze --update-api`)"
+        )?;
+    }
+    for r in &report.api.removed {
+        n += 1;
+        writeln!(
+            out,
+            "api.lock: [api-lock] undeclared removal: {r} (run `cargo xtask analyze --update-api`)"
+        )?;
+    }
+    writeln!(
+        out,
+        "vaq-analyze: {} file(s), {} fn(s) in graph, {} violation(s){}",
+        report.files_scanned,
+        report.fns,
+        n,
+        if report.api_updated {
+            " — api.lock updated"
+        } else {
+            ""
+        }
+    )?;
+    Ok(n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn module_prefixes_are_derived_from_paths() {
+        assert_eq!(
+            module_prefix("crates/core/src/offline/rvaq.rs").as_deref(),
+            Some("core::offline::rvaq")
+        );
+        assert_eq!(
+            module_prefix("crates/types/src/lib.rs").as_deref(),
+            Some("types")
+        );
+        assert_eq!(
+            module_prefix("crates/core/src/offline/mod.rs").as_deref(),
+            Some("core::offline")
+        );
+        assert_eq!(module_prefix("src/lib.rs"), None);
+    }
+
+    #[test]
+    fn covered_lines_follow_lint_placement_rules() {
+        let src = "let a = 1; // vaq-analyze: allow(cast) -- trailing\n\
+                   // vaq-analyze: allow(determinism) -- own line\n\
+                   let b = 2;\n";
+        let lexed = lex(src);
+        let (covered, bad) = covered_lines(src, &lexed.analyze_directives);
+        assert!(bad.is_empty());
+        assert!(covered.contains(&(1, "cast".to_string())));
+        assert!(covered.contains(&(3, "determinism".to_string())));
+    }
+
+    #[test]
+    fn unknown_rule_or_missing_reason_is_bad() {
+        let src =
+            "// vaq-analyze: allow(no-such-pass) -- why\n// vaq-analyze: allow(cast)\nlet x = 1;\n";
+        let lexed = lex(src);
+        let (covered, bad) = covered_lines(src, &lexed.analyze_directives);
+        assert!(covered.is_empty());
+        assert_eq!(bad.len(), 2);
+    }
+}

@@ -1,0 +1,107 @@
+//! The granularity-cast audit: no raw `as` integer casts in the
+//! frame/shot/clip arithmetic crates.
+//!
+//! The paper's evaluation arithmetic lives on three nested granularities
+//! (frames → shots → clips). A raw `expr as usize` / `expr as u64` erases
+//! which granularity a number carries and silently truncates or
+//! sign-confuses on the ragged tail (a video whose length is not divisible
+//! by the shot/clip size). This pass bans *every* integer-target `as` cast
+//! in the configured crates (`core`, `scanstats`, `query`): converted
+//! sites must go through the typed `VideoGeometry` conversions or the
+//! checked helpers in `vaq_types::conv`, where ragged-tail behavior is
+//! explicit. Float-target casts (`as f64` for probability math) remain
+//! legal. Exceptions use `// vaq-analyze: allow(cast) -- reason`.
+
+use crate::lexer::{Kind, Tok};
+
+/// Integer types that an `as` cast may not target in audited crates.
+const INT_TARGETS: [&str; 10] = [
+    "usize", "u64", "u32", "u16", "u8", "isize", "i64", "i32", "i16", "i8",
+];
+
+/// One banned cast.
+#[derive(Debug, Clone)]
+pub struct CastFinding {
+    /// 1-based source line.
+    pub line: u32,
+    /// The cast's target type.
+    pub target: String,
+}
+
+/// Scans a token stream for integer-target `as` casts outside test code.
+pub fn integer_casts(toks: &[Tok], test_mask: &[bool]) -> Vec<CastFinding> {
+    let mut out = Vec::new();
+    for i in 0..toks.len() {
+        if test_mask.get(i).copied().unwrap_or(false) {
+            continue;
+        }
+        let t = &toks[i];
+        if !t.is_ident("as") {
+            continue;
+        }
+        // `as` must sit between an expression and an integer type name.
+        let Some(next) = toks.get(i + 1) else {
+            continue;
+        };
+        if next.kind != Kind::Ident || !INT_TARGETS.contains(&next.text.as_str()) {
+            continue;
+        }
+        let prev_is_expr = i > 0
+            && (toks[i - 1].kind == Kind::Ident
+                || toks[i - 1].kind == Kind::Lit
+                || toks[i - 1].is_punct(')')
+                || toks[i - 1].is_punct(']'));
+        // (`use x as y` renames never target a primitive type name, so the
+        // expression-position check above is sufficient to exclude them.)
+        if prev_is_expr {
+            out.push(CastFinding {
+                line: t.line,
+                target: next.text.clone(),
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn casts(src: &str) -> Vec<(u32, String)> {
+        let lexed = lex(src);
+        let mask = crate::rules::test_mask_for(&lexed.tokens);
+        integer_casts(&lexed.tokens, &mask)
+            .into_iter()
+            .map(|c| (c.line, c.target))
+            .collect()
+    }
+
+    #[test]
+    fn integer_casts_are_flagged() {
+        let src = "fn f(n: u64) -> usize {\n    n as usize\n}\n";
+        assert_eq!(casts(src), vec![(2, "usize".to_string())]);
+    }
+
+    #[test]
+    fn float_casts_are_legal() {
+        assert!(casts("fn f(n: u64) -> f64 { n as f64 }\n").is_empty());
+    }
+
+    #[test]
+    fn parenthesised_expressions_are_caught() {
+        let src = "fn f(a: u64, b: u64) -> usize { (a + b) as usize }\n";
+        assert_eq!(casts(src).len(), 1);
+    }
+
+    #[test]
+    fn test_code_is_exempt() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn t(n: u64) -> usize { n as usize }\n}\n";
+        assert!(casts(src).is_empty());
+    }
+
+    #[test]
+    fn casts_in_strings_are_invisible() {
+        assert!(casts("fn f() { let s = \"n as usize\"; }\n").is_empty());
+    }
+}

@@ -1,0 +1,250 @@
+//! Cross-crate call graph and the determinism-taint pass.
+//!
+//! Nodes are the `fn` items extracted by [`crate::items`] from every
+//! governed file; edges resolve a call's *simple name* to every function
+//! with that name anywhere in the analyzed set. Resolution is therefore an
+//! over-approximation: it can add edges that do not exist (two unrelated
+//! `reset` methods), but it can never miss a real one — which is the
+//! soundness direction taint analysis needs. A spurious taint report is
+//! paid down with an audited `// vaq-analyze: allow(determinism)` at the
+//! *source*, never by weakening the graph.
+//!
+//! The pass: every function whose body touches a nondeterministic source
+//! (wall clock, ambient entropy, hash-collection iteration, thread
+//! identity) is a *source node*, unless the source line carries an audited
+//! allow. From each configured *root* (the deterministic core's entry
+//! points: scanstats evaluation, the online engine, RVAQ/TBClip, ingest)
+//! we walk the graph forward; reaching a source node is a violation, and
+//! the report carries the full call path so the leak is actionable.
+
+use crate::items::FnItem;
+use std::collections::{BTreeMap, VecDeque};
+
+/// A deterministic-core entry point: (workspace-relative file, fn name).
+pub type Root = (&'static str, &'static str);
+
+/// One function in the graph, with the file it came from.
+#[derive(Debug, Clone)]
+pub struct Node {
+    /// Workspace-relative path of the defining file.
+    pub file: String,
+    /// The parsed item.
+    pub item: FnItem,
+}
+
+/// One taint violation: a nondeterministic source reachable from a root.
+#[derive(Debug, Clone)]
+pub struct TaintFinding {
+    /// The root that reaches the source, as `file::fn`.
+    pub root: String,
+    /// Call chain from root to the offending function (display names).
+    pub path: Vec<String>,
+    /// The source description (what + where).
+    pub source: String,
+    /// File of the offending function.
+    pub file: String,
+    /// Line of the source token.
+    pub line: u32,
+}
+
+/// The assembled call graph.
+pub struct Graph {
+    nodes: Vec<Node>,
+    /// fn simple name -> node indices defining a fn with that name.
+    by_name: BTreeMap<String, Vec<usize>>,
+}
+
+impl Graph {
+    /// Builds the graph from per-file item lists.
+    pub fn build(files: Vec<(String, Vec<FnItem>)>) -> Self {
+        let mut nodes = Vec::new();
+        for (file, items) in files {
+            for item in items {
+                nodes.push(Node {
+                    file: file.clone(),
+                    item,
+                });
+            }
+        }
+        let mut by_name: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+        for (i, n) in nodes.iter().enumerate() {
+            by_name.entry(n.item.name.clone()).or_default().push(i);
+        }
+        Graph { nodes, by_name }
+    }
+
+    /// Number of functions in the graph.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the graph is empty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Node indices of a configured root. A root may resolve to several
+    /// nodes (e.g. a trait method and its impl in the same file).
+    fn root_nodes(&self, root: &Root) -> Vec<usize> {
+        let (file, name) = root;
+        self.by_name
+            .get(*name)
+            .map(|idxs| {
+                idxs.iter()
+                    .copied()
+                    .filter(|&i| self.nodes[i].file.ends_with(file))
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// Runs the determinism-taint pass from `roots`. Returns one finding
+    /// per (root, offending function) pair, deduplicated on the shortest
+    /// path (BFS order).
+    pub fn taint(&self, roots: &[Root]) -> Vec<TaintFinding> {
+        let mut findings = Vec::new();
+        for root in roots {
+            for start in self.root_nodes(root) {
+                self.taint_from(start, &mut findings);
+            }
+        }
+        findings
+    }
+
+    /// BFS from `start`; every reachable node with a live source yields a
+    /// finding with the discovered call path.
+    fn taint_from(&self, start: usize, findings: &mut Vec<TaintFinding>) {
+        let mut parent: BTreeMap<usize, usize> = BTreeMap::new();
+        let mut seen = vec![false; self.nodes.len()];
+        let mut queue = VecDeque::new();
+        seen[start] = true;
+        queue.push_back(start);
+        while let Some(i) = queue.pop_front() {
+            let node = &self.nodes[i];
+            for src in &node.item.sources {
+                findings.push(TaintFinding {
+                    root: format!(
+                        "{}::{}",
+                        self.nodes[start].file,
+                        self.nodes[start].item.display()
+                    ),
+                    path: self.path_to(start, i, &parent),
+                    source: src.what.clone(),
+                    file: node.file.clone(),
+                    line: src.line,
+                });
+            }
+            for call in &node.item.calls {
+                if let Some(targets) = self.by_name.get(&call.name) {
+                    for &t in targets {
+                        if !seen[t] {
+                            seen[t] = true;
+                            parent.insert(t, i);
+                            queue.push_back(t);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Reconstructs the BFS path root → node as display names.
+    fn path_to(&self, start: usize, mut i: usize, parent: &BTreeMap<usize, usize>) -> Vec<String> {
+        let mut rev = vec![self.nodes[i].item.display()];
+        while i != start {
+            let Some(&p) = parent.get(&i) else { break };
+            rev.push(self.nodes[p].item.display());
+            i = p;
+        }
+        rev.reverse();
+        rev
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::items::parse_fns;
+    use crate::lexer::lex;
+
+    fn graph_of(files: &[(&str, &str)]) -> Graph {
+        Graph::build(
+            files
+                .iter()
+                .map(|(name, src)| {
+                    let lexed = lex(src);
+                    let mask = vec![false; lexed.tokens.len()];
+                    (name.to_string(), parse_fns(&lexed, &mask))
+                })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn transitive_source_is_reached_across_files() {
+        let g = graph_of(&[
+            (
+                "crates/core/src/online/engine.rs",
+                "pub fn try_push_clip() { helper(); }\nfn helper() { jitter(); }\n",
+            ),
+            (
+                "crates/core/src/util.rs",
+                "pub fn jitter() { let t = Instant::now(); }\n",
+            ),
+        ]);
+        let findings = g.taint(&[("crates/core/src/online/engine.rs", "try_push_clip")]);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert_eq!(findings[0].source, "Instant::now()");
+        assert_eq!(
+            findings[0].path,
+            vec!["try_push_clip", "helper", "jitter"],
+            "the report must carry the full call chain"
+        );
+    }
+
+    #[test]
+    fn unreachable_source_is_not_reported() {
+        let g = graph_of(&[(
+            "crates/core/src/x.rs",
+            "pub fn root() { pure(); }\nfn pure() {}\nfn stray() { let t = Instant::now(); }\n",
+        )]);
+        assert!(g.taint(&[("crates/core/src/x.rs", "root")]).is_empty());
+    }
+
+    #[test]
+    fn hash_iteration_taints_through_methods() {
+        let g = graph_of(&[(
+            "crates/core/src/offline/tb.rs",
+            "struct T { pending: HashSet<u64> }\nimpl T {\n    pub fn next(&mut self) { self.pick(); }\n    fn pick(&self) { for c in &self.pending { touch(c); } }\n}\n",
+        )]);
+        let findings = g.taint(&[("crates/core/src/offline/tb.rs", "next")]);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(findings[0].source.contains("hash collection"));
+    }
+
+    #[test]
+    fn roots_are_file_scoped() {
+        // A fn with the same name in another file is not a root.
+        let g = graph_of(&[(
+            "crates/other/src/lib.rs",
+            "pub fn try_push_clip() { let t = Instant::now(); }\n",
+        )]);
+        assert!(g
+            .taint(&[("crates/core/src/online/engine.rs", "try_push_clip")])
+            .is_empty());
+    }
+
+    #[test]
+    fn over_approximate_resolution_follows_every_same_name_fn() {
+        let g = graph_of(&[
+            ("crates/a/src/lib.rs", "pub fn root() { step(); }\n"),
+            ("crates/b/src/lib.rs", "pub fn step() {}\n"),
+            (
+                "crates/c/src/lib.rs",
+                "pub fn step() { let t = Instant::now(); }\n",
+            ),
+        ]);
+        let findings = g.taint(&[("crates/a/src/lib.rs", "root")]);
+        assert_eq!(findings.len(), 1, "name resolution must be sound");
+    }
+}

@@ -1,0 +1,561 @@
+//! A lightweight Rust *item* parser on top of [`crate::lexer`].
+//!
+//! `vaq-lint` (PR 3) matches flat token patterns; `cargo xtask analyze`
+//! needs one level more structure: which `fn` items a file defines, what
+//! each body *calls*, and which nondeterministic *sources* each body
+//! touches directly. This module extracts exactly that — no expressions,
+//! no types, no name resolution — so the call-graph passes in
+//! [`crate::graph`] can stay simple and the whole tool stays
+//! dependency-free (`syn` is unavailable offline).
+//!
+//! The extraction is deliberately **over-approximate** in the sound
+//! direction for taint analysis:
+//!
+//! * A call is recorded by its *simple name* (`helper`, `now`, `iter`);
+//!   the graph layer resolves a name to *every* function with that name.
+//!   Spurious edges can only add taint, never hide it.
+//! * A `HashMap`/`HashSet`-typed binding is recognised from local
+//!   declaration patterns (`name: HashMap<…>`, `let name = HashMap::new()`);
+//!   iterating such a binding is a nondeterminism source. Bindings whose
+//!   hash-typedness is not syntactically visible in the same file are
+//!   missed — the BTree-by-default policy (DESIGN.md §12) is what keeps
+//!   that gap small.
+
+use crate::lexer::{Kind, Lexed, Tok};
+
+/// One call expression found in a function body.
+#[derive(Debug, Clone)]
+pub struct Call {
+    /// The callee's simple name (last path segment / method name).
+    pub name: String,
+    /// 1-based source line of the call.
+    pub line: u32,
+}
+
+/// One directly-observed nondeterminism source in a function body.
+#[derive(Debug, Clone)]
+pub struct Source {
+    /// Human-readable description of the source (e.g. `Instant::now()`).
+    pub what: String,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+/// One `fn` item and what its body does.
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    /// The function's name.
+    pub name: String,
+    /// Enclosing inherent/trait `impl` target type, when inside one.
+    pub self_ty: Option<String>,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// Whether the item is declared `pub` (unrestricted).
+    pub is_pub: bool,
+    /// Normalized signature text (tokens from `fn` to the body brace).
+    pub signature: String,
+    /// Every call expression in the body, in source order.
+    pub calls: Vec<Call>,
+    /// Direct nondeterminism sources in the body, in source order.
+    pub sources: Vec<Source>,
+}
+
+impl FnItem {
+    /// Display name: `Type::name` for methods, `name` for free functions.
+    pub fn display(&self) -> String {
+        match &self.self_ty {
+            Some(ty) => format!("{ty}::{}", self.name),
+            None => self.name.clone(),
+        }
+    }
+}
+
+/// Methods whose receiver being hash-typed makes iteration order observable.
+const HASH_ITER_METHODS: [&str; 10] = [
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "drain",
+    "retain",
+    "into_iter",
+    "into_keys",
+    "into_values",
+];
+
+/// Keywords that look like `ident (` but are not calls.
+const NON_CALL_KEYWORDS: [&str; 14] = [
+    "if", "while", "for", "match", "return", "in", "loop", "as", "let", "mut", "ref", "move",
+    "where", "fn",
+];
+
+/// Parses every `fn` item in `lexed`, skipping those whose `fn` keyword is
+/// covered by `test_mask` (tokens inside `#[cfg(test)]` / `#[test]` items).
+pub fn parse_fns(lexed: &Lexed, test_mask: &[bool]) -> Vec<FnItem> {
+    let toks = &lexed.tokens;
+    let hash_names = hash_typed_names(toks);
+    let impls = impl_spans(toks);
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        if !toks[i].is_ident("fn") || test_mask.get(i).copied().unwrap_or(false) {
+            i += 1;
+            continue;
+        }
+        let Some(name_tok) = toks.get(i + 1) else {
+            break;
+        };
+        if name_tok.kind != Kind::Ident {
+            i += 1;
+            continue;
+        }
+        // Visibility: `pub fn` (unrestricted only; `pub(crate)` ends with
+        // `)` immediately before `fn`, which we deliberately do not count).
+        let is_pub = prev_code_token(toks, i).is_some_and(|p| p.is_ident("pub"));
+        // Locate the body `{` (or `;` for trait declarations).
+        let mut j = i + 2;
+        let mut nest = 0i32;
+        let open = loop {
+            let Some(t) = toks.get(j) else { break None };
+            if nest == 0 && t.is_punct('{') {
+                break Some(j);
+            }
+            if nest == 0 && t.is_punct(';') {
+                break None;
+            }
+            if t.is_punct('(') || t.is_punct('[') {
+                nest += 1;
+            } else if t.is_punct(')') || t.is_punct(']') {
+                nest -= 1;
+            }
+            j += 1;
+        };
+        let signature = render_tokens(&toks[i..open.unwrap_or(j).min(toks.len())]);
+        let Some(open) = open else {
+            // Body-less declaration: record the item with an empty body so
+            // the API lock still sees trait-method signatures.
+            out.push(FnItem {
+                name: name_tok.text.clone(),
+                self_ty: impl_ty_at(&impls, i),
+                line: toks[i].line,
+                is_pub,
+                signature,
+                calls: Vec::new(),
+                sources: Vec::new(),
+            });
+            i = j.max(i + 2);
+            continue;
+        };
+        let end = matching_brace(toks, open);
+        let body = &toks[open + 1..end.saturating_sub(1).max(open + 1)];
+        out.push(FnItem {
+            name: name_tok.text.clone(),
+            self_ty: impl_ty_at(&impls, i),
+            line: toks[i].line,
+            is_pub,
+            signature,
+            calls: calls_in(body),
+            sources: sources_in(body, &hash_names),
+        });
+        // Continue *inside* the body so nested fns are discovered too (the
+        // parent's call/source lists already over-approximate across them).
+        i = open + 1;
+    }
+    out
+}
+
+/// Index one past the `}` matching the `{` at `open`.
+fn matching_brace(toks: &[Tok], open: usize) -> usize {
+    let mut depth = 1i32;
+    let mut m = open + 1;
+    while m < toks.len() && depth > 0 {
+        if toks[m].is_punct('{') {
+            depth += 1;
+        } else if toks[m].is_punct('}') {
+            depth -= 1;
+        }
+        m += 1;
+    }
+    m
+}
+
+/// The nearest preceding token, skipping nothing (tokens are already
+/// comment/whitespace-free).
+fn prev_code_token<'t>(toks: &'t [Tok], i: usize) -> Option<&'t Tok> {
+    i.checked_sub(1).and_then(|p| toks.get(p))
+}
+
+/// Renders a token slice as normalized, space-separated text. The
+/// punctuation digraphs `::`, `->`, and `=>` are rejoined so signatures
+/// and lock entries read naturally.
+pub fn render_tokens(toks: &[Tok]) -> String {
+    let mut s = String::new();
+    let mut last = "";
+    for t in toks {
+        let digraph = (last == ":" && t.text == ":")
+            || (last == "-" && t.text == ">")
+            || (last == "=" && t.text == ">");
+        if !s.is_empty() && !digraph {
+            s.push(' ');
+        }
+        s.push_str(&t.text);
+        last = &t.text;
+    }
+    s
+}
+
+/// `(start, end, type_name)` spans of `impl` blocks, for attributing
+/// methods to their `Self` type in diagnostics.
+fn impl_spans(toks: &[Tok]) -> Vec<(usize, usize, String)> {
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        if !toks[i].is_ident("impl") {
+            i += 1;
+            continue;
+        }
+        // Scan to the body `{`; remember the segment after `for` (trait
+        // impls) or the whole header (inherent impls).
+        let mut j = i + 1;
+        let mut angle = 0i32;
+        let mut after_for: Option<usize> = None;
+        let open = loop {
+            let Some(t) = toks.get(j) else { break None };
+            if angle <= 0 && t.is_punct('{') {
+                break Some(j);
+            }
+            if t.is_punct('<') {
+                angle += 1;
+            } else if t.is_punct('>') {
+                angle -= 1;
+            } else if angle <= 0 && t.is_ident("for") {
+                after_for = Some(j + 1);
+            } else if angle <= 0 && t.is_ident("where") {
+                // `where` clauses may contain `{`-free bounds only; stop the
+                // `for` search here — the type name is already behind us.
+            }
+            j += 1;
+        };
+        let Some(open) = open else {
+            i += 1;
+            continue;
+        };
+        let seg_start = after_for.unwrap_or(i + 1);
+        // First identifier in the segment that is not a generic-param
+        // bracket: skip a leading `< … >` group.
+        let mut k = seg_start;
+        if toks.get(k).is_some_and(|t| t.is_punct('<')) {
+            let mut a = 1i32;
+            k += 1;
+            while k < open && a > 0 {
+                if toks[k].is_punct('<') {
+                    a += 1;
+                } else if toks[k].is_punct('>') {
+                    a -= 1;
+                }
+                k += 1;
+            }
+        }
+        let name = toks[k..open]
+            .iter()
+            .find(|t| t.kind == Kind::Ident && !t.is_ident("dyn") && !t.is_ident("where"))
+            .map(|t| t.text.clone())
+            .unwrap_or_else(|| String::from("?"));
+        out.push((open, matching_brace(toks, open), name));
+        i = open + 1;
+    }
+    out
+}
+
+/// The innermost `impl` type covering token index `i`, if any.
+fn impl_ty_at(impls: &[(usize, usize, String)], i: usize) -> Option<String> {
+    impls
+        .iter()
+        .filter(|&&(s, e, _)| s < i && i < e)
+        .min_by_key(|&&(s, e, _)| e - s)
+        .map(|(_, _, n)| n.clone())
+}
+
+/// Names of bindings/fields whose declared type (or initializer) is
+/// `HashMap`/`HashSet` — visible purely syntactically within this file.
+fn hash_typed_names(toks: &[Tok]) -> Vec<String> {
+    let mut names = Vec::new();
+    for i in 0..toks.len() {
+        if !(toks[i].is_ident("HashMap") || toks[i].is_ident("HashSet")) {
+            continue;
+        }
+        // Walk backwards over the path/reference prelude:
+        // `std :: collections ::`, `&`, `& mut`, `RwLock <` etc. until we
+        // hit either `:` (a declared type) or `=` (an initializer).
+        let mut j = i;
+        while j > 0 {
+            let p = &toks[j - 1];
+            if p.is_punct(':') {
+                if j >= 2 && toks[j - 2].is_punct(':') {
+                    j -= 2; // `::` path separator
+                    continue;
+                }
+                break; // single `:` — a declaration/field colon
+            }
+            if p.kind == Kind::Ident
+                && toks
+                    .get(j)
+                    .is_some_and(|t| t.is_punct(':') || t.is_punct('<'))
+            {
+                j -= 1; // path segment (`std ::`) or wrapper name (`RwLock <`)
+                continue;
+            }
+            if p.is_punct('&') || p.is_ident("mut") || p.is_punct('<') || p.kind == Kind::Lifetime {
+                j -= 1; // reference / wrapper generic opener
+                continue;
+            }
+            break;
+        }
+        let Some(prev) = j.checked_sub(1).map(|p| &toks[p]) else {
+            continue;
+        };
+        if prev.is_punct(':') && j >= 2 && !toks[j - 2].is_punct(':') {
+            // `name : …HashMap` — field, param, or typed let.
+            if toks[j - 2].kind == Kind::Ident {
+                names.push(toks[j - 2].text.clone());
+            }
+        } else if prev.is_punct('=') && j >= 2 && toks[j - 2].kind == Kind::Ident {
+            // `[let [mut]] name = HashMap::new()` and reassignments.
+            names.push(toks[j - 2].text.clone());
+        }
+    }
+    names.sort();
+    names.dedup();
+    names
+}
+
+/// Extracts call expressions from a body token slice.
+fn calls_in(body: &[Tok]) -> Vec<Call> {
+    let mut out = Vec::new();
+    for i in 0..body.len() {
+        let t = &body[i];
+        if t.kind != Kind::Ident || !body.get(i + 1).is_some_and(|n| n.is_punct('(')) {
+            continue;
+        }
+        if NON_CALL_KEYWORDS.contains(&t.text.as_str()) {
+            continue;
+        }
+        // `fn name(` inside the body is a nested definition, not a call.
+        if i > 0 && body[i - 1].is_ident("fn") {
+            continue;
+        }
+        out.push(Call {
+            name: t.text.clone(),
+            line: t.line,
+        });
+    }
+    out
+}
+
+/// Extracts direct nondeterminism sources from a body token slice.
+fn sources_in(body: &[Tok], hash_names: &[String]) -> Vec<Source> {
+    let mut out = Vec::new();
+    let is_hash = |name: &str| {
+        hash_names
+            .binary_search_by(|h| h.as_str().cmp(name))
+            .is_ok()
+    };
+    for i in 0..body.len() {
+        let t = &body[i];
+        // Wall clock / entropy — same tokens the lint rule pins, observed
+        // here per-function so taint can propagate through the call graph.
+        if t.is_ident("Instant")
+            && body.get(i + 1).is_some_and(|n| n.is_punct(':'))
+            && body.get(i + 3).is_some_and(|n| n.is_ident("now"))
+        {
+            out.push(Source {
+                what: String::from("Instant::now()"),
+                line: t.line,
+            });
+        } else if t.is_ident("SystemTime") {
+            out.push(Source {
+                what: String::from("SystemTime"),
+                line: t.line,
+            });
+        } else if t.is_ident("thread_rng") || t.is_ident("from_entropy") {
+            out.push(Source {
+                what: t.text.clone(),
+                line: t.line,
+            });
+        } else if t.is_ident("thread")
+            && body.get(i + 1).is_some_and(|n| n.is_punct(':'))
+            && body.get(i + 3).is_some_and(|n| n.is_ident("current"))
+        {
+            out.push(Source {
+                what: String::from("thread::current()"),
+                line: t.line,
+            });
+        } else if t.is_ident("random")
+            && i >= 2
+            && body[i - 1].is_punct(':')
+            && body[i - 2].is_punct(':')
+        {
+            out.push(Source {
+                what: String::from("rand::random"),
+                line: t.line,
+            });
+        }
+        // Hash-collection iteration: `name . iter_method (` on a binding
+        // declared hash-typed in this file.
+        if t.kind == Kind::Ident
+            && HASH_ITER_METHODS.contains(&t.text.as_str())
+            && i >= 2
+            && body[i - 1].is_punct('.')
+            && body[i - 2].kind == Kind::Ident
+            && is_hash(&body[i - 2].text)
+            && body.get(i + 1).is_some_and(|n| n.is_punct('('))
+        {
+            out.push(Source {
+                what: format!(
+                    "{}.{}() iterates a hash collection",
+                    body[i - 2].text,
+                    t.text
+                ),
+                line: t.line,
+            });
+        }
+        // `for pat in [&[mut]] name {` (or `… in &self.field {`) over a
+        // hash-typed binding; the last dotted segment names the binding.
+        if t.is_ident("in") && i + 1 < body.len() {
+            let mut k = i + 1;
+            while body
+                .get(k)
+                .is_some_and(|x| x.is_punct('&') || x.is_ident("mut"))
+            {
+                k += 1;
+            }
+            while body.get(k).is_some_and(|x| x.kind == Kind::Ident)
+                && body.get(k + 1).is_some_and(|x| x.is_punct('.'))
+                && body.get(k + 2).is_some_and(|x| x.kind == Kind::Ident)
+            {
+                k += 2;
+            }
+            if let (Some(name), Some(brace)) = (body.get(k), body.get(k + 1)) {
+                if name.kind == Kind::Ident && brace.is_punct('{') && is_hash(&name.text) {
+                    out.push(Source {
+                        what: format!("for-loop iterates hash collection `{}`", name.text),
+                        line: name.line,
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse(src: &str) -> Vec<FnItem> {
+        let lexed = lex(src);
+        let mask = vec![false; lexed.tokens.len()];
+        parse_fns(&lexed, &mask)
+    }
+
+    #[test]
+    fn fn_items_and_calls_are_extracted() {
+        let src = "pub fn outer(x: u32) -> u32 {\n    helper(x) + other::leaf(1)\n}\nfn helper(x: u32) -> u32 { x }\n";
+        let fns = parse(src);
+        assert_eq!(fns.len(), 2);
+        assert_eq!(fns[0].name, "outer");
+        assert!(fns[0].is_pub);
+        assert!(!fns[1].is_pub);
+        let callees: Vec<&str> = fns[0].calls.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(callees, vec!["helper", "leaf"]);
+    }
+
+    #[test]
+    fn methods_get_their_impl_type() {
+        let src = "struct Engine;\nimpl Engine {\n    pub fn push(&mut self) { self.step(); }\n    fn step(&mut self) {}\n}\n";
+        let fns = parse(src);
+        assert_eq!(fns[0].display(), "Engine::push");
+        assert_eq!(fns[1].display(), "Engine::step");
+    }
+
+    #[test]
+    fn trait_impl_type_comes_after_for() {
+        let src = "impl<'a> Iterator for Walker<'a> {\n    fn next(&mut self) -> Option<u32> { None }\n}\n";
+        let fns = parse(src);
+        assert_eq!(fns[0].display(), "Walker::next");
+    }
+
+    #[test]
+    fn nested_fns_are_discovered() {
+        let src = "fn outer() {\n    fn inner() { leaf(); }\n    inner();\n}\n";
+        let fns = parse(src);
+        let names: Vec<&str> = fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, vec!["outer", "inner"]);
+    }
+
+    #[test]
+    fn keywords_are_not_calls() {
+        let fns = parse("fn f(x: u32) -> u32 {\n    if (x > 1) { x } else { g(x) }\n}\n");
+        let callees: Vec<&str> = fns[0].calls.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(callees, vec!["g"]);
+    }
+
+    #[test]
+    fn clock_and_entropy_sources_are_observed() {
+        let src = "fn f() {\n    let t = Instant::now();\n    let r = thread_rng();\n}\n";
+        let fns = parse(src);
+        let whats: Vec<&str> = fns[0].sources.iter().map(|s| s.what.as_str()).collect();
+        assert_eq!(whats, vec!["Instant::now()", "thread_rng"]);
+    }
+
+    #[test]
+    fn hash_iteration_is_a_source_but_lookup_is_not() {
+        let src = "struct S { m: HashMap<u64, f64> }\nimpl S {\n    fn bad(&self) -> Vec<f64> { self.m.values().copied().collect() }\n    fn good(&self, k: u64) -> Option<&f64> { self.m.get(&k) }\n}\n";
+        let fns = parse(src);
+        assert_eq!(fns[0].sources.len(), 1, "{:?}", fns[0].sources);
+        assert!(fns[0].sources[0].what.contains("values"));
+        assert!(fns[1].sources.is_empty());
+    }
+
+    #[test]
+    fn let_bound_hash_iteration_is_a_source() {
+        let src =
+            "fn f() {\n    let mut seen = HashSet::new();\n    for v in &seen { touch(v); }\n}\n";
+        let fns = parse(src);
+        assert_eq!(fns[0].sources.len(), 1, "{:?}", fns[0].sources);
+        assert!(fns[0].sources[0].what.contains("for-loop"));
+    }
+
+    #[test]
+    fn btree_iteration_is_not_a_source() {
+        let src = "fn f(m: &BTreeMap<u64, f64>) -> Vec<f64> { m.values().copied().collect() }\n";
+        let fns = parse(src);
+        assert!(fns[0].sources.is_empty());
+    }
+
+    #[test]
+    fn test_masked_fns_are_skipped() {
+        let src =
+            "fn lib() {}\n#[cfg(test)]\nmod tests {\n    fn t() { let x = Instant::now(); }\n}\n";
+        let lexed = lex(src);
+        let mask = crate::rules::test_mask_for(&lexed.tokens);
+        let fns = parse_fns(&lexed, &mask);
+        assert_eq!(fns.len(), 1);
+        assert_eq!(fns[0].name, "lib");
+    }
+
+    #[test]
+    fn signatures_stop_at_the_body() {
+        let fns = parse("pub fn f(x: u32) -> Result<u32> { Ok(x) }\n");
+        assert_eq!(fns[0].signature, "fn f ( x : u32 ) -> Result < u32 >");
+    }
+
+    #[test]
+    fn bodyless_trait_methods_are_recorded() {
+        let fns = parse("trait T {\n    fn required(&self) -> u32;\n}\n");
+        assert_eq!(fns.len(), 1);
+        assert!(fns[0].calls.is_empty());
+    }
+}

@@ -64,6 +64,9 @@ pub struct Lexed {
     pub tokens: Vec<Tok>,
     /// `vaq-lint:` directives found in comments.
     pub directives: Vec<AllowDirective>,
+    /// `vaq-analyze:` directives found in comments (consumed by
+    /// `cargo xtask analyze`, same grammar as the lint directives).
+    pub analyze_directives: Vec<AllowDirective>,
 }
 
 /// Lexes `src` into tokens, collecting `vaq-lint:` comment directives.
@@ -99,8 +102,10 @@ pub fn lex(src: &str) -> Lexed {
                 i += 1;
             }
             let text: String = b[start..i].iter().collect();
-            if let Some(d) = parse_directive(&text, line) {
+            if let Some(d) = parse_directive(&text, "vaq-lint:", line) {
                 out.directives.push(d);
+            } else if let Some(d) = parse_directive(&text, "vaq-analyze:", line) {
+                out.analyze_directives.push(d);
             }
             continue;
         }
@@ -218,13 +223,14 @@ pub fn lex(src: &str) -> Lexed {
     out
 }
 
-/// Parses a `vaq-lint:` comment into a directive, if the comment carries one.
-fn parse_directive(comment: &str, line: u32) -> Option<AllowDirective> {
+/// Parses a `<prefix> allow(rule) -- reason` comment into a directive, if
+/// the comment carries one. `prefix` is `"vaq-lint:"` or `"vaq-analyze:"`.
+fn parse_directive(comment: &str, prefix: &str, line: u32) -> Option<AllowDirective> {
     let body = comment
         .trim_start_matches('/')
         .trim_start_matches('!')
         .trim();
-    let rest = body.strip_prefix("vaq-lint:")?.trim();
+    let rest = body.strip_prefix(prefix)?.trim();
     let mut rule = None;
     if let Some(open) = rest.find("allow(") {
         if let Some(close) = rest[open..].find(')') {
@@ -475,6 +481,17 @@ mod tests {
         let lexed = lex("// vaq-lint: allow(float-ord)\n");
         assert_eq!(lexed.directives.len(), 1);
         assert!(!lexed.directives[0].has_reason);
+    }
+
+    #[test]
+    fn analyze_directives_land_in_their_own_table() {
+        let src = "// vaq-analyze: allow(determinism) -- telemetry only\nlet t = now();\n";
+        let lexed = lex(src);
+        assert!(lexed.directives.is_empty());
+        assert_eq!(lexed.analyze_directives.len(), 1);
+        let d = &lexed.analyze_directives[0];
+        assert_eq!(d.rule.as_deref(), Some("determinism"));
+        assert!(d.has_reason);
     }
 
     #[test]

@@ -29,6 +29,11 @@
 //! every commit. See `DESIGN.md` §10 for the full rule rationale.
 
 #![forbid(unsafe_code)]
+pub mod analyze;
+pub mod api_lock;
+pub mod casts;
+pub mod graph;
+pub mod items;
 pub mod lexer;
 pub mod rules;
 pub mod workspace;
@@ -69,6 +74,18 @@ pub fn run_lint(root: &Path, out: &mut impl std::io::Write) -> std::io::Result<R
         report.deny_count(),
         advisories
     )?;
+    Ok(report)
+}
+
+/// Runs the semantic passes (`cargo xtask analyze`) and renders the
+/// report. Returns the report for exit-code decisions and tests.
+pub fn run_analyze(
+    root: &Path,
+    opts: analyze::AnalyzeOptions,
+    out: &mut impl std::io::Write,
+) -> std::io::Result<analyze::AnalyzeReport> {
+    let report = analyze::analyze_workspace(root, opts)?;
+    analyze::render(&report, out)?;
     Ok(report)
 }
 
@@ -185,6 +202,111 @@ mod selftest {
     fn clean_fixture_with_allows_passes() {
         let got = lint_fixture("clean_with_allows.rs");
         assert!(got.is_empty(), "clean fixture flagged: {got:?}");
+    }
+
+    fn analyze_fixture(
+        name: &str,
+        opts: crate::analyze::AnalyzeOptions,
+    ) -> crate::analyze::AnalyzeReport {
+        let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .join("fixtures")
+            .join("analyze")
+            .join(name);
+        crate::analyze::analyze_workspace(&root, opts)
+            .unwrap_or_else(|e| panic!("fixture {name} unreadable: {e}"))
+    }
+
+    const NO_API: crate::analyze::AnalyzeOptions = crate::analyze::AnalyzeOptions {
+        check_api: false,
+        update_api: false,
+    };
+
+    #[test]
+    fn seeded_taint_violation_is_caught_with_full_path() {
+        let report = analyze_fixture("taint_violation", NO_API);
+        assert_eq!(report.taint.len(), 1, "{:?}", report.taint);
+        let t = &report.taint[0];
+        assert_eq!(t.source, "Instant::now()");
+        assert_eq!(
+            t.path,
+            vec!["try_push_clip", "advance_window", "pick_candidate"],
+            "the finding must carry the transitive call chain"
+        );
+    }
+
+    #[test]
+    fn allowed_taint_source_is_suppressed() {
+        let report = analyze_fixture("taint_allowed", NO_API);
+        assert!(report.taint.is_empty(), "{:?}", report.taint);
+        assert!(
+            report.bad_directives.is_empty(),
+            "{:?}",
+            report.bad_directives
+        );
+    }
+
+    #[test]
+    fn seeded_hash_iteration_taint_is_caught() {
+        let report = analyze_fixture("taint_hash_iter", NO_API);
+        assert_eq!(report.taint.len(), 1, "{:?}", report.taint);
+        assert!(report.taint[0].source.contains("hash collection"));
+        assert_eq!(report.taint[0].path, vec!["TbClip::next", "TbClip::pick"]);
+    }
+
+    #[test]
+    fn seeded_cast_violations_are_caught_but_float_casts_pass() {
+        let report = analyze_fixture("cast_violation", NO_API);
+        let lines: Vec<u32> = report.casts.iter().map(|c| c.line).collect();
+        assert_eq!(lines, vec![5, 9], "{:?}", report.casts);
+        assert!(report.casts.iter().all(|c| c.target == "usize"));
+    }
+
+    #[test]
+    fn seeded_api_drift_is_caught_in_both_directions() {
+        let report = analyze_fixture(
+            "api_violation",
+            crate::analyze::AnalyzeOptions {
+                check_api: true,
+                update_api: false,
+            },
+        );
+        assert_eq!(report.api.added, vec!["types fn added_entry ( ) -> u32"]);
+        assert_eq!(
+            report.api.removed,
+            vec!["types fn removed_entry ( ) -> u32"]
+        );
+    }
+
+    #[test]
+    fn workspace_analyze_clean() {
+        // The real tree must pass all three semantic passes; this is what
+        // makes plain `cargo test` enforce them like the lint.
+        let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+            .ancestors()
+            .nth(2)
+            .expect("workspace root exists");
+        let opts = crate::analyze::AnalyzeOptions {
+            check_api: true,
+            update_api: false,
+        };
+        let report = crate::analyze::analyze_workspace(root, opts).expect("workspace readable");
+        assert!(
+            report.files_scanned >= 30,
+            "only {} files in the graph — workspace walk broken?",
+            report.files_scanned
+        );
+        assert!(
+            report.fns >= 200,
+            "only {} fns in the graph — item parser broken?",
+            report.fns
+        );
+        let mut rendered = Vec::new();
+        crate::analyze::render(&report, &mut rendered).expect("render");
+        assert!(
+            report.is_clean(),
+            "semantic-analysis violations:\n{}",
+            String::from_utf8_lossy(&rendered)
+        );
     }
 
     #[test]

@@ -4,6 +4,10 @@
 //! * `lint` — run the `vaq-lint` invariant checker over the workspace.
 //!   `--advisory` additionally lists advisory findings. Exit code 0 when
 //!   clean, 1 on violations, 2 on usage errors.
+//! * `analyze` — run the call-graph semantic passes (determinism taint,
+//!   granularity-cast audit, public-API snapshot). `--update-api`
+//!   rewrites `api.lock` from the current surface; `--no-api` skips the
+//!   lock comparison.
 //! * `rules` — print the rule catalogue.
 
 #![forbid(unsafe_code)]
@@ -52,6 +56,33 @@ fn main() -> ExitCode {
                 }
             }
         }
+        Some("analyze") => {
+            let root = args
+                .iter()
+                .position(|a| a == "--root")
+                .and_then(|i| args.get(i + 1))
+                .map(PathBuf::from)
+                .unwrap_or_else(workspace_root);
+            let opts = xtask::analyze::AnalyzeOptions {
+                check_api: !args.iter().any(|a| a == "--no-api"),
+                update_api: args.iter().any(|a| a == "--update-api"),
+            };
+            let stdout = std::io::stdout();
+            let mut out = stdout.lock();
+            match xtask::run_analyze(&root, opts, &mut out) {
+                Ok(report) => {
+                    if report.is_clean() {
+                        ExitCode::SUCCESS
+                    } else {
+                        ExitCode::from(1)
+                    }
+                }
+                Err(e) => {
+                    eprintln!("vaq-analyze: i/o error: {e}");
+                    ExitCode::from(2)
+                }
+            }
+        }
         Some("rules") => {
             for rule in xtask::rules::ALL_RULES {
                 let severity = if rule.is_deny() { "deny" } else { "advisory" };
@@ -60,7 +91,10 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         _ => {
-            eprintln!("usage: cargo xtask <lint [--advisory] [--root PATH] | rules>");
+            eprintln!(
+                "usage: cargo xtask <lint [--advisory] [--root PATH] | analyze \
+                 [--root PATH] [--update-api] [--no-api] | rules>"
+            );
             ExitCode::from(2)
         }
     }

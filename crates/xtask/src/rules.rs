@@ -184,6 +184,12 @@ fn apply_directives(src: &str, lexed: &Lexed, raw: Vec<Violation>) -> Vec<Violat
     out
 }
 
+/// Public view of [`test_mask`] for the other analysis layers (the item
+/// parser and `cargo xtask analyze` reuse the same test-code exemption).
+pub fn test_mask_for(toks: &[Tok]) -> Vec<bool> {
+    test_mask(toks)
+}
+
 /// Marks tokens covered by `#[cfg(test)]` / `#[test]` items (attribute
 /// through the end of the following item body).
 fn test_mask(toks: &[Tok]) -> Vec<bool> {

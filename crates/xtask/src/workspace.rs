@@ -16,8 +16,10 @@
 use crate::rules::{lint_source, RuleSet, Violation};
 use std::path::{Path, PathBuf};
 
-/// Crates whose `src/` is "library code" under the no-panic rule.
-const LIB_CRATES: [&str; 7] = [
+/// Crates whose `src/` is "library code" under the no-panic rule. These
+/// are also the crates covered by the call graph and the API lock of
+/// `cargo xtask analyze`.
+pub const LIB_CRATES: [&str; 7] = [
     "types",
     "scanstats",
     "detect",
@@ -25,6 +27,40 @@ const LIB_CRATES: [&str; 7] = [
     "core",
     "query",
     "trace",
+];
+
+/// Crates under the granularity-cast audit: all frame/shot/clip arithmetic
+/// lives here, so raw integer `as` casts are banned (see `analyze.rs`).
+/// `types` is exempt — it is where the checked conversions are defined.
+pub const CAST_AUDIT_CRATES: [&str; 3] = ["core", "scanstats", "query"];
+
+/// Deterministic-core entry points for the determinism-taint pass:
+/// `(file suffix, fn name)`. Everything transitively callable from these
+/// must be free of unsuppressed nondeterminism sources — bit-identical
+/// reruns are what the paper's evaluation (and our golden traces) rely on.
+pub const TAINT_ROOTS: [(&str, &str); 14] = [
+    // scanstats evaluation: Naus approximation, exact DP, critical values.
+    ("crates/scanstats/src/naus.rs", "scan_prob"),
+    ("crates/scanstats/src/exact.rs", "exact_scan_prob"),
+    ("crates/scanstats/src/exact.rs", "exact_scan_prob_markov"),
+    ("crates/scanstats/src/critical.rs", "critical_value_checked"),
+    ("crates/scanstats/src/markov.rs", "critical_value_markov"),
+    // Online engines.
+    ("crates/core/src/online/engine.rs", "try_push_clip"),
+    ("crates/core/src/online/multi.rs", "run_multi_query"),
+    ("crates/core/src/online/indicator.rs", "try_evaluate_clip"),
+    // Offline: RVAQ and the TBClip traversal.
+    ("crates/core/src/offline/rvaq.rs", "rvaq_traced"),
+    ("crates/core/src/offline/tbclip.rs", "next"),
+    // Ingestion.
+    ("crates/core/src/offline/ingest.rs", "ingest_traced"),
+    (
+        "crates/core/src/offline/ingest.rs",
+        "ingest_parallel_traced",
+    ),
+    // Query execution (ranked output bytes must be reproducible).
+    ("crates/query/src/exec.rs", "execute_online"),
+    ("crates/query/src/exec.rs", "execute_offline"),
 ];
 
 /// Crates exempt from every rule's deny set except float-ord/fault matches.
@@ -147,8 +183,10 @@ fn collect(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
     Ok(())
 }
 
-/// Lints the whole workspace rooted at `root`.
-pub fn lint_workspace(root: &Path) -> std::io::Result<Report> {
+/// All governed `.rs` sources under `root`, as sorted
+/// `(workspace-relative path, contents)` pairs — the shared walk behind
+/// both `lint` and `analyze`.
+pub fn governed_sources(root: &Path) -> std::io::Result<Vec<(String, String)>> {
     let mut files = Vec::new();
     collect(&root.join("src"), &mut files)?;
     let crates_dir = root.join("crates");
@@ -162,19 +200,26 @@ pub fn lint_workspace(root: &Path) -> std::io::Result<Report> {
             collect(&crate_dir.join("src"), &mut files)?;
         }
     }
-
-    let mut report = Report::default();
+    let mut out = Vec::new();
     for path in files {
         let rel = path
             .strip_prefix(root)
             .unwrap_or(&path)
             .to_string_lossy()
             .replace('\\', "/");
+        out.push((rel, std::fs::read_to_string(&path)?));
+    }
+    Ok(out)
+}
+
+/// Lints the whole workspace rooted at `root`.
+pub fn lint_workspace(root: &Path) -> std::io::Result<Report> {
+    let mut report = Report::default();
+    for (rel, src) in governed_sources(root)? {
         let Some(rules) = rules_for(&rel) else {
             continue;
         };
         report.files_scanned += 1;
-        let src = std::fs::read_to_string(&path)?;
         let violations = lint_source(&src, rules);
         if !violations.is_empty() {
             report.files.push(FileReport {
