@@ -8,18 +8,21 @@ use vaq_core::offline::candidates::candidates_from_ingest;
 use vaq_core::offline::repository::Repository;
 use vaq_core::offline::tbclip::QueryTables;
 use vaq_core::{
-    ingest_parallel_traced, ingest_traced, run_multi_query_traced, rvaq_traced, MultiQueryOptions,
-    OnlineConfig, OnlineEngine, PaperScoring, RvaqOptions, SharedScanCaches,
+    ingest_parallel_traced, ingest_traced, run_multi_query_traced, run_service, rvaq_traced,
+    DegradationPolicy, MultiQueryOptions, OnlineConfig, OnlineEngine, OverloadPolicy, PaperScoring,
+    QueryId, QuerySpec, RetryPolicy, RvaqOptions, ServiceConfig, ServiceEvent, ServiceHost,
+    SharedScanCaches, TenantId,
 };
-use vaq_datasets::{drift, movies, youtube};
+use vaq_datasets::{drift, load as service_load, movies, youtube};
 use vaq_detect::{
-    profiles, InferenceCache, IouTracker, SimulatedActionRecognizer, SimulatedObjectDetector,
-    TracingActionRecognizer, TracingObjectDetector,
+    profiles, Detection, DetectorFault, InferenceCache, IouTracker, ObjectDetector,
+    SimulatedActionRecognizer, SimulatedObjectDetector, TracingActionRecognizer,
+    TracingObjectDetector,
 };
 use vaq_query::{execute_online, execute_repository, plan, QueryOutput};
 use vaq_storage::{ClipScoreTable, CostModel, MemTable};
 use vaq_types::{vocab, ActionType, ObjectType, Query, Result, VaqError, VideoGeometry};
-use vaq_video::{load_script, save_script, SceneScript, SceneScriptBuilder, VideoStream};
+use vaq_video::{load_script, save_script, Frame, SceneScript, SceneScriptBuilder, VideoStream};
 
 fn models(kind: &str, seed: u64) -> Result<(SimulatedObjectDetector, SimulatedActionRecognizer)> {
     let nobj = vocab::coco_objects().len() as u32;
@@ -173,9 +176,11 @@ pub fn info(args: &Args, out: &mut Vec<String>) -> Result<()> {
 }
 
 /// `fsck`: scan a repository's catalogs for missing/truncated/corrupt
-/// files. Reports every finding; a dirty repository is an error so shell
-/// pipelines see a non-zero exit.
-pub fn fsck(args: &Args, out: &mut Vec<String>) -> Result<()> {
+/// files. Reports every finding and returns a distinct exit code per
+/// corruption class ([`vaq_storage::FsckReport::exit_code`]: 0 clean,
+/// 3 corrupt, 4 missing, 5 both) so shell pipelines can branch on the
+/// failure mode; an unscannable repository is still an `Err` (exit 2).
+pub fn fsck(args: &Args, out: &mut Vec<String>) -> Result<i32> {
     let dir = PathBuf::from(args.require("repo")?);
     let report = vaq_storage::fsck_repository(&dir)?;
     for entry in &report.entries {
@@ -187,13 +192,7 @@ pub fn fsck(args: &Args, out: &mut Vec<String>) -> Result<()> {
         report.entries.len(),
         problems
     ));
-    if problems > 0 {
-        return Err(VaqError::Storage(format!(
-            "{}: fsck found {problems} problem(s)",
-            dir.display()
-        )));
-    }
-    Ok(())
+    Ok(report.exit_code())
 }
 
 /// `query`: run an offline (top-K) VAQ-SQL query across a repository.
@@ -415,6 +414,126 @@ pub fn bench_baseline(args: &Args, out: &mut Vec<String>) -> Result<()> {
         invocations_per_frame,
         multi.cache.hit_rate() * 100.0
     ));
+
+    // --- regression gate: `--check <DIR>` compares the fresh reports
+    // against committed baselines. Workload-shape fields must match
+    // exactly; work counters and ratios get a ±tolerance band; fields a
+    // baseline sets to `null` (wall-clock measurements, which depend on
+    // the machine) are skipped.
+    if let Some(baseline_dir) = args.get("check") {
+        let tolerance = args.get_or("tolerance", 0.15f64)?;
+        let mut failures = Vec::new();
+        check_against_baseline(
+            &mut failures,
+            &Path::new(baseline_dir).join("BENCH_ingest.json"),
+            &ingest_json,
+            &["clips", "threads"],
+            &["serial_clips_per_s", "parallel_clips_per_s", "speedup"],
+            tolerance,
+        )?;
+        check_against_baseline(
+            &mut failures,
+            &Path::new(baseline_dir).join("BENCH_online.json"),
+            &online_json,
+            &["queries", "clips", "threads"],
+            &[
+                "detector_frames_executed",
+                "detector_cached",
+                "invocations_per_frame",
+                "cache_hit_rate",
+                "wall_s",
+            ],
+            tolerance,
+        )?;
+        if failures.is_empty() {
+            out.push(format!(
+                "baseline check against {baseline_dir}: OK (tolerance ±{:.0}%)",
+                tolerance * 100.0
+            ));
+        } else {
+            for failure in &failures {
+                out.push(format!("REGRESSION: {failure}"));
+            }
+            return Err(VaqError::Statistics(format!(
+                "bench regression: {} field(s) outside ±{:.0}% of the {baseline_dir} baseline",
+                failures.len(),
+                tolerance * 100.0
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// Extracts the raw scalar following `"key":` in one of the flat
+/// `BENCH_*.json` reports (a number or `null`). The scalar field names
+/// never collide with the keys inside the nested `stages` objects.
+fn json_scalar(body: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\":");
+    let at = body.find(&pat)?;
+    let rest = body[at + pat.len()..].trim_start();
+    let end = rest.find([',', '\n', '}']).unwrap_or(rest.len());
+    Some(rest[..end].trim().to_string())
+}
+
+/// Compares one fresh `BENCH_*.json` body against its committed baseline.
+/// `exact` fields (workload shape) must match textually; `banded` fields
+/// may drift up to `tolerance` (relative). A baseline value of `null`
+/// opts that field out — committed baselines null their wall-clock
+/// measurements. Mismatches are appended to `failures`; only an
+/// unreadable baseline file is an `Err`.
+fn check_against_baseline(
+    failures: &mut Vec<String>,
+    baseline_path: &Path,
+    current: &str,
+    exact: &[&str],
+    banded: &[&str],
+    tolerance: f64,
+) -> Result<()> {
+    let name = baseline_path
+        .file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_else(|| baseline_path.display().to_string());
+    let baseline = std::fs::read_to_string(baseline_path).map_err(|e| {
+        VaqError::InvalidConfig(format!(
+            "{}: cannot read baseline: {e}",
+            baseline_path.display()
+        ))
+    })?;
+    for &key in exact.iter().chain(banded) {
+        let Some(base_raw) = json_scalar(&baseline, key) else {
+            failures.push(format!("{name}: baseline lacks \"{key}\""));
+            continue;
+        };
+        if base_raw == "null" {
+            continue;
+        }
+        let Some(cur_raw) = json_scalar(current, key) else {
+            failures.push(format!("{name}: current report lacks \"{key}\""));
+            continue;
+        };
+        if exact.contains(&key) {
+            if base_raw != cur_raw {
+                failures.push(format!(
+                    "{name}: \"{key}\" = {cur_raw} but the baseline workload has {base_raw} \
+                     (rerun with the baseline's parameters or regenerate it)"
+                ));
+            }
+            continue;
+        }
+        let (Ok(base), Ok(cur)) = (base_raw.parse::<f64>(), cur_raw.parse::<f64>()) else {
+            failures.push(format!(
+                "{name}: \"{key}\" is not numeric (baseline {base_raw:?}, current {cur_raw:?})"
+            ));
+            continue;
+        };
+        let allowed = tolerance * base.abs().max(1e-9);
+        if (cur - base).abs() > allowed {
+            failures.push(format!(
+                "{name}: \"{key}\" = {cur} drifted beyond ±{:.0}% of baseline {base}",
+                tolerance * 100.0
+            ));
+        }
+    }
     Ok(())
 }
 
@@ -437,6 +556,148 @@ fn stages_json(summary: &TraceSummary) -> String {
     }
     s.push('}');
     s
+}
+
+/// An object detector that is unavailable during scheduled clip windows —
+/// the chaos half of `serve-sim`, injecting the load schedule's
+/// detector-fault bursts into an otherwise healthy model.
+struct BurstyDetector<'a> {
+    inner: &'a dyn ObjectDetector,
+    windows: Vec<service_load::FaultWindow>,
+    frames_per_clip: u64,
+}
+
+impl ObjectDetector for BurstyDetector<'_> {
+    fn detect(&self, frame: &Frame) -> Vec<Detection> {
+        self.inner.detect(frame)
+    }
+
+    fn try_detect(&self, frame: &Frame) -> std::result::Result<Vec<Detection>, DetectorFault> {
+        let clip = frame.id.raw() / self.frames_per_clip.max(1);
+        if self.windows.iter().any(|w| w.contains(clip)) {
+            return Err(DetectorFault::Unavailable);
+        }
+        self.inner.try_detect(frame)
+    }
+
+    fn universe(&self) -> u32 {
+        self.inner.universe()
+    }
+
+    fn latency_ms(&self) -> f64 {
+        self.inner.latency_ms()
+    }
+
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+}
+
+/// `serve-sim`: run the standing-query service against a seeded
+/// load-and-chaos schedule end-to-end — submission arrivals with
+/// hot-tenant skew, churn, tenant stalls, and detector-fault bursts over
+/// one long stream — and print the deterministic latency/shed summary
+/// JSON. Same seed, same flags ⇒ byte-identical output.
+pub fn serve_sim(args: &Args, out: &mut Vec<String>, tracer: &Tracer) -> Result<()> {
+    let seed = args.get_or("seed", 42u64)?;
+    let minutes = args.get_or("minutes", 2u64)?;
+    let tenants = args.get_or("tenants", 4u32)?;
+    let submissions = args.get_or("submissions", 16u32)?;
+    let queue = args.get_or("queue", 8usize)?;
+    let deadline_ms = args.get_or("deadline-ms", 4_000u64)?;
+    let faults = args.get_or("faults", 1u32)?;
+    let keep_every = args.get_or("keep-every", 4u32)?;
+    let stack = args.get("models").unwrap_or("maskrcnn");
+    let overload = match args.get("policy").unwrap_or("shed") {
+        "reject" => OverloadPolicy::RejectNew,
+        "shed" => OverloadPolicy::ShedLowestPriority,
+        "degrade" => OverloadPolicy::Degrade { keep_every },
+        other => {
+            return Err(VaqError::InvalidConfig(format!(
+                "unknown overload policy {other:?} (expected reject|shed|degrade)"
+            )))
+        }
+    };
+
+    let profile = service_load::LoadProfile {
+        minutes,
+        tenants,
+        submissions,
+        fault_bursts: faults,
+        deadline_us: Some(deadline_ms.saturating_mul(1_000)),
+        ..service_load::LoadProfile::default()
+    };
+    let schedule = service_load::generate_load(&profile, seed);
+    let templates = service_load::service_templates();
+    let events: Vec<ServiceEvent> = schedule
+        .events
+        .iter()
+        .map(|e| match e.kind {
+            service_load::LoadEventKind::Submit {
+                tenant,
+                template,
+                priority,
+                deadline_us,
+            } => ServiceEvent::Submit {
+                tick: e.tick,
+                spec: QuerySpec {
+                    tenant: TenantId(tenant),
+                    query: templates[template].clone(),
+                    priority,
+                    deadline_us,
+                },
+            },
+            service_load::LoadEventKind::Retire { submission } => ServiceEvent::Retire {
+                tick: e.tick,
+                query: QueryId(submission),
+            },
+            service_load::LoadEventKind::Stall { tenant, until_tick } => ServiceEvent::Stall {
+                tick: e.tick,
+                tenant: TenantId(tenant),
+                until_tick,
+            },
+        })
+        .collect();
+
+    let geometry = *schedule.script.geometry();
+    let (detector, recognizer) = models(stack, seed)?;
+    let detector = BurstyDetector {
+        inner: &detector,
+        windows: schedule.fault_windows.clone(),
+        frames_per_clip: geometry.frames_per_clip(),
+    };
+    let config = ServiceConfig {
+        queue_capacity: queue,
+        overload,
+        default_deadline_us: deadline_ms.saturating_mul(1_000),
+        // Fault bursts gap the affected clip rather than aborting the
+        // standing query; unaffected tenants stay fault-transparent.
+        engine: OnlineConfig::svaqd()
+            .with_degradation(DegradationPolicy::SkipClip)
+            .with_retry(RetryPolicy::NONE),
+        ..ServiceConfig::default()
+    };
+    let cache = InferenceCache::with_clip_capacity(&geometry, 8);
+    let host = ServiceHost::new_traced(
+        &cache,
+        &detector,
+        &recognizer,
+        &geometry,
+        config,
+        tracer.clone(),
+    )?;
+    let report = run_service(&host, &schedule.script, &events)?;
+
+    out.push(format!(
+        "serve-sim: seed {seed}, {} clips, {} event(s), {} fault window(s), policy {overload}",
+        schedule.clips,
+        events.len(),
+        schedule.fault_windows.len(),
+    ));
+    for line in report.summary_json().lines() {
+        out.push(line.to_string());
+    }
+    Ok(())
 }
 
 /// `demo`: exercise every traced subsystem over a built-in scripted video
@@ -556,11 +817,15 @@ pub fn demo(args: &Args, out: &mut Vec<String>, tracer: &Tracer) -> Result<()> {
 mod tests {
     use super::*;
 
-    fn run(argv: &[&str]) -> Result<Vec<String>> {
+    fn run_code(argv: &[&str]) -> Result<(i32, Vec<String>)> {
         let argv: Vec<String> = argv.iter().map(|s| s.to_string()).collect();
         let mut out = Vec::new();
-        crate::run(&argv, &mut out)?;
-        Ok(out)
+        let code = crate::run(&argv, &mut out)?;
+        Ok((code, out))
+    }
+
+    fn run(argv: &[&str]) -> Result<Vec<String>> {
+        run_code(argv).map(|(_, out)| out)
     }
 
     fn tmp(tag: &str) -> PathBuf {
@@ -684,10 +949,11 @@ mod tests {
         ])
         .unwrap();
 
-        let out = run(&["fsck", "--repo", repo.to_str().unwrap()]).unwrap();
+        let (code, out) = run_code(&["fsck", "--repo", repo.to_str().unwrap()]).unwrap();
+        assert_eq!(code, 0, "{out:?}");
         assert!(out.last().unwrap().contains("0 problem(s)"), "{out:?}");
 
-        // Truncate one table; fsck must now report it and fail.
+        // Truncate one table: exit code 3 (corrupt only).
         let tbl = std::fs::read_dir(repo.join("coffee_and_cigarettes"))
             .unwrap()
             .filter_map(|e| e.ok().map(|e| e.path()))
@@ -695,8 +961,27 @@ mod tests {
             .expect("an ingested .tbl");
         let bytes = std::fs::read(&tbl).unwrap();
         std::fs::write(&tbl, &bytes[..bytes.len() / 2]).unwrap();
-        let err = run(&["fsck", "--repo", repo.to_str().unwrap()]).unwrap_err();
-        assert!(err.to_string().contains("problem"), "{err}");
+        let (code, out) = run_code(&["fsck", "--repo", repo.to_str().unwrap()]).unwrap();
+        assert_eq!(code, 3, "{out:?}");
+        assert!(out.last().unwrap().contains("problem(s)"), "{out:?}");
+
+        // Also delete an index: both classes present → exit code 5.
+        let idx = std::fs::read_dir(repo.join("coffee_and_cigarettes"))
+            .unwrap()
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .find(|p| p.extension().is_some_and(|x| x == "idx"))
+            .expect("an ingested .idx");
+        std::fs::remove_file(&idx).unwrap();
+        let (code, _) = run_code(&["fsck", "--repo", repo.to_str().unwrap()]).unwrap();
+        assert_eq!(code, 5);
+
+        // Repair the table: missing only → exit code 4.
+        std::fs::write(&tbl, &bytes).unwrap();
+        let (code, _) = run_code(&["fsck", "--repo", repo.to_str().unwrap()]).unwrap();
+        assert_eq!(code, 4);
+
+        // An unscannable path is still a hard error (exit 2 in the binary).
+        assert!(run(&["fsck", "--repo", dir.join("nope").to_str().unwrap()]).is_err());
     }
 
     #[test]
@@ -754,6 +1039,152 @@ mod tests {
         ] {
             assert!(online_json.contains(key), "missing {key} in {online_json}");
         }
+    }
+
+    /// Replaces the scalar value of `key` with `null` — how the committed
+    /// baselines blank out machine-dependent wall-clock measurements.
+    fn null_field(body: &str, key: &str) -> String {
+        let pat = format!("\"{key}\": ");
+        let Some(at) = body.find(&pat) else {
+            panic!("field {key:?} not found");
+        };
+        let vstart = at + pat.len();
+        let rest = &body[vstart..];
+        let end = rest.find([',', '\n', '}']).unwrap_or(rest.len());
+        format!("{}null{}", &body[..vstart], &rest[end..])
+    }
+
+    #[test]
+    fn bench_baseline_check_passes_and_catches_regressions() {
+        let dir = tmp("bench-check");
+        let fresh = dir.join("fresh");
+        let baseline = dir.join("baseline");
+        std::fs::create_dir_all(&baseline).unwrap();
+        let argv = |out_dir: &Path, extra: &[&str]| -> Vec<String> {
+            let mut v: Vec<String> = [
+                "bench-baseline",
+                "--out",
+                out_dir.to_str().unwrap(),
+                "--scale",
+                "0.02",
+                "--seed",
+                "7",
+                "--threads",
+                "2",
+                "--queries",
+                "4",
+                "--models",
+                "ideal",
+            ]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+            v.extend(extra.iter().map(|s| s.to_string()));
+            v
+        };
+        let mut out = Vec::new();
+        crate::run(&argv(&fresh, &[]), &mut out).unwrap();
+
+        // Commit-style baselines: same run, wall-clock fields nulled.
+        let mut ingest = std::fs::read_to_string(fresh.join("BENCH_ingest.json")).unwrap();
+        for key in [
+            "serial_s",
+            "serial_clips_per_s",
+            "parallel_s",
+            "parallel_clips_per_s",
+            "speedup",
+        ] {
+            ingest = null_field(&ingest, key);
+        }
+        std::fs::write(baseline.join("BENCH_ingest.json"), ingest).unwrap();
+        let online = std::fs::read_to_string(fresh.join("BENCH_online.json")).unwrap();
+        let online = null_field(&online, "wall_s");
+        std::fs::write(baseline.join("BENCH_online.json"), &online).unwrap();
+
+        // Same seed and parameters: the deterministic counters match the
+        // baseline exactly, so the check passes.
+        let mut out = Vec::new();
+        crate::run(
+            &argv(&fresh, &["--check", baseline.to_str().unwrap()]),
+            &mut out,
+        )
+        .unwrap();
+        assert!(
+            out.iter()
+                .any(|l| l.contains("baseline check") && l.contains("OK")),
+            "{out:?}"
+        );
+
+        // A tampered counter in the baseline is flagged as a regression.
+        let tampered = null_field(&online, "detector_frames_executed").replace(
+            "\"detector_frames_executed\": null",
+            "\"detector_frames_executed\": 1",
+        );
+        std::fs::write(baseline.join("BENCH_online.json"), tampered).unwrap();
+        let mut out = Vec::new();
+        let err = crate::run(
+            &argv(&fresh, &["--check", baseline.to_str().unwrap()]),
+            &mut out,
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("regression"), "{err}");
+        assert!(
+            out.iter()
+                .any(|l| l.contains("REGRESSION") && l.contains("detector_frames_executed")),
+            "{out:?}"
+        );
+
+        // A missing baseline file is a hard error, not a silent pass.
+        std::fs::remove_file(baseline.join("BENCH_ingest.json")).unwrap();
+        let err = crate::run(
+            &argv(&fresh, &["--check", baseline.to_str().unwrap()]),
+            &mut Vec::new(),
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("baseline"), "{err}");
+    }
+
+    #[test]
+    fn serve_sim_summary_is_seed_deterministic() {
+        let argv = |seed: &'static str| {
+            [
+                "serve-sim",
+                "--seed",
+                seed,
+                "--minutes",
+                "1",
+                "--submissions",
+                "10",
+                "--queue",
+                "4",
+                "--models",
+                "ideal",
+            ]
+        };
+        let a = run(&argv("9")).unwrap();
+        let b = run(&argv("9")).unwrap();
+        assert_eq!(a, b, "same seed must be byte-identical");
+        let body = a.join("\n");
+        assert!(a[0].starts_with("serve-sim: seed 9"), "{:?}", a[0]);
+        for key in [
+            "\"ticks\"",
+            "\"queries\"",
+            "\"sheds\"",
+            "\"latency_us\"",
+            "\"tenants\"",
+            "\"inference\"",
+            "\"cache\"",
+        ] {
+            assert!(body.contains(key), "missing {key} in {body}");
+        }
+        let c = run(&argv("10")).unwrap();
+        assert_ne!(a, c, "different seed should change the summary");
+    }
+
+    #[test]
+    fn serve_sim_rejects_unknown_policy() {
+        let err = run(&["serve-sim", "--policy", "panic"]).unwrap_err();
+        assert!(err.to_string().contains("overload policy"), "{err}");
     }
 
     #[test]

@@ -51,13 +51,27 @@ COMMANDS:
                  [--models <maskrcnn|yolo|ideal>] [--seed <N>]
   vaq-cli bench-baseline [--out <DIR>] [--scale <F>] [--seed <N>]
                  [--threads <N>] [--queries <N>] [--models <maskrcnn|yolo|ideal>]
+                 [--check <BASELINE_DIR>] [--tolerance <F>]
+  vaq-cli serve-sim [--seed <N>] [--minutes <N>] [--tenants <N>]
+                 [--submissions <N>] [--queue <N>] [--policy <reject|shed|degrade>]
+                 [--keep-every <N>] [--deadline-ms <N>] [--faults <N>]
+                 [--models <maskrcnn|yolo|ideal>]
   vaq-cli demo   [--k <N>] [--models <maskrcnn|yolo|ideal>] [--seed <N>]
   vaq-cli help
+
+EXIT CODES:
+  0  success (fsck: repository clean)
+  2  usage or I/O error
+  3  fsck: corrupt file(s)          4  fsck: missing file(s)
+  5  fsck: both corrupt and missing files
 ";
 
 /// Dispatches a full argument vector (without `argv[0]`); output lines are
-/// pushed to `out` so tests can assert on them.
-pub fn run(argv: &[String], out: &mut Vec<String>) -> Result<()> {
+/// pushed to `out` so tests can assert on them. `Ok` carries the process
+/// exit code (nonzero for commands like `fsck` that classify findings —
+/// see the `EXIT CODES` section of [`USAGE`]); `Err` means a usage or
+/// I/O failure the binary maps to exit code 2.
+pub fn run(argv: &[String], out: &mut Vec<String>) -> Result<i32> {
     // A leading `--trace <FILE>` applies to whatever command follows: spans
     // stream to FILE as JSON lines and a summary table is printed at exit.
     // It is peeled off here because `Args::parse` handles per-command flags
@@ -78,21 +92,22 @@ pub fn run(argv: &[String], out: &mut Vec<String>) -> Result<()> {
 
     let Some((command, rest)) = argv.split_first() else {
         out.push(USAGE.to_string());
-        return Ok(());
+        return Ok(0);
     };
     let args = Args::parse(rest)?;
     let result = match command.as_str() {
-        "gen" => commands::gen(&args, out),
-        "ingest" => commands::ingest(&args, out, &tracer),
-        "info" => commands::info(&args, out),
+        "gen" => commands::gen(&args, out).map(|()| 0),
+        "ingest" => commands::ingest(&args, out, &tracer).map(|()| 0),
+        "info" => commands::info(&args, out).map(|()| 0),
         "fsck" => commands::fsck(&args, out),
-        "query" => commands::query(&args, out),
-        "stream" => commands::stream(&args, out, &tracer),
-        "bench-baseline" => commands::bench_baseline(&args, out),
-        "demo" => commands::demo(&args, out, &tracer),
+        "query" => commands::query(&args, out).map(|()| 0),
+        "stream" => commands::stream(&args, out, &tracer).map(|()| 0),
+        "bench-baseline" => commands::bench_baseline(&args, out).map(|()| 0),
+        "serve-sim" => commands::serve_sim(&args, out, &tracer).map(|()| 0),
+        "demo" => commands::demo(&args, out, &tracer).map(|()| 0),
         "help" | "--help" | "-h" => {
             out.push(USAGE.to_string());
-            Ok(())
+            Ok(0)
         }
         other => Err(VaqError::InvalidConfig(format!(
             "unknown command {other:?}; see `vaq-cli help`"

@@ -6,7 +6,7 @@ fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut out = Vec::new();
     let code = match vaq_cli::run(&argv, &mut out) {
-        Ok(()) => 0,
+        Ok(code) => code,
         Err(e) => {
             eprintln!("error: {e}");
             eprintln!("{}", vaq_cli::USAGE);

@@ -9,7 +9,9 @@
 //!   re-estimated by the exponential-kernel smoother, critical values
 //!   recomputed as the stream drifts), differing only in their
 //!   [`config::ParameterPolicy`]. Clip evaluation follows Algorithm 2,
-//!   including its short-circuit predicate order.
+//!   including its short-circuit predicate order. [`online::service`]
+//!   runs many standing queries for many tenants behind admission
+//!   control and a backpressured, deterministically-shedding queue.
 //! * [`offline`] — the repository case (§4). [`offline::ingest`] is the
 //!   one-time ingestion phase (clip score tables + individual sequences per
 //!   type, §4.2); [`offline::rvaq`] is the RVAQ bound-refinement top-K
@@ -43,4 +45,9 @@ pub use online::engine::{
 pub use online::indicator::{EvalScratch, GapReason};
 pub use online::multi::{
     run_multi_query, run_multi_query_traced, MultiQueryOptions, MultiQueryOutput,
+};
+pub use online::service::{
+    checkpoint_service_at, resume_service, run_service, OverloadPolicy, QueryId, QuerySpec,
+    RejectReason, ServiceCheckpoint, ServiceConfig, ServiceEvent, ServiceHost, ServiceLimits,
+    ServiceReport, ShedCause, ShedEvent, StandingQueryService, TenantId, TenantQuota,
 };

@@ -202,7 +202,7 @@ pub struct ClipRecord {
 }
 
 /// Output of running an online engine over a (finite prefix of a) stream.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct OnlineResult {
     /// The result sequences `P_q` (Eq. 4).
     pub sequences: SequenceSet,
@@ -513,6 +513,39 @@ impl<'m> OnlineEngine<'m> {
         self.stats
             .record_engine(started.elapsed().as_secs_f64() * 1e3);
         Ok(evaluation.indicator)
+    }
+
+    /// Records `clip` as a typed gap without evaluating it: a forced
+    /// negative indicator, a [`GapMarker`], and a [`ClipRecord`] whose
+    /// `gap` field carries `reason` — and **no** model invocations or
+    /// background-estimator feeds. The service layer uses this when its
+    /// overload policy drops a clip (shed, deadline miss, stalled tenant)
+    /// so the engine's clip positions stay aligned with the stream even
+    /// though the clip was never looked at.
+    ///
+    /// Gap clips recorded this way are indistinguishable in the result
+    /// shape from fault-degraded clips: excluded from estimation, counted
+    /// in `stats.clips_gapped`, negative in the indicator sequence.
+    pub fn push_gap(&mut self, clip: ClipId, reason: GapReason) {
+        let n_obj = self.query.objects.len();
+        self.stats.record_gap();
+        self.gaps.push(GapMarker { clip, reason });
+        self.indicators.push(false);
+        self.records.push(ClipRecord {
+            object_counts: vec![0; n_obj],
+            object_indicators: vec![false; n_obj],
+            action_count: None,
+            action_indicator: None,
+            indicator: false,
+            gap: Some(reason),
+        });
+        if self.tracer.is_enabled() {
+            let mut span = trace::span!(&self.tracer, "online.clip", "clip" = clip.raw());
+            span.record("indicator", false);
+            span.record("gap", format!("{reason:?}"));
+            self.tracer.counter_add("online.clips", 1);
+            self.tracer.counter_add("online.gaps", 1);
+        }
     }
 
     /// SVAQD bookkeeping after a clip: feed estimators, refresh critical

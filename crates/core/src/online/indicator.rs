@@ -71,6 +71,12 @@ pub enum GapReason {
     /// The clip was skipped on the first unrecovered fault under
     /// [`DegradationPolicy::SkipClip`].
     SkippedOnFault,
+    /// The service's overload policy dropped the clip before evaluation
+    /// (queue overflow, priority eviction, or a stalled tenant).
+    Shed,
+    /// The clip waited in the service queue past its query's deadline and
+    /// was dropped without evaluation.
+    DeadlineExceeded,
 }
 
 impl std::fmt::Display for GapReason {
@@ -79,6 +85,8 @@ impl std::fmt::Display for GapReason {
             GapReason::DetectorOutage => write!(f, "detector outage"),
             GapReason::RecognizerOutage => write!(f, "recognizer outage"),
             GapReason::SkippedOnFault => write!(f, "skipped on fault"),
+            GapReason::Shed => write!(f, "shed under overload"),
+            GapReason::DeadlineExceeded => write!(f, "deadline exceeded"),
         }
     }
 }

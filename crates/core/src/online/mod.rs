@@ -3,14 +3,22 @@
 //! [`indicator`] implements Algorithm 2 (per-clip evaluation with
 //! short-circuiting); [`engine`] implements Algorithms 1 and 3 (SVAQ and
 //! SVAQD) as one engine parameterized by
-//! [`crate::config::ParameterPolicy`].
+//! [`crate::config::ParameterPolicy`]; [`multi`] batches several engines
+//! over one stream; [`service`] promotes the batch driver into a
+//! long-lived multi-tenant standing-query service with admission control
+//! and backpressure.
 
 pub mod engine;
 pub mod indicator;
 pub mod multi;
+pub mod service;
 
 pub use engine::{
     ClipRecord, EngineCheckpoint, GapMarker, OnlineEngine, OnlineResult, SharedScanCaches,
 };
 pub use indicator::{evaluate_clip, try_evaluate_clip, ClipEvaluation, EvalScratch, GapReason};
 pub use multi::{run_multi_query, MultiQueryOptions, MultiQueryOutput};
+pub use service::{
+    run_service, OverloadPolicy, QueryId, QuerySpec, ServiceConfig, ServiceEvent, ServiceHost,
+    ServiceLimits, ServiceReport, StandingQueryService, TenantId,
+};

@@ -1,0 +1,356 @@
+//! The bounded backpressure queue between stream ingestion and engine
+//! evaluation.
+//!
+//! [`ShedQueue`] is deliberately mechanical: it enqueues, evicts by
+//! priority, freezes for checkpoints, and wakes consumers — *policy*
+//! (which of reject/shed/degrade applies, what counts as overload) lives
+//! in the service tick loop, which drives the queue deterministically.
+//! The queue is nonetheless a real concurrent structure (mutex + condvar
+//! from the [`super::sync`] facade): the loom suite model-checks that
+//! pushes, sheds, closes, and checkpoint freezes can interleave from
+//! multiple threads without lost wakeups or deadlock, so the same type is
+//! safe to drive from a threaded ingestion front-end.
+//!
+//! Ordering contract: consumers see items in FIFO arrival order. Priority
+//! affects only *eviction* (who gets shed under pressure), not service
+//! order — reordering service by priority would break the per-query
+//! in-stream-order delivery the engines require.
+
+use super::sync::{Condvar, Mutex, MutexGuard};
+use std::collections::VecDeque;
+
+/// What happened to a push against a full queue.
+#[derive(Debug, PartialEq, Eq)]
+pub enum PushOutcome<T> {
+    /// The item is in the queue.
+    Enqueued,
+    /// The queue was full and no lower-priority victim existed; the item
+    /// is handed back.
+    RejectedFull(T),
+    /// The item is in the queue; `victim` (strictly lower priority, the
+    /// youngest such) was evicted to make room.
+    Evicted {
+        /// The evicted queue entry.
+        victim: T,
+    },
+}
+
+#[derive(Debug)]
+struct Entry<T> {
+    priority: u8,
+    item: T,
+}
+
+#[derive(Debug)]
+struct Inner<T> {
+    items: VecDeque<Entry<T>>,
+    closed: bool,
+    frozen: bool,
+}
+
+/// Bounded FIFO queue with priority eviction, close, and checkpoint
+/// freeze. See the module docs for the ordering contract.
+#[derive(Debug)]
+pub struct ShedQueue<T> {
+    state: Mutex<Inner<T>>,
+    // Wakes consumers (`pop_wait`) on push / close / unfreeze.
+    not_empty: Condvar,
+    // Wakes producers and consumers parked behind a checkpoint freeze.
+    thawed: Condvar,
+    capacity: usize,
+}
+
+impl<T> ShedQueue<T> {
+    /// An empty queue holding at most `capacity` items (min 1).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            state: Mutex::new(Inner {
+                items: VecDeque::new(),
+                closed: false,
+                frozen: false,
+            }),
+            not_empty: Condvar::new(),
+            thawed: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    fn lock(&self) -> MutexGuard<'_, Inner<T>> {
+        self.state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Waits out an in-progress checkpoint freeze. Returns the guard with
+    /// `frozen == false`.
+    fn lock_thawed(&self) -> MutexGuard<'_, Inner<T>> {
+        let mut inner = self.lock();
+        while inner.frozen {
+            inner = self
+                .thawed
+                .wait(inner)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+        inner
+    }
+
+    /// Items currently queued.
+    pub fn len(&self) -> usize {
+        self.lock().items.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.lock().items.is_empty()
+    }
+
+    /// Enqueues if there is room; hands the item back otherwise. Never
+    /// evicts. Blocks only behind a checkpoint freeze.
+    pub fn push(&self, item: T, priority: u8) -> PushOutcome<T> {
+        let mut inner = self.lock_thawed();
+        if inner.items.len() >= self.capacity {
+            return PushOutcome::RejectedFull(item);
+        }
+        inner.items.push_back(Entry { priority, item });
+        drop(inner);
+        self.not_empty.notify_one();
+        PushOutcome::Enqueued
+    }
+
+    /// Enqueues, evicting the youngest strictly-lower-priority entry if
+    /// the queue is full. With no such victim the item is handed back.
+    pub fn push_evicting(&self, item: T, priority: u8) -> PushOutcome<T> {
+        let mut inner = self.lock_thawed();
+        if inner.items.len() < self.capacity {
+            inner.items.push_back(Entry { priority, item });
+            drop(inner);
+            self.not_empty.notify_one();
+            return PushOutcome::Enqueued;
+        }
+        // Youngest entry with the minimum priority, and only if strictly
+        // below the incoming priority: scan from the back so ties among
+        // victims resolve to the most recently queued.
+        let mut victim_at: Option<(usize, u8)> = None;
+        for (i, entry) in inner.items.iter().enumerate().rev() {
+            match victim_at {
+                Some((_, p)) if p <= entry.priority => {}
+                _ => victim_at = Some((i, entry.priority)),
+            }
+        }
+        match victim_at {
+            Some((i, p)) if p < priority => {
+                let victim = match inner.items.remove(i) {
+                    Some(e) => e.item,
+                    // Unreachable: `i` came from the scan above under the
+                    // same lock.
+                    None => return PushOutcome::RejectedFull(item),
+                };
+                inner.items.push_back(Entry { priority, item });
+                drop(inner);
+                self.not_empty.notify_one();
+                PushOutcome::Evicted { victim }
+            }
+            _ => PushOutcome::RejectedFull(item),
+        }
+    }
+
+    /// Enqueues unconditionally, growing past capacity. The degrade
+    /// policy uses this for its keep-every-kth survivors: the thinned
+    /// stream is allowed to overshoot the bound it just shed down to.
+    pub fn push_unbounded(&self, item: T, priority: u8) {
+        let mut inner = self.lock_thawed();
+        inner.items.push_back(Entry { priority, item });
+        drop(inner);
+        self.not_empty.notify_one();
+    }
+
+    /// Pops the FIFO head if one is present. Non-blocking aside from the
+    /// checkpoint freeze.
+    pub fn try_pop(&self) -> Option<T> {
+        self.lock_thawed().items.pop_front().map(|e| e.item)
+    }
+
+    /// Pops the FIFO head if it satisfies `ready`. Used by the
+    /// deterministic tick loop to serve only items whose simulated start
+    /// time has arrived.
+    pub fn pop_if(&self, ready: impl FnOnce(&T) -> bool) -> Option<T> {
+        let mut inner = self.lock_thawed();
+        if inner.items.front().is_some_and(|e| ready(&e.item)) {
+            inner.items.pop_front().map(|e| e.item)
+        } else {
+            None
+        }
+    }
+
+    /// Blocks until an item is available (returns `Some`) or the queue is
+    /// closed *and* drained (returns `None`). Also parks behind a
+    /// checkpoint freeze. The wait loop re-checks every condition after
+    /// every wakeup, so a notification can never be lost to a stale
+    /// predicate.
+    pub fn pop_wait(&self) -> Option<T> {
+        let mut inner = self.lock();
+        loop {
+            if !inner.frozen {
+                if let Some(entry) = inner.items.pop_front() {
+                    return Some(entry.item);
+                }
+                if inner.closed {
+                    return None;
+                }
+            }
+            inner = self
+                .not_empty
+                .wait(inner)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+
+    /// Closes the queue: `pop_wait` returns `None` once drained. Pushes
+    /// after close still enqueue (the service stops pushing on its own);
+    /// close is a consumer-side shutdown signal, not a validity gate.
+    pub fn close(&self) {
+        self.lock().closed = true;
+        self.not_empty.notify_all();
+        self.thawed.notify_all();
+    }
+
+    /// Whether [`Self::close`] has been called.
+    pub fn is_closed(&self) -> bool {
+        self.lock().closed
+    }
+}
+
+impl<T: Clone> ShedQueue<T> {
+    /// Begins a checkpoint: freezes the queue (pushes, sheds, and pops
+    /// park until [`Self::unfreeze`]) and returns a consistent snapshot
+    /// of the queued items in FIFO order. The freeze is taken and
+    /// released under the same mutex as every queue operation, so the
+    /// snapshot can never interleave with a half-applied shed.
+    pub fn freeze_snapshot(&self) -> Vec<T> {
+        let mut inner = self.lock();
+        inner.frozen = true;
+        inner.items.iter().map(|e| e.item.clone()).collect()
+    }
+
+    /// Ends a checkpoint freeze and wakes everything parked behind it.
+    pub fn unfreeze(&self) {
+        self.lock().frozen = false;
+        self.thawed.notify_all();
+        self.not_empty.notify_all();
+    }
+}
+
+#[cfg(all(test, not(loom)))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order_is_preserved() {
+        let q = ShedQueue::new(4);
+        assert_eq!(q.push(1, 0), PushOutcome::Enqueued);
+        assert_eq!(q.push(2, 9), PushOutcome::Enqueued);
+        assert_eq!(q.push(3, 5), PushOutcome::Enqueued);
+        assert_eq!(q.try_pop(), Some(1));
+        assert_eq!(q.try_pop(), Some(2));
+        assert_eq!(q.try_pop(), Some(3));
+        assert_eq!(q.try_pop(), None);
+    }
+
+    #[test]
+    fn plain_push_rejects_when_full() {
+        let q = ShedQueue::new(2);
+        assert_eq!(q.push(1, 0), PushOutcome::Enqueued);
+        assert_eq!(q.push(2, 0), PushOutcome::Enqueued);
+        assert_eq!(q.push(3, 9), PushOutcome::RejectedFull(3));
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn eviction_takes_the_youngest_lowest_priority() {
+        let q = ShedQueue::new(3);
+        q.push(10, 1);
+        q.push(11, 0);
+        q.push(12, 0); // youngest of the two priority-0 entries
+        match q.push_evicting(13, 2) {
+            PushOutcome::Evicted { victim } => assert_eq!(victim, 12),
+            other => panic!("expected eviction, got {other:?}"),
+        }
+        assert_eq!(q.try_pop(), Some(10));
+        assert_eq!(q.try_pop(), Some(11));
+        assert_eq!(q.try_pop(), Some(13));
+    }
+
+    #[test]
+    fn eviction_requires_strictly_lower_priority() {
+        let q = ShedQueue::new(1);
+        q.push(1, 5);
+        assert_eq!(q.push_evicting(2, 5), PushOutcome::RejectedFull(2));
+        match q.push_evicting(3, 6) {
+            PushOutcome::Evicted { victim } => assert_eq!(victim, 1),
+            other => panic!("expected eviction, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unbounded_push_overshoots_capacity() {
+        let q = ShedQueue::new(1);
+        q.push(1, 0);
+        q.push_unbounded(2, 0);
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn pop_if_gates_on_the_head() {
+        let q = ShedQueue::new(2);
+        q.push(7, 0);
+        assert_eq!(q.pop_if(|&v| v > 10), None);
+        assert_eq!(q.pop_if(|&v| v == 7), Some(7));
+    }
+
+    #[test]
+    fn freeze_snapshot_is_consistent_and_thaws() {
+        let q = ShedQueue::new(4);
+        q.push(1, 0);
+        q.push(2, 1);
+        let snap = q.freeze_snapshot();
+        assert_eq!(snap, vec![1, 2]);
+        q.unfreeze();
+        assert_eq!(q.try_pop(), Some(1));
+    }
+
+    #[test]
+    fn close_drains_then_signals_none() {
+        let q = ShedQueue::new(2);
+        q.push(1, 0);
+        q.close();
+        assert_eq!(q.pop_wait(), Some(1));
+        assert_eq!(q.pop_wait(), None);
+    }
+
+    #[test]
+    fn pop_wait_crosses_threads_without_lost_wakeups() {
+        use std::sync::Arc;
+        let q = Arc::new(ShedQueue::new(64));
+        let consumer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || {
+                let mut got = Vec::new();
+                while let Some(v) = q.pop_wait() {
+                    got.push(v);
+                }
+                got
+            })
+        };
+        for i in 0..32 {
+            q.push(i, 0);
+        }
+        q.close();
+        let got = consumer.join().expect("consumer thread");
+        assert_eq!(got, (0..32).collect::<Vec<_>>());
+    }
+}

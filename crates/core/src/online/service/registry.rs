@@ -1,0 +1,162 @@
+//! The standing-query registry: who is running what, since when.
+//!
+//! The registry holds *metadata only* — engines live beside it in the
+//! service session (they borrow the shared model caches and are not
+//! serializable). Query ids are assigned to every submission attempt in
+//! arrival order, admitted or not, so a schedule can reference "the nth
+//! submission" stably regardless of admission outcomes.
+
+use super::tenant::TenantId;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use vaq_types::Query;
+
+/// Identity of one submission to the service, in arrival order.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct QueryId(pub u64);
+
+impl std::fmt::Display for QueryId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "q{}", self.0)
+    }
+}
+
+/// What a tenant submits: the query plus its service-level attributes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QuerySpec {
+    /// Owning tenant.
+    pub tenant: TenantId,
+    /// The standing VAQ query.
+    pub query: Query,
+    /// Shed priority: higher values survive overload longer. Does not
+    /// affect service order.
+    pub priority: u8,
+    /// Queue-wait deadline in simulated µs; `None` uses the service
+    /// default.
+    pub deadline_us: Option<u64>,
+}
+
+/// One admitted standing query's registry entry.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StandingEntry {
+    /// Submission identity.
+    pub id: QueryId,
+    /// The submission.
+    pub spec: QuerySpec,
+    /// Detector-budget weight charged against the tenant.
+    pub weight: u64,
+    /// Tick at which the query was admitted (its first visible clip).
+    pub admitted_tick: u64,
+}
+
+/// Registry of currently-standing queries, keyed by [`QueryId`] so every
+/// iteration is in deterministic admission order.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct QueryRegistry {
+    entries: BTreeMap<QueryId, StandingEntry>,
+    next_id: u64,
+}
+
+impl QueryRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Reserves the next submission id (every submission consumes one,
+    /// admitted or rejected).
+    pub fn next_submission_id(&mut self) -> QueryId {
+        let id = QueryId(self.next_id);
+        self.next_id += 1;
+        id
+    }
+
+    /// Registers an admitted query.
+    pub fn insert(&mut self, entry: StandingEntry) {
+        self.entries.insert(entry.id, entry);
+    }
+
+    /// Removes and returns a standing entry (a departure).
+    pub fn remove(&mut self, id: QueryId) -> Option<StandingEntry> {
+        self.entries.remove(&id)
+    }
+
+    /// The standing entry for `id`, if admitted and not yet departed.
+    pub fn get(&self, id: QueryId) -> Option<&StandingEntry> {
+        self.entries.get(&id)
+    }
+
+    /// Number of standing queries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no queries are standing.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Standing entries in admission order.
+    pub fn iter(&self) -> impl Iterator<Item = &StandingEntry> {
+        self.entries.values()
+    }
+
+    /// Standing ids in admission order (snapshot, for iteration while
+    /// mutating the registry).
+    pub fn ids(&self) -> Vec<QueryId> {
+        self.entries.keys().copied().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vaq_types::{ActionType, ObjectType};
+
+    fn spec(tenant: u32) -> QuerySpec {
+        QuerySpec {
+            tenant: TenantId(tenant),
+            query: Query::new(ActionType::new(0), vec![ObjectType::new(1)]),
+            priority: 0,
+            deadline_us: None,
+        }
+    }
+
+    #[test]
+    fn submission_ids_are_sequential_even_across_rejections() {
+        let mut r = QueryRegistry::new();
+        let a = r.next_submission_id();
+        let b = r.next_submission_id(); // e.g. rejected: never inserted
+        let c = r.next_submission_id();
+        assert_eq!((a.0, b.0, c.0), (0, 1, 2));
+        r.insert(StandingEntry {
+            id: c,
+            spec: spec(3),
+            weight: 2,
+            admitted_tick: 7,
+        });
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.get(b), None);
+        assert_eq!(r.get(c).map(|e| e.admitted_tick), Some(7));
+    }
+
+    #[test]
+    fn iteration_is_in_admission_order() {
+        let mut r = QueryRegistry::new();
+        for t in [5u32, 1, 9] {
+            let id = r.next_submission_id();
+            r.insert(StandingEntry {
+                id,
+                spec: spec(t),
+                weight: 1,
+                admitted_tick: 0,
+            });
+        }
+        let order: Vec<u32> = r.iter().map(|e| e.spec.tenant.0).collect();
+        assert_eq!(order, vec![5, 1, 9]);
+        r.remove(QueryId(1));
+        assert_eq!(r.ids(), vec![QueryId(0), QueryId(2)]);
+    }
+}

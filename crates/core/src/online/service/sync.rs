@@ -1,0 +1,16 @@
+//! Synchronization facade: `std::sync` in normal builds, the deterministic
+//! [`vaq-loom`] interleaving explorer under `--cfg loom`.
+//!
+//! The service's admission/backpressure queue imports its lock and condvar
+//! from here so the loom model-checking suite (`tests/loom_service.rs`,
+//! run with `RUSTFLAGS="--cfg loom" cargo test -p vaq-core --test
+//! loom_service`) exercises the exact same shed/checkpoint code under
+//! every explored interleaving.
+//!
+//! [`vaq-loom`]: ../../../loom/index.html
+
+#[cfg(loom)]
+pub(crate) use loom::sync::{Condvar, Mutex, MutexGuard};
+
+#[cfg(not(loom))]
+pub(crate) use std::sync::{Condvar, Mutex, MutexGuard};

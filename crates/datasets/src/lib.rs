@@ -14,6 +14,10 @@
 //! * [`drift`] — the §3.3 motivating scenario: a surveillance-style stream
 //!   whose background rates change abruptly (rush hour), used to
 //!   demonstrate SVAQD's adaptivity.
+//! * [`load`] — a seeded load-and-chaos generator for the standing-query
+//!   service: submission arrival/churn schedules with hot-tenant skew,
+//!   tenant stalls, and detector-fault burst windows over one long
+//!   stream.
 //!
 //! Everything is generated from an explicit seed; two calls with the same
 //! seed produce byte-identical scripts.
@@ -22,6 +26,7 @@
 #![warn(missing_docs)]
 
 pub mod drift;
+pub mod load;
 pub mod movies;
 pub mod youtube;
 

@@ -239,7 +239,7 @@ pub fn query_set(row: &TableOneRow, spec: &YoutubeSpec, seed: u64) -> QuerySet {
     let mut remaining = total_minutes;
     let mut idx = 0;
     while remaining > 0 {
-        let minutes = rng.gen_range(1..=3).min(remaining);
+        let minutes = rng.gen_range(1u64..=3).min(remaining);
         remaining -= minutes;
         let frames = geometry.frames_for_minutes(minutes);
         let script = gen_video(&mut rng, frames, geometry, &query, spec);

@@ -72,6 +72,34 @@ impl FsckReport {
             .collect()
     }
 
+    /// The process exit code a checking tool should report, one per
+    /// corruption class so shell pipelines can branch on the failure
+    /// mode without parsing output:
+    ///
+    /// * `0` — every check passed;
+    /// * `3` — corrupt file(s) only (exists but fails validation);
+    /// * `4` — missing file(s) only;
+    /// * `5` — both corrupt and missing files.
+    ///
+    /// Codes `1` and `2` are left to callers for generic and usage/I-O
+    /// errors respectively.
+    pub fn exit_code(&self) -> i32 {
+        let corrupt = self
+            .entries
+            .iter()
+            .any(|e| matches!(e.status, FsckStatus::Corrupt(_)));
+        let missing = self
+            .entries
+            .iter()
+            .any(|e| matches!(e.status, FsckStatus::Missing));
+        match (corrupt, missing) {
+            (false, false) => 0,
+            (true, false) => 3,
+            (false, true) => 4,
+            (true, true) => 5,
+        }
+    }
+
     fn push(&mut self, path: impl Into<PathBuf>, status: FsckStatus) {
         self.entries.push(FsckEntry {
             path: path.into(),
@@ -311,6 +339,37 @@ mod tests {
         let problems = report.problems();
         assert_eq!(problems.len(), 1);
         assert_eq!(problems[0].path, path);
+    }
+
+    #[test]
+    fn exit_codes_classify_corruption() {
+        // Clean → 0.
+        let dir = tmpdir("exit-clean");
+        build_catalog(&dir);
+        assert_eq!(fsck_catalog(&dir).unwrap().exit_code(), 0);
+
+        // Corrupt only → 3.
+        let dir = tmpdir("exit-corrupt");
+        build_catalog(&dir);
+        let path = dir.join("obj_3.tbl");
+        let bytes = fs::read(&path).unwrap();
+        fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+        assert_eq!(fsck_catalog(&dir).unwrap().exit_code(), 3);
+
+        // Missing only → 4.
+        let dir = tmpdir("exit-missing");
+        build_catalog(&dir);
+        fs::remove_file(dir.join("act_1.idx")).unwrap();
+        assert_eq!(fsck_catalog(&dir).unwrap().exit_code(), 4);
+
+        // Both → 5.
+        let dir = tmpdir("exit-both");
+        build_catalog(&dir);
+        let path = dir.join("obj_3.tbl");
+        let bytes = fs::read(&path).unwrap();
+        fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+        fs::remove_file(dir.join("act_1.idx")).unwrap();
+        assert_eq!(fsck_catalog(&dir).unwrap().exit_code(), 5);
     }
 
     #[test]

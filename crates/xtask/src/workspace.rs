@@ -38,7 +38,7 @@ pub const CAST_AUDIT_CRATES: [&str; 3] = ["core", "scanstats", "query"];
 /// `(file suffix, fn name)`. Everything transitively callable from these
 /// must be free of unsuppressed nondeterminism sources — bit-identical
 /// reruns are what the paper's evaluation (and our golden traces) rely on.
-pub const TAINT_ROOTS: [(&str, &str); 14] = [
+pub const TAINT_ROOTS: [(&str, &str); 17] = [
     // scanstats evaluation: Naus approximation, exact DP, critical values.
     ("crates/scanstats/src/naus.rs", "scan_prob"),
     ("crates/scanstats/src/exact.rs", "exact_scan_prob"),
@@ -49,6 +49,12 @@ pub const TAINT_ROOTS: [(&str, &str); 14] = [
     ("crates/core/src/online/engine.rs", "try_push_clip"),
     ("crates/core/src/online/multi.rs", "run_multi_query"),
     ("crates/core/src/online/indicator.rs", "try_evaluate_clip"),
+    // Standing-query service: admission, shed, and timeout decisions
+    // replay byte-identically, so the whole serving path must stay pure
+    // (simulated microseconds only, never the wall clock).
+    ("crates/core/src/online/service/service.rs", "submit"),
+    ("crates/core/src/online/service/service.rs", "push_clip"),
+    ("crates/core/src/online/service/service.rs", "finish"),
     // Offline: RVAQ and the TBClip traversal.
     ("crates/core/src/offline/rvaq.rs", "rvaq_traced"),
     ("crates/core/src/offline/tbclip.rs", "next"),

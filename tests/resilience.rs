@@ -314,3 +314,170 @@ fn garbage_outputs_never_fabricate_positives() {
         );
     }
 }
+
+// ---------------------------------------------------------------------------
+// Multi-query outage through the standing-query service: a detector-fault
+// burst mid-stream with several standing queries. Queries standing during
+// the burst report it as typed per-query gaps; tenants whose queries left
+// before or arrived after the burst are bit-identical to a fault-free run.
+// ---------------------------------------------------------------------------
+
+use vaq::core::online::service::{
+    run_service, QueryId, QuerySpec, ServiceConfig, ServiceEvent, ServiceHost, ServiceReport,
+    TenantId,
+};
+use vaq::detect::{Detection, InferenceCache, ObjectDetector};
+use vaq::video::Frame;
+
+/// Test-local fault wrapper keyed on *frame index*, not call occurrence:
+/// with several queries sharing one cache, occurrence counting would tie
+/// the outage to cache-miss order, while a frame window pins it to clips
+/// `[from/fpc, to/fpc)` regardless of which engine asks first.
+struct WindowedOutage<D> {
+    inner: D,
+    /// Faulting frame range `[from, to)`.
+    from: u64,
+    to: u64,
+}
+
+impl<D: ObjectDetector> ObjectDetector for WindowedOutage<D> {
+    fn detect(&self, frame: &Frame) -> Vec<Detection> {
+        self.inner.detect(frame)
+    }
+    fn try_detect(&self, frame: &Frame) -> Result<Vec<Detection>, vaq::detect::DetectorFault> {
+        let f = frame.id.raw();
+        if self.from <= f && f < self.to {
+            return Err(vaq::detect::DetectorFault::Unavailable);
+        }
+        self.inner.try_detect(frame)
+    }
+    fn universe(&self) -> u32 {
+        self.inner.universe()
+    }
+    fn latency_ms(&self) -> f64 {
+        self.inner.latency_ms()
+    }
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+}
+
+#[test]
+fn service_outage_burst_gaps_standing_queries_and_spares_the_rest() {
+    let s = script();
+    // Clips 10..16 (frames 500..800) lose the detector.
+    const BURST_FIRST_CLIP: u64 = 10;
+    const BURST_END_CLIP: u64 = 16;
+
+    let config = ServiceConfig {
+        queue_capacity: 4096,
+        default_deadline_us: u64::MAX / 2,
+        engine: OnlineConfig::svaqd()
+            .with_degradation(DegradationPolicy::SkipClip)
+            .with_retry(RetryPolicy::NONE),
+        ..ServiceConfig::default()
+    };
+    // Three tenants: t0 stands the whole stream (hit by the burst), t1
+    // departs before it, t2 arrives after it ends.
+    let events = vec![
+        ServiceEvent::Submit {
+            tick: 0,
+            spec: QuerySpec {
+                tenant: TenantId(0),
+                query: query(),
+                priority: 0,
+                deadline_us: None,
+            },
+        },
+        ServiceEvent::Submit {
+            tick: 0,
+            spec: QuerySpec {
+                tenant: TenantId(1),
+                query: query(),
+                priority: 0,
+                deadline_us: None,
+            },
+        },
+        ServiceEvent::Retire {
+            tick: 8,
+            query: QueryId(1),
+        },
+        ServiceEvent::Submit {
+            tick: 18,
+            spec: QuerySpec {
+                tenant: TenantId(2),
+                query: query(),
+                priority: 0,
+                deadline_us: None,
+            },
+        },
+    ];
+
+    let run = |with_outage: bool| -> ServiceReport {
+        let (det, rec) = models(29);
+        let (from, to) = if with_outage {
+            (BURST_FIRST_CLIP * 50, BURST_END_CLIP * 50)
+        } else {
+            (0, 0) // empty window: wrapper is transparent
+        };
+        let det = WindowedOutage {
+            inner: det,
+            from,
+            to,
+        };
+        let cache = InferenceCache::with_clip_capacity(&G, 64);
+        let host = ServiceHost::new(&cache, &det, &rec, &G, config.clone()).unwrap();
+        run_service(&host, &s, &events).unwrap()
+    };
+    let faulted = run(true);
+    let clean = run(false);
+
+    // The burst changes no service-level decision: the shed logs (only
+    // `Departed` drops from the tick-8 retirement) are identical, so every
+    // *difference* between the runs below is an engine-level fault gap.
+    assert_eq!(faulted.shed_log, clean.shed_log);
+    assert!(faulted
+        .shed_log
+        .iter()
+        .all(|e| e.cause == vaq::core::online::service::ShedCause::Departed));
+    assert_eq!(faulted.completed.len(), 3);
+
+    let by_id = |r: &ServiceReport, id: u64| {
+        r.completed
+            .iter()
+            .find(|c| c.id == QueryId(id))
+            .unwrap()
+            .result
+            .clone()
+    };
+
+    // The standing query saw the whole burst as typed gaps, exactly the
+    // burst clips, and nothing else.
+    let hit = by_id(&faulted, 0);
+    let gap_clips: Vec<u64> = hit.gaps.iter().map(|g| g.clip.raw()).collect();
+    assert_eq!(
+        gap_clips,
+        (BURST_FIRST_CLIP..BURST_END_CLIP).collect::<Vec<_>>()
+    );
+    assert!(hit
+        .gaps
+        .iter()
+        .all(|g| g.reason == GapReason::SkippedOnFault));
+
+    // Zero fault transparency for the tenants outside the burst: their
+    // results are bit-identical to the fault-free run.
+    for id in [1u64, 2] {
+        let a = by_id(&faulted, id);
+        let b = by_id(&clean, id);
+        assert_eq!(a.sequences, b.sequences, "q{id} sequences perturbed");
+        assert_eq!(a.records, b.records, "q{id} records perturbed");
+        assert_eq!(a.gaps, b.gaps, "q{id} gaps perturbed");
+        assert!(
+            a.gaps.iter().all(|g| g.reason != GapReason::SkippedOnFault),
+            "q{id} saw the fault burst"
+        );
+    }
+
+    // And the burst did change the affected query relative to clean.
+    assert_ne!(by_id(&clean, 0).records, hit.records);
+}

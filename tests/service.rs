@@ -1,0 +1,551 @@
+//! Standing-query service tests: admission control, overload shedding,
+//! determinism, and crash-safe checkpointing.
+//!
+//! The four load-bearing properties (ISSUE acceptance criteria):
+//!
+//! 1. **Differential transparency** — a query admitted to the service and
+//!    never shed produces an [`OnlineResult`] bit-identical to a
+//!    standalone engine over the same stream and models.
+//! 2. **One detector pass per frame** under churn: arbitrary
+//!    submit/retire/stall schedules never make the shared cache execute a
+//!    frame twice.
+//! 3. **Deterministic overload** — the shed log and summary JSON are
+//!    byte-identical across repeated runs of the same seeded scenario.
+//! 4. **Crash safety** — checkpointing mid-schedule and resuming yields
+//!    exactly the uninterrupted run's report.
+
+use vaq::core::online::service::ShedCause;
+use vaq::core::online::service::{
+    checkpoint_service_at, resume_service, run_service, OverloadPolicy, QueryId, QuerySpec,
+    RejectReason, ServiceConfig, ServiceEvent, ServiceHost, ServiceLimits, TenantId, TenantQuota,
+};
+use vaq::core::{OnlineConfig, OnlineEngine};
+use vaq::datasets::load::{generate_load, LoadEventKind, LoadProfile};
+use vaq::detect::{profiles, InferenceCache, SimulatedActionRecognizer, SimulatedObjectDetector};
+use vaq::video::{SceneScriptBuilder, VideoStream};
+use vaq::{ActionType, ObjectType, Query, VideoGeometry};
+
+const G: VideoGeometry = VideoGeometry::PAPER_DEFAULT;
+
+/// 40 clips of 50 frames with two actions and three objects, so distinct
+/// queries see distinct (but overlapping) evidence.
+fn script() -> vaq::video::SceneScript {
+    let mut b = SceneScriptBuilder::new(2000, G);
+    b.object_span(ObjectType::new(1), 200, 900).unwrap();
+    b.object_span(ObjectType::new(2), 600, 1400).unwrap();
+    b.object_span(ObjectType::new(3), 100, 1900).unwrap();
+    b.action_span(ActionType::new(0), 300, 1100).unwrap();
+    b.action_span(ActionType::new(1), 900, 1700).unwrap();
+    b.build()
+}
+
+fn queries() -> Vec<Query> {
+    vec![
+        Query::new(ActionType::new(0), vec![ObjectType::new(1)]),
+        Query::new(ActionType::new(1), vec![ObjectType::new(2)]),
+        Query::new(
+            ActionType::new(0),
+            vec![ObjectType::new(1), ObjectType::new(3)],
+        ),
+    ]
+}
+
+fn models(seed: u64) -> (SimulatedObjectDetector, SimulatedActionRecognizer) {
+    (
+        SimulatedObjectDetector::new(profiles::mask_rcnn(), 86, seed),
+        SimulatedActionRecognizer::new(profiles::i3d(), 36, seed),
+    )
+}
+
+/// A config under which nothing is ever shed: queue big enough for the
+/// whole stream × query load, effectively-infinite deadline.
+fn unconstrained_config() -> ServiceConfig {
+    ServiceConfig {
+        queue_capacity: 4096,
+        default_deadline_us: u64::MAX / 2,
+        engine: OnlineConfig::svaqd(),
+        ..ServiceConfig::default()
+    }
+}
+
+fn spec(tenant: u32, query: Query) -> QuerySpec {
+    QuerySpec {
+        tenant: TenantId(tenant),
+        query,
+        priority: 0,
+        deadline_us: None,
+    }
+}
+
+fn submit_all_at_tick_zero(qs: &[Query]) -> Vec<ServiceEvent> {
+    qs.iter()
+        .enumerate()
+        .map(|(i, q)| ServiceEvent::Submit {
+            tick: 0,
+            spec: spec(i as u32, q.clone()),
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// 1. Differential: admitted == standalone, bit for bit.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn admitted_queries_match_standalone_engines_bit_for_bit() {
+    let s = script();
+    let qs = queries();
+
+    // Standalone runs, fresh models per run (models are deterministic per
+    // seed, so every run sees identical inference outputs).
+    let mut standalone = Vec::new();
+    for q in &qs {
+        let (det, rec) = models(17);
+        let res = OnlineEngine::new(q.clone(), OnlineConfig::svaqd(), &G, &det, &rec)
+            .unwrap()
+            .try_run(VideoStream::new(&s))
+            .unwrap();
+        standalone.push(res);
+    }
+
+    // One service run hosting all three.
+    let (det, rec) = models(17);
+    let cache = InferenceCache::with_clip_capacity(&G, 64);
+    let host = ServiceHost::new(&cache, &det, &rec, &G, unconstrained_config()).unwrap();
+    let report = run_service(&host, &s, &submit_all_at_tick_zero(&qs)).unwrap();
+
+    assert!(report.shed_log.is_empty(), "unconstrained run shed work");
+    assert_eq!(report.completed.len(), qs.len());
+    for (i, done) in report.completed.iter().enumerate() {
+        assert_eq!(
+            done.result.sequences, standalone[i].sequences,
+            "query {i}: service sequences diverge from standalone"
+        );
+        assert_eq!(
+            done.result.records, standalone[i].records,
+            "query {i}: service records diverge from standalone"
+        );
+        assert!(done.result.gaps.is_empty());
+    }
+}
+
+// ---------------------------------------------------------------------------
+// 2. One detector pass per frame under churn.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn one_detector_pass_per_frame_under_churn() {
+    let s = script();
+    let qs = queries();
+    let events = vec![
+        ServiceEvent::Submit {
+            tick: 0,
+            spec: spec(0, qs[0].clone()),
+        },
+        ServiceEvent::Submit {
+            tick: 5,
+            spec: spec(1, qs[1].clone()),
+        },
+        ServiceEvent::Retire {
+            tick: 15,
+            query: QueryId(0),
+        },
+        ServiceEvent::Submit {
+            tick: 18,
+            spec: spec(2, qs[2].clone()),
+        },
+        ServiceEvent::Stall {
+            tick: 22,
+            tenant: TenantId(1),
+            until_tick: 28,
+        },
+    ];
+    let (det, rec) = models(5);
+    let cache = InferenceCache::with_clip_capacity(&G, 64);
+    let host = ServiceHost::new(&cache, &det, &rec, &G, unconstrained_config()).unwrap();
+    let report = run_service(&host, &s, &events).unwrap();
+
+    // Executed at most once per stream frame; everything else served from
+    // the shared cache. Merged per-engine accounting agrees with the
+    // cache's own miss counter.
+    assert!(report.cache.detector_misses <= s.num_frames());
+    assert_eq!(report.stats.detector_frames, report.cache.detector_misses);
+    assert!(
+        report.cache.detector_hits > 0,
+        "overlapping standing queries never shared a frame"
+    );
+    // The stall shows up as typed sheds for tenant 1 only.
+    let stalled: Vec<_> = report
+        .shed_log
+        .iter()
+        .filter(|e| e.cause == ShedCause::TenantStalled)
+        .collect();
+    assert!(!stalled.is_empty());
+    assert!(stalled.iter().all(|e| e.tenant == TenantId(1)));
+}
+
+// ---------------------------------------------------------------------------
+// 3. Deterministic overload: byte-identical artifacts per seed.
+// ---------------------------------------------------------------------------
+
+/// A config that genuinely overloads: tiny queue, tight deadline.
+fn overloaded_config() -> ServiceConfig {
+    ServiceConfig {
+        queue_capacity: 4,
+        default_deadline_us: 3_000_000,
+        overload: OverloadPolicy::ShedLowestPriority,
+        engine: OnlineConfig::svaqd(),
+        ..ServiceConfig::default()
+    }
+}
+
+fn seeded_overload_artifacts(seed: u64) -> (String, String) {
+    let profile = LoadProfile {
+        minutes: 1,
+        submissions: 10,
+        mean_lifetime_clips: 0,
+        ..LoadProfile::default()
+    };
+    let schedule = generate_load(&profile, seed);
+    let templates = vaq::datasets::load::service_templates();
+    let events: Vec<ServiceEvent> = schedule
+        .events
+        .iter()
+        .map(|e| match e.kind {
+            LoadEventKind::Submit {
+                tenant,
+                template,
+                priority,
+                deadline_us,
+            } => ServiceEvent::Submit {
+                tick: e.tick,
+                spec: QuerySpec {
+                    tenant: TenantId(tenant),
+                    query: templates[template].clone(),
+                    priority,
+                    deadline_us,
+                },
+            },
+            LoadEventKind::Retire { submission } => ServiceEvent::Retire {
+                tick: e.tick,
+                query: QueryId(submission),
+            },
+            LoadEventKind::Stall { tenant, until_tick } => ServiceEvent::Stall {
+                tick: e.tick,
+                tenant: TenantId(tenant),
+                until_tick,
+            },
+        })
+        .collect();
+    let (det, rec) = models(seed);
+    let cache = InferenceCache::with_clip_capacity(&G, 64);
+    let host = ServiceHost::new(&cache, &det, &rec, &G, overloaded_config()).unwrap();
+    let report = run_service(&host, &schedule.script, &events).unwrap();
+    (report.shed_log_text(), report.summary_json())
+}
+
+#[test]
+fn same_seed_produces_byte_identical_shed_log_and_summary() {
+    let (log_a, json_a) = seeded_overload_artifacts(41);
+    let (log_b, json_b) = seeded_overload_artifacts(41);
+    assert_eq!(log_a, log_b, "shed log not byte-identical across runs");
+    assert_eq!(
+        json_a, json_b,
+        "summary JSON not byte-identical across runs"
+    );
+    assert!(
+        !log_a.is_empty(),
+        "scenario was supposed to overload; no sheds recorded"
+    );
+    let (log_c, _) = seeded_overload_artifacts(42);
+    assert_ne!(log_a, log_c, "different seeds collapsed to one shed log");
+}
+
+// ---------------------------------------------------------------------------
+// 4. Crash safety: checkpoint mid-schedule, resume bit-identically.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn mid_schedule_checkpoint_resumes_bit_identically() {
+    let s = script();
+    let qs = queries();
+    let events = vec![
+        ServiceEvent::Submit {
+            tick: 0,
+            spec: spec(0, qs[0].clone()),
+        },
+        ServiceEvent::Submit {
+            tick: 3,
+            spec: spec(1, qs[1].clone()),
+        },
+        ServiceEvent::Stall {
+            tick: 8,
+            tenant: TenantId(1),
+            until_tick: 14,
+        },
+        ServiceEvent::Submit {
+            tick: 20,
+            spec: spec(2, qs[2].clone()),
+        },
+        ServiceEvent::Retire {
+            tick: 30,
+            query: QueryId(1),
+        },
+    ];
+    let config = ServiceConfig {
+        queue_capacity: 8,
+        default_deadline_us: 30_000_000,
+        ..unconstrained_config()
+    };
+
+    let (det, rec) = models(23);
+    let cache = InferenceCache::with_clip_capacity(&G, 64);
+    let host = ServiceHost::new(&cache, &det, &rec, &G, config.clone()).unwrap();
+    let uninterrupted = run_service(&host, &s, &events).unwrap();
+
+    for at_tick in [1u64, 13, 27] {
+        // Fresh models and cache: the resumed process shares nothing with
+        // the run that produced the checkpoint except the checkpoint.
+        let (det1, rec1) = models(23);
+        let cache1 = InferenceCache::with_clip_capacity(&G, 64);
+        let host1 = ServiceHost::new(&cache1, &det1, &rec1, &G, config.clone()).unwrap();
+        let ckpt = checkpoint_service_at(&host1, &s, &events, at_tick).unwrap();
+        assert_eq!(ckpt.tick, at_tick);
+
+        let (det2, rec2) = models(23);
+        let cache2 = InferenceCache::with_clip_capacity(&G, 64);
+        let host2 = ServiceHost::new(&cache2, &det2, &rec2, &G, config.clone()).unwrap();
+        let resumed = resume_service(&host2, &s, &events, &ckpt).unwrap();
+
+        assert_eq!(
+            resumed.shed_log_text(),
+            uninterrupted.shed_log_text(),
+            "checkpoint at tick {at_tick}: shed log diverged"
+        );
+        assert_eq!(resumed.ticks, uninterrupted.ticks);
+        assert_eq!(resumed.completed.len(), uninterrupted.completed.len());
+        for (r, u) in resumed.completed.iter().zip(&uninterrupted.completed) {
+            assert_eq!(r.id, u.id);
+            assert_eq!(
+                r.result.sequences, u.result.sequences,
+                "checkpoint at tick {at_tick}: query {} sequences diverged",
+                r.id
+            );
+            assert_eq!(r.result.records, u.result.records);
+            assert_eq!(r.result.gaps, u.result.gaps);
+        }
+        assert_eq!(resumed.latency, uninterrupted.latency);
+        assert_eq!(resumed.tenants, uninterrupted.tenants);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Admission control.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn admission_enforces_tenant_and_global_quotas() {
+    let mut limits = ServiceLimits {
+        max_standing: 3,
+        budget_units: 64,
+        ..ServiceLimits::default()
+    };
+    limits.default_quota = TenantQuota {
+        max_standing: 2,
+        max_budget_share: 0.5,
+    };
+    let config = ServiceConfig {
+        limits,
+        ..unconstrained_config()
+    };
+    let (det, rec) = models(1);
+    let cache = InferenceCache::with_clip_capacity(&G, 4);
+    let host = ServiceHost::new(&cache, &det, &rec, &G, config).unwrap();
+    let mut session = host.session();
+    let q = queries()[0].clone();
+
+    // Tenant 0 fills its per-tenant count quota.
+    assert!(session.submit(spec(0, q.clone())).unwrap().is_ok());
+    assert!(session.submit(spec(0, q.clone())).unwrap().is_ok());
+    assert_eq!(
+        session.submit(spec(0, q.clone())).unwrap(),
+        Err(RejectReason::TenantQueryQuota)
+    );
+    // Tenant 1 takes the last global slot; tenant 2 hits global capacity.
+    assert!(session.submit(spec(1, q.clone())).unwrap().is_ok());
+    assert_eq!(
+        session.submit(spec(2, q.clone())).unwrap(),
+        Err(RejectReason::ServiceCapacity)
+    );
+    // Departure frees capacity again.
+    assert!(session.retire(QueryId(0)).unwrap());
+    assert!(session.submit(spec(2, q)).unwrap().is_ok());
+}
+
+#[test]
+fn budget_share_quota_rejects_heavy_tenants() {
+    let mut limits = ServiceLimits {
+        max_standing: 16,
+        budget_units: 8,
+        ..ServiceLimits::default()
+    };
+    limits.default_quota = TenantQuota {
+        max_standing: 16,
+        max_budget_share: 0.5, // 4 of 8 units
+    };
+    let config = ServiceConfig {
+        limits,
+        ..unconstrained_config()
+    };
+    let (det, rec) = models(1);
+    let cache = InferenceCache::with_clip_capacity(&G, 4);
+    let host = ServiceHost::new(&cache, &det, &rec, &G, config).unwrap();
+    let mut session = host.session();
+    // weight = objects + action = 2 units each: two fit in the 4-unit
+    // share, the third exceeds it.
+    let q = queries()[0].clone();
+    assert!(session.submit(spec(0, q.clone())).unwrap().is_ok());
+    assert!(session.submit(spec(0, q.clone())).unwrap().is_ok());
+    assert_eq!(
+        session.submit(spec(0, q)).unwrap(),
+        Err(RejectReason::TenantBudgetShare)
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Overload policies and fault isolation.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn shed_lowest_priority_protects_high_priority_tenants() {
+    let s = script();
+    let qs = queries();
+    let config = ServiceConfig {
+        queue_capacity: 2,
+        default_deadline_us: u64::MAX / 2,
+        overload: OverloadPolicy::ShedLowestPriority,
+        engine: OnlineConfig::svaqd(),
+        ..ServiceConfig::default()
+    };
+    let events = vec![
+        ServiceEvent::Submit {
+            tick: 0,
+            spec: QuerySpec {
+                priority: 0,
+                ..spec(0, qs[0].clone())
+            },
+        },
+        ServiceEvent::Submit {
+            tick: 0,
+            spec: QuerySpec {
+                priority: 5,
+                ..spec(1, qs[1].clone())
+            },
+        },
+    ];
+    let (det, rec) = models(9);
+    let cache = InferenceCache::with_clip_capacity(&G, 64);
+    let host = ServiceHost::new(&cache, &det, &rec, &G, config).unwrap();
+    let report = run_service(&host, &s, &events).unwrap();
+
+    let evicted: Vec<_> = report
+        .shed_log
+        .iter()
+        .filter(|e| e.cause == ShedCause::PriorityEvicted)
+        .collect();
+    assert!(!evicted.is_empty(), "queue never overflowed into eviction");
+    assert!(
+        evicted.iter().all(|e| e.query == QueryId(0)),
+        "a high-priority item was evicted"
+    );
+}
+
+#[test]
+fn stalled_tenant_does_not_perturb_other_tenants_results() {
+    let s = script();
+    let qs = queries();
+    let base = vec![
+        ServiceEvent::Submit {
+            tick: 0,
+            spec: spec(0, qs[0].clone()),
+        },
+        ServiceEvent::Submit {
+            tick: 0,
+            spec: spec(1, qs[1].clone()),
+        },
+    ];
+    let mut with_stall = base.clone();
+    with_stall.push(ServiceEvent::Stall {
+        tick: 10,
+        tenant: TenantId(1),
+        until_tick: 20,
+    });
+    // Events must stay tick-sorted.
+    with_stall.sort_by_key(|e| e.tick());
+
+    let run = |events: &[ServiceEvent]| {
+        let (det, rec) = models(13);
+        let cache = InferenceCache::with_clip_capacity(&G, 64);
+        let host = ServiceHost::new(&cache, &det, &rec, &G, unconstrained_config()).unwrap();
+        run_service(&host, &s, events).unwrap()
+    };
+    let clean = run(&base);
+    let stalled = run(&with_stall);
+
+    // Tenant 0 is untouched, bit for bit.
+    let t0 = |r: &vaq::core::online::service::ServiceReport| {
+        r.completed
+            .iter()
+            .find(|c| c.tenant == TenantId(0))
+            .unwrap()
+            .result
+            .clone()
+    };
+    assert_eq!(t0(&clean).sequences, t0(&stalled).sequences);
+    assert_eq!(t0(&clean).records, t0(&stalled).records);
+
+    // Tenant 1 sees exactly the stalled clips as typed gaps.
+    let t1 = stalled
+        .completed
+        .iter()
+        .find(|c| c.tenant == TenantId(1))
+        .unwrap();
+    let gap_clips: Vec<u64> = t1.result.gaps.iter().map(|g| g.clip.raw()).collect();
+    assert_eq!(gap_clips, (10u64..20).collect::<Vec<_>>());
+}
+
+#[test]
+fn degrade_policy_keeps_every_kth_clip() {
+    let s = script();
+    let qs = queries();
+    let config = ServiceConfig {
+        queue_capacity: 1,
+        default_deadline_us: u64::MAX / 2,
+        overload: OverloadPolicy::Degrade { keep_every: 4 },
+        engine: OnlineConfig::svaqd(),
+        // Slower than the stream: ~5s of simulated evaluation per fully
+        // evaluated clip against a ~1.7s clip arrival interval.
+        frame_cost_us: 100_000,
+        ..ServiceConfig::default()
+    };
+    let events = vec![ServiceEvent::Submit {
+        tick: 0,
+        spec: spec(0, qs[0].clone()),
+    }];
+    let (det, rec) = models(3);
+    let cache = InferenceCache::with_clip_capacity(&G, 64);
+    let host = ServiceHost::new(&cache, &det, &rec, &G, config).unwrap();
+    let report = run_service(&host, &s, &events).unwrap();
+
+    let degraded: Vec<u64> = report
+        .shed_log
+        .iter()
+        .filter(|e| e.cause == ShedCause::Degraded)
+        .map(|e| e.clip)
+        .collect();
+    assert!(!degraded.is_empty());
+    assert!(
+        degraded.iter().all(|c| c % 4 != 0),
+        "a keep-every-4th clip was degraded: {degraded:?}"
+    );
+}
