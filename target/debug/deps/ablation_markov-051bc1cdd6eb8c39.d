@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_markov-051bc1cdd6eb8c39.d: crates/bench/src/bin/ablation_markov.rs
+
+/root/repo/target/debug/deps/libablation_markov-051bc1cdd6eb8c39.rmeta: crates/bench/src/bin/ablation_markov.rs
+
+crates/bench/src/bin/ablation_markov.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_markov-88a9c7c34ecd856d.d: crates/bench/src/bin/ablation_markov.rs
+
+/root/repo/target/debug/deps/libablation_markov-88a9c7c34ecd856d.rmeta: crates/bench/src/bin/ablation_markov.rs
+
+crates/bench/src/bin/ablation_markov.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_update_policy-c43558aa9bdde23b.d: crates/bench/src/bin/ablation_update_policy.rs
+
+/root/repo/target/debug/deps/libablation_update_policy-c43558aa9bdde23b.rmeta: crates/bench/src/bin/ablation_update_policy.rs
+
+crates/bench/src/bin/ablation_update_policy.rs:

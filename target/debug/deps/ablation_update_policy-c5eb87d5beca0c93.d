@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_update_policy-c5eb87d5beca0c93.d: crates/bench/src/bin/ablation_update_policy.rs
+
+/root/repo/target/debug/deps/libablation_update_policy-c5eb87d5beca0c93.rmeta: crates/bench/src/bin/ablation_update_policy.rs
+
+crates/bench/src/bin/ablation_update_policy.rs:

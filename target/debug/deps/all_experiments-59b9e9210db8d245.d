@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/all_experiments-59b9e9210db8d245.d: crates/bench/src/bin/all_experiments.rs
+
+/root/repo/target/debug/deps/liball_experiments-59b9e9210db8d245.rmeta: crates/bench/src/bin/all_experiments.rs
+
+crates/bench/src/bin/all_experiments.rs:

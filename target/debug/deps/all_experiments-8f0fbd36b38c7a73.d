@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/all_experiments-8f0fbd36b38c7a73.d: crates/bench/src/bin/all_experiments.rs
+
+/root/repo/target/debug/deps/liball_experiments-8f0fbd36b38c7a73.rmeta: crates/bench/src/bin/all_experiments.rs
+
+crates/bench/src/bin/all_experiments.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bytes-8c0d4bee0b774b00.d: /tmp/stubs/bytes/src/lib.rs
+
+/root/repo/target/debug/deps/libbytes-8c0d4bee0b774b00.rmeta: /tmp/stubs/bytes/src/lib.rs
+
+/tmp/stubs/bytes/src/lib.rs:

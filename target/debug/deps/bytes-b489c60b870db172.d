@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/bytes-b489c60b870db172.d: /tmp/stubs/bytes/src/lib.rs
+
+/root/repo/target/debug/deps/libbytes-b489c60b870db172.rlib: /tmp/stubs/bytes/src/lib.rs
+
+/root/repo/target/debug/deps/libbytes-b489c60b870db172.rmeta: /tmp/stubs/bytes/src/lib.rs
+
+/tmp/stubs/bytes/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/bytes-c054dfa14899b537.d: /tmp/stubs/bytes/src/lib.rs
+
+/root/repo/target/debug/deps/libbytes-c054dfa14899b537.rlib: /tmp/stubs/bytes/src/lib.rs
+
+/root/repo/target/debug/deps/libbytes-c054dfa14899b537.rmeta: /tmp/stubs/bytes/src/lib.rs
+
+/tmp/stubs/bytes/src/lib.rs:

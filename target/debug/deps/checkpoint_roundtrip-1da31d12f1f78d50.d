@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/checkpoint_roundtrip-1da31d12f1f78d50.d: tests/checkpoint_roundtrip.rs
+
+/root/repo/target/debug/deps/checkpoint_roundtrip-1da31d12f1f78d50: tests/checkpoint_roundtrip.rs
+
+tests/checkpoint_roundtrip.rs:

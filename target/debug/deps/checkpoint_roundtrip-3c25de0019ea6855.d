@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/checkpoint_roundtrip-3c25de0019ea6855.d: tests/checkpoint_roundtrip.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcheckpoint_roundtrip-3c25de0019ea6855.rmeta: tests/checkpoint_roundtrip.rs Cargo.toml
+
+tests/checkpoint_roundtrip.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-A__CLIPPY_HACKERY__clippy::while_immutable_condition__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/crossbeam-a895f4ba47f29eb8.d: /tmp/stubs/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/libcrossbeam-a895f4ba47f29eb8.rlib: /tmp/stubs/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/libcrossbeam-a895f4ba47f29eb8.rmeta: /tmp/stubs/crossbeam/src/lib.rs
+
+/tmp/stubs/crossbeam/src/lib.rs:

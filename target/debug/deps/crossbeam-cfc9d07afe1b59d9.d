@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/crossbeam-cfc9d07afe1b59d9.d: /tmp/stubs/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/libcrossbeam-cfc9d07afe1b59d9.rmeta: /tmp/stubs/crossbeam/src/lib.rs
+
+/tmp/stubs/crossbeam/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/differential-2733861a934efe41.d: tests/differential.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdifferential-2733861a934efe41.rmeta: tests/differential.rs Cargo.toml
+
+tests/differential.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-A__CLIPPY_HACKERY__clippy::while_immutable_condition__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-84ec65d95d74e09f.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-84ec65d95d74e09f: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/end_to_end-da52dd54403da3cb.d: tests/end_to_end.rs Cargo.toml
+
+/root/repo/target/debug/deps/libend_to_end-da52dd54403da3cb.rmeta: tests/end_to_end.rs Cargo.toml
+
+tests/end_to_end.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-A__CLIPPY_HACKERY__clippy::while_immutable_condition__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

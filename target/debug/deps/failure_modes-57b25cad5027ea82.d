@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/failure_modes-57b25cad5027ea82.d: tests/failure_modes.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfailure_modes-57b25cad5027ea82.rmeta: tests/failure_modes.rs Cargo.toml
+
+tests/failure_modes.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-A__CLIPPY_HACKERY__clippy::while_immutable_condition__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

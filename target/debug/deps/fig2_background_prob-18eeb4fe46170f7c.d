@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2_background_prob-18eeb4fe46170f7c.d: crates/bench/src/bin/fig2_background_prob.rs
+
+/root/repo/target/debug/deps/libfig2_background_prob-18eeb4fe46170f7c.rmeta: crates/bench/src/bin/fig2_background_prob.rs
+
+crates/bench/src/bin/fig2_background_prob.rs:

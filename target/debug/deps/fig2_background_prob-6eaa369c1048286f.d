@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2_background_prob-6eaa369c1048286f.d: crates/bench/src/bin/fig2_background_prob.rs
+
+/root/repo/target/debug/deps/libfig2_background_prob-6eaa369c1048286f.rmeta: crates/bench/src/bin/fig2_background_prob.rs
+
+crates/bench/src/bin/fig2_background_prob.rs:

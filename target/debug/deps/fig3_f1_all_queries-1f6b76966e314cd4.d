@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3_f1_all_queries-1f6b76966e314cd4.d: crates/bench/src/bin/fig3_f1_all_queries.rs
+
+/root/repo/target/debug/deps/libfig3_f1_all_queries-1f6b76966e314cd4.rmeta: crates/bench/src/bin/fig3_f1_all_queries.rs
+
+crates/bench/src/bin/fig3_f1_all_queries.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3_f1_all_queries-750928b526c77a11.d: crates/bench/src/bin/fig3_f1_all_queries.rs
+
+/root/repo/target/debug/deps/libfig3_f1_all_queries-750928b526c77a11.rmeta: crates/bench/src/bin/fig3_f1_all_queries.rs
+
+crates/bench/src/bin/fig3_f1_all_queries.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4_clip_size_sequences-03cb74c4130af097.d: crates/bench/src/bin/fig4_clip_size_sequences.rs
+
+/root/repo/target/debug/deps/libfig4_clip_size_sequences-03cb74c4130af097.rmeta: crates/bench/src/bin/fig4_clip_size_sequences.rs
+
+crates/bench/src/bin/fig4_clip_size_sequences.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5_clip_size_f1-096f2bc7a5af5724.d: crates/bench/src/bin/fig5_clip_size_f1.rs
+
+/root/repo/target/debug/deps/libfig5_clip_size_f1-096f2bc7a5af5724.rmeta: crates/bench/src/bin/fig5_clip_size_f1.rs
+
+crates/bench/src/bin/fig5_clip_size_f1.rs:

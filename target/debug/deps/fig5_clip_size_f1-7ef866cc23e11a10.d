@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5_clip_size_f1-7ef866cc23e11a10.d: crates/bench/src/bin/fig5_clip_size_f1.rs
+
+/root/repo/target/debug/deps/libfig5_clip_size_f1-7ef866cc23e11a10.rmeta: crates/bench/src/bin/fig5_clip_size_f1.rs
+
+crates/bench/src/bin/fig5_clip_size_f1.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/golden_trace-28d438f71f1ce6cd.d: tests/golden_trace.rs tests/fixtures/traces/ingest_two_clips.tree.json tests/fixtures/traces/ingest_two_clips.summary.json Cargo.toml
+
+/root/repo/target/debug/deps/libgolden_trace-28d438f71f1ce6cd.rmeta: tests/golden_trace.rs tests/fixtures/traces/ingest_two_clips.tree.json tests/fixtures/traces/ingest_two_clips.summary.json Cargo.toml
+
+tests/golden_trace.rs:
+tests/fixtures/traces/ingest_two_clips.tree.json:
+tests/fixtures/traces/ingest_two_clips.summary.json:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-A__CLIPPY_HACKERY__clippy::while_immutable_condition__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

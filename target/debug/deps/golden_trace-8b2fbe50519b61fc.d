@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/golden_trace-8b2fbe50519b61fc.d: tests/golden_trace.rs tests/fixtures/traces/ingest_two_clips.tree.json tests/fixtures/traces/ingest_two_clips.summary.json
+
+/root/repo/target/debug/deps/golden_trace-8b2fbe50519b61fc: tests/golden_trace.rs tests/fixtures/traces/ingest_two_clips.tree.json tests/fixtures/traces/ingest_two_clips.summary.json
+
+tests/golden_trace.rs:
+tests/fixtures/traces/ingest_two_clips.tree.json:
+tests/fixtures/traces/ingest_two_clips.summary.json:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/loom_service-019414906c6810f3.d: crates/core/tests/loom_service.rs
+
+/root/repo/target/debug/deps/loom_service-019414906c6810f3: crates/core/tests/loom_service.rs
+
+crates/core/tests/loom_service.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/paper_invariants-eea5d73278582da1.d: tests/paper_invariants.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpaper_invariants-eea5d73278582da1.rmeta: tests/paper_invariants.rs Cargo.toml
+
+tests/paper_invariants.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-A__CLIPPY_HACKERY__clippy::while_immutable_condition__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/parking_lot-5fe691e92b00e483.d: /tmp/stubs/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-5fe691e92b00e483.rlib: /tmp/stubs/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-5fe691e92b00e483.rmeta: /tmp/stubs/parking_lot/src/lib.rs
+
+/tmp/stubs/parking_lot/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parking_lot-6d0459f7e4a1564b.d: /tmp/stubs/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-6d0459f7e4a1564b.rmeta: /tmp/stubs/parking_lot/src/lib.rs
+
+/tmp/stubs/parking_lot/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/parking_lot-ba65819c4da3b537.d: /tmp/stubs/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-ba65819c4da3b537.rlib: /tmp/stubs/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-ba65819c4da3b537.rmeta: /tmp/stubs/parking_lot/src/lib.rs
+
+/tmp/stubs/parking_lot/src/lib.rs:

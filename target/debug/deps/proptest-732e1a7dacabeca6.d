@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-732e1a7dacabeca6.d: /tmp/stubs/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-732e1a7dacabeca6.rlib: /tmp/stubs/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-732e1a7dacabeca6.rmeta: /tmp/stubs/proptest/src/lib.rs
+
+/tmp/stubs/proptest/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-9d42bf19c3dc9ce1.d: /tmp/stubs/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-9d42bf19c3dc9ce1.rlib: /tmp/stubs/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-9d42bf19c3dc9ce1.rmeta: /tmp/stubs/proptest/src/lib.rs
+
+/tmp/stubs/proptest/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-a2e70df77c706c75.d: /tmp/stubs/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-a2e70df77c706c75.rmeta: /tmp/stubs/proptest/src/lib.rs
+
+/tmp/stubs/proptest/src/lib.rs:

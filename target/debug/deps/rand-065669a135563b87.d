@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand-065669a135563b87.d: /tmp/stubs/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-065669a135563b87.rlib: /tmp/stubs/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-065669a135563b87.rmeta: /tmp/stubs/rand/src/lib.rs
+
+/tmp/stubs/rand/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/resilience-5fa4b5be7b5e5ecf.d: tests/resilience.rs Cargo.toml
+
+/root/repo/target/debug/deps/libresilience-5fa4b5be7b5e5ecf.rmeta: tests/resilience.rs Cargo.toml
+
+tests/resilience.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-A__CLIPPY_HACKERY__clippy::while_immutable_condition__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/resilience-f1c142ca7dde31f6.d: tests/resilience.rs
+
+/root/repo/target/debug/deps/resilience-f1c142ca7dde31f6: tests/resilience.rs
+
+tests/resilience.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scratch_outage-90027788db24679f.d: tests/scratch_outage.rs
+
+/root/repo/target/debug/deps/scratch_outage-90027788db24679f: tests/scratch_outage.rs
+
+tests/scratch_outage.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde-6d7024bcbcb92b91.d: /tmp/stubs/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-6d7024bcbcb92b91.rlib: /tmp/stubs/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-6d7024bcbcb92b91.rmeta: /tmp/stubs/serde/src/lib.rs
+
+/tmp/stubs/serde/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde-96b5f4392bae55cf.d: /tmp/stubs/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-96b5f4392bae55cf.rlib: /tmp/stubs/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-96b5f4392bae55cf.rmeta: /tmp/stubs/serde/src/lib.rs
+
+/tmp/stubs/serde/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde-dedcb65c2a66b384.d: /tmp/stubs/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-dedcb65c2a66b384.rmeta: /tmp/stubs/serde/src/lib.rs
+
+/tmp/stubs/serde/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_derive-5603a86f399b6230.d: /tmp/stubs/serde_derive/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_derive-5603a86f399b6230.so: /tmp/stubs/serde_derive/src/lib.rs
+
+/tmp/stubs/serde_derive/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_derive-6533ce0bb0cafa5a.d: /tmp/stubs/serde_derive/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_derive-6533ce0bb0cafa5a.so: /tmp/stubs/serde_derive/src/lib.rs
+
+/tmp/stubs/serde_derive/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_json-037dbd28c20fe57d.d: /tmp/stubs/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-037dbd28c20fe57d.rmeta: /tmp/stubs/serde_json/src/lib.rs
+
+/tmp/stubs/serde_json/src/lib.rs:

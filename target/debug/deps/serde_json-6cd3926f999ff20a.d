@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde_json-6cd3926f999ff20a.d: /tmp/stubs/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-6cd3926f999ff20a.rlib: /tmp/stubs/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-6cd3926f999ff20a.rmeta: /tmp/stubs/serde_json/src/lib.rs
+
+/tmp/stubs/serde_json/src/lib.rs:

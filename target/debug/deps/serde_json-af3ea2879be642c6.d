@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde_json-af3ea2879be642c6.d: /tmp/stubs/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-af3ea2879be642c6.rlib: /tmp/stubs/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-af3ea2879be642c6.rmeta: /tmp/stubs/serde_json/src/lib.rs
+
+/tmp/stubs/serde_json/src/lib.rs:

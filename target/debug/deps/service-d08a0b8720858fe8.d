@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/service-d08a0b8720858fe8.d: tests/service.rs
+
+/root/repo/target/debug/deps/service-d08a0b8720858fe8: tests/service.rs
+
+tests/service.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tab3_predicates-8b5b82e2895e7f70.d: crates/bench/src/bin/tab3_predicates.rs
+
+/root/repo/target/debug/deps/libtab3_predicates-8b5b82e2895e7f70.rmeta: crates/bench/src/bin/tab3_predicates.rs
+
+crates/bench/src/bin/tab3_predicates.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tab3_predicates-b515439788355416.d: crates/bench/src/bin/tab3_predicates.rs
+
+/root/repo/target/debug/deps/libtab3_predicates-b515439788355416.rmeta: crates/bench/src/bin/tab3_predicates.rs
+
+crates/bench/src/bin/tab3_predicates.rs:

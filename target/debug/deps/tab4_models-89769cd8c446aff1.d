@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tab4_models-89769cd8c446aff1.d: crates/bench/src/bin/tab4_models.rs
+
+/root/repo/target/debug/deps/libtab4_models-89769cd8c446aff1.rmeta: crates/bench/src/bin/tab4_models.rs
+
+crates/bench/src/bin/tab4_models.rs:

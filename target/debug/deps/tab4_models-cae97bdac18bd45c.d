@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tab4_models-cae97bdac18bd45c.d: crates/bench/src/bin/tab4_models.rs
+
+/root/repo/target/debug/deps/libtab4_models-cae97bdac18bd45c.rmeta: crates/bench/src/bin/tab4_models.rs
+
+crates/bench/src/bin/tab4_models.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tab5_noise-203cb7e92f9add0c.d: crates/bench/src/bin/tab5_noise.rs
+
+/root/repo/target/debug/deps/libtab5_noise-203cb7e92f9add0c.rmeta: crates/bench/src/bin/tab5_noise.rs
+
+crates/bench/src/bin/tab5_noise.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tab5_noise-df71cbd78ac4d38e.d: crates/bench/src/bin/tab5_noise.rs
+
+/root/repo/target/debug/deps/libtab5_noise-df71cbd78ac4d38e.rmeta: crates/bench/src/bin/tab5_noise.rs
+
+crates/bench/src/bin/tab5_noise.rs:

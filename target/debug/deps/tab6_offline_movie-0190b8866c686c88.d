@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tab6_offline_movie-0190b8866c686c88.d: crates/bench/src/bin/tab6_offline_movie.rs
+
+/root/repo/target/debug/deps/libtab6_offline_movie-0190b8866c686c88.rmeta: crates/bench/src/bin/tab6_offline_movie.rs
+
+crates/bench/src/bin/tab6_offline_movie.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tab6_offline_movie-175be487120b0b79.d: crates/bench/src/bin/tab6_offline_movie.rs
+
+/root/repo/target/debug/deps/libtab6_offline_movie-175be487120b0b79.rmeta: crates/bench/src/bin/tab6_offline_movie.rs
+
+crates/bench/src/bin/tab6_offline_movie.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tab7_offline_youtube-e8707636cdbe3e9d.d: crates/bench/src/bin/tab7_offline_youtube.rs
+
+/root/repo/target/debug/deps/libtab7_offline_youtube-e8707636cdbe3e9d.rmeta: crates/bench/src/bin/tab7_offline_youtube.rs
+
+crates/bench/src/bin/tab7_offline_youtube.rs:

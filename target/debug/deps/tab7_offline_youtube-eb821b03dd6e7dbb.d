@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tab7_offline_youtube-eb821b03dd6e7dbb.d: crates/bench/src/bin/tab7_offline_youtube.rs
+
+/root/repo/target/debug/deps/libtab7_offline_youtube-eb821b03dd6e7dbb.rmeta: crates/bench/src/bin/tab7_offline_youtube.rs
+
+crates/bench/src/bin/tab7_offline_youtube.rs:

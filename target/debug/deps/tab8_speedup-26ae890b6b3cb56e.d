@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tab8_speedup-26ae890b6b3cb56e.d: crates/bench/src/bin/tab8_speedup.rs
+
+/root/repo/target/debug/deps/libtab8_speedup-26ae890b6b3cb56e.rmeta: crates/bench/src/bin/tab8_speedup.rs
+
+crates/bench/src/bin/tab8_speedup.rs:

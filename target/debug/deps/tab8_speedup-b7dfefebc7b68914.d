@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tab8_speedup-b7dfefebc7b68914.d: crates/bench/src/bin/tab8_speedup.rs
+
+/root/repo/target/debug/deps/libtab8_speedup-b7dfefebc7b68914.rmeta: crates/bench/src/bin/tab8_speedup.rs
+
+crates/bench/src/bin/tab8_speedup.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tab_runtime_decomposition-19fa38c52d027481.d: crates/bench/src/bin/tab_runtime_decomposition.rs
+
+/root/repo/target/debug/deps/libtab_runtime_decomposition-19fa38c52d027481.rmeta: crates/bench/src/bin/tab_runtime_decomposition.rs
+
+crates/bench/src/bin/tab_runtime_decomposition.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tab_rvaq_accuracy-bf2d92e726e67cd1.d: crates/bench/src/bin/tab_rvaq_accuracy.rs
+
+/root/repo/target/debug/deps/libtab_rvaq_accuracy-bf2d92e726e67cd1.rmeta: crates/bench/src/bin/tab_rvaq_accuracy.rs
+
+crates/bench/src/bin/tab_rvaq_accuracy.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/trace_overhead-ca1caf1c306cc747.d: tests/trace_overhead.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtrace_overhead-ca1caf1c306cc747.rmeta: tests/trace_overhead.rs Cargo.toml
+
+tests/trace_overhead.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-A__CLIPPY_HACKERY__clippy::while_immutable_condition__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/vaq-019dd1ed867e7b7c.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libvaq-019dd1ed867e7b7c.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-A__CLIPPY_HACKERY__clippy::while_immutable_condition__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/vaq-41896955d19aa707.d: src/lib.rs
+
+/root/repo/target/debug/deps/libvaq-41896955d19aa707.rmeta: src/lib.rs
+
+src/lib.rs:

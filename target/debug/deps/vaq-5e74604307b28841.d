@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/vaq-5e74604307b28841.d: src/lib.rs
+
+/root/repo/target/debug/deps/libvaq-5e74604307b28841.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/vaq-84579e132d3d6e86.d: src/lib.rs
+
+/root/repo/target/debug/deps/libvaq-84579e132d3d6e86.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libvaq-84579e132d3d6e86.rmeta: src/lib.rs
+
+src/lib.rs:

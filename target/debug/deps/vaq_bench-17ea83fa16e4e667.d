@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/vaq_bench-17ea83fa16e4e667.d: crates/bench/src/lib.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/ablation.rs crates/bench/src/experiments/offline_exp.rs crates/bench/src/experiments/online_exp.rs crates/bench/src/fmt.rs crates/bench/src/models.rs crates/bench/src/offline.rs crates/bench/src/runner.rs crates/bench/src/scale.rs Cargo.toml
+
+/root/repo/target/debug/deps/libvaq_bench-17ea83fa16e4e667.rmeta: crates/bench/src/lib.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/ablation.rs crates/bench/src/experiments/offline_exp.rs crates/bench/src/experiments/online_exp.rs crates/bench/src/fmt.rs crates/bench/src/models.rs crates/bench/src/offline.rs crates/bench/src/runner.rs crates/bench/src/scale.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments/mod.rs:
+crates/bench/src/experiments/ablation.rs:
+crates/bench/src/experiments/offline_exp.rs:
+crates/bench/src/experiments/online_exp.rs:
+crates/bench/src/fmt.rs:
+crates/bench/src/models.rs:
+crates/bench/src/offline.rs:
+crates/bench/src/runner.rs:
+crates/bench/src/scale.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-A__CLIPPY_HACKERY__clippy::while_immutable_condition__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/vaq_bench-6d9615d1c9afe229.d: crates/bench/src/lib.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/ablation.rs crates/bench/src/experiments/offline_exp.rs crates/bench/src/experiments/online_exp.rs crates/bench/src/fmt.rs crates/bench/src/models.rs crates/bench/src/offline.rs crates/bench/src/runner.rs crates/bench/src/scale.rs
+
+/root/repo/target/debug/deps/libvaq_bench-6d9615d1c9afe229.rmeta: crates/bench/src/lib.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/ablation.rs crates/bench/src/experiments/offline_exp.rs crates/bench/src/experiments/online_exp.rs crates/bench/src/fmt.rs crates/bench/src/models.rs crates/bench/src/offline.rs crates/bench/src/runner.rs crates/bench/src/scale.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments/mod.rs:
+crates/bench/src/experiments/ablation.rs:
+crates/bench/src/experiments/offline_exp.rs:
+crates/bench/src/experiments/online_exp.rs:
+crates/bench/src/fmt.rs:
+crates/bench/src/models.rs:
+crates/bench/src/offline.rs:
+crates/bench/src/runner.rs:
+crates/bench/src/scale.rs:

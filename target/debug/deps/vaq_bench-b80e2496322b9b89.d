@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/vaq_bench-b80e2496322b9b89.d: crates/bench/src/lib.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/ablation.rs crates/bench/src/experiments/offline_exp.rs crates/bench/src/experiments/online_exp.rs crates/bench/src/fmt.rs crates/bench/src/models.rs crates/bench/src/offline.rs crates/bench/src/runner.rs crates/bench/src/scale.rs
+
+/root/repo/target/debug/deps/libvaq_bench-b80e2496322b9b89.rmeta: crates/bench/src/lib.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/ablation.rs crates/bench/src/experiments/offline_exp.rs crates/bench/src/experiments/online_exp.rs crates/bench/src/fmt.rs crates/bench/src/models.rs crates/bench/src/offline.rs crates/bench/src/runner.rs crates/bench/src/scale.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments/mod.rs:
+crates/bench/src/experiments/ablation.rs:
+crates/bench/src/experiments/offline_exp.rs:
+crates/bench/src/experiments/online_exp.rs:
+crates/bench/src/fmt.rs:
+crates/bench/src/models.rs:
+crates/bench/src/offline.rs:
+crates/bench/src/runner.rs:
+crates/bench/src/scale.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/vaq_cli-32891302cd5854bb.d: crates/cli/src/main.rs Cargo.toml
+
+/root/repo/target/debug/deps/libvaq_cli-32891302cd5854bb.rmeta: crates/cli/src/main.rs Cargo.toml
+
+crates/cli/src/main.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-A__CLIPPY_HACKERY__clippy::while_immutable_condition__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/vaq_cli-5dd78617b83b622d.d: crates/cli/src/main.rs
+
+/root/repo/target/debug/deps/libvaq_cli-5dd78617b83b622d.rmeta: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/vaq_cli-7fb43925d0361cf5.d: crates/cli/src/main.rs
+
+/root/repo/target/debug/deps/vaq_cli-7fb43925d0361cf5: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/vaq_cli-883ab5ec04bba4a7.d: crates/cli/src/main.rs
+
+/root/repo/target/debug/deps/vaq_cli-883ab5ec04bba4a7: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

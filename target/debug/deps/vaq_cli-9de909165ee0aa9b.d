@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/vaq_cli-9de909165ee0aa9b.d: crates/cli/src/main.rs
+
+/root/repo/target/debug/deps/libvaq_cli-9de909165ee0aa9b.rmeta: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/vaq_cli-9ea55ddc572b3ccc.d: crates/cli/src/lib.rs crates/cli/src/args.rs crates/cli/src/commands.rs
+
+/root/repo/target/debug/deps/libvaq_cli-9ea55ddc572b3ccc.rmeta: crates/cli/src/lib.rs crates/cli/src/args.rs crates/cli/src/commands.rs
+
+crates/cli/src/lib.rs:
+crates/cli/src/args.rs:
+crates/cli/src/commands.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/vaq_cli-e1283a25e40e1bfb.d: crates/cli/src/main.rs
+
+/root/repo/target/debug/deps/libvaq_cli-e1283a25e40e1bfb.rmeta: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/vaq_cli-fea1402790969411.d: crates/cli/src/lib.rs crates/cli/src/args.rs crates/cli/src/commands.rs
+
+/root/repo/target/debug/deps/libvaq_cli-fea1402790969411.rlib: crates/cli/src/lib.rs crates/cli/src/args.rs crates/cli/src/commands.rs
+
+/root/repo/target/debug/deps/libvaq_cli-fea1402790969411.rmeta: crates/cli/src/lib.rs crates/cli/src/args.rs crates/cli/src/commands.rs
+
+crates/cli/src/lib.rs:
+crates/cli/src/args.rs:
+crates/cli/src/commands.rs:

@@ -1,0 +1,28 @@
+/root/repo/target/debug/deps/vaq_core-20b312834d1ca834.d: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/offline/mod.rs crates/core/src/offline/baselines.rs crates/core/src/offline/candidates.rs crates/core/src/offline/ingest.rs crates/core/src/offline/repository.rs crates/core/src/offline/rvaq.rs crates/core/src/offline/scoring.rs crates/core/src/offline/tbclip.rs crates/core/src/online/mod.rs crates/core/src/online/engine.rs crates/core/src/online/indicator.rs crates/core/src/online/multi.rs crates/core/src/online/service/mod.rs crates/core/src/online/service/queue.rs crates/core/src/online/service/registry.rs crates/core/src/online/service/service.rs crates/core/src/online/service/sync.rs crates/core/src/online/service/tenant.rs Cargo.toml
+
+/root/repo/target/debug/deps/libvaq_core-20b312834d1ca834.rmeta: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/offline/mod.rs crates/core/src/offline/baselines.rs crates/core/src/offline/candidates.rs crates/core/src/offline/ingest.rs crates/core/src/offline/repository.rs crates/core/src/offline/rvaq.rs crates/core/src/offline/scoring.rs crates/core/src/offline/tbclip.rs crates/core/src/online/mod.rs crates/core/src/online/engine.rs crates/core/src/online/indicator.rs crates/core/src/online/multi.rs crates/core/src/online/service/mod.rs crates/core/src/online/service/queue.rs crates/core/src/online/service/registry.rs crates/core/src/online/service/service.rs crates/core/src/online/service/sync.rs crates/core/src/online/service/tenant.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/config.rs:
+crates/core/src/offline/mod.rs:
+crates/core/src/offline/baselines.rs:
+crates/core/src/offline/candidates.rs:
+crates/core/src/offline/ingest.rs:
+crates/core/src/offline/repository.rs:
+crates/core/src/offline/rvaq.rs:
+crates/core/src/offline/scoring.rs:
+crates/core/src/offline/tbclip.rs:
+crates/core/src/online/mod.rs:
+crates/core/src/online/engine.rs:
+crates/core/src/online/indicator.rs:
+crates/core/src/online/multi.rs:
+crates/core/src/online/service/mod.rs:
+crates/core/src/online/service/queue.rs:
+crates/core/src/online/service/registry.rs:
+crates/core/src/online/service/service.rs:
+crates/core/src/online/service/sync.rs:
+crates/core/src/online/service/tenant.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-A__CLIPPY_HACKERY__clippy::while_immutable_condition__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

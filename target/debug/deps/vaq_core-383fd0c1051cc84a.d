@@ -1,0 +1,26 @@
+/root/repo/target/debug/deps/vaq_core-383fd0c1051cc84a.d: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/offline/mod.rs crates/core/src/offline/baselines.rs crates/core/src/offline/candidates.rs crates/core/src/offline/ingest.rs crates/core/src/offline/repository.rs crates/core/src/offline/rvaq.rs crates/core/src/offline/scoring.rs crates/core/src/offline/tbclip.rs crates/core/src/online/mod.rs crates/core/src/online/engine.rs crates/core/src/online/indicator.rs crates/core/src/online/multi.rs crates/core/src/online/service/mod.rs crates/core/src/online/service/queue.rs crates/core/src/online/service/registry.rs crates/core/src/online/service/service.rs crates/core/src/online/service/sync.rs crates/core/src/online/service/tenant.rs
+
+/root/repo/target/debug/deps/libvaq_core-383fd0c1051cc84a.rlib: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/offline/mod.rs crates/core/src/offline/baselines.rs crates/core/src/offline/candidates.rs crates/core/src/offline/ingest.rs crates/core/src/offline/repository.rs crates/core/src/offline/rvaq.rs crates/core/src/offline/scoring.rs crates/core/src/offline/tbclip.rs crates/core/src/online/mod.rs crates/core/src/online/engine.rs crates/core/src/online/indicator.rs crates/core/src/online/multi.rs crates/core/src/online/service/mod.rs crates/core/src/online/service/queue.rs crates/core/src/online/service/registry.rs crates/core/src/online/service/service.rs crates/core/src/online/service/sync.rs crates/core/src/online/service/tenant.rs
+
+/root/repo/target/debug/deps/libvaq_core-383fd0c1051cc84a.rmeta: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/offline/mod.rs crates/core/src/offline/baselines.rs crates/core/src/offline/candidates.rs crates/core/src/offline/ingest.rs crates/core/src/offline/repository.rs crates/core/src/offline/rvaq.rs crates/core/src/offline/scoring.rs crates/core/src/offline/tbclip.rs crates/core/src/online/mod.rs crates/core/src/online/engine.rs crates/core/src/online/indicator.rs crates/core/src/online/multi.rs crates/core/src/online/service/mod.rs crates/core/src/online/service/queue.rs crates/core/src/online/service/registry.rs crates/core/src/online/service/service.rs crates/core/src/online/service/sync.rs crates/core/src/online/service/tenant.rs
+
+crates/core/src/lib.rs:
+crates/core/src/config.rs:
+crates/core/src/offline/mod.rs:
+crates/core/src/offline/baselines.rs:
+crates/core/src/offline/candidates.rs:
+crates/core/src/offline/ingest.rs:
+crates/core/src/offline/repository.rs:
+crates/core/src/offline/rvaq.rs:
+crates/core/src/offline/scoring.rs:
+crates/core/src/offline/tbclip.rs:
+crates/core/src/online/mod.rs:
+crates/core/src/online/engine.rs:
+crates/core/src/online/indicator.rs:
+crates/core/src/online/multi.rs:
+crates/core/src/online/service/mod.rs:
+crates/core/src/online/service/queue.rs:
+crates/core/src/online/service/registry.rs:
+crates/core/src/online/service/service.rs:
+crates/core/src/online/service/sync.rs:
+crates/core/src/online/service/tenant.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/vaq_core-faebb3731a827cdf.d: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/offline/mod.rs crates/core/src/offline/baselines.rs crates/core/src/offline/candidates.rs crates/core/src/offline/ingest.rs crates/core/src/offline/repository.rs crates/core/src/offline/rvaq.rs crates/core/src/offline/scoring.rs crates/core/src/offline/tbclip.rs crates/core/src/online/mod.rs crates/core/src/online/engine.rs crates/core/src/online/indicator.rs crates/core/src/online/multi.rs
+
+/root/repo/target/debug/deps/vaq_core-faebb3731a827cdf: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/offline/mod.rs crates/core/src/offline/baselines.rs crates/core/src/offline/candidates.rs crates/core/src/offline/ingest.rs crates/core/src/offline/repository.rs crates/core/src/offline/rvaq.rs crates/core/src/offline/scoring.rs crates/core/src/offline/tbclip.rs crates/core/src/online/mod.rs crates/core/src/online/engine.rs crates/core/src/online/indicator.rs crates/core/src/online/multi.rs
+
+crates/core/src/lib.rs:
+crates/core/src/config.rs:
+crates/core/src/offline/mod.rs:
+crates/core/src/offline/baselines.rs:
+crates/core/src/offline/candidates.rs:
+crates/core/src/offline/ingest.rs:
+crates/core/src/offline/repository.rs:
+crates/core/src/offline/rvaq.rs:
+crates/core/src/offline/scoring.rs:
+crates/core/src/offline/tbclip.rs:
+crates/core/src/online/mod.rs:
+crates/core/src/online/engine.rs:
+crates/core/src/online/indicator.rs:
+crates/core/src/online/multi.rs:

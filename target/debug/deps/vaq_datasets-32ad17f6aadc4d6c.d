@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/vaq_datasets-32ad17f6aadc4d6c.d: crates/datasets/src/lib.rs crates/datasets/src/drift.rs crates/datasets/src/load.rs crates/datasets/src/movies.rs crates/datasets/src/youtube.rs Cargo.toml
+
+/root/repo/target/debug/deps/libvaq_datasets-32ad17f6aadc4d6c.rmeta: crates/datasets/src/lib.rs crates/datasets/src/drift.rs crates/datasets/src/load.rs crates/datasets/src/movies.rs crates/datasets/src/youtube.rs Cargo.toml
+
+crates/datasets/src/lib.rs:
+crates/datasets/src/drift.rs:
+crates/datasets/src/load.rs:
+crates/datasets/src/movies.rs:
+crates/datasets/src/youtube.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-A__CLIPPY_HACKERY__clippy::while_immutable_condition__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/vaq_datasets-4877168ab30ab22d.d: crates/datasets/src/lib.rs crates/datasets/src/drift.rs crates/datasets/src/load.rs crates/datasets/src/movies.rs crates/datasets/src/youtube.rs
+
+/root/repo/target/debug/deps/libvaq_datasets-4877168ab30ab22d.rmeta: crates/datasets/src/lib.rs crates/datasets/src/drift.rs crates/datasets/src/load.rs crates/datasets/src/movies.rs crates/datasets/src/youtube.rs
+
+crates/datasets/src/lib.rs:
+crates/datasets/src/drift.rs:
+crates/datasets/src/load.rs:
+crates/datasets/src/movies.rs:
+crates/datasets/src/youtube.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/vaq_datasets-c13ad69a40aa0d0c.d: crates/datasets/src/lib.rs crates/datasets/src/drift.rs crates/datasets/src/load.rs crates/datasets/src/movies.rs crates/datasets/src/youtube.rs
+
+/root/repo/target/debug/deps/vaq_datasets-c13ad69a40aa0d0c: crates/datasets/src/lib.rs crates/datasets/src/drift.rs crates/datasets/src/load.rs crates/datasets/src/movies.rs crates/datasets/src/youtube.rs
+
+crates/datasets/src/lib.rs:
+crates/datasets/src/drift.rs:
+crates/datasets/src/load.rs:
+crates/datasets/src/movies.rs:
+crates/datasets/src/youtube.rs:

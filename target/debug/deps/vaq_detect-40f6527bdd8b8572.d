@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/vaq_detect-40f6527bdd8b8572.d: crates/detect/src/lib.rs crates/detect/src/api.rs crates/detect/src/cache.rs crates/detect/src/endtoend.rs crates/detect/src/fault.rs crates/detect/src/latency.rs crates/detect/src/noise.rs crates/detect/src/profiles.rs crates/detect/src/sim.rs crates/detect/src/sync.rs crates/detect/src/telemetry.rs crates/detect/src/tracker.rs
+
+/root/repo/target/debug/deps/libvaq_detect-40f6527bdd8b8572.rlib: crates/detect/src/lib.rs crates/detect/src/api.rs crates/detect/src/cache.rs crates/detect/src/endtoend.rs crates/detect/src/fault.rs crates/detect/src/latency.rs crates/detect/src/noise.rs crates/detect/src/profiles.rs crates/detect/src/sim.rs crates/detect/src/sync.rs crates/detect/src/telemetry.rs crates/detect/src/tracker.rs
+
+/root/repo/target/debug/deps/libvaq_detect-40f6527bdd8b8572.rmeta: crates/detect/src/lib.rs crates/detect/src/api.rs crates/detect/src/cache.rs crates/detect/src/endtoend.rs crates/detect/src/fault.rs crates/detect/src/latency.rs crates/detect/src/noise.rs crates/detect/src/profiles.rs crates/detect/src/sim.rs crates/detect/src/sync.rs crates/detect/src/telemetry.rs crates/detect/src/tracker.rs
+
+crates/detect/src/lib.rs:
+crates/detect/src/api.rs:
+crates/detect/src/cache.rs:
+crates/detect/src/endtoend.rs:
+crates/detect/src/fault.rs:
+crates/detect/src/latency.rs:
+crates/detect/src/noise.rs:
+crates/detect/src/profiles.rs:
+crates/detect/src/sim.rs:
+crates/detect/src/sync.rs:
+crates/detect/src/telemetry.rs:
+crates/detect/src/tracker.rs:

@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/vaq_detect-491f0921b78904c3.d: crates/detect/src/lib.rs crates/detect/src/api.rs crates/detect/src/cache.rs crates/detect/src/endtoend.rs crates/detect/src/fault.rs crates/detect/src/latency.rs crates/detect/src/noise.rs crates/detect/src/profiles.rs crates/detect/src/sim.rs crates/detect/src/sync.rs crates/detect/src/telemetry.rs crates/detect/src/tracker.rs Cargo.toml
+
+/root/repo/target/debug/deps/libvaq_detect-491f0921b78904c3.rmeta: crates/detect/src/lib.rs crates/detect/src/api.rs crates/detect/src/cache.rs crates/detect/src/endtoend.rs crates/detect/src/fault.rs crates/detect/src/latency.rs crates/detect/src/noise.rs crates/detect/src/profiles.rs crates/detect/src/sim.rs crates/detect/src/sync.rs crates/detect/src/telemetry.rs crates/detect/src/tracker.rs Cargo.toml
+
+crates/detect/src/lib.rs:
+crates/detect/src/api.rs:
+crates/detect/src/cache.rs:
+crates/detect/src/endtoend.rs:
+crates/detect/src/fault.rs:
+crates/detect/src/latency.rs:
+crates/detect/src/noise.rs:
+crates/detect/src/profiles.rs:
+crates/detect/src/sim.rs:
+crates/detect/src/sync.rs:
+crates/detect/src/telemetry.rs:
+crates/detect/src/tracker.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-A__CLIPPY_HACKERY__clippy::while_immutable_condition__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/vaq_loom-026d86dcedd5e8e6.d: crates/loom/src/lib.rs crates/loom/src/sched.rs crates/loom/src/sync.rs crates/loom/src/thread.rs Cargo.toml
+
+/root/repo/target/debug/deps/libvaq_loom-026d86dcedd5e8e6.rmeta: crates/loom/src/lib.rs crates/loom/src/sched.rs crates/loom/src/sync.rs crates/loom/src/thread.rs Cargo.toml
+
+crates/loom/src/lib.rs:
+crates/loom/src/sched.rs:
+crates/loom/src/sync.rs:
+crates/loom/src/thread.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-A__CLIPPY_HACKERY__clippy::while_immutable_condition__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

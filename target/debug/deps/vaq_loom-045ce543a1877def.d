@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/vaq_loom-045ce543a1877def.d: crates/loom/src/lib.rs crates/loom/src/sched.rs crates/loom/src/sync.rs crates/loom/src/thread.rs
+
+/root/repo/target/debug/deps/libvaq_loom-045ce543a1877def.rmeta: crates/loom/src/lib.rs crates/loom/src/sched.rs crates/loom/src/sync.rs crates/loom/src/thread.rs
+
+crates/loom/src/lib.rs:
+crates/loom/src/sched.rs:
+crates/loom/src/sync.rs:
+crates/loom/src/thread.rs:

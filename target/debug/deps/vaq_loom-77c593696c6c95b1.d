@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/vaq_loom-77c593696c6c95b1.d: crates/loom/src/lib.rs crates/loom/src/sched.rs crates/loom/src/sync.rs crates/loom/src/thread.rs
+
+/root/repo/target/debug/deps/libvaq_loom-77c593696c6c95b1.rlib: crates/loom/src/lib.rs crates/loom/src/sched.rs crates/loom/src/sync.rs crates/loom/src/thread.rs
+
+/root/repo/target/debug/deps/libvaq_loom-77c593696c6c95b1.rmeta: crates/loom/src/lib.rs crates/loom/src/sched.rs crates/loom/src/sync.rs crates/loom/src/thread.rs
+
+crates/loom/src/lib.rs:
+crates/loom/src/sched.rs:
+crates/loom/src/sync.rs:
+crates/loom/src/thread.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/vaq_loom-e307cdea3ed9c9fc.d: crates/loom/src/lib.rs crates/loom/src/sched.rs crates/loom/src/sync.rs crates/loom/src/thread.rs
+
+/root/repo/target/debug/deps/libvaq_loom-e307cdea3ed9c9fc.rlib: crates/loom/src/lib.rs crates/loom/src/sched.rs crates/loom/src/sync.rs crates/loom/src/thread.rs
+
+/root/repo/target/debug/deps/libvaq_loom-e307cdea3ed9c9fc.rmeta: crates/loom/src/lib.rs crates/loom/src/sched.rs crates/loom/src/sync.rs crates/loom/src/thread.rs
+
+crates/loom/src/lib.rs:
+crates/loom/src/sched.rs:
+crates/loom/src/sync.rs:
+crates/loom/src/thread.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/vaq_metrics-02d43b2fd633440c.d: crates/metrics/src/lib.rs
+
+/root/repo/target/debug/deps/libvaq_metrics-02d43b2fd633440c.rmeta: crates/metrics/src/lib.rs
+
+crates/metrics/src/lib.rs:

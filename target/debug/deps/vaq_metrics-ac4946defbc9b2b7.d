@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/vaq_metrics-ac4946defbc9b2b7.d: crates/metrics/src/lib.rs
+
+/root/repo/target/debug/deps/libvaq_metrics-ac4946defbc9b2b7.rlib: crates/metrics/src/lib.rs
+
+/root/repo/target/debug/deps/libvaq_metrics-ac4946defbc9b2b7.rmeta: crates/metrics/src/lib.rs
+
+crates/metrics/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/vaq_metrics-ea87b0cfc22611a2.d: crates/metrics/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libvaq_metrics-ea87b0cfc22611a2.rmeta: crates/metrics/src/lib.rs Cargo.toml
+
+crates/metrics/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-A__CLIPPY_HACKERY__clippy::while_immutable_condition__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/vaq_query-4fbfb6d6da89d23d.d: crates/query/src/lib.rs crates/query/src/ast.rs crates/query/src/exec.rs crates/query/src/lexer.rs crates/query/src/parser.rs crates/query/src/plan.rs
+
+/root/repo/target/debug/deps/libvaq_query-4fbfb6d6da89d23d.rlib: crates/query/src/lib.rs crates/query/src/ast.rs crates/query/src/exec.rs crates/query/src/lexer.rs crates/query/src/parser.rs crates/query/src/plan.rs
+
+/root/repo/target/debug/deps/libvaq_query-4fbfb6d6da89d23d.rmeta: crates/query/src/lib.rs crates/query/src/ast.rs crates/query/src/exec.rs crates/query/src/lexer.rs crates/query/src/parser.rs crates/query/src/plan.rs
+
+crates/query/src/lib.rs:
+crates/query/src/ast.rs:
+crates/query/src/exec.rs:
+crates/query/src/lexer.rs:
+crates/query/src/parser.rs:
+crates/query/src/plan.rs:

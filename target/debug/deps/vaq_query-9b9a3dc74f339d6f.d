@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/vaq_query-9b9a3dc74f339d6f.d: crates/query/src/lib.rs crates/query/src/ast.rs crates/query/src/exec.rs crates/query/src/lexer.rs crates/query/src/parser.rs crates/query/src/plan.rs
+
+/root/repo/target/debug/deps/libvaq_query-9b9a3dc74f339d6f.rlib: crates/query/src/lib.rs crates/query/src/ast.rs crates/query/src/exec.rs crates/query/src/lexer.rs crates/query/src/parser.rs crates/query/src/plan.rs
+
+/root/repo/target/debug/deps/libvaq_query-9b9a3dc74f339d6f.rmeta: crates/query/src/lib.rs crates/query/src/ast.rs crates/query/src/exec.rs crates/query/src/lexer.rs crates/query/src/parser.rs crates/query/src/plan.rs
+
+crates/query/src/lib.rs:
+crates/query/src/ast.rs:
+crates/query/src/exec.rs:
+crates/query/src/lexer.rs:
+crates/query/src/parser.rs:
+crates/query/src/plan.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/vaq_query-e4e50180a252c5f9.d: crates/query/src/lib.rs crates/query/src/ast.rs crates/query/src/exec.rs crates/query/src/lexer.rs crates/query/src/parser.rs crates/query/src/plan.rs
+
+/root/repo/target/debug/deps/libvaq_query-e4e50180a252c5f9.rmeta: crates/query/src/lib.rs crates/query/src/ast.rs crates/query/src/exec.rs crates/query/src/lexer.rs crates/query/src/parser.rs crates/query/src/plan.rs
+
+crates/query/src/lib.rs:
+crates/query/src/ast.rs:
+crates/query/src/exec.rs:
+crates/query/src/lexer.rs:
+crates/query/src/parser.rs:
+crates/query/src/plan.rs:

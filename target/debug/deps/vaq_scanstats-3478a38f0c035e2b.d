@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/vaq_scanstats-3478a38f0c035e2b.d: crates/scanstats/src/lib.rs crates/scanstats/src/binomial.rs crates/scanstats/src/critical.rs crates/scanstats/src/exact.rs crates/scanstats/src/kernel.rs crates/scanstats/src/markov.rs crates/scanstats/src/naus.rs crates/scanstats/src/sync.rs Cargo.toml
+
+/root/repo/target/debug/deps/libvaq_scanstats-3478a38f0c035e2b.rmeta: crates/scanstats/src/lib.rs crates/scanstats/src/binomial.rs crates/scanstats/src/critical.rs crates/scanstats/src/exact.rs crates/scanstats/src/kernel.rs crates/scanstats/src/markov.rs crates/scanstats/src/naus.rs crates/scanstats/src/sync.rs Cargo.toml
+
+crates/scanstats/src/lib.rs:
+crates/scanstats/src/binomial.rs:
+crates/scanstats/src/critical.rs:
+crates/scanstats/src/exact.rs:
+crates/scanstats/src/kernel.rs:
+crates/scanstats/src/markov.rs:
+crates/scanstats/src/naus.rs:
+crates/scanstats/src/sync.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-A__CLIPPY_HACKERY__clippy::while_immutable_condition__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

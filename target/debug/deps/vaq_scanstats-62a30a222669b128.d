@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/vaq_scanstats-62a30a222669b128.d: crates/scanstats/src/lib.rs crates/scanstats/src/binomial.rs crates/scanstats/src/critical.rs crates/scanstats/src/exact.rs crates/scanstats/src/kernel.rs crates/scanstats/src/markov.rs crates/scanstats/src/naus.rs crates/scanstats/src/sync.rs
+
+/root/repo/target/debug/deps/libvaq_scanstats-62a30a222669b128.rlib: crates/scanstats/src/lib.rs crates/scanstats/src/binomial.rs crates/scanstats/src/critical.rs crates/scanstats/src/exact.rs crates/scanstats/src/kernel.rs crates/scanstats/src/markov.rs crates/scanstats/src/naus.rs crates/scanstats/src/sync.rs
+
+/root/repo/target/debug/deps/libvaq_scanstats-62a30a222669b128.rmeta: crates/scanstats/src/lib.rs crates/scanstats/src/binomial.rs crates/scanstats/src/critical.rs crates/scanstats/src/exact.rs crates/scanstats/src/kernel.rs crates/scanstats/src/markov.rs crates/scanstats/src/naus.rs crates/scanstats/src/sync.rs
+
+crates/scanstats/src/lib.rs:
+crates/scanstats/src/binomial.rs:
+crates/scanstats/src/critical.rs:
+crates/scanstats/src/exact.rs:
+crates/scanstats/src/kernel.rs:
+crates/scanstats/src/markov.rs:
+crates/scanstats/src/naus.rs:
+crates/scanstats/src/sync.rs:

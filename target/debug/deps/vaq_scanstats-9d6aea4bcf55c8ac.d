@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/vaq_scanstats-9d6aea4bcf55c8ac.d: crates/scanstats/src/lib.rs crates/scanstats/src/binomial.rs crates/scanstats/src/critical.rs crates/scanstats/src/exact.rs crates/scanstats/src/kernel.rs crates/scanstats/src/markov.rs crates/scanstats/src/naus.rs crates/scanstats/src/sync.rs
+
+/root/repo/target/debug/deps/libvaq_scanstats-9d6aea4bcf55c8ac.rlib: crates/scanstats/src/lib.rs crates/scanstats/src/binomial.rs crates/scanstats/src/critical.rs crates/scanstats/src/exact.rs crates/scanstats/src/kernel.rs crates/scanstats/src/markov.rs crates/scanstats/src/naus.rs crates/scanstats/src/sync.rs
+
+/root/repo/target/debug/deps/libvaq_scanstats-9d6aea4bcf55c8ac.rmeta: crates/scanstats/src/lib.rs crates/scanstats/src/binomial.rs crates/scanstats/src/critical.rs crates/scanstats/src/exact.rs crates/scanstats/src/kernel.rs crates/scanstats/src/markov.rs crates/scanstats/src/naus.rs crates/scanstats/src/sync.rs
+
+crates/scanstats/src/lib.rs:
+crates/scanstats/src/binomial.rs:
+crates/scanstats/src/critical.rs:
+crates/scanstats/src/exact.rs:
+crates/scanstats/src/kernel.rs:
+crates/scanstats/src/markov.rs:
+crates/scanstats/src/naus.rs:
+crates/scanstats/src/sync.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/vaq_scanstats-f2ce394907ad05fc.d: crates/scanstats/src/lib.rs crates/scanstats/src/binomial.rs crates/scanstats/src/critical.rs crates/scanstats/src/exact.rs crates/scanstats/src/kernel.rs crates/scanstats/src/markov.rs crates/scanstats/src/naus.rs crates/scanstats/src/sync.rs
+
+/root/repo/target/debug/deps/libvaq_scanstats-f2ce394907ad05fc.rmeta: crates/scanstats/src/lib.rs crates/scanstats/src/binomial.rs crates/scanstats/src/critical.rs crates/scanstats/src/exact.rs crates/scanstats/src/kernel.rs crates/scanstats/src/markov.rs crates/scanstats/src/naus.rs crates/scanstats/src/sync.rs
+
+crates/scanstats/src/lib.rs:
+crates/scanstats/src/binomial.rs:
+crates/scanstats/src/critical.rs:
+crates/scanstats/src/exact.rs:
+crates/scanstats/src/kernel.rs:
+crates/scanstats/src/markov.rs:
+crates/scanstats/src/naus.rs:
+crates/scanstats/src/sync.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/vaq_storage-12e63014a87f2c15.d: crates/storage/src/lib.rs crates/storage/src/catalog.rs crates/storage/src/cost.rs crates/storage/src/file.rs crates/storage/src/fsck.rs crates/storage/src/table.rs
+
+/root/repo/target/debug/deps/libvaq_storage-12e63014a87f2c15.rmeta: crates/storage/src/lib.rs crates/storage/src/catalog.rs crates/storage/src/cost.rs crates/storage/src/file.rs crates/storage/src/fsck.rs crates/storage/src/table.rs
+
+crates/storage/src/lib.rs:
+crates/storage/src/catalog.rs:
+crates/storage/src/cost.rs:
+crates/storage/src/file.rs:
+crates/storage/src/fsck.rs:
+crates/storage/src/table.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/vaq_storage-cf7c4681021ea1a8.d: crates/storage/src/lib.rs crates/storage/src/catalog.rs crates/storage/src/cost.rs crates/storage/src/file.rs crates/storage/src/fsck.rs crates/storage/src/table.rs
+
+/root/repo/target/debug/deps/libvaq_storage-cf7c4681021ea1a8.rlib: crates/storage/src/lib.rs crates/storage/src/catalog.rs crates/storage/src/cost.rs crates/storage/src/file.rs crates/storage/src/fsck.rs crates/storage/src/table.rs
+
+/root/repo/target/debug/deps/libvaq_storage-cf7c4681021ea1a8.rmeta: crates/storage/src/lib.rs crates/storage/src/catalog.rs crates/storage/src/cost.rs crates/storage/src/file.rs crates/storage/src/fsck.rs crates/storage/src/table.rs
+
+crates/storage/src/lib.rs:
+crates/storage/src/catalog.rs:
+crates/storage/src/cost.rs:
+crates/storage/src/file.rs:
+crates/storage/src/fsck.rs:
+crates/storage/src/table.rs:

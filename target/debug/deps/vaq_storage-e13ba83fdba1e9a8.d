@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/vaq_storage-e13ba83fdba1e9a8.d: crates/storage/src/lib.rs crates/storage/src/catalog.rs crates/storage/src/cost.rs crates/storage/src/file.rs crates/storage/src/fsck.rs crates/storage/src/table.rs Cargo.toml
+
+/root/repo/target/debug/deps/libvaq_storage-e13ba83fdba1e9a8.rmeta: crates/storage/src/lib.rs crates/storage/src/catalog.rs crates/storage/src/cost.rs crates/storage/src/file.rs crates/storage/src/fsck.rs crates/storage/src/table.rs Cargo.toml
+
+crates/storage/src/lib.rs:
+crates/storage/src/catalog.rs:
+crates/storage/src/cost.rs:
+crates/storage/src/file.rs:
+crates/storage/src/fsck.rs:
+crates/storage/src/table.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-A__CLIPPY_HACKERY__clippy::while_immutable_condition__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/vaq_trace-014aad15c510cb5d.d: crates/trace/src/lib.rs crates/trace/src/clock.rs crates/trace/src/metrics.rs crates/trace/src/record.rs crates/trace/src/sink.rs
+
+/root/repo/target/debug/deps/libvaq_trace-014aad15c510cb5d.rlib: crates/trace/src/lib.rs crates/trace/src/clock.rs crates/trace/src/metrics.rs crates/trace/src/record.rs crates/trace/src/sink.rs
+
+/root/repo/target/debug/deps/libvaq_trace-014aad15c510cb5d.rmeta: crates/trace/src/lib.rs crates/trace/src/clock.rs crates/trace/src/metrics.rs crates/trace/src/record.rs crates/trace/src/sink.rs
+
+crates/trace/src/lib.rs:
+crates/trace/src/clock.rs:
+crates/trace/src/metrics.rs:
+crates/trace/src/record.rs:
+crates/trace/src/sink.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/vaq_trace-7797aab7569eec6a.d: crates/trace/src/lib.rs crates/trace/src/clock.rs crates/trace/src/metrics.rs crates/trace/src/record.rs crates/trace/src/sink.rs Cargo.toml
+
+/root/repo/target/debug/deps/libvaq_trace-7797aab7569eec6a.rmeta: crates/trace/src/lib.rs crates/trace/src/clock.rs crates/trace/src/metrics.rs crates/trace/src/record.rs crates/trace/src/sink.rs Cargo.toml
+
+crates/trace/src/lib.rs:
+crates/trace/src/clock.rs:
+crates/trace/src/metrics.rs:
+crates/trace/src/record.rs:
+crates/trace/src/sink.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-A__CLIPPY_HACKERY__clippy::while_immutable_condition__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/vaq_trace-8ac0006e061bc52d.d: crates/trace/src/lib.rs crates/trace/src/clock.rs crates/trace/src/metrics.rs crates/trace/src/record.rs crates/trace/src/sink.rs
+
+/root/repo/target/debug/deps/vaq_trace-8ac0006e061bc52d: crates/trace/src/lib.rs crates/trace/src/clock.rs crates/trace/src/metrics.rs crates/trace/src/record.rs crates/trace/src/sink.rs
+
+crates/trace/src/lib.rs:
+crates/trace/src/clock.rs:
+crates/trace/src/metrics.rs:
+crates/trace/src/record.rs:
+crates/trace/src/sink.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/vaq_trace-a8276044e4a89c2c.d: crates/trace/src/lib.rs crates/trace/src/clock.rs crates/trace/src/metrics.rs crates/trace/src/record.rs crates/trace/src/sink.rs
+
+/root/repo/target/debug/deps/libvaq_trace-a8276044e4a89c2c.rlib: crates/trace/src/lib.rs crates/trace/src/clock.rs crates/trace/src/metrics.rs crates/trace/src/record.rs crates/trace/src/sink.rs
+
+/root/repo/target/debug/deps/libvaq_trace-a8276044e4a89c2c.rmeta: crates/trace/src/lib.rs crates/trace/src/clock.rs crates/trace/src/metrics.rs crates/trace/src/record.rs crates/trace/src/sink.rs
+
+crates/trace/src/lib.rs:
+crates/trace/src/clock.rs:
+crates/trace/src/metrics.rs:
+crates/trace/src/record.rs:
+crates/trace/src/sink.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/vaq_types-9d13caf51c8f6923.d: crates/types/src/lib.rs crates/types/src/conv.rs crates/types/src/error.rs crates/types/src/geometry.rs crates/types/src/ids.rs crates/types/src/interval.rs crates/types/src/query.rs crates/types/src/timing.rs crates/types/src/vocab.rs
+
+/root/repo/target/debug/deps/libvaq_types-9d13caf51c8f6923.rlib: crates/types/src/lib.rs crates/types/src/conv.rs crates/types/src/error.rs crates/types/src/geometry.rs crates/types/src/ids.rs crates/types/src/interval.rs crates/types/src/query.rs crates/types/src/timing.rs crates/types/src/vocab.rs
+
+/root/repo/target/debug/deps/libvaq_types-9d13caf51c8f6923.rmeta: crates/types/src/lib.rs crates/types/src/conv.rs crates/types/src/error.rs crates/types/src/geometry.rs crates/types/src/ids.rs crates/types/src/interval.rs crates/types/src/query.rs crates/types/src/timing.rs crates/types/src/vocab.rs
+
+crates/types/src/lib.rs:
+crates/types/src/conv.rs:
+crates/types/src/error.rs:
+crates/types/src/geometry.rs:
+crates/types/src/ids.rs:
+crates/types/src/interval.rs:
+crates/types/src/query.rs:
+crates/types/src/timing.rs:
+crates/types/src/vocab.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/vaq_types-c10daa8ee203c446.d: crates/types/src/lib.rs crates/types/src/conv.rs crates/types/src/error.rs crates/types/src/geometry.rs crates/types/src/ids.rs crates/types/src/interval.rs crates/types/src/query.rs crates/types/src/timing.rs crates/types/src/vocab.rs Cargo.toml
+
+/root/repo/target/debug/deps/libvaq_types-c10daa8ee203c446.rmeta: crates/types/src/lib.rs crates/types/src/conv.rs crates/types/src/error.rs crates/types/src/geometry.rs crates/types/src/ids.rs crates/types/src/interval.rs crates/types/src/query.rs crates/types/src/timing.rs crates/types/src/vocab.rs Cargo.toml
+
+crates/types/src/lib.rs:
+crates/types/src/conv.rs:
+crates/types/src/error.rs:
+crates/types/src/geometry.rs:
+crates/types/src/ids.rs:
+crates/types/src/interval.rs:
+crates/types/src/query.rs:
+crates/types/src/timing.rs:
+crates/types/src/vocab.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-A__CLIPPY_HACKERY__clippy::while_immutable_condition__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

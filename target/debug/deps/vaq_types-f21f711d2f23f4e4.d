@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/vaq_types-f21f711d2f23f4e4.d: crates/types/src/lib.rs crates/types/src/conv.rs crates/types/src/error.rs crates/types/src/geometry.rs crates/types/src/ids.rs crates/types/src/interval.rs crates/types/src/query.rs crates/types/src/timing.rs crates/types/src/vocab.rs
+
+/root/repo/target/debug/deps/libvaq_types-f21f711d2f23f4e4.rlib: crates/types/src/lib.rs crates/types/src/conv.rs crates/types/src/error.rs crates/types/src/geometry.rs crates/types/src/ids.rs crates/types/src/interval.rs crates/types/src/query.rs crates/types/src/timing.rs crates/types/src/vocab.rs
+
+/root/repo/target/debug/deps/libvaq_types-f21f711d2f23f4e4.rmeta: crates/types/src/lib.rs crates/types/src/conv.rs crates/types/src/error.rs crates/types/src/geometry.rs crates/types/src/ids.rs crates/types/src/interval.rs crates/types/src/query.rs crates/types/src/timing.rs crates/types/src/vocab.rs
+
+crates/types/src/lib.rs:
+crates/types/src/conv.rs:
+crates/types/src/error.rs:
+crates/types/src/geometry.rs:
+crates/types/src/ids.rs:
+crates/types/src/interval.rs:
+crates/types/src/query.rs:
+crates/types/src/timing.rs:
+crates/types/src/vocab.rs:

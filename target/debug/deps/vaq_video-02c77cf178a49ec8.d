@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/vaq_video-02c77cf178a49ec8.d: crates/video/src/lib.rs crates/video/src/frame.rs crates/video/src/gen.rs crates/video/src/persist.rs crates/video/src/script.rs crates/video/src/span.rs
+
+/root/repo/target/debug/deps/libvaq_video-02c77cf178a49ec8.rlib: crates/video/src/lib.rs crates/video/src/frame.rs crates/video/src/gen.rs crates/video/src/persist.rs crates/video/src/script.rs crates/video/src/span.rs
+
+/root/repo/target/debug/deps/libvaq_video-02c77cf178a49ec8.rmeta: crates/video/src/lib.rs crates/video/src/frame.rs crates/video/src/gen.rs crates/video/src/persist.rs crates/video/src/script.rs crates/video/src/span.rs
+
+crates/video/src/lib.rs:
+crates/video/src/frame.rs:
+crates/video/src/gen.rs:
+crates/video/src/persist.rs:
+crates/video/src/script.rs:
+crates/video/src/span.rs:

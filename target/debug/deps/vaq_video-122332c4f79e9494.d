@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/vaq_video-122332c4f79e9494.d: crates/video/src/lib.rs crates/video/src/frame.rs crates/video/src/gen.rs crates/video/src/persist.rs crates/video/src/script.rs crates/video/src/span.rs Cargo.toml
+
+/root/repo/target/debug/deps/libvaq_video-122332c4f79e9494.rmeta: crates/video/src/lib.rs crates/video/src/frame.rs crates/video/src/gen.rs crates/video/src/persist.rs crates/video/src/script.rs crates/video/src/span.rs Cargo.toml
+
+crates/video/src/lib.rs:
+crates/video/src/frame.rs:
+crates/video/src/gen.rs:
+crates/video/src/persist.rs:
+crates/video/src/script.rs:
+crates/video/src/span.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-A__CLIPPY_HACKERY__clippy::while_immutable_condition__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

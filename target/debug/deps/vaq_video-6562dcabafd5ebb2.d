@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/vaq_video-6562dcabafd5ebb2.d: crates/video/src/lib.rs crates/video/src/frame.rs crates/video/src/gen.rs crates/video/src/persist.rs crates/video/src/script.rs crates/video/src/span.rs
+
+/root/repo/target/debug/deps/libvaq_video-6562dcabafd5ebb2.rlib: crates/video/src/lib.rs crates/video/src/frame.rs crates/video/src/gen.rs crates/video/src/persist.rs crates/video/src/script.rs crates/video/src/span.rs
+
+/root/repo/target/debug/deps/libvaq_video-6562dcabafd5ebb2.rmeta: crates/video/src/lib.rs crates/video/src/frame.rs crates/video/src/gen.rs crates/video/src/persist.rs crates/video/src/script.rs crates/video/src/span.rs
+
+crates/video/src/lib.rs:
+crates/video/src/frame.rs:
+crates/video/src/gen.rs:
+crates/video/src/persist.rs:
+crates/video/src/script.rs:
+crates/video/src/span.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/vaq_video-bca9aba5899b42aa.d: crates/video/src/lib.rs crates/video/src/frame.rs crates/video/src/gen.rs crates/video/src/persist.rs crates/video/src/script.rs crates/video/src/span.rs
+
+/root/repo/target/debug/deps/libvaq_video-bca9aba5899b42aa.rmeta: crates/video/src/lib.rs crates/video/src/frame.rs crates/video/src/gen.rs crates/video/src/persist.rs crates/video/src/script.rs crates/video/src/span.rs
+
+crates/video/src/lib.rs:
+crates/video/src/frame.rs:
+crates/video/src/gen.rs:
+crates/video/src/persist.rs:
+crates/video/src/script.rs:
+crates/video/src/span.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/xtask-691160e5deaa730e.d: crates/xtask/src/lib.rs crates/xtask/src/analyze.rs crates/xtask/src/api_lock.rs crates/xtask/src/casts.rs crates/xtask/src/graph.rs crates/xtask/src/items.rs crates/xtask/src/lexer.rs crates/xtask/src/rules.rs crates/xtask/src/workspace.rs
+
+/root/repo/target/debug/deps/libxtask-691160e5deaa730e.rmeta: crates/xtask/src/lib.rs crates/xtask/src/analyze.rs crates/xtask/src/api_lock.rs crates/xtask/src/casts.rs crates/xtask/src/graph.rs crates/xtask/src/items.rs crates/xtask/src/lexer.rs crates/xtask/src/rules.rs crates/xtask/src/workspace.rs
+
+crates/xtask/src/lib.rs:
+crates/xtask/src/analyze.rs:
+crates/xtask/src/api_lock.rs:
+crates/xtask/src/casts.rs:
+crates/xtask/src/graph.rs:
+crates/xtask/src/items.rs:
+crates/xtask/src/lexer.rs:
+crates/xtask/src/rules.rs:
+crates/xtask/src/workspace.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/xtask-9101417f1f446fef.d: crates/xtask/src/lib.rs crates/xtask/src/analyze.rs crates/xtask/src/api_lock.rs crates/xtask/src/casts.rs crates/xtask/src/graph.rs crates/xtask/src/items.rs crates/xtask/src/lexer.rs crates/xtask/src/rules.rs crates/xtask/src/workspace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libxtask-9101417f1f446fef.rmeta: crates/xtask/src/lib.rs crates/xtask/src/analyze.rs crates/xtask/src/api_lock.rs crates/xtask/src/casts.rs crates/xtask/src/graph.rs crates/xtask/src/items.rs crates/xtask/src/lexer.rs crates/xtask/src/rules.rs crates/xtask/src/workspace.rs Cargo.toml
+
+crates/xtask/src/lib.rs:
+crates/xtask/src/analyze.rs:
+crates/xtask/src/api_lock.rs:
+crates/xtask/src/casts.rs:
+crates/xtask/src/graph.rs:
+crates/xtask/src/items.rs:
+crates/xtask/src/lexer.rs:
+crates/xtask/src/rules.rs:
+crates/xtask/src/workspace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-A__CLIPPY_HACKERY__clippy::while_immutable_condition__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

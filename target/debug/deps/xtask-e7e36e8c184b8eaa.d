@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/xtask-e7e36e8c184b8eaa.d: crates/xtask/src/main.rs
+
+/root/repo/target/debug/deps/libxtask-e7e36e8c184b8eaa.rmeta: crates/xtask/src/main.rs
+
+crates/xtask/src/main.rs:

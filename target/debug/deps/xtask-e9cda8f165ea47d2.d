@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/xtask-e9cda8f165ea47d2.d: crates/xtask/src/main.rs Cargo.toml
+
+/root/repo/target/debug/deps/libxtask-e9cda8f165ea47d2.rmeta: crates/xtask/src/main.rs Cargo.toml
+
+crates/xtask/src/main.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-A__CLIPPY_HACKERY__clippy::while_immutable_condition__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

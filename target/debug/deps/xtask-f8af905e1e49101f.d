@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/xtask-f8af905e1e49101f.d: crates/xtask/src/lib.rs crates/xtask/src/analyze.rs crates/xtask/src/api_lock.rs crates/xtask/src/casts.rs crates/xtask/src/graph.rs crates/xtask/src/items.rs crates/xtask/src/lexer.rs crates/xtask/src/rules.rs crates/xtask/src/workspace.rs
+
+/root/repo/target/debug/deps/xtask-f8af905e1e49101f: crates/xtask/src/lib.rs crates/xtask/src/analyze.rs crates/xtask/src/api_lock.rs crates/xtask/src/casts.rs crates/xtask/src/graph.rs crates/xtask/src/items.rs crates/xtask/src/lexer.rs crates/xtask/src/rules.rs crates/xtask/src/workspace.rs
+
+crates/xtask/src/lib.rs:
+crates/xtask/src/analyze.rs:
+crates/xtask/src/api_lock.rs:
+crates/xtask/src/casts.rs:
+crates/xtask/src/graph.rs:
+crates/xtask/src/items.rs:
+crates/xtask/src/lexer.rs:
+crates/xtask/src/rules.rs:
+crates/xtask/src/workspace.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/xtask

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/movie_search-e1263d135ea9c460.d: examples/movie_search.rs Cargo.toml
+
+/root/repo/target/debug/examples/libmovie_search-e1263d135ea9c460.rmeta: examples/movie_search.rs Cargo.toml
+
+examples/movie_search.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-A__CLIPPY_HACKERY__clippy::while_immutable_condition__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

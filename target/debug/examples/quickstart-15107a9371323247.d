@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/quickstart-15107a9371323247.d: examples/quickstart.rs Cargo.toml
+
+/root/repo/target/debug/examples/libquickstart-15107a9371323247.rmeta: examples/quickstart.rs Cargo.toml
+
+examples/quickstart.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-A__CLIPPY_HACKERY__clippy::while_immutable_condition__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

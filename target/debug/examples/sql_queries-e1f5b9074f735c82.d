@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/sql_queries-e1f5b9074f735c82.d: examples/sql_queries.rs Cargo.toml
+
+/root/repo/target/debug/examples/libsql_queries-e1f5b9074f735c82.rmeta: examples/sql_queries.rs Cargo.toml
+
+examples/sql_queries.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-A__CLIPPY_HACKERY__clippy::while_immutable_condition__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/bytes-5292b072bb72effb.d: /tmp/stubs/bytes/src/lib.rs
+
+/root/repo/target/release/deps/libbytes-5292b072bb72effb.rlib: /tmp/stubs/bytes/src/lib.rs
+
+/root/repo/target/release/deps/libbytes-5292b072bb72effb.rmeta: /tmp/stubs/bytes/src/lib.rs
+
+/tmp/stubs/bytes/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/bytes-9ee02f88446defe3.d: /tmp/stubs/bytes/src/lib.rs
+
+/root/repo/target/release/deps/libbytes-9ee02f88446defe3.rlib: /tmp/stubs/bytes/src/lib.rs
+
+/root/repo/target/release/deps/libbytes-9ee02f88446defe3.rmeta: /tmp/stubs/bytes/src/lib.rs
+
+/tmp/stubs/bytes/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/loom_service-f242427f60ea56bc.d: crates/core/tests/loom_service.rs
+
+/root/repo/target/release/deps/loom_service-f242427f60ea56bc: crates/core/tests/loom_service.rs
+
+crates/core/tests/loom_service.rs:

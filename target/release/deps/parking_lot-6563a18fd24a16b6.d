@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/parking_lot-6563a18fd24a16b6.d: /tmp/stubs/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-6563a18fd24a16b6.rlib: /tmp/stubs/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-6563a18fd24a16b6.rmeta: /tmp/stubs/parking_lot/src/lib.rs
+
+/tmp/stubs/parking_lot/src/lib.rs:

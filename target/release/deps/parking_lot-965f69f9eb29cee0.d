@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/parking_lot-965f69f9eb29cee0.d: /tmp/stubs/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-965f69f9eb29cee0.rlib: /tmp/stubs/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-965f69f9eb29cee0.rmeta: /tmp/stubs/parking_lot/src/lib.rs
+
+/tmp/stubs/parking_lot/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/proptest-1e9f3404bd5704ea.d: /tmp/stubs/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-1e9f3404bd5704ea.rlib: /tmp/stubs/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-1e9f3404bd5704ea.rmeta: /tmp/stubs/proptest/src/lib.rs
+
+/tmp/stubs/proptest/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-46fc123233642633.d: /tmp/stubs/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-46fc123233642633.rlib: /tmp/stubs/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-46fc123233642633.rmeta: /tmp/stubs/rand/src/lib.rs
+
+/tmp/stubs/rand/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-4d7f8d786056f55b.d: /tmp/stubs/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-4d7f8d786056f55b.rlib: /tmp/stubs/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-4d7f8d786056f55b.rmeta: /tmp/stubs/rand/src/lib.rs
+
+/tmp/stubs/rand/src/lib.rs:

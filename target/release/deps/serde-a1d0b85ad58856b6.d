@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde-a1d0b85ad58856b6.d: /tmp/stubs/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-a1d0b85ad58856b6.rlib: /tmp/stubs/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-a1d0b85ad58856b6.rmeta: /tmp/stubs/serde/src/lib.rs
+
+/tmp/stubs/serde/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde-c17d5a6e9fca03b6.d: /tmp/stubs/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-c17d5a6e9fca03b6.rlib: /tmp/stubs/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-c17d5a6e9fca03b6.rmeta: /tmp/stubs/serde/src/lib.rs
+
+/tmp/stubs/serde/src/lib.rs:

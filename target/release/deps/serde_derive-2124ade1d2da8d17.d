@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde_derive-2124ade1d2da8d17.d: /tmp/stubs/serde_derive/src/lib.rs
+
+/root/repo/target/release/deps/libserde_derive-2124ade1d2da8d17.so: /tmp/stubs/serde_derive/src/lib.rs
+
+/tmp/stubs/serde_derive/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde_derive-4a10275923b4d54e.d: /tmp/stubs/serde_derive/src/lib.rs
+
+/root/repo/target/release/deps/libserde_derive-4a10275923b4d54e.so: /tmp/stubs/serde_derive/src/lib.rs
+
+/tmp/stubs/serde_derive/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde_json-a2b6b5c7f5edb30b.d: /tmp/stubs/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-a2b6b5c7f5edb30b.rlib: /tmp/stubs/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-a2b6b5c7f5edb30b.rmeta: /tmp/stubs/serde_json/src/lib.rs
+
+/tmp/stubs/serde_json/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/vaq_cli-d4971a0f712ad84f.d: crates/cli/src/main.rs
+
+/root/repo/target/release/deps/vaq_cli-d4971a0f712ad84f: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/vaq_datasets-dca134b5489d1750.d: crates/datasets/src/lib.rs crates/datasets/src/drift.rs crates/datasets/src/load.rs crates/datasets/src/movies.rs crates/datasets/src/youtube.rs
+
+/root/repo/target/release/deps/libvaq_datasets-dca134b5489d1750.rlib: crates/datasets/src/lib.rs crates/datasets/src/drift.rs crates/datasets/src/load.rs crates/datasets/src/movies.rs crates/datasets/src/youtube.rs
+
+/root/repo/target/release/deps/libvaq_datasets-dca134b5489d1750.rmeta: crates/datasets/src/lib.rs crates/datasets/src/drift.rs crates/datasets/src/load.rs crates/datasets/src/movies.rs crates/datasets/src/youtube.rs
+
+crates/datasets/src/lib.rs:
+crates/datasets/src/drift.rs:
+crates/datasets/src/load.rs:
+crates/datasets/src/movies.rs:
+crates/datasets/src/youtube.rs:

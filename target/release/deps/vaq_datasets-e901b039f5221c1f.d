@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/vaq_datasets-e901b039f5221c1f.d: crates/datasets/src/lib.rs crates/datasets/src/drift.rs crates/datasets/src/load.rs crates/datasets/src/movies.rs crates/datasets/src/youtube.rs
+
+/root/repo/target/release/deps/libvaq_datasets-e901b039f5221c1f.rlib: crates/datasets/src/lib.rs crates/datasets/src/drift.rs crates/datasets/src/load.rs crates/datasets/src/movies.rs crates/datasets/src/youtube.rs
+
+/root/repo/target/release/deps/libvaq_datasets-e901b039f5221c1f.rmeta: crates/datasets/src/lib.rs crates/datasets/src/drift.rs crates/datasets/src/load.rs crates/datasets/src/movies.rs crates/datasets/src/youtube.rs
+
+crates/datasets/src/lib.rs:
+crates/datasets/src/drift.rs:
+crates/datasets/src/load.rs:
+crates/datasets/src/movies.rs:
+crates/datasets/src/youtube.rs:

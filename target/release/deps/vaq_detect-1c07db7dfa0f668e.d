@@ -1,0 +1,18 @@
+/root/repo/target/release/deps/vaq_detect-1c07db7dfa0f668e.d: crates/detect/src/lib.rs crates/detect/src/api.rs crates/detect/src/cache.rs crates/detect/src/endtoend.rs crates/detect/src/fault.rs crates/detect/src/latency.rs crates/detect/src/noise.rs crates/detect/src/profiles.rs crates/detect/src/sim.rs crates/detect/src/sync.rs crates/detect/src/telemetry.rs crates/detect/src/tracker.rs
+
+/root/repo/target/release/deps/libvaq_detect-1c07db7dfa0f668e.rlib: crates/detect/src/lib.rs crates/detect/src/api.rs crates/detect/src/cache.rs crates/detect/src/endtoend.rs crates/detect/src/fault.rs crates/detect/src/latency.rs crates/detect/src/noise.rs crates/detect/src/profiles.rs crates/detect/src/sim.rs crates/detect/src/sync.rs crates/detect/src/telemetry.rs crates/detect/src/tracker.rs
+
+/root/repo/target/release/deps/libvaq_detect-1c07db7dfa0f668e.rmeta: crates/detect/src/lib.rs crates/detect/src/api.rs crates/detect/src/cache.rs crates/detect/src/endtoend.rs crates/detect/src/fault.rs crates/detect/src/latency.rs crates/detect/src/noise.rs crates/detect/src/profiles.rs crates/detect/src/sim.rs crates/detect/src/sync.rs crates/detect/src/telemetry.rs crates/detect/src/tracker.rs
+
+crates/detect/src/lib.rs:
+crates/detect/src/api.rs:
+crates/detect/src/cache.rs:
+crates/detect/src/endtoend.rs:
+crates/detect/src/fault.rs:
+crates/detect/src/latency.rs:
+crates/detect/src/noise.rs:
+crates/detect/src/profiles.rs:
+crates/detect/src/sim.rs:
+crates/detect/src/sync.rs:
+crates/detect/src/telemetry.rs:
+crates/detect/src/tracker.rs:

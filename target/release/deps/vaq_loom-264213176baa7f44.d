@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/vaq_loom-264213176baa7f44.d: crates/loom/src/lib.rs crates/loom/src/sched.rs crates/loom/src/sync.rs crates/loom/src/thread.rs
+
+/root/repo/target/release/deps/libvaq_loom-264213176baa7f44.rlib: crates/loom/src/lib.rs crates/loom/src/sched.rs crates/loom/src/sync.rs crates/loom/src/thread.rs
+
+/root/repo/target/release/deps/libvaq_loom-264213176baa7f44.rmeta: crates/loom/src/lib.rs crates/loom/src/sched.rs crates/loom/src/sync.rs crates/loom/src/thread.rs
+
+crates/loom/src/lib.rs:
+crates/loom/src/sched.rs:
+crates/loom/src/sync.rs:
+crates/loom/src/thread.rs:

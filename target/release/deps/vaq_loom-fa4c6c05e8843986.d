@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/vaq_loom-fa4c6c05e8843986.d: crates/loom/src/lib.rs crates/loom/src/sched.rs crates/loom/src/sync.rs crates/loom/src/thread.rs
+
+/root/repo/target/release/deps/libvaq_loom-fa4c6c05e8843986.rlib: crates/loom/src/lib.rs crates/loom/src/sched.rs crates/loom/src/sync.rs crates/loom/src/thread.rs
+
+/root/repo/target/release/deps/libvaq_loom-fa4c6c05e8843986.rmeta: crates/loom/src/lib.rs crates/loom/src/sched.rs crates/loom/src/sync.rs crates/loom/src/thread.rs
+
+crates/loom/src/lib.rs:
+crates/loom/src/sched.rs:
+crates/loom/src/sync.rs:
+crates/loom/src/thread.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/vaq_metrics-c2e82365d2243a9a.d: crates/metrics/src/lib.rs
+
+/root/repo/target/release/deps/libvaq_metrics-c2e82365d2243a9a.rlib: crates/metrics/src/lib.rs
+
+/root/repo/target/release/deps/libvaq_metrics-c2e82365d2243a9a.rmeta: crates/metrics/src/lib.rs
+
+crates/metrics/src/lib.rs:

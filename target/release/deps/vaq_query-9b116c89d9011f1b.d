@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/vaq_query-9b116c89d9011f1b.d: crates/query/src/lib.rs crates/query/src/ast.rs crates/query/src/exec.rs crates/query/src/lexer.rs crates/query/src/parser.rs crates/query/src/plan.rs
+
+/root/repo/target/release/deps/libvaq_query-9b116c89d9011f1b.rlib: crates/query/src/lib.rs crates/query/src/ast.rs crates/query/src/exec.rs crates/query/src/lexer.rs crates/query/src/parser.rs crates/query/src/plan.rs
+
+/root/repo/target/release/deps/libvaq_query-9b116c89d9011f1b.rmeta: crates/query/src/lib.rs crates/query/src/ast.rs crates/query/src/exec.rs crates/query/src/lexer.rs crates/query/src/parser.rs crates/query/src/plan.rs
+
+crates/query/src/lib.rs:
+crates/query/src/ast.rs:
+crates/query/src/exec.rs:
+crates/query/src/lexer.rs:
+crates/query/src/parser.rs:
+crates/query/src/plan.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/vaq_scanstats-4ff0e0273bfcfd7f.d: crates/scanstats/src/lib.rs crates/scanstats/src/binomial.rs crates/scanstats/src/critical.rs crates/scanstats/src/exact.rs crates/scanstats/src/kernel.rs crates/scanstats/src/markov.rs crates/scanstats/src/naus.rs crates/scanstats/src/sync.rs
+
+/root/repo/target/release/deps/libvaq_scanstats-4ff0e0273bfcfd7f.rlib: crates/scanstats/src/lib.rs crates/scanstats/src/binomial.rs crates/scanstats/src/critical.rs crates/scanstats/src/exact.rs crates/scanstats/src/kernel.rs crates/scanstats/src/markov.rs crates/scanstats/src/naus.rs crates/scanstats/src/sync.rs
+
+/root/repo/target/release/deps/libvaq_scanstats-4ff0e0273bfcfd7f.rmeta: crates/scanstats/src/lib.rs crates/scanstats/src/binomial.rs crates/scanstats/src/critical.rs crates/scanstats/src/exact.rs crates/scanstats/src/kernel.rs crates/scanstats/src/markov.rs crates/scanstats/src/naus.rs crates/scanstats/src/sync.rs
+
+crates/scanstats/src/lib.rs:
+crates/scanstats/src/binomial.rs:
+crates/scanstats/src/critical.rs:
+crates/scanstats/src/exact.rs:
+crates/scanstats/src/kernel.rs:
+crates/scanstats/src/markov.rs:
+crates/scanstats/src/naus.rs:
+crates/scanstats/src/sync.rs:

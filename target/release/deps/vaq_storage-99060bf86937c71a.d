@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/vaq_storage-99060bf86937c71a.d: crates/storage/src/lib.rs crates/storage/src/catalog.rs crates/storage/src/cost.rs crates/storage/src/file.rs crates/storage/src/fsck.rs crates/storage/src/table.rs
+
+/root/repo/target/release/deps/libvaq_storage-99060bf86937c71a.rlib: crates/storage/src/lib.rs crates/storage/src/catalog.rs crates/storage/src/cost.rs crates/storage/src/file.rs crates/storage/src/fsck.rs crates/storage/src/table.rs
+
+/root/repo/target/release/deps/libvaq_storage-99060bf86937c71a.rmeta: crates/storage/src/lib.rs crates/storage/src/catalog.rs crates/storage/src/cost.rs crates/storage/src/file.rs crates/storage/src/fsck.rs crates/storage/src/table.rs
+
+crates/storage/src/lib.rs:
+crates/storage/src/catalog.rs:
+crates/storage/src/cost.rs:
+crates/storage/src/file.rs:
+crates/storage/src/fsck.rs:
+crates/storage/src/table.rs:

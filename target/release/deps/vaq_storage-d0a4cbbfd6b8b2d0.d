@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/vaq_storage-d0a4cbbfd6b8b2d0.d: crates/storage/src/lib.rs crates/storage/src/catalog.rs crates/storage/src/cost.rs crates/storage/src/file.rs crates/storage/src/fsck.rs crates/storage/src/table.rs
+
+/root/repo/target/release/deps/libvaq_storage-d0a4cbbfd6b8b2d0.rlib: crates/storage/src/lib.rs crates/storage/src/catalog.rs crates/storage/src/cost.rs crates/storage/src/file.rs crates/storage/src/fsck.rs crates/storage/src/table.rs
+
+/root/repo/target/release/deps/libvaq_storage-d0a4cbbfd6b8b2d0.rmeta: crates/storage/src/lib.rs crates/storage/src/catalog.rs crates/storage/src/cost.rs crates/storage/src/file.rs crates/storage/src/fsck.rs crates/storage/src/table.rs
+
+crates/storage/src/lib.rs:
+crates/storage/src/catalog.rs:
+crates/storage/src/cost.rs:
+crates/storage/src/file.rs:
+crates/storage/src/fsck.rs:
+crates/storage/src/table.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/vaq_trace-ec178dab81e08cba.d: crates/trace/src/lib.rs crates/trace/src/clock.rs crates/trace/src/metrics.rs crates/trace/src/record.rs crates/trace/src/sink.rs
+
+/root/repo/target/release/deps/libvaq_trace-ec178dab81e08cba.rlib: crates/trace/src/lib.rs crates/trace/src/clock.rs crates/trace/src/metrics.rs crates/trace/src/record.rs crates/trace/src/sink.rs
+
+/root/repo/target/release/deps/libvaq_trace-ec178dab81e08cba.rmeta: crates/trace/src/lib.rs crates/trace/src/clock.rs crates/trace/src/metrics.rs crates/trace/src/record.rs crates/trace/src/sink.rs
+
+crates/trace/src/lib.rs:
+crates/trace/src/clock.rs:
+crates/trace/src/metrics.rs:
+crates/trace/src/record.rs:
+crates/trace/src/sink.rs:

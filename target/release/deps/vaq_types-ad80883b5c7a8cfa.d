@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/vaq_types-ad80883b5c7a8cfa.d: crates/types/src/lib.rs crates/types/src/conv.rs crates/types/src/error.rs crates/types/src/geometry.rs crates/types/src/ids.rs crates/types/src/interval.rs crates/types/src/query.rs crates/types/src/timing.rs crates/types/src/vocab.rs
+
+/root/repo/target/release/deps/libvaq_types-ad80883b5c7a8cfa.rlib: crates/types/src/lib.rs crates/types/src/conv.rs crates/types/src/error.rs crates/types/src/geometry.rs crates/types/src/ids.rs crates/types/src/interval.rs crates/types/src/query.rs crates/types/src/timing.rs crates/types/src/vocab.rs
+
+/root/repo/target/release/deps/libvaq_types-ad80883b5c7a8cfa.rmeta: crates/types/src/lib.rs crates/types/src/conv.rs crates/types/src/error.rs crates/types/src/geometry.rs crates/types/src/ids.rs crates/types/src/interval.rs crates/types/src/query.rs crates/types/src/timing.rs crates/types/src/vocab.rs
+
+crates/types/src/lib.rs:
+crates/types/src/conv.rs:
+crates/types/src/error.rs:
+crates/types/src/geometry.rs:
+crates/types/src/ids.rs:
+crates/types/src/interval.rs:
+crates/types/src/query.rs:
+crates/types/src/timing.rs:
+crates/types/src/vocab.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/vaq_video-9c795c1b13d7c935.d: crates/video/src/lib.rs crates/video/src/frame.rs crates/video/src/gen.rs crates/video/src/persist.rs crates/video/src/script.rs crates/video/src/span.rs
+
+/root/repo/target/release/deps/libvaq_video-9c795c1b13d7c935.rlib: crates/video/src/lib.rs crates/video/src/frame.rs crates/video/src/gen.rs crates/video/src/persist.rs crates/video/src/script.rs crates/video/src/span.rs
+
+/root/repo/target/release/deps/libvaq_video-9c795c1b13d7c935.rmeta: crates/video/src/lib.rs crates/video/src/frame.rs crates/video/src/gen.rs crates/video/src/persist.rs crates/video/src/script.rs crates/video/src/span.rs
+
+crates/video/src/lib.rs:
+crates/video/src/frame.rs:
+crates/video/src/gen.rs:
+crates/video/src/persist.rs:
+crates/video/src/script.rs:
+crates/video/src/span.rs:
